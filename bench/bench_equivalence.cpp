@@ -1,0 +1,95 @@
+// Exp-1 (paper §VII-A): behavioral equivalence of the model-based
+// middleware and its handcrafted counterpart — "we were able to validate
+// the behavioral equivalence (in terms of the sequence of commands that
+// were generated for the underlying resources as a result of model
+// interpretation) of the model-based implementations of the middleware
+// and their original, handcrafted, counterparts" — for the communication
+// and smart microgrid domains.
+//
+// Prints one row per scenario: commands issued by each implementation
+// and the trace-equality verdict.
+#include <cstdio>
+
+#include "domains/comm/cvm.hpp"
+#include "domains/comm/handcrafted_broker.hpp"
+#include "domains/comm/scenarios.hpp"
+#include "domains/mgrid/baseline.hpp"
+#include "domains/mgrid/mgridvm.hpp"
+
+namespace {
+
+int g_failures = 0;
+
+void row(const std::string& domain, const std::string& scenario,
+         std::size_t model_commands, std::size_t handcrafted_commands,
+         bool equal) {
+  std::printf("| %-13s | %-22s | %11zu | %11zu | %-9s |\n", domain.c_str(),
+              scenario.c_str(), model_commands, handcrafted_commands,
+              equal ? "EQUAL" : "DIVERGED");
+  if (!equal) ++g_failures;
+}
+
+void run_comm() {
+  for (const mdsm::comm::Scenario& scenario : mdsm::comm::comm_scenarios()) {
+    auto cvm = mdsm::comm::make_cvm();
+    auto handcrafted = mdsm::comm::make_handcrafted_ncb();
+    if (!cvm.ok()) {
+      std::printf("CVM assembly failed: %s\n",
+                  cvm.status().to_string().c_str());
+      ++g_failures;
+      return;
+    }
+    mdsm::Status model_based = mdsm::comm::run_scenario(
+        scenario, (*cvm)->platform->broker(), (*cvm)->service,
+        (*cvm)->platform->context());
+    mdsm::Status baseline =
+        mdsm::comm::run_scenario(scenario, handcrafted->broker,
+                                 handcrafted->service, handcrafted->context);
+    bool equal = model_based.ok() && baseline.ok() &&
+                 (*cvm)->platform->trace() == handcrafted->broker.trace();
+    row("communication", scenario.name, (*cvm)->platform->trace().size(),
+        handcrafted->broker.trace().size(), equal);
+  }
+}
+
+void run_mgrid() {
+  for (const mdsm::mgrid::MgridScenario& scenario :
+       mdsm::mgrid::mgrid_scenarios()) {
+    auto vm = mdsm::mgrid::make_mgridvm();
+    auto baseline = mdsm::mgrid::make_handcrafted_mgrid();
+    if (!vm.ok()) {
+      std::printf("MGridVM assembly failed: %s\n",
+                  vm.status().to_string().c_str());
+      ++g_failures;
+      return;
+    }
+    mdsm::Status model_based = mdsm::mgrid::run_mgrid_scenario(
+        scenario, (*vm)->platform->broker(), (*vm)->plant,
+        (*vm)->platform->context());
+    mdsm::Status handcrafted = mdsm::mgrid::run_mgrid_scenario(
+        scenario, baseline->broker, baseline->plant, baseline->context);
+    bool equal = model_based.ok() && handcrafted.ok() &&
+                 (*vm)->platform->trace() == baseline->broker.trace();
+    row("microgrid", scenario.name, (*vm)->platform->trace().size(),
+        baseline->broker.trace().size(), equal);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Exp-1: behavioral equivalence, model-based vs handcrafted broker\n");
+  std::printf(
+      "| %-13s | %-22s | %-11s | %-11s | %-9s |\n", "domain", "scenario",
+      "model cmds", "handc cmds", "verdict");
+  std::printf(
+      "|---------------|------------------------|-------------|------------"
+      "-|-----------|\n");
+  run_comm();
+  run_mgrid();
+  std::printf("\nResult: %s (paper: equivalence held in both domains)\n",
+              g_failures == 0 ? "ALL SCENARIOS EQUIVALENT"
+                              : "EQUIVALENCE VIOLATED");
+  return g_failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,148 @@
+// Exp-5 (paper §VII-B): footprint reduction from separating domain
+// knowledge (DSK) out of the model of execution.
+//
+// Paper result: "due to the separation of domain-specific concerns, we
+// were able to achieve a reduction in lines of code (from 1402 to 1176)
+// resulting in smaller compiled bytecode and execution footprint."
+//
+// The paper compared two implementations of the same controller (merged
+// vs separated). This reproduction never wrote the merged variant of its
+// own engine, so the measured analog is the footprint a DOMAIN AUTHOR
+// owns under each style, for the two domains that exist in both styles
+// in this tree:
+//
+//   monolithic — the handcrafted per-domain dispatch: imperative C++
+//                that must be written, reviewed and *compiled* per
+//                domain (src/domains/*/handcrafted_broker.*, and the
+//                hand-coded dispatch half of mgrid/baseline.*);
+//   separated  — zero imperative C++ per domain; behaviour is the
+//                declarative spec inside the domain's middleware model,
+//                loaded by the one shared, domain-independent engine.
+//
+// Alongside LoC, the compiled-artifact sizes are compared: object code
+// of the handcrafted dispatch vs the bytes of the declarative spec —
+// the analog of the paper's "smaller compiled bytecode".
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "domains/comm/cvm.hpp"
+#include "domains/mgrid/mgridvm.hpp"
+
+#ifndef MDSM_SOURCE_DIR
+#define MDSM_SOURCE_DIR "."
+#endif
+#ifndef MDSM_BINARY_DIR
+#define MDSM_BINARY_DIR "./build"
+#endif
+
+namespace {
+
+std::size_t count_loc(std::string_view text) {
+  std::size_t lines = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t')) {
+      line.remove_prefix(1);
+    }
+    if (!line.empty() && line.front() != '#' &&
+        !(line.size() >= 2 && line[0] == '/' && line[1] == '/')) {
+      ++lines;
+    }
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  return lines;
+}
+
+std::size_t count_file_loc(const std::string& relative_path) {
+  std::ifstream in(std::string(MDSM_SOURCE_DIR) + "/" + relative_path);
+  if (!in) return 0;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return count_loc(buffer.str());
+}
+
+std::size_t file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return 0;
+  return static_cast<std::size_t>(in.tellg());
+}
+
+/// Declarative per-domain spec: broker+controller sections of the
+/// middleware model (the synthesis LTS exists under both styles).
+std::string_view spec_of(std::string_view middleware_model) {
+  std::size_t begin = middleware_model.find("child broker");
+  std::size_t end = middleware_model.find("child synthesis");
+  if (begin == std::string_view::npos || end == std::string_view::npos ||
+      end <= begin) {
+    return middleware_model;
+  }
+  return middleware_model.substr(begin, end - begin);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Exp-5: per-domain footprint, monolithic dispatch code vs "
+              "separated DSK specs\n\n");
+
+  const std::size_t comm_code =
+      count_file_loc("src/domains/comm/handcrafted_broker.cpp") +
+      count_file_loc("src/domains/comm/handcrafted_broker.hpp");
+  // baseline.* mixes the hand-coded dispatch with scenario definitions;
+  // the dispatch is roughly half the file.
+  const std::size_t mgrid_code =
+      (count_file_loc("src/domains/mgrid/baseline.cpp") +
+       count_file_loc("src/domains/mgrid/baseline.hpp")) /
+      2;
+  const std::string_view comm_spec =
+      spec_of(mdsm::comm::cvm_middleware_model_text());
+  const std::string_view mgrid_spec =
+      spec_of(mdsm::mgrid::mgridvm_middleware_model_text());
+
+  std::printf("imperative C++ a domain author writes and compiles:\n");
+  std::printf("| %-13s | %-16s | %-16s |\n", "domain", "monolithic LoC",
+              "separated LoC");
+  std::printf("|---------------|------------------|------------------|\n");
+  std::printf("| %-13s | %16zu | %16d |\n", "communication", comm_code, 0);
+  std::printf("| %-13s | %16zu | %16d |\n", "microgrid", mgrid_code, 0);
+  std::printf("| %-13s | %16zu | %16d |\n", "total", comm_code + mgrid_code,
+              0);
+  std::printf("\ndeclarative spec replacing that code (interpreted, not "
+              "compiled):\n");
+  std::printf("  communication: %zu spec lines, %zu bytes\n",
+              count_loc(comm_spec), comm_spec.size());
+  std::printf("  microgrid:     %zu spec lines, %zu bytes\n",
+              count_loc(mgrid_spec), mgrid_spec.size());
+
+  // Compiled-artifact comparison (the paper's "smaller compiled
+  // bytecode"): object code of the handcrafted dispatch vs spec bytes.
+  const std::size_t comm_object = file_bytes(
+      std::string(MDSM_BINARY_DIR) +
+      "/src/domains/comm/CMakeFiles/mdsm_comm.dir/handcrafted_broker.cpp.o");
+  if (comm_object > 0) {
+    std::printf("\ncompiled footprint, communication domain:\n");
+    std::printf("  handcrafted dispatch object code: %zu bytes\n",
+                comm_object);
+    std::printf("  declarative spec:                 %zu bytes (%.0f%% "
+                "smaller)\n",
+                comm_spec.size(),
+                100.0 * (1.0 - static_cast<double>(comm_spec.size()) /
+                                   static_cast<double>(comm_object)));
+  }
+  std::printf("\n[paper: controller LoC 1402 -> 1176 (~16%% less) with "
+              "smaller compiled bytecode; here the per-domain imperative "
+              "code drops to zero while the shared engine is written "
+              "once, domain-independently]\n");
+  if (comm_code == 0) {
+    std::printf("(source tree not found at %s — run from the repository)\n",
+                MDSM_SOURCE_DIR);
+  }
+  return 0;
+}

@@ -1,0 +1,162 @@
+// Exp-6 (paper §VII-B): separation of concerns + operational variability.
+//
+// "To test the Controller layer's ability to separate concerns, we
+// focused on its execution engine (the domain-independent aspect) to
+// operate with DSCs and procedures from both domains without
+// modification. In order to test variability, we populated the
+// Controller's repository with multiple procedures that matched specific
+// DSCs and then measured its ability to choose one execution path
+// instead of another based on environmental context."
+//
+// One ControllerLayer instance is loaded with the communication AND
+// microgrid DSK side by side; context flips select different execution
+// paths; every generation cycle is timed.
+#include <cstdio>
+
+#include "broker/broker_api.hpp"
+#include "common/clock.hpp"
+#include "controller/controller_layer.hpp"
+#include "runtime/event_bus.hpp"
+
+namespace {
+
+using namespace mdsm;
+using controller::ControllerLayer;
+using controller::Procedure;
+using controller::SelectionStrategy;
+using model::Value;
+
+class NullBroker : public broker::BrokerApi {
+ public:
+  Result<model::Value> call(const broker::Call&) override {
+    return model::Value(true);
+  }
+  [[nodiscard]] const broker::CommandTrace& trace() const override {
+    return trace_;
+  }
+
+ private:
+  broker::CommandTrace trace_;
+};
+
+Procedure proc(std::string name, std::string dsc, double cost,
+               std::string_view guard_text = "",
+               std::vector<std::string> deps = {}) {
+  Procedure p;
+  p.name = std::move(name);
+  p.classifier = std::move(dsc);
+  p.cost = cost;
+  if (!guard_text.empty()) p.guard = *policy::Expression::parse(guard_text);
+  p.dependencies = std::move(deps);
+  std::vector<controller::Instruction> unit{controller::noop()};
+  for (const auto& dep : p.dependencies) {
+    unit.push_back(controller::call_dep(dep));
+  }
+  p.units = {unit};
+  return p;
+}
+
+/// Communication DSK (media path establishment, direct vs relay).
+void load_comm_dsk(ControllerLayer& layer) {
+  (void)layer.dscs().add({"media.establish", {}, "comm", ""});
+  (void)layer.dscs().add({"net.path", {}, "comm", ""});
+  (void)layer.add_procedure(
+      proc("media-via-path", "media.establish", 1.0, "", {"net.path"}));
+  (void)layer.add_procedure(proc("path-direct", "net.path", 1.0,
+                                 "!defined(relay.required)"));
+  (void)layer.add_procedure(
+      proc("path-relay", "net.path", 4.0, "defined(relay.available)"));
+}
+
+/// Microgrid DSK (power dispatch, normal vs eco).
+void load_mgrid_dsk(ControllerLayer& layer) {
+  (void)layer.dscs().add({"power.dispatch", {}, "mgrid", ""});
+  (void)layer.add_procedure(
+      proc("dispatch-direct", "power.dispatch", 1.0,
+           "grid.mode != \"eco\""));
+  (void)layer.add_procedure(
+      proc("dispatch-eco", "power.dispatch", 0.5, "grid.mode == \"eco\""));
+}
+
+struct Case {
+  const char* domain;
+  const char* dsc;
+  const char* context_key;
+  model::Value context_value;
+  const char* expected_leaf;  ///< procedure expected somewhere in the IM
+};
+
+bool im_contains(const controller::IntentModelNode& node,
+                 std::string_view name) {
+  if (node.procedure->name == name) return true;
+  for (const auto& child : node.children) {
+    if (im_contains(*child, name)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main() {
+  NullBroker broker;
+  runtime::EventBus bus;
+  policy::ContextStore context;
+  // ONE engine instance, both domains' DSK — no engine modification.
+  ControllerLayer layer("shared-engine", broker, bus, context);
+  load_comm_dsk(layer);
+  load_mgrid_dsk(layer);
+  context.set("grid.mode", Value("normal"));
+
+  std::printf("Exp-6: one domain-independent engine, two domains' DSK "
+              "(%zu DSCs, %zu procedures)\n\n",
+              layer.dscs().size(), layer.repository().size());
+  std::printf("| %-9s | %-15s | %-24s | %-18s | %-10s | %-7s |\n", "domain",
+              "dsc", "context", "chosen path", "cycle (us)", "verdict");
+  std::printf("|-----------|-----------------|--------------------------|"
+              "--------------------|------------|---------|\n");
+
+  const Case cases[] = {
+      {"comm", "media.establish", "none", model::Value{}, "path-direct"},
+      {"comm", "media.establish", "relay.required", Value(true),
+       "path-relay"},
+      {"mgrid", "power.dispatch", "grid.mode=normal", Value{},
+       "dispatch-direct"},
+      {"mgrid", "power.dispatch", "grid.mode=eco", Value{}, "dispatch-eco"},
+  };
+  SteadyClock clock;
+  int failures = 0;
+  for (const Case& c : cases) {
+    // Apply the environmental context for this case.
+    if (std::string(c.context_key) == "relay.required") {
+      context.set("relay.required", c.context_value);
+      context.set("relay.available", Value(true));
+    } else if (std::string(c.context_key) == "grid.mode=eco") {
+      context.set("grid.mode", Value("eco"));
+    } else if (std::string(c.context_key) == "grid.mode=normal") {
+      context.set("grid.mode", Value("normal"));
+    } else {
+      context.erase("relay.required");
+      context.erase("relay.available");
+    }
+    Stopwatch watch(clock);
+    auto intent =
+        layer.generator().generate(c.dsc, SelectionStrategy::kMinCost);
+    double cycle_us = watch.elapsed_ms() * 1000.0;
+    if (!intent.ok()) {
+      std::printf("| %-9s | %-15s | generation failed: %s\n", c.domain,
+                  c.dsc, intent.status().to_string().c_str());
+      ++failures;
+      continue;
+    }
+    bool chosen = im_contains(*(*intent)->root, c.expected_leaf);
+    bool executed = layer.engine().execute(**intent, {}).ok();
+    std::printf("| %-9s | %-15s | %-24s | %-18s | %10.2f | %-7s |\n",
+                c.domain, c.dsc, c.context_key, c.expected_leaf, cycle_us,
+                chosen && executed ? "OK" : "WRONG");
+    if (!chosen || !executed) ++failures;
+  }
+  std::printf("\nResult: %s (paper: engine operated with both domains' "
+              "artifacts without modification; context selected the path)\n",
+              failures == 0 ? "VARIABILITY DEMONSTRATED" : "FAILED");
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,106 @@
+#include "broker/action.hpp"
+
+#include <stdexcept>
+
+#include "common/strings.hpp"
+
+namespace mdsm::broker {
+
+std::string_view to_string(StepOp op) noexcept {
+  switch (op) {
+    case StepOp::kInvoke: return "invoke";
+    case StepOp::kSetState: return "set-state";
+    case StepOp::kSetContext: return "set-context";
+    case StepOp::kEmit: return "emit";
+    case StepOp::kGuard: return "guard";
+    case StepOp::kResult: return "result";
+  }
+  return "?";
+}
+
+namespace {
+
+model::Value resolve_value(const model::Value& value, const Args& call_args,
+                           const policy::ContextStore& context) {
+  if (!value.is_string()) return value;
+  const std::string& text = value.as_string();
+  if (starts_with(text, "$ctx:")) {
+    return context.get(text.substr(5));
+  }
+  if (starts_with(text, "$$")) {
+    return model::Value(text.substr(1));  // escaped literal "$..."
+  }
+  if (starts_with(text, "$")) {
+    auto it = call_args.find(text.substr(1));
+    return it == call_args.end() ? model::Value{} : it->second;
+  }
+  return value;
+}
+
+}  // namespace
+
+Args resolve_args(const Args& templated, const Args& call_args,
+                  const policy::ContextStore& context) {
+  Args out;
+  for (const auto& [key, value] : templated) {
+    out[key] = resolve_value(value, call_args, context);
+  }
+  return out;
+}
+
+ActionStep invoke_step(std::string resource, std::string command, Args args) {
+  ActionStep step;
+  step.op = StepOp::kInvoke;
+  step.a = std::move(resource);
+  step.b = std::move(command);
+  step.args = std::move(args);
+  return step;
+}
+
+ActionStep set_state_step(std::string key, model::Value value) {
+  ActionStep step;
+  step.op = StepOp::kSetState;
+  step.a = std::move(key);
+  step.args["value"] = std::move(value);
+  return step;
+}
+
+ActionStep set_context_step(std::string key, model::Value value) {
+  ActionStep step;
+  step.op = StepOp::kSetContext;
+  step.a = std::move(key);
+  step.args["value"] = std::move(value);
+  return step;
+}
+
+ActionStep emit_step(std::string topic, model::Value payload) {
+  ActionStep step;
+  step.op = StepOp::kEmit;
+  step.a = std::move(topic);
+  step.args["payload"] = std::move(payload);
+  return step;
+}
+
+ActionStep guard_step(std::string_view condition) {
+  ActionStep step;
+  step.op = StepOp::kGuard;
+  auto parsed = policy::Expression::parse(condition);
+  if (!parsed.ok()) {
+    // Guards are authored in code or loaded through the validated
+    // middleware-model path; a malformed literal here is a programming
+    // error, so fail loudly (Core Guidelines I.5).
+    throw std::invalid_argument("bad guard expression: " +
+                                parsed.status().to_string());
+  }
+  step.guard = std::move(parsed.value());
+  return step;
+}
+
+ActionStep result_step(model::Value value) {
+  ActionStep step;
+  step.op = StepOp::kResult;
+  step.args["value"] = std::move(value);
+  return step;
+}
+
+}  // namespace mdsm::broker

@@ -1,0 +1,71 @@
+// Actions and Handlers (paper Fig. 6): "the middleware engineer also
+// needs to specify the actions to be executed in response to calls and
+// events received by the Broker layer. These are specified in the model
+// as instances of Action and Handler, which define the mechanisms to
+// select the appropriate action in each case."
+//
+// An Action is a guarded, prioritized sequence of interpreted steps; a
+// Handler binds a signal (call or event name) to its candidate actions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "broker/broker_types.hpp"
+#include "policy/expression.hpp"
+
+namespace mdsm::broker {
+
+enum class StepOp {
+  kInvoke,      ///< issue a resource command: a=resource, b=command, args
+  kSetState,    ///< write a state variable: a=key, args["value"]
+  kSetContext,  ///< write a context variable: a=key, args["value"]
+  kEmit,        ///< publish an event: a=topic, args["payload"]
+  kGuard,       ///< abort the action unless `guard` holds
+  kResult,      ///< set the action's result value: args["value"]
+};
+
+std::string_view to_string(StepOp op) noexcept;
+
+/// One interpreted step. Argument values may be templates:
+///   "$name"      → substituted with the triggering call's argument `name`
+///   "$ctx:name"  → substituted with context variable `name`
+/// anything else is passed through literally.
+struct ActionStep {
+  StepOp op{};
+  std::string a;  ///< primary operand (see StepOp)
+  std::string b;  ///< secondary operand (kInvoke: the command)
+  Args args;
+  policy::Expression guard;  ///< only used by kGuard
+};
+
+struct Action {
+  std::string name;
+  policy::Expression guard;  ///< applicability; empty = always applicable
+  int priority = 0;          ///< higher preferred among applicable actions
+  std::vector<ActionStep> steps;
+};
+
+/// Binds one signal name to candidate actions (by name, in bind order).
+struct Handler {
+  std::string signal;
+  std::vector<std::string> action_names;
+};
+
+/// Substitute templated values in `args` against the call args + context.
+/// Unknown "$name" resolves to none (validation is the action's guard's
+/// job); malformed templates never error.
+Args resolve_args(const Args& templated, const Args& call_args,
+                  const policy::ContextStore& context);
+
+/// Convenience builders for step sequences (used by domain DSK code and
+/// by the middleware-model loader).
+ActionStep invoke_step(std::string resource, std::string command,
+                       Args args = {});
+ActionStep set_state_step(std::string key, model::Value value);
+ActionStep set_context_step(std::string key, model::Value value);
+ActionStep emit_step(std::string topic, model::Value payload = {});
+ActionStep guard_step(std::string_view condition);
+ActionStep result_step(model::Value value);
+
+}  // namespace mdsm::broker

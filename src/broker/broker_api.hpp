@@ -1,0 +1,23 @@
+// The interface the Broker layer exposes upward: "The APIs allow the
+// Controller layer to execute the various domain-specific operations"
+// (paper §V-B). Abstract so the Controller can also be tested against a
+// recording stub, and so the handcrafted baseline broker (Exp-2) and the
+// model-based broker are interchangeable behind the same port.
+#pragma once
+
+#include "broker/broker_types.hpp"
+
+namespace mdsm::broker {
+
+class BrokerApi {
+ public:
+  virtual ~BrokerApi() = default;
+
+  /// Execute one broker operation on behalf of the layer above.
+  virtual Result<model::Value> call(const Call& call) = 0;
+
+  /// The trace of resource commands issued so far (Exp-1 compares these).
+  [[nodiscard]] virtual const CommandTrace& trace() const = 0;
+};
+
+}  // namespace mdsm::broker

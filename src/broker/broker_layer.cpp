@@ -1,0 +1,142 @@
+#include "broker/broker_layer.hpp"
+
+#include "common/log.hpp"
+
+namespace mdsm::broker {
+
+BrokerLayer::BrokerLayer(std::string name, runtime::EventBus& bus,
+                         policy::ContextStore& context)
+    : Component(std::move(name)),
+      bus_(&bus),
+      context_(&context),
+      resources_(bus) {
+  autonomic_ = std::make_unique<AutonomicManager>(
+      bus, context,
+      [this](const std::vector<ActionStep>& steps, const Args& args) {
+        Result<model::Value> result = execute_steps(steps, args);
+        return result.ok() ? Status::Ok() : result.status();
+      });
+}
+
+Status BrokerLayer::register_action(Action action) {
+  const std::string name = action.name;
+  auto [it, inserted] = actions_.emplace(name, std::move(action));
+  if (!inserted) {
+    return AlreadyExists("action '" + name + "' already registered");
+  }
+  return Status::Ok();
+}
+
+Status BrokerLayer::bind_handler(const std::string& signal,
+                                 std::vector<std::string> action_names) {
+  for (const std::string& action_name : action_names) {
+    if (!actions_.contains(action_name)) {
+      return NotFound("handler for '" + signal + "' binds unknown action '" +
+                      action_name + "'");
+    }
+  }
+  Handler& handler = handlers_[signal];
+  handler.signal = signal;
+  for (std::string& action_name : action_names) {
+    handler.action_names.push_back(std::move(action_name));
+  }
+  return Status::Ok();
+}
+
+Result<const Action*> BrokerLayer::select_action(
+    const std::string& signal) const {
+  auto it = handlers_.find(signal);
+  if (it == handlers_.end()) {
+    return NotFound("broker '" + name() + "' has no handler for signal '" +
+                    signal + "'");
+  }
+  const Action* best = nullptr;
+  for (const std::string& action_name : it->second.action_names) {
+    auto action_it = actions_.find(action_name);
+    if (action_it == actions_.end()) continue;
+    const Action& action = action_it->second;
+    Result<bool> applicable = action.guard.evaluate_bool(*context_);
+    if (!applicable.ok() || !*applicable) continue;
+    if (best == nullptr || action.priority > best->priority) {
+      best = &action;
+    }
+  }
+  if (best == nullptr) {
+    return FailedPrecondition("no applicable action for signal '" + signal +
+                              "' in current context");
+  }
+  return best;
+}
+
+Result<model::Value> BrokerLayer::call(const Call& call) {
+  ++calls_handled_;
+  Result<const Action*> action = select_action(call.name);
+  if (!action.ok()) return action.status();
+  log_debug("broker") << name() << " call " << call.name << " -> action "
+                      << (*action)->name;
+  return execute_steps((*action)->steps, call.args);
+}
+
+Status BrokerLayer::handle_event(const std::string& topic,
+                                 model::Value payload) {
+  ++events_handled_;
+  Result<const Action*> action = select_action(topic);
+  if (!action.ok()) {
+    // Unhandled events are not errors: layers subscribe selectively.
+    return Status::Ok();
+  }
+  Args args;
+  args["event.topic"] = model::Value(topic);
+  args["event.payload"] = std::move(payload);
+  Result<model::Value> result = execute_steps((*action)->steps, args);
+  return result.ok() ? Status::Ok() : result.status();
+}
+
+Result<model::Value> BrokerLayer::execute_steps(
+    const std::vector<ActionStep>& steps, const Args& call_args) {
+  model::Value result;
+  for (const ActionStep& step : steps) {
+    switch (step.op) {
+      case StepOp::kGuard: {
+        Result<bool> holds = step.guard.evaluate_bool(*context_);
+        if (!holds.ok()) return holds.status();
+        if (!*holds) {
+          return FailedPrecondition("action guard '" + step.guard.text() +
+                                    "' failed");
+        }
+        break;
+      }
+      case StepOp::kInvoke: {
+        Args resolved = resolve_args(step.args, call_args, *context_);
+        Result<model::Value> invoked =
+            resources_.invoke(step.a, step.b, resolved);
+        if (!invoked.ok()) return invoked.status();
+        result = std::move(invoked.value());
+        break;
+      }
+      case StepOp::kSetState: {
+        Args resolved = resolve_args(step.args, call_args, *context_);
+        state_.set(step.a, resolved["value"]);
+        break;
+      }
+      case StepOp::kSetContext: {
+        Args resolved = resolve_args(step.args, call_args, *context_);
+        context_->set(step.a, resolved["value"]);
+        break;
+      }
+      case StepOp::kEmit: {
+        Args resolved = resolve_args(step.args, call_args, *context_);
+        bus_->publish(step.a, name(), resolved["payload"]);
+        break;
+      }
+      case StepOp::kResult: {
+        Args resolved = resolve_args(step.args, call_args, *context_);
+        result = resolved["value"];
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mdsm::broker

@@ -1,0 +1,97 @@
+// The Broker layer: Main Manager facade plus the specialized managers of
+// the paper's Fig. 6 metamodel (state, policy, autonomic, resource
+// management), with Action/Handler-based dispatch of calls and events.
+//
+// Instances are normally produced by the platform assembler (src/core)
+// from a middleware model; the programmatic API below is what the
+// assembler targets and what tests drive directly.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "broker/action.hpp"
+#include "broker/autonomic_manager.hpp"
+#include "broker/broker_api.hpp"
+#include "broker/resource_manager.hpp"
+#include "broker/state_manager.hpp"
+#include "policy/policy_engine.hpp"
+#include "runtime/component.hpp"
+#include "runtime/event_bus.hpp"
+
+namespace mdsm::broker {
+
+class BrokerLayer final : public runtime::Component, public BrokerApi {
+ public:
+  /// The bus and context are owned by the enclosing platform; a broker
+  /// layer participates in them rather than owning them (so controller,
+  /// broker and autonomic behavior observe one coherent context).
+  BrokerLayer(std::string name, runtime::EventBus& bus,
+              policy::ContextStore& context);
+
+  // -- configuration (performed by the assembler or by domain DSK code)
+
+  Status register_action(Action action);
+  /// Bind a signal name to candidate actions; call repeatedly to extend.
+  Status bind_handler(const std::string& signal,
+                      std::vector<std::string> action_names);
+
+  [[nodiscard]] ResourceManager& resources() noexcept { return resources_; }
+  [[nodiscard]] StateManager& state() noexcept { return state_; }
+  [[nodiscard]] policy::PolicySet& policies() noexcept { return policies_; }
+  [[nodiscard]] AutonomicManager& autonomic() noexcept { return *autonomic_; }
+  [[nodiscard]] policy::ContextStore& context() noexcept { return *context_; }
+  [[nodiscard]] runtime::EventBus& bus() noexcept { return *bus_; }
+
+  [[nodiscard]] std::size_t action_count() const noexcept {
+    return actions_.size();
+  }
+
+  // -- BrokerApi (the upward-facing interface)
+
+  /// Select (via the signal's handler + guards + priority) and execute an
+  /// action for the call. Returns the action's result value (none if the
+  /// action set none).
+  Result<model::Value> call(const Call& call) override;
+
+  [[nodiscard]] const CommandTrace& trace() const override {
+    return resources_.trace();
+  }
+
+  /// Event entry point: events are signals too (paper §VI treats calls
+  /// and events uniformly); dispatches the bound handler if any.
+  Status handle_event(const std::string& topic, model::Value payload = {});
+
+  /// Execute a step sequence against this layer (shared by actions and
+  /// autonomic change plans).
+  Result<model::Value> execute_steps(const std::vector<ActionStep>& steps,
+                                     const Args& call_args);
+
+  // -- statistics
+
+  [[nodiscard]] std::uint64_t calls_handled() const noexcept {
+    return calls_handled_;
+  }
+  [[nodiscard]] std::uint64_t events_handled() const noexcept {
+    return events_handled_;
+  }
+
+ private:
+  [[nodiscard]] Result<const Action*> select_action(
+      const std::string& signal) const;
+
+  runtime::EventBus* bus_;
+  policy::ContextStore* context_;
+  StateManager state_;
+  policy::PolicySet policies_;
+  ResourceManager resources_;
+  std::unique_ptr<AutonomicManager> autonomic_;
+  std::map<std::string, Action, std::less<>> actions_;
+  std::map<std::string, Handler, std::less<>> handlers_;
+  std::uint64_t calls_handled_ = 0;
+  std::uint64_t events_handled_ = 0;
+};
+
+}  // namespace mdsm::broker

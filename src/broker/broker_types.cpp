@@ -1,0 +1,22 @@
+#include "broker/broker_types.hpp"
+
+namespace mdsm::broker {
+
+std::string format_invocation(const std::string& name, const Args& args) {
+  std::string out = name + "(";
+  bool first = true;
+  for (const auto& [key, value] : args) {
+    if (!first) out += ", ";
+    first = false;
+    out += key + "=" + value.to_text();
+  }
+  out += ")";
+  return out;
+}
+
+void CommandTrace::record(const std::string& resource,
+                          const std::string& command, const Args& args) {
+  entries_.push_back(resource + "." + format_invocation(command, args));
+}
+
+}  // namespace mdsm::broker

@@ -1,0 +1,52 @@
+// Vocabulary of the Broker layer (paper Fig. 6): calls arriving from the
+// Controller layer, events rising from resources, and the trace of
+// commands issued to the underlying resources.
+//
+// The command trace is the observable the paper's Exp-1 (behavioral
+// equivalence) compares: "the sequence of commands that were generated
+// for the underlying resources as a result of model interpretation".
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "model/value.hpp"
+
+namespace mdsm::broker {
+
+using Args = std::map<std::string, model::Value, std::less<>>;
+
+/// A call into the broker layer (from the Controller above).
+struct Call {
+  std::string name;  ///< operation, e.g. "session.open"
+  Args args;
+};
+
+/// Render "name(k=v, k=v)" with sorted keys — canonical trace form.
+std::string format_invocation(const std::string& name, const Args& args);
+
+/// Append-only record of resource commands, used for equivalence checks
+/// and performance accounting.
+class CommandTrace {
+ public:
+  void record(const std::string& resource, const std::string& command,
+              const Args& args);
+
+  [[nodiscard]] const std::vector<std::string>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  void clear() { entries_.clear(); }
+
+  /// Exact sequence equality — the paper's behavioral-equivalence test.
+  friend bool operator==(const CommandTrace& a, const CommandTrace& b) {
+    return a.entries_ == b.entries_;
+  }
+
+ private:
+  std::vector<std::string> entries_;
+};
+
+}  // namespace mdsm::broker

@@ -1,0 +1,54 @@
+#include "broker/resource_manager.hpp"
+
+#include "common/log.hpp"
+
+namespace mdsm::broker {
+
+Status ResourceManager::add_adapter(std::unique_ptr<ResourceAdapter> adapter) {
+  if (adapter == nullptr) return InvalidArgument("null resource adapter");
+  const std::string name = adapter->name();
+  if (adapters_.contains(name)) {
+    return AlreadyExists("resource adapter '" + name + "' already present");
+  }
+  // Resource events surface on the layer bus under the resource.* space.
+  adapter->set_event_sink(
+      [bus = bus_, name](const std::string& topic, model::Value payload) {
+        bus->publish("resource." + topic, name, std::move(payload));
+      });
+  adapters_[name] = std::move(adapter);
+  return Status::Ok();
+}
+
+Status ResourceManager::remove_adapter(const std::string& name) {
+  if (adapters_.erase(name) == 0) {
+    return NotFound("resource adapter '" + name + "' not present");
+  }
+  return Status::Ok();
+}
+
+ResourceAdapter* ResourceManager::find_adapter(std::string_view name) noexcept {
+  auto it = adapters_.find(name);
+  return it == adapters_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> ResourceManager::adapter_names() const {
+  std::vector<std::string> names;
+  names.reserve(adapters_.size());
+  for (const auto& [name, adapter] : adapters_) names.push_back(name);
+  return names;
+}
+
+Result<model::Value> ResourceManager::invoke(const std::string& resource,
+                                             const std::string& command,
+                                             const Args& args) {
+  auto it = adapters_.find(resource);
+  if (it == adapters_.end()) {
+    return NotFound("no resource adapter '" + resource + "'");
+  }
+  trace_.record(resource, command, args);
+  log_debug("resource-manager")
+      << resource << "." << format_invocation(command, args);
+  return it->second->execute(command, args);
+}
+
+}  // namespace mdsm::broker

@@ -1,0 +1,75 @@
+// Resource Manager: "to interface with the underlying resources"
+// (paper §V-A). Domains plug in ResourceAdapters over their simulated
+// resources (communication services, microgrid controllers, smart
+// objects, sensing devices); the manager routes commands, records the
+// command trace, and forwards resource events onto the layer's bus.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "broker/broker_types.hpp"
+#include "common/status.hpp"
+#include "runtime/event_bus.hpp"
+
+namespace mdsm::broker {
+
+/// SPI implemented per simulated resource (or family of resources).
+class ResourceAdapter {
+ public:
+  using EventSink = std::function<void(const std::string& topic,
+                                       model::Value payload)>;
+
+  explicit ResourceAdapter(std::string name) : name_(std::move(name)) {}
+  virtual ~ResourceAdapter() = default;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Execute an atomic command against the resource.
+  virtual Result<model::Value> execute(const std::string& command,
+                                       const Args& args) = 0;
+
+  /// The manager installs a sink so the adapter can raise asynchronous
+  /// resource events ("controller states", link failures, readings).
+  void set_event_sink(EventSink sink) { sink_ = std::move(sink); }
+
+ protected:
+  void raise_event(const std::string& topic, model::Value payload = {}) {
+    if (sink_) sink_(topic, std::move(payload));
+  }
+
+ private:
+  std::string name_;
+  EventSink sink_;
+};
+
+class ResourceManager {
+ public:
+  /// Resource events are republished on `bus` as "resource.<topic>".
+  explicit ResourceManager(runtime::EventBus& bus) : bus_(&bus) {}
+
+  Status add_adapter(std::unique_ptr<ResourceAdapter> adapter);
+  Status remove_adapter(const std::string& name);
+  [[nodiscard]] ResourceAdapter* find_adapter(std::string_view name) noexcept;
+  [[nodiscard]] std::vector<std::string> adapter_names() const;
+
+  /// Issue a command to a named resource; records the trace entry
+  /// *before* execution so failed commands still appear (they were
+  /// issued), matching how a wire trace would look.
+  Result<model::Value> invoke(const std::string& resource,
+                              const std::string& command, const Args& args);
+
+  [[nodiscard]] const CommandTrace& trace() const noexcept { return trace_; }
+  [[nodiscard]] CommandTrace& trace() noexcept { return trace_; }
+
+ private:
+  runtime::EventBus* bus_;
+  std::map<std::string, std::unique_ptr<ResourceAdapter>, std::less<>>
+      adapters_;
+  CommandTrace trace_;
+};
+
+}  // namespace mdsm::broker

@@ -1,0 +1,50 @@
+// State Manager: "to store and manipulate the layer's runtime model"
+// (paper §V-A). Implements the models@runtime principle [16]: the layer
+// keeps a live Model reflecting the entities it manages, plus a scalar
+// variable store for cheap bookkeeping.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "model/model.hpp"
+
+namespace mdsm::broker {
+
+class StateManager {
+ public:
+  /// Install/replace the runtime model. Usually set by the platform
+  /// assembler with an empty model of the application DSML metamodel.
+  void set_runtime_model(model::Model model) {
+    runtime_model_ = std::move(model);
+  }
+  [[nodiscard]] bool has_runtime_model() const noexcept {
+    return runtime_model_.has_value();
+  }
+  [[nodiscard]] model::Model& runtime_model() { return *runtime_model_; }
+  [[nodiscard]] const model::Model& runtime_model() const {
+    return *runtime_model_;
+  }
+
+  /// Scalar state variables (session counters, flags, ...).
+  void set(const std::string& key, model::Value value) {
+    variables_[key] = std::move(value);
+  }
+  [[nodiscard]] model::Value get(std::string_view key) const {
+    auto it = variables_.find(key);
+    return it == variables_.end() ? model::Value{} : it->second;
+  }
+  [[nodiscard]] bool has(std::string_view key) const {
+    return variables_.contains(key);
+  }
+  void erase(const std::string& key) { variables_.erase(key); }
+  [[nodiscard]] std::size_t variable_count() const noexcept {
+    return variables_.size();
+  }
+
+ private:
+  std::optional<model::Model> runtime_model_;
+  std::map<std::string, model::Value, std::less<>> variables_;
+};
+
+}  // namespace mdsm::broker

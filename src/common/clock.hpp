@@ -1,0 +1,73 @@
+// Time sources. The simulated network and domain plants run on a virtual
+// clock so integration tests are deterministic and fast; benchmarks use the
+// steady clock. Both implement the same interface so components are
+// clock-agnostic (Core Guidelines I.25: prefer abstract classes to keep
+// options open).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace mdsm {
+
+using Duration = std::chrono::microseconds;
+using TimePoint = std::chrono::time_point<std::chrono::steady_clock, Duration>;
+
+/// Abstract time source.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual TimePoint now() const = 0;
+};
+
+/// Wall/steady time, for benchmarks and real runs.
+class SteadyClock final : public Clock {
+ public:
+  [[nodiscard]] TimePoint now() const override {
+    return std::chrono::time_point_cast<Duration>(
+        std::chrono::steady_clock::now());
+  }
+};
+
+/// Manually advanced virtual time, for deterministic tests.
+class SimClock final : public Clock {
+ public:
+  [[nodiscard]] TimePoint now() const override {
+    std::lock_guard lock(mutex_);
+    return now_;
+  }
+
+  /// Move virtual time forward (never backward).
+  void advance(Duration delta) {
+    std::lock_guard lock(mutex_);
+    if (delta.count() > 0) now_ += delta;
+  }
+
+  void set(TimePoint t) {
+    std::lock_guard lock(mutex_);
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  TimePoint now_{};
+};
+
+/// Stopwatch over any Clock; used by benches and adaptation timers.
+class Stopwatch {
+ public:
+  explicit Stopwatch(const Clock& clock) : clock_(&clock), start_(clock.now()) {}
+  void reset() { start_ = clock_->now(); }
+  [[nodiscard]] Duration elapsed() const { return clock_->now() - start_; }
+  [[nodiscard]] double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(elapsed()).count();
+  }
+
+ private:
+  const Clock* clock_;
+  TimePoint start_;
+};
+
+}  // namespace mdsm

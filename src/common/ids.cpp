@@ -1,0 +1,17 @@
+#include "common/ids.hpp"
+
+#include <atomic>
+
+namespace mdsm {
+
+namespace {
+std::atomic<std::uint64_t> g_counter{0};
+}
+
+std::uint64_t next_id() noexcept { return ++g_counter; }
+
+std::string next_tagged_id(const std::string& prefix) {
+  return prefix + "-" + std::to_string(next_id());
+}
+
+}  // namespace mdsm

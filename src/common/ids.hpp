@@ -1,0 +1,17 @@
+// Process-wide monotonic id generation. Models, signals, commands, intent
+// models, sessions etc. all need cheap unique identities; a single atomic
+// counter keeps them globally unique and ordering-friendly in traces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mdsm {
+
+/// Next process-unique id (starts at 1; 0 means "no id").
+std::uint64_t next_id() noexcept;
+
+/// "prefix-<n>" convenience for human-readable trace ids.
+std::string next_tagged_id(const std::string& prefix);
+
+}  // namespace mdsm

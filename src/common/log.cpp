@@ -1,0 +1,38 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace mdsm {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_io_mutex;
+
+constexpr std::string_view level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+LogLevel log_level() noexcept { return g_level.load(); }
+
+void log_message(LogLevel level, std::string_view component,
+                 std::string_view message) {
+  if (level < log_level()) return;
+  std::lock_guard lock(g_io_mutex);
+  std::fprintf(stderr, "[%.*s] [%.*s] %.*s\n",
+               static_cast<int>(level_name(level).size()),
+               level_name(level).data(), static_cast<int>(component.size()),
+               component.data(), static_cast<int>(message.size()),
+               message.data());
+}
+
+}  // namespace mdsm

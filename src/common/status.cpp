@@ -1,0 +1,32 @@
+#include "common/status.hpp"
+
+namespace mdsm {
+
+std::string_view to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidArgument: return "invalid-argument";
+    case ErrorCode::kNotFound: return "not-found";
+    case ErrorCode::kAlreadyExists: return "already-exists";
+    case ErrorCode::kFailedPrecondition: return "failed-precondition";
+    case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kParseError: return "parse-error";
+    case ErrorCode::kConformanceError: return "conformance-error";
+    case ErrorCode::kExecutionError: return "execution-error";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "ok";
+  std::string out{mdsm::to_string(code_)};
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace mdsm

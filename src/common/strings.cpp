@@ -1,0 +1,72 @@
+#include "common/strings.hpp"
+
+#include <cctype>
+
+namespace mdsm {
+
+namespace {
+bool is_space(char c) noexcept {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+}  // namespace
+
+std::string_view trim(std::string_view s) noexcept {
+  while (!s.empty() && is_space(s.front())) s.remove_prefix(1);
+  while (!s.empty() && is_space(s.back())) s.remove_suffix(1);
+  return s;
+}
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_ws(std::string_view s) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && is_space(s[i])) ++i;
+    std::size_t start = i;
+    while (i < s.size() && !is_space(s[i])) ++i;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view separator) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += separator;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+bool is_identifier(std::string_view name) noexcept {
+  if (name.empty()) return false;
+  const char c0 = name.front();
+  if (!(std::isalpha(static_cast<unsigned char>(c0)) || c0 == '_')) {
+    return false;
+  }
+  for (char c : name.substr(1)) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '.' || c == '-')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mdsm

@@ -1,0 +1,225 @@
+#include "controller/controller_layer.hpp"
+
+#include "common/log.hpp"
+
+namespace mdsm::controller {
+
+ControllerLayer::ControllerLayer(std::string name, broker::BrokerApi& broker,
+                                 runtime::EventBus& bus,
+                                 policy::ContextStore& context,
+                                 GeneratorConfig generator_config)
+    : Component(std::move(name)),
+      broker_(&broker),
+      bus_(&bus),
+      context_(&context),
+      generator_(dscs_, repository_, context, generator_config),
+      engine_(broker, bus, context) {}
+
+Status ControllerLayer::add_procedure(Procedure procedure) {
+  if (!dscs_.contains(procedure.classifier)) {
+    return NotFound("procedure '" + procedure.name +
+                    "' classified by unknown DSC '" + procedure.classifier +
+                    "'");
+  }
+  for (const std::string& dependency : procedure.dependencies) {
+    if (!dscs_.contains(dependency)) {
+      return NotFound("procedure '" + procedure.name +
+                      "' depends on unknown DSC '" + dependency + "'");
+    }
+  }
+  return repository_.add(std::move(procedure));
+}
+
+Status ControllerLayer::register_action(ControllerAction action) {
+  const std::string name = action.name;
+  auto [it, inserted] = actions_.emplace(name, std::move(action));
+  if (!inserted) {
+    return AlreadyExists("controller action '" + name +
+                         "' already registered");
+  }
+  return Status::Ok();
+}
+
+Status ControllerLayer::bind_action(const std::string& command,
+                                    std::vector<std::string> action_names) {
+  for (const std::string& action_name : action_names) {
+    if (!actions_.contains(action_name)) {
+      return NotFound("binding for '" + command + "' names unknown action '" +
+                      action_name + "'");
+    }
+  }
+  auto& bound = bindings_[command];
+  for (std::string& action_name : action_names) {
+    bound.push_back(std::move(action_name));
+  }
+  return Status::Ok();
+}
+
+Status ControllerLayer::map_command(const std::string& command,
+                                    const std::string& dsc) {
+  if (!dscs_.contains(dsc)) {
+    return NotFound("command '" + command + "' mapped to unknown DSC '" +
+                    dsc + "'");
+  }
+  command_dsc_[command] = dsc;
+  return Status::Ok();
+}
+
+void ControllerLayer::attach_event_topic(const std::string& topic) {
+  subscriptions_.push_back(
+      bus_->subscribe(topic, [this](const runtime::Event& event) {
+        Signal signal;
+        signal.kind = SignalKind::kEvent;
+        signal.name = event.topic;
+        signal.args["event.payload"] = event.payload;
+        signal.args["event.source"] = model::Value(event.source);
+        queue_.push_back(std::move(signal));
+        ++stats_.signals_received;
+      }));
+}
+
+Status ControllerLayer::submit_script(const ControlScript& script) {
+  for (const Command& command : script.commands) {
+    Signal signal;
+    signal.kind = SignalKind::kCall;
+    signal.name = command.name;
+    signal.args = command.args;
+    queue_.push_back(std::move(signal));
+    ++stats_.signals_received;
+  }
+  return Status::Ok();
+}
+
+Status ControllerLayer::submit_command(Command command) {
+  Signal signal;
+  signal.kind = SignalKind::kCall;
+  signal.name = std::move(command.name);
+  signal.args = std::move(command.args);
+  queue_.push_back(std::move(signal));
+  ++stats_.signals_received;
+  return Status::Ok();
+}
+
+std::size_t ControllerLayer::process_pending() {
+  std::size_t processed = 0;
+  // Signals enqueued during processing (events raised by executions) are
+  // drained too, up to a sanity bound.
+  constexpr std::size_t kMaxBatch = 100000;
+  while (!queue_.empty() && processed < kMaxBatch) {
+    Signal signal = std::move(queue_.front());
+    queue_.pop_front();
+    ++processed;
+    if (signal.kind == SignalKind::kCall) {
+      Command command{signal.name, std::move(signal.args)};
+      Result<model::Value> outcome = execute_command(command);
+      if (!outcome.ok()) {
+        ++stats_.errors;
+        bus_->publish("controller.error", name(),
+                      model::Value(command.to_text() + ": " +
+                                   outcome.status().to_string()));
+      }
+    } else {
+      ++stats_.events_handled;
+      // Events are handled by Case-1 actions bound to the topic; an
+      // unbound event is simply observed (layers subscribe selectively).
+      if (bindings_.contains(signal.name)) {
+        Command command{signal.name, std::move(signal.args)};
+        Result<model::Value> outcome = execute_case1(command);
+        if (!outcome.ok()) {
+          ++stats_.errors;
+          bus_->publish("controller.error", name(),
+                        model::Value(signal.name + ": " +
+                                     outcome.status().to_string()));
+        }
+      }
+    }
+  }
+  return processed;
+}
+
+Result<ControllerLayer::Case> ControllerLayer::classify(
+    const Command& command) const {
+  // Domain policies see the command name as a transient context variable.
+  // The context is logically const here; the transient is removed before
+  // returning (single-threaded command processing by design).
+  auto* mutable_context = const_cast<policy::ContextStore*>(context_);
+  mutable_context->set("command.name", model::Value(command.name));
+  auto decision = classification_policies_.evaluate(*context_);
+  mutable_context->erase("command.name");
+  if (decision.has_value()) {
+    if (decision->decision == "case1") return Case::kCase1;
+    if (decision->decision == "case2") return Case::kCase2;
+    return Internal("classification policy '" + decision->policy_name +
+                    "' yielded unknown case '" + decision->decision + "'");
+  }
+  // Defaults: a bound action wins; otherwise a DSC mapping (or a DSC
+  // named like the command) selects dynamic generation.
+  if (bindings_.contains(command.name)) return Case::kCase1;
+  if (command_dsc_.contains(command.name) || dscs_.contains(command.name)) {
+    return Case::kCase2;
+  }
+  return NotFound("command '" + command.name +
+                  "' has neither a bound action nor a DSC mapping");
+}
+
+SelectionStrategy ControllerLayer::selection_strategy() const {
+  auto decision = selection_policies_.evaluate(*context_);
+  if (!decision.has_value()) return SelectionStrategy::kMinCost;
+  if (decision->decision == "max-quality") {
+    return SelectionStrategy::kMaxQuality;
+  }
+  if (decision->decision == "first-valid") {
+    return SelectionStrategy::kFirstValid;
+  }
+  return SelectionStrategy::kMinCost;
+}
+
+Result<model::Value> ControllerLayer::execute_case1(const Command& command) {
+  auto it = bindings_.find(command.name);
+  if (it == bindings_.end()) {
+    return NotFound("no action bound to command '" + command.name + "'");
+  }
+  const ControllerAction* best = nullptr;
+  for (const std::string& action_name : it->second) {
+    auto action_it = actions_.find(action_name);
+    if (action_it == actions_.end()) continue;
+    const ControllerAction& action = action_it->second;
+    Result<bool> applicable = action.guard.evaluate_bool(*context_);
+    if (!applicable.ok() || !*applicable) continue;
+    if (best == nullptr || action.priority > best->priority) best = &action;
+  }
+  if (best == nullptr) {
+    return FailedPrecondition("no applicable action for command '" +
+                              command.name + "' in current context");
+  }
+  ++stats_.case1_executions;
+  ++stats_.commands_executed;
+  return engine_.execute_flat(best->body, command.args);
+}
+
+Result<model::Value> ControllerLayer::execute_case2(const Command& command) {
+  auto it = command_dsc_.find(command.name);
+  const std::string& dsc =
+      it != command_dsc_.end() ? it->second : command.name;
+  if (!dscs_.contains(dsc)) {
+    return NotFound("command '" + command.name + "' resolves to unknown DSC '" +
+                    dsc + "'");
+  }
+  Result<IntentModelPtr> intent_model =
+      generator_.generate_cached(dsc, selection_strategy());
+  if (!intent_model.ok()) return intent_model.status();
+  ++stats_.case2_executions;
+  ++stats_.commands_executed;
+  return engine_.execute(**intent_model, command.args);
+}
+
+Result<model::Value> ControllerLayer::execute_command(const Command& command) {
+  Result<Case> which = classify(command);
+  if (!which.ok()) return which.status();
+  log_debug("controller") << name() << " " << command.to_text() << " -> "
+                          << (*which == Case::kCase1 ? "case1" : "case2");
+  return *which == Case::kCase1 ? execute_case1(command)
+                                : execute_case2(command);
+}
+
+}  // namespace mdsm::controller

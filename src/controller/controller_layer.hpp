@@ -1,0 +1,151 @@
+// The Controller layer (paper §VI, Fig. 8): signals received through the
+// facade are queued, parsed into commands, classified, and executed via
+// one of two coexisting mechanisms:
+//
+//   Case 1 — selection of predefined actions (Action Handlers), guided
+//            by guards and priorities;
+//   Case 2 — dynamic generation of intent models (Intent Model Handler),
+//            guided by DSCs, the procedure repository, and policies.
+//
+// "the choice of which approach to use for each received command is
+// determined by a command classification step that precedes actual
+// command execution. Command classification takes into account domain
+// policies and context information."
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "broker/broker_api.hpp"
+#include "controller/dsc.hpp"
+#include "controller/execution_engine.hpp"
+#include "controller/intent_model.hpp"
+#include "controller/procedure.hpp"
+#include "controller/script.hpp"
+#include "policy/policy_engine.hpp"
+#include "runtime/component.hpp"
+#include "runtime/event_bus.hpp"
+
+namespace mdsm::controller {
+
+/// A predefined (Case 1) action: guarded, prioritized instruction list.
+struct ControllerAction {
+  std::string name;
+  policy::Expression guard;
+  int priority = 0;
+  std::vector<Instruction> body;
+};
+
+enum class SignalKind { kCall, kEvent };
+
+/// "Both calls and events are treated in the same way and thus are
+/// indistinctly called signals."
+struct Signal {
+  SignalKind kind{};
+  std::string name;   ///< command name (calls) or topic (events)
+  broker::Args args;
+};
+
+struct ControllerStats {
+  std::uint64_t signals_received = 0;
+  std::uint64_t commands_executed = 0;
+  std::uint64_t case1_executions = 0;
+  std::uint64_t case2_executions = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t events_handled = 0;
+};
+
+class ControllerLayer final : public runtime::Component {
+ public:
+  ControllerLayer(std::string name, broker::BrokerApi& broker,
+                  runtime::EventBus& bus, policy::ContextStore& context,
+                  GeneratorConfig generator_config = {});
+
+  // ---- configuration (domain DSK + middleware model loading)
+
+  [[nodiscard]] DscRegistry& dscs() noexcept { return dscs_; }
+
+  /// Add a procedure, validating that its classifier and dependency DSCs
+  /// are registered (the repository itself is classifier-agnostic).
+  Status add_procedure(Procedure procedure);
+  [[nodiscard]] ProcedureRepository& repository() noexcept {
+    return repository_;
+  }
+
+  Status register_action(ControllerAction action);
+  /// Bind a command (or event topic) to candidate Case-1 actions.
+  Status bind_action(const std::string& command,
+                     std::vector<std::string> action_names);
+  /// Map a command to the root DSC used for Case-2 IM generation. When a
+  /// command has no mapping but its name is itself a registered DSC, the
+  /// name is used directly.
+  Status map_command(const std::string& command, const std::string& dsc);
+
+  /// Policies whose decision ("case1"/"case2") classifies commands.
+  [[nodiscard]] policy::PolicySet& classification_policies() noexcept {
+    return classification_policies_;
+  }
+  /// Policies whose decision ("min-cost"/"max-quality"/"first-valid")
+  /// picks the IM selection strategy.
+  [[nodiscard]] policy::PolicySet& selection_policies() noexcept {
+    return selection_policies_;
+  }
+
+  [[nodiscard]] ExecutionEngine& engine() noexcept { return engine_; }
+  [[nodiscard]] IntentModelGenerator& generator() noexcept {
+    return generator_;
+  }
+  [[nodiscard]] policy::ContextStore& context() noexcept { return *context_; }
+
+  /// Subscribe this controller to a bus topic; matching events enter the
+  /// signal queue as event signals (processed by process_pending()).
+  void attach_event_topic(const std::string& topic);
+
+  // ---- operation
+
+  /// Enqueue every command of a script as a call signal.
+  Status submit_script(const ControlScript& script);
+  Status submit_command(Command command);
+
+  /// Drain the signal queue; returns the number of signals processed.
+  /// Errors are counted and published as "controller.error" events, not
+  /// thrown — one bad command must not wedge the queue.
+  std::size_t process_pending();
+
+  /// Synchronous single-command path (classification + execution).
+  Result<model::Value> execute_command(const Command& command);
+
+  [[nodiscard]] const ControllerStats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] std::size_t queued() const noexcept { return queue_.size(); }
+
+ private:
+  enum class Case { kCase1, kCase2 };
+
+  Result<Case> classify(const Command& command) const;
+  [[nodiscard]] SelectionStrategy selection_strategy() const;
+  Result<model::Value> execute_case1(const Command& command);
+  Result<model::Value> execute_case2(const Command& command);
+
+  broker::BrokerApi* broker_;
+  runtime::EventBus* bus_;
+  policy::ContextStore* context_;
+  DscRegistry dscs_;
+  ProcedureRepository repository_;
+  IntentModelGenerator generator_;
+  ExecutionEngine engine_;
+  policy::PolicySet classification_policies_;
+  policy::PolicySet selection_policies_;
+  std::map<std::string, ControllerAction, std::less<>> actions_;
+  std::map<std::string, std::vector<std::string>, std::less<>> bindings_;
+  std::map<std::string, std::string, std::less<>> command_dsc_;
+  std::deque<Signal> queue_;
+  std::vector<std::uint64_t> subscriptions_;
+  ControllerStats stats_;
+};
+
+}  // namespace mdsm::controller

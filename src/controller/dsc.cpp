@@ -1,0 +1,47 @@
+#include "controller/dsc.hpp"
+
+#include "common/strings.hpp"
+
+namespace mdsm::controller {
+
+std::string_view to_string(DscKind kind) noexcept {
+  switch (kind) {
+    case DscKind::kOperation: return "operation";
+    case DscKind::kData: return "data";
+  }
+  return "?";
+}
+
+Status DscRegistry::add(Dsc dsc) {
+  if (!is_identifier(dsc.name)) {
+    return InvalidArgument("'" + dsc.name + "' is not a valid DSC name");
+  }
+  auto [it, inserted] = dscs_.emplace(dsc.name, std::move(dsc));
+  if (!inserted) {
+    return AlreadyExists("DSC '" + it->first + "' already registered");
+  }
+  return Status::Ok();
+}
+
+const Dsc* DscRegistry::find(std::string_view name) const noexcept {
+  auto it = dscs_.find(name);
+  return it == dscs_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> DscRegistry::in_category(
+    std::string_view category) const {
+  std::vector<std::string> out;
+  for (const auto& [name, dsc] : dscs_) {
+    if (dsc.category == category) out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<std::string> DscRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(dscs_.size());
+  for (const auto& [name, dsc] : dscs_) out.push_back(name);
+  return out;
+}
+
+}  // namespace mdsm::controller

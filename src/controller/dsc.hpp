@@ -1,0 +1,51 @@
+// Domain-Specific Classifiers (paper §V-B): "DSCs categorize operations
+// and data based on the business rules of a domain ... Once generated,
+// the DSCs serve as a mechanism to describe interfaces with implicit
+// domain-specific constraints."
+//
+// A DSC names an abstract operation (kOperation) or a datum (kData); the
+// registry is the domain's classifier vocabulary, shared by procedures
+// (which are classified by exactly one DSC) and by the intent-model
+// generator (which matches dependencies to classifiers).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace mdsm::controller {
+
+enum class DscKind { kOperation, kData };
+
+std::string_view to_string(DscKind kind) noexcept;
+
+struct Dsc {
+  std::string name;
+  DscKind kind = DscKind::kOperation;
+  std::string category;     ///< coarse goal grouping, e.g. "media-control"
+  std::string description;
+};
+
+class DscRegistry {
+ public:
+  Status add(Dsc dsc);
+  [[nodiscard]] const Dsc* find(std::string_view name) const noexcept;
+  [[nodiscard]] bool contains(std::string_view name) const noexcept {
+    return find(name) != nullptr;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return dscs_.size(); }
+
+  /// All classifier names in a category, sorted.
+  [[nodiscard]] std::vector<std::string> in_category(
+      std::string_view category) const;
+
+  /// All names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, Dsc, std::less<>> dscs_;
+};
+
+}  // namespace mdsm::controller

@@ -1,0 +1,208 @@
+#include "controller/execution_engine.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "common/strings.hpp"
+
+namespace mdsm::controller {
+
+ExecutionEngine::ExecutionEngine(broker::BrokerApi& broker,
+                                 runtime::EventBus& bus,
+                                 policy::ContextStore& context,
+                                 EngineConfig config)
+    : broker_(&broker), bus_(&bus), context_(&context), config_(config) {}
+
+model::Value ExecutionEngine::resolve(const model::Value& value,
+                                      const broker::Args& command_args) const {
+  if (value.is_list()) {
+    // Templates may be nested inside structured payloads (e.g. the
+    // smart-space wire encoding); resolve element-wise.
+    model::ValueList resolved;
+    resolved.reserve(value.as_list().size());
+    for (const model::Value& item : value.as_list()) {
+      resolved.push_back(resolve(item, command_args));
+    }
+    return model::Value(std::move(resolved));
+  }
+  if (!value.is_string()) return value;
+  const std::string& text = value.as_string();
+  if (starts_with(text, "$ctx:")) return context_->get(text.substr(5));
+  if (starts_with(text, "$mem:")) return memory(text.substr(5));
+  if (starts_with(text, "$$")) return model::Value(text.substr(1));
+  if (starts_with(text, "$")) {
+    auto it = command_args.find(text.substr(1));
+    return it == command_args.end() ? model::Value{} : it->second;
+  }
+  return value;
+}
+
+broker::Args ExecutionEngine::resolve_all(
+    const broker::Args& args, const broker::Args& command_args) const {
+  broker::Args out;
+  for (const auto& [key, value] : args) {
+    out[key] = resolve(value, command_args);
+  }
+  return out;
+}
+
+model::Value ExecutionEngine::memory(std::string_view key) const {
+  auto it = memory_.find(key);
+  return it == memory_.end() ? model::Value{} : it->second;
+}
+
+void ExecutionEngine::set_memory(const std::string& key, model::Value value) {
+  memory_[key] = std::move(value);
+}
+
+Result<model::Value> ExecutionEngine::execute(
+    const IntentModel& intent_model, const broker::Args& command_args) {
+  if (intent_model.root == nullptr) {
+    return InvalidArgument("intent model has no root procedure");
+  }
+  Frame initial{};
+  initial.node = intent_model.root.get();
+  initial.flat = nullptr;
+  return run(initial, command_args);
+}
+
+Result<model::Value> ExecutionEngine::execute_flat(
+    const std::vector<Instruction>& body, const broker::Args& command_args) {
+  Frame initial{};
+  initial.node = nullptr;
+  initial.flat = &body;
+  return run(initial, command_args);
+}
+
+Result<model::Value> ExecutionEngine::run(Frame initial,
+                                          const broker::Args& command_args) {
+  ++stats_.executions;
+  std::vector<Frame> stack;
+  stack.push_back(initial);
+  model::Value result;
+  std::size_t steps = 0;
+  while (!stack.empty()) {
+    stats_.max_stack_depth = std::max(stats_.max_stack_depth, stack.size());
+    Frame& frame = stack.back();
+    // Fetch the next instruction of the top frame; an exhausted frame
+    // "signals that it has completed its operation" and is popped.
+    const Instruction* instruction = nullptr;
+    if (frame.flat != nullptr) {
+      if (frame.pc >= frame.flat->size()) {
+        stack.pop_back();
+        continue;
+      }
+      instruction = &(*frame.flat)[frame.pc++];
+    } else {
+      const auto& units = frame.node->procedure->units;
+      while (frame.unit < units.size() &&
+             frame.pc >= units[frame.unit].size()) {
+        ++frame.unit;
+        frame.pc = 0;
+      }
+      if (frame.unit >= units.size()) {
+        stack.pop_back();
+        continue;
+      }
+      instruction = &units[frame.unit][frame.pc++];
+    }
+    if (++steps > config_.max_steps) {
+      return ExecutionError("execution exceeded " +
+                            std::to_string(config_.max_steps) + " steps");
+    }
+    ++stats_.instructions;
+    switch (instruction->op) {
+      case OpCode::kNoop:
+        break;
+      case OpCode::kGuard: {
+        Result<bool> holds = instruction->guard.evaluate_bool(*context_);
+        if (!holds.ok()) return holds.status();
+        if (!*holds) {
+          return ExecutionError("EU guard '" + instruction->guard.text() +
+                                "' failed");
+        }
+        break;
+      }
+      case OpCode::kBrokerCall: {
+        ++stats_.broker_calls;
+        broker::Call call;
+        call.name = instruction->a;
+        call.args = resolve_all(instruction->args, command_args);
+        Result<model::Value> value = broker_->call(call);
+        if (!value.ok()) return value.status();
+        result = value.value();
+        memory_["last.result"] = std::move(value.value());
+        break;
+      }
+      case OpCode::kCallDep: {
+        if (frame.node == nullptr) {
+          return ExecutionError(
+              "call-dep is illegal in a predefined action (no matched "
+              "dependencies)");
+        }
+        const Procedure& procedure = *frame.node->procedure;
+        auto it = std::find(procedure.dependencies.begin(),
+                            procedure.dependencies.end(), instruction->a);
+        if (it == procedure.dependencies.end()) {
+          return ExecutionError("procedure '" + procedure.name +
+                                "' calls undeclared dependency '" +
+                                instruction->a + "'");
+        }
+        std::size_t index = static_cast<std::size_t>(
+            std::distance(procedure.dependencies.begin(), it));
+        if (index >= frame.node->children.size()) {
+          return Internal("IM missing matched child " +
+                          std::to_string(index));
+        }
+        if (stack.size() >= config_.max_stack_depth) {
+          return ExecutionError("procedure stack overflow");
+        }
+        ++stats_.procedure_pushes;
+        Frame child{};
+        child.node = frame.node->children[index].get();
+        stack.push_back(child);  // invalidates `frame`; loop re-reads top
+        break;
+      }
+      case OpCode::kSetMem: {
+        broker::Args resolved = resolve_all(instruction->args, command_args);
+        memory_[instruction->a] = resolved["value"];
+        break;
+      }
+      case OpCode::kEraseMem:
+        memory_.erase(instruction->a);
+        break;
+      case OpCode::kEmit: {
+        broker::Args resolved = resolve_all(instruction->args, command_args);
+        bus_->publish(instruction->a, "controller", resolved["payload"]);
+        break;
+      }
+      case OpCode::kSend: {
+        if (sender_ == nullptr) {
+          return ExecutionError(
+              "send instruction but no message sender installed");
+        }
+        broker::Args resolved = resolve_all(instruction->args, command_args);
+        model::Value destination = resolve(model::Value(instruction->a),
+                                           command_args);
+        std::string to = destination.is_string() ? destination.as_string()
+                                                 : instruction->a;
+        Status sent = sender_(to, instruction->b, resolved["payload"]);
+        if (!sent.ok()) return sent;
+        break;
+      }
+      case OpCode::kSetContext: {
+        broker::Args resolved = resolve_all(instruction->args, command_args);
+        context_->set(instruction->a, resolved["value"]);
+        break;
+      }
+      case OpCode::kResult: {
+        broker::Args resolved = resolve_all(instruction->args, command_args);
+        result = resolved["value"];
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mdsm::controller

@@ -1,0 +1,97 @@
+// The Controller's execution engine (paper §V-B): "a stack machine that
+// operates by executing the EUs of the procedure currently on top of the
+// stack ... a procedure X, through its EUs, can call procedures that were
+// matched to its declared dependencies, which results in the called
+// procedure being pushed onto the stack, or it can signal that it has
+// completed its operation, resulting in the procedure being popped from
+// the stack."
+//
+// The engine is domain-independent: all domain knowledge lives in the
+// DSCs/procedures it executes. Its instruction set covers the paper's
+// "memory management, event handling, message passing and remote calls"
+// plus kBrokerCall, the downward API into the Broker layer.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "broker/broker_api.hpp"
+#include "controller/intent_model.hpp"
+#include "controller/procedure.hpp"
+#include "policy/context.hpp"
+#include "runtime/event_bus.hpp"
+
+namespace mdsm::controller {
+
+struct EngineStats {
+  std::uint64_t instructions = 0;
+  std::uint64_t broker_calls = 0;
+  std::uint64_t procedure_pushes = 0;
+  std::size_t max_stack_depth = 0;
+  std::uint64_t executions = 0;
+};
+
+struct EngineConfig {
+  std::size_t max_steps = 1'000'000;   ///< runaway-EU backstop
+  std::size_t max_stack_depth = 256;
+};
+
+class ExecutionEngine {
+ public:
+  /// `sender` is the platform's message-passing hook (kSend); null means
+  /// kSend is an execution error — split deployments install one wired
+  /// to their network endpoint.
+  using Sender = std::function<Status(const std::string& destination,
+                                      const std::string& topic,
+                                      model::Value payload)>;
+
+  ExecutionEngine(broker::BrokerApi& broker, runtime::EventBus& bus,
+                  policy::ContextStore& context, EngineConfig config = {});
+
+  void set_sender(Sender sender) { sender_ = std::move(sender); }
+
+  /// Case 2: execute a generated intent model. Dependencies are resolved
+  /// through the IM's matched children, never looked up dynamically.
+  Result<model::Value> execute(const IntentModel& intent_model,
+                               const broker::Args& command_args);
+
+  /// Case 1: execute a flat instruction sequence (a predefined action).
+  /// kCallDep is illegal here (actions have no matched dependencies).
+  Result<model::Value> execute_flat(const std::vector<Instruction>& body,
+                                    const broker::Args& command_args);
+
+  /// Engine memory ("memory management" ops). Shared across executions —
+  /// procedures use it to pass data between calls, tests inspect it.
+  [[nodiscard]] model::Value memory(std::string_view key) const;
+  void set_memory(const std::string& key, model::Value value);
+  void clear_memory() { memory_.clear(); }
+
+  [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  struct Frame {
+    const IntentModelNode* node;  ///< null for flat (Case 1) execution
+    const std::vector<Instruction>* flat;  ///< non-null for Case 1
+    std::size_t unit = 0;
+    std::size_t pc = 0;
+  };
+
+  Result<model::Value> run(Frame initial, const broker::Args& command_args);
+
+  model::Value resolve(const model::Value& value,
+                       const broker::Args& command_args) const;
+  broker::Args resolve_all(const broker::Args& args,
+                           const broker::Args& command_args) const;
+
+  broker::BrokerApi* broker_;
+  runtime::EventBus* bus_;
+  policy::ContextStore* context_;
+  Sender sender_;
+  EngineConfig config_;
+  std::map<std::string, model::Value, std::less<>> memory_;
+  EngineStats stats_;
+};
+
+}  // namespace mdsm::controller

@@ -1,0 +1,173 @@
+#include "controller/procedure.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mdsm::controller {
+
+std::string_view to_string(OpCode op) noexcept {
+  switch (op) {
+    case OpCode::kBrokerCall: return "broker-call";
+    case OpCode::kCallDep: return "call-dep";
+    case OpCode::kSetMem: return "set-mem";
+    case OpCode::kEraseMem: return "erase-mem";
+    case OpCode::kEmit: return "emit";
+    case OpCode::kSend: return "send";
+    case OpCode::kGuard: return "guard";
+    case OpCode::kSetContext: return "set-context";
+    case OpCode::kResult: return "result";
+    case OpCode::kNoop: return "noop";
+  }
+  return "?";
+}
+
+Status ProcedureRepository::add(Procedure procedure) {
+  if (procedure.name.empty() || procedure.classifier.empty()) {
+    return InvalidArgument("procedure needs a name and a classifier");
+  }
+  // Paper constraint: a procedure must not depend on its own classifier
+  // (the generator also guards against indirect cycles).
+  for (const std::string& dependency : procedure.dependencies) {
+    if (dependency == procedure.classifier) {
+      return InvalidArgument("procedure '" + procedure.name +
+                             "' depends on its own classifier '" +
+                             dependency + "'");
+    }
+  }
+  const std::string name = procedure.name;
+  const std::string classifier = procedure.classifier;
+  auto [it, inserted] = procedures_.emplace(name, std::move(procedure));
+  if (!inserted) {
+    return AlreadyExists("procedure '" + name + "' already in repository");
+  }
+  order_.push_back(name);
+  by_classifier_[classifier].push_back(name);
+  ++version_;
+  return Status::Ok();
+}
+
+Status ProcedureRepository::remove(const std::string& name) {
+  auto it = procedures_.find(name);
+  if (it == procedures_.end()) {
+    return NotFound("procedure '" + name + "' not in repository");
+  }
+  auto& bucket = by_classifier_[it->second.classifier];
+  bucket.erase(std::remove(bucket.begin(), bucket.end(), name), bucket.end());
+  procedures_.erase(it);
+  order_.erase(std::remove(order_.begin(), order_.end(), name), order_.end());
+  ++version_;
+  return Status::Ok();
+}
+
+const Procedure* ProcedureRepository::find(std::string_view name) const noexcept {
+  auto it = procedures_.find(name);
+  return it == procedures_.end() ? nullptr : &it->second;
+}
+
+std::vector<const Procedure*> ProcedureRepository::classified_by(
+    std::string_view dsc) const {
+  std::vector<const Procedure*> out;
+  auto it = by_classifier_.find(dsc);
+  if (it == by_classifier_.end()) return out;
+  out.reserve(it->second.size());
+  for (const std::string& name : it->second) {
+    out.push_back(&procedures_.at(name));
+  }
+  return out;
+}
+
+void ProcedureRepository::clear() {
+  procedures_.clear();
+  order_.clear();
+  by_classifier_.clear();
+  ++version_;
+}
+
+namespace {
+policy::Expression parse_or_throw(std::string_view condition) {
+  auto parsed = policy::Expression::parse(condition);
+  if (!parsed.ok()) {
+    throw std::invalid_argument("bad guard expression: " +
+                                parsed.status().to_string());
+  }
+  return std::move(parsed.value());
+}
+}  // namespace
+
+Instruction broker_call(std::string operation, broker::Args args) {
+  Instruction i;
+  i.op = OpCode::kBrokerCall;
+  i.a = std::move(operation);
+  i.args = std::move(args);
+  return i;
+}
+
+Instruction call_dep(std::string dsc) {
+  Instruction i;
+  i.op = OpCode::kCallDep;
+  i.a = std::move(dsc);
+  return i;
+}
+
+Instruction set_mem(std::string key, model::Value value) {
+  Instruction i;
+  i.op = OpCode::kSetMem;
+  i.a = std::move(key);
+  i.args["value"] = std::move(value);
+  return i;
+}
+
+Instruction erase_mem(std::string key) {
+  Instruction i;
+  i.op = OpCode::kEraseMem;
+  i.a = std::move(key);
+  return i;
+}
+
+Instruction emit(std::string topic, model::Value payload) {
+  Instruction i;
+  i.op = OpCode::kEmit;
+  i.a = std::move(topic);
+  i.args["payload"] = std::move(payload);
+  return i;
+}
+
+Instruction send(std::string destination, std::string topic,
+                 model::Value payload) {
+  Instruction i;
+  i.op = OpCode::kSend;
+  i.a = std::move(destination);
+  i.b = std::move(topic);
+  i.args["payload"] = std::move(payload);
+  return i;
+}
+
+Instruction guard(std::string_view condition) {
+  Instruction i;
+  i.op = OpCode::kGuard;
+  i.guard = parse_or_throw(condition);
+  return i;
+}
+
+Instruction set_context(std::string key, model::Value value) {
+  Instruction i;
+  i.op = OpCode::kSetContext;
+  i.a = std::move(key);
+  i.args["value"] = std::move(value);
+  return i;
+}
+
+Instruction result(model::Value value) {
+  Instruction i;
+  i.op = OpCode::kResult;
+  i.args["value"] = std::move(value);
+  return i;
+}
+
+Instruction noop() {
+  Instruction i;
+  i.op = OpCode::kNoop;
+  return i;
+}
+
+}  // namespace mdsm::controller

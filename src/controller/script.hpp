@@ -1,0 +1,31 @@
+// Control scripts: the currency between the Synthesis layer (producer)
+// and the Controller layer (consumer). A script is an ordered sequence of
+// commands conveying "the intent of the user's model in a procedural
+// way" (paper §VI).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "broker/broker_types.hpp"
+
+namespace mdsm::controller {
+
+/// One procedural command, e.g. {name:"session.open", args:{id:"s1"}}.
+struct Command {
+  std::string name;
+  broker::Args args;
+
+  [[nodiscard]] std::string to_text() const {
+    return broker::format_invocation(name, args);
+  }
+};
+
+struct ControlScript {
+  std::string id;  ///< trace id, usually derived from the model change set
+  std::vector<Command> commands;
+
+  [[nodiscard]] bool empty() const noexcept { return commands.empty(); }
+};
+
+}  // namespace mdsm::controller

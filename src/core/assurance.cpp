@@ -1,0 +1,386 @@
+#include "core/assurance.hpp"
+
+#include <map>
+#include <set>
+
+#include "core/middleware_metamodel.hpp"
+
+namespace mdsm::core {
+
+std::string_view to_string(FindingSeverity severity) noexcept {
+  switch (severity) {
+    case FindingSeverity::kError: return "error";
+    case FindingSeverity::kWarning: return "warning";
+  }
+  return "?";
+}
+
+std::string Finding::to_text() const {
+  return std::string(to_string(severity)) + " [" + layer + "] " + subject +
+         ": " + message;
+}
+
+std::size_t AssuranceReport::error_count() const noexcept {
+  std::size_t count = 0;
+  for (const Finding& finding : findings) {
+    if (finding.severity == FindingSeverity::kError) ++count;
+  }
+  return count;
+}
+
+std::size_t AssuranceReport::warning_count() const noexcept {
+  return findings.size() - error_count();
+}
+
+std::string AssuranceReport::to_text() const {
+  std::string out = std::to_string(error_count()) + " error(s), " +
+                    std::to_string(warning_count()) + " warning(s)";
+  for (const Finding& finding : findings) {
+    out += "\n  " + finding.to_text();
+  }
+  return out;
+}
+
+namespace {
+
+class Checker {
+ public:
+  Checker(const model::Model& mw, const model::MetamodelPtr& dsml)
+      : mw_(&mw), dsml_(dsml) {}
+
+  Result<AssuranceReport> run() {
+    auto roots = mw_->objects_of("MiddlewarePlatform");
+    if (roots.size() != 1) {
+      return InvalidArgument(
+          "middleware model must contain exactly one MiddlewarePlatform");
+    }
+    root_ = roots[0];
+    check_ui();
+    collect_broker();
+    collect_controller();
+    check_controller();
+    check_broker_internal();
+    check_synthesis();
+    return std::move(report_);
+  }
+
+ private:
+  void add(FindingSeverity severity, std::string layer, std::string subject,
+           std::string message) {
+    report_.findings.push_back(
+        {severity, std::move(layer), std::move(subject), std::move(message)});
+  }
+
+  [[nodiscard]] const model::ModelObject* single_child(
+      std::string_view reference) const {
+    auto children = mw_->children(root_->id(), reference);
+    return children.size() == 1 ? children[0] : nullptr;
+  }
+
+  void check_ui() {
+    const model::ModelObject* ui = single_child("ui");
+    if (ui == nullptr) {
+      add(FindingSeverity::kWarning, "ui", root_->id(),
+          "no UI layer spec; platform can only be driven programmatically");
+      return;
+    }
+    if (ui->get_string("dsml") != dsml_->name()) {
+      add(FindingSeverity::kError, "ui", ui->id(),
+          "declares DSML '" + ui->get_string("dsml") +
+              "' but the platform is checked against '" + dsml_->name() +
+              "'");
+    }
+  }
+
+  // ---- broker: collect handler signals, actions, resources -------------
+  void collect_broker() {
+    broker_spec_ = single_child("broker");
+    if (broker_spec_ == nullptr) return;
+    for (const auto* handler : mw_->children(broker_spec_->id(), "handlers")) {
+      broker_signals_.insert(handler->get_string("signal"));
+    }
+    for (const auto* action : mw_->children(broker_spec_->id(), "actions")) {
+      broker_actions_.insert(action->get_string("name"));
+    }
+    for (const auto* resource :
+         mw_->children(broker_spec_->id(), "resources")) {
+      declared_resources_.insert(resource->get_string("name"));
+    }
+  }
+
+  // ---- controller: collect executable commands + outgoing broker calls -
+  void collect_controller() {
+    controller_spec_ = single_child("controller");
+    if (controller_spec_ == nullptr) return;
+    for (const auto* dsc : mw_->children(controller_spec_->id(), "dscs")) {
+      dscs_.insert(dsc->get_string("name"));
+      executable_commands_.insert(dsc->get_string("name"));
+    }
+    for (const auto* binding :
+         mw_->children(controller_spec_->id(), "bindings")) {
+      executable_commands_.insert(binding->get_string("command"));
+    }
+    for (const auto* mapping :
+         mw_->children(controller_spec_->id(), "mappings")) {
+      executable_commands_.insert(mapping->get_string("command"));
+    }
+  }
+
+  void collect_steps_broker_calls(const model::ModelObject& owner,
+                                  const std::string& reference,
+                                  std::vector<std::pair<std::string,
+                                                        std::string>>& out) {
+    for (const auto* step : mw_->children(owner.id(), reference)) {
+      if (step->get_string("op") == "broker-call") {
+        out.push_back({step->id(), step->get_string("a")});
+      }
+    }
+  }
+
+  void check_controller() {
+    if (controller_spec_ == nullptr) {
+      add(FindingSeverity::kError, "controller", root_->id(),
+          "no controller layer spec");
+      return;
+    }
+    std::map<std::string, int> providers;  // dsc -> #procedures
+    std::multimap<std::string, std::string> dependency_edges;
+    for (const auto* procedure :
+         mw_->children(controller_spec_->id(), "procedures")) {
+      const std::string classifier = procedure->get_string("classifier");
+      if (!dscs_.contains(classifier)) {
+        add(FindingSeverity::kError, "controller", procedure->id(),
+            "classified by undeclared DSC '" + classifier + "'");
+      } else {
+        ++providers[classifier];
+      }
+      const model::Value& deps = procedure->get("dependencies");
+      if (deps.is_list()) {
+        for (const model::Value& dep : deps.as_list()) {
+          if (!dep.is_string()) continue;
+          if (!dscs_.contains(dep.as_string())) {
+            add(FindingSeverity::kError, "controller", procedure->id(),
+                "depends on undeclared DSC '" + dep.as_string() + "'");
+          } else {
+            dependency_edges.insert({classifier, dep.as_string()});
+            required_dscs_.insert(dep.as_string());
+          }
+        }
+      }
+    }
+    for (const auto* mapping :
+         mw_->children(controller_spec_->id(), "mappings")) {
+      const std::string dsc = mapping->get_string("dsc");
+      if (!dscs_.contains(dsc)) {
+        add(FindingSeverity::kError, "controller", mapping->id(),
+            "maps command '" + mapping->get_string("command") +
+                "' to undeclared DSC '" + dsc + "'");
+      } else {
+        required_dscs_.insert(dsc);
+      }
+    }
+    // Every DSC that must be realized needs at least one provider.
+    for (const std::string& dsc : required_dscs_) {
+      if (providers[dsc] == 0) {
+        add(FindingSeverity::kError, "controller", dsc,
+            "DSC is required (as a mapping target or dependency) but no "
+            "procedure is classified by it");
+      }
+    }
+    // Classifier-level dependency cycles: fatal only if unavoidable, so
+    // reported as warnings (the generator skips cyclic configurations).
+    for (const auto& [from, to] : dependency_edges) {
+      std::set<std::string> seen{from};
+      std::vector<std::string> frontier{to};
+      while (!frontier.empty()) {
+        std::string current = frontier.back();
+        frontier.pop_back();
+        if (current == from) {
+          add(FindingSeverity::kWarning, "controller", from,
+              "classifier dependency cycle through '" + to + "'");
+          break;
+        }
+        if (!seen.insert(current).second) continue;
+        auto [lo, hi] = dependency_edges.equal_range(current);
+        for (auto it = lo; it != hi; ++it) frontier.push_back(it->second);
+      }
+    }
+    // Every broker-call the controller can issue must have a handler.
+    std::vector<std::pair<std::string, std::string>> calls;
+    for (const auto* action :
+         mw_->children(controller_spec_->id(), "actions")) {
+      collect_steps_broker_calls(*action, "steps", calls);
+    }
+    for (const auto* procedure :
+         mw_->children(controller_spec_->id(), "procedures")) {
+      for (const auto* unit : mw_->children(procedure->id(), "units")) {
+        collect_steps_broker_calls(*unit, "steps", calls);
+      }
+    }
+    for (const auto& [step_id, target] : calls) {
+      if (!broker_signals_.contains(target)) {
+        add(FindingSeverity::kError, "controller", step_id,
+            "broker-call targets signal '" + target +
+                "' which no broker handler serves");
+      }
+    }
+    // Unbound controller actions are dead specs.
+    std::set<std::string> bound;
+    for (const auto* binding :
+         mw_->children(controller_spec_->id(), "bindings")) {
+      for (const std::string& target : binding->targets("actions")) {
+        if (const auto* action = mw_->find(target)) {
+          bound.insert(action->get_string("name"));
+        }
+      }
+    }
+    for (const auto* action :
+         mw_->children(controller_spec_->id(), "actions")) {
+      if (!bound.contains(action->get_string("name"))) {
+        add(FindingSeverity::kWarning, "controller", action->id(),
+            "action '" + action->get_string("name") +
+                "' is not bound to any command");
+      }
+    }
+  }
+
+  void check_broker_internal() {
+    if (broker_spec_ == nullptr) {
+      add(FindingSeverity::kError, "broker", root_->id(),
+          "no broker layer spec");
+      return;
+    }
+    // Invokes must address declared resources (when any are declared).
+    auto check_invokes = [this](const model::ModelObject& owner) {
+      for (const auto* step : mw_->children(owner.id(), "steps")) {
+        if (step->get_string("op") != "invoke") continue;
+        const std::string resource = step->get_string("a");
+        if (!declared_resources_.empty() &&
+            !declared_resources_.contains(resource)) {
+          add(FindingSeverity::kWarning, "broker", step->id(),
+              "invokes resource '" + resource +
+                  "' which is not declared in the resources list");
+        }
+      }
+    };
+    std::set<std::string> handled_actions;
+    for (const auto* handler : mw_->children(broker_spec_->id(), "handlers")) {
+      for (const std::string& target : handler->targets("actions")) {
+        if (const auto* action = mw_->find(target)) {
+          handled_actions.insert(action->get_string("name"));
+        }
+      }
+    }
+    for (const auto* action : mw_->children(broker_spec_->id(), "actions")) {
+      check_invokes(*action);
+      if (!handled_actions.contains(action->get_string("name"))) {
+        add(FindingSeverity::kWarning, "broker", action->id(),
+            "action '" + action->get_string("name") +
+                "' is not reachable from any handler");
+      }
+    }
+    // Symptoms need a plan for their request; plans without a symptom
+    // can still be raised manually (warning only).
+    std::set<std::string> requested;
+    std::set<std::string> handled;
+    for (const auto* symptom : mw_->children(broker_spec_->id(), "symptoms")) {
+      requested.insert(symptom->get_string("request"));
+    }
+    for (const auto* plan : mw_->children(broker_spec_->id(), "plans")) {
+      handled.insert(plan->get_string("request"));
+      check_invokes(*plan);
+    }
+    for (const std::string& request : requested) {
+      if (!handled.contains(request)) {
+        add(FindingSeverity::kError, "broker", request,
+            "symptom raises change request '" + request +
+                "' but no change plan handles it");
+      }
+    }
+  }
+
+  void check_synthesis() {
+    const model::ModelObject* synthesis = single_child("synthesis");
+    if (synthesis == nullptr) return;  // LTS may be supplied in code
+    std::set<std::string> reachable{
+        synthesis->get_string("initial_state", "initial")};
+    for (const auto* transition :
+         mw_->children(synthesis->id(), "transitions")) {
+      reachable.insert(transition->get_string("to"));
+    }
+    for (const auto* transition :
+         mw_->children(synthesis->id(), "transitions")) {
+      // Trigger classes/features must exist in the DSML.
+      const std::string class_name = transition->get_string("class");
+      const model::MetaClass* cls = nullptr;
+      if (!class_name.empty()) {
+        cls = dsml_->find_class(class_name);
+        if (cls == nullptr) {
+          add(FindingSeverity::kError, "synthesis", transition->id(),
+              "trigger class '" + class_name + "' is not in DSML '" +
+                  dsml_->name() + "'");
+        }
+      }
+      const std::string feature = transition->get_string("feature");
+      if (cls != nullptr && !feature.empty()) {
+        const std::string kind = transition->get_string("kind");
+        bool known = kind == "set-attribute"
+                         ? cls->find_attribute(feature) != nullptr
+                         : cls->find_reference(feature) != nullptr;
+        if (!known) {
+          add(FindingSeverity::kError, "synthesis", transition->id(),
+              "class '" + class_name + "' has no feature '" + feature +
+                  "' matching the trigger kind");
+        }
+      }
+      // Unreachable source states are dead transitions.
+      if (!reachable.contains(transition->get_string("from"))) {
+        add(FindingSeverity::kWarning, "synthesis", transition->id(),
+            "source state '" + transition->get_string("from") +
+                "' is unreachable");
+      }
+      // Every emitted command must be executable by the controller.
+      for (const auto* command :
+           mw_->children(transition->id(), "commands")) {
+        const std::string name = command->get_string("name");
+        if (!executable_commands_.contains(name)) {
+          add(FindingSeverity::kError, "synthesis", command->id(),
+              "emits command '" + name +
+                  "' which the controller can execute neither as a bound "
+                  "action nor via a DSC");
+        }
+      }
+    }
+  }
+
+  const model::Model* mw_;
+  model::MetamodelPtr dsml_;
+  const model::ModelObject* root_ = nullptr;
+  const model::ModelObject* broker_spec_ = nullptr;
+  const model::ModelObject* controller_spec_ = nullptr;
+  std::set<std::string> broker_signals_;
+  std::set<std::string> broker_actions_;
+  std::set<std::string> declared_resources_;
+  std::set<std::string> dscs_;
+  std::set<std::string> required_dscs_;
+  std::set<std::string> executable_commands_;
+  AssuranceReport report_;
+};
+
+}  // namespace
+
+Result<AssuranceReport> check_platform_model(
+    const model::Model& middleware_model, const model::MetamodelPtr& dsml) {
+  if (middleware_model.metamodel_ptr() != middleware_metamodel()) {
+    return InvalidArgument(
+        "assurance checking requires a model of the middleware metamodel");
+  }
+  if (dsml == nullptr || !dsml->finalized()) {
+    return InvalidArgument("assurance checking requires a finalized DSML");
+  }
+  MDSM_RETURN_IF_ERROR(middleware_model.validate());
+  Checker checker(middleware_model, dsml);
+  return checker.run();
+}
+
+}  // namespace mdsm::core

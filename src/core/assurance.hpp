@@ -1,0 +1,56 @@
+// Cross-layer assurance checking — the paper's first stated research
+// challenge (§IX): "the need ... to provide assurance about the
+// appropriate matching between such requirements and the structure and
+// functionality described in the respective domain-specific middleware
+// model. Related to that, an approach is also needed to systematically
+// ensure that the generated MD-DSM adequately supports the
+// application-level DSML."
+//
+// check_platform_model() statically analyses a middleware model against
+// its DSML *before* assembly and reports every cross-layer mismatch:
+//
+//   synthesis → DSML       triggers reference unknown classes/features
+//   synthesis → controller LTS emits commands nothing will execute
+//   controller → broker    broker-calls no broker handler serves
+//   controller (internal)  dangling DSC references, unsatisfiable
+//                          dependencies, classifier dependency cycles
+//   broker (internal)      invokes on undeclared resources, handlers and
+//                          plans that are dead letters
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/model.hpp"
+
+namespace mdsm::core {
+
+enum class FindingSeverity { kError, kWarning };
+
+std::string_view to_string(FindingSeverity severity) noexcept;
+
+struct Finding {
+  FindingSeverity severity{};
+  std::string layer;    ///< "synthesis" | "controller" | "broker" | "ui"
+  std::string subject;  ///< offending spec object id
+  std::string message;
+
+  [[nodiscard]] std::string to_text() const;
+};
+
+struct AssuranceReport {
+  std::vector<Finding> findings;
+
+  [[nodiscard]] bool ok() const noexcept { return error_count() == 0; }
+  [[nodiscard]] std::size_t error_count() const noexcept;
+  [[nodiscard]] std::size_t warning_count() const noexcept;
+  [[nodiscard]] std::string to_text() const;
+};
+
+/// Statically check a middleware model (conforming to
+/// core::middleware_metamodel()) against the application DSML it claims
+/// to support. Purely analytical: nothing is instantiated.
+Result<AssuranceReport> check_platform_model(
+    const model::Model& middleware_model, const model::MetamodelPtr& dsml);
+
+}  // namespace mdsm::core

@@ -1,0 +1,39 @@
+// The common middleware metamodel (paper Figs. 5 and 6): the
+// domain-independent building blocks from which middleware models are
+// created. A middleware model instantiated from this metamodel fully
+// describes one platform configuration: the Broker layer's actions,
+// handlers, policies and autonomic rules; the Controller layer's DSCs,
+// procedures, predefined actions, bindings and policies; the Synthesis
+// layer's labeled transition system; and the UI layer's DSML binding.
+//
+// Structure (containment tree):
+//
+//   MiddlewarePlatform
+//   ├─ broker     : BrokerLayerSpec
+//   │   ├─ actions   : ActionSpec*      (steps: StepSpec*, args: ArgSpec*)
+//   │   ├─ handlers  : HandlerSpec*     (→ actions)
+//   │   ├─ policies  : PolicySpec*
+//   │   ├─ symptoms  : SymptomSpec*
+//   │   ├─ plans     : ChangePlanSpec*  (steps: StepSpec*)
+//   │   └─ resources : ResourceSpec*    (adapters that must be present)
+//   ├─ controller : ControllerLayerSpec
+//   │   ├─ dscs       : DscSpec*
+//   │   ├─ procedures : ProcedureSpec*  (units: EuSpec*, each with StepSpec*)
+//   │   ├─ actions    : ActionSpec*
+//   │   ├─ bindings   : BindingSpec*    (→ actions)
+//   │   ├─ mappings   : CommandMappingSpec*
+//   │   └─ policies   : PolicySpec*     (role: classification|selection)
+//   ├─ synthesis  : SynthesisLayerSpec
+//   │   └─ transitions : TransitionSpec* (commands: CommandTemplateSpec*)
+//   └─ ui         : UiLayerSpec (dsml name)
+#pragma once
+
+#include "model/metamodel.hpp"
+
+namespace mdsm::core {
+
+/// The shared, finalized middleware metamodel (process-wide singleton —
+/// metamodels are immutable after finalize()).
+model::MetamodelPtr middleware_metamodel();
+
+}  // namespace mdsm::core

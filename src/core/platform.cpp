@@ -1,0 +1,337 @@
+#include "core/platform.hpp"
+
+#include "common/log.hpp"
+#include "core/spec_decode.hpp"
+
+namespace mdsm::core {
+
+Result<std::unique_ptr<Platform>> Platform::assemble_from_text(
+    std::string_view middleware_model_text, PlatformConfig config) {
+  Result<model::Model> middleware_model =
+      model::parse_model(middleware_model_text, middleware_metamodel());
+  if (!middleware_model.ok()) return middleware_model.status();
+  return assemble(*middleware_model, std::move(config));
+}
+
+Result<std::unique_ptr<Platform>> Platform::assemble(
+    const model::Model& middleware_model, PlatformConfig config) {
+  if (middleware_model.metamodel_ptr() != middleware_metamodel()) {
+    return InvalidArgument(
+        "middleware model must conform to the middleware metamodel");
+  }
+  MDSM_RETURN_IF_ERROR(middleware_model.validate());
+  auto platforms = middleware_model.objects_of("MiddlewarePlatform");
+  if (platforms.size() != 1) {
+    return InvalidArgument("middleware model must contain exactly one "
+                           "MiddlewarePlatform root, found " +
+                           std::to_string(platforms.size()));
+  }
+  const model::ModelObject& root = *platforms[0];
+  if (config.dsml == nullptr) {
+    return InvalidArgument("PlatformConfig.dsml is required");
+  }
+  // UI layer spec: the declared DSML must be the one supplied.
+  auto ui_specs = middleware_model.children(root.id(), "ui");
+  if (ui_specs.size() == 1) {
+    const std::string declared = ui_specs[0]->get_string("dsml");
+    if (declared != config.dsml->name()) {
+      return ConformanceError("middleware model binds DSML '" + declared +
+                              "' but platform was given '" +
+                              config.dsml->name() + "'");
+    }
+  }
+
+  // Core Guidelines C.50: private ctor + factory for multi-stage init.
+  std::unique_ptr<Platform> platform(new Platform());
+  platform->name_ = root.get_string("name");
+  platform->dsml_ = config.dsml;
+
+  // The component factory holds the layer "code templates"; assembly then
+  // instantiates them with the model objects as metadata (paper §V-A).
+  runtime::EventBus& bus = platform->bus_;
+  policy::ContextStore& context = platform->context_;
+  MDSM_RETURN_IF_ERROR(platform->factory_.register_template(
+      "BrokerLayerSpec",
+      [&bus, &context](const model::ModelObject& spec, const model::Model&)
+          -> Result<std::unique_ptr<runtime::Component>> {
+        return Result<std::unique_ptr<runtime::Component>>(
+            std::make_unique<broker::BrokerLayer>(spec.id(), bus, context));
+      }));
+
+  // ---- Broker layer ----------------------------------------------------
+  auto broker_specs = middleware_model.children(root.id(), "broker");
+  if (broker_specs.size() == 1 && broker_specs[0]->get_bool("enabled", true)) {
+    Result<std::unique_ptr<runtime::Component>> component =
+        platform->factory_.instantiate(*broker_specs[0], middleware_model);
+    if (!component.ok()) return component.status();
+    platform->broker_.reset(
+        static_cast<broker::BrokerLayer*>(component.value().release()));
+    MDSM_RETURN_IF_ERROR(
+        platform->load_broker_spec(middleware_model, *broker_specs[0]));
+  } else {
+    return InvalidArgument("middleware model must define an enabled broker "
+                           "layer (suppressing it is only legal in split "
+                           "deployments, which assemble partial platforms "
+                           "programmatically)");
+  }
+
+  // ---- Controller layer ------------------------------------------------
+  auto controller_specs = middleware_model.children(root.id(), "controller");
+  if (controller_specs.size() != 1) {
+    return InvalidArgument("middleware model must define a controller layer");
+  }
+  controller::GeneratorConfig generator_config;
+  std::int64_t model_bound = controller_specs[0]->get_int(
+      "max_configurations", 256);
+  generator_config.max_configurations =
+      config.max_configurations != 0
+          ? config.max_configurations
+          : static_cast<std::size_t>(model_bound);
+  platform->controller_ = std::make_unique<controller::ControllerLayer>(
+      controller_specs[0]->id(), *platform->broker_, bus, context,
+      generator_config);
+  MDSM_RETURN_IF_ERROR(
+      platform->load_controller_spec(middleware_model, *controller_specs[0]));
+
+  // ---- Synthesis layer ---------------------------------------------------
+  auto synthesis_specs = middleware_model.children(root.id(), "synthesis");
+  synthesis::Lts lts;
+  if (synthesis_specs.size() == 1 &&
+      !middleware_model.children(synthesis_specs[0]->id(), "transitions")
+           .empty()) {
+    Result<synthesis::Lts> decoded =
+        decode_lts(middleware_model, *synthesis_specs[0]);
+    if (!decoded.ok()) return decoded.status();
+    lts = std::move(decoded.value());
+  } else if (config.lts_override.has_value()) {
+    lts = std::move(*config.lts_override);
+  } else {
+    return InvalidArgument(
+        "no synthesis semantics: middleware model declares no transitions "
+        "and no LTS override was supplied");
+  }
+  controller::ControllerLayer* controller = platform->controller_.get();
+  platform->synthesis_ = std::make_unique<synthesis::SynthesisEngine>(
+      synthesis_specs.empty() ? "synthesis" : synthesis_specs[0]->id(),
+      config.dsml, std::move(lts), context,
+      [controller](const controller::ControlScript& script) {
+        MDSM_RETURN_IF_ERROR(controller->submit_script(script));
+        controller->process_pending();
+        return Status::Ok();
+      });
+
+  // Controller exceptional conditions flow back to the Synthesis layer
+  // ("handles events from the Controller layer", paper §V-A).
+  synthesis::SynthesisEngine* synthesis = platform->synthesis_.get();
+  platform->error_subscription_ = bus.subscribe(
+      "controller.error", [synthesis](const runtime::Event& event) {
+        synthesis->handle_controller_event(event.topic, event.payload);
+      });
+
+  // models@runtime at the broker layer: the State Manager mirrors the
+  // committed application model so broker-level introspection (and
+  // autonomic rules in future) can consult it.
+  broker::BrokerLayer* broker = platform->broker_.get();
+  platform->synthesis_->set_model_listener(
+      [broker](const model::Model& committed) {
+        broker->state().set_runtime_model(committed.clone());
+      });
+
+  return platform;
+}
+
+Platform::~Platform() {
+  if (error_subscription_ != 0) bus_.unsubscribe(error_subscription_);
+}
+
+Status Platform::load_broker_spec(const model::Model& middleware_model,
+                                  const model::ModelObject& broker_spec) {
+  for (const model::ModelObject* action_spec :
+       middleware_model.children(broker_spec.id(), "actions")) {
+    Result<broker::Action> action =
+        decode_broker_action(middleware_model, *action_spec);
+    if (!action.ok()) return action.status();
+    MDSM_RETURN_IF_ERROR(broker_->register_action(std::move(action.value())));
+  }
+  for (const model::ModelObject* handler_spec :
+       middleware_model.children(broker_spec.id(), "handlers")) {
+    std::vector<std::string> action_names;
+    for (const std::string& target : handler_spec->targets("actions")) {
+      const model::ModelObject* action_spec = middleware_model.find(target);
+      if (action_spec == nullptr) {
+        return ConformanceError("handler '" + handler_spec->id() +
+                                "' references missing action '" + target +
+                                "'");
+      }
+      action_names.push_back(action_spec->get_string("name"));
+    }
+    MDSM_RETURN_IF_ERROR(broker_->bind_handler(
+        handler_spec->get_string("signal"), std::move(action_names)));
+  }
+  for (const model::ModelObject* policy_spec :
+       middleware_model.children(broker_spec.id(), "policies")) {
+    MDSM_RETURN_IF_ERROR(broker_->policies().add(
+        policy_spec->get_string("name"), policy_spec->get_string("condition"),
+        policy_spec->get_string("decision"),
+        static_cast<int>(policy_spec->get_int("priority"))));
+  }
+  for (const model::ModelObject* symptom_spec :
+       middleware_model.children(broker_spec.id(), "symptoms")) {
+    Result<broker::Symptom> symptom = decode_symptom(*symptom_spec);
+    if (!symptom.ok()) return symptom.status();
+    MDSM_RETURN_IF_ERROR(
+        broker_->autonomic().add_symptom(std::move(symptom.value())));
+  }
+  for (const model::ModelObject* plan_spec :
+       middleware_model.children(broker_spec.id(), "plans")) {
+    Result<broker::ChangePlan> plan =
+        decode_change_plan(middleware_model, *plan_spec);
+    if (!plan.ok()) return plan.status();
+    MDSM_RETURN_IF_ERROR(
+        broker_->autonomic().add_plan(std::move(plan.value())));
+  }
+  for (const model::ModelObject* resource_spec :
+       middleware_model.children(broker_spec.id(), "resources")) {
+    if (!resource_spec->get_bool("optional", false)) {
+      required_resources_.push_back(resource_spec->get_string("name"));
+    }
+  }
+  // The broker keeps the application runtime model (models@runtime).
+  broker_->state().set_runtime_model(model::Model("runtime", dsml_));
+  return Status::Ok();
+}
+
+Status Platform::load_controller_spec(
+    const model::Model& middleware_model,
+    const model::ModelObject& controller_spec) {
+  for (const model::ModelObject* dsc_spec :
+       middleware_model.children(controller_spec.id(), "dscs")) {
+    controller::Dsc dsc;
+    dsc.name = dsc_spec->get_string("name");
+    dsc.kind = dsc_spec->get_string("kind", "operation") == "data"
+                   ? controller::DscKind::kData
+                   : controller::DscKind::kOperation;
+    dsc.category = dsc_spec->get_string("category");
+    dsc.description = dsc_spec->get_string("description");
+    MDSM_RETURN_IF_ERROR(controller_->dscs().add(std::move(dsc)));
+  }
+  for (const model::ModelObject* procedure_spec :
+       middleware_model.children(controller_spec.id(), "procedures")) {
+    Result<controller::Procedure> procedure =
+        decode_procedure(middleware_model, *procedure_spec);
+    if (!procedure.ok()) return procedure.status();
+    MDSM_RETURN_IF_ERROR(
+        controller_->add_procedure(std::move(procedure.value())));
+  }
+  for (const model::ModelObject* action_spec :
+       middleware_model.children(controller_spec.id(), "actions")) {
+    Result<controller::ControllerAction> action =
+        decode_controller_action(middleware_model, *action_spec);
+    if (!action.ok()) return action.status();
+    MDSM_RETURN_IF_ERROR(
+        controller_->register_action(std::move(action.value())));
+  }
+  for (const model::ModelObject* binding_spec :
+       middleware_model.children(controller_spec.id(), "bindings")) {
+    std::vector<std::string> action_names;
+    for (const std::string& target : binding_spec->targets("actions")) {
+      const model::ModelObject* action_spec = middleware_model.find(target);
+      if (action_spec == nullptr) {
+        return ConformanceError("binding '" + binding_spec->id() +
+                                "' references missing action '" + target +
+                                "'");
+      }
+      action_names.push_back(action_spec->get_string("name"));
+    }
+    MDSM_RETURN_IF_ERROR(controller_->bind_action(
+        binding_spec->get_string("command"), std::move(action_names)));
+  }
+  for (const model::ModelObject* mapping_spec :
+       middleware_model.children(controller_spec.id(), "mappings")) {
+    MDSM_RETURN_IF_ERROR(
+        controller_->map_command(mapping_spec->get_string("command"),
+                                 mapping_spec->get_string("dsc")));
+  }
+  for (const model::ModelObject* policy_spec :
+       middleware_model.children(controller_spec.id(), "policies")) {
+    const std::string role = policy_spec->get_string("role", "classification");
+    policy::PolicySet& target = role == "selection"
+                                    ? controller_->selection_policies()
+                                    : controller_->classification_policies();
+    MDSM_RETURN_IF_ERROR(target.add(
+        policy_spec->get_string("name"), policy_spec->get_string("condition"),
+        policy_spec->get_string("decision"),
+        static_cast<int>(policy_spec->get_int("priority"))));
+  }
+  return Status::Ok();
+}
+
+Status Platform::add_resource_adapter(
+    std::unique_ptr<broker::ResourceAdapter> adapter) {
+  return broker_->resources().add_adapter(std::move(adapter));
+}
+
+Status Platform::start() {
+  if (running_) return Status::Ok();
+  for (const std::string& required : required_resources_) {
+    if (broker_->resources().find_adapter(required) == nullptr) {
+      return FailedPrecondition("required resource adapter '" + required +
+                                "' is not installed");
+    }
+  }
+  MDSM_RETURN_IF_ERROR(broker_->start());
+  MDSM_RETURN_IF_ERROR(controller_->start());
+  MDSM_RETURN_IF_ERROR(synthesis_->start());
+  running_ = true;
+  log_info("platform") << name_ << " started";
+  return Status::Ok();
+}
+
+Status Platform::stop() {
+  if (!running_) return Status::Ok();
+  MDSM_RETURN_IF_ERROR(synthesis_->stop());
+  MDSM_RETURN_IF_ERROR(controller_->stop());
+  MDSM_RETURN_IF_ERROR(broker_->stop());
+  running_ = false;
+  return Status::Ok();
+}
+
+Result<controller::ControlScript> Platform::submit_model_text(
+    std::string_view text) {
+  Result<model::Model> application_model = model::parse_model(text, dsml_);
+  if (!application_model.ok()) return application_model.status();
+  return submit_model(std::move(application_model.value()));
+}
+
+Result<controller::ControlScript> Platform::submit_woven(
+    const std::vector<std::string_view>& concern_texts,
+    synthesis::WeaveConfig weave_config) {
+  std::vector<model::Model> concerns;
+  concerns.reserve(concern_texts.size());
+  for (std::string_view text : concern_texts) {
+    Result<model::Model> parsed = model::parse_model(text, dsml_);
+    if (!parsed.ok()) return parsed.status();
+    concerns.push_back(std::move(parsed.value()));
+  }
+  std::vector<const model::Model*> views;
+  views.reserve(concerns.size());
+  for (const model::Model& concern : concerns) views.push_back(&concern);
+  Result<model::Model> woven =
+      synthesis::weave(views, std::move(weave_config));
+  if (!woven.ok()) return woven.status();
+  return submit_model(std::move(woven.value()));
+}
+
+Result<controller::ControlScript> Platform::submit_model(
+    model::Model application_model) {
+  if (!running_) {
+    return FailedPrecondition("platform '" + name_ + "' is not started");
+  }
+  return synthesis_->submit_model(std::move(application_model));
+}
+
+std::string Platform::runtime_model_text() const {
+  return model::serialize_model(synthesis_->runtime_model());
+}
+
+}  // namespace mdsm::core

@@ -1,0 +1,131 @@
+// The MD-DSM platform: composition root that assembles a running
+// four-layer model execution engine from a middleware model (an instance
+// of the middleware metamodel), per the process of Fig. 2:
+//
+//   middleware model  ──┐
+//                       ├─► platform assembler ─► UI / Synthesis /
+//   domain knowledge  ──┘      (component factory)  Controller / Broker
+//
+// The application DSML metamodel (domain knowledge for the UI and
+// Synthesis layers) is supplied through PlatformConfig; the operational
+// semantics (LTS, DSCs, procedures, actions) come from the middleware
+// model itself. Resource adapters — the bridge to the (simulated)
+// underlying resources — are installed after assembly and checked
+// against the model's ResourceSpec list at start().
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "broker/broker_layer.hpp"
+#include "common/status.hpp"
+#include "controller/controller_layer.hpp"
+#include "core/middleware_metamodel.hpp"
+#include "model/text_format.hpp"
+#include "policy/context.hpp"
+#include "runtime/component_factory.hpp"
+#include "runtime/event_bus.hpp"
+#include "synthesis/synthesis_engine.hpp"
+#include "synthesis/weaver.hpp"
+
+namespace mdsm::core {
+
+struct PlatformConfig {
+  /// The application-level DSML this platform executes. Its name must
+  /// match the middleware model's UiLayerSpec.dsml attribute.
+  model::MetamodelPtr dsml;
+  /// LTS used when the middleware model's SynthesisLayerSpec declares no
+  /// transitions (domains may prefer authoring LTSs in code).
+  std::optional<synthesis::Lts> lts_override;
+  /// Intent-model generation bound override (0 = take from the model).
+  std::size_t max_configurations = 0;
+};
+
+class Platform {
+ public:
+  /// Assemble a platform from a middleware model. The model must conform
+  /// to middleware_metamodel() and contain exactly one MiddlewarePlatform
+  /// root. Assembly instantiates the layer components via the component
+  /// factory and loads every spec into them.
+  static Result<std::unique_ptr<Platform>> assemble(
+      const model::Model& middleware_model, PlatformConfig config);
+
+  /// Convenience: parse middleware-model text first.
+  static Result<std::unique_ptr<Platform>> assemble_from_text(
+      std::string_view middleware_model_text, PlatformConfig config);
+
+  ~Platform();
+  Platform(const Platform&) = delete;
+  Platform& operator=(const Platform&) = delete;
+
+  /// Install a resource adapter (before start()).
+  Status add_resource_adapter(
+      std::unique_ptr<broker::ResourceAdapter> adapter);
+
+  /// Verify required resources are present and start all layers.
+  Status start();
+  Status stop();
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+  // ---- UI layer: the model-based programming interface ----------------
+
+  /// Parse application-model text in the platform's DSML and execute it
+  /// (synthesis → controller → broker). Returns the generated script.
+  Result<controller::ControlScript> submit_model_text(std::string_view text);
+
+  /// Submit an already-built application model.
+  Result<controller::ControlScript> submit_model(model::Model application_model);
+
+  /// Aspect-oriented execution (paper §IX): weave several concern models
+  /// (texts in the platform's DSML) into one application model and
+  /// submit the result.
+  Result<controller::ControlScript> submit_woven(
+      const std::vector<std::string_view>& concern_texts,
+      synthesis::WeaveConfig weave_config = {});
+
+  /// Serialized current runtime model (round-trip engineering).
+  [[nodiscard]] std::string runtime_model_text() const;
+
+  // ---- layer access ----------------------------------------------------
+
+  [[nodiscard]] broker::BrokerLayer& broker() noexcept { return *broker_; }
+  [[nodiscard]] controller::ControllerLayer& controller() noexcept {
+    return *controller_;
+  }
+  [[nodiscard]] synthesis::SynthesisEngine& synthesis() noexcept {
+    return *synthesis_;
+  }
+  [[nodiscard]] policy::ContextStore& context() noexcept { return context_; }
+  [[nodiscard]] runtime::EventBus& bus() noexcept { return bus_; }
+  [[nodiscard]] const broker::CommandTrace& trace() const noexcept {
+    return broker_->trace();
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const model::MetamodelPtr& dsml() const noexcept {
+    return dsml_;
+  }
+
+ private:
+  Platform() = default;
+
+  Status load_broker_spec(const model::Model& middleware_model,
+                          const model::ModelObject& broker_spec);
+  Status load_controller_spec(const model::Model& middleware_model,
+                              const model::ModelObject& controller_spec);
+
+  std::string name_;
+  model::MetamodelPtr dsml_;
+  runtime::EventBus bus_;
+  policy::ContextStore context_;
+  runtime::ComponentFactory factory_;
+  std::unique_ptr<broker::BrokerLayer> broker_;
+  std::unique_ptr<controller::ControllerLayer> controller_;
+  std::unique_ptr<synthesis::SynthesisEngine> synthesis_;
+  std::vector<std::string> required_resources_;
+  std::uint64_t error_subscription_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace mdsm::core

@@ -1,0 +1,69 @@
+#include "domains/comm/cml.hpp"
+
+namespace mdsm::comm {
+
+namespace {
+
+using model::AttrType;
+using model::Metamodel;
+using model::Value;
+
+Metamodel build() {
+  Metamodel mm("cml");
+  auto& element = mm.add_class("CommElement", "", /*is_abstract=*/true);
+  element.add_attribute({.name = "label", .type = AttrType::kString});
+
+  auto& connection = mm.add_class("Connection", "CommElement");
+  connection.add_attribute({.name = "state",
+                            .type = AttrType::kEnum,
+                            .required = true,
+                            .enum_literals = {"pending", "active", "closed"},
+                            .default_value = Value("pending")});
+  connection.add_attribute({.name = "topology",
+                            .type = AttrType::kEnum,
+                            .enum_literals = {"p2p", "conference"},
+                            .default_value = Value("p2p")});
+  connection.add_reference({.name = "participants",
+                            .target_class = "Participant",
+                            .containment = true,
+                            .many = true});
+  connection.add_reference({.name = "media",
+                            .target_class = "Medium",
+                            .containment = true,
+                            .many = true});
+  connection.add_reference({.name = "initiator",
+                            .target_class = "Participant",
+                            .containment = false,
+                            .many = false});
+
+  auto& participant = mm.add_class("Participant", "CommElement");
+  participant.add_attribute(
+      {.name = "address", .type = AttrType::kString, .required = true});
+  participant.add_attribute({.name = "role",
+                             .type = AttrType::kEnum,
+                             .enum_literals = {"initiator", "invitee"},
+                             .default_value = Value("invitee")});
+
+  auto& medium = mm.add_class("Medium", "CommElement");
+  medium.add_attribute({.name = "kind",
+                        .type = AttrType::kEnum,
+                        .required = true,
+                        .enum_literals = {"audio", "video", "file"}});
+  medium.add_attribute({.name = "quality",
+                        .type = AttrType::kEnum,
+                        .enum_literals = {"low", "standard", "high"},
+                        .default_value = Value("standard")});
+  medium.add_attribute({.name = "live",
+                        .type = AttrType::kBool,
+                        .default_value = Value(true)});
+  return mm;
+}
+
+}  // namespace
+
+model::MetamodelPtr cml_metamodel() {
+  static model::MetamodelPtr instance = model::finalize_metamodel(build());
+  return instance;
+}
+
+}  // namespace mdsm::comm

@@ -1,0 +1,25 @@
+// CML — the Communication Modeling Language (paper §IV-A, [9][10]): a
+// DSML for user-to-user communication. Schemas describe the
+// configuration of a communication (control) and the media that flow in
+// it (data); instances bind them to concrete participants and streams.
+//
+// This reproduction models the instance level (what the CVM executes):
+// a Connection with Participants and Media streams, each medium with a
+// kind, quality and liveness.
+#pragma once
+
+#include "model/metamodel.hpp"
+
+namespace mdsm::comm {
+
+/// The finalized CML metamodel (singleton).
+///
+/// Classes:
+///   Connection   — state: pending|active|closed; contains participants
+///                  and media; references the initiating participant
+///   Participant  — address (reachable endpoint), role: initiator|invitee
+///   Medium       — kind: audio|video|file, quality: low|standard|high,
+///                  live: bool (stream vs transfer)
+model::MetamodelPtr cml_metamodel();
+
+}  // namespace mdsm::comm

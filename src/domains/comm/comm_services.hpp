@@ -1,0 +1,131 @@
+// Simulated communication services — the substitute for the real
+// streaming/VoIP services the CVM's Network Communication Broker drives
+// (paper [22][24]). Sessions are negotiated by exchanging handshake
+// messages between participant endpoints over the simulated network, so
+// every service operation does genuine (deterministic) signaling work:
+// allocation, multi-party offer/answer rounds, and state bookkeeping.
+//
+// The service raises asynchronous events (party joined, link lost,
+// stream degraded) through the adapter into the broker layer.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "broker/resource_manager.hpp"
+#include "common/status.hpp"
+#include "net/network.hpp"
+
+namespace mdsm::comm {
+
+/// One media stream within a session.
+struct Stream {
+  std::string id;
+  std::string kind;     ///< audio|video|file
+  std::string quality;  ///< low|standard|high
+  bool live = true;
+  bool open = false;
+};
+
+struct Session {
+  std::string id;
+  std::set<std::string> parties;  ///< endpoint names
+  std::map<std::string, Stream, std::less<>> streams;
+  bool active = false;
+};
+
+/// Cost model for the simulated services. Real communication services
+/// spend most of each control operation in SDP-style negotiation,
+/// (de)serialization and codec setup; the simulator reproduces that cost
+/// with a deterministic compute kernel per signaling message so that
+/// relative overheads measured against it (Exp-2) are meaningful.
+struct CommServiceConfig {
+  /// FNV-hash iterations per signaling exchange (~ns each).
+  std::size_t signaling_work = 13000;
+};
+
+/// The service itself. Owns its endpoints on the shared simulated
+/// network; every participant address becomes an endpoint.
+class CommSessionService {
+ public:
+  explicit CommSessionService(net::Network& network,
+                              CommServiceConfig config = {});
+
+  Status create_session(const std::string& session_id);
+  Status teardown_session(const std::string& session_id);
+
+  /// Registers the address as a network endpoint (idempotent) and runs a
+  /// join handshake against every current party.
+  Status add_party(const std::string& session_id, const std::string& address);
+  Status remove_party(const std::string& session_id,
+                      const std::string& address);
+
+  /// Opens a stream: offer/answer exchange with every party.
+  Status open_stream(const std::string& session_id, const std::string& stream_id,
+                     const std::string& kind, const std::string& quality,
+                     bool live);
+  Status close_stream(const std::string& session_id,
+                      const std::string& stream_id);
+  /// Renegotiates quality on a live stream.
+  Status retune_stream(const std::string& session_id,
+                       const std::string& stream_id,
+                       const std::string& quality);
+
+  /// Re-runs the handshake for a party after a link failure.
+  Status reconnect_party(const std::string& session_id,
+                         const std::string& address);
+
+  /// Failure injection: drops the party's links; the service raises a
+  /// "link.lost" event through `event_sink`.
+  void inject_link_failure(const std::string& session_id,
+                           const std::string& address);
+
+  using EventSink =
+      std::function<void(const std::string& topic, model::Value payload)>;
+  void set_event_sink(EventSink sink) { sink_ = std::move(sink); }
+
+  [[nodiscard]] const Session* find_session(std::string_view id) const;
+  [[nodiscard]] std::size_t session_count() const noexcept {
+    return sessions_.size();
+  }
+  [[nodiscard]] std::uint64_t handshakes() const noexcept {
+    return handshakes_;
+  }
+
+ private:
+  Status handshake(Session& session, const std::string& address,
+                   const std::string& topic);
+  Result<Session*> session_for(const std::string& session_id);
+  void ensure_endpoint(const std::string& address);
+  void negotiation_work() const;
+
+  net::Network* network_;
+  CommServiceConfig config_;
+  std::map<std::string, Session, std::less<>> sessions_;
+  EventSink sink_;
+  std::uint64_t handshakes_ = 0;
+};
+
+/// ResourceAdapter exposing the service as the broker resource "comm".
+/// Command vocabulary (the atomic commands of the NCB):
+///   session.create(id)                  session.teardown(id)
+///   party.add(session,address)          party.remove(session,address)
+///   media.open(session,id,kind,quality,live)
+///   media.close(session,id)             media.retune(session,id,quality)
+///   party.reconnect(session,address)
+class CommServiceAdapter final : public broker::ResourceAdapter {
+ public:
+  explicit CommServiceAdapter(CommSessionService& service,
+                              std::string name = "comm");
+
+  Result<model::Value> execute(const std::string& command,
+                               const broker::Args& args) override;
+
+ private:
+  CommSessionService* service_;
+};
+
+}  // namespace mdsm::comm

@@ -1,0 +1,382 @@
+#include "domains/comm/cvm.hpp"
+
+namespace mdsm::comm {
+
+namespace {
+
+// The CVM's middleware model. Broker actions replicate the behaviour of
+// the original handcrafted NCB (src/domains/comm/handcrafted_broker.*)
+// so Exp-1 can compare command traces; quality selection is expressed as
+// guarded action alternatives instead of an if/else chain.
+constexpr std::string_view kCvmMiddlewareModel = R"mw(
+model cvm conforms mdsm
+
+object MiddlewarePlatform cvm {
+  name = "cvm"
+  domain = "communication"
+  child ui UiLayerSpec uci { dsml = "cml" }
+
+  child broker BrokerLayerSpec ncb {
+    # ---- session lifecycle ------------------------------------------
+    child actions ActionSpec a-create {
+      name = "session-create"
+      child steps StepSpec cs1 {
+        op = invoke a = "comm" b = "session.create"
+        child args ArgSpec cs1a { key = "id" value = "$id" }
+      }
+      child steps StepSpec cs2 {
+        op = set-context a = "active.session"
+        child args ArgSpec cs2a { key = "value" value = "$id" }
+      }
+      child steps StepSpec cs3 {
+        op = emit a = "ncb.session.created"
+        child args ArgSpec cs3a { key = "payload" value = "$id" }
+      }
+    }
+    child actions ActionSpec a-teardown {
+      name = "session-teardown"
+      child steps StepSpec ts1 {
+        op = invoke a = "comm" b = "session.teardown"
+        child args ArgSpec ts1a { key = "id" value = "$id" }
+      }
+      child steps StepSpec ts2 {
+        op = emit a = "ncb.session.closed"
+        child args ArgSpec ts2a { key = "payload" value = "$id" }
+      }
+    }
+    # ---- party management -------------------------------------------
+    child actions ActionSpec a-party-add {
+      name = "party-add"
+      child steps StepSpec pa1 {
+        op = invoke a = "comm" b = "party.add"
+        child args ArgSpec pa1a { key = "session" value = "$session" }
+        child args ArgSpec pa1b { key = "address" value = "$address" }
+      }
+    }
+    child actions ActionSpec a-party-remove {
+      name = "party-remove"
+      child steps StepSpec pr1 {
+        op = invoke a = "comm" b = "party.remove"
+        child args ArgSpec pr1a { key = "session" value = "$session" }
+        child args ArgSpec pr1b { key = "address" value = "$address" }
+      }
+    }
+    child actions ActionSpec a-party-reconnect {
+      name = "party-reconnect"
+      child steps StepSpec pc1 {
+        op = invoke a = "comm" b = "party.reconnect"
+        child args ArgSpec pc1a { key = "session" value = "$session" }
+        child args ArgSpec pc1b { key = "address" value = "$address" }
+      }
+    }
+    # ---- media management: quality chosen by context guards ----------
+    child actions ActionSpec a-media-high {
+      name = "media-open-high"
+      guard = "bandwidth >= 2.0"
+      priority = 10
+      child steps StepSpec mh1 {
+        op = invoke a = "comm" b = "media.open"
+        child args ArgSpec mh1a { key = "session" value = "$session" }
+        child args ArgSpec mh1b { key = "id" value = "$id" }
+        child args ArgSpec mh1c { key = "kind" value = "$kind" }
+        child args ArgSpec mh1d { key = "live" value = "$live" }
+        child args ArgSpec mh1e { key = "quality" value = "high" }
+      }
+    }
+    child actions ActionSpec a-media-low {
+      name = "media-open-low"
+      guard = "defined(bandwidth) && bandwidth < 0.5"
+      priority = 10
+      child steps StepSpec ml1 {
+        op = invoke a = "comm" b = "media.open"
+        child args ArgSpec ml1a { key = "session" value = "$session" }
+        child args ArgSpec ml1b { key = "id" value = "$id" }
+        child args ArgSpec ml1c { key = "kind" value = "$kind" }
+        child args ArgSpec ml1d { key = "live" value = "$live" }
+        child args ArgSpec ml1e { key = "quality" value = "low" }
+      }
+    }
+    child actions ActionSpec a-media-std {
+      name = "media-open-std"
+      priority = 0
+      child steps StepSpec ms1 {
+        op = invoke a = "comm" b = "media.open"
+        child args ArgSpec ms1a { key = "session" value = "$session" }
+        child args ArgSpec ms1b { key = "id" value = "$id" }
+        child args ArgSpec ms1c { key = "kind" value = "$kind" }
+        child args ArgSpec ms1d { key = "live" value = "$live" }
+        child args ArgSpec ms1e { key = "quality" value = "standard" }
+      }
+    }
+    child actions ActionSpec a-media-close {
+      name = "media-close"
+      child steps StepSpec mc1 {
+        op = invoke a = "comm" b = "media.close"
+        child args ArgSpec mc1a { key = "session" value = "$session" }
+        child args ArgSpec mc1b { key = "id" value = "$id" }
+      }
+    }
+    child actions ActionSpec a-media-retune {
+      name = "media-retune"
+      child steps StepSpec mr1 {
+        op = invoke a = "comm" b = "media.retune"
+        child args ArgSpec mr1a { key = "session" value = "$session" }
+        child args ArgSpec mr1b { key = "id" value = "$id" }
+        child args ArgSpec mr1c { key = "quality" value = "$quality" }
+      }
+    }
+    # ---- handlers -----------------------------------------------------
+    child handlers HandlerSpec h1 { signal = "ncb.session.create" actions -> a-create }
+    child handlers HandlerSpec h2 { signal = "ncb.session.teardown" actions -> a-teardown }
+    child handlers HandlerSpec h3 { signal = "ncb.party.add" actions -> a-party-add }
+    child handlers HandlerSpec h4 { signal = "ncb.party.remove" actions -> a-party-remove }
+    child handlers HandlerSpec h5 { signal = "ncb.party.reconnect" actions -> a-party-reconnect }
+    child handlers HandlerSpec h6 {
+      signal = "ncb.media.open"
+      actions -> a-media-high, a-media-low, a-media-std
+    }
+    child handlers HandlerSpec h7 { signal = "ncb.media.close" actions -> a-media-close }
+    child handlers HandlerSpec h8 { signal = "ncb.media.retune" actions -> a-media-retune }
+    # ---- autonomic link recovery ---------------------------------------
+    child symptoms SymptomSpec sy1 {
+      name = "link-lost"
+      topic = "resource.link.lost"
+      request = "recover-party"
+    }
+    child plans ChangePlanSpec pl1 {
+      name = "reconnect-party"
+      request = "recover-party"
+      child steps StepSpec rp1 {
+        op = invoke a = "comm" b = "party.reconnect"
+        child args ArgSpec rp1a { key = "session" value = "$ctx:active.session" }
+        child args ArgSpec rp1b { key = "address" value = "$event.payload" }
+      }
+      child steps StepSpec rp2 {
+        op = emit a = "ncb.party.recovered"
+        child args ArgSpec rp2a { key = "payload" value = "$event.payload" }
+      }
+    }
+    child resources ResourceSpec r1 { name = "comm" }
+  }
+
+  child controller ControllerLayerSpec ucm {
+    # ---- DSCs (domain classifier vocabulary) ---------------------------
+    child dscs DscSpec d1 { name = "comm.connect" category = "session" }
+    child dscs DscSpec d2 { name = "media.establish" category = "media" }
+    child dscs DscSpec d3 { name = "net.path" category = "network" }
+    # ---- procedures (Case 2 DSK) ---------------------------------------
+    child procedures ProcedureSpec p1 {
+      name = "connect-std"
+      classifier = "comm.connect"
+      cost = 1.0
+      child units EuSpec p1u {
+        child steps StepSpec p1s {
+          op = broker-call a = "ncb.session.create"
+          child args ArgSpec p1sa { key = "id" value = "$id" }
+        }
+      }
+    }
+    child procedures ProcedureSpec p2 {
+      name = "connect-traced"
+      classifier = "comm.connect"
+      cost = 2.0
+      guard = "defined(debug.trace)"
+      child units EuSpec p2u {
+        child steps StepSpec p2s1 {
+          op = emit a = "ucm.trace"
+          child args ArgSpec p2s1a { key = "payload" value = "$id" }
+        }
+        child steps StepSpec p2s2 {
+          op = broker-call a = "ncb.session.create"
+          child args ArgSpec p2s2a { key = "id" value = "$id" }
+        }
+      }
+    }
+    child procedures ProcedureSpec p3 {
+      name = "media-via-path"
+      classifier = "media.establish"
+      dependencies = ["net.path"]
+      child units EuSpec p3u {
+        child steps StepSpec p3s1 { op = call-dep a = "net.path" }
+        child steps StepSpec p3s2 {
+          op = broker-call a = "ncb.media.open"
+          child args ArgSpec p3s2a { key = "session" value = "$session" }
+          child args ArgSpec p3s2b { key = "id" value = "$id" }
+          child args ArgSpec p3s2c { key = "kind" value = "$kind" }
+          child args ArgSpec p3s2d { key = "live" value = "$live" }
+        }
+      }
+    }
+    child procedures ProcedureSpec p4 {
+      name = "path-direct"
+      classifier = "net.path"
+      cost = 1.0
+      child units EuSpec p4u {
+        child steps StepSpec p4s {
+          op = set-mem a = "path.mode"
+          child args ArgSpec p4sa { key = "value" value = "direct" }
+        }
+      }
+    }
+    child procedures ProcedureSpec p5 {
+      name = "path-relay"
+      classifier = "net.path"
+      cost = 4.0
+      guard = "defined(relay.available)"
+      child units EuSpec p5u {
+        child steps StepSpec p5s {
+          op = set-mem a = "path.mode"
+          child args ArgSpec p5sa { key = "value" value = "relay" }
+        }
+      }
+    }
+    # ---- Case 2 command → DSC mappings ---------------------------------
+    child mappings CommandMappingSpec m1 { command = "ncb.session.create" dsc = "comm.connect" }
+    child mappings CommandMappingSpec m2 { command = "ncb.media.open" dsc = "media.establish" }
+    # ---- Case 1 pass-through actions ------------------------------------
+    child actions ActionSpec ca1 {
+      name = "fwd-teardown"
+      child steps StepSpec ca1s {
+        op = broker-call a = "ncb.session.teardown"
+        child args ArgSpec ca1sa { key = "id" value = "$id" }
+      }
+    }
+    child actions ActionSpec ca2 {
+      name = "fwd-party-add"
+      child steps StepSpec ca2s {
+        op = broker-call a = "ncb.party.add"
+        child args ArgSpec ca2sa { key = "session" value = "$session" }
+        child args ArgSpec ca2sb { key = "address" value = "$address" }
+      }
+    }
+    child actions ActionSpec ca3 {
+      name = "fwd-party-remove"
+      child steps StepSpec ca3s {
+        op = broker-call a = "ncb.party.remove"
+        child args ArgSpec ca3sa { key = "session" value = "$session" }
+        child args ArgSpec ca3sb { key = "address" value = "$address" }
+      }
+    }
+    child actions ActionSpec ca4 {
+      name = "fwd-media-close"
+      child steps StepSpec ca4s {
+        op = broker-call a = "ncb.media.close"
+        child args ArgSpec ca4sa { key = "session" value = "$session" }
+        child args ArgSpec ca4sb { key = "id" value = "$id" }
+      }
+    }
+    child actions ActionSpec ca5 {
+      name = "fwd-media-retune"
+      child steps StepSpec ca5s {
+        op = broker-call a = "ncb.media.retune"
+        child args ArgSpec ca5sa { key = "session" value = "$session" }
+        child args ArgSpec ca5sb { key = "id" value = "$id" }
+        child args ArgSpec ca5sc { key = "quality" value = "$quality" }
+      }
+    }
+    child bindings BindingSpec b1 { command = "ncb.session.teardown" actions -> ca1 }
+    child bindings BindingSpec b2 { command = "ncb.party.add" actions -> ca2 }
+    child bindings BindingSpec b3 { command = "ncb.party.remove" actions -> ca3 }
+    child bindings BindingSpec b4 { command = "ncb.media.close" actions -> ca4 }
+    child bindings BindingSpec b5 { command = "ncb.media.retune" actions -> ca5 }
+  }
+
+  # ---- SE: CML lifecycle semantics as an LTS ---------------------------
+  child synthesis SynthesisLayerSpec se {
+    initial_state = "initial"
+    child transitions TransitionSpec t1 {
+      from = "initial" to = "live" kind = add-object class = "Connection"
+      child commands CommandTemplateSpec t1c {
+        name = "ncb.session.create"
+        child args ArgSpec t1ca { key = "id" value = "%id" }
+      }
+    }
+    child transitions TransitionSpec t2 {
+      from = "live" to = "done" kind = set-attribute class = "Connection"
+      feature = "state" value = "closed" vtype = string
+      child commands CommandTemplateSpec t2c {
+        name = "ncb.session.teardown"
+        child args ArgSpec t2ca { key = "id" value = "%id" }
+      }
+    }
+    child transitions TransitionSpec t3 {
+      from = "initial" to = "joined" kind = add-object class = "Participant"
+      child commands CommandTemplateSpec t3c {
+        name = "ncb.party.add"
+        child args ArgSpec t3ca { key = "session" value = "%parent" }
+        child args ArgSpec t3cb { key = "address" value = "%id" }
+      }
+    }
+    child transitions TransitionSpec t4 {
+      from = "joined" to = "gone" kind = remove-object class = "Participant"
+      child commands CommandTemplateSpec t4c {
+        name = "ncb.party.remove"
+        child args ArgSpec t4ca { key = "session" value = "%parent" }
+        child args ArgSpec t4cb { key = "address" value = "%id" }
+      }
+    }
+    child transitions TransitionSpec t5 {
+      from = "initial" to = "configuring" kind = add-object class = "Medium"
+      child commands CommandTemplateSpec t5c {
+        name = "ncb.media.open"
+        child args ArgSpec t5ca { key = "session" value = "%parent" }
+        child args ArgSpec t5cb { key = "id" value = "%id" }
+        child args ArgSpec t5cc { key = "kind" value = "%attr:kind" }
+        child args ArgSpec t5cd { key = "live" value = "%attr:live" }
+      }
+    }
+    # Absorb the creation-time quality default without a command, then
+    # treat later quality changes as retunes.
+    child transitions TransitionSpec t6 {
+      from = "configuring" to = "streaming" kind = set-attribute
+      class = "Medium" feature = "quality"
+    }
+    child transitions TransitionSpec t7 {
+      from = "streaming" to = "streaming" kind = set-attribute
+      class = "Medium" feature = "quality"
+      child commands CommandTemplateSpec t7c {
+        name = "ncb.media.retune"
+        child args ArgSpec t7ca { key = "session" value = "%parent" }
+        child args ArgSpec t7cb { key = "id" value = "%id" }
+        child args ArgSpec t7cc { key = "quality" value = "%new" }
+      }
+    }
+    child transitions TransitionSpec t8 {
+      from = "streaming" to = "closed" kind = remove-object class = "Medium"
+      child commands CommandTemplateSpec t8c {
+        name = "ncb.media.close"
+        child args ArgSpec t8ca { key = "session" value = "%parent" }
+        child args ArgSpec t8cb { key = "id" value = "%id" }
+      }
+    }
+    child transitions TransitionSpec t9 {
+      from = "configuring" to = "closed" kind = remove-object class = "Medium"
+      child commands CommandTemplateSpec t9c {
+        name = "ncb.media.close"
+        child args ArgSpec t9ca { key = "session" value = "%parent" }
+        child args ArgSpec t9cb { key = "id" value = "%id" }
+      }
+    }
+  }
+}
+)mw";
+
+}  // namespace
+
+std::string_view cvm_middleware_model_text() { return kCvmMiddlewareModel; }
+
+Result<std::unique_ptr<Cvm>> make_cvm() {
+  auto cvm = std::make_unique<Cvm>();
+  core::PlatformConfig config;
+  config.dsml = cml_metamodel();
+  Result<std::unique_ptr<core::Platform>> platform =
+      core::Platform::assemble_from_text(kCvmMiddlewareModel, config);
+  if (!platform.ok()) return platform.status();
+  cvm->platform = std::move(platform.value());
+  MDSM_RETURN_IF_ERROR(cvm->platform->add_resource_adapter(
+      std::make_unique<CommServiceAdapter>(cvm->service, "comm")));
+  MDSM_RETURN_IF_ERROR(cvm->platform->start());
+  return cvm;
+}
+
+}  // namespace mdsm::comm

@@ -1,0 +1,41 @@
+// CVM — the Communication Virtual Machine (paper §IV-A, Fig. 3) rebuilt
+// the MD-DSM way: its four layers are assembled from a middleware model
+// (an instance of the common middleware metamodel) over the CML DSML,
+// with the simulated communication services as the underlying resources.
+//
+//   UCI  = the platform's model-text interface (submit_model_text)
+//   SE   = SynthesisEngine with the CML lifecycle LTS
+//   UCM  = ControllerLayer (Case 1 pass-through actions + Case 2
+//          DSC/procedure-based media path establishment)
+//   NCB  = BrokerLayer with guarded actions (context-driven quality
+//          selection) and an autonomic link-recovery rule
+#pragma once
+
+#include <memory>
+
+#include "common/clock.hpp"
+#include "core/platform.hpp"
+#include "domains/comm/cml.hpp"
+#include "domains/comm/comm_services.hpp"
+
+namespace mdsm::comm {
+
+/// The complete textual middleware model of the CVM (also used by the
+/// Exp-4 bench to measure the cost of a full reload).
+std::string_view cvm_middleware_model_text();
+
+/// A self-contained CVM: simulated world (clock, network, service) plus
+/// the assembled, started platform.
+struct Cvm {
+  SimClock clock;
+  net::Network network;
+  CommSessionService service;
+  std::unique_ptr<core::Platform> platform;
+
+  Cvm() : network(clock), service(network) {}
+};
+
+/// Build and start a CVM. The returned bundle owns everything.
+Result<std::unique_ptr<Cvm>> make_cvm();
+
+}  // namespace mdsm::comm

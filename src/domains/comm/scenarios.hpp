@@ -1,0 +1,51 @@
+// The eight multimedia communication scenarios of the paper's broker
+// evaluation (§VII-A): "A set of eight scenarios for multimedia
+// communication, including session establishment, reconfiguration and
+// recovery from failures, were implemented using both versions of the
+// Broker layer."
+//
+// Each scenario is a deterministic step sequence that can be driven
+// against ANY BrokerApi (the model-based NCB or the handcrafted one), so
+// Exp-1 compares their traces and Exp-2 their latency on identical work.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "broker/broker_api.hpp"
+#include "domains/comm/comm_services.hpp"
+#include "policy/context.hpp"
+
+namespace mdsm::comm {
+
+struct ScenarioStep {
+  enum class Kind {
+    kCall,         ///< issue a broker call
+    kInjectFault,  ///< drop a party's links in the service (async event)
+    kSetContext,   ///< change a context variable (e.g. bandwidth)
+  };
+  Kind kind{};
+  broker::Call call;                 // kCall
+  std::string session;               // kInjectFault
+  std::string address;               // kInjectFault
+  std::string context_key;           // kSetContext
+  model::Value context_value;        // kSetContext
+};
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  std::vector<ScenarioStep> steps;
+};
+
+/// The eight scenarios, fixed order.
+const std::vector<Scenario>& comm_scenarios();
+
+/// Drive a scenario. `service` is the simulated resource behind `broker`
+/// (fault injection goes directly to it); `context` is the broker-side
+/// context store. Fails on the first broken step.
+Status run_scenario(const Scenario& scenario, broker::BrokerApi& broker,
+                    CommSessionService& service,
+                    policy::ContextStore& context);
+
+}  // namespace mdsm::comm

@@ -1,0 +1,42 @@
+#include "domains/crowd/csml.hpp"
+
+namespace mdsm::crowd {
+
+namespace {
+
+using model::AttrType;
+using model::Metamodel;
+using model::Value;
+
+Metamodel build() {
+  Metamodel mm("csml");
+  auto& query = mm.add_class("SensingQuery");
+  query.add_attribute({.name = "sensor",
+                       .type = AttrType::kEnum,
+                       .required = true,
+                       .enum_literals = {"temperature", "noise",
+                                         "air_quality"}});
+  query.add_attribute({.name = "aggregate",
+                       .type = AttrType::kEnum,
+                       .enum_literals = {"avg", "min", "max", "count"},
+                       .default_value = Value("avg")});
+  query.add_attribute({.name = "period_s",
+                       .type = AttrType::kInt,
+                       .required = true});
+  query.add_attribute({.name = "region",
+                       .type = AttrType::kString,
+                       .default_value = Value("everywhere")});
+  query.add_attribute({.name = "active",
+                       .type = AttrType::kBool,
+                       .default_value = Value(true)});
+  return mm;
+}
+
+}  // namespace
+
+model::MetamodelPtr csml_metamodel() {
+  static model::MetamodelPtr instance = model::finalize_metamodel(build());
+  return instance;
+}
+
+}  // namespace mdsm::crowd

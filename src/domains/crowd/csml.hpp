@@ -1,0 +1,22 @@
+// CSML — the CrowdSensing Modeling Language (paper §IV-D, [17]): models
+// "represent crowdsensing queries, which in turn are dynamically
+// interpreted to drive the acquisition of sensing data (from
+// participating devices) and the subsequent processing to produce the
+// query results. For long running queries, CSVM also allows on-the-fly
+// changes to the user's model, which dynamically reflect on the
+// execution of the query."
+#pragma once
+
+#include "model/metamodel.hpp"
+
+namespace mdsm::crowd {
+
+/// The finalized CSML metamodel (singleton).
+///
+/// Classes:
+///   SensingQuery — sensor: temperature|noise|air_quality,
+///                  aggregate: avg|min|max|count, period_s, region,
+///                  active (set false to stop a long-running query)
+model::MetamodelPtr csml_metamodel();
+
+}  // namespace mdsm::crowd

@@ -1,0 +1,69 @@
+#include "domains/mgrid/mgridml.hpp"
+
+namespace mdsm::mgrid {
+
+namespace {
+
+using model::AttrType;
+using model::Metamodel;
+using model::Value;
+
+Metamodel build() {
+  Metamodel mm("mgridml");
+  auto& device = mm.add_class("Device", "", /*is_abstract=*/true);
+  device.add_attribute({.name = "label", .type = AttrType::kString});
+
+  auto& grid = mm.add_class("Microgrid");
+  grid.add_attribute({.name = "mode",
+                      .type = AttrType::kEnum,
+                      .required = true,
+                      .enum_literals = {"normal", "eco", "island"},
+                      .default_value = Value("normal")});
+  grid.add_reference({.name = "devices",
+                      .target_class = "Device",
+                      .containment = true,
+                      .many = true});
+
+  auto& generator = mm.add_class("Generator", "Device");
+  generator.add_attribute({.name = "capacity_kw",
+                           .type = AttrType::kReal,
+                           .required = true});
+  generator.add_attribute({.name = "setpoint_kw",
+                           .type = AttrType::kReal,
+                           .default_value = Value(0.0)});
+  generator.add_attribute({.name = "renewable",
+                           .type = AttrType::kBool,
+                           .default_value = Value(false)});
+  generator.add_attribute({.name = "running",
+                           .type = AttrType::kBool,
+                           .default_value = Value(false)});
+
+  auto& load = mm.add_class("Load", "Device");
+  load.add_attribute(
+      {.name = "demand_kw", .type = AttrType::kReal, .required = true});
+  load.add_attribute({.name = "critical",
+                      .type = AttrType::kBool,
+                      .default_value = Value(false)});
+  load.add_attribute({.name = "connected",
+                      .type = AttrType::kBool,
+                      .default_value = Value(true)});
+
+  auto& storage = mm.add_class("Storage", "Device");
+  storage.add_attribute({.name = "capacity_kwh",
+                         .type = AttrType::kReal,
+                         .required = true});
+  storage.add_attribute({.name = "mode",
+                         .type = AttrType::kEnum,
+                         .enum_literals = {"idle", "charge", "discharge"},
+                         .default_value = Value("idle")});
+  return mm;
+}
+
+}  // namespace
+
+model::MetamodelPtr mgridml_metamodel() {
+  static model::MetamodelPtr instance = model::finalize_metamodel(build());
+  return instance;
+}
+
+}  // namespace mdsm::mgrid

@@ -1,0 +1,23 @@
+// MGridML — the Microgrid Modeling Language (paper §IV-B, [11]): a DSML
+// for energy management in smart microgrids. A model describes the
+// desired configuration of a (home-scale) microgrid: its operating mode
+// and the generators, loads and storage units it manages. Unlike CML,
+// microgrid models have centralized-application semantics: one shared
+// plant, full resource visibility.
+#pragma once
+
+#include "model/metamodel.hpp"
+
+namespace mdsm::mgrid {
+
+/// The finalized MGridML metamodel (singleton).
+///
+/// Classes:
+///   Microgrid — mode: normal|eco|island; contains devices
+///   Device    — abstract: label
+///   Generator — capacity_kw, setpoint_kw, renewable, running
+///   Load      — demand_kw, critical, connected
+///   Storage   — capacity_kwh, mode: idle|charge|discharge
+model::MetamodelPtr mgridml_metamodel();
+
+}  // namespace mdsm::mgrid

@@ -1,0 +1,416 @@
+#include "domains/mgrid/mgridvm.hpp"
+
+namespace mdsm::mgrid {
+
+namespace {
+
+constexpr std::string_view kMgridMiddlewareModel = R"mw(
+model mgridvm conforms mdsm
+
+object MiddlewarePlatform mgv {
+  name = "mgridvm"
+  domain = "smart-microgrid"
+  child ui UiLayerSpec mui { dsml = "mgridml" }
+
+  child broker BrokerLayerSpec mhb {
+    child actions ActionSpec a-gen-prov {
+      name = "gen-provision"
+      child steps StepSpec g1 {
+        op = invoke a = "plant" b = "gen.add"
+        child args ArgSpec g1a { key = "id" value = "$id" }
+        child args ArgSpec g1b { key = "capacity" value = "$capacity" }
+        child args ArgSpec g1c { key = "renewable" value = "$renewable" }
+      }
+    }
+    child actions ActionSpec a-gen-start {
+      name = "gen-start"
+      child steps StepSpec g2 {
+        op = invoke a = "plant" b = "gen.start"
+        child args ArgSpec g2a { key = "id" value = "$id" }
+      }
+    }
+    child actions ActionSpec a-gen-stop {
+      name = "gen-stop"
+      child steps StepSpec g3 {
+        op = invoke a = "plant" b = "gen.stop"
+        child args ArgSpec g3a { key = "id" value = "$id" }
+      }
+    }
+    child actions ActionSpec a-gen-set {
+      name = "gen-set"
+      child steps StepSpec g4 {
+        op = invoke a = "plant" b = "gen.set"
+        child args ArgSpec g4a { key = "id" value = "$id" }
+        child args ArgSpec g4b { key = "kw" value = "$kw" }
+      }
+    }
+    child actions ActionSpec a-load-prov {
+      name = "load-provision"
+      child steps StepSpec l1 {
+        op = invoke a = "plant" b = "load.add"
+        child args ArgSpec l1a { key = "id" value = "$id" }
+        child args ArgSpec l1b { key = "demand" value = "$demand" }
+        child args ArgSpec l1c { key = "critical" value = "$critical" }
+      }
+    }
+    child actions ActionSpec a-load-connect {
+      name = "load-connect"
+      child steps StepSpec l2 {
+        op = invoke a = "plant" b = "load.connect"
+        child args ArgSpec l2a { key = "id" value = "$id" }
+      }
+    }
+    child actions ActionSpec a-load-shed {
+      name = "load-shed"
+      child steps StepSpec l3 {
+        op = invoke a = "plant" b = "load.shed"
+        child args ArgSpec l3a { key = "id" value = "$id" }
+      }
+    }
+    child actions ActionSpec a-storage-prov {
+      name = "storage-provision"
+      child steps StepSpec s1 {
+        op = invoke a = "plant" b = "storage.add"
+        child args ArgSpec s1a { key = "id" value = "$id" }
+        child args ArgSpec s1b { key = "capacity" value = "$capacity" }
+      }
+    }
+    child actions ActionSpec a-storage-mode {
+      name = "storage-mode"
+      child steps StepSpec s2 {
+        op = invoke a = "plant" b = "storage.mode"
+        child args ArgSpec s2a { key = "id" value = "$id" }
+        child args ArgSpec s2b { key = "mode" value = "$mode" }
+      }
+    }
+    child actions ActionSpec a-device-remove {
+      name = "device-remove"
+      child steps StepSpec d1 {
+        op = invoke a = "plant" b = "device.remove"
+        child args ArgSpec d1a { key = "id" value = "$id" }
+      }
+    }
+    child actions ActionSpec a-plant-step {
+      name = "plant-step"
+      child steps StepSpec d2 {
+        op = invoke a = "plant" b = "plant.step"
+        child args ArgSpec d2a { key = "hours" value = "$hours" }
+      }
+    }
+    child actions ActionSpec a-grid-mode {
+      name = "grid-mode-bk"
+      child steps StepSpec d3 {
+        op = set-context a = "grid.mode"
+        child args ArgSpec d3a { key = "value" value = "$mode" }
+      }
+    }
+    child handlers HandlerSpec h1 { signal = "mgv.gen.provision" actions -> a-gen-prov }
+    child handlers HandlerSpec h2 { signal = "mgv.gen.start" actions -> a-gen-start }
+    child handlers HandlerSpec h3 { signal = "mgv.gen.stop" actions -> a-gen-stop }
+    child handlers HandlerSpec h4 { signal = "mgv.gen.set" actions -> a-gen-set }
+    child handlers HandlerSpec h5 { signal = "mgv.load.provision" actions -> a-load-prov }
+    child handlers HandlerSpec h6 { signal = "mgv.load.connect" actions -> a-load-connect }
+    child handlers HandlerSpec h7 { signal = "mgv.load.shed" actions -> a-load-shed }
+    child handlers HandlerSpec h8 { signal = "mgv.storage.provision" actions -> a-storage-prov }
+    child handlers HandlerSpec h9 { signal = "mgv.storage.mode" actions -> a-storage-mode }
+    child handlers HandlerSpec h10 { signal = "mgv.device.remove" actions -> a-device-remove }
+    child handlers HandlerSpec h11 { signal = "mgv.plant.step" actions -> a-plant-step }
+    child handlers HandlerSpec h12 { signal = "mgv.grid.mode" actions -> a-grid-mode }
+    # -- energy management: rebalance on imbalance events ---------------
+    child symptoms SymptomSpec sy1 {
+      name = "power-imbalance"
+      topic = "resource.imbalance"
+      request = "rebalance"
+    }
+    child plans ChangePlanSpec pl1 {
+      name = "discharge-storage"
+      request = "rebalance"
+      priority = 5
+      guard = "defined(storage.main)"
+      child steps StepSpec rp1 {
+        op = invoke a = "plant" b = "storage.mode"
+        child args ArgSpec rp1a { key = "id" value = "$ctx:storage.main" }
+        child args ArgSpec rp1b { key = "mode" value = "discharge" }
+      }
+    }
+    child plans ChangePlanSpec pl2 {
+      name = "shed-noncritical"
+      request = "rebalance"
+      priority = 1
+      guard = "defined(load.sheddable)"
+      child steps StepSpec rp2 {
+        op = invoke a = "plant" b = "load.shed"
+        child args ArgSpec rp2a { key = "id" value = "$ctx:load.sheddable" }
+      }
+    }
+    child resources ResourceSpec r1 { name = "plant" }
+  }
+
+  child controller ControllerLayerSpec mcm {
+    child dscs DscSpec dd1 { name = "power.dispatch" category = "energy" }
+    child procedures ProcedureSpec pp1 {
+      name = "dispatch-direct"
+      classifier = "power.dispatch"
+      cost = 1.0
+      child units EuSpec pp1u {
+        child steps StepSpec pp1s {
+          op = broker-call a = "mgv.gen.start"
+          child args ArgSpec pp1sa { key = "id" value = "$id" }
+        }
+      }
+    }
+    child procedures ProcedureSpec pp2 {
+      name = "dispatch-eco"
+      classifier = "power.dispatch"
+      cost = 0.5
+      guard = "grid.mode == \"eco\""
+      child units EuSpec pp2u {
+        child steps StepSpec pp2s1 {
+          op = set-mem a = "dispatch.note"
+          child args ArgSpec pp2s1a { key = "value" value = "renewables-first" }
+        }
+        child steps StepSpec pp2s2 {
+          op = broker-call a = "mgv.gen.start"
+          child args ArgSpec pp2s2a { key = "id" value = "$id" }
+        }
+      }
+    }
+    child mappings CommandMappingSpec mmx { command = "mgv.gen.start" dsc = "power.dispatch" }
+    child actions ActionSpec mca-mode {
+      name = "grid-mode"
+      child steps StepSpec mc1 {
+        op = set-context a = "grid.mode"
+        child args ArgSpec mc1a { key = "value" value = "$mode" }
+      }
+    }
+    child actions ActionSpec mca-gen-prov {
+      name = "fwd-gen-provision"
+      child steps StepSpec fc1 {
+        op = broker-call a = "mgv.gen.provision"
+        child args ArgSpec fc1a { key = "id" value = "$id" }
+        child args ArgSpec fc1b { key = "capacity" value = "$capacity" }
+        child args ArgSpec fc1c { key = "renewable" value = "$renewable" }
+      }
+    }
+    child actions ActionSpec mca-gen-stop {
+      name = "fwd-gen-stop"
+      child steps StepSpec fc2 {
+        op = broker-call a = "mgv.gen.stop"
+        child args ArgSpec fc2a { key = "id" value = "$id" }
+      }
+    }
+    child actions ActionSpec mca-gen-set {
+      name = "fwd-gen-set"
+      child steps StepSpec fc3 {
+        op = broker-call a = "mgv.gen.set"
+        child args ArgSpec fc3a { key = "id" value = "$id" }
+        child args ArgSpec fc3b { key = "kw" value = "$kw" }
+      }
+    }
+    child actions ActionSpec mca-load-prov {
+      name = "fwd-load-provision"
+      child steps StepSpec fc4 {
+        op = broker-call a = "mgv.load.provision"
+        child args ArgSpec fc4a { key = "id" value = "$id" }
+        child args ArgSpec fc4b { key = "demand" value = "$demand" }
+        child args ArgSpec fc4c { key = "critical" value = "$critical" }
+      }
+    }
+    child actions ActionSpec mca-load-connect {
+      name = "fwd-load-connect"
+      child steps StepSpec fc5 {
+        op = broker-call a = "mgv.load.connect"
+        child args ArgSpec fc5a { key = "id" value = "$id" }
+      }
+    }
+    child actions ActionSpec mca-load-shed {
+      name = "fwd-load-shed"
+      child steps StepSpec fc6 {
+        op = broker-call a = "mgv.load.shed"
+        child args ArgSpec fc6a { key = "id" value = "$id" }
+      }
+    }
+    child actions ActionSpec mca-storage-prov {
+      name = "fwd-storage-provision"
+      child steps StepSpec fc7 {
+        op = broker-call a = "mgv.storage.provision"
+        child args ArgSpec fc7a { key = "id" value = "$id" }
+        child args ArgSpec fc7b { key = "capacity" value = "$capacity" }
+      }
+    }
+    child actions ActionSpec mca-storage-mode {
+      name = "fwd-storage-mode"
+      child steps StepSpec fc8 {
+        op = broker-call a = "mgv.storage.mode"
+        child args ArgSpec fc8a { key = "id" value = "$id" }
+        child args ArgSpec fc8b { key = "mode" value = "$mode" }
+      }
+    }
+    child actions ActionSpec mca-device-remove {
+      name = "fwd-device-remove"
+      child steps StepSpec fc9 {
+        op = broker-call a = "mgv.device.remove"
+        child args ArgSpec fc9a { key = "id" value = "$id" }
+      }
+    }
+    child bindings BindingSpec mb1 { command = "mgv.grid.mode" actions -> mca-mode }
+    child bindings BindingSpec mb2 { command = "mgv.gen.provision" actions -> mca-gen-prov }
+    child bindings BindingSpec mb3 { command = "mgv.gen.stop" actions -> mca-gen-stop }
+    child bindings BindingSpec mb4 { command = "mgv.gen.set" actions -> mca-gen-set }
+    child bindings BindingSpec mb5 { command = "mgv.load.provision" actions -> mca-load-prov }
+    child bindings BindingSpec mb6 { command = "mgv.load.connect" actions -> mca-load-connect }
+    child bindings BindingSpec mb7 { command = "mgv.load.shed" actions -> mca-load-shed }
+    child bindings BindingSpec mb8 { command = "mgv.storage.provision" actions -> mca-storage-prov }
+    child bindings BindingSpec mb9 { command = "mgv.storage.mode" actions -> mca-storage-mode }
+    child bindings BindingSpec mb10 { command = "mgv.device.remove" actions -> mca-device-remove }
+  }
+
+  child synthesis SynthesisLayerSpec mse {
+    initial_state = "initial"
+    child transitions TransitionSpec mt1 {
+      from = "initial" to = "grid-live" kind = add-object class = "Microgrid"
+    }
+    child transitions TransitionSpec mt2 {
+      from = "grid-live" to = "grid-live" kind = set-attribute
+      class = "Microgrid" feature = "mode"
+      child commands CommandTemplateSpec mt2c {
+        name = "mgv.grid.mode"
+        child args ArgSpec mt2ca { key = "mode" value = "%new" }
+      }
+    }
+    child transitions TransitionSpec mt3 {
+      from = "initial" to = "gen-prov" kind = add-object class = "Generator"
+      child commands CommandTemplateSpec mt3c {
+        name = "mgv.gen.provision"
+        child args ArgSpec mt3ca { key = "id" value = "%id" }
+        child args ArgSpec mt3cb { key = "capacity" value = "%attr:capacity_kw" }
+        child args ArgSpec mt3cc { key = "renewable" value = "%attr:renewable" }
+      }
+    }
+    child transitions TransitionSpec mt4 {
+      from = "gen-prov" to = "gen-on" kind = set-attribute
+      class = "Generator" feature = "running" value = "true" vtype = bool
+      child commands CommandTemplateSpec mt4c {
+        name = "mgv.gen.start"
+        child args ArgSpec mt4ca { key = "id" value = "%id" }
+      }
+    }
+    child transitions TransitionSpec mt5 {
+      from = "gen-on" to = "gen-prov" kind = set-attribute
+      class = "Generator" feature = "running" value = "false" vtype = bool
+      child commands CommandTemplateSpec mt5c {
+        name = "mgv.gen.stop"
+        child args ArgSpec mt5ca { key = "id" value = "%id" }
+      }
+    }
+    child transitions TransitionSpec mt6 {
+      from = "gen-on" to = "gen-on" kind = set-attribute
+      class = "Generator" feature = "setpoint_kw"
+      child commands CommandTemplateSpec mt6c {
+        name = "mgv.gen.set"
+        child args ArgSpec mt6ca { key = "id" value = "%id" }
+        child args ArgSpec mt6cb { key = "kw" value = "%new" }
+      }
+    }
+    child transitions TransitionSpec mt7 {
+      from = "initial" to = "load-prov" kind = add-object class = "Load"
+      child commands CommandTemplateSpec mt7c {
+        name = "mgv.load.provision"
+        child args ArgSpec mt7ca { key = "id" value = "%id" }
+        child args ArgSpec mt7cb { key = "demand" value = "%attr:demand_kw" }
+        child args ArgSpec mt7cc { key = "critical" value = "%attr:critical" }
+      }
+    }
+    child transitions TransitionSpec mt8 {
+      from = "load-prov" to = "load-on" kind = set-attribute
+      class = "Load" feature = "connected" value = "true" vtype = bool
+      child commands CommandTemplateSpec mt8c {
+        name = "mgv.load.connect"
+        child args ArgSpec mt8ca { key = "id" value = "%id" }
+      }
+    }
+    child transitions TransitionSpec mt9 {
+      from = "load-on" to = "load-prov" kind = set-attribute
+      class = "Load" feature = "connected" value = "false" vtype = bool
+      child commands CommandTemplateSpec mt9c {
+        name = "mgv.load.shed"
+        child args ArgSpec mt9ca { key = "id" value = "%id" }
+      }
+    }
+    child transitions TransitionSpec mt10 {
+      from = "initial" to = "st-prov" kind = add-object class = "Storage"
+      child commands CommandTemplateSpec mt10c {
+        name = "mgv.storage.provision"
+        child args ArgSpec mt10ca { key = "id" value = "%id" }
+        child args ArgSpec mt10cb { key = "capacity" value = "%attr:capacity_kwh" }
+      }
+    }
+    child transitions TransitionSpec mt11 {
+      from = "st-prov" to = "st-prov" kind = set-attribute
+      class = "Storage" feature = "mode"
+      child commands CommandTemplateSpec mt11c {
+        name = "mgv.storage.mode"
+        child args ArgSpec mt11ca { key = "id" value = "%id" }
+        child args ArgSpec mt11cb { key = "mode" value = "%new" }
+      }
+    }
+    child transitions TransitionSpec mt12 {
+      from = "gen-prov" to = "gone" kind = remove-object class = "Generator"
+      child commands CommandTemplateSpec mt12c {
+        name = "mgv.device.remove"
+        child args ArgSpec mt12ca { key = "id" value = "%id" }
+      }
+    }
+    child transitions TransitionSpec mt13 {
+      from = "load-prov" to = "gone" kind = remove-object class = "Load"
+      child commands CommandTemplateSpec mt13c {
+        name = "mgv.device.remove"
+        child args ArgSpec mt13ca { key = "id" value = "%id" }
+      }
+    }
+    child transitions TransitionSpec mt14 {
+      from = "load-on" to = "gone" kind = remove-object class = "Load"
+      child commands CommandTemplateSpec mt14c {
+        name = "mgv.device.remove"
+        child args ArgSpec mt14ca { key = "id" value = "%id" }
+      }
+    }
+    child transitions TransitionSpec mt15 {
+      from = "gen-on" to = "gone" kind = remove-object class = "Generator"
+      child commands CommandTemplateSpec mt15c {
+        name = "mgv.device.remove"
+        child args ArgSpec mt15ca { key = "id" value = "%id" }
+      }
+    }
+    child transitions TransitionSpec mt16 {
+      from = "st-prov" to = "gone" kind = remove-object class = "Storage"
+      child commands CommandTemplateSpec mt16c {
+        name = "mgv.device.remove"
+        child args ArgSpec mt16ca { key = "id" value = "%id" }
+      }
+    }
+  }
+}
+)mw";
+
+}  // namespace
+
+std::string_view mgridvm_middleware_model_text() {
+  return kMgridMiddlewareModel;
+}
+
+Result<std::unique_ptr<MGridVm>> make_mgridvm() {
+  auto vm = std::make_unique<MGridVm>();
+  core::PlatformConfig config;
+  config.dsml = mgridml_metamodel();
+  Result<std::unique_ptr<core::Platform>> platform =
+      core::Platform::assemble_from_text(kMgridMiddlewareModel, config);
+  if (!platform.ok()) return platform.status();
+  vm->platform = std::move(platform.value());
+  MDSM_RETURN_IF_ERROR(vm->platform->add_resource_adapter(
+      std::make_unique<PlantAdapter>(vm->plant, "plant")));
+  MDSM_RETURN_IF_ERROR(vm->platform->start());
+  return vm;
+}
+
+}  // namespace mdsm::mgrid

@@ -1,0 +1,32 @@
+// MGridVM — the Microgrid Virtual Machine (paper §IV-B, Fig. 4) rebuilt
+// from a middleware model:
+//
+//   MUI = platform model-text interface      MSE = SynthesisEngine (LTS)
+//   MCM = ControllerLayer                    MHB = BrokerLayer + PlantAdapter
+//
+// The MCM "applies energy management algorithms and enforces policies":
+// here the broker layer's autonomic manager rebalances the plant when it
+// raises imbalance events (storage discharge preferred, load shedding as
+// fallback), mirroring [11]'s energy-management behaviour.
+#pragma once
+
+#include <memory>
+
+#include "core/platform.hpp"
+#include "domains/mgrid/mgridml.hpp"
+#include "domains/mgrid/plant.hpp"
+
+namespace mdsm::mgrid {
+
+/// Full textual middleware model of the MGridVM.
+std::string_view mgridvm_middleware_model_text();
+
+struct MGridVm {
+  MicrogridPlant plant;
+  std::unique_ptr<core::Platform> platform;
+};
+
+/// Build and start an MGridVM over a fresh simulated plant.
+Result<std::unique_ptr<MGridVm>> make_mgridvm();
+
+}  // namespace mdsm::mgrid

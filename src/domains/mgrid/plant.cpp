@@ -1,0 +1,250 @@
+#include "domains/mgrid/plant.hpp"
+
+#include <algorithm>
+
+namespace mdsm::mgrid {
+
+using model::Value;
+
+void MicrogridPlant::emit(const std::string& topic, Value payload) {
+  if (sink_) sink_(topic, std::move(payload));
+}
+
+Status MicrogridPlant::add_generator(const std::string& id,
+                                     double capacity_kw, bool renewable) {
+  if (generators_.contains(id) || loads_.contains(id) ||
+      storages_.contains(id)) {
+    return AlreadyExists("device '" + id + "' already in plant");
+  }
+  if (capacity_kw <= 0) return InvalidArgument("capacity must be positive");
+  generators_[id] = GeneratorState{capacity_kw, 0.0, false, renewable};
+  return Status::Ok();
+}
+
+Status MicrogridPlant::add_load(const std::string& id, double demand_kw,
+                                bool critical) {
+  if (generators_.contains(id) || loads_.contains(id) ||
+      storages_.contains(id)) {
+    return AlreadyExists("device '" + id + "' already in plant");
+  }
+  if (demand_kw < 0) return InvalidArgument("demand must be non-negative");
+  loads_[id] = LoadState{demand_kw, critical, false};
+  return Status::Ok();
+}
+
+Status MicrogridPlant::add_storage(const std::string& id,
+                                   double capacity_kwh) {
+  if (generators_.contains(id) || loads_.contains(id) ||
+      storages_.contains(id)) {
+    return AlreadyExists("device '" + id + "' already in plant");
+  }
+  if (capacity_kwh <= 0) return InvalidArgument("capacity must be positive");
+  StorageState storage;
+  storage.capacity_kwh = capacity_kwh;
+  storage.level_kwh = capacity_kwh / 2.0;  // delivered half charged
+  storages_[id] = storage;
+  return Status::Ok();
+}
+
+Status MicrogridPlant::remove_device(const std::string& id) {
+  if (generators_.erase(id) + loads_.erase(id) + storages_.erase(id) == 0) {
+    return NotFound("device '" + id + "' not in plant");
+  }
+  check_balance();
+  return Status::Ok();
+}
+
+Status MicrogridPlant::start_generator(const std::string& id) {
+  auto it = generators_.find(id);
+  if (it == generators_.end()) return NotFound("no generator '" + id + "'");
+  it->second.running = true;
+  check_balance();
+  return Status::Ok();
+}
+
+Status MicrogridPlant::stop_generator(const std::string& id) {
+  auto it = generators_.find(id);
+  if (it == generators_.end()) return NotFound("no generator '" + id + "'");
+  it->second.running = false;
+  check_balance();
+  return Status::Ok();
+}
+
+Status MicrogridPlant::set_generator_output(const std::string& id,
+                                            double setpoint_kw) {
+  auto it = generators_.find(id);
+  if (it == generators_.end()) return NotFound("no generator '" + id + "'");
+  if (setpoint_kw < 0 || setpoint_kw > it->second.capacity_kw) {
+    return InvalidArgument("setpoint " + std::to_string(setpoint_kw) +
+                           " outside [0, capacity] for '" + id + "'");
+  }
+  it->second.setpoint_kw = setpoint_kw;
+  check_balance();
+  return Status::Ok();
+}
+
+Status MicrogridPlant::connect_load(const std::string& id) {
+  auto it = loads_.find(id);
+  if (it == loads_.end()) return NotFound("no load '" + id + "'");
+  it->second.connected = true;
+  check_balance();
+  return Status::Ok();
+}
+
+Status MicrogridPlant::shed_load(const std::string& id) {
+  auto it = loads_.find(id);
+  if (it == loads_.end()) return NotFound("no load '" + id + "'");
+  if (it->second.critical) {
+    return FailedPrecondition("load '" + id + "' is critical; refusing shed");
+  }
+  it->second.connected = false;
+  check_balance();
+  return Status::Ok();
+}
+
+Status MicrogridPlant::set_storage_mode(const std::string& id,
+                                        const std::string& mode) {
+  auto it = storages_.find(id);
+  if (it == storages_.end()) return NotFound("no storage '" + id + "'");
+  if (mode != "idle" && mode != "charge" && mode != "discharge") {
+    return InvalidArgument("bad storage mode '" + mode + "'");
+  }
+  it->second.mode = mode;
+  check_balance();
+  return Status::Ok();
+}
+
+double MicrogridPlant::generation_kw() const {
+  double total = 0.0;
+  for (const auto& [id, generator] : generators_) {
+    if (generator.running) total += generator.setpoint_kw;
+  }
+  for (const auto& [id, storage] : storages_) {
+    if (storage.mode == "discharge" && storage.level_kwh > 0) {
+      total += storage.rate_kw;
+    }
+  }
+  return total;
+}
+
+double MicrogridPlant::demand_kw() const {
+  double total = 0.0;
+  for (const auto& [id, load] : loads_) {
+    if (load.connected) total += load.demand_kw;
+  }
+  for (const auto& [id, storage] : storages_) {
+    if (storage.mode == "charge" && storage.level_kwh < storage.capacity_kwh) {
+      total += storage.rate_kw;
+    }
+  }
+  return total;
+}
+
+double MicrogridPlant::net_power_kw() const {
+  return generation_kw() - demand_kw();
+}
+
+void MicrogridPlant::check_balance() {
+  bool balanced = net_power_kw() >= 0.0;
+  if (balanced != last_balanced_) {
+    last_balanced_ = balanced;
+    emit(balanced ? "balance.restored" : "imbalance",
+         Value(net_power_kw()));
+  }
+}
+
+void MicrogridPlant::step(double hours) {
+  for (auto& [id, storage] : storages_) {
+    if (storage.mode == "charge") {
+      storage.level_kwh = std::min(storage.capacity_kwh,
+                                   storage.level_kwh + storage.rate_kw * hours);
+    } else if (storage.mode == "discharge") {
+      storage.level_kwh =
+          std::max(0.0, storage.level_kwh - storage.rate_kw * hours);
+      if (storage.level_kwh == 0.0) {
+        storage.mode = "idle";
+        emit("storage.depleted", Value(id));
+      }
+    }
+  }
+  check_balance();
+}
+
+void MicrogridPlant::trip_generator(const std::string& id) {
+  auto it = generators_.find(id);
+  if (it == generators_.end() || !it->second.running) return;
+  it->second.running = false;
+  emit("generator.trip", Value(id));
+  check_balance();
+}
+
+const GeneratorState* MicrogridPlant::generator(std::string_view id) const {
+  auto it = generators_.find(id);
+  return it == generators_.end() ? nullptr : &it->second;
+}
+
+const LoadState* MicrogridPlant::load(std::string_view id) const {
+  auto it = loads_.find(id);
+  return it == loads_.end() ? nullptr : &it->second;
+}
+
+const StorageState* MicrogridPlant::storage(std::string_view id) const {
+  auto it = storages_.find(id);
+  return it == storages_.end() ? nullptr : &it->second;
+}
+
+PlantAdapter::PlantAdapter(MicrogridPlant& plant, std::string name)
+    : ResourceAdapter(std::move(name)), plant_(&plant) {
+  plant_->set_event_sink([this](const std::string& topic, Value payload) {
+    raise_event(topic, std::move(payload));
+  });
+}
+
+Result<Value> PlantAdapter::execute(const std::string& command,
+                                    const broker::Args& args) {
+  auto str = [&args](std::string_view key) -> std::string {
+    auto it = args.find(key);
+    return it != args.end() && it->second.is_string() ? it->second.as_string()
+                                                      : std::string{};
+  };
+  auto real = [&args](std::string_view key, double fallback = 0.0) {
+    auto it = args.find(key);
+    return it != args.end() && it->second.is_number() ? it->second.as_number()
+                                                      : fallback;
+  };
+  auto boolean = [&args](std::string_view key) {
+    auto it = args.find(key);
+    return it != args.end() && it->second.is_bool() && it->second.as_bool();
+  };
+  Status status;
+  if (command == "gen.add") {
+    status = plant_->add_generator(str("id"), real("capacity"),
+                                   boolean("renewable"));
+  } else if (command == "gen.start") {
+    status = plant_->start_generator(str("id"));
+  } else if (command == "gen.stop") {
+    status = plant_->stop_generator(str("id"));
+  } else if (command == "gen.set") {
+    status = plant_->set_generator_output(str("id"), real("kw"));
+  } else if (command == "load.add") {
+    status = plant_->add_load(str("id"), real("demand"), boolean("critical"));
+  } else if (command == "load.connect") {
+    status = plant_->connect_load(str("id"));
+  } else if (command == "load.shed") {
+    status = plant_->shed_load(str("id"));
+  } else if (command == "storage.add") {
+    status = plant_->add_storage(str("id"), real("capacity"));
+  } else if (command == "storage.mode") {
+    status = plant_->set_storage_mode(str("id"), str("mode"));
+  } else if (command == "device.remove") {
+    status = plant_->remove_device(str("id"));
+  } else if (command == "plant.step") {
+    plant_->step(real("hours", 1.0));
+  } else {
+    return NotFound("plant has no command '" + command + "'");
+  }
+  if (!status.ok()) return status;
+  return Value(plant_->net_power_kw());
+}
+
+}  // namespace mdsm::mgrid

@@ -1,0 +1,73 @@
+#include "domains/smartspace/ssml.hpp"
+
+namespace mdsm::smartspace {
+
+namespace {
+
+using model::AttrType;
+using model::Metamodel;
+using model::Value;
+
+Metamodel build() {
+  Metamodel mm("ssml");
+  auto& space = mm.add_class("SmartSpace");
+  space.add_attribute({.name = "name", .type = AttrType::kString});
+  space.add_reference({.name = "objects",
+                       .target_class = "SmartObject",
+                       .containment = true,
+                       .many = true});
+  space.add_reference({.name = "apps",
+                       .target_class = "UbiquitousApp",
+                       .containment = true,
+                       .many = true});
+  space.add_reference({.name = "users",
+                       .target_class = "User",
+                       .containment = true,
+                       .many = true});
+
+  auto& user = mm.add_class("User");
+  user.add_attribute({.name = "presence",
+                      .type = AttrType::kEnum,
+                      .enum_literals = {"present", "away"},
+                      .default_value = Value("away")});
+
+  auto& object = mm.add_class("SmartObject");
+  object.add_attribute({.name = "kind",
+                        .type = AttrType::kEnum,
+                        .required = true,
+                        .enum_literals = {"light", "thermostat", "lock",
+                                          "speaker"}});
+  object.add_attribute({.name = "power",
+                        .type = AttrType::kBool,
+                        .default_value = Value(false)});
+  object.add_attribute({.name = "level",
+                        .type = AttrType::kInt,
+                        .default_value = Value(0)});
+
+  auto& app = mm.add_class("UbiquitousApp");
+  app.add_attribute(
+      {.name = "trigger", .type = AttrType::kString, .required = true});
+  app.add_attribute(
+      {.name = "command",
+       .type = AttrType::kEnum,
+       .required = true,
+       .enum_literals = {"power-on", "power-off", "set-level"}});
+  app.add_attribute({.name = "level",
+                     .type = AttrType::kInt,
+                     .default_value = Value(0)});
+  app.add_reference({.name = "targets",
+                     .target_class = "SmartObject",
+                     .containment = false,
+                     .many = true,
+                     .required = true});
+  return mm;
+}
+
+}  // namespace
+
+model::MetamodelPtr ssml_metamodel() {
+  static model::MetamodelPtr instance = model::finalize_metamodel(build());
+  return instance;
+}
+
+}  // namespace mdsm::smartspace

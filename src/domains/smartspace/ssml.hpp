@@ -1,0 +1,24 @@
+// 2SML — the Smart Spaces Modeling Language (paper §IV-C, [12]). Its
+// constructs "represent the main kinds of elements that constitute smart
+// spaces — users, smart objects, and ubiquitous applications — along
+// with the relationships among them".
+#pragma once
+
+#include "model/metamodel.hpp"
+
+namespace mdsm::smartspace {
+
+/// The finalized 2SML metamodel (singleton).
+///
+/// Classes:
+///   SmartSpace — contains SmartObjects and UbiquitousApps
+///   User       — presence: present|away
+///   SmartObject — kind: light|thermostat|lock|speaker, power, level
+///   UbiquitousApp — trigger (event topic) + targets (objects) + the
+///                   command/level it applies when triggered; apps become
+///                   *installed scripts* on the object nodes, executed on
+///                   asynchronous events (paper: "their execution is
+///                   triggered by asynchronous events")
+model::MetamodelPtr ssml_metamodel();
+
+}  // namespace mdsm::smartspace

@@ -1,0 +1,243 @@
+#include "model/diff.hpp"
+
+#include <algorithm>
+
+namespace mdsm::model {
+
+std::string_view to_string(ChangeKind kind) noexcept {
+  switch (kind) {
+    case ChangeKind::kAddObject: return "add-object";
+    case ChangeKind::kRemoveObject: return "remove-object";
+    case ChangeKind::kSetAttribute: return "set-attribute";
+    case ChangeKind::kAddReference: return "add-reference";
+    case ChangeKind::kRemoveReference: return "remove-reference";
+  }
+  return "?";
+}
+
+std::string Change::to_text() const {
+  std::string out{to_string(kind)};
+  out += ' ';
+  out += object_id;
+  if (!feature.empty()) {
+    out += '.';
+    out += feature;
+  }
+  switch (kind) {
+    case ChangeKind::kSetAttribute:
+      out += ' ' + old_value.to_text() + " => " + new_value.to_text();
+      break;
+    case ChangeKind::kAddReference:
+    case ChangeKind::kRemoveReference:
+      out += " -> " + target_id;
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+namespace {
+
+bool is_containment(const ModelObject& object, std::string_view reference) {
+  const MetaReference* ref = object.meta().find_reference(reference);
+  return ref != nullptr && ref->containment;
+}
+
+/// Attribute/cross-reference state of one object as SetAttribute /
+/// AddReference changes (used for freshly added objects).
+void emit_object_state(const ModelObject& object, ChangeList& out) {
+  for (const auto& [name, value] : object.attributes()) {
+    Change change;
+    change.kind = ChangeKind::kSetAttribute;
+    change.object_id = object.id();
+    change.class_name = object.class_name();
+    change.parent_id = object.parent_id();
+    change.containment = object.containing_reference();
+    change.feature = name;
+    change.new_value = value;
+    out.push_back(std::move(change));
+  }
+  for (const auto& [name, targets] : object.references()) {
+    if (is_containment(object, name)) continue;
+    for (const auto& target : targets) {
+      Change change;
+      change.kind = ChangeKind::kAddReference;
+      change.object_id = object.id();
+      change.class_name = object.class_name();
+      change.parent_id = object.parent_id();
+      change.containment = object.containing_reference();
+      change.feature = name;
+      change.target_id = target;
+      out.push_back(std::move(change));
+    }
+  }
+}
+
+}  // namespace
+
+ChangeList diff(const Model& old_model, const Model& new_model) {
+  ChangeList out;
+
+  // Removals: objects present in old but not in new, children first
+  // (reverse creation order puts contained objects after — so reverse).
+  std::vector<const ModelObject*> removed;
+  for (const ModelObject* object : old_model.objects()) {
+    if (!new_model.contains(object->id())) removed.push_back(object);
+  }
+  std::reverse(removed.begin(), removed.end());
+  for (const ModelObject* object : removed) {
+    Change change;
+    change.kind = ChangeKind::kRemoveObject;
+    change.object_id = object->id();
+    change.class_name = object->class_name();
+    change.parent_id = object->parent_id();
+    change.containment = object->containing_reference();
+    out.push_back(std::move(change));
+  }
+
+  // Additions: objects in new but not old, creation order (parents first,
+  // guaranteed because create_child requires an existing parent). All
+  // AddObject changes come before any added object's state so that
+  // cross-references among the additions — including forward ones —
+  // resolve when the change list is applied.
+  std::vector<const ModelObject*> added;
+  for (const ModelObject* object : new_model.objects()) {
+    if (old_model.contains(object->id())) continue;
+    Change change;
+    change.kind = ChangeKind::kAddObject;
+    change.object_id = object->id();
+    change.class_name = object->class_name();
+    change.parent_id = object->parent_id();
+    change.containment = object->containing_reference();
+    out.push_back(std::move(change));
+    added.push_back(object);
+  }
+  for (const ModelObject* object : added) {
+    emit_object_state(*object, out);
+  }
+
+  // Mutations on surviving objects, in new-model creation order.
+  for (const ModelObject* after : new_model.objects()) {
+    const ModelObject* before = old_model.find(after->id());
+    if (before == nullptr) continue;
+    // Attribute slots: union of names on both sides.
+    std::vector<std::string> names;
+    for (const auto& [name, value] : before->attributes()) {
+      names.push_back(name);
+    }
+    for (const auto& [name, value] : after->attributes()) {
+      if (!before->has(name)) names.push_back(name);
+    }
+    for (const auto& name : names) {
+      const Value& old_value = before->get(name);
+      const Value& new_value = after->get(name);
+      if (old_value == new_value) continue;
+      Change change;
+      change.kind = ChangeKind::kSetAttribute;
+      change.object_id = after->id();
+      change.class_name = after->class_name();
+      change.parent_id = after->parent_id();
+      change.containment = after->containing_reference();
+      change.feature = name;
+      change.old_value = old_value;
+      change.new_value = new_value;
+      out.push_back(std::move(change));
+    }
+    // Cross-reference slots.
+    std::vector<std::string> ref_names;
+    for (const auto& [name, targets] : before->references()) {
+      if (!is_containment(*before, name)) ref_names.push_back(name);
+    }
+    for (const auto& [name, targets] : after->references()) {
+      if (is_containment(*after, name)) continue;
+      if (std::find(ref_names.begin(), ref_names.end(), name) ==
+          ref_names.end()) {
+        ref_names.push_back(name);
+      }
+    }
+    for (const auto& name : ref_names) {
+      const auto& old_targets = before->targets(name);
+      const auto& new_targets = after->targets(name);
+      for (const auto& target : old_targets) {
+        if (std::find(new_targets.begin(), new_targets.end(), target) ==
+            new_targets.end()) {
+          Change change;
+          change.kind = ChangeKind::kRemoveReference;
+          change.object_id = after->id();
+          change.class_name = after->class_name();
+          change.parent_id = after->parent_id();
+          change.containment = after->containing_reference();
+          change.feature = name;
+          change.target_id = target;
+          out.push_back(std::move(change));
+        }
+      }
+      for (const auto& target : new_targets) {
+        if (std::find(old_targets.begin(), old_targets.end(), target) ==
+            old_targets.end()) {
+          Change change;
+          change.kind = ChangeKind::kAddReference;
+          change.object_id = after->id();
+          change.class_name = after->class_name();
+          change.parent_id = after->parent_id();
+          change.containment = after->containing_reference();
+          change.feature = name;
+          change.target_id = target;
+          out.push_back(std::move(change));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Status apply(const ChangeList& changes, Model& target) {
+  for (const Change& change : changes) {
+    switch (change.kind) {
+      case ChangeKind::kAddObject: {
+        Result<ModelObject*> created =
+            change.parent_id.empty()
+                ? target.create(change.class_name, change.object_id)
+                : target.create_child(change.parent_id, change.containment,
+                                      change.class_name, change.object_id);
+        if (!created.ok()) return created.status();
+        break;
+      }
+      case ChangeKind::kRemoveObject:
+        // Removing a parent may have already cascaded over this object.
+        if (target.contains(change.object_id)) {
+          MDSM_RETURN_IF_ERROR(target.remove(change.object_id));
+        }
+        break;
+      case ChangeKind::kSetAttribute:
+        if (change.new_value.is_none()) {
+          MDSM_RETURN_IF_ERROR(
+              target.unset_attribute(change.object_id, change.feature));
+        } else {
+          MDSM_RETURN_IF_ERROR(target.set_attribute(
+              change.object_id, change.feature, change.new_value));
+        }
+        break;
+      case ChangeKind::kAddReference:
+        MDSM_RETURN_IF_ERROR(target.add_reference(
+            change.object_id, change.feature, change.target_id));
+        break;
+      case ChangeKind::kRemoveReference:
+        MDSM_RETURN_IF_ERROR(target.remove_reference(
+            change.object_id, change.feature, change.target_id));
+        break;
+    }
+  }
+  return Status::Ok();
+}
+
+std::string summarize(const ChangeList& changes) {
+  std::string out = std::to_string(changes.size()) + " change(s)";
+  for (const Change& change : changes) {
+    out += "\n  " + change.to_text();
+  }
+  return out;
+}
+
+}  // namespace mdsm::model

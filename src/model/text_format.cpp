@@ -1,0 +1,384 @@
+#include "model/text_format.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <sstream>
+#include <vector>
+
+#include "common/strings.hpp"
+
+namespace mdsm::model {
+
+namespace {
+
+enum class TokenKind {
+  kWord,     // identifier or bare literal
+  kString,   // quoted, unescaped
+  kNumber,   // raw text of an int/real literal
+  kPunct,    // one of { } = , [ ] or the two-char ->
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> run() {
+    std::vector<Token> out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (c == '"') {
+        Result<Token> tok = lex_string();
+        if (!tok.ok()) return tok.status();
+        out.push_back(std::move(tok.value()));
+      } else if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+                 ((c == '-' || c == '+') && pos_ + 1 < text_.size() &&
+                  std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])) !=
+                      0)) {
+        out.push_back(lex_number());
+      } else if (c == '-' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '>') {
+        out.push_back({TokenKind::kPunct, "->", line_});
+        pos_ += 2;
+      } else if (c == '{' || c == '}' || c == '=' || c == ',' || c == '[' ||
+                 c == ']') {
+        out.push_back({TokenKind::kPunct, std::string(1, c), line_});
+        ++pos_;
+      } else if (std::isalpha(static_cast<unsigned char>(c)) != 0 ||
+                 c == '_') {
+        out.push_back(lex_word());
+      } else {
+        return ParseError("line " + std::to_string(line_) +
+                          ": unexpected character '" + std::string(1, c) +
+                          "'");
+      }
+    }
+    out.push_back({TokenKind::kEnd, "", line_});
+    return out;
+  }
+
+ private:
+  Result<Token> lex_string() {
+    int line = line_;
+    ++pos_;  // opening quote
+    std::string value;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': value += '\n'; break;
+          case 't': value += '\t'; break;
+          case '"': value += '"'; break;
+          case '\\': value += '\\'; break;
+          default: value += esc;
+        }
+      } else if (c == '\n') {
+        return ParseError("line " + std::to_string(line) +
+                          ": unterminated string");
+      } else {
+        value += c;
+      }
+    }
+    if (pos_ >= text_.size()) {
+      return ParseError("line " + std::to_string(line) +
+                        ": unterminated string");
+    }
+    ++pos_;  // closing quote
+    return Token{TokenKind::kString, std::move(value), line};
+  }
+
+  Token lex_number() {
+    int line = line_;
+    std::size_t start = pos_;
+    if (text_[pos_] == '-' || text_[pos_] == '+') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            ((text_[pos_] == '-' || text_[pos_] == '+') &&
+             (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
+      ++pos_;
+    }
+    return {TokenKind::kNumber, std::string(text_.substr(start, pos_ - start)),
+            line};
+  }
+
+  Token lex_word() {
+    int line = line_;
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '_' || text_[pos_] == '.' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return {TokenKind::kWord, std::string(text_.substr(start, pos_ - start)),
+            line};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+struct PendingReference {
+  std::string object_id;
+  std::string reference;
+  std::string target_id;
+  int line;
+};
+
+// Bind the next identifier token to `var`, or propagate the parse error.
+// Works in functions returning Status or Result<T> (both accept a Status).
+#define MDSM_WORD(var)                                     \
+  std::string var;                                         \
+  {                                                        \
+    auto mdsm_word_result_ = expect_word();                \
+    if (!mdsm_word_result_.ok()) return mdsm_word_result_.status(); \
+    var = std::move(mdsm_word_result_.value());            \
+  }
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, MetamodelPtr metamodel)
+      : tokens_(std::move(tokens)), metamodel_(std::move(metamodel)) {}
+
+  Result<Model> run() {
+    // Header: model <name> conforms <metamodel>
+    MDSM_WORD(kw);
+    if (kw != "model") return error("expected 'model'");
+    MDSM_WORD(name);
+    MDSM_WORD(conforms);
+    if (conforms != "conforms") return error("expected 'conforms'");
+    MDSM_WORD(mm_name);
+    if (mm_name != metamodel_->name()) {
+      return error("model conforms to '" + mm_name + "' but metamodel is '" +
+                   metamodel_->name() + "'");
+    }
+    Model model(name, metamodel_);
+    while (peek().kind != TokenKind::kEnd) {
+      MDSM_WORD(word);
+      if (word != "object") return error("expected 'object'");
+      Status status = parse_object(model, /*parent_id=*/"", /*ref=*/"");
+      if (!status.ok()) return status;
+    }
+    for (const auto& pending : pending_refs_) {
+      Status status = model.add_reference(pending.object_id, pending.reference,
+                                          pending.target_id);
+      if (!status.ok()) {
+        return ParseError("line " + std::to_string(pending.line) + ": " +
+                          status.message());
+      }
+    }
+    return model;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[index_]; }
+  Token take() { return tokens_[index_++]; }
+
+  Status error(const std::string& message) const {
+    return ParseError("line " + std::to_string(peek().line) + ": " + message);
+  }
+
+  Result<std::string> expect_word() {
+    if (peek().kind != TokenKind::kWord) {
+      return ParseError("line " + std::to_string(peek().line) +
+                        ": expected identifier, got '" + peek().text + "'");
+    }
+    return take().text;
+  }
+
+  Status expect_punct(std::string_view punct) {
+    if (peek().kind != TokenKind::kPunct || peek().text != punct) {
+      return error("expected '" + std::string(punct) + "', got '" +
+                   peek().text + "'");
+    }
+    take();
+    return Status::Ok();
+  }
+
+  Status parse_object(Model& model, const std::string& parent_id,
+                      const std::string& containment) {
+    MDSM_WORD(class_name);
+    MDSM_WORD(id);
+    Result<ModelObject*> created =
+        parent_id.empty()
+            ? model.create(class_name, id)
+            : model.create_child(parent_id, containment, class_name, id);
+    if (!created.ok()) {
+      return ParseError("line " + std::to_string(peek().line) + ": " +
+                        created.status().message());
+    }
+    MDSM_RETURN_IF_ERROR(expect_punct("{"));
+    while (!(peek().kind == TokenKind::kPunct && peek().text == "}")) {
+      if (peek().kind == TokenKind::kEnd) return error("unexpected EOF");
+      MDSM_WORD(slot);
+      if (slot == "child") {
+        MDSM_WORD(ref_name);
+        MDSM_RETURN_IF_ERROR(parse_object(model, id, ref_name));
+        continue;
+      }
+      if (peek().kind == TokenKind::kPunct && peek().text == "=") {
+        take();
+        Result<Value> value = parse_value();
+        if (!value.ok()) return value.status();
+        Status status = model.set_attribute(id, slot, std::move(value.value()));
+        if (!status.ok()) {
+          return ParseError("line " + std::to_string(peek().line) + ": " +
+                            status.message());
+        }
+      } else if (peek().kind == TokenKind::kPunct && peek().text == "->") {
+        take();
+        while (true) {
+          MDSM_WORD(target);
+          pending_refs_.push_back({id, slot, target, peek().line});
+          if (peek().kind == TokenKind::kPunct && peek().text == ",") {
+            take();
+            continue;
+          }
+          break;
+        }
+      } else {
+        return error("expected '=' or '->' after '" + slot + "'");
+      }
+    }
+    take();  // '}'
+    return Status::Ok();
+  }
+
+  Result<Value> parse_value() {
+    const Token& tok = peek();
+    switch (tok.kind) {
+      case TokenKind::kString:
+        return Value(take().text);
+      case TokenKind::kNumber: {
+        std::string text = take().text;
+        if (text.find('.') != std::string::npos ||
+            text.find('e') != std::string::npos ||
+            text.find('E') != std::string::npos) {
+          return Value(std::stod(text));
+        }
+        std::int64_t i = 0;
+        auto [ptr, ec] =
+            std::from_chars(text.data(), text.data() + text.size(), i);
+        if (ec != std::errc{} || ptr != text.data() + text.size()) {
+          return ParseError("line " + std::to_string(tok.line) +
+                            ": bad number '" + text + "'");
+        }
+        return Value(i);
+      }
+      case TokenKind::kWord: {
+        std::string word = take().text;
+        if (word == "true") return Value(true);
+        if (word == "false") return Value(false);
+        if (word == "none") return Value();
+        return Value(word);  // bare word: enum literal / short string
+      }
+      case TokenKind::kPunct:
+        if (tok.text == "[") {
+          take();
+          ValueList items;
+          if (peek().kind == TokenKind::kPunct && peek().text == "]") {
+            take();
+            return Value(std::move(items));
+          }
+          while (true) {
+            Result<Value> item = parse_value();
+            if (!item.ok()) return item.status();
+            items.push_back(std::move(item.value()));
+            if (peek().kind == TokenKind::kPunct && peek().text == ",") {
+              take();
+              continue;
+            }
+            break;
+          }
+          MDSM_RETURN_IF_ERROR(expect_punct("]"));
+          return Value(std::move(items));
+        }
+        [[fallthrough]];
+      default:
+        return ParseError("line " + std::to_string(tok.line) +
+                          ": expected value, got '" + tok.text + "'");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t index_ = 0;
+  MetamodelPtr metamodel_;
+  std::vector<PendingReference> pending_refs_;
+};
+
+void serialize_object(const Model& model, const ModelObject& object,
+                      int indent, std::ostringstream& out) {
+  std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  out << pad;
+  if (object.parent_id().empty()) {
+    out << "object ";
+  } else {
+    out << "child " << object.containing_reference() << ' ';
+  }
+  out << object.class_name() << ' ' << object.id() << " {\n";
+  std::string inner(static_cast<std::size_t>(indent + 1) * 2, ' ');
+  for (const auto& [name, value] : object.attributes()) {
+    out << inner << name << " = " << value.to_text() << '\n';
+  }
+  for (const auto& [name, targets] : object.references()) {
+    const MetaReference* ref = object.meta().find_reference(name);
+    if (ref != nullptr && ref->containment) continue;  // emitted as children
+    out << inner << name << " ->";
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      out << (i == 0 ? " " : ", ") << targets[i];
+    }
+    out << '\n';
+  }
+  for (const auto& [name, targets] : object.references()) {
+    const MetaReference* ref = object.meta().find_reference(name);
+    if (ref == nullptr || !ref->containment) continue;
+    for (const auto& child_id : targets) {
+      if (const ModelObject* child = model.find(child_id)) {
+        serialize_object(model, *child, indent + 1, out);
+      }
+    }
+  }
+  out << pad << "}\n";
+}
+
+#undef MDSM_WORD
+
+}  // namespace
+
+Result<Model> parse_model(std::string_view text, MetamodelPtr metamodel) {
+  if (metamodel == nullptr || !metamodel->finalized()) {
+    return InvalidArgument("parse_model requires a finalized metamodel");
+  }
+  Lexer lexer(text);
+  Result<std::vector<Token>> tokens = lexer.run();
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens.value()), std::move(metamodel));
+  return parser.run();
+}
+
+std::string serialize_model(const Model& model) {
+  std::ostringstream out;
+  out << "model " << model.name() << " conforms " << model.metamodel().name()
+      << "\n\n";
+  for (const ModelObject* root : model.roots()) {
+    serialize_object(model, *root, 0, out);
+  }
+  return out.str();
+}
+
+}  // namespace mdsm::model

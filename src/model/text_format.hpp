@@ -1,0 +1,33 @@
+// Textual concrete syntax for models — the substitute for the paper's
+// EMF/Xtext editing environment. The UI layer of each domain platform
+// parses user-authored model text into a Model and serializes runtime
+// models back out (round-trip engineering).
+//
+// Grammar (line comments start with '#'):
+//
+//   model <name> conforms <metamodel-name>
+//
+//   object <Class> <id> {
+//     <attribute> = <value>            # value: none|true|false|int|real|
+//     <reference> -> <id>, <id>        #        "string"|bare-word|[v, ...]
+//     child <containment> <Class> <id> { ... }
+//   }
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "model/model.hpp"
+
+namespace mdsm::model {
+
+/// Parse model text. The metamodel named in the header must equal
+/// `metamodel->name()`. Cross-references may point forward; they are
+/// resolved after all objects are created.
+Result<Model> parse_model(std::string_view text, MetamodelPtr metamodel);
+
+/// Serialize deterministically (creation order for objects, sorted slot
+/// names). parse_model(serialize_model(m)) reproduces m.
+std::string serialize_model(const Model& model);
+
+}  // namespace mdsm::model

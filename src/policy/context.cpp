@@ -1,0 +1,45 @@
+#include "policy/context.hpp"
+
+namespace mdsm::policy {
+
+void ContextStore::set(const std::string& name, model::Value value) {
+  std::lock_guard lock(mutex_);
+  variables_[name] = std::move(value);
+  ++version_;
+}
+
+model::Value ContextStore::get(std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  auto it = variables_.find(name);
+  return it == variables_.end() ? model::Value{} : it->second;
+}
+
+bool ContextStore::has(std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  return variables_.contains(name);
+}
+
+void ContextStore::erase(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  if (variables_.erase(name) > 0) ++version_;
+}
+
+std::uint64_t ContextStore::version() const noexcept {
+  std::lock_guard lock(mutex_);
+  return version_;
+}
+
+std::vector<std::string> ContextStore::names() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(variables_.size());
+  for (const auto& [name, value] : variables_) out.push_back(name);
+  return out;
+}
+
+std::map<std::string, model::Value> ContextStore::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return {variables_.begin(), variables_.end()};
+}
+
+}  // namespace mdsm::policy

@@ -1,0 +1,44 @@
+// Context store: the named "context variables" that guide action
+// selection, command classification and policy evaluation (paper §V-A:
+// "the choice of action ... is based on policies and context variables
+// defined in the middleware model").
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "model/value.hpp"
+
+namespace mdsm::policy {
+
+class ContextStore {
+ public:
+  /// Set (or overwrite) a variable. Bumps the store version.
+  void set(const std::string& name, model::Value value);
+
+  /// Value of `name`, or none if unset.
+  [[nodiscard]] model::Value get(std::string_view name) const;
+
+  [[nodiscard]] bool has(std::string_view name) const;
+
+  void erase(const std::string& name);
+
+  /// Monotone counter incremented on every mutation — lets caches (e.g.
+  /// the controller's IM cache) detect context drift cheaply.
+  [[nodiscard]] std::uint64_t version() const noexcept;
+
+  /// Sorted names, for diagnostics.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Point-in-time copy of all variables.
+  [[nodiscard]] std::map<std::string, model::Value> snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, model::Value, std::less<>> variables_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace mdsm::policy

@@ -1,0 +1,478 @@
+#include "policy/expression.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <vector>
+
+namespace mdsm::policy {
+
+namespace detail {
+
+enum class Op {
+  kLiteral,
+  kIdent,
+  kDefined,
+  kOr,
+  kAnd,
+  kNot,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kNeg,
+};
+
+struct Node {
+  Op op = Op::kLiteral;
+  model::Value literal;
+  std::string ident;
+  std::shared_ptr<const Node> lhs;
+  std::shared_ptr<const Node> rhs;
+};
+
+}  // namespace detail
+
+namespace {
+
+using detail::Node;
+using detail::Op;
+using model::Value;
+using model::ValueKind;
+
+// ----------------------------------------------------------------- lexer
+
+enum class TokKind { kNumber, kString, kIdent, kOp, kEnd };
+
+struct Tok {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+};
+
+Result<std::vector<Tok>> lex(std::string_view text) {
+  std::vector<Tok> out;
+  std::size_t i = 0;
+  auto two = [&](char a, char b) {
+    return i + 1 < text.size() && text[i] == a && text[i + 1] == b;
+  };
+  while (i < text.size()) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t start = i;
+      while (i < text.size() &&
+             (std::isdigit(static_cast<unsigned char>(text[i])) != 0 ||
+              text[i] == '.')) {
+        ++i;
+      }
+      out.push_back({TokKind::kNumber, std::string(text.substr(start, i - start))});
+    } else if (c == '"') {
+      ++i;
+      std::string value;
+      while (i < text.size() && text[i] != '"') {
+        if (text[i] == '\\' && i + 1 < text.size()) {
+          ++i;
+        }
+        value += text[i++];
+      }
+      if (i >= text.size()) return ParseError("unterminated string literal");
+      ++i;
+      out.push_back({TokKind::kString, std::move(value)});
+    } else if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      std::size_t start = i;
+      while (i < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[i])) != 0 ||
+              text[i] == '_' || text[i] == '.')) {
+        ++i;
+      }
+      out.push_back({TokKind::kIdent, std::string(text.substr(start, i - start))});
+    } else if (two('&', '&') || two('|', '|') || two('=', '=') ||
+               two('!', '=') || two('<', '=') || two('>', '=')) {
+      out.push_back({TokKind::kOp, std::string(text.substr(i, 2))});
+      i += 2;
+    } else if (c == '!' || c == '<' || c == '>' || c == '+' || c == '-' ||
+               c == '*' || c == '/' || c == '(' || c == ')') {
+      out.push_back({TokKind::kOp, std::string(1, c)});
+      ++i;
+    } else {
+      return ParseError(std::string("unexpected character '") + c +
+                        "' in expression");
+    }
+  }
+  out.push_back({TokKind::kEnd, ""});
+  return out;
+}
+
+// ---------------------------------------------------------------- parser
+
+class ExprParser {
+ public:
+  explicit ExprParser(std::vector<Tok> toks) : toks_(std::move(toks)) {}
+
+  Result<std::shared_ptr<const Node>> run() {
+    auto expr = parse_or();
+    if (!expr.ok()) return expr;
+    if (peek().kind != TokKind::kEnd) {
+      return ParseError("trailing input in expression: '" + peek().text + "'");
+    }
+    return expr;
+  }
+
+ private:
+  const Tok& peek() const { return toks_[i_]; }
+  Tok take() { return toks_[i_++]; }
+  bool eat_op(std::string_view op) {
+    if (peek().kind == TokKind::kOp && peek().text == op) {
+      ++i_;
+      return true;
+    }
+    return false;
+  }
+
+  static std::shared_ptr<const Node> make(Op op,
+                                          std::shared_ptr<const Node> lhs,
+                                          std::shared_ptr<const Node> rhs) {
+    auto node = std::make_shared<Node>();
+    node->op = op;
+    node->lhs = std::move(lhs);
+    node->rhs = std::move(rhs);
+    return node;
+  }
+
+  Result<std::shared_ptr<const Node>> parse_or() {
+    auto lhs = parse_and();
+    if (!lhs.ok()) return lhs;
+    auto node = std::move(lhs.value());
+    while (eat_op("||")) {
+      auto rhs = parse_and();
+      if (!rhs.ok()) return rhs;
+      node = make(Op::kOr, std::move(node), std::move(rhs.value()));
+    }
+    return node;
+  }
+
+  Result<std::shared_ptr<const Node>> parse_and() {
+    auto lhs = parse_cmp();
+    if (!lhs.ok()) return lhs;
+    auto node = std::move(lhs.value());
+    while (eat_op("&&")) {
+      auto rhs = parse_cmp();
+      if (!rhs.ok()) return rhs;
+      node = make(Op::kAnd, std::move(node), std::move(rhs.value()));
+    }
+    return node;
+  }
+
+  Result<std::shared_ptr<const Node>> parse_cmp() {
+    auto lhs = parse_add();
+    if (!lhs.ok()) return lhs;
+    auto node = std::move(lhs.value());
+    struct {
+      const char* text;
+      Op op;
+    } const ops[] = {{"==", Op::kEq}, {"!=", Op::kNe}, {"<=", Op::kLe},
+                     {">=", Op::kGe}, {"<", Op::kLt},  {">", Op::kGt}};
+    for (const auto& candidate : ops) {
+      if (eat_op(candidate.text)) {
+        auto rhs = parse_add();
+        if (!rhs.ok()) return rhs;
+        return make(candidate.op, std::move(node), std::move(rhs.value()));
+      }
+    }
+    return node;
+  }
+
+  Result<std::shared_ptr<const Node>> parse_add() {
+    auto lhs = parse_mul();
+    if (!lhs.ok()) return lhs;
+    auto node = std::move(lhs.value());
+    while (true) {
+      if (eat_op("+")) {
+        auto rhs = parse_mul();
+        if (!rhs.ok()) return rhs;
+        node = make(Op::kAdd, std::move(node), std::move(rhs.value()));
+      } else if (eat_op("-")) {
+        auto rhs = parse_mul();
+        if (!rhs.ok()) return rhs;
+        node = make(Op::kSub, std::move(node), std::move(rhs.value()));
+      } else {
+        return node;
+      }
+    }
+  }
+
+  Result<std::shared_ptr<const Node>> parse_mul() {
+    auto lhs = parse_unary();
+    if (!lhs.ok()) return lhs;
+    auto node = std::move(lhs.value());
+    while (true) {
+      if (eat_op("*")) {
+        auto rhs = parse_unary();
+        if (!rhs.ok()) return rhs;
+        node = make(Op::kMul, std::move(node), std::move(rhs.value()));
+      } else if (eat_op("/")) {
+        auto rhs = parse_unary();
+        if (!rhs.ok()) return rhs;
+        node = make(Op::kDiv, std::move(node), std::move(rhs.value()));
+      } else {
+        return node;
+      }
+    }
+  }
+
+  Result<std::shared_ptr<const Node>> parse_unary() {
+    if (eat_op("!")) {
+      auto operand = parse_unary();
+      if (!operand.ok()) return operand;
+      return make(Op::kNot, std::move(operand.value()), nullptr);
+    }
+    if (eat_op("-")) {
+      auto operand = parse_unary();
+      if (!operand.ok()) return operand;
+      return make(Op::kNeg, std::move(operand.value()), nullptr);
+    }
+    return parse_primary();
+  }
+
+  Result<std::shared_ptr<const Node>> parse_primary() {
+    const Tok& tok = peek();
+    switch (tok.kind) {
+      case TokKind::kNumber: {
+        std::string text = take().text;
+        auto node = std::make_shared<Node>();
+        node->op = Op::kLiteral;
+        if (text.find('.') != std::string::npos) {
+          node->literal = Value(std::stod(text));
+        } else {
+          std::int64_t value = 0;
+          auto [ptr, ec] =
+              std::from_chars(text.data(), text.data() + text.size(), value);
+          if (ec != std::errc{}) {
+            return ParseError("bad number '" + text + "'");
+          }
+          node->literal = Value(value);
+        }
+        return std::shared_ptr<const Node>(node);
+      }
+      case TokKind::kString: {
+        auto node = std::make_shared<Node>();
+        node->op = Op::kLiteral;
+        node->literal = Value(take().text);
+        return std::shared_ptr<const Node>(node);
+      }
+      case TokKind::kIdent: {
+        std::string name = take().text;
+        auto node = std::make_shared<Node>();
+        if (name == "true" || name == "false") {
+          node->op = Op::kLiteral;
+          node->literal = Value(name == "true");
+          return std::shared_ptr<const Node>(node);
+        }
+        if (name == "defined") {
+          if (!eat_op("(")) return ParseError("defined requires '(name)'");
+          if (peek().kind != TokKind::kIdent) {
+            return ParseError("defined requires an identifier argument");
+          }
+          node->op = Op::kDefined;
+          node->ident = take().text;
+          if (!eat_op(")")) return ParseError("missing ')' after defined");
+          return std::shared_ptr<const Node>(node);
+        }
+        node->op = Op::kIdent;
+        node->ident = std::move(name);
+        return std::shared_ptr<const Node>(node);
+      }
+      case TokKind::kOp:
+        if (tok.text == "(") {
+          take();
+          auto inner = parse_or();
+          if (!inner.ok()) return inner;
+          if (!eat_op(")")) return ParseError("missing ')'");
+          return inner;
+        }
+        [[fallthrough]];
+      default:
+        return ParseError("expected value, got '" + tok.text + "'");
+    }
+  }
+
+  std::vector<Tok> toks_;
+  std::size_t i_ = 0;
+};
+
+// ------------------------------------------------------------- evaluator
+
+Result<Value> eval(const Node& node, const ContextStore& context);
+
+Result<bool> eval_bool(const Node& node, const ContextStore& context) {
+  Result<Value> value = eval(node, context);
+  if (!value.ok()) return value.status();
+  if (value->is_bool()) return value->as_bool();
+  if (value->is_none()) return false;  // undefined guard → false
+  return InvalidArgument("expression expects a boolean, got " +
+                         std::string(to_string(value->kind())));
+}
+
+Result<Value> eval_compare(Op op, const Value& lhs, const Value& rhs) {
+  // Mixed-number comparisons widen to double; otherwise kinds must match.
+  if (lhs.is_number() && rhs.is_number()) {
+    double a = lhs.as_number();
+    double b = rhs.as_number();
+    switch (op) {
+      case Op::kEq: return Value(a == b);
+      case Op::kNe: return Value(a != b);
+      case Op::kLt: return Value(a < b);
+      case Op::kLe: return Value(a <= b);
+      case Op::kGt: return Value(a > b);
+      case Op::kGe: return Value(a >= b);
+      default: break;
+    }
+  }
+  if (op == Op::kEq) return Value(lhs == rhs);
+  if (op == Op::kNe) return Value(!(lhs == rhs));
+  if (lhs.is_string() && rhs.is_string()) {
+    int cmp = lhs.as_string().compare(rhs.as_string());
+    switch (op) {
+      case Op::kLt: return Value(cmp < 0);
+      case Op::kLe: return Value(cmp <= 0);
+      case Op::kGt: return Value(cmp > 0);
+      case Op::kGe: return Value(cmp >= 0);
+      default: break;
+    }
+  }
+  // Ordering against none (undefined context var) is simply false.
+  if (lhs.is_none() || rhs.is_none()) return Value(false);
+  return InvalidArgument("cannot order " + std::string(to_string(lhs.kind())) +
+                         " against " + std::string(to_string(rhs.kind())));
+}
+
+Result<Value> eval_arith(Op op, const Value& lhs, const Value& rhs) {
+  if (op == Op::kAdd && lhs.is_string() && rhs.is_string()) {
+    return Value(lhs.as_string() + rhs.as_string());
+  }
+  if (!lhs.is_number() || !rhs.is_number()) {
+    return InvalidArgument("arithmetic requires numbers");
+  }
+  if (lhs.is_int() && rhs.is_int()) {
+    std::int64_t a = lhs.as_int();
+    std::int64_t b = rhs.as_int();
+    switch (op) {
+      case Op::kAdd: return Value(a + b);
+      case Op::kSub: return Value(a - b);
+      case Op::kMul: return Value(a * b);
+      case Op::kDiv:
+        if (b == 0) return InvalidArgument("division by zero");
+        return Value(a / b);
+      default: break;
+    }
+  }
+  double a = lhs.as_number();
+  double b = rhs.as_number();
+  switch (op) {
+    case Op::kAdd: return Value(a + b);
+    case Op::kSub: return Value(a - b);
+    case Op::kMul: return Value(a * b);
+    case Op::kDiv:
+      if (b == 0.0) return InvalidArgument("division by zero");
+      return Value(a / b);
+    default: break;
+  }
+  return Internal("bad arithmetic op");
+}
+
+Result<Value> eval(const Node& node, const ContextStore& context) {
+  switch (node.op) {
+    case Op::kLiteral: return node.literal;
+    case Op::kIdent: return context.get(node.ident);
+    case Op::kDefined: return Value(context.has(node.ident));
+    case Op::kOr: {
+      Result<bool> lhs = eval_bool(*node.lhs, context);
+      if (!lhs.ok()) return lhs.status();
+      if (*lhs) return Value(true);  // short-circuit
+      Result<bool> rhs = eval_bool(*node.rhs, context);
+      if (!rhs.ok()) return rhs.status();
+      return Value(*rhs);
+    }
+    case Op::kAnd: {
+      Result<bool> lhs = eval_bool(*node.lhs, context);
+      if (!lhs.ok()) return lhs.status();
+      if (!*lhs) return Value(false);  // short-circuit
+      Result<bool> rhs = eval_bool(*node.rhs, context);
+      if (!rhs.ok()) return rhs.status();
+      return Value(*rhs);
+    }
+    case Op::kNot: {
+      Result<bool> operand = eval_bool(*node.lhs, context);
+      if (!operand.ok()) return operand.status();
+      return Value(!*operand);
+    }
+    case Op::kNeg: {
+      Result<Value> operand = eval(*node.lhs, context);
+      if (!operand.ok()) return operand;
+      if (operand->is_int()) return Value(-operand->as_int());
+      if (operand->is_real()) return Value(-operand->as_real());
+      return InvalidArgument("negation requires a number");
+    }
+    case Op::kEq:
+    case Op::kNe:
+    case Op::kLt:
+    case Op::kLe:
+    case Op::kGt:
+    case Op::kGe: {
+      Result<Value> lhs = eval(*node.lhs, context);
+      if (!lhs.ok()) return lhs;
+      Result<Value> rhs = eval(*node.rhs, context);
+      if (!rhs.ok()) return rhs;
+      return eval_compare(node.op, *lhs, *rhs);
+    }
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kDiv: {
+      Result<Value> lhs = eval(*node.lhs, context);
+      if (!lhs.ok()) return lhs;
+      Result<Value> rhs = eval(*node.rhs, context);
+      if (!rhs.ok()) return rhs;
+      return eval_arith(node.op, *lhs, *rhs);
+    }
+  }
+  return Internal("bad expression node");
+}
+
+}  // namespace
+
+Result<Expression> Expression::parse(std::string_view text) {
+  std::string_view trimmed = text;
+  while (!trimmed.empty() &&
+         std::isspace(static_cast<unsigned char>(trimmed.front())) != 0) {
+    trimmed.remove_prefix(1);
+  }
+  if (trimmed.empty()) return Expression{};  // empty → constant true
+  Result<std::vector<Tok>> toks = lex(text);
+  if (!toks.ok()) return toks.status();
+  ExprParser parser(std::move(toks.value()));
+  Result<std::shared_ptr<const Node>> root = parser.run();
+  if (!root.ok()) return root.status();
+  Expression expression;
+  expression.text_ = std::string(text);
+  expression.root_ = std::move(root.value());
+  return expression;
+}
+
+Result<model::Value> Expression::evaluate(const ContextStore& context) const {
+  if (root_ == nullptr) return model::Value(true);
+  return eval(*root_, context);
+}
+
+Result<bool> Expression::evaluate_bool(const ContextStore& context) const {
+  if (root_ == nullptr) return true;
+  return eval_bool(*root_, context);
+}
+
+}  // namespace mdsm::policy

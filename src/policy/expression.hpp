@@ -1,0 +1,59 @@
+// Policy expression language.
+//
+// Guard conditions in middleware models ("which action applies", "when is
+// autonomic behavior triggered", "is this command Case 1 or Case 2") are
+// written as small boolean expressions over context variables:
+//
+//   bandwidth >= 1.5 && mode == "eco" || !defined(override)
+//
+// Grammar (precedence low→high):  or:  a || b
+//                                 and: a && b
+//                                 not: !a
+//                                 cmp: == != < <= > >=
+//                                 add: + -        mul: * /
+//                                 primary: literal | ident | defined(ident)
+//                                          | ( expr )
+//
+// Identifiers (dotted names allowed) are looked up in the ContextStore at
+// evaluation time; an undefined identifier evaluates to none, which makes
+// comparisons false rather than erroring (models guard against absence
+// with defined()).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/status.hpp"
+#include "model/value.hpp"
+#include "policy/context.hpp"
+
+namespace mdsm::policy {
+
+namespace detail {
+struct Node;
+}
+
+/// A parsed, reusable expression. Compile once, evaluate per command.
+class Expression {
+ public:
+  Expression() = default;  ///< empty expression; evaluates to true
+
+  /// Evaluate to an arbitrary Value.
+  [[nodiscard]] Result<model::Value> evaluate(
+      const ContextStore& context) const;
+
+  /// Evaluate and require a boolean result (none → false; anything else
+  /// non-bool is an error — guards must be explicit).
+  [[nodiscard]] Result<bool> evaluate_bool(const ContextStore& context) const;
+
+  [[nodiscard]] const std::string& text() const noexcept { return text_; }
+  [[nodiscard]] bool empty() const noexcept { return root_ == nullptr; }
+
+  static Result<Expression> parse(std::string_view text);
+
+ private:
+  std::string text_;
+  std::shared_ptr<const detail::Node> root_;  ///< shared: expressions copy cheaply
+};
+
+}  // namespace mdsm::policy

@@ -1,0 +1,79 @@
+#include "policy/policy_engine.hpp"
+
+#include <algorithm>
+
+namespace mdsm::policy {
+
+Status PolicySet::add(const std::string& name, std::string_view condition_text,
+                      std::string decision, int priority,
+                      std::map<std::string, model::Value> parameters) {
+  for (const Policy& policy : policies_) {
+    if (policy.name == name) {
+      return AlreadyExists("policy '" + name + "' already in set");
+    }
+  }
+  Result<Expression> condition = Expression::parse(condition_text);
+  if (!condition.ok()) {
+    return ParseError("policy '" + name +
+                      "' condition: " + condition.status().message());
+  }
+  Policy policy;
+  policy.name = name;
+  policy.condition = std::move(condition.value());
+  policy.priority = priority;
+  policy.decision = std::move(decision);
+  policy.parameters = std::move(parameters);
+  // Insert keeping priority-descending order, stable for equal priority.
+  auto pos = std::find_if(policies_.begin(), policies_.end(),
+                          [&](const Policy& existing) {
+                            return existing.priority < policy.priority;
+                          });
+  policies_.insert(pos, std::move(policy));
+  return Status::Ok();
+}
+
+Status PolicySet::remove(const std::string& name) {
+  auto pos = std::find_if(
+      policies_.begin(), policies_.end(),
+      [&](const Policy& policy) { return policy.name == name; });
+  if (pos == policies_.end()) {
+    return NotFound("policy '" + name + "' not in set");
+  }
+  policies_.erase(pos);
+  return Status::Ok();
+}
+
+std::optional<PolicyDecision> PolicySet::evaluate(
+    const ContextStore& context) const {
+  last_error_ = Status::Ok();
+  for (const Policy& policy : policies_) {
+    Result<bool> holds = policy.condition.evaluate_bool(context);
+    if (!holds.ok()) {
+      last_error_ = holds.status();
+      continue;
+    }
+    if (*holds) {
+      return PolicyDecision{policy.name, policy.decision, policy.parameters};
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<PolicyDecision> PolicySet::evaluate_all(
+    const ContextStore& context) const {
+  last_error_ = Status::Ok();
+  std::vector<PolicyDecision> out;
+  for (const Policy& policy : policies_) {
+    Result<bool> holds = policy.condition.evaluate_bool(context);
+    if (!holds.ok()) {
+      last_error_ = holds.status();
+      continue;
+    }
+    if (*holds) {
+      out.push_back({policy.name, policy.decision, policy.parameters});
+    }
+  }
+  return out;
+}
+
+}  // namespace mdsm::policy

@@ -1,0 +1,61 @@
+// Policies: named, prioritized guard→decision rules evaluated against the
+// context store. The broker's PolicyManager, the controller's command
+// classifier and the IM selector all run on this engine.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "policy/expression.hpp"
+
+namespace mdsm::policy {
+
+struct Policy {
+  std::string name;
+  Expression condition;    ///< empty condition ⇒ always applies
+  int priority = 0;        ///< higher wins
+  std::string decision;    ///< opaque verdict the caller interprets
+  std::map<std::string, model::Value> parameters;  ///< extra knobs
+};
+
+/// Result of evaluating a PolicySet: which policy fired.
+struct PolicyDecision {
+  std::string policy_name;
+  std::string decision;
+  std::map<std::string, model::Value> parameters;
+};
+
+class PolicySet {
+ public:
+  /// Add a policy; `condition_text` is compiled here. Names are unique.
+  Status add(const std::string& name, std::string_view condition_text,
+             std::string decision, int priority = 0,
+             std::map<std::string, model::Value> parameters = {});
+
+  Status remove(const std::string& name);
+
+  /// Highest-priority policy whose condition holds (ties: insertion
+  /// order). nullopt when none matches. Condition evaluation errors
+  /// count as non-matching but are surfaced via last_error().
+  [[nodiscard]] std::optional<PolicyDecision> evaluate(
+      const ContextStore& context) const;
+
+  /// Every matching policy, priority-descending.
+  [[nodiscard]] std::vector<PolicyDecision> evaluate_all(
+      const ContextStore& context) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return policies_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return policies_.empty(); }
+  [[nodiscard]] const Status& last_error() const noexcept {
+    return last_error_;
+  }
+
+ private:
+  std::vector<Policy> policies_;  ///< kept priority-descending, stable
+  mutable Status last_error_;
+};
+
+}  // namespace mdsm::policy

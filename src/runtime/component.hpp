@@ -1,0 +1,53 @@
+// Component base for everything the component factory instantiates from a
+// middleware model: managers, handlers, brokers, adapters. Components have
+// a start/stop lifecycle so an assembled platform can be brought up and
+// torn down in model-defined order.
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+
+namespace mdsm::runtime {
+
+enum class ComponentState { kCreated, kStarted, kStopped };
+
+std::string_view to_string(ComponentState state) noexcept;
+
+class Component {
+ public:
+  explicit Component(std::string name) : name_(std::move(name)) {}
+  virtual ~Component() = default;
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] ComponentState state() const noexcept { return state_; }
+
+  /// Idempotent lifecycle: start() after start() is a no-op success.
+  [[nodiscard]] Status start() {
+    if (state_ == ComponentState::kStarted) return Status::Ok();
+    MDSM_RETURN_IF_ERROR(on_start());
+    state_ = ComponentState::kStarted;
+    return Status::Ok();
+  }
+
+  [[nodiscard]] Status stop() {
+    if (state_ != ComponentState::kStarted) return Status::Ok();
+    MDSM_RETURN_IF_ERROR(on_stop());
+    state_ = ComponentState::kStopped;
+    return Status::Ok();
+  }
+
+ protected:
+  /// Subclass hooks; default to success so trivial components need no code.
+  virtual Status on_start() { return Status::Ok(); }
+  virtual Status on_stop() { return Status::Ok(); }
+
+ private:
+  std::string name_;
+  ComponentState state_ = ComponentState::kCreated;
+};
+
+}  // namespace mdsm::runtime

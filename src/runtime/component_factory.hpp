@@ -1,0 +1,48 @@
+// The component factory of the generic runtime environment (paper §V-A):
+// "generates each middleware component based on code templates that are
+// parameterized with metadata from the middleware model."
+//
+// A code template here is a registered builder keyed by template name; the
+// factory looks up the template named by a middleware-model object and
+// passes that object (its metadata) to the builder.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "model/model.hpp"
+#include "runtime/component.hpp"
+
+namespace mdsm::runtime {
+
+class ComponentFactory {
+ public:
+  /// A code template: builds a component from the model object that
+  /// describes it (and the whole middleware model for cross-lookups).
+  using Builder = std::function<Result<std::unique_ptr<Component>>(
+      const model::ModelObject& spec, const model::Model& middleware_model)>;
+
+  /// Register a template under a unique name.
+  Status register_template(const std::string& template_name, Builder builder);
+
+  [[nodiscard]] bool has_template(std::string_view template_name) const;
+
+  /// All registered template names, sorted.
+  [[nodiscard]] std::vector<std::string> template_names() const;
+
+  /// Instantiate the component described by `spec`. The template name is
+  /// taken from spec's "template" attribute, falling back to its
+  /// metaclass name — so a model can either name a template explicitly
+  /// or rely on the class↔template convention.
+  Result<std::unique_ptr<Component>> instantiate(
+      const model::ModelObject& spec, const model::Model& middleware_model);
+
+ private:
+  std::map<std::string, Builder, std::less<>> templates_;
+};
+
+}  // namespace mdsm::runtime

@@ -1,0 +1,69 @@
+#include "runtime/event_bus.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace mdsm::runtime {
+
+std::uint64_t EventBus::subscribe(std::string topic, Handler handler) {
+  std::lock_guard lock(mutex_);
+  std::uint64_t id = next_id();
+  bool wildcard = topic == "*" || (topic.size() >= 2 &&
+                                   topic.compare(topic.size() - 2, 2, ".*") ==
+                                       0);
+  subscriptions_.push_back(
+      {id, std::move(topic), wildcard, std::move(handler)});
+  return id;
+}
+
+void EventBus::unsubscribe(std::uint64_t subscription_id) {
+  std::lock_guard lock(mutex_);
+  subscriptions_.erase(
+      std::remove_if(subscriptions_.begin(), subscriptions_.end(),
+                     [subscription_id](const Subscription& sub) {
+                       return sub.id == subscription_id;
+                     }),
+      subscriptions_.end());
+}
+
+bool EventBus::matches(const Subscription& sub, std::string_view topic) {
+  if (!sub.wildcard) return sub.topic == topic;
+  if (sub.topic == "*") return true;
+  // "a.b.*" matches "a.b.c" and "a.b" itself.
+  std::string_view prefix(sub.topic);
+  prefix.remove_suffix(2);  // drop ".*"
+  if (topic == prefix) return true;
+  return starts_with(topic, std::string(prefix) + ".");
+}
+
+std::size_t EventBus::publish(Event event) {
+  event.id = next_id();
+  std::vector<Handler> targets;
+  {
+    std::lock_guard lock(mutex_);
+    ++published_;
+    for (const Subscription& sub : subscriptions_) {
+      if (matches(sub, event.topic)) targets.push_back(sub.handler);
+    }
+  }
+  // Dispatch outside the lock so handlers may (un)subscribe or publish.
+  for (const Handler& handler : targets) handler(event);
+  return targets.size();
+}
+
+std::size_t EventBus::publish(std::string topic, std::string source,
+                              model::Value payload) {
+  Event event;
+  event.topic = std::move(topic);
+  event.source = std::move(source);
+  event.payload = std::move(payload);
+  return publish(std::move(event));
+}
+
+std::size_t EventBus::subscription_count() const {
+  std::lock_guard lock(mutex_);
+  return subscriptions_.size();
+}
+
+}  // namespace mdsm::runtime

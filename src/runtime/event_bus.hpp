@@ -1,0 +1,65 @@
+// Topic-based publish/subscribe bus used inside a platform instance for
+// layer-internal eventing (broker resource events, controller exceptional
+// conditions, autonomic symptoms). Dispatch is synchronous and in
+// subscription order, which keeps command traces deterministic — the
+// cross-node asynchronous path is src/net, not this bus.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "model/value.hpp"
+
+namespace mdsm::runtime {
+
+struct Event {
+  std::string topic;
+  std::string source;        ///< emitting component name
+  model::Value payload;
+  std::uint64_t id = 0;      ///< assigned by publish()
+};
+
+class EventBus {
+ public:
+  using Handler = std::function<void(const Event&)>;
+
+  /// Subscribe to an exact topic, or a prefix wildcard like "resource.*".
+  /// Returns a subscription id for unsubscribe().
+  std::uint64_t subscribe(std::string topic, Handler handler);
+
+  void unsubscribe(std::uint64_t subscription_id);
+
+  /// Deliver synchronously to every matching subscriber, in subscription
+  /// order. Returns the number of handlers invoked.
+  std::size_t publish(Event event);
+
+  /// Convenience overload.
+  std::size_t publish(std::string topic, std::string source,
+                      model::Value payload = {});
+
+  [[nodiscard]] std::size_t subscription_count() const;
+  [[nodiscard]] std::uint64_t published_count() const noexcept {
+    return published_;
+  }
+
+ private:
+  struct Subscription {
+    std::uint64_t id;
+    std::string topic;
+    bool wildcard;  ///< topic ends in ".*" (or is "*")
+    Handler handler;
+  };
+
+  static bool matches(const Subscription& sub, std::string_view topic);
+
+  mutable std::mutex mutex_;
+  std::vector<Subscription> subscriptions_;
+  std::uint64_t published_ = 0;
+};
+
+}  // namespace mdsm::runtime

@@ -1,0 +1,48 @@
+// Fixed-size thread pool providing the concurrency model of the generic
+// runtime environment ("it also provides threads ... to run the
+// middleware components", paper §V-A). Platforms that need determinism
+// run single-threaded and never touch the executor; the crowdsensing
+// fleet and benches use it for genuine parallelism.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mdsm::runtime {
+
+class Executor {
+ public:
+  explicit Executor(unsigned thread_count = std::thread::hardware_concurrency());
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Enqueue a task. Safe from any thread, including worker threads.
+  void submit(std::function<void()> task);
+
+  /// Block until the queue is empty and every worker is idle.
+  void drain();
+
+  [[nodiscard]] unsigned thread_count() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  unsigned active_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace mdsm::runtime

@@ -1,0 +1,43 @@
+#include "runtime/timer_service.hpp"
+
+#include <vector>
+
+namespace mdsm::runtime {
+
+std::uint64_t TimerService::schedule(Duration delay, Callback callback) {
+  std::uint64_t id = next_id();
+  timers_.emplace(clock_->now() + delay, Entry{id, std::move(callback)});
+  return id;
+}
+
+bool TimerService::cancel(std::uint64_t timer_id) {
+  for (auto it = timers_.begin(); it != timers_.end(); ++it) {
+    if (it->second.id == timer_id) {
+      timers_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t TimerService::run_due() {
+  std::size_t fired = 0;
+  // Re-read now() each round: callbacks may schedule timers that are
+  // already due (delay zero) and must fire in this call.
+  while (!timers_.empty()) {
+    auto it = timers_.begin();
+    if (it->first > clock_->now()) break;
+    Callback callback = std::move(it->second.callback);
+    timers_.erase(it);
+    callback();
+    ++fired;
+  }
+  return fired;
+}
+
+std::optional<TimePoint> TimerService::next_deadline() const {
+  if (timers_.empty()) return std::nullopt;
+  return timers_.begin()->first;
+}
+
+}  // namespace mdsm::runtime

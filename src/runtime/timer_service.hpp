@@ -1,0 +1,49 @@
+// Deadline timers over an abstract Clock. Deterministic by construction:
+// timers fire only when run_due() is called (the platform's event loop or
+// the simulated network's scheduler drives it), never from a hidden
+// background thread.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/clock.hpp"
+#include "common/ids.hpp"
+
+namespace mdsm::runtime {
+
+class TimerService {
+ public:
+  using Callback = std::function<void()>;
+
+  explicit TimerService(const Clock& clock) : clock_(&clock) {}
+
+  /// Schedule `callback` to fire once `delay` from now. Returns timer id.
+  std::uint64_t schedule(Duration delay, Callback callback);
+
+  /// Cancel; returns false if already fired or unknown.
+  bool cancel(std::uint64_t timer_id);
+
+  /// Fire every timer whose deadline is <= now, in deadline order.
+  /// Returns the number fired. Callbacks may schedule further timers.
+  std::size_t run_due();
+
+  /// Deadline of the earliest pending timer, or nullopt.
+  [[nodiscard]] std::optional<TimePoint> next_deadline() const;
+
+  [[nodiscard]] std::size_t pending() const noexcept { return timers_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t id;
+    Callback callback;
+  };
+
+  const Clock* clock_;
+  std::multimap<TimePoint, Entry> timers_;
+};
+
+}  // namespace mdsm::runtime

@@ -1,0 +1,62 @@
+// Change interpreter (paper §V-A): "processes the change list to generate
+// control scripts (using the current state of the labeled transition
+// system)". Tracks each model object's LTS state across submissions so a
+// reconfiguration of a long-lived object continues from where its
+// lifecycle left off.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "controller/script.hpp"
+#include "model/diff.hpp"
+#include "policy/context.hpp"
+#include "synthesis/lts.hpp"
+
+namespace mdsm::synthesis {
+
+struct InterpreterStats {
+  std::uint64_t changes_processed = 0;
+  std::uint64_t transitions_fired = 0;
+  std::uint64_t unhandled_changes = 0;  ///< no matching transition
+  std::uint64_t guard_blocked = 0;      ///< matched but guard failed
+};
+
+class ChangeInterpreter {
+ public:
+  /// The metamodel is consulted for class-kind matching in triggers; the
+  /// context supplies guard variables.
+  ChangeInterpreter(const Lts& lts, model::MetamodelPtr metamodel,
+                    const policy::ContextStore& context);
+
+  /// Turn a change list into a control script. `new_model` supplies
+  /// "%attr:" template lookups. Object states advance as transitions
+  /// fire; unmatched changes are counted, not errors (a DSML may have
+  /// inert attributes).
+  Result<controller::ControlScript> interpret(const model::ChangeList& changes,
+                                              const model::Model& new_model);
+
+  /// Current LTS state of an object ("" if untracked).
+  [[nodiscard]] std::string state_of(std::string_view object_id) const;
+
+  [[nodiscard]] const InterpreterStats& stats() const noexcept {
+    return stats_;
+  }
+
+  void reset() {
+    states_.clear();
+    stats_ = {};
+  }
+
+ private:
+  [[nodiscard]] bool trigger_matches(const Trigger& trigger,
+                                     const model::Change& change) const;
+
+  const Lts* lts_;
+  model::MetamodelPtr metamodel_;
+  const policy::ContextStore* context_;
+  std::map<std::string, std::string, std::less<>> states_;
+  InterpreterStats stats_;
+};
+
+}  // namespace mdsm::synthesis

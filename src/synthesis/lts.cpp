@@ -1,0 +1,33 @@
+#include "synthesis/lts.hpp"
+
+#include <stdexcept>
+
+namespace mdsm::synthesis {
+
+Lts& Lts::on(std::string from, model::ChangeKind kind, std::string class_name,
+             std::string feature, std::string to,
+             std::vector<CommandTemplate> commands,
+             std::string_view guard_text, model::Value required_new_value) {
+  Transition transition;
+  transition.from = std::move(from);
+  transition.to = std::move(to);
+  transition.trigger.kind = kind;
+  transition.trigger.class_name = std::move(class_name);
+  transition.trigger.feature = std::move(feature);
+  transition.trigger.new_value = std::move(required_new_value);
+  if (!guard_text.empty()) {
+    auto guard = policy::Expression::parse(guard_text);
+    if (!guard.ok()) {
+      // LTSs are authored in domain code; malformed guards are
+      // programming errors.
+      throw std::invalid_argument("bad LTS guard: " +
+                                  guard.status().to_string());
+    }
+    transition.guard = std::move(guard.value());
+  }
+  transition.commands = std::move(commands);
+  transitions_.push_back(std::move(transition));
+  return *this;
+}
+
+}  // namespace mdsm::synthesis

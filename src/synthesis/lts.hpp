@@ -1,0 +1,79 @@
+// Labeled transition systems encoding the domain-specific semantics of
+// model synthesis (paper §V-A/V-B: "labeled transition systems containing
+// the behavior ... the domain-specific knowledge includes the metamodel
+// for the DSML, labeled transition systems containing the behavior, and
+// the metamodel for the control scripts").
+//
+// Each model object walks its own copy of the LTS: creation puts it in
+// the initial state; subsequent changes to it fire transitions whose
+// triggers match the change (kind, class, feature, optional value) and
+// whose guards hold. Firing a transition emits command templates that the
+// change interpreter instantiates into control-script commands.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "broker/broker_types.hpp"
+#include "common/status.hpp"
+#include "model/diff.hpp"
+#include "policy/expression.hpp"
+
+namespace mdsm::synthesis {
+
+/// What kind of model change fires a transition.
+struct Trigger {
+  model::ChangeKind kind{};
+  std::string class_name;  ///< object class (or ancestor); empty = any
+  std::string feature;     ///< attribute/reference name; empty = any
+  model::Value new_value;  ///< required new value; none = any
+};
+
+/// Command emitted on firing. Argument values may use templates:
+///   "%id" "%class" "%parent" "%feature" "%target"  — change fields
+///   "%new" "%old"                                  — change values
+///   "%attr:<name>"    — attribute of the changed object in the NEW model
+///   "%%literal"       — escaped "%literal"
+struct CommandTemplate {
+  std::string name;
+  broker::Args args;
+};
+
+struct Transition {
+  std::string from;
+  std::string to;
+  Trigger trigger;
+  policy::Expression guard;  ///< context guard; empty = always
+  std::vector<CommandTemplate> commands;
+};
+
+class Lts {
+ public:
+  explicit Lts(std::string initial_state = "initial")
+      : initial_(std::move(initial_state)) {}
+
+  [[nodiscard]] const std::string& initial_state() const noexcept {
+    return initial_;
+  }
+
+  void add_transition(Transition transition) {
+    transitions_.push_back(std::move(transition));
+  }
+
+  /// Terse builder: from --kind(class,feature[,=value])--> to : commands.
+  Lts& on(std::string from, model::ChangeKind kind, std::string class_name,
+          std::string feature, std::string to,
+          std::vector<CommandTemplate> commands,
+          std::string_view guard_text = "",
+          model::Value required_new_value = {});
+
+  [[nodiscard]] const std::vector<Transition>& transitions() const noexcept {
+    return transitions_;
+  }
+
+ private:
+  std::string initial_;
+  std::vector<Transition> transitions_;
+};
+
+}  // namespace mdsm::synthesis

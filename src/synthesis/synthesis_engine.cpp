@@ -1,0 +1,67 @@
+#include "synthesis/synthesis_engine.hpp"
+
+#include "common/log.hpp"
+
+namespace mdsm::synthesis {
+
+SynthesisEngine::SynthesisEngine(std::string name, model::MetamodelPtr dsml,
+                                 Lts lts, const policy::ContextStore& context,
+                                 Dispatch dispatch)
+    : Component(std::move(name)),
+      dsml_(dsml),
+      lts_(std::move(lts)),
+      interpreter_(lts_, dsml, context),
+      dispatch_(std::move(dispatch)),
+      runtime_model_("runtime", dsml) {}
+
+Result<controller::ControlScript> SynthesisEngine::submit_model(
+    model::Model new_model) {
+  ++stats_.models_submitted;
+  if (&new_model.metamodel() != dsml_.get()) {
+    ++stats_.rejected_models;
+    return InvalidArgument("submitted model conforms to metamodel '" +
+                           new_model.metamodel().name() +
+                           "', engine expects '" + dsml_->name() + "'");
+  }
+  Status valid = new_model.validate();
+  if (!valid.ok()) {
+    ++stats_.rejected_models;
+    return valid;
+  }
+  // Model comparator.
+  model::ChangeList changes = model::diff(runtime_model_, new_model);
+  log_debug("synthesis") << name() << ": " << changes.size()
+                         << " change(s) between runtime and new model";
+  // Change interpreter. Interpreter state mutates as transitions fire;
+  // on interpretation failure the engine keeps the old runtime model but
+  // interpreter states may have advanced — domains treat interpretation
+  // errors as fatal configuration bugs, matching the paper's assumption
+  // that LTSs fully cover their DSML.
+  Result<controller::ControlScript> script =
+      interpreter_.interpret(changes, new_model);
+  if (!script.ok()) {
+    ++stats_.rejected_models;
+    return script;
+  }
+  // Dispatcher: ship the script down, then commit the runtime model.
+  if (dispatch_ != nullptr && !script->empty()) {
+    Status dispatched = dispatch_(*script);
+    if (!dispatched.ok()) {
+      ++stats_.rejected_models;
+      return dispatched;
+    }
+  }
+  ++stats_.scripts_dispatched;
+  stats_.commands_generated += script->commands.size();
+  runtime_model_ = std::move(new_model);
+  if (listener_ != nullptr) listener_(runtime_model_);
+  return script;
+}
+
+void SynthesisEngine::handle_controller_event(const std::string& topic,
+                                              const model::Value& payload) {
+  ++stats_.controller_events;
+  event_log_.push_back(topic + ": " + payload.to_text());
+}
+
+}  // namespace mdsm::synthesis

@@ -1,0 +1,83 @@
+// The Synthesis layer (paper §V-A): "The main components in the synthesis
+// engine are: (1) model comparator — compares the new user-defined model
+// and the current runtime model to produce a change list; (2) change
+// interpreter — processes the change list to generate control scripts ...
+// and handles events from the Controller layer; and (3) dispatcher —
+// dispatches a new runtime model to the UI and updates the currently
+// executing model."
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "controller/script.hpp"
+#include "model/diff.hpp"
+#include "model/model.hpp"
+#include "runtime/component.hpp"
+#include "synthesis/change_interpreter.hpp"
+
+namespace mdsm::synthesis {
+
+struct SynthesisStats {
+  std::uint64_t models_submitted = 0;
+  std::uint64_t scripts_dispatched = 0;
+  std::uint64_t commands_generated = 0;
+  std::uint64_t rejected_models = 0;
+  std::uint64_t controller_events = 0;
+};
+
+class SynthesisEngine final : public runtime::Component {
+ public:
+  /// `dispatch` delivers a generated control script to the layer below
+  /// (usually ControllerLayer::submit_script + process_pending, wired by
+  /// the platform; in split deployments it serializes over the network).
+  using Dispatch = std::function<Status(const controller::ControlScript&)>;
+  /// Listener invoked with the updated runtime model after a successful
+  /// submission ("dispatches a new runtime model to the UI").
+  using ModelListener = std::function<void(const model::Model&)>;
+
+  SynthesisEngine(std::string name, model::MetamodelPtr dsml, Lts lts,
+                  const policy::ContextStore& context, Dispatch dispatch);
+
+  void set_model_listener(ModelListener listener) {
+    listener_ = std::move(listener);
+  }
+
+  /// Full synthesis cycle: validate the new model, compare against the
+  /// current runtime model, interpret the changes, dispatch the script,
+  /// and commit the new model as the running one. On any failure the
+  /// previous runtime model stays in force (all-or-nothing semantics).
+  Result<controller::ControlScript> submit_model(model::Model new_model);
+
+  /// Events from the Controller layer (exceptional conditions); recorded
+  /// and exposed so domain logic (or tests) can react — e.g. resubmitting
+  /// a degraded model.
+  void handle_controller_event(const std::string& topic,
+                               const model::Value& payload);
+
+  [[nodiscard]] const model::Model& runtime_model() const noexcept {
+    return runtime_model_;
+  }
+  [[nodiscard]] const ChangeInterpreter& interpreter() const noexcept {
+    return interpreter_;
+  }
+  [[nodiscard]] const SynthesisStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const std::vector<std::string>& event_log() const noexcept {
+    return event_log_;
+  }
+
+ private:
+  model::MetamodelPtr dsml_;
+  Lts lts_;
+  ChangeInterpreter interpreter_;
+  Dispatch dispatch_;
+  ModelListener listener_;
+  model::Model runtime_model_;  ///< "an empty model if the system has
+                                ///< just been started"
+  SynthesisStats stats_;
+  std::vector<std::string> event_log_;
+};
+
+}  // namespace mdsm::synthesis

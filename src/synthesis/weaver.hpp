@@ -1,0 +1,41 @@
+// Model weaving — the paper's aspect-oriented future-work feature (§IX):
+// "an MD-DSM platform should be capable of simultaneously executing
+// (through a weaving step) multiple related models that describe the
+// different concerns of an application."
+//
+// weave() merges N concern models (same DSML) into one application model
+// the synthesis engine can execute. Objects with the same id are unified
+// across concerns; their attribute and reference slots are merged with
+// configurable conflict handling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "model/model.hpp"
+
+namespace mdsm::synthesis {
+
+enum class ConflictPolicy {
+  kError,      ///< two concerns disagree on a slot value → weaving fails
+  kLastWins,   ///< later concern overrides earlier
+};
+
+struct WeaveConfig {
+  ConflictPolicy conflicts = ConflictPolicy::kError;
+  std::string woven_name = "woven";
+};
+
+/// Merge the concern models into one model:
+///  - objects are unified by id; a shared id must have the same class
+///    and the same containment position in every concern that defines it;
+///  - attribute slots merge; disagreements follow `conflicts`;
+///  - cross-reference slots merge as target-set unions (a single-valued
+///    reference with two different targets is always a conflict);
+///  - containment children accumulate.
+/// The woven model is validated against the DSML before being returned.
+Result<model::Model> weave(const std::vector<const model::Model*>& concerns,
+                           WeaveConfig config = {});
+
+}  // namespace mdsm::synthesis

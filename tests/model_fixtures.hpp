@@ -1,0 +1,75 @@
+// Shared test metamodel: a tiny "session/participant/media" language that
+// exercises inheritance, containment, cross-references, enums, defaults
+// and multiplicity — the features the domain DSMLs rely on.
+#pragma once
+
+#include "model/metamodel.hpp"
+#include "model/model.hpp"
+
+namespace mdsm::model::testing {
+
+inline MetamodelPtr make_test_metamodel() {
+  Metamodel mm("testlang");
+  mm.add_class("NamedElement", "", /*is_abstract=*/true)
+      .add_attribute({.name = "label", .type = AttrType::kString});
+  auto& session = mm.add_class("Session", "NamedElement");
+  session.add_attribute({.name = "state",
+                         .type = AttrType::kEnum,
+                         .required = true,
+                         .enum_literals = {"idle", "open", "closed"},
+                         .default_value = Value("idle")});
+  session.add_attribute({.name = "bandwidth", .type = AttrType::kReal});
+  session.add_attribute({.name = "tags",
+                         .type = AttrType::kString,
+                         .many = true});
+  session.add_reference({.name = "participants",
+                         .target_class = "Participant",
+                         .containment = true,
+                         .many = true});
+  session.add_reference({.name = "media",
+                         .target_class = "Media",
+                         .containment = true,
+                         .many = true});
+  session.add_reference({.name = "initiator",
+                         .target_class = "Participant",
+                         .containment = false,
+                         .many = false});
+  auto& participant = mm.add_class("Participant", "NamedElement");
+  participant.add_attribute(
+      {.name = "address", .type = AttrType::kString, .required = true});
+  participant.add_attribute({.name = "priority", .type = AttrType::kInt});
+  auto& media = mm.add_class("Media", "NamedElement");
+  media.add_attribute({.name = "kind",
+                       .type = AttrType::kEnum,
+                       .required = true,
+                       .enum_literals = {"audio", "video", "file"}});
+  media.add_attribute({.name = "live", .type = AttrType::kBool});
+  // A subclass to exercise is_kind_of in references.
+  mm.add_class("StreamMedia", "Media")
+      .add_attribute({.name = "fps", .type = AttrType::kInt});
+  return finalize_metamodel(std::move(mm));
+}
+
+/// A small valid model: one session, two participants, one media.
+inline Model make_test_model(const MetamodelPtr& mm,
+                             const std::string& name = "m1") {
+  Model model(name, mm);
+  auto session = model.create("Session", "s1");
+  model.set_attribute("s1", "state", Value("open"));
+  model.set_attribute("s1", "bandwidth", Value(2.5));
+  auto alice = model.create_child("s1", "participants", "Participant", "alice");
+  model.set_attribute("alice", "address", Value("alice@host"));
+  auto bob = model.create_child("s1", "participants", "Participant", "bob");
+  model.set_attribute("bob", "address", Value("bob@host"));
+  auto media = model.create_child("s1", "media", "StreamMedia", "cam");
+  model.set_attribute("cam", "kind", Value("video"));
+  model.set_attribute("cam", "fps", Value(30));
+  model.add_reference("s1", "initiator", "alice");
+  (void)session;
+  (void)alice;
+  (void)bob;
+  (void)media;
+  return model;
+}
+
+}  // namespace mdsm::model::testing

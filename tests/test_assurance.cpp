@@ -1,0 +1,285 @@
+// Tests for cross-layer assurance checking (core/assurance.hpp) — the
+// paper's future-work challenge of verifying that a middleware model
+// adequately supports its application-level DSML.
+#include <gtest/gtest.h>
+
+#include "core/assurance.hpp"
+#include "core/middleware_metamodel.hpp"
+#include "domains/comm/cml.hpp"
+#include "domains/comm/cvm.hpp"
+#include "domains/mgrid/mgridml.hpp"
+#include "domains/mgrid/mgridvm.hpp"
+#include "model/text_format.hpp"
+#include "model_fixtures.hpp"
+
+namespace mdsm::core {
+namespace {
+
+using model::Value;
+
+Result<AssuranceReport> check_text(std::string_view text,
+                                   model::MetamodelPtr dsml) {
+  auto mw = model::parse_model(text, middleware_metamodel());
+  if (!mw.ok()) return mw.status();
+  return check_platform_model(*mw, dsml);
+}
+
+bool has_finding(const AssuranceReport& report, std::string_view needle) {
+  for (const Finding& finding : report.findings) {
+    if (finding.message.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(Assurance, ShippedDomainModelsHaveNoErrors) {
+  auto comm_report =
+      check_text(comm::cvm_middleware_model_text(), comm::cml_metamodel());
+  ASSERT_TRUE(comm_report.ok()) << comm_report.status().to_string();
+  EXPECT_EQ(comm_report->error_count(), 0u) << comm_report->to_text();
+  auto mgrid_report = check_text(mgrid::mgridvm_middleware_model_text(),
+                                 mgrid::mgridml_metamodel());
+  ASSERT_TRUE(mgrid_report.ok()) << mgrid_report.status().to_string();
+  EXPECT_EQ(mgrid_report->error_count(), 0u) << mgrid_report->to_text();
+}
+
+TEST(Assurance, DetectsLtsCommandNobodyExecutes) {
+  constexpr std::string_view text = R"mw(
+model broken conforms mdsm
+object MiddlewarePlatform mw {
+  name = "p"
+  child ui UiLayerSpec u { dsml = "testlang" }
+  child broker BrokerLayerSpec b {
+    child actions ActionSpec a1 {
+      name = "noop-action"
+      child steps StepSpec s1 { op = emit a = "x" }
+    }
+    child handlers HandlerSpec h1 { signal = "served" actions -> a1 }
+  }
+  child controller ControllerLayerSpec c {
+    child actions ActionSpec ca {
+      name = "fwd"
+      child steps StepSpec cs { op = broker-call a = "served" }
+    }
+    child bindings BindingSpec bb { command = "known.cmd" actions -> ca }
+  }
+  child synthesis SynthesisLayerSpec se {
+    child transitions TransitionSpec t1 {
+      from = "initial" to = "s" kind = add-object class = "Session"
+      child commands CommandTemplateSpec ct { name = "orphan.cmd" }
+    }
+  }
+}
+)mw";
+  auto report = check_text(text, model::testing::make_test_metamodel());
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_FALSE(report->ok());
+  EXPECT_TRUE(has_finding(*report, "orphan.cmd")) << report->to_text();
+}
+
+TEST(Assurance, DetectsBrokerCallWithoutHandler) {
+  constexpr std::string_view text = R"mw(
+model broken conforms mdsm
+object MiddlewarePlatform mw {
+  name = "p"
+  child ui UiLayerSpec u { dsml = "testlang" }
+  child broker BrokerLayerSpec b { }
+  child controller ControllerLayerSpec c {
+    child actions ActionSpec ca {
+      name = "fwd"
+      child steps StepSpec cs { op = broker-call a = "ghost.signal" }
+    }
+    child bindings BindingSpec bb { command = "cmd" actions -> ca }
+  }
+  child synthesis SynthesisLayerSpec se {
+    child transitions TransitionSpec t1 {
+      from = "initial" to = "s" kind = add-object class = "Session"
+      child commands CommandTemplateSpec ct { name = "cmd" }
+    }
+  }
+}
+)mw";
+  auto report = check_text(text, model::testing::make_test_metamodel());
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->ok());
+  EXPECT_TRUE(has_finding(*report, "ghost.signal")) << report->to_text();
+}
+
+TEST(Assurance, DetectsDsmlMismatchesInTriggers) {
+  constexpr std::string_view text = R"mw(
+model broken conforms mdsm
+object MiddlewarePlatform mw {
+  name = "p"
+  child ui UiLayerSpec u { dsml = "testlang" }
+  child broker BrokerLayerSpec b { }
+  child controller ControllerLayerSpec c { }
+  child synthesis SynthesisLayerSpec se {
+    child transitions TransitionSpec t1 {
+      from = "initial" to = "a" kind = add-object class = "Ghost"
+    }
+    child transitions TransitionSpec t2 {
+      from = "initial" to = "b" kind = set-attribute
+      class = "Session" feature = "no_such_attr"
+    }
+    child transitions TransitionSpec t3 {
+      from = "nowhere" to = "c" kind = add-object class = "Session"
+    }
+  }
+}
+)mw";
+  auto report = check_text(text, model::testing::make_test_metamodel());
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(has_finding(*report, "Ghost")) << report->to_text();
+  EXPECT_TRUE(has_finding(*report, "no_such_attr"));
+  EXPECT_TRUE(has_finding(*report, "unreachable"));
+  EXPECT_GE(report->error_count(), 2u);
+  EXPECT_GE(report->warning_count(), 1u);
+}
+
+TEST(Assurance, DetectsUnsatisfiableDscAndUndeclaredDependencies) {
+  constexpr std::string_view text = R"mw(
+model broken conforms mdsm
+object MiddlewarePlatform mw {
+  name = "p"
+  child ui UiLayerSpec u { dsml = "testlang" }
+  child broker BrokerLayerSpec b { }
+  child controller ControllerLayerSpec c {
+    child dscs DscSpec d1 { name = "op.a" }
+    child dscs DscSpec d2 { name = "op.b" }
+    child procedures ProcedureSpec p1 {
+      name = "pa"
+      classifier = "op.a"
+      dependencies = ["op.b", "op.ghost"]
+    }
+    child mappings CommandMappingSpec m1 { command = "cmd" dsc = "op.a" }
+  }
+  child synthesis SynthesisLayerSpec se { }
+}
+)mw";
+  auto report = check_text(text, model::testing::make_test_metamodel());
+  ASSERT_TRUE(report.ok());
+  // op.ghost undeclared; op.b required but has no provider.
+  EXPECT_TRUE(has_finding(*report, "op.ghost")) << report->to_text();
+  EXPECT_TRUE(has_finding(*report, "no procedure is classified"));
+}
+
+TEST(Assurance, WarnsOnClassifierDependencyCycle) {
+  constexpr std::string_view text = R"mw(
+model cyclic conforms mdsm
+object MiddlewarePlatform mw {
+  name = "p"
+  child ui UiLayerSpec u { dsml = "testlang" }
+  child broker BrokerLayerSpec b { }
+  child controller ControllerLayerSpec c {
+    child dscs DscSpec d1 { name = "op.a" }
+    child dscs DscSpec d2 { name = "op.b" }
+    child procedures ProcedureSpec p1 {
+      name = "pa" classifier = "op.a" dependencies = ["op.b"]
+    }
+    child procedures ProcedureSpec p2 {
+      name = "pb" classifier = "op.b" dependencies = ["op.a"]
+    }
+  }
+  child synthesis SynthesisLayerSpec se { }
+}
+)mw";
+  auto report = check_text(text, model::testing::make_test_metamodel());
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(has_finding(*report, "cycle")) << report->to_text();
+}
+
+TEST(Assurance, DetectsSymptomWithoutPlan) {
+  constexpr std::string_view text = R"mw(
+model broken conforms mdsm
+object MiddlewarePlatform mw {
+  name = "p"
+  child ui UiLayerSpec u { dsml = "testlang" }
+  child broker BrokerLayerSpec b {
+    child symptoms SymptomSpec sy {
+      name = "s" topic = "resource.x" request = "unhandled-request"
+    }
+  }
+  child controller ControllerLayerSpec c { }
+  child synthesis SynthesisLayerSpec se { }
+}
+)mw";
+  auto report = check_text(text, model::testing::make_test_metamodel());
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(has_finding(*report, "unhandled-request")) << report->to_text();
+  EXPECT_FALSE(report->ok());
+}
+
+TEST(Assurance, WarnsOnUndeclaredResourceAndDeadSpecs) {
+  constexpr std::string_view text = R"mw(
+model warny conforms mdsm
+object MiddlewarePlatform mw {
+  name = "p"
+  child ui UiLayerSpec u { dsml = "testlang" }
+  child broker BrokerLayerSpec b {
+    child actions ActionSpec a1 {
+      name = "served-action"
+      child steps StepSpec s1 { op = invoke a = "ghost-res" b = "cmd" }
+    }
+    child actions ActionSpec a2 {
+      name = "dead-action"
+      child steps StepSpec s2 { op = emit a = "t" }
+    }
+    child handlers HandlerSpec h1 { signal = "served" actions -> a1 }
+    child resources ResourceSpec r1 { name = "real-res" }
+  }
+  child controller ControllerLayerSpec c {
+    child actions ActionSpec ca1 {
+      name = "fwd"
+      child steps StepSpec cs { op = broker-call a = "served" }
+    }
+    child actions ActionSpec ca2 {
+      name = "dead-controller-action"
+      child steps StepSpec cs2 { op = noop }
+    }
+    child bindings BindingSpec bb { command = "cmd" actions -> ca1 }
+  }
+  child synthesis SynthesisLayerSpec se { }
+}
+)mw";
+  auto report = check_text(text, model::testing::make_test_metamodel());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->error_count(), 0u) << report->to_text();
+  EXPECT_TRUE(has_finding(*report, "ghost-res"));
+  EXPECT_TRUE(has_finding(*report, "dead-action"));
+  EXPECT_TRUE(has_finding(*report, "dead-controller-action"));
+}
+
+TEST(Assurance, UiMismatchAndInputValidation) {
+  auto mw = model::parse_model(comm::cvm_middleware_model_text(),
+                               middleware_metamodel());
+  ASSERT_TRUE(mw.ok());
+  // Wrong DSML supplied → error finding.
+  auto report = check_platform_model(*mw, mgrid::mgridml_metamodel());
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->ok());
+  EXPECT_TRUE(has_finding(*report, "declares DSML"));
+  // Non-middleware model → invalid-argument.
+  model::Model foreign("x", comm::cml_metamodel());
+  EXPECT_EQ(
+      check_platform_model(foreign, comm::cml_metamodel()).status().code(),
+      ErrorCode::kInvalidArgument);
+  // Null DSML → invalid-argument.
+  EXPECT_EQ(check_platform_model(*mw, nullptr).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(Assurance, ReportFormatting) {
+  AssuranceReport report;
+  report.findings.push_back(
+      {FindingSeverity::kError, "broker", "x", "broken"});
+  report.findings.push_back(
+      {FindingSeverity::kWarning, "ui", "y", "iffy"});
+  EXPECT_EQ(report.error_count(), 1u);
+  EXPECT_EQ(report.warning_count(), 1u);
+  EXPECT_FALSE(report.ok());
+  std::string text = report.to_text();
+  EXPECT_NE(text.find("error [broker] x: broken"), std::string::npos);
+  EXPECT_NE(text.find("warning [ui] y: iffy"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mdsm::core

@@ -1,0 +1,124 @@
+// Tests for the cross-platform interoperability bridge: a microgrid
+// emergency (MGridVM event) opens an operator call on the CVM — two
+// domain-specific platforms cooperating without knowing each other.
+#include <gtest/gtest.h>
+
+#include "core/bridge.hpp"
+#include "domains/comm/cvm.hpp"
+#include "domains/mgrid/mgridvm.hpp"
+
+namespace mdsm::core {
+namespace {
+
+using model::Value;
+
+struct BridgeFixture : ::testing::Test {
+  Result<std::unique_ptr<comm::Cvm>> cvm = comm::make_cvm();
+  Result<std::unique_ptr<mgrid::MGridVm>> mgridvm = mgrid::make_mgridvm();
+  PlatformBridge bridge{"grid-to-comm"};
+
+  void SetUp() override {
+    ASSERT_TRUE(cvm.ok()) << cvm.status().to_string();
+    ASSERT_TRUE(mgridvm.ok()) << mgridvm.status().to_string();
+  }
+};
+
+TEST_F(BridgeFixture, GridEmergencyOpensOperatorCall) {
+  // Rule: on a power imbalance in the microgrid, create an operator
+  // session in the communication platform.
+  PlatformBridge::Rule rule;
+  rule.source_topic = "resource.imbalance";
+  rule.target_command = "ncb.session.create";
+  rule.args = {{"id", Value("grid-emergency")}};
+  ASSERT_TRUE(
+      bridge.connect(*(*mgridvm)->platform, *(*cvm)->platform, rule).ok());
+
+  // Drive the microgrid into imbalance via a model (no shedding
+  // resources configured, so the imbalance stands).
+  ASSERT_TRUE((*mgridvm)
+                  ->platform
+                  ->submit_model_text(R"(
+model overload conforms mgridml
+object Microgrid grid {
+  child devices Generator g { capacity_kw = 2.0 running = true setpoint_kw = 1.0 }
+  child devices Load big { demand_kw = 5.0 critical = true }
+}
+)")
+                  .ok());
+  EXPECT_EQ(bridge.forwarded(), 1u);
+  EXPECT_EQ(bridge.failed(), 0u);
+  // The CVM really created the session.
+  EXPECT_NE((*cvm)->service.find_session("grid-emergency"), nullptr);
+  ASSERT_FALSE(bridge.log().empty());
+  EXPECT_NE(bridge.log()[0].find("resource.imbalance"), std::string::npos);
+}
+
+TEST_F(BridgeFixture, PayloadAndTopicTemplatesResolve) {
+  PlatformBridge::Rule rule;
+  rule.source_topic = "resource.imbalance";
+  rule.target_command = "ncb.session.create";
+  // Session id carries the source topic — template resolution check.
+  rule.args = {{"id", Value("$topic")}};
+  ASSERT_TRUE(
+      bridge.connect(*(*mgridvm)->platform, *(*cvm)->platform, rule).ok());
+  (*mgridvm)->platform->bus().publish("resource.imbalance", "test",
+                                      Value(-3.0));
+  EXPECT_EQ(bridge.forwarded(), 1u);
+  EXPECT_NE((*cvm)->service.find_session("resource.imbalance"), nullptr);
+}
+
+TEST_F(BridgeFixture, ContextTemplateReadsSourcePlatform) {
+  (*mgridvm)->platform->context().set("site.name", Value("plant-7"));
+  PlatformBridge::Rule rule;
+  rule.source_topic = "alarm";
+  rule.target_command = "ncb.session.create";
+  rule.args = {{"id", Value("$ctx:site.name")}};
+  ASSERT_TRUE(
+      bridge.connect(*(*mgridvm)->platform, *(*cvm)->platform, rule).ok());
+  (*mgridvm)->platform->bus().publish("alarm", "test");
+  EXPECT_NE((*cvm)->service.find_session("plant-7"), nullptr);
+}
+
+TEST_F(BridgeFixture, FailedTargetCommandIsCountedNotFatal) {
+  PlatformBridge::Rule rule;
+  rule.source_topic = "alarm";
+  rule.target_command = "no.such.command";
+  ASSERT_TRUE(
+      bridge.connect(*(*mgridvm)->platform, *(*cvm)->platform, rule).ok());
+  (*mgridvm)->platform->bus().publish("alarm", "test");
+  EXPECT_EQ(bridge.forwarded(), 0u);
+  EXPECT_EQ(bridge.failed(), 1u);
+  EXPECT_NE(bridge.log()[0].find("FAILED"), std::string::npos);
+}
+
+TEST_F(BridgeFixture, RuleValidation) {
+  PlatformBridge::Rule rule;
+  rule.source_topic = "";
+  rule.target_command = "x";
+  EXPECT_EQ(bridge.connect(*(*mgridvm)->platform, *(*cvm)->platform, rule)
+                .code(),
+            ErrorCode::kInvalidArgument);
+  rule.source_topic = "t";
+  EXPECT_EQ(bridge
+                .connect(*(*mgridvm)->platform, *(*mgridvm)->platform, rule)
+                .code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(bridge.rule_count(), 0u);
+}
+
+TEST_F(BridgeFixture, BridgeDestructionUnsubscribes) {
+  {
+    PlatformBridge scoped("scoped");
+    PlatformBridge::Rule rule;
+    rule.source_topic = "alarm";
+    rule.target_command = "ncb.session.create";
+    rule.args = {{"id", Value("scoped-session")}};
+    ASSERT_TRUE(
+        scoped.connect(*(*mgridvm)->platform, *(*cvm)->platform, rule).ok());
+  }
+  (*mgridvm)->platform->bus().publish("alarm", "test");
+  EXPECT_EQ((*cvm)->service.find_session("scoped-session"), nullptr);
+}
+
+}  // namespace
+}  // namespace mdsm::core

@@ -1,0 +1,166 @@
+// Crowdsensing-domain tests: query models on devices driving periodic
+// sampling, provider-side aggregation, and on-the-fly model updates on
+// long-running queries.
+#include <gtest/gtest.h>
+
+#include "domains/crowd/fleet.hpp"
+
+namespace mdsm::crowd {
+namespace {
+
+using model::Value;
+
+constexpr std::string_view kTempQuery = R"(
+model campaign conforms csml
+object SensingQuery temp-q {
+  sensor = temperature
+  aggregate = avg
+  period_s = 10
+}
+)";
+
+TEST(QueryAggregate, AllAggregateKinds) {
+  QueryAggregate aggregate;
+  for (double value : {3.0, 1.0, 5.0}) {
+    if (aggregate.count == 0) {
+      aggregate.min = aggregate.max = value;
+    } else {
+      aggregate.min = std::min(aggregate.min, value);
+      aggregate.max = std::max(aggregate.max, value);
+    }
+    aggregate.sum += value;
+    ++aggregate.count;
+  }
+  aggregate.aggregate = "avg";
+  EXPECT_DOUBLE_EQ(aggregate.result(), 3.0);
+  aggregate.aggregate = "min";
+  EXPECT_DOUBLE_EQ(aggregate.result(), 1.0);
+  aggregate.aggregate = "max";
+  EXPECT_DOUBLE_EQ(aggregate.result(), 5.0);
+  aggregate.aggregate = "count";
+  EXPECT_DOUBLE_EQ(aggregate.result(), 3.0);
+}
+
+TEST(CrowdFleet, SingleDeviceSamplesAndProviderAggregates) {
+  auto fleet = make_fleet();
+  CrowdDevice& device = fleet->add_device("phone-1", 1);
+  auto script = device.submit_model_text(kTempQuery);
+  ASSERT_TRUE(script.ok()) << script.status().to_string();
+  EXPECT_EQ(device.active_queries(), 1u);
+  // 5 sampling periods.
+  fleet->advance(std::chrono::seconds(10), 5);
+  EXPECT_EQ(device.samples_sent(), 5u);
+  const QueryAggregate* aggregate = fleet->provider->query("temp-q");
+  ASSERT_NE(aggregate, nullptr);
+  EXPECT_EQ(aggregate->count, 5u);
+  // Temperature baseline is 20 ± small synthetic variation.
+  EXPECT_GT(aggregate->result(), 15.0);
+  EXPECT_LT(aggregate->result(), 25.0);
+}
+
+TEST(CrowdFleet, ManyDevicesContributeToOneQuery) {
+  auto fleet = make_fleet();
+  for (int device = 0; device < 20; ++device) {
+    auto& added = fleet->add_device("phone-" + std::to_string(device),
+                                    static_cast<std::uint32_t>(device));
+    ASSERT_TRUE(added.submit_model_text(kTempQuery).ok());
+  }
+  fleet->advance(std::chrono::seconds(10), 3);
+  const QueryAggregate* aggregate = fleet->provider->query("temp-q");
+  ASSERT_NE(aggregate, nullptr);
+  EXPECT_EQ(aggregate->count, 60u);  // 20 devices × 3 periods
+  EXPECT_EQ(fleet->provider->reports_received(), 60u);
+}
+
+TEST(CrowdFleet, OnTheFlyPeriodChangeTakesEffect) {
+  auto fleet = make_fleet();
+  CrowdDevice& device = fleet->add_device("phone-1", 1);
+  ASSERT_TRUE(device.submit_model_text(kTempQuery).ok());
+  fleet->advance(std::chrono::seconds(10), 2);
+  EXPECT_EQ(device.samples_sent(), 2u);
+  // Halve the period on the running query (model update, same object id).
+  ASSERT_TRUE(device
+                  .submit_model_text(R"(
+model campaign conforms csml
+object SensingQuery temp-q {
+  sensor = temperature
+  aggregate = avg
+  period_s = 5
+}
+)")
+                  .ok());
+  fleet->advance(std::chrono::seconds(5), 4);
+  EXPECT_EQ(device.samples_sent(), 6u);  // 2 + 4 at the faster rate
+}
+
+TEST(CrowdFleet, DeactivatingQueryStopsSampling) {
+  auto fleet = make_fleet();
+  CrowdDevice& device = fleet->add_device("phone-1", 1);
+  ASSERT_TRUE(device.submit_model_text(kTempQuery).ok());
+  fleet->advance(std::chrono::seconds(10), 2);
+  ASSERT_TRUE(device
+                  .submit_model_text(R"(
+model campaign conforms csml
+object SensingQuery temp-q {
+  sensor = temperature
+  aggregate = avg
+  period_s = 10
+  active = false
+}
+)")
+                  .ok());
+  EXPECT_EQ(device.active_queries(), 0u);
+  fleet->advance(std::chrono::seconds(10), 5);
+  EXPECT_EQ(device.samples_sent(), 2u);  // no further samples
+}
+
+TEST(CrowdFleet, RemovingQueryAlsoStops) {
+  auto fleet = make_fleet();
+  CrowdDevice& device = fleet->add_device("phone-1", 1);
+  ASSERT_TRUE(device.submit_model_text(kTempQuery).ok());
+  ASSERT_TRUE(device.submit_model_text("model empty conforms csml\n").ok());
+  EXPECT_EQ(device.active_queries(), 0u);
+}
+
+TEST(CrowdFleet, MultipleQueriesPerDevice) {
+  auto fleet = make_fleet();
+  CrowdDevice& device = fleet->add_device("phone-1", 3);
+  ASSERT_TRUE(device
+                  .submit_model_text(R"(
+model campaign conforms csml
+object SensingQuery temp-q { sensor = temperature period_s = 10 }
+object SensingQuery noise-q { sensor = noise aggregate = max period_s = 20 }
+)")
+                  .ok());
+  EXPECT_EQ(device.active_queries(), 2u);
+  fleet->advance(std::chrono::seconds(10), 4);  // 40s: 4 temp + 2 noise
+  EXPECT_EQ(device.samples_sent(), 6u);
+  ASSERT_NE(fleet->provider->query("noise-q"), nullptr);
+  EXPECT_EQ(fleet->provider->query("noise-q")->aggregate, "max");
+  EXPECT_GT(fleet->provider->query("noise-q")->result(), 50.0);
+}
+
+TEST(CrowdFleet, DeterministicAcrossRuns) {
+  auto run = [] {
+    auto fleet = make_fleet();
+    auto& device = fleet->add_device("phone-1", 9);
+    (void)device.submit_model_text(kTempQuery);
+    fleet->advance(std::chrono::seconds(10), 10);
+    return fleet->provider->query("temp-q")->result();
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(CrowdFleet, BadModelRejectedWithoutSideEffects) {
+  auto fleet = make_fleet();
+  CrowdDevice& device = fleet->add_device("phone-1", 1);
+  auto result = device.submit_model_text(R"(
+model bad conforms csml
+object SensingQuery q { sensor = temperature }
+)");  // missing required period_s
+  EXPECT_EQ(result.status().code(), ErrorCode::kConformanceError);
+  EXPECT_EQ(device.active_queries(), 0u);
+}
+
+}  // namespace
+}  // namespace mdsm::crowd

@@ -1,0 +1,193 @@
+// Unit tests for the simulated network substrate.
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+
+namespace mdsm::net {
+namespace {
+
+NetworkConfig quiet_config() {
+  NetworkConfig config;
+  config.base_latency = std::chrono::microseconds(100);
+  config.jitter = std::chrono::microseconds(0);
+  config.drop_rate = 0.0;
+  return config;
+}
+
+TEST(Network, EndpointLifecycle) {
+  SimClock clock;
+  Network network(clock, quiet_config());
+  auto a = network.create_endpoint("a");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(network.create_endpoint("a").status().code(),
+            ErrorCode::kAlreadyExists);
+  EXPECT_NE(network.find_endpoint("a"), nullptr);
+  EXPECT_TRUE(network.remove_endpoint("a").ok());
+  EXPECT_EQ(network.remove_endpoint("a").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(network.find_endpoint("a"), nullptr);
+}
+
+TEST(Network, DeliversAfterLatency) {
+  SimClock clock;
+  Network network(clock, quiet_config());
+  auto a = network.create_endpoint("a").value();
+  auto b = network.create_endpoint("b").value();
+  std::vector<Message> received;
+  b->set_handler([&](const Message& m) { received.push_back(m); });
+  ASSERT_TRUE(a->send("b", "hello", model::Value("payload")).ok());
+  EXPECT_EQ(network.deliver_due(), 0u);  // latency not yet elapsed
+  clock.advance(std::chrono::microseconds(100));
+  EXPECT_EQ(network.deliver_due(), 1u);
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].from, "a");
+  EXPECT_EQ(received[0].topic, "hello");
+  EXPECT_EQ(received[0].payload, model::Value("payload"));
+}
+
+TEST(Network, RunUntilIdleAdvancesClock) {
+  SimClock clock;
+  Network network(clock, quiet_config());
+  auto a = network.create_endpoint("a").value();
+  auto b = network.create_endpoint("b").value();
+  int count = 0;
+  // b replies to each ping once, creating a short causal chain.
+  b->set_handler([&](const Message& m) {
+    ++count;
+    if (m.topic == "ping") b->send("a", "pong");
+  });
+  a->set_handler([&](const Message&) { ++count; });
+  a->send("b", "ping");
+  TimePoint before = clock.now();
+  EXPECT_EQ(network.run_until_idle(), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_GT(clock.now(), before);
+  EXPECT_EQ(network.pending(), 0u);
+}
+
+TEST(Network, FifoBetweenSamePairWithoutJitter) {
+  SimClock clock;
+  Network network(clock, quiet_config());
+  auto a = network.create_endpoint("a").value();
+  auto b = network.create_endpoint("b").value();
+  std::vector<std::string> topics;
+  b->set_handler([&](const Message& m) { topics.push_back(m.topic); });
+  for (int i = 0; i < 5; ++i) a->send("b", "m" + std::to_string(i));
+  network.run_until_idle();
+  EXPECT_EQ(topics, (std::vector<std::string>{"m0", "m1", "m2", "m3", "m4"}));
+}
+
+TEST(Network, DropRateLosesMessages) {
+  SimClock clock;
+  NetworkConfig config = quiet_config();
+  config.drop_rate = 0.5;
+  config.seed = 7;
+  Network network(clock, config);
+  auto a = network.create_endpoint("a").value();
+  auto b = network.create_endpoint("b").value();
+  int received = 0;
+  b->set_handler([&](const Message&) { ++received; });
+  for (int i = 0; i < 200; ++i) a->send("b", "m");
+  network.run_until_idle();
+  const NetworkStats& stats = network.stats();
+  EXPECT_EQ(stats.sent, 200u);
+  EXPECT_EQ(stats.delivered + stats.dropped, 200u);
+  // With p=0.5 and n=200, both counts are overwhelmingly within [60,140].
+  EXPECT_GT(stats.dropped, 60u);
+  EXPECT_LT(stats.dropped, 140u);
+  EXPECT_EQ(static_cast<std::uint64_t>(received), stats.delivered);
+}
+
+TEST(Network, DeterministicAcrossRunsWithSameSeed) {
+  auto run = [](std::uint32_t seed) {
+    SimClock clock;
+    NetworkConfig config;
+    config.jitter = std::chrono::microseconds(300);
+    config.drop_rate = 0.2;
+    config.seed = seed;
+    Network network(clock, config);
+    auto a = network.create_endpoint("a").value();
+    (void)network.create_endpoint("b");
+    std::vector<std::uint64_t> order;
+    network.find_endpoint("b")->set_handler(
+        [&](const Message& m) { order.push_back(m.id % 1000); });
+    for (int i = 0; i < 50; ++i) a->send("b", "m" + std::to_string(i));
+    network.run_until_idle();
+    return std::pair(order.size(), network.stats().dropped);
+  };
+  EXPECT_EQ(run(11), run(11));
+  EXPECT_NE(run(11), run(12));  // different seed, different trace (w.h.p.)
+}
+
+TEST(Network, LinkDownBlocksInFlightTraffic) {
+  SimClock clock;
+  Network network(clock, quiet_config());
+  auto a = network.create_endpoint("a").value();
+  (void)network.create_endpoint("b");
+  int received = 0;
+  network.find_endpoint("b")->set_handler([&](const Message&) { ++received; });
+  a->send("b", "m1");
+  network.set_link_down("a", "b", true);  // goes down after send
+  network.run_until_idle();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(network.stats().blocked, 1u);
+  network.set_link_down("a", "b", false);
+  a->send("b", "m2");
+  network.run_until_idle();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(Network, LinkDownIsBidirectional) {
+  SimClock clock;
+  Network network(clock, quiet_config());
+  auto a = network.create_endpoint("a").value();
+  auto b = network.create_endpoint("b").value();
+  int received = 0;
+  a->set_handler([&](const Message&) { ++received; });
+  network.set_link_down("a", "b", true);
+  b->send("a", "m");
+  network.run_until_idle();
+  EXPECT_EQ(received, 0);
+}
+
+TEST(Network, PartitionSplitsGroups) {
+  SimClock clock;
+  Network network(clock, quiet_config());
+  auto a = network.create_endpoint("a").value();
+  auto b = network.create_endpoint("b").value();
+  auto c = network.create_endpoint("c").value();
+  std::vector<std::string> delivered;
+  auto handler = [&](const Message& m) { delivered.push_back(m.to); };
+  a->set_handler(handler);
+  b->set_handler(handler);
+  c->set_handler(handler);
+  network.set_partition({"a", "b"});
+  a->send("b", "in-group");   // same side: delivered
+  a->send("c", "cross");      // crosses partition: blocked
+  c->send("a", "cross-back"); // crosses partition: blocked
+  network.run_until_idle();
+  EXPECT_EQ(delivered, std::vector<std::string>{"b"});
+  network.clear_partition();
+  a->send("c", "healed");
+  network.run_until_idle();
+  EXPECT_EQ(delivered.size(), 2u);
+}
+
+TEST(Network, UndeliverableCountsWhenNoHandlerOrEndpoint) {
+  SimClock clock;
+  Network network(clock, quiet_config());
+  auto a = network.create_endpoint("a").value();
+  network.create_endpoint("b");  // no handler installed
+  a->send("b", "m");
+  a->send("ghost", "m");
+  network.run_until_idle();
+  EXPECT_EQ(network.stats().undeliverable, 2u);
+}
+
+TEST(Network, SendFromUnknownEndpointRejected) {
+  SimClock clock;
+  Network network(clock, quiet_config());
+  EXPECT_EQ(network.send("ghost", "b", "m", {}).code(), ErrorCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace mdsm::net

@@ -1,0 +1,276 @@
+// Unit + property tests for context store, expressions, and policy sets.
+#include <gtest/gtest.h>
+
+#include "policy/context.hpp"
+#include "policy/expression.hpp"
+#include "policy/policy_engine.hpp"
+
+namespace mdsm::policy {
+namespace {
+
+using model::Value;
+
+// ----------------------------------------------------------- ContextStore
+
+TEST(ContextStore, SetGetHasErase) {
+  ContextStore context;
+  EXPECT_FALSE(context.has("x"));
+  EXPECT_TRUE(context.get("x").is_none());
+  context.set("x", Value(5));
+  EXPECT_TRUE(context.has("x"));
+  EXPECT_EQ(context.get("x"), Value(5));
+  context.erase("x");
+  EXPECT_FALSE(context.has("x"));
+}
+
+TEST(ContextStore, VersionBumpsOnMutation) {
+  ContextStore context;
+  auto v0 = context.version();
+  context.set("x", Value(1));
+  auto v1 = context.version();
+  EXPECT_GT(v1, v0);
+  context.erase("x");
+  EXPECT_GT(context.version(), v1);
+  context.erase("x");  // erasing nothing does not bump
+  EXPECT_EQ(context.version(), v1 + 1);
+}
+
+TEST(ContextStore, SnapshotAndNames) {
+  ContextStore context;
+  context.set("b", Value(2));
+  context.set("a", Value(1));
+  EXPECT_EQ(context.names(), (std::vector<std::string>{"a", "b"}));
+  auto snapshot = context.snapshot();
+  EXPECT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot["a"], Value(1));
+}
+
+// ------------------------------------------------------------- Expression
+
+Result<Value> eval(std::string_view text, const ContextStore& context) {
+  auto expr = Expression::parse(text);
+  if (!expr.ok()) return expr.status();
+  return expr->evaluate(context);
+}
+
+TEST(Expression, Literals) {
+  ContextStore context;
+  EXPECT_EQ(*eval("42", context), Value(42));
+  EXPECT_EQ(*eval("2.5", context), Value(2.5));
+  EXPECT_EQ(*eval("true", context), Value(true));
+  EXPECT_EQ(*eval("false", context), Value(false));
+  EXPECT_EQ(*eval("\"hi\"", context), Value("hi"));
+}
+
+TEST(Expression, Arithmetic) {
+  ContextStore context;
+  EXPECT_EQ(*eval("1 + 2 * 3", context), Value(7));
+  EXPECT_EQ(*eval("(1 + 2) * 3", context), Value(9));
+  EXPECT_EQ(*eval("10 / 4", context), Value(2));      // int division
+  EXPECT_EQ(*eval("10.0 / 4", context), Value(2.5));  // real division
+  EXPECT_EQ(*eval("-3 + 1", context), Value(-2));
+  EXPECT_EQ(*eval("\"a\" + \"b\"", context), Value("ab"));
+}
+
+TEST(Expression, DivisionByZeroIsError) {
+  ContextStore context;
+  EXPECT_FALSE(eval("1 / 0", context).ok());
+  EXPECT_FALSE(eval("1.0 / 0.0", context).ok());
+}
+
+TEST(Expression, Comparisons) {
+  ContextStore context;
+  EXPECT_EQ(*eval("1 < 2", context), Value(true));
+  EXPECT_EQ(*eval("2 <= 2", context), Value(true));
+  EXPECT_EQ(*eval("3 > 4", context), Value(false));
+  EXPECT_EQ(*eval("1 == 1.0", context), Value(true));  // numeric widening
+  EXPECT_EQ(*eval("\"a\" < \"b\"", context), Value(true));
+  EXPECT_EQ(*eval("\"a\" == \"a\"", context), Value(true));
+  EXPECT_EQ(*eval("true == false", context), Value(false));
+  EXPECT_EQ(*eval("1 != 2", context), Value(true));
+}
+
+TEST(Expression, BooleanLogicShortCircuits) {
+  ContextStore context;
+  EXPECT_EQ(*eval("true || (1/0 == 1)", context), Value(true));
+  EXPECT_EQ(*eval("false && (1/0 == 1)", context), Value(false));
+  EXPECT_EQ(*eval("!false", context), Value(true));
+  EXPECT_EQ(*eval("!(1 > 2)", context), Value(true));
+}
+
+TEST(Expression, ContextLookupAndDefined) {
+  ContextStore context;
+  context.set("bandwidth", Value(1.5));
+  context.set("mode", Value("eco"));
+  EXPECT_EQ(*eval("bandwidth >= 1.0 && mode == \"eco\"", context),
+            Value(true));
+  EXPECT_EQ(*eval("defined(bandwidth)", context), Value(true));
+  EXPECT_EQ(*eval("defined(ghost)", context), Value(false));
+  // Undefined identifier in comparison → false, not error.
+  EXPECT_EQ(*eval("ghost > 3", context), Value(false));
+  // Undefined identifier used as a guard → false.
+  auto expr = Expression::parse("ghost");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ(*expr->evaluate_bool(context), false);
+}
+
+TEST(Expression, DottedIdentifiers) {
+  ContextStore context;
+  context.set("net.latency", Value(20));
+  EXPECT_EQ(*eval("net.latency < 50", context), Value(true));
+}
+
+TEST(Expression, EmptyExpressionIsTrue) {
+  ContextStore context;
+  auto expr = Expression::parse("   ");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_TRUE(expr->empty());
+  EXPECT_EQ(*expr->evaluate_bool(context), true);
+}
+
+TEST(Expression, ParseErrors) {
+  for (std::string_view bad :
+       {"1 +", "(1", "defined(", "defined(1)", "== 3", "1 @ 2",
+        "\"unterminated", "a &&"}) {
+    EXPECT_FALSE(Expression::parse(bad).ok()) << bad;
+  }
+}
+
+TEST(Expression, EvaluateBoolRejectsNonBool) {
+  ContextStore context;
+  auto expr = Expression::parse("1 + 2");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_FALSE(expr->evaluate_bool(context).ok());
+}
+
+TEST(Expression, TypeErrors) {
+  ContextStore context;
+  EXPECT_FALSE(eval("\"a\" * 2", context).ok());
+  EXPECT_FALSE(eval("true + 1", context).ok());
+  EXPECT_FALSE(eval("\"a\" < 1", context).ok());
+  EXPECT_FALSE(eval("-\"a\"", context).ok());
+}
+
+TEST(Expression, CopiesShareCompiledTree) {
+  ContextStore context;
+  auto expr = Expression::parse("1 + 1");
+  ASSERT_TRUE(expr.ok());
+  Expression copy = *expr;  // cheap copy by design
+  EXPECT_EQ(*copy.evaluate(context), Value(2));
+  EXPECT_EQ(copy.text(), "1 + 1");
+}
+
+// -------------------------------------------------------------- PolicySet
+
+TEST(PolicySet, HighestPriorityMatchWins) {
+  ContextStore context;
+  context.set("load", Value(0.9));
+  PolicySet policies;
+  ASSERT_TRUE(policies.add("default", "", "case1", 0).ok());
+  ASSERT_TRUE(policies.add("overload", "load > 0.8", "case2", 10).ok());
+  auto decision = policies.evaluate(context);
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_EQ(decision->policy_name, "overload");
+  EXPECT_EQ(decision->decision, "case2");
+  context.set("load", Value(0.1));
+  decision = policies.evaluate(context);
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_EQ(decision->policy_name, "default");
+}
+
+TEST(PolicySet, TieBreaksByInsertionOrder) {
+  ContextStore context;
+  PolicySet policies;
+  policies.add("first", "", "a", 5);
+  policies.add("second", "", "b", 5);
+  auto decision = policies.evaluate(context);
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_EQ(decision->policy_name, "first");
+}
+
+TEST(PolicySet, NoMatchReturnsNullopt) {
+  ContextStore context;
+  PolicySet policies;
+  policies.add("never", "false", "x");
+  EXPECT_FALSE(policies.evaluate(context).has_value());
+}
+
+TEST(PolicySet, EvaluateAllPriorityDescending) {
+  ContextStore context;
+  PolicySet policies;
+  policies.add("low", "", "l", 1);
+  policies.add("high", "", "h", 9);
+  policies.add("never", "false", "n", 100);
+  auto all = policies.evaluate_all(context);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].policy_name, "high");
+  EXPECT_EQ(all[1].policy_name, "low");
+}
+
+TEST(PolicySet, DuplicateNameAndBadConditionRejected) {
+  PolicySet policies;
+  ASSERT_TRUE(policies.add("p", "", "x").ok());
+  EXPECT_EQ(policies.add("p", "", "y").code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(policies.add("q", "1 +", "y").code(), ErrorCode::kParseError);
+  EXPECT_EQ(policies.size(), 1u);
+}
+
+TEST(PolicySet, RemovePolicy) {
+  PolicySet policies;
+  policies.add("p", "", "x");
+  EXPECT_TRUE(policies.remove("p").ok());
+  EXPECT_EQ(policies.remove("p").code(), ErrorCode::kNotFound);
+  EXPECT_TRUE(policies.empty());
+}
+
+TEST(PolicySet, ConditionErrorSurfacesViaLastError) {
+  ContextStore context;
+  context.set("s", Value("str"));
+  PolicySet policies;
+  policies.add("bad", "s * 2 > 1", "x", 10);
+  policies.add("good", "", "fallback", 0);
+  auto decision = policies.evaluate(context);
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_EQ(decision->policy_name, "good");
+  EXPECT_FALSE(policies.last_error().ok());
+}
+
+TEST(PolicySet, ParametersCarriedThrough) {
+  ContextStore context;
+  PolicySet policies;
+  policies.add("p", "", "scale", 0, {{"factor", Value(3)}});
+  auto decision = policies.evaluate(context);
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_EQ(decision->parameters.at("factor"), Value(3));
+}
+
+// Property sweep: comparison operators agree with <=> on integer pairs.
+class ComparisonProperty
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(ComparisonProperty, OperatorsConsistent) {
+  auto [a, b] = GetParam();
+  ContextStore context;
+  context.set("a", Value(a));
+  context.set("b", Value(b));
+  EXPECT_EQ(*eval("a < b", context), Value(a < b));
+  EXPECT_EQ(*eval("a <= b", context), Value(a <= b));
+  EXPECT_EQ(*eval("a > b", context), Value(a > b));
+  EXPECT_EQ(*eval("a >= b", context), Value(a >= b));
+  EXPECT_EQ(*eval("a == b", context), Value(a == b));
+  EXPECT_EQ(*eval("a != b", context), Value(a != b));
+  // Trichotomy through the expression language.
+  int holds = 0;
+  holds += eval("a < b", context)->as_bool() ? 1 : 0;
+  holds += eval("a == b", context)->as_bool() ? 1 : 0;
+  holds += eval("a > b", context)->as_bool() ? 1 : 0;
+  EXPECT_EQ(holds, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, ComparisonProperty,
+    ::testing::Values(std::pair{1, 2}, std::pair{2, 1}, std::pair{0, 0},
+                      std::pair{-5, 5}, std::pair{7, 7}, std::pair{-3, -4}));
+
+}  // namespace
+}  // namespace mdsm::policy

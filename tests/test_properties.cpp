@@ -1,0 +1,146 @@
+// Randomized property sweeps over the model facility and the weaver:
+// serialize⇄parse round-trips, diff/apply inverse, weave identity — the
+// algebraic invariants every layer of the platform silently relies on.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "model/diff.hpp"
+#include "model/text_format.hpp"
+#include "model_fixtures.hpp"
+#include "synthesis/weaver.hpp"
+
+namespace mdsm::model {
+namespace {
+
+using testing::make_test_metamodel;
+
+/// Deterministic random model over the shared test metamodel.
+Model random_model(const MetamodelPtr& mm, unsigned seed,
+                   const std::string& prefix = "r") {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> sessions(1, 3);
+  std::uniform_int_distribution<int> children(0, 4);
+  std::uniform_int_distribution<int> coin(0, 1);
+  std::uniform_real_distribution<double> bandwidth(0.0, 10.0);
+  const char* states[] = {"idle", "open", "closed"};
+  const char* kinds[] = {"audio", "video", "file"};
+  Model model("rand" + std::to_string(seed), mm);
+  int uid = 0;
+  int session_count = sessions(rng);
+  for (int s = 0; s < session_count; ++s) {
+    std::string sid = prefix + "s" + std::to_string(s);
+    model.create("Session", sid);
+    model.set_attribute(sid, "state", Value(states[seed % 3]));
+    if (coin(rng) == 1) {
+      model.set_attribute(sid, "bandwidth", Value(bandwidth(rng)));
+    }
+    if (coin(rng) == 1) {
+      ValueList tags;
+      for (int t = 0; t <= coin(rng); ++t) {
+        tags.push_back(Value("tag" + std::to_string(t)));
+      }
+      model.set_attribute(sid, "tags", Value(std::move(tags)));
+    }
+    int participant_count = children(rng);
+    std::vector<std::string> participant_ids;
+    for (int p = 0; p < participant_count; ++p) {
+      std::string pid = prefix + "p" + std::to_string(uid++);
+      model.create_child(sid, "participants", "Participant", pid);
+      model.set_attribute(pid, "address", Value(pid + "@host"));
+      if (coin(rng) == 1) {
+        model.set_attribute(pid, "priority",
+                            Value(static_cast<std::int64_t>(p)));
+      }
+      participant_ids.push_back(pid);
+    }
+    int media_count = children(rng) / 2;
+    for (int m = 0; m < media_count; ++m) {
+      std::string mid = prefix + "m" + std::to_string(uid++);
+      const char* cls = coin(rng) == 1 ? "StreamMedia" : "Media";
+      model.create_child(sid, "media", cls, mid);
+      model.set_attribute(mid, "kind", Value(kinds[uid % 3]));
+      if (coin(rng) == 1) model.set_attribute(mid, "live", Value(true));
+    }
+    if (!participant_ids.empty() && coin(rng) == 1) {
+      model.add_reference(sid, "initiator", participant_ids.front());
+    }
+  }
+  EXPECT_TRUE(model.validate().ok());
+  return model;
+}
+
+class ModelProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ModelProperty, SerializeParseRoundTrip) {
+  MetamodelPtr mm = make_test_metamodel();
+  Model original = random_model(mm, GetParam());
+  std::string text = serialize_model(original);
+  auto reparsed = parse_model(text, mm);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().to_string() << "\n" << text;
+  EXPECT_TRUE(diff(original, *reparsed).empty()) << text;
+  // Serialization is a fixed point.
+  EXPECT_EQ(serialize_model(*reparsed), text);
+}
+
+TEST_P(ModelProperty, DiffApplyIsInverse) {
+  MetamodelPtr mm = make_test_metamodel();
+  Model a = random_model(mm, GetParam(), "a");
+  Model b = random_model(mm, GetParam() * 31 + 7, "b");
+  ChangeList forward = diff(a, b);
+  Model replay = a.clone();
+  Status applied = model::apply(forward, replay);
+  ASSERT_TRUE(applied.ok()) << applied.to_string() << "\n"
+                            << summarize(forward);
+  EXPECT_TRUE(diff(replay, b).empty()) << summarize(diff(replay, b));
+  // And the reverse direction.
+  ChangeList backward = diff(b, a);
+  Model back = b.clone();
+  ASSERT_TRUE(model::apply(backward, back).ok());
+  EXPECT_TRUE(diff(back, a).empty());
+}
+
+TEST_P(ModelProperty, DiffIsEmptyOnlyForEquivalentModels) {
+  MetamodelPtr mm = make_test_metamodel();
+  Model a = random_model(mm, GetParam(), "a");
+  EXPECT_TRUE(diff(a, a).empty());
+  Model mutated = a.clone();
+  // Any mutation must surface in the diff.
+  auto all_sessions = mutated.objects_of("Session");
+  ASSERT_FALSE(all_sessions.empty());
+  mutated.set_attribute(all_sessions[0]->id(), "label", Value("changed"));
+  EXPECT_FALSE(diff(a, mutated).empty());
+}
+
+TEST_P(ModelProperty, WeaveIdentityAndDisjointUnion) {
+  MetamodelPtr mm = make_test_metamodel();
+  Model a = random_model(mm, GetParam(), "a");
+  // weave({a}) ≡ a
+  auto identity = synthesis::weave({&a});
+  ASSERT_TRUE(identity.ok()) << identity.status().to_string();
+  EXPECT_TRUE(diff(a, *identity).empty());
+  // Disjoint concerns (different id prefixes) weave to their union.
+  Model b = random_model(mm, GetParam() + 1000, "b");
+  auto unioned = synthesis::weave({&a, &b});
+  ASSERT_TRUE(unioned.ok()) << unioned.status().to_string();
+  EXPECT_EQ(unioned->size(), a.size() + b.size());
+  EXPECT_TRUE(unioned->validate().ok());
+}
+
+TEST_P(ModelProperty, CloneIsDeepEquivalentAndIndependent) {
+  MetamodelPtr mm = make_test_metamodel();
+  Model a = random_model(mm, GetParam(), "a");
+  Model copy = a.clone();
+  EXPECT_TRUE(diff(a, copy).empty());
+  auto roots = copy.roots();
+  ASSERT_FALSE(roots.empty());
+  copy.remove(roots[0]->id());
+  EXPECT_FALSE(diff(a, copy).empty());
+  EXPECT_TRUE(a.validate().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelProperty,
+                         ::testing::Range(1u, 16u));
+
+}  // namespace
+}  // namespace mdsm::model

@@ -1,0 +1,296 @@
+// Unit tests for the generic runtime environment: components, factory,
+// event bus, executor, timers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "model/metamodel.hpp"
+#include "runtime/component.hpp"
+#include "runtime/component_factory.hpp"
+#include "runtime/event_bus.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/timer_service.hpp"
+
+namespace mdsm::runtime {
+namespace {
+
+// ------------------------------------------------------------ Component
+
+class CountingComponent : public Component {
+ public:
+  explicit CountingComponent(std::string name, bool fail_start = false)
+      : Component(std::move(name)), fail_start_(fail_start) {}
+  int starts = 0;
+  int stops = 0;
+
+ protected:
+  Status on_start() override {
+    if (fail_start_) return Unavailable("refusing to start");
+    ++starts;
+    return Status::Ok();
+  }
+  Status on_stop() override {
+    ++stops;
+    return Status::Ok();
+  }
+
+ private:
+  bool fail_start_;
+};
+
+TEST(Component, LifecycleIsIdempotent) {
+  CountingComponent component("c");
+  EXPECT_EQ(component.state(), ComponentState::kCreated);
+  ASSERT_TRUE(component.start().ok());
+  ASSERT_TRUE(component.start().ok());  // no-op
+  EXPECT_EQ(component.starts, 1);
+  EXPECT_EQ(component.state(), ComponentState::kStarted);
+  ASSERT_TRUE(component.stop().ok());
+  ASSERT_TRUE(component.stop().ok());  // no-op
+  EXPECT_EQ(component.stops, 1);
+  EXPECT_EQ(component.state(), ComponentState::kStopped);
+}
+
+TEST(Component, FailedStartLeavesStateCreated) {
+  CountingComponent component("c", /*fail_start=*/true);
+  EXPECT_FALSE(component.start().ok());
+  EXPECT_EQ(component.state(), ComponentState::kCreated);
+}
+
+TEST(Component, StopBeforeStartIsNoOp) {
+  CountingComponent component("c");
+  EXPECT_TRUE(component.stop().ok());
+  EXPECT_EQ(component.stops, 0);
+}
+
+// ----------------------------------------------------- ComponentFactory
+
+model::MetamodelPtr factory_metamodel() {
+  model::Metamodel mm("factorylang");
+  auto& spec = mm.add_class("ComponentSpec");
+  spec.add_attribute({.name = "template", .type = model::AttrType::kString});
+  spec.add_attribute({.name = "threads", .type = model::AttrType::kInt});
+  return model::finalize_metamodel(std::move(mm));
+}
+
+TEST(ComponentFactory, InstantiatesByExplicitTemplateAttribute) {
+  ComponentFactory factory;
+  ASSERT_TRUE(factory
+                  .register_template(
+                      "counting",
+                      [](const model::ModelObject& spec, const model::Model&) {
+                        return Result<std::unique_ptr<Component>>(
+                            std::make_unique<CountingComponent>(spec.id()));
+                      })
+                  .ok());
+  auto mm = factory_metamodel();
+  model::Model model("m", mm);
+  model.create("ComponentSpec", "broker-main");
+  model.set_attribute("broker-main", "template", model::Value("counting"));
+  auto component = factory.instantiate(*model.find("broker-main"), model);
+  ASSERT_TRUE(component.ok()) << component.status().to_string();
+  EXPECT_EQ((*component)->name(), "broker-main");
+}
+
+TEST(ComponentFactory, FallsBackToClassNameTemplate) {
+  ComponentFactory factory;
+  ASSERT_TRUE(factory
+                  .register_template(
+                      "ComponentSpec",
+                      [](const model::ModelObject& spec, const model::Model&) {
+                        return Result<std::unique_ptr<Component>>(
+                            std::make_unique<CountingComponent>(spec.id()));
+                      })
+                  .ok());
+  auto mm = factory_metamodel();
+  model::Model model("m", mm);
+  model.create("ComponentSpec", "x");
+  EXPECT_TRUE(factory.instantiate(*model.find("x"), model).ok());
+}
+
+TEST(ComponentFactory, MissingTemplateIsNotFound) {
+  ComponentFactory factory;
+  auto mm = factory_metamodel();
+  model::Model model("m", mm);
+  model.create("ComponentSpec", "x");
+  EXPECT_EQ(factory.instantiate(*model.find("x"), model).status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(ComponentFactory, DuplicateAndNullRegistrationsRejected) {
+  ComponentFactory factory;
+  auto builder = [](const model::ModelObject& spec, const model::Model&) {
+    return Result<std::unique_ptr<Component>>(
+        std::make_unique<CountingComponent>(spec.id()));
+  };
+  EXPECT_TRUE(factory.register_template("t", builder).ok());
+  EXPECT_EQ(factory.register_template("t", builder).code(),
+            ErrorCode::kAlreadyExists);
+  EXPECT_EQ(factory.register_template("u", nullptr).code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_TRUE(factory.has_template("t"));
+  EXPECT_FALSE(factory.has_template("u"));
+  EXPECT_EQ(factory.template_names(), std::vector<std::string>{"t"});
+}
+
+// --------------------------------------------------------------- EventBus
+
+TEST(EventBus, ExactTopicDelivery) {
+  EventBus bus;
+  int count = 0;
+  bus.subscribe("resource.up", [&](const Event&) { ++count; });
+  EXPECT_EQ(bus.publish("resource.up", "test"), 1u);
+  EXPECT_EQ(bus.publish("resource.down", "test"), 0u);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(bus.published_count(), 2u);
+}
+
+TEST(EventBus, WildcardMatchesSubtreeAndSelf) {
+  EventBus bus;
+  std::vector<std::string> seen;
+  bus.subscribe("resource.*", [&](const Event& e) { seen.push_back(e.topic); });
+  bus.publish("resource.up", "t");
+  bus.publish("resource", "t");           // prefix itself matches
+  bus.publish("resource.link.down", "t"); // deeper levels match
+  bus.publish("resources.up", "t");       // different segment: no match
+  ASSERT_EQ(seen.size(), 3u);
+}
+
+TEST(EventBus, StarMatchesEverything) {
+  EventBus bus;
+  int count = 0;
+  bus.subscribe("*", [&](const Event&) { ++count; });
+  bus.publish("a", "t");
+  bus.publish("b.c", "t");
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EventBus, UnsubscribeStopsDelivery) {
+  EventBus bus;
+  int count = 0;
+  auto id = bus.subscribe("x", [&](const Event&) { ++count; });
+  bus.publish("x", "t");
+  bus.unsubscribe(id);
+  bus.publish("x", "t");
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(bus.subscription_count(), 0u);
+}
+
+TEST(EventBus, DeliveryInSubscriptionOrder) {
+  EventBus bus;
+  std::vector<int> order;
+  bus.subscribe("x", [&](const Event&) { order.push_back(1); });
+  bus.subscribe("x", [&](const Event&) { order.push_back(2); });
+  bus.publish("x", "t");
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventBus, HandlerMayPublishReentrantly) {
+  EventBus bus;
+  int second = 0;
+  bus.subscribe("first", [&](const Event&) { bus.publish("second", "t"); });
+  bus.subscribe("second", [&](const Event&) { ++second; });
+  bus.publish("first", "t");
+  EXPECT_EQ(second, 1);
+}
+
+TEST(EventBus, PayloadCarriedThrough) {
+  EventBus bus;
+  model::Value received;
+  bus.subscribe("x", [&](const Event& e) { received = e.payload; });
+  bus.publish("x", "src", model::Value(42));
+  EXPECT_EQ(received, model::Value(42));
+}
+
+// --------------------------------------------------------------- Executor
+
+TEST(Executor, RunsSubmittedTasks) {
+  Executor executor(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    executor.submit([&counter] { ++counter; });
+  }
+  executor.drain();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(Executor, DrainWaitsForInFlightWork) {
+  Executor executor(2);
+  std::atomic<bool> done{false};
+  executor.submit([&done] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    done = true;
+  });
+  executor.drain();
+  EXPECT_TRUE(done.load());
+}
+
+TEST(Executor, WorkersMaySubmitMoreWork) {
+  Executor executor(2);
+  std::atomic<int> counter{0};
+  executor.submit([&] {
+    for (int i = 0; i < 10; ++i) {
+      executor.submit([&counter] { ++counter; });
+    }
+  });
+  executor.drain();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(Executor, ZeroThreadsClampedToOne) {
+  Executor executor(0);
+  EXPECT_EQ(executor.thread_count(), 1u);
+}
+
+// ------------------------------------------------------------ TimerService
+
+TEST(TimerService, FiresInDeadlineOrderWhenDue) {
+  SimClock clock;
+  TimerService timers(clock);
+  std::vector<int> fired;
+  timers.schedule(std::chrono::milliseconds(10), [&] { fired.push_back(2); });
+  timers.schedule(std::chrono::milliseconds(5), [&] { fired.push_back(1); });
+  EXPECT_EQ(timers.run_due(), 0u);  // nothing due yet
+  clock.advance(std::chrono::milliseconds(7));
+  EXPECT_EQ(timers.run_due(), 1u);
+  clock.advance(std::chrono::milliseconds(7));
+  EXPECT_EQ(timers.run_due(), 1u);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+  EXPECT_EQ(timers.pending(), 0u);
+}
+
+TEST(TimerService, CancelPreventsFiring) {
+  SimClock clock;
+  TimerService timers(clock);
+  bool fired = false;
+  auto id = timers.schedule(std::chrono::milliseconds(1), [&] { fired = true; });
+  EXPECT_TRUE(timers.cancel(id));
+  EXPECT_FALSE(timers.cancel(id));  // second cancel: unknown
+  clock.advance(std::chrono::milliseconds(5));
+  timers.run_due();
+  EXPECT_FALSE(fired);
+}
+
+TEST(TimerService, CallbackMayScheduleImmediateTimer) {
+  SimClock clock;
+  TimerService timers(clock);
+  int fired = 0;
+  timers.schedule(Duration(0), [&] {
+    ++fired;
+    timers.schedule(Duration(0), [&] { ++fired; });
+  });
+  EXPECT_EQ(timers.run_due(), 2u);  // chained zero-delay fires same call
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(TimerService, NextDeadlineReported) {
+  SimClock clock;
+  TimerService timers(clock);
+  EXPECT_FALSE(timers.next_deadline().has_value());
+  timers.schedule(std::chrono::milliseconds(3), [] {});
+  ASSERT_TRUE(timers.next_deadline().has_value());
+  EXPECT_EQ(*timers.next_deadline(), clock.now() + Duration(3000));
+}
+
+}  // namespace
+}  // namespace mdsm::runtime

@@ -1,0 +1,162 @@
+// Tests for the textual model format: parsing, serialization, round-trips.
+#include <gtest/gtest.h>
+
+#include "model/diff.hpp"
+#include "model/text_format.hpp"
+#include "model_fixtures.hpp"
+
+namespace mdsm::model {
+namespace {
+
+using testing::make_test_metamodel;
+using testing::make_test_model;
+
+constexpr std::string_view kSample = R"(
+# A communication session
+model demo conforms testlang
+
+object Session s1 {
+  state = open
+  bandwidth = 2.5
+  tags = ["a", "b"]
+  initiator -> alice
+  child participants Participant alice {
+    address = "alice@host"
+    priority = 2
+  }
+  child participants Participant bob {
+    address = "bob@host"
+  }
+  child media StreamMedia cam {
+    kind = video
+    fps = 30
+    live = true
+  }
+}
+)";
+
+TEST(TextFormat, ParsesSampleModel) {
+  auto model = parse_model(kSample, make_test_metamodel());
+  ASSERT_TRUE(model.ok()) << model.status().to_string();
+  EXPECT_EQ(model->name(), "demo");
+  EXPECT_EQ(model->size(), 4u);
+  EXPECT_TRUE(model->validate().ok());
+  const ModelObject* s1 = model->find("s1");
+  ASSERT_NE(s1, nullptr);
+  EXPECT_EQ(s1->get_string("state"), "open");
+  EXPECT_DOUBLE_EQ(s1->get_real("bandwidth"), 2.5);
+  ASSERT_EQ(s1->targets("initiator").size(), 1u);
+  EXPECT_EQ(s1->targets("initiator")[0], "alice");
+  ASSERT_TRUE(s1->get("tags").is_list());
+  EXPECT_EQ(s1->get("tags").as_list().size(), 2u);
+  EXPECT_EQ(model->find("cam")->get_int("fps"), 30);
+  EXPECT_TRUE(model->find("cam")->get_bool("live"));
+}
+
+TEST(TextFormat, ForwardReferencesResolve) {
+  constexpr std::string_view text = R"(
+model fwd conforms testlang
+object Session s1 {
+  state = open
+  initiator -> late
+  child participants Participant late { address = "x@y" }
+}
+)";
+  auto model = parse_model(text, make_test_metamodel());
+  ASSERT_TRUE(model.ok()) << model.status().to_string();
+  EXPECT_EQ(model->find("s1")->targets("initiator")[0], "late");
+}
+
+TEST(TextFormat, RoundTripPreservesModel) {
+  MetamodelPtr mm = make_test_metamodel();
+  Model original = make_test_model(mm);
+  std::string text = serialize_model(original);
+  auto reparsed = parse_model(text, mm);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().to_string();
+  // Same shape and a fixed-point serialization.
+  EXPECT_EQ(reparsed->size(), original.size());
+  EXPECT_EQ(serialize_model(*reparsed), text);
+  EXPECT_TRUE(diff(original, *reparsed).empty());
+}
+
+TEST(TextFormat, StringEscapesRoundTrip) {
+  MetamodelPtr mm = make_test_metamodel();
+  Model model("esc", mm);
+  model.create("Participant", "p");
+  model.set_attribute("p", "address", Value("line1\nline2\t\"q\"\\"));
+  auto reparsed = parse_model(serialize_model(model), mm);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().to_string();
+  EXPECT_EQ(reparsed->find("p")->get_string("address"),
+            "line1\nline2\t\"q\"\\");
+}
+
+TEST(TextFormat, NegativeNumbersAndScientific) {
+  constexpr std::string_view text = R"(
+model n conforms testlang
+object Session s { state = idle bandwidth = -1.5e2 }
+object Participant p { address = "a" priority = -3 }
+)";
+  auto model = parse_model(text, make_test_metamodel());
+  ASSERT_TRUE(model.ok()) << model.status().to_string();
+  EXPECT_DOUBLE_EQ(model->find("s")->get_real("bandwidth"), -150.0);
+  EXPECT_EQ(model->find("p")->get_int("priority"), -3);
+}
+
+TEST(TextFormat, ErrorsAreParseErrorsWithLineNumbers) {
+  MetamodelPtr mm = make_test_metamodel();
+  struct Case {
+    std::string_view text;
+    std::string_view needle;
+  };
+  const Case cases[] = {
+      {"object Session s {}", "expected 'model'"},
+      {"model x conformz testlang", "expected 'conforms'"},
+      {"model x conforms other", "metamodel"},
+      {"model x conforms testlang\nobject Ghost g {}", "class 'Ghost'"},
+      {"model x conforms testlang\nobject Session s { state = }",
+       "expected value"},
+      {"model x conforms testlang\nobject Session s { state = \"unterm",
+       "unterminated"},
+      {"model x conforms testlang\nobject Session s { initiator -> ghost }",
+       "ghost"},
+      {"model x conforms testlang\nobject Session s {", "unexpected EOF"},
+      {"model x conforms testlang\nobject Session s { ghost = 1 }",
+       "no attribute"},
+  };
+  for (const Case& c : cases) {
+    auto model = parse_model(c.text, mm);
+    ASSERT_FALSE(model.ok()) << c.text;
+    EXPECT_EQ(model.status().code(), ErrorCode::kParseError) << c.text;
+    EXPECT_NE(model.status().message().find(c.needle), std::string::npos)
+        << "message '" << model.status().message() << "' lacks '" << c.needle
+        << "'";
+  }
+}
+
+TEST(TextFormat, EmptyListAndNoneValues) {
+  constexpr std::string_view text = R"(
+model n conforms testlang
+object Session s { state = idle tags = [] }
+)";
+  auto model = parse_model(text, make_test_metamodel());
+  ASSERT_TRUE(model.ok()) << model.status().to_string();
+  EXPECT_TRUE(model->find("s")->get("tags").is_list());
+  EXPECT_TRUE(model->find("s")->get("tags").as_list().empty());
+}
+
+TEST(TextFormat, CommentsAndWhitespaceIgnored) {
+  constexpr std::string_view text =
+      "model c conforms testlang # trailing\n"
+      "# full line\n"
+      "object Session s {\n#inner\n state = idle }\n";
+  auto model = parse_model(text, make_test_metamodel());
+  ASSERT_TRUE(model.ok()) << model.status().to_string();
+}
+
+TEST(TextFormat, RequiresFinalizedMetamodel) {
+  auto result = parse_model("model x conforms y", nullptr);
+  EXPECT_EQ(result.status().code(), ErrorCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace mdsm::model

@@ -1,0 +1,198 @@
+// Tests for model weaving (synthesis/weaver.hpp) — the aspect-oriented
+// multi-concern execution of the paper's future work (§IX).
+#include <gtest/gtest.h>
+
+#include "domains/comm/cvm.hpp"
+#include "model/text_format.hpp"
+#include "model_fixtures.hpp"
+#include "synthesis/weaver.hpp"
+
+namespace mdsm::synthesis {
+namespace {
+
+using model::Value;
+using model::testing::make_test_metamodel;
+
+model::Model parse(std::string_view text, const model::MetamodelPtr& mm) {
+  auto parsed = model::parse_model(text, mm);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().to_string();
+  return std::move(parsed.value());
+}
+
+TEST(Weaver, MergesDisjointConcerns) {
+  auto mm = make_test_metamodel();
+  // Concern 1: the session structure.
+  model::Model structure = parse(R"(
+model structure conforms testlang
+object Session s1 {
+  state = open
+  child participants Participant alice { address = "a@h" }
+}
+)", mm);
+  // Concern 2: media, on the same session.
+  model::Model media = parse(R"(
+model media conforms testlang
+object Session s1 {
+  state = open
+  child media StreamMedia cam { kind = video fps = 30 }
+}
+)", mm);
+  auto woven = weave({&structure, &media});
+  ASSERT_TRUE(woven.ok()) << woven.status().to_string();
+  EXPECT_EQ(woven->size(), 3u);
+  EXPECT_EQ(woven->find("cam")->parent_id(), "s1");
+  EXPECT_EQ(woven->find("alice")->parent_id(), "s1");
+  EXPECT_EQ(woven->find("s1")->get_string("state"), "open");
+  EXPECT_TRUE(woven->validate().ok());
+}
+
+TEST(Weaver, CrossConcernReferencesResolve) {
+  auto mm = make_test_metamodel();
+  // Concern 2 references an object only concern 1 defines.
+  model::Model c1 = parse(R"(
+model c1 conforms testlang
+object Session s1 {
+  state = open
+  child participants Participant alice { address = "a@h" }
+}
+)", mm);
+  // Each concern must be standalone-parseable (references resolve within
+  // the concern); the weaver then unifies shared objects across concerns.
+  model::Model c2b = parse(R"(
+model c2b conforms testlang
+object Session s1 {
+  state = open
+  initiator -> bob
+  child participants Participant bob { address = "b@h" }
+}
+)", mm);
+  auto woven = weave({&c1, &c2b});
+  ASSERT_TRUE(woven.ok()) << woven.status().to_string();
+  EXPECT_EQ(woven->find("s1")->targets("initiator"),
+            std::vector<std::string>{"bob"});
+  EXPECT_EQ(woven->children("s1", "participants").size(), 2u);
+}
+
+TEST(Weaver, AttributeConflictIsErrorByDefault) {
+  auto mm = make_test_metamodel();
+  model::Model a = parse(R"(
+model a conforms testlang
+object Session s1 { state = open bandwidth = 1.0 }
+)", mm);
+  model::Model b = parse(R"(
+model b conforms testlang
+object Session s1 { state = open bandwidth = 9.0 }
+)", mm);
+  auto woven = weave({&a, &b});
+  ASSERT_FALSE(woven.ok());
+  EXPECT_EQ(woven.status().code(), ErrorCode::kConformanceError);
+  EXPECT_NE(woven.status().message().find("bandwidth"), std::string::npos);
+}
+
+TEST(Weaver, LastWinsPolicyResolvesConflicts) {
+  auto mm = make_test_metamodel();
+  model::Model a = parse(R"(
+model a conforms testlang
+object Session s1 { state = open bandwidth = 1.0 }
+)", mm);
+  model::Model b = parse(R"(
+model b conforms testlang
+object Session s1 { state = open bandwidth = 9.0 }
+)", mm);
+  WeaveConfig config;
+  config.conflicts = ConflictPolicy::kLastWins;
+  auto woven = weave({&a, &b}, config);
+  ASSERT_TRUE(woven.ok()) << woven.status().to_string();
+  EXPECT_DOUBLE_EQ(woven->find("s1")->get_real("bandwidth"), 9.0);
+}
+
+TEST(Weaver, ExplicitValueBeatsMetamodelDefaultWithoutConflict) {
+  auto mm = make_test_metamodel();
+  // Session.state defaults to "idle": concern a leaves it defaulted,
+  // concern b sets it explicitly — not a conflict.
+  model::Model a("a", mm);
+  a.create("Session", "s1");
+  model::Model b("b", mm);
+  b.create("Session", "s1");
+  b.set_attribute("s1", "state", Value("open"));
+  auto woven = weave({&a, &b});
+  ASSERT_TRUE(woven.ok()) << woven.status().to_string();
+  EXPECT_EQ(woven->find("s1")->get_string("state"), "open");
+  // Order must not matter for default-vs-explicit.
+  auto woven2 = weave({&b, &a});
+  ASSERT_TRUE(woven2.ok()) << woven2.status().to_string();
+  EXPECT_EQ(woven2->find("s1")->get_string("state"), "open");
+}
+
+TEST(Weaver, ClassAndContainmentDisagreementsAreErrors) {
+  auto mm = make_test_metamodel();
+  model::Model a("a", mm);
+  a.create("Session", "x");
+  model::Model b("b", mm);
+  b.create("Participant", "x");
+  b.set_attribute("x", "address", Value("x@h"));
+  EXPECT_EQ(weave({&a, &b}).status().code(), ErrorCode::kConformanceError);
+
+  model::Model c("c", mm);
+  c.create("Session", "s1");
+  c.create_child("s1", "participants", "Participant", "p");
+  c.set_attribute("p", "address", Value("p@h"));
+  model::Model d("d", mm);
+  d.create("Session", "s2");
+  d.set_attribute("s2", "state", Value("open"));
+  d.create_child("s2", "participants", "Participant", "p");
+  d.set_attribute("p", "address", Value("p@h"));
+  EXPECT_EQ(weave({&c, &d}).status().code(), ErrorCode::kConformanceError);
+}
+
+TEST(Weaver, InputValidation) {
+  auto mm = make_test_metamodel();
+  EXPECT_EQ(weave({}).status().code(), ErrorCode::kInvalidArgument);
+  model::Model a("a", mm);
+  EXPECT_EQ(weave({&a, nullptr}).status().code(),
+            ErrorCode::kInvalidArgument);
+  model::Metamodel other("other");
+  other.add_class("X");
+  auto other_mm = model::finalize_metamodel(std::move(other));
+  model::Model foreign("f", other_mm);
+  EXPECT_EQ(weave({&a, &foreign}).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(Weaver, WovenModelFailingDsmlValidationIsRejected) {
+  auto mm = make_test_metamodel();
+  model::Model a("a", mm);
+  a.create("Participant", "p");  // required 'address' never set anywhere
+  auto woven = weave({&a});
+  EXPECT_EQ(woven.status().code(), ErrorCode::kConformanceError);
+}
+
+// End-to-end: weave two CML concern models through a running CVM.
+TEST(Weaver, PlatformExecutesWovenConcerns) {
+  auto cvm = comm::make_cvm();
+  ASSERT_TRUE(cvm.ok());
+  core::Platform& platform = *(*cvm)->platform;
+  auto script = platform.submit_woven({R"(
+model who conforms cml
+object Connection call {
+  state = active
+  child participants Participant ana { address = "ana@hq" }
+  child participants Participant bia { address = "bia@lab" }
+}
+)", R"(
+model what conforms cml
+object Connection call {
+  state = active
+  child media Medium voice { kind = audio }
+}
+)"});
+  ASSERT_TRUE(script.ok()) << script.status().to_string();
+  // The woven model executed as one: session, two parties, one stream.
+  const comm::Session* session = (*cvm)->service.find_session("call");
+  ASSERT_NE(session, nullptr);
+  EXPECT_EQ(session->parties.size(), 2u);
+  EXPECT_TRUE(session->streams.contains("voice"));
+}
+
+}  // namespace
+}  // namespace mdsm::synthesis
