@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_broker_overhead.dir/bench_broker_overhead.cpp.o"
+  "CMakeFiles/bench_broker_overhead.dir/bench_broker_overhead.cpp.o.d"
+  "bench_broker_overhead"
+  "bench_broker_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_broker_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

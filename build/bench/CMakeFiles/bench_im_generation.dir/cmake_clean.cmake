@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_im_generation.dir/bench_im_generation.cpp.o"
+  "CMakeFiles/bench_im_generation.dir/bench_im_generation.cpp.o.d"
+  "bench_im_generation"
+  "bench_im_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_im_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

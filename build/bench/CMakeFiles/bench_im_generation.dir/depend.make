@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_im_generation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_conference.dir/comm_conference.cpp.o"
+  "CMakeFiles/comm_conference.dir/comm_conference.cpp.o.d"
+  "comm_conference"
+  "comm_conference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_conference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdsensing.dir/crowdsensing.cpp.o"
+  "CMakeFiles/crowdsensing.dir/crowdsensing.cpp.o.d"
+  "crowdsensing"
+  "crowdsensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdsensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_microgrid.dir/smart_microgrid.cpp.o"
+  "CMakeFiles/smart_microgrid.dir/smart_microgrid.cpp.o.d"
+  "smart_microgrid"
+  "smart_microgrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_microgrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_space.dir/smart_space.cpp.o"
+  "CMakeFiles/smart_space.dir/smart_space.cpp.o.d"
+  "smart_space"
+  "smart_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("model")
+subdirs("runtime")
+subdirs("net")
+subdirs("policy")
+subdirs("broker")
+subdirs("controller")
+subdirs("synthesis")
+subdirs("core")
+subdirs("domains/comm")
+subdirs("domains/mgrid")
+subdirs("domains/smartspace")
+subdirs("domains/crowd")

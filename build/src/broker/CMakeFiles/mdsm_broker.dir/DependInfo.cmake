@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/broker/action.cpp" "src/broker/CMakeFiles/mdsm_broker.dir/action.cpp.o" "gcc" "src/broker/CMakeFiles/mdsm_broker.dir/action.cpp.o.d"
+  "/root/repo/src/broker/autonomic_manager.cpp" "src/broker/CMakeFiles/mdsm_broker.dir/autonomic_manager.cpp.o" "gcc" "src/broker/CMakeFiles/mdsm_broker.dir/autonomic_manager.cpp.o.d"
+  "/root/repo/src/broker/broker_layer.cpp" "src/broker/CMakeFiles/mdsm_broker.dir/broker_layer.cpp.o" "gcc" "src/broker/CMakeFiles/mdsm_broker.dir/broker_layer.cpp.o.d"
+  "/root/repo/src/broker/broker_types.cpp" "src/broker/CMakeFiles/mdsm_broker.dir/broker_types.cpp.o" "gcc" "src/broker/CMakeFiles/mdsm_broker.dir/broker_types.cpp.o.d"
+  "/root/repo/src/broker/resource_manager.cpp" "src/broker/CMakeFiles/mdsm_broker.dir/resource_manager.cpp.o" "gcc" "src/broker/CMakeFiles/mdsm_broker.dir/resource_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mdsm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mdsm_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/mdsm_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/mdsm_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

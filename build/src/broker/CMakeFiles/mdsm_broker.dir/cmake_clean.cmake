@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdsm_broker.dir/action.cpp.o"
+  "CMakeFiles/mdsm_broker.dir/action.cpp.o.d"
+  "CMakeFiles/mdsm_broker.dir/autonomic_manager.cpp.o"
+  "CMakeFiles/mdsm_broker.dir/autonomic_manager.cpp.o.d"
+  "CMakeFiles/mdsm_broker.dir/broker_layer.cpp.o"
+  "CMakeFiles/mdsm_broker.dir/broker_layer.cpp.o.d"
+  "CMakeFiles/mdsm_broker.dir/broker_types.cpp.o"
+  "CMakeFiles/mdsm_broker.dir/broker_types.cpp.o.d"
+  "CMakeFiles/mdsm_broker.dir/resource_manager.cpp.o"
+  "CMakeFiles/mdsm_broker.dir/resource_manager.cpp.o.d"
+  "libmdsm_broker.a"
+  "libmdsm_broker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdsm_broker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmdsm_broker.a"
+)

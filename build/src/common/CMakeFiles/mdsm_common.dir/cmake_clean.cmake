@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdsm_common.dir/ids.cpp.o"
+  "CMakeFiles/mdsm_common.dir/ids.cpp.o.d"
+  "CMakeFiles/mdsm_common.dir/log.cpp.o"
+  "CMakeFiles/mdsm_common.dir/log.cpp.o.d"
+  "CMakeFiles/mdsm_common.dir/status.cpp.o"
+  "CMakeFiles/mdsm_common.dir/status.cpp.o.d"
+  "CMakeFiles/mdsm_common.dir/strings.cpp.o"
+  "CMakeFiles/mdsm_common.dir/strings.cpp.o.d"
+  "libmdsm_common.a"
+  "libmdsm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdsm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

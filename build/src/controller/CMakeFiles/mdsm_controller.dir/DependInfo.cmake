@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/controller/controller_layer.cpp" "src/controller/CMakeFiles/mdsm_controller.dir/controller_layer.cpp.o" "gcc" "src/controller/CMakeFiles/mdsm_controller.dir/controller_layer.cpp.o.d"
+  "/root/repo/src/controller/dsc.cpp" "src/controller/CMakeFiles/mdsm_controller.dir/dsc.cpp.o" "gcc" "src/controller/CMakeFiles/mdsm_controller.dir/dsc.cpp.o.d"
+  "/root/repo/src/controller/execution_engine.cpp" "src/controller/CMakeFiles/mdsm_controller.dir/execution_engine.cpp.o" "gcc" "src/controller/CMakeFiles/mdsm_controller.dir/execution_engine.cpp.o.d"
+  "/root/repo/src/controller/intent_model.cpp" "src/controller/CMakeFiles/mdsm_controller.dir/intent_model.cpp.o" "gcc" "src/controller/CMakeFiles/mdsm_controller.dir/intent_model.cpp.o.d"
+  "/root/repo/src/controller/procedure.cpp" "src/controller/CMakeFiles/mdsm_controller.dir/procedure.cpp.o" "gcc" "src/controller/CMakeFiles/mdsm_controller.dir/procedure.cpp.o.d"
+  "/root/repo/src/controller/static_controller.cpp" "src/controller/CMakeFiles/mdsm_controller.dir/static_controller.cpp.o" "gcc" "src/controller/CMakeFiles/mdsm_controller.dir/static_controller.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mdsm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mdsm_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/mdsm_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/mdsm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/broker/CMakeFiles/mdsm_broker.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdsm_controller.dir/controller_layer.cpp.o"
+  "CMakeFiles/mdsm_controller.dir/controller_layer.cpp.o.d"
+  "CMakeFiles/mdsm_controller.dir/dsc.cpp.o"
+  "CMakeFiles/mdsm_controller.dir/dsc.cpp.o.d"
+  "CMakeFiles/mdsm_controller.dir/execution_engine.cpp.o"
+  "CMakeFiles/mdsm_controller.dir/execution_engine.cpp.o.d"
+  "CMakeFiles/mdsm_controller.dir/intent_model.cpp.o"
+  "CMakeFiles/mdsm_controller.dir/intent_model.cpp.o.d"
+  "CMakeFiles/mdsm_controller.dir/procedure.cpp.o"
+  "CMakeFiles/mdsm_controller.dir/procedure.cpp.o.d"
+  "CMakeFiles/mdsm_controller.dir/static_controller.cpp.o"
+  "CMakeFiles/mdsm_controller.dir/static_controller.cpp.o.d"
+  "libmdsm_controller.a"
+  "libmdsm_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdsm_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

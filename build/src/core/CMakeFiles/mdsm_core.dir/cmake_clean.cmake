@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdsm_core.dir/assurance.cpp.o"
+  "CMakeFiles/mdsm_core.dir/assurance.cpp.o.d"
+  "CMakeFiles/mdsm_core.dir/bridge.cpp.o"
+  "CMakeFiles/mdsm_core.dir/bridge.cpp.o.d"
+  "CMakeFiles/mdsm_core.dir/middleware_metamodel.cpp.o"
+  "CMakeFiles/mdsm_core.dir/middleware_metamodel.cpp.o.d"
+  "CMakeFiles/mdsm_core.dir/platform.cpp.o"
+  "CMakeFiles/mdsm_core.dir/platform.cpp.o.d"
+  "CMakeFiles/mdsm_core.dir/spec_decode.cpp.o"
+  "CMakeFiles/mdsm_core.dir/spec_decode.cpp.o.d"
+  "libmdsm_core.a"
+  "libmdsm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdsm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdsm_comm.dir/cml.cpp.o"
+  "CMakeFiles/mdsm_comm.dir/cml.cpp.o.d"
+  "CMakeFiles/mdsm_comm.dir/comm_services.cpp.o"
+  "CMakeFiles/mdsm_comm.dir/comm_services.cpp.o.d"
+  "CMakeFiles/mdsm_comm.dir/cvm.cpp.o"
+  "CMakeFiles/mdsm_comm.dir/cvm.cpp.o.d"
+  "CMakeFiles/mdsm_comm.dir/handcrafted_broker.cpp.o"
+  "CMakeFiles/mdsm_comm.dir/handcrafted_broker.cpp.o.d"
+  "CMakeFiles/mdsm_comm.dir/scenarios.cpp.o"
+  "CMakeFiles/mdsm_comm.dir/scenarios.cpp.o.d"
+  "libmdsm_comm.a"
+  "libmdsm_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdsm_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

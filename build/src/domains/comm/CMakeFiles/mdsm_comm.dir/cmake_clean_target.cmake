@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmdsm_comm.a"
+)

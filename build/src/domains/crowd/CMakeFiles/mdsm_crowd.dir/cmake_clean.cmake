@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdsm_crowd.dir/csml.cpp.o"
+  "CMakeFiles/mdsm_crowd.dir/csml.cpp.o.d"
+  "CMakeFiles/mdsm_crowd.dir/fleet.cpp.o"
+  "CMakeFiles/mdsm_crowd.dir/fleet.cpp.o.d"
+  "libmdsm_crowd.a"
+  "libmdsm_crowd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdsm_crowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

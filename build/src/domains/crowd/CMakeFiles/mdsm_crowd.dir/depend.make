@@ -1,0 +1,2 @@
+# Empty dependencies file for mdsm_crowd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdsm_mgrid.dir/baseline.cpp.o"
+  "CMakeFiles/mdsm_mgrid.dir/baseline.cpp.o.d"
+  "CMakeFiles/mdsm_mgrid.dir/mgridml.cpp.o"
+  "CMakeFiles/mdsm_mgrid.dir/mgridml.cpp.o.d"
+  "CMakeFiles/mdsm_mgrid.dir/mgridvm.cpp.o"
+  "CMakeFiles/mdsm_mgrid.dir/mgridvm.cpp.o.d"
+  "CMakeFiles/mdsm_mgrid.dir/plant.cpp.o"
+  "CMakeFiles/mdsm_mgrid.dir/plant.cpp.o.d"
+  "libmdsm_mgrid.a"
+  "libmdsm_mgrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdsm_mgrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

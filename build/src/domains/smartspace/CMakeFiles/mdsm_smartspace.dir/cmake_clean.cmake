@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdsm_smartspace.dir/smart_objects.cpp.o"
+  "CMakeFiles/mdsm_smartspace.dir/smart_objects.cpp.o.d"
+  "CMakeFiles/mdsm_smartspace.dir/ssml.cpp.o"
+  "CMakeFiles/mdsm_smartspace.dir/ssml.cpp.o.d"
+  "CMakeFiles/mdsm_smartspace.dir/ssvm.cpp.o"
+  "CMakeFiles/mdsm_smartspace.dir/ssvm.cpp.o.d"
+  "libmdsm_smartspace.a"
+  "libmdsm_smartspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdsm_smartspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

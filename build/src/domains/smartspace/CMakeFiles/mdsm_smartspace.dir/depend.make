@@ -1,0 +1,2 @@
+# Empty dependencies file for mdsm_smartspace.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/diff.cpp" "src/model/CMakeFiles/mdsm_model.dir/diff.cpp.o" "gcc" "src/model/CMakeFiles/mdsm_model.dir/diff.cpp.o.d"
+  "/root/repo/src/model/metamodel.cpp" "src/model/CMakeFiles/mdsm_model.dir/metamodel.cpp.o" "gcc" "src/model/CMakeFiles/mdsm_model.dir/metamodel.cpp.o.d"
+  "/root/repo/src/model/model.cpp" "src/model/CMakeFiles/mdsm_model.dir/model.cpp.o" "gcc" "src/model/CMakeFiles/mdsm_model.dir/model.cpp.o.d"
+  "/root/repo/src/model/text_format.cpp" "src/model/CMakeFiles/mdsm_model.dir/text_format.cpp.o" "gcc" "src/model/CMakeFiles/mdsm_model.dir/text_format.cpp.o.d"
+  "/root/repo/src/model/value.cpp" "src/model/CMakeFiles/mdsm_model.dir/value.cpp.o" "gcc" "src/model/CMakeFiles/mdsm_model.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mdsm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

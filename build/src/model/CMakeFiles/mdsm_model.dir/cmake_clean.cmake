@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdsm_model.dir/diff.cpp.o"
+  "CMakeFiles/mdsm_model.dir/diff.cpp.o.d"
+  "CMakeFiles/mdsm_model.dir/metamodel.cpp.o"
+  "CMakeFiles/mdsm_model.dir/metamodel.cpp.o.d"
+  "CMakeFiles/mdsm_model.dir/model.cpp.o"
+  "CMakeFiles/mdsm_model.dir/model.cpp.o.d"
+  "CMakeFiles/mdsm_model.dir/text_format.cpp.o"
+  "CMakeFiles/mdsm_model.dir/text_format.cpp.o.d"
+  "CMakeFiles/mdsm_model.dir/value.cpp.o"
+  "CMakeFiles/mdsm_model.dir/value.cpp.o.d"
+  "libmdsm_model.a"
+  "libmdsm_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdsm_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

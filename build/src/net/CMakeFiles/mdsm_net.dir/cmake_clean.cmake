@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdsm_net.dir/network.cpp.o"
+  "CMakeFiles/mdsm_net.dir/network.cpp.o.d"
+  "libmdsm_net.a"
+  "libmdsm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdsm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/context.cpp" "src/policy/CMakeFiles/mdsm_policy.dir/context.cpp.o" "gcc" "src/policy/CMakeFiles/mdsm_policy.dir/context.cpp.o.d"
+  "/root/repo/src/policy/expression.cpp" "src/policy/CMakeFiles/mdsm_policy.dir/expression.cpp.o" "gcc" "src/policy/CMakeFiles/mdsm_policy.dir/expression.cpp.o.d"
+  "/root/repo/src/policy/policy_engine.cpp" "src/policy/CMakeFiles/mdsm_policy.dir/policy_engine.cpp.o" "gcc" "src/policy/CMakeFiles/mdsm_policy.dir/policy_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mdsm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mdsm_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

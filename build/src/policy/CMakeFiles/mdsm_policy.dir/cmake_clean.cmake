@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdsm_policy.dir/context.cpp.o"
+  "CMakeFiles/mdsm_policy.dir/context.cpp.o.d"
+  "CMakeFiles/mdsm_policy.dir/expression.cpp.o"
+  "CMakeFiles/mdsm_policy.dir/expression.cpp.o.d"
+  "CMakeFiles/mdsm_policy.dir/policy_engine.cpp.o"
+  "CMakeFiles/mdsm_policy.dir/policy_engine.cpp.o.d"
+  "libmdsm_policy.a"
+  "libmdsm_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdsm_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

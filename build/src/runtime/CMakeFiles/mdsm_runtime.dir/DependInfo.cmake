@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/component_factory.cpp" "src/runtime/CMakeFiles/mdsm_runtime.dir/component_factory.cpp.o" "gcc" "src/runtime/CMakeFiles/mdsm_runtime.dir/component_factory.cpp.o.d"
+  "/root/repo/src/runtime/event_bus.cpp" "src/runtime/CMakeFiles/mdsm_runtime.dir/event_bus.cpp.o" "gcc" "src/runtime/CMakeFiles/mdsm_runtime.dir/event_bus.cpp.o.d"
+  "/root/repo/src/runtime/executor.cpp" "src/runtime/CMakeFiles/mdsm_runtime.dir/executor.cpp.o" "gcc" "src/runtime/CMakeFiles/mdsm_runtime.dir/executor.cpp.o.d"
+  "/root/repo/src/runtime/timer_service.cpp" "src/runtime/CMakeFiles/mdsm_runtime.dir/timer_service.cpp.o" "gcc" "src/runtime/CMakeFiles/mdsm_runtime.dir/timer_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mdsm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mdsm_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

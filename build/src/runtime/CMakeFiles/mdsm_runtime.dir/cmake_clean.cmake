@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdsm_runtime.dir/component_factory.cpp.o"
+  "CMakeFiles/mdsm_runtime.dir/component_factory.cpp.o.d"
+  "CMakeFiles/mdsm_runtime.dir/event_bus.cpp.o"
+  "CMakeFiles/mdsm_runtime.dir/event_bus.cpp.o.d"
+  "CMakeFiles/mdsm_runtime.dir/executor.cpp.o"
+  "CMakeFiles/mdsm_runtime.dir/executor.cpp.o.d"
+  "CMakeFiles/mdsm_runtime.dir/timer_service.cpp.o"
+  "CMakeFiles/mdsm_runtime.dir/timer_service.cpp.o.d"
+  "libmdsm_runtime.a"
+  "libmdsm_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdsm_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

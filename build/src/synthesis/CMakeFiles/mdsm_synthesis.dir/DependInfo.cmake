@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synthesis/change_interpreter.cpp" "src/synthesis/CMakeFiles/mdsm_synthesis.dir/change_interpreter.cpp.o" "gcc" "src/synthesis/CMakeFiles/mdsm_synthesis.dir/change_interpreter.cpp.o.d"
+  "/root/repo/src/synthesis/lts.cpp" "src/synthesis/CMakeFiles/mdsm_synthesis.dir/lts.cpp.o" "gcc" "src/synthesis/CMakeFiles/mdsm_synthesis.dir/lts.cpp.o.d"
+  "/root/repo/src/synthesis/synthesis_engine.cpp" "src/synthesis/CMakeFiles/mdsm_synthesis.dir/synthesis_engine.cpp.o" "gcc" "src/synthesis/CMakeFiles/mdsm_synthesis.dir/synthesis_engine.cpp.o.d"
+  "/root/repo/src/synthesis/weaver.cpp" "src/synthesis/CMakeFiles/mdsm_synthesis.dir/weaver.cpp.o" "gcc" "src/synthesis/CMakeFiles/mdsm_synthesis.dir/weaver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mdsm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mdsm_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/mdsm_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/mdsm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/mdsm_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/broker/CMakeFiles/mdsm_broker.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

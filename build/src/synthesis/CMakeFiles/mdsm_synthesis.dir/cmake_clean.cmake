@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdsm_synthesis.dir/change_interpreter.cpp.o"
+  "CMakeFiles/mdsm_synthesis.dir/change_interpreter.cpp.o.d"
+  "CMakeFiles/mdsm_synthesis.dir/lts.cpp.o"
+  "CMakeFiles/mdsm_synthesis.dir/lts.cpp.o.d"
+  "CMakeFiles/mdsm_synthesis.dir/synthesis_engine.cpp.o"
+  "CMakeFiles/mdsm_synthesis.dir/synthesis_engine.cpp.o.d"
+  "CMakeFiles/mdsm_synthesis.dir/weaver.cpp.o"
+  "CMakeFiles/mdsm_synthesis.dir/weaver.cpp.o.d"
+  "libmdsm_synthesis.a"
+  "libmdsm_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdsm_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_assurance.dir/test_assurance.cpp.o"
+  "CMakeFiles/test_assurance.dir/test_assurance.cpp.o.d"
+  "test_assurance"
+  "test_assurance.pdb"
+  "test_assurance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_assurance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

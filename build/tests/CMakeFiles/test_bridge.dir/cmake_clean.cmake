@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bridge.dir/test_bridge.cpp.o"
+  "CMakeFiles/test_bridge.dir/test_bridge.cpp.o.d"
+  "test_bridge"
+  "test_bridge.pdb"
+  "test_bridge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_failures.cpp" "tests/CMakeFiles/test_failures.dir/test_failures.cpp.o" "gcc" "tests/CMakeFiles/test_failures.dir/test_failures.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/domains/comm/CMakeFiles/mdsm_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/domains/mgrid/CMakeFiles/mdsm_mgrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/domains/smartspace/CMakeFiles/mdsm_smartspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/domains/crowd/CMakeFiles/mdsm_crowd.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mdsm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/synthesis/CMakeFiles/mdsm_synthesis.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/mdsm_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/broker/CMakeFiles/mdsm_broker.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/mdsm_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/mdsm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mdsm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mdsm_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mdsm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

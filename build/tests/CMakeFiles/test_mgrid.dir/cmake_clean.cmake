@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mgrid.dir/test_mgrid.cpp.o"
+  "CMakeFiles/test_mgrid.dir/test_mgrid.cpp.o.d"
+  "test_mgrid"
+  "test_mgrid.pdb"
+  "test_mgrid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mgrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smartspace.dir/test_smartspace.cpp.o"
+  "CMakeFiles/test_smartspace.dir/test_smartspace.cpp.o.d"
+  "test_smartspace"
+  "test_smartspace.pdb"
+  "test_smartspace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smartspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

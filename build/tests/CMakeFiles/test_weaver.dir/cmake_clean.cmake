@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_weaver.dir/test_weaver.cpp.o"
+  "CMakeFiles/test_weaver.dir/test_weaver.cpp.o.d"
+  "test_weaver"
+  "test_weaver.pdb"
+  "test_weaver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_weaver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

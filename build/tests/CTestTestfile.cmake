@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_model[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_policy[1]_include.cmake")
+include("/root/repo/build/tests/test_broker[1]_include.cmake")
+include("/root/repo/build/tests/test_controller[1]_include.cmake")
+include("/root/repo/build/tests/test_synthesis[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_comm[1]_include.cmake")
+include("/root/repo/build/tests/test_mgrid[1]_include.cmake")
+include("/root/repo/build/tests/test_smartspace[1]_include.cmake")
+include("/root/repo/build/tests/test_crowd[1]_include.cmake")
+include("/root/repo/build/tests/test_assurance[1]_include.cmake")
+include("/root/repo/build/tests/test_weaver[1]_include.cmake")
+include("/root/repo/build/tests/test_bridge[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_failures[1]_include.cmake")
+include("/root/repo/build/tests/test_concurrency[1]_include.cmake")
