@@ -34,7 +34,9 @@ using namespace mdsm;
 
 class NullBroker : public broker::BrokerApi {
  public:
-  Result<model::Value> call(const broker::Call&) override {
+  using broker::BrokerApi::call;
+  Result<model::Value> call(const broker::Call&,
+                            obs::RequestContext&) override {
     return model::Value(true);
   }
   [[nodiscard]] const broker::CommandTrace& trace() const override {

@@ -1,0 +1,100 @@
+// Tracing-overhead bench: latency of Platform::submit_model_text on the
+// CVM conference scenario with a real (enabled) RequestContext — span
+// tree + metrics recording active — vs the shared noop context, where
+// every observability operation early-returns.
+//
+// Acceptance target: enabling tracing costs < 5% median latency. Emits
+// one JSON object so CI and the driver can assert on it.
+#include <algorithm>
+#include <cstdio>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "domains/comm/cvm.hpp"
+
+namespace {
+
+using mdsm::SteadyClock;
+using mdsm::Stopwatch;
+
+constexpr int kWarmup = 5;
+constexpr int kRepetitions = 80;
+
+constexpr std::string_view kConferenceModel = R"(
+model conference conforms cml
+object Connection standup {
+  state = active
+  topology = conference
+  child participants Participant ana { address = "ana@hq" role = initiator }
+  child participants Participant bruno { address = "bruno@lab" }
+  child participants Participant carla { address = "carla@home" }
+  child media Medium voice { kind = audio }
+  child media Medium cam { kind = video }
+}
+)";
+
+double median(std::vector<double>& samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// One submit latency (µs) on a fresh platform (built untimed). With
+/// `traced`, the submission runs under a fresh enabled context;
+/// otherwise under RequestContext::noop().
+double time_one(bool traced) {
+  static SteadyClock clock;
+  auto cvm = mdsm::comm::make_cvm();
+  if (!cvm.ok()) return -1.0;
+  mdsm::core::Platform& platform = *(*cvm)->platform;
+  mdsm::Result<mdsm::controller::ControlScript> script =
+      mdsm::InvalidArgument("not run");
+  Stopwatch watch(clock);
+  if (traced) {
+    mdsm::obs::RequestContext request = platform.make_context();
+    script = platform.submit_model_text(kConferenceModel, request);
+  } else {
+    script = platform.submit_model_text(kConferenceModel,
+                                        mdsm::obs::RequestContext::noop());
+  }
+  double elapsed_us = watch.elapsed_ms() * 1000.0;
+  return script.ok() ? elapsed_us : -1.0;
+}
+
+}  // namespace
+
+int main() {
+  // Interleave the two variants (alternating order each repetition) so
+  // machine-load drift over the run hits both sample sets equally
+  // instead of masquerading as tracing overhead.
+  std::vector<double> enabled_samples;
+  std::vector<double> noop_samples;
+  for (int rep = 0; rep < kWarmup + kRepetitions; ++rep) {
+    const bool traced_first = (rep % 2) == 0;
+    double first = time_one(traced_first);
+    double second = time_one(!traced_first);
+    if (first < 0.0 || second < 0.0) {
+      std::printf("{\"bench\": \"trace_overhead\", \"error\": \"run failed\"}\n");
+      return 1;
+    }
+    if (rep < kWarmup) continue;
+    enabled_samples.push_back(traced_first ? first : second);
+    noop_samples.push_back(traced_first ? second : first);
+  }
+  double enabled_us = median(enabled_samples);
+  double noop_us = median(noop_samples);
+  if (enabled_us < 0.0 || noop_us < 0.0) {
+    std::printf("{\"bench\": \"trace_overhead\", \"error\": \"run failed\"}\n");
+    return 1;
+  }
+  double overhead_pct = noop_us > 0.0
+                            ? (enabled_us - noop_us) / noop_us * 100.0
+                            : 0.0;
+  std::printf(
+      "{\"bench\": \"trace_overhead\", \"scenario\": \"cvm_conference\", "
+      "\"repetitions\": %d, \"enabled_us\": %.2f, \"noop_us\": %.2f, "
+      "\"overhead_pct\": %.2f, \"target_pct\": 5.0, \"pass\": %s}\n",
+      kRepetitions, enabled_us, noop_us, overhead_pct,
+      overhead_pct < 5.0 ? "true" : "false");
+  return 0;
+}

@@ -154,5 +154,12 @@ object Greeting g2 { to = "professor" tone = formal }
   }
   std::printf("\ncurrent runtime model (round-trip):\n%s",
               (*platform)->runtime_model_text().c_str());
+
+  // Observability: the last request's span tree and the platform-wide
+  // metrics recorded by every layer.
+  std::printf("\nlast request trace:\n%s",
+              (*platform)->last_trace()->to_text().c_str());
+  std::printf("\nplatform metrics:\n%s",
+              (*platform)->metrics().to_text().c_str());
   return 0;
 }

@@ -71,8 +71,19 @@ Status AutonomicManager::raise_request(const std::string& request,
     Result<bool> applicable = plan.guard.evaluate_bool(*context_);
     if (!applicable.ok() || !*applicable) continue;
     ++adaptations_;
+    if (metrics_ != nullptr) metrics_->counter("autonomic.reactions").add();
     log_.push_back("plan " + plan.name + " executing for " + request);
-    return execute_steps_(plan.steps, args);
+    // Reactions are reached through bus subscriptions, so the request
+    // that caused them is only visible as the ambient context; the span
+    // lands in that request's trace (none when adapting spontaneously).
+    obs::RequestContext* request_context = obs::current();
+    std::uint64_t span = 0;
+    if (request_context != nullptr) {
+      span = request_context->open_span("autonomic.reaction", plan.name);
+    }
+    Status executed = execute_steps_(plan.steps, args);
+    if (request_context != nullptr) request_context->close_span(span);
+    return executed;
   }
   return NotFound("no applicable change plan for request '" + request + "'");
 }

@@ -15,6 +15,7 @@
 
 #include "broker/action.hpp"
 #include "common/status.hpp"
+#include "obs/request_context.hpp"
 #include "policy/context.hpp"
 #include "runtime/event_bus.hpp"
 
@@ -56,6 +57,11 @@ class AutonomicManager {
   Status add_symptom(Symptom symptom);
   Status add_plan(ChangePlan plan);
 
+  /// Platform-wide metrics sink (optional; wired via the broker layer).
+  void set_metrics(obs::MetricsRegistry* metrics) noexcept {
+    metrics_ = metrics;
+  }
+
   /// Manually raise a change request (also used internally by symptom
   /// detection). Selects the highest-priority applicable plan.
   Status raise_request(const std::string& request, const Args& args = {});
@@ -76,6 +82,7 @@ class AutonomicManager {
 
   runtime::EventBus* bus_;
   policy::ContextStore* context_;
+  obs::MetricsRegistry* metrics_ = nullptr;
   StepExecutor execute_steps_;
   std::vector<Symptom> symptoms_;
   std::vector<ChangePlan> plans_;

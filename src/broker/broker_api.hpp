@@ -6,6 +6,7 @@
 #pragma once
 
 #include "broker/broker_types.hpp"
+#include "obs/request_context.hpp"
 
 namespace mdsm::broker {
 
@@ -13,8 +14,16 @@ class BrokerApi {
  public:
   virtual ~BrokerApi() = default;
 
-  /// Execute one broker operation on behalf of the layer above.
-  virtual Result<model::Value> call(const Call& call) = 0;
+  /// Execute one broker operation on behalf of the layer above. The
+  /// request context carries the caller's span tree; implementations
+  /// open one "broker.call" span per crossing.
+  virtual Result<model::Value> call(const Call& call,
+                                    obs::RequestContext& context) = 0;
+
+  /// Context-less convenience for callers outside a traced request.
+  Result<model::Value> call(const Call& broker_call) {
+    return call(broker_call, obs::RequestContext::noop());
+  }
 
   /// The trace of resource commands issued so far (Exp-1 compares these).
   [[nodiscard]] virtual const CommandTrace& trace() const = 0;

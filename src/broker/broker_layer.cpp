@@ -68,32 +68,52 @@ Result<const Action*> BrokerLayer::select_action(
   return best;
 }
 
-Result<model::Value> BrokerLayer::call(const Call& call) {
+void BrokerLayer::set_metrics(obs::MetricsRegistry* metrics) noexcept {
+  metrics_ = metrics;
+  resources_.set_metrics(metrics);
+  autonomic_->set_metrics(metrics);
+}
+
+Result<model::Value> BrokerLayer::call(const Call& call,
+                                       obs::RequestContext& context) {
+  obs::ContextScope ambient(context);
+  obs::ScopedSpan span(context, "broker.call", call.name);
   ++calls_handled_;
+  if (metrics_ != nullptr) metrics_->counter("broker.calls").add();
+  if (Status deadline = context.check_deadline("broker"); !deadline.ok()) {
+    return deadline;
+  }
   Result<const Action*> action = select_action(call.name);
   if (!action.ok()) return action.status();
   log_debug("broker") << name() << " call " << call.name << " -> action "
                       << (*action)->name;
-  return execute_steps((*action)->steps, call.args);
+  return execute_steps((*action)->steps, call.args, context);
 }
 
 Status BrokerLayer::handle_event(const std::string& topic,
-                                 model::Value payload) {
+                                 model::Value payload,
+                                 obs::RequestContext& context) {
   ++events_handled_;
   Result<const Action*> action = select_action(topic);
   if (!action.ok()) {
     // Unhandled events are not errors: layers subscribe selectively.
     return Status::Ok();
   }
+  obs::ContextScope ambient(context);
+  obs::ScopedSpan span(context, "broker.event", topic);
+  if (metrics_ != nullptr) metrics_->counter("broker.events").add();
   Args args;
   args["event.topic"] = model::Value(topic);
   args["event.payload"] = std::move(payload);
-  Result<model::Value> result = execute_steps((*action)->steps, args);
+  Result<model::Value> result =
+      execute_steps((*action)->steps, args, context);
   return result.ok() ? Status::Ok() : result.status();
 }
 
 Result<model::Value> BrokerLayer::execute_steps(
-    const std::vector<ActionStep>& steps, const Args& call_args) {
+    const std::vector<ActionStep>& steps, const Args& call_args,
+    obs::RequestContext& context) {
+  obs::ContextScope ambient(context);
   model::Value result;
   for (const ActionStep& step : steps) {
     switch (step.op) {

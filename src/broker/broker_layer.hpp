@@ -49,12 +49,19 @@ class BrokerLayer final : public runtime::Component, public BrokerApi {
     return actions_.size();
   }
 
+  /// Platform-wide metrics sink; also forwarded to the resource and
+  /// autonomic managers (optional; wired by the assembler).
+  void set_metrics(obs::MetricsRegistry* metrics) noexcept;
+
   // -- BrokerApi (the upward-facing interface)
+
+  using BrokerApi::call;
 
   /// Select (via the signal's handler + guards + priority) and execute an
   /// action for the call. Returns the action's result value (none if the
-  /// action set none).
-  Result<model::Value> call(const Call& call) override;
+  /// action set none). Opens one "broker.call" span per crossing.
+  Result<model::Value> call(const Call& call,
+                            obs::RequestContext& context) override;
 
   [[nodiscard]] const CommandTrace& trace() const override {
     return resources_.trace();
@@ -62,12 +69,22 @@ class BrokerLayer final : public runtime::Component, public BrokerApi {
 
   /// Event entry point: events are signals too (paper §VI treats calls
   /// and events uniformly); dispatches the bound handler if any.
-  Status handle_event(const std::string& topic, model::Value payload = {});
+  Status handle_event(const std::string& topic, model::Value payload,
+                      obs::RequestContext& context);
+  Status handle_event(const std::string& topic, model::Value payload = {}) {
+    return handle_event(topic, std::move(payload),
+                        obs::RequestContext::noop());
+  }
 
   /// Execute a step sequence against this layer (shared by actions and
   /// autonomic change plans).
   Result<model::Value> execute_steps(const std::vector<ActionStep>& steps,
-                                     const Args& call_args);
+                                     const Args& call_args,
+                                     obs::RequestContext& context);
+  Result<model::Value> execute_steps(const std::vector<ActionStep>& steps,
+                                     const Args& call_args) {
+    return execute_steps(steps, call_args, obs::RequestContext::noop());
+  }
 
   // -- statistics
 
@@ -84,6 +101,7 @@ class BrokerLayer final : public runtime::Component, public BrokerApi {
 
   runtime::EventBus* bus_;
   policy::ContextStore* context_;
+  obs::MetricsRegistry* metrics_ = nullptr;
   StateManager state_;
   policy::PolicySet policies_;
   ResourceManager resources_;

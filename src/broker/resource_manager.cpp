@@ -46,6 +46,7 @@ Result<model::Value> ResourceManager::invoke(const std::string& resource,
     return NotFound("no resource adapter '" + resource + "'");
   }
   trace_.record(resource, command, args);
+  if (commands_counter_ != nullptr) commands_counter_->add();
   log_debug("resource-manager")
       << resource << "." << format_invocation(command, args);
   return it->second->execute(command, args);

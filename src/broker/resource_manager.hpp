@@ -13,6 +13,7 @@
 
 #include "broker/broker_types.hpp"
 #include "common/status.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/event_bus.hpp"
 
 namespace mdsm::broker {
@@ -65,8 +66,16 @@ class ResourceManager {
   [[nodiscard]] const CommandTrace& trace() const noexcept { return trace_; }
   [[nodiscard]] CommandTrace& trace() noexcept { return trace_; }
 
+  /// Platform-wide metrics sink: every invoked resource command bumps
+  /// "broker.commands" (optional; wired via the broker layer).
+  void set_metrics(obs::MetricsRegistry* metrics) noexcept {
+    commands_counter_ =
+        metrics == nullptr ? nullptr : &metrics->counter("broker.commands");
+  }
+
  private:
   runtime::EventBus* bus_;
+  obs::Counter* commands_counter_ = nullptr;
   std::map<std::string, std::unique_ptr<ResourceAdapter>, std::less<>>
       adapters_;
   CommandTrace trace_;

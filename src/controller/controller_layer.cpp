@@ -78,7 +78,9 @@ void ControllerLayer::attach_event_topic(const std::string& topic) {
       }));
 }
 
-Status ControllerLayer::submit_script(const ControlScript& script) {
+Status ControllerLayer::submit_script(const ControlScript& script,
+                                      obs::RequestContext& context) {
+  MDSM_RETURN_IF_ERROR(context.check_deadline("controller"));
   for (const Command& command : script.commands) {
     Signal signal;
     signal.kind = SignalKind::kCall;
@@ -86,6 +88,7 @@ Status ControllerLayer::submit_script(const ControlScript& script) {
     signal.args = command.args;
     queue_.push_back(std::move(signal));
     ++stats_.signals_received;
+    if (metrics_ != nullptr) metrics_->counter("controller.signals").add();
   }
   return Status::Ok();
 }
@@ -100,7 +103,8 @@ Status ControllerLayer::submit_command(Command command) {
   return Status::Ok();
 }
 
-std::size_t ControllerLayer::process_pending() {
+std::size_t ControllerLayer::process_pending(obs::RequestContext& context) {
+  obs::ContextScope ambient(context);
   std::size_t processed = 0;
   // Signals enqueued during processing (events raised by executions) are
   // drained too, up to a sanity bound.
@@ -109,11 +113,13 @@ std::size_t ControllerLayer::process_pending() {
     Signal signal = std::move(queue_.front());
     queue_.pop_front();
     ++processed;
+    obs::ScopedSpan span(context, "controller.signal", signal.name);
     if (signal.kind == SignalKind::kCall) {
       Command command{signal.name, std::move(signal.args)};
-      Result<model::Value> outcome = execute_command(command);
+      Result<model::Value> outcome = execute_command(command, context);
       if (!outcome.ok()) {
         ++stats_.errors;
+        if (metrics_ != nullptr) metrics_->counter("controller.errors").add();
         bus_->publish("controller.error", name(),
                       model::Value(command.to_text() + ": " +
                                    outcome.status().to_string()));
@@ -124,9 +130,12 @@ std::size_t ControllerLayer::process_pending() {
       // unbound event is simply observed (layers subscribe selectively).
       if (bindings_.contains(signal.name)) {
         Command command{signal.name, std::move(signal.args)};
-        Result<model::Value> outcome = execute_case1(command);
+        Result<model::Value> outcome = execute_case1(command, context);
         if (!outcome.ok()) {
           ++stats_.errors;
+          if (metrics_ != nullptr) {
+            metrics_->counter("controller.errors").add();
+          }
           bus_->publish("controller.error", name(),
                         model::Value(signal.name + ": " +
                                      outcome.status().to_string()));
@@ -174,7 +183,8 @@ SelectionStrategy ControllerLayer::selection_strategy() const {
   return SelectionStrategy::kMinCost;
 }
 
-Result<model::Value> ControllerLayer::execute_case1(const Command& command) {
+Result<model::Value> ControllerLayer::execute_case1(
+    const Command& command, obs::RequestContext& context) {
   auto it = bindings_.find(command.name);
   if (it == bindings_.end()) {
     return NotFound("no action bound to command '" + command.name + "'");
@@ -194,10 +204,15 @@ Result<model::Value> ControllerLayer::execute_case1(const Command& command) {
   }
   ++stats_.case1_executions;
   ++stats_.commands_executed;
-  return engine_.execute_flat(best->body, command.args);
+  if (metrics_ != nullptr) {
+    metrics_->counter("controller.case1").add();
+    metrics_->counter("controller.commands").add();
+  }
+  return engine_.execute_flat(best->body, command.args, context);
 }
 
-Result<model::Value> ControllerLayer::execute_case2(const Command& command) {
+Result<model::Value> ControllerLayer::execute_case2(
+    const Command& command, obs::RequestContext& context) {
   auto it = command_dsc_.find(command.name);
   const std::string& dsc =
       it != command_dsc_.end() ? it->second : command.name;
@@ -210,16 +225,23 @@ Result<model::Value> ControllerLayer::execute_case2(const Command& command) {
   if (!intent_model.ok()) return intent_model.status();
   ++stats_.case2_executions;
   ++stats_.commands_executed;
-  return engine_.execute(**intent_model, command.args);
+  if (metrics_ != nullptr) {
+    metrics_->counter("controller.case2").add();
+    metrics_->counter("controller.commands").add();
+  }
+  return engine_.execute(**intent_model, command.args, context);
 }
 
-Result<model::Value> ControllerLayer::execute_command(const Command& command) {
+Result<model::Value> ControllerLayer::execute_command(
+    const Command& command, obs::RequestContext& context) {
+  obs::ContextScope ambient(context);
+  MDSM_RETURN_IF_ERROR(context.check_deadline("controller"));
   Result<Case> which = classify(command);
   if (!which.ok()) return which.status();
   log_debug("controller") << name() << " " << command.to_text() << " -> "
                           << (*which == Case::kCase1 ? "case1" : "case2");
-  return *which == Case::kCase1 ? execute_case1(command)
-                                : execute_case2(command);
+  return *which == Case::kCase1 ? execute_case1(command, context)
+                                : execute_case2(command, context);
 }
 
 }  // namespace mdsm::controller

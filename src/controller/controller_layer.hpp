@@ -25,6 +25,7 @@
 #include "controller/intent_model.hpp"
 #include "controller/procedure.hpp"
 #include "controller/script.hpp"
+#include "obs/request_context.hpp"
 #include "policy/policy_engine.hpp"
 #include "runtime/component.hpp"
 #include "runtime/event_bus.hpp"
@@ -104,19 +105,38 @@ class ControllerLayer final : public runtime::Component {
   /// signal queue as event signals (processed by process_pending()).
   void attach_event_topic(const std::string& topic);
 
+  /// Platform-wide metrics sink; also forwarded to the execution engine
+  /// (optional; wired by the assembler).
+  void set_metrics(obs::MetricsRegistry* metrics) noexcept {
+    metrics_ = metrics;
+    engine_.set_metrics(metrics);
+  }
+
   // ---- operation
 
   /// Enqueue every command of a script as a call signal.
-  Status submit_script(const ControlScript& script);
+  Status submit_script(const ControlScript& script,
+                       obs::RequestContext& context);
+  Status submit_script(const ControlScript& script) {
+    return submit_script(script, obs::RequestContext::noop());
+  }
   Status submit_command(Command command);
 
   /// Drain the signal queue; returns the number of signals processed.
   /// Errors are counted and published as "controller.error" events, not
-  /// thrown — one bad command must not wedge the queue.
-  std::size_t process_pending();
+  /// thrown — one bad command must not wedge the queue. Each drained
+  /// signal runs under its own "controller.signal" span of `context`.
+  std::size_t process_pending(obs::RequestContext& context);
+  std::size_t process_pending() {
+    return process_pending(obs::RequestContext::noop());
+  }
 
   /// Synchronous single-command path (classification + execution).
-  Result<model::Value> execute_command(const Command& command);
+  Result<model::Value> execute_command(const Command& command,
+                                       obs::RequestContext& context);
+  Result<model::Value> execute_command(const Command& command) {
+    return execute_command(command, obs::RequestContext::noop());
+  }
 
   [[nodiscard]] const ControllerStats& stats() const noexcept {
     return stats_;
@@ -128,12 +148,15 @@ class ControllerLayer final : public runtime::Component {
 
   Result<Case> classify(const Command& command) const;
   [[nodiscard]] SelectionStrategy selection_strategy() const;
-  Result<model::Value> execute_case1(const Command& command);
-  Result<model::Value> execute_case2(const Command& command);
+  Result<model::Value> execute_case1(const Command& command,
+                                     obs::RequestContext& context);
+  Result<model::Value> execute_case2(const Command& command,
+                                     obs::RequestContext& context);
 
   broker::BrokerApi* broker_;
   runtime::EventBus* bus_;
   policy::ContextStore* context_;
+  obs::MetricsRegistry* metrics_ = nullptr;
   DscRegistry dscs_;
   ProcedureRepository repository_;
   IntentModelGenerator generator_;

@@ -56,27 +56,37 @@ void ExecutionEngine::set_memory(const std::string& key, model::Value value) {
 }
 
 Result<model::Value> ExecutionEngine::execute(
-    const IntentModel& intent_model, const broker::Args& command_args) {
+    const IntentModel& intent_model, const broker::Args& command_args,
+    obs::RequestContext& context) {
   if (intent_model.root == nullptr) {
     return InvalidArgument("intent model has no root procedure");
   }
   Frame initial{};
   initial.node = intent_model.root.get();
   initial.flat = nullptr;
-  return run(initial, command_args);
+  return run(initial, command_args, context);
 }
 
 Result<model::Value> ExecutionEngine::execute_flat(
-    const std::vector<Instruction>& body, const broker::Args& command_args) {
+    const std::vector<Instruction>& body, const broker::Args& command_args,
+    obs::RequestContext& context) {
   Frame initial{};
   initial.node = nullptr;
   initial.flat = &body;
-  return run(initial, command_args);
+  return run(initial, command_args, context);
 }
 
 Result<model::Value> ExecutionEngine::run(Frame initial,
-                                          const broker::Args& command_args) {
+                                          const broker::Args& command_args,
+                                          obs::RequestContext& context) {
   ++stats_.executions;
+  if (metrics_ != nullptr) metrics_->counter("controller.eu_executions").add();
+  // One "controller.eu" span per procedure frame. The root frame's span is
+  // scoped to the whole run so error returns close-through any spans left
+  // open by frames still on the stack.
+  obs::ScopedSpan root_span(
+      context, "controller.eu",
+      initial.node != nullptr ? initial.node->procedure->name : "action");
   std::vector<Frame> stack;
   stack.push_back(initial);
   model::Value result;
@@ -89,6 +99,7 @@ Result<model::Value> ExecutionEngine::run(Frame initial,
     const Instruction* instruction = nullptr;
     if (frame.flat != nullptr) {
       if (frame.pc >= frame.flat->size()) {
+        context.close_span(frame.span);
         stack.pop_back();
         continue;
       }
@@ -101,6 +112,7 @@ Result<model::Value> ExecutionEngine::run(Frame initial,
         frame.pc = 0;
       }
       if (frame.unit >= units.size()) {
+        context.close_span(frame.span);
         stack.pop_back();
         continue;
       }
@@ -125,10 +137,13 @@ Result<model::Value> ExecutionEngine::run(Frame initial,
       }
       case OpCode::kBrokerCall: {
         ++stats_.broker_calls;
+        if (metrics_ != nullptr) {
+          metrics_->counter("controller.broker_calls").add();
+        }
         broker::Call call;
         call.name = instruction->a;
         call.args = resolve_all(instruction->args, command_args);
-        Result<model::Value> value = broker_->call(call);
+        Result<model::Value> value = broker_->call(call, context);
         if (!value.ok()) return value.status();
         result = value.value();
         memory_["last.result"] = std::move(value.value());
@@ -160,6 +175,8 @@ Result<model::Value> ExecutionEngine::run(Frame initial,
         ++stats_.procedure_pushes;
         Frame child{};
         child.node = frame.node->children[index].get();
+        child.span = context.open_span("controller.eu",
+                                       child.node->procedure->name);
         stack.push_back(child);  // invalidates `frame`; loop re-reads top
         break;
       }

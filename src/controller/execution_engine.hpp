@@ -19,6 +19,7 @@
 #include "broker/broker_api.hpp"
 #include "controller/intent_model.hpp"
 #include "controller/procedure.hpp"
+#include "obs/request_context.hpp"
 #include "policy/context.hpp"
 #include "runtime/event_bus.hpp"
 
@@ -53,13 +54,30 @@ class ExecutionEngine {
 
   /// Case 2: execute a generated intent model. Dependencies are resolved
   /// through the IM's matched children, never looked up dynamically.
+  /// Every procedure frame (root and kCallDep pushes) runs under its own
+  /// "controller.eu" span of `context`.
   Result<model::Value> execute(const IntentModel& intent_model,
-                               const broker::Args& command_args);
+                               const broker::Args& command_args,
+                               obs::RequestContext& context);
+  Result<model::Value> execute(const IntentModel& intent_model,
+                               const broker::Args& command_args) {
+    return execute(intent_model, command_args, obs::RequestContext::noop());
+  }
 
   /// Case 1: execute a flat instruction sequence (a predefined action).
   /// kCallDep is illegal here (actions have no matched dependencies).
   Result<model::Value> execute_flat(const std::vector<Instruction>& body,
-                                    const broker::Args& command_args);
+                                    const broker::Args& command_args,
+                                    obs::RequestContext& context);
+  Result<model::Value> execute_flat(const std::vector<Instruction>& body,
+                                    const broker::Args& command_args) {
+    return execute_flat(body, command_args, obs::RequestContext::noop());
+  }
+
+  /// Platform-wide metrics sink (optional; wired via the controller).
+  void set_metrics(obs::MetricsRegistry* metrics) noexcept {
+    metrics_ = metrics;
+  }
 
   /// Engine memory ("memory management" ops). Shared across executions —
   /// procedures use it to pass data between calls, tests inspect it.
@@ -76,9 +94,12 @@ class ExecutionEngine {
     const std::vector<Instruction>* flat;  ///< non-null for Case 1
     std::size_t unit = 0;
     std::size_t pc = 0;
+    std::uint64_t span = 0;  ///< "controller.eu" span id (0 = root frame,
+                             ///< whose span is scoped to the whole run)
   };
 
-  Result<model::Value> run(Frame initial, const broker::Args& command_args);
+  Result<model::Value> run(Frame initial, const broker::Args& command_args,
+                           obs::RequestContext& context);
 
   model::Value resolve(const model::Value& value,
                        const broker::Args& command_args) const;
@@ -88,6 +109,7 @@ class ExecutionEngine {
   broker::BrokerApi* broker_;
   runtime::EventBus* bus_;
   policy::ContextStore* context_;
+  obs::MetricsRegistry* metrics_ = nullptr;
   Sender sender_;
   EngineConfig config_;
   std::map<std::string, model::Value, std::less<>> memory_;

@@ -45,6 +45,7 @@ Result<std::unique_ptr<Platform>> Platform::assemble(
   std::unique_ptr<Platform> platform(new Platform());
   platform->name_ = root.get_string("name");
   platform->dsml_ = config.dsml;
+  if (config.clock != nullptr) platform->clock_ = config.clock;
 
   // The component factory holds the layer "code templates"; assembly then
   // instantiates them with the model objects as metadata (paper §V-A).
@@ -114,11 +115,23 @@ Result<std::unique_ptr<Platform>> Platform::assemble(
   platform->synthesis_ = std::make_unique<synthesis::SynthesisEngine>(
       synthesis_specs.empty() ? "synthesis" : synthesis_specs[0]->id(),
       config.dsml, std::move(lts), context,
-      [controller](const controller::ControlScript& script) {
-        MDSM_RETURN_IF_ERROR(controller->submit_script(script));
-        controller->process_pending();
+      [controller](const controller::ControlScript& script,
+                   obs::RequestContext& request) {
+        // Synthesis → Controller crossing: one span covering the script
+        // hand-off and the drain of every signal it queued.
+        obs::ScopedSpan span(request, "controller.script",
+                             std::to_string(script.commands.size()) +
+                                 " commands");
+        MDSM_RETURN_IF_ERROR(controller->submit_script(script, request));
+        controller->process_pending(request);
         return Status::Ok();
       });
+
+  // Every layer records into the platform-wide registry (stable address:
+  // the platform is heap-allocated and non-movable).
+  platform->broker_->set_metrics(&platform->metrics_);
+  platform->controller_->set_metrics(&platform->metrics_);
+  platform->synthesis_->set_metrics(&platform->metrics_);
 
   // Controller exceptional conditions flow back to the Synthesis layer
   // ("handles events from the Controller layer", paper §V-A).
@@ -297,10 +310,16 @@ Status Platform::stop() {
 }
 
 Result<controller::ControlScript> Platform::submit_model_text(
-    std::string_view text) {
+    std::string_view text, obs::RequestContext& context) {
   Result<model::Model> application_model = model::parse_model(text, dsml_);
   if (!application_model.ok()) return application_model.status();
-  return submit_model(std::move(application_model.value()));
+  return submit_model(std::move(application_model.value()), context);
+}
+
+Result<controller::ControlScript> Platform::submit_model_text(
+    std::string_view text) {
+  last_context_ = std::make_unique<obs::RequestContext>(*clock_, &metrics_);
+  return submit_model_text(text, *last_context_);
 }
 
 Result<controller::ControlScript> Platform::submit_woven(
@@ -323,11 +342,34 @@ Result<controller::ControlScript> Platform::submit_woven(
 }
 
 Result<controller::ControlScript> Platform::submit_model(
-    model::Model application_model) {
+    model::Model application_model, obs::RequestContext& context) {
+  // UI-layer crossing: the root span of the request's trace. The scope
+  // makes the context ambient so bus events published anywhere below are
+  // stamped with this request's id.
+  obs::ContextScope ambient(context);
+  obs::ScopedSpan span(context, "ui.submit", application_model.name());
+  metrics_.counter("requests.submitted").add();
+  auto fail = [this](Status status) -> Result<controller::ControlScript> {
+    metrics_.counter("requests.failed").add();
+    return status;
+  };
   if (!running_) {
-    return FailedPrecondition("platform '" + name_ + "' is not started");
+    return fail(
+        FailedPrecondition("platform '" + name_ + "' is not started"));
   }
-  return synthesis_->submit_model(std::move(application_model));
+  if (Status deadline = context.check_deadline("ui"); !deadline.ok()) {
+    return fail(std::move(deadline));
+  }
+  Result<controller::ControlScript> script =
+      synthesis_->submit_model(std::move(application_model), context);
+  if (!script.ok()) return fail(script.status());
+  return script;
+}
+
+Result<controller::ControlScript> Platform::submit_model(
+    model::Model application_model) {
+  last_context_ = std::make_unique<obs::RequestContext>(*clock_, &metrics_);
+  return submit_model(std::move(application_model), *last_context_);
 }
 
 std::string Platform::runtime_model_text() const {

@@ -24,6 +24,8 @@
 #include "controller/controller_layer.hpp"
 #include "core/middleware_metamodel.hpp"
 #include "model/text_format.hpp"
+#include "obs/metrics.hpp"
+#include "obs/request_context.hpp"
 #include "policy/context.hpp"
 #include "runtime/component_factory.hpp"
 #include "runtime/event_bus.hpp"
@@ -41,6 +43,10 @@ struct PlatformConfig {
   std::optional<synthesis::Lts> lts_override;
   /// Intent-model generation bound override (0 = take from the model).
   std::size_t max_configurations = 0;
+  /// Clock used for request timestamps/deadlines (null = process steady
+  /// clock). Simulated domains inject their SimClock here so request
+  /// traces share the domain's virtual time.
+  const Clock* clock = nullptr;
 };
 
 class Platform {
@@ -71,11 +77,25 @@ class Platform {
 
   // ---- UI layer: the model-based programming interface ----------------
 
+  /// Mint a fresh request context bound to this platform's clock and
+  /// metrics registry. Pass it to submit_model_text()/submit_model() to
+  /// collect a per-request trace (and optionally enforce a deadline).
+  [[nodiscard]] obs::RequestContext make_context(
+      std::optional<Duration> deadline = {}) {
+    return obs::RequestContext(*clock_, &metrics_, deadline);
+  }
+
   /// Parse application-model text in the platform's DSML and execute it
   /// (synthesis → controller → broker). Returns the generated script.
+  /// The context-free overload mints a context internally; its trace is
+  /// retained and accessible as last_trace() until the next submission.
+  Result<controller::ControlScript> submit_model_text(
+      std::string_view text, obs::RequestContext& context);
   Result<controller::ControlScript> submit_model_text(std::string_view text);
 
   /// Submit an already-built application model.
+  Result<controller::ControlScript> submit_model(
+      model::Model application_model, obs::RequestContext& context);
   Result<controller::ControlScript> submit_model(model::Model application_model);
 
   /// Aspect-oriented execution (paper §IX): weave several concern models
@@ -102,6 +122,19 @@ class Platform {
   [[nodiscard]] const broker::CommandTrace& trace() const noexcept {
     return broker_->trace();
   }
+  /// Platform-wide metrics: counters and latency histograms recorded by
+  /// every layer (and by request contexts minted via make_context()).
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const noexcept {
+    return metrics_;
+  }
+  /// Span tree of the most recent context-free submission (null before
+  /// the first one). Context-taking submissions keep their trace in the
+  /// caller's RequestContext instead.
+  [[nodiscard]] const obs::Trace* last_trace() const noexcept {
+    return last_context_ == nullptr ? nullptr : &last_context_->trace();
+  }
+  [[nodiscard]] const Clock& clock() const noexcept { return *clock_; }
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] const model::MetamodelPtr& dsml() const noexcept {
     return dsml_;
@@ -117,6 +150,9 @@ class Platform {
 
   std::string name_;
   model::MetamodelPtr dsml_;
+  const Clock* clock_ = &obs::steady_clock();
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<obs::RequestContext> last_context_;
   runtime::EventBus bus_;
   policy::ContextStore context_;
   runtime::ComponentFactory factory_;

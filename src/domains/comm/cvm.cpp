@@ -369,6 +369,9 @@ Result<std::unique_ptr<Cvm>> make_cvm() {
   auto cvm = std::make_unique<Cvm>();
   core::PlatformConfig config;
   config.dsml = cml_metamodel();
+  // Request traces/deadlines run on the CVM's simulated clock, so tests
+  // can drive timeout behaviour deterministically.
+  config.clock = &cvm->clock;
   Result<std::unique_ptr<core::Platform>> platform =
       core::Platform::assemble_from_text(kCvmMiddlewareModel, config);
   if (!platform.ok()) return platform.status();

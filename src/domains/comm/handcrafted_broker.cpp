@@ -41,7 +41,11 @@ std::string HandcraftedCommBroker::select_quality() const {
   return "standard";
 }
 
-Result<Value> HandcraftedCommBroker::call(const broker::Call& call) {
+Result<Value> HandcraftedCommBroker::call(const broker::Call& call,
+                                          obs::RequestContext& context) {
+  // The baseline participates in request tracing on the same terms as the
+  // model-based broker (Exp-2 compares like with like).
+  obs::ScopedSpan span(context, "broker.call", call.name);
   auto arg = [&call](std::string_view key) -> Value {
     auto it = call.args.find(key);
     return it == call.args.end() ? Value{} : it->second;

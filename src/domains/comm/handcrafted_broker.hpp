@@ -27,7 +27,9 @@ class HandcraftedCommBroker final : public broker::BrokerApi {
                         policy::ContextStore& context);
   ~HandcraftedCommBroker() override;
 
-  Result<model::Value> call(const broker::Call& call) override;
+  using broker::BrokerApi::call;
+  Result<model::Value> call(const broker::Call& call,
+                            obs::RequestContext& context) override;
   [[nodiscard]] const broker::CommandTrace& trace() const override {
     return resources_.trace();
   }

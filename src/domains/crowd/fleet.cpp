@@ -177,6 +177,8 @@ CrowdProvider::CrowdProvider(net::Network& network) {
                                             Value("$aggregate")}})};
   (void)controller_->register_action(std::move(forward));
   (void)controller_->bind_action("cs.report", {"fwd-report"});
+  broker_->set_metrics(&metrics_);
+  controller_->set_metrics(&metrics_);
   (void)broker_->start();
   (void)controller_->start();
 
@@ -254,11 +256,18 @@ CrowdDevice::CrowdDevice(std::string id, std::uint32_t seed,
   controller::ControllerLayer* controller = controller_.get();
   synthesis_ = std::make_unique<synthesis::SynthesisEngine>(
       id_ + "-synthesis", csml_metamodel(), make_csml_lts(), context_,
-      [controller](const controller::ControlScript& script) {
-        MDSM_RETURN_IF_ERROR(controller->submit_script(script));
-        controller->process_pending();
+      [controller](const controller::ControlScript& script,
+                   obs::RequestContext& request) {
+        obs::ScopedSpan span(request, "controller.script",
+                             std::to_string(script.commands.size()) +
+                                 " commands");
+        MDSM_RETURN_IF_ERROR(controller->submit_script(script, request));
+        controller->process_pending(request);
         return Status::Ok();
       });
+  broker_->set_metrics(&metrics_);
+  controller_->set_metrics(&metrics_);
+  synthesis_->set_metrics(&metrics_);
   (void)synthesis_->start();
 
   auto endpoint = network.create_endpoint(id_);
@@ -266,10 +275,23 @@ CrowdDevice::CrowdDevice(std::string id, std::uint32_t seed,
 }
 
 Result<controller::ControlScript> CrowdDevice::submit_model_text(
-    std::string_view text) {
+    std::string_view text, obs::RequestContext& context) {
+  obs::ContextScope ambient(context);
   Result<model::Model> parsed = model::parse_model(text, csml_metamodel());
   if (!parsed.ok()) return parsed.status();
-  return synthesis_->submit_model(std::move(parsed.value()));
+  obs::ScopedSpan span(context, "ui.submit", parsed->name());
+  metrics_.counter("requests.submitted").add();
+  Result<controller::ControlScript> script =
+      synthesis_->submit_model(std::move(parsed.value()), context);
+  if (!script.ok()) metrics_.counter("requests.failed").add();
+  return script;
+}
+
+Result<controller::ControlScript> CrowdDevice::submit_model_text(
+    std::string_view text) {
+  last_context_ = std::make_unique<obs::RequestContext>(obs::steady_clock(),
+                                                        &metrics_);
+  return submit_model_text(text, *last_context_);
 }
 
 double CrowdDevice::reading(const std::string& sensor,

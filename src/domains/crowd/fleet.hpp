@@ -48,11 +48,13 @@ class CrowdProvider {
     return *controller_;
   }
   [[nodiscard]] broker::BrokerLayer& broker() noexcept { return *broker_; }
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
 
  private:
   friend class AggregatorAdapter;
   runtime::EventBus bus_;
   policy::ContextStore context_;
+  obs::MetricsRegistry metrics_;
   std::unique_ptr<broker::BrokerLayer> broker_;
   std::unique_ptr<controller::ControllerLayer> controller_;
   std::map<std::string, QueryAggregate, std::less<>> queries_;
@@ -68,8 +70,20 @@ class CrowdDevice {
   CrowdDevice(std::string id, std::uint32_t seed, net::Network& network,
               SimClock& clock);
 
-  /// UI layer: author or modify the device's query model.
+  /// UI layer: author or modify the device's query model. The
+  /// context-free overload mints a context internally (see last_trace()).
+  Result<controller::ControlScript> submit_model_text(
+      std::string_view text, obs::RequestContext& context);
   Result<controller::ControlScript> submit_model_text(std::string_view text);
+
+  [[nodiscard]] obs::RequestContext make_context(
+      std::optional<Duration> deadline = {}) {
+    return obs::RequestContext(obs::steady_clock(), &metrics_, deadline);
+  }
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const obs::Trace* last_trace() const noexcept {
+    return last_context_ == nullptr ? nullptr : &last_context_->trace();
+  }
 
   /// Fire due sampling timers (the fleet's advance() drives this).
   std::size_t run_due();
@@ -105,6 +119,8 @@ class CrowdDevice {
   runtime::TimerService timers_;
   runtime::EventBus bus_;
   policy::ContextStore context_;
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<obs::RequestContext> last_context_;
   std::unique_ptr<broker::BrokerLayer> broker_;
   std::unique_ptr<controller::ControllerLayer> controller_;
   std::unique_ptr<synthesis::SynthesisEngine> synthesis_;

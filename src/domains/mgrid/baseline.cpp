@@ -38,7 +38,11 @@ HandcraftedMgridBroker::~HandcraftedMgridBroker() {
   bus_->unsubscribe(subscription_);
 }
 
-Result<Value> HandcraftedMgridBroker::call(const broker::Call& call) {
+Result<Value> HandcraftedMgridBroker::call(const broker::Call& call,
+                                           obs::RequestContext& context) {
+  // The baseline participates in request tracing on the same terms as the
+  // model-based broker (Exp-1/2 compare like with like).
+  obs::ScopedSpan span(context, "broker.call", call.name);
   auto arg = [&call](std::string_view key) -> Value {
     auto it = call.args.find(key);
     return it == call.args.end() ? Value{} : it->second;

@@ -128,7 +128,11 @@ SsvmHub::SsvmHub(net::Network& network) {
   std::vector<std::string>* registered = &registered_;
   synthesis_ = std::make_unique<synthesis::SynthesisEngine>(
       "hub-synthesis", ssml_metamodel(), make_ssml_lts(), context_,
-      [controller, registered](const controller::ControlScript& script) {
+      [controller, registered](const controller::ControlScript& script,
+                               obs::RequestContext& request) {
+        obs::ScopedSpan span(request, "controller.script",
+                             std::to_string(script.commands.size()) +
+                                 " commands");
         for (const auto& command : script.commands) {
           if (command.name == "ss.object.register") {
             auto it = command.args.find("id");
@@ -137,18 +141,34 @@ SsvmHub::SsvmHub(net::Network& network) {
             }
           }
         }
-        MDSM_RETURN_IF_ERROR(controller->submit_script(script));
-        controller->process_pending();
+        MDSM_RETURN_IF_ERROR(controller->submit_script(script, request));
+        controller->process_pending(request);
         return Status::Ok();
       });
+  controller_->set_metrics(&metrics_);
+  synthesis_->set_metrics(&metrics_);
+  null_broker_->set_metrics(&metrics_);
   (void)synthesis_->start();
 }
 
 Result<controller::ControlScript> SsvmHub::submit_model_text(
-    std::string_view text) {
+    std::string_view text, obs::RequestContext& context) {
+  obs::ContextScope ambient(context);
   Result<model::Model> parsed = model::parse_model(text, ssml_metamodel());
   if (!parsed.ok()) return parsed.status();
-  return synthesis_->submit_model(std::move(parsed.value()));
+  obs::ScopedSpan span(context, "ui.submit", parsed->name());
+  metrics_.counter("requests.submitted").add();
+  Result<controller::ControlScript> script =
+      synthesis_->submit_model(std::move(parsed.value()), context);
+  if (!script.ok()) metrics_.counter("requests.failed").add();
+  return script;
+}
+
+Result<controller::ControlScript> SsvmHub::submit_model_text(
+    std::string_view text) {
+  last_context_ = std::make_unique<obs::RequestContext>(obs::steady_clock(),
+                                                        &metrics_);
+  return submit_model_text(text, *last_context_);
 }
 
 SmartObjectNode& SmartSpace::add_object(const std::string& id,

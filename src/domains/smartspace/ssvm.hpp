@@ -29,8 +29,20 @@ class SsvmHub {
 
   /// UI layer: submit a 2SML model (text). Synthesis compares against the
   /// running model and dispatches commands; commands reach the object
-  /// nodes as messages (delivered when the network is pumped).
+  /// nodes as messages (delivered when the network is pumped). The
+  /// context-free overload mints a context internally (see last_trace()).
+  Result<controller::ControlScript> submit_model_text(
+      std::string_view text, obs::RequestContext& context);
   Result<controller::ControlScript> submit_model_text(std::string_view text);
+
+  [[nodiscard]] obs::RequestContext make_context(
+      std::optional<Duration> deadline = {}) {
+    return obs::RequestContext(obs::steady_clock(), &metrics_, deadline);
+  }
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const obs::Trace* last_trace() const noexcept {
+    return last_context_ == nullptr ? nullptr : &last_context_->trace();
+  }
 
   [[nodiscard]] controller::ControllerLayer& controller() noexcept {
     return *controller_;
@@ -46,6 +58,8 @@ class SsvmHub {
  private:
   runtime::EventBus bus_;
   policy::ContextStore context_;
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<obs::RequestContext> last_context_;
   std::unique_ptr<broker::BrokerLayer> null_broker_;  ///< hub has no broker
   std::unique_ptr<controller::ControllerLayer> controller_;
   std::unique_ptr<synthesis::SynthesisEngine> synthesis_;

@@ -1,0 +1,117 @@
+// Platform-wide metrics registry: monotonic counters plus fixed-bucket
+// latency histograms, recorded from every layer of the pipeline. The hot
+// path is lock-cheap — counters and histogram buckets are relaxed
+// atomics; the registry mutex is only taken to resolve a metric name to
+// its (stable) cell, and layers cache the returned references.
+//
+// Snapshots are value copies so callers can diff them across a workload
+// without racing the recorders (models@runtime discipline applied to the
+// platform's own telemetry).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace mdsm::obs {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Latency histogram over microseconds with fixed power-of-two buckets:
+/// bucket 0 holds 0µs, bucket i holds [2^(i-1), 2^i) µs, and the last
+/// bucket absorbs everything longer (~2 minutes and up).
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 28;
+
+  void record(Duration elapsed) noexcept {
+    record_us(elapsed.count() <= 0
+                  ? 0
+                  : static_cast<std::uint64_t>(elapsed.count()));
+  }
+  void record_us(std::uint64_t us) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum_us() const noexcept {
+    return sum_us_.load(std::memory_order_relaxed);
+  }
+  /// Upper bound (µs, inclusive) of the bucket containing quantile `q`
+  /// of the recorded samples; 0 when the histogram is empty.
+  [[nodiscard]] std::uint64_t quantile_us(double q) const noexcept;
+  [[nodiscard]] std::array<std::uint64_t, kBuckets> buckets() const noexcept;
+
+  /// Inclusive upper bound (µs) of bucket `index`.
+  [[nodiscard]] static std::uint64_t bucket_bound_us(
+      std::size_t index) noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_us_{0};
+};
+
+/// Point-in-time copy of every registered metric.
+struct MetricsSnapshot {
+  struct CounterRow {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct HistogramRow {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t sum_us = 0;
+    std::uint64_t p50_us = 0;
+    std::uint64_t p95_us = 0;
+    std::array<std::uint64_t, Histogram::kBuckets> buckets{};
+  };
+
+  std::vector<CounterRow> counters;      ///< sorted by name
+  std::vector<HistogramRow> histograms;  ///< sorted by name
+
+  [[nodiscard]] const CounterRow* counter(std::string_view name) const;
+  [[nodiscard]] const HistogramRow* histogram(std::string_view name) const;
+  /// Counter value by name; 0 when the counter was never touched.
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+};
+
+/// Name → metric cells. Cells are heap-allocated once and never move, so
+/// references returned by counter()/histogram() stay valid for the
+/// registry's lifetime and may be cached by recorders.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  /// Human-readable dump (one metric per line), for CLIs and debugging.
+  [[nodiscard]] std::string to_text() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace mdsm::obs

@@ -1,0 +1,135 @@
+// The per-request identity threaded through all four layers (UI →
+// Synthesis → Controller → Broker). A context is minted at the UI
+// boundary (Platform::submit_model*) and carries:
+//
+//   - a process-unique request id ("req-<n>") that every EU execution,
+//     broker action, bus event and autonomic reaction is correlated with;
+//   - wall and steady timestamps taken from the platform's injected
+//     clock, plus an optional deadline checked at layer crossings;
+//   - the request's Trace (span tree) and a pointer to the platform's
+//     MetricsRegistry — closing a span records its latency histogram.
+//
+// Legacy entry points that predate context threading run against the
+// shared noop() context: span and metric operations become no-ops and
+// observable behavior is unchanged.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace mdsm::obs {
+
+/// Process-wide steady clock, the default time source for contexts
+/// minted outside a platform (and platforms with no injected clock).
+const Clock& steady_clock() noexcept;
+
+class RequestContext {
+ public:
+  explicit RequestContext(const Clock& clock = steady_clock(),
+                          MetricsRegistry* metrics = nullptr,
+                          std::optional<Duration> deadline = {});
+
+  RequestContext(RequestContext&&) = default;
+  RequestContext& operator=(RequestContext&&) = delete;
+  RequestContext(const RequestContext&) = delete;
+  RequestContext& operator=(const RequestContext&) = delete;
+
+  /// The shared disabled context used by context-less entry points.
+  /// Every operation on it is a thread-safe no-op.
+  static RequestContext& noop() noexcept;
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& tag() const noexcept { return tag_; }
+  [[nodiscard]] const Clock& clock() const noexcept { return *clock_; }
+  [[nodiscard]] MetricsRegistry* metrics() const noexcept { return metrics_; }
+  [[nodiscard]] std::chrono::system_clock::time_point wall_start()
+      const noexcept {
+    return wall_start_;
+  }
+  [[nodiscard]] TimePoint steady_start() const noexcept {
+    return steady_start_;
+  }
+  [[nodiscard]] Duration elapsed() const noexcept {
+    return clock_->now() - steady_start_;
+  }
+
+  [[nodiscard]] std::optional<TimePoint> deadline() const noexcept {
+    return deadline_;
+  }
+  [[nodiscard]] bool expired() const noexcept {
+    return deadline_.has_value() && clock_->now() > *deadline_;
+  }
+  /// Ok, or a Timeout status naming the layer that hit the deadline.
+  [[nodiscard]] Status check_deadline(std::string_view layer) const;
+
+  [[nodiscard]] Trace& trace() noexcept { return trace_; }
+  [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
+
+  /// Span management; see Trace. Closing records the span's latency in
+  /// the metrics histogram "latency.<span name>" when metrics are
+  /// attached. Both are no-ops on a disabled context.
+  std::uint64_t open_span(std::string_view name, std::string_view detail = {});
+  void close_span(std::uint64_t span_id);
+
+ private:
+  struct NoopTag {};
+  explicit RequestContext(NoopTag) noexcept;
+
+  bool enabled_ = true;
+  std::uint64_t id_ = 0;
+  std::string tag_;
+  const Clock* clock_;
+  MetricsRegistry* metrics_ = nullptr;
+  std::chrono::system_clock::time_point wall_start_{};
+  TimePoint steady_start_{};
+  std::optional<TimePoint> deadline_;
+  Trace trace_;
+};
+
+/// RAII span over a context ("one span per layer crossing").
+class ScopedSpan {
+ public:
+  ScopedSpan(RequestContext& context, std::string_view name,
+             std::string_view detail = {})
+      : context_(&context), id_(context.open_span(name, detail)) {}
+  ~ScopedSpan() { context_->close_span(id_); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  RequestContext* context_;
+  std::uint64_t id_;
+};
+
+/// The ambient (thread-local) context of the request currently being
+/// processed, or nullptr. Components reached without a context parameter
+/// — bus subscribers, autonomic reactions — correlate through this.
+[[nodiscard]] RequestContext* current() noexcept;
+
+/// Installs `context` as the ambient one for the current scope. Disabled
+/// contexts are not installed, so legacy (noop) entry points nested
+/// inside a traced request never mask its ambient context.
+class ContextScope {
+ public:
+  explicit ContextScope(RequestContext& context) noexcept;
+  ~ContextScope();
+
+  ContextScope(const ContextScope&) = delete;
+  ContextScope& operator=(const ContextScope&) = delete;
+
+ private:
+  RequestContext* previous_ = nullptr;
+  bool installed_ = false;
+};
+
+}  // namespace mdsm::obs

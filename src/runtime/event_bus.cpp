@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "common/strings.hpp"
+#include "obs/request_context.hpp"
 
 namespace mdsm::runtime {
 
@@ -30,15 +30,22 @@ void EventBus::unsubscribe(std::uint64_t subscription_id) {
 bool EventBus::matches(const Subscription& sub, std::string_view topic) {
   if (!sub.wildcard) return sub.topic == topic;
   if (sub.topic == "*") return true;
-  // "a.b.*" matches "a.b.c" and "a.b" itself.
+  // "a.b.*" matches "a.b.c" and "a.b" itself. Checked allocation-free:
+  // this runs once per subscriber on every publish.
   std::string_view prefix(sub.topic);
   prefix.remove_suffix(2);  // drop ".*"
-  if (topic == prefix) return true;
-  return starts_with(topic, std::string(prefix) + ".");
+  if (topic.size() <= prefix.size()) return topic == prefix;
+  return topic[prefix.size()] == '.' &&
+         topic.substr(0, prefix.size()) == prefix;
 }
 
 std::size_t EventBus::publish(Event event) {
   event.id = next_id();
+  if (event.request_id == 0) {
+    if (const obs::RequestContext* context = obs::current()) {
+      event.request_id = context->id();
+    }
+  }
   std::vector<Handler> targets;
   {
     std::lock_guard lock(mutex_);

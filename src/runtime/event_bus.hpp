@@ -19,9 +19,12 @@ namespace mdsm::runtime {
 
 struct Event {
   std::string topic;
-  std::string source;        ///< emitting component name
+  std::string source;         ///< emitting component name
   model::Value payload;
-  std::uint64_t id = 0;      ///< assigned by publish()
+  std::uint64_t id = 0;       ///< assigned by publish()
+  std::uint64_t request_id = 0;  ///< originating request; stamped by
+                                 ///< publish() from the ambient
+                                 ///< obs::RequestContext when 0
 };
 
 class EventBus {

@@ -15,8 +15,15 @@ SynthesisEngine::SynthesisEngine(std::string name, model::MetamodelPtr dsml,
       runtime_model_("runtime", dsml) {}
 
 Result<controller::ControlScript> SynthesisEngine::submit_model(
-    model::Model new_model) {
+    model::Model new_model, obs::RequestContext& context) {
+  obs::ContextScope ambient(context);
+  obs::ScopedSpan span(context, "synthesis.submit", new_model.name());
   ++stats_.models_submitted;
+  if (metrics_ != nullptr) metrics_->counter("synthesis.models").add();
+  if (Status deadline = context.check_deadline("synthesis"); !deadline.ok()) {
+    ++stats_.rejected_models;
+    return deadline;
+  }
   if (&new_model.metamodel() != dsml_.get()) {
     ++stats_.rejected_models;
     return InvalidArgument("submitted model conforms to metamodel '" +
@@ -45,7 +52,7 @@ Result<controller::ControlScript> SynthesisEngine::submit_model(
   }
   // Dispatcher: ship the script down, then commit the runtime model.
   if (dispatch_ != nullptr && !script->empty()) {
-    Status dispatched = dispatch_(*script);
+    Status dispatched = dispatch_(*script, context);
     if (!dispatched.ok()) {
       ++stats_.rejected_models;
       return dispatched;
@@ -53,6 +60,10 @@ Result<controller::ControlScript> SynthesisEngine::submit_model(
   }
   ++stats_.scripts_dispatched;
   stats_.commands_generated += script->commands.size();
+  if (metrics_ != nullptr) {
+    metrics_->counter("synthesis.scripts").add();
+    metrics_->counter("synthesis.commands").add(script->commands.size());
+  }
   runtime_model_ = std::move(new_model);
   if (listener_ != nullptr) listener_(runtime_model_);
   return script;

@@ -15,6 +15,7 @@
 #include "controller/script.hpp"
 #include "model/diff.hpp"
 #include "model/model.hpp"
+#include "obs/request_context.hpp"
 #include "runtime/component.hpp"
 #include "synthesis/change_interpreter.hpp"
 
@@ -33,7 +34,10 @@ class SynthesisEngine final : public runtime::Component {
   /// `dispatch` delivers a generated control script to the layer below
   /// (usually ControllerLayer::submit_script + process_pending, wired by
   /// the platform; in split deployments it serializes over the network).
-  using Dispatch = std::function<Status(const controller::ControlScript&)>;
+  /// The request context rides along so the layer below continues the
+  /// request's span tree.
+  using Dispatch = std::function<Status(const controller::ControlScript&,
+                                        obs::RequestContext&)>;
   /// Listener invoked with the updated runtime model after a successful
   /// submission ("dispatches a new runtime model to the UI").
   using ModelListener = std::function<void(const model::Model&)>;
@@ -49,7 +53,17 @@ class SynthesisEngine final : public runtime::Component {
   /// current runtime model, interpret the changes, dispatch the script,
   /// and commit the new model as the running one. On any failure the
   /// previous runtime model stays in force (all-or-nothing semantics).
-  Result<controller::ControlScript> submit_model(model::Model new_model);
+  /// Opens the request's "synthesis.submit" span.
+  Result<controller::ControlScript> submit_model(model::Model new_model,
+                                                 obs::RequestContext& context);
+  Result<controller::ControlScript> submit_model(model::Model new_model) {
+    return submit_model(std::move(new_model), obs::RequestContext::noop());
+  }
+
+  /// Platform-wide metrics sink (optional; wired by the assembler).
+  void set_metrics(obs::MetricsRegistry* metrics) noexcept {
+    metrics_ = metrics;
+  }
 
   /// Events from the Controller layer (exceptional conditions); recorded
   /// and exposed so domain logic (or tests) can react — e.g. resubmitting
@@ -72,6 +86,7 @@ class SynthesisEngine final : public runtime::Component {
   model::MetamodelPtr dsml_;
   Lts lts_;
   ChangeInterpreter interpreter_;
+  obs::MetricsRegistry* metrics_ = nullptr;
   Dispatch dispatch_;
   ModelListener listener_;
   model::Model runtime_model_;  ///< "an empty model if the system has

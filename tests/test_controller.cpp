@@ -16,7 +16,9 @@ using model::Value;
 /// A recording BrokerApi stub: every call is appended to the trace.
 class StubBroker : public broker::BrokerApi {
  public:
-  Result<Value> call(const broker::Call& call) override {
+  using broker::BrokerApi::call;
+  Result<Value> call(const broker::Call& call,
+                     obs::RequestContext&) override {
     trace_.record("broker", call.name, call.args);
     if (fail_on == call.name) return Unavailable("injected broker fault");
     return Value("ok:" + call.name);

@@ -23,6 +23,9 @@ class RecordingAdapter : public broker::ResourceAdapter {
   Result<Value> execute(const std::string& command,
                         const broker::Args& args) override {
     (void)args;
+    // Surfaces on the bus as "resource.invoked" — lets tests observe
+    // events raised from inside a request's broker call.
+    raise_event("invoked", Value(command));
     return Value("done:" + command);
   }
   void fire(const std::string& topic, Value payload = {}) {
@@ -512,6 +515,152 @@ TEST(SpecDecode, BadExpressionSurfacesObjectId) {
   auto decoded = decode_broker_action(m, *m.find("broken"));
   ASSERT_FALSE(decoded.ok());
   EXPECT_NE(decoded.status().message().find("broken"), std::string::npos);
+}
+
+// ---- observability (request contexts, traces, metrics) ------------------
+
+constexpr std::string_view kSessionOpenModel =
+    "model app conforms testlang\n"
+    "object Session s1 { state = open }\n";
+
+TEST_F(PlatformFixture, SubmissionProducesOneSpanPerLayerCrossed) {
+  ASSERT_TRUE(platform->start().ok());
+  platform->context().set("bandwidth", Value(5.0));
+  obs::RequestContext request = platform->make_context();
+  ASSERT_TRUE(platform->submit_model_text(kSessionOpenModel, request).ok());
+
+  const obs::Trace& trace = request.trace();
+  EXPECT_TRUE(trace.all_closed());
+  // Exactly one span per layer crossing of this request.
+  EXPECT_EQ(trace.count("ui.submit"), 1u);
+  EXPECT_EQ(trace.count("synthesis.submit"), 1u);
+  EXPECT_EQ(trace.count("controller.script"), 1u);
+  EXPECT_EQ(trace.count("controller.signal"), 1u);
+  // The session.create command generated an IM whose two procedures each
+  // ran under their own EU span, issuing two broker calls total.
+  EXPECT_EQ(trace.count("controller.eu"), 2u);
+  EXPECT_EQ(trace.count("broker.call"), 2u);
+
+  // The tree nests in pipeline order with monotonic timestamps.
+  const obs::Span* ui = trace.find("ui.submit");
+  const obs::Span* synthesis = trace.find("synthesis.submit");
+  const obs::Span* script = trace.find("controller.script");
+  const obs::Span* signal = trace.find("controller.signal");
+  const obs::Span* call = trace.find("broker.call");
+  ASSERT_TRUE(ui && synthesis && script && signal && call);
+  EXPECT_EQ(ui->parent, 0u);
+  EXPECT_EQ(synthesis->parent, ui->id);
+  EXPECT_EQ(script->parent, synthesis->id);
+  EXPECT_EQ(signal->parent, script->id);
+  for (const obs::Span* span : {ui, synthesis, script, signal, call}) {
+    EXPECT_TRUE(span->closed);
+    EXPECT_LE(span->start, span->end);
+  }
+  EXPECT_LE(ui->start, synthesis->start);
+  EXPECT_LE(synthesis->end, ui->end);
+  EXPECT_LE(signal->start, call->start);
+  EXPECT_LE(call->end, signal->end);
+}
+
+TEST_F(PlatformFixture, ContextFreeSubmissionKeepsLastTrace) {
+  ASSERT_TRUE(platform->start().ok());
+  platform->context().set("bandwidth", Value(5.0));
+  EXPECT_EQ(platform->last_trace(), nullptr);
+  ASSERT_TRUE(platform->submit_model_text(kSessionOpenModel).ok());
+  ASSERT_NE(platform->last_trace(), nullptr);
+  EXPECT_EQ(platform->last_trace()->count("ui.submit"), 1u);
+  EXPECT_TRUE(platform->last_trace()->all_closed());
+}
+
+TEST_F(PlatformFixture, MetricsSnapshotMatchesCommandTrace) {
+  ASSERT_TRUE(platform->start().ok());
+  platform->context().set("bandwidth", Value(5.0));
+  ASSERT_TRUE(platform->submit_model_text(kSessionOpenModel).ok());
+  ASSERT_TRUE(platform
+                  ->submit_model_text("model app2 conforms testlang\n"
+                                      "object Session s1 { state = closed }\n")
+                  .ok());
+  obs::MetricsSnapshot snapshot = platform->metrics().snapshot();
+  // Every resource command in the broker's wire trace was counted.
+  EXPECT_EQ(snapshot.counter_value("broker.commands"),
+            platform->trace().entries().size());
+  EXPECT_EQ(snapshot.counter_value("requests.submitted"), 2u);
+  EXPECT_EQ(snapshot.counter_value("requests.failed"), 0u);
+  EXPECT_EQ(snapshot.counter_value("synthesis.models"), 2u);
+  EXPECT_EQ(snapshot.counter_value("synthesis.scripts"), 2u);
+  const auto& stats = platform->controller().stats();
+  EXPECT_EQ(snapshot.counter_value("controller.commands"),
+            stats.commands_executed);
+  EXPECT_EQ(snapshot.counter_value("controller.case1"),
+            stats.case1_executions);
+  EXPECT_EQ(snapshot.counter_value("controller.case2"),
+            stats.case2_executions);
+  EXPECT_EQ(snapshot.counter_value("controller.broker_calls"),
+            snapshot.counter_value("broker.calls"));
+  // Span closes fed the latency histograms.
+  ASSERT_NE(snapshot.histogram("latency.ui.submit"), nullptr);
+  EXPECT_EQ(snapshot.histogram("latency.ui.submit")->count, 2u);
+  ASSERT_NE(snapshot.histogram("latency.broker.call"), nullptr);
+  EXPECT_EQ(snapshot.histogram("latency.broker.call")->count,
+            snapshot.counter_value("broker.calls"));
+}
+
+TEST_F(PlatformFixture, FailedSubmissionCountsAsFailedRequest) {
+  // Not started → ui.submit fails at the gate but is still counted.
+  EXPECT_FALSE(platform->submit_model_text(kSessionOpenModel).ok());
+  obs::MetricsSnapshot snapshot = platform->metrics().snapshot();
+  EXPECT_EQ(snapshot.counter_value("requests.submitted"), 1u);
+  EXPECT_EQ(snapshot.counter_value("requests.failed"), 1u);
+}
+
+TEST_F(PlatformFixture, BusEventsCarryTheRequestId) {
+  ASSERT_TRUE(platform->start().ok());
+  platform->context().set("bandwidth", Value(5.0));
+  std::vector<std::uint64_t> seen;
+  std::uint64_t subscription = platform->bus().subscribe(
+      "resource.invoked",
+      [&seen](const runtime::Event& event) { seen.push_back(event.request_id); });
+  obs::RequestContext request = platform->make_context();
+  ASSERT_TRUE(platform->submit_model_text(kSessionOpenModel, request).ok());
+  platform->bus().unsubscribe(subscription);
+  // Both resource commands of this request raised an event.
+  ASSERT_EQ(seen.size(), 2u);
+  for (std::uint64_t id : seen) EXPECT_EQ(id, request.id());
+  // Distinct requests stamp distinct ids.
+  obs::RequestContext second = platform->make_context();
+  EXPECT_NE(second.id(), request.id());
+}
+
+TEST(PlatformDeadline, ExpiredContextIsRejectedAtTheUiGate) {
+  SimClock sim;
+  PlatformConfig config;
+  config.dsml = model::testing::make_test_metamodel();
+  config.clock = &sim;
+  auto assembled = Platform::assemble_from_text(kMiddlewareModel, config);
+  ASSERT_TRUE(assembled.ok()) << assembled.status().to_string();
+  auto& platform = *assembled.value();
+  ASSERT_TRUE(
+      platform.add_resource_adapter(std::make_unique<RecordingAdapter>("svc"))
+          .ok());
+  ASSERT_TRUE(platform.start().ok());
+  platform.context().set("bandwidth", Value(5.0));
+
+  obs::RequestContext in_time = platform.make_context(Duration(1000));
+  ASSERT_TRUE(platform.submit_model_text(kSessionOpenModel, in_time).ok());
+
+  obs::RequestContext late = platform.make_context(Duration(1000));
+  sim.advance(Duration(2000));
+  Result<controller::ControlScript> rejected = platform.submit_model_text(
+      "model app2 conforms testlang\n"
+      "object Session s1 { state = closed }\n",
+      late);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), ErrorCode::kTimeout);
+  // The deadline gate fired before the pipeline: no new commands hit the
+  // resource trace and the failure was counted.
+  EXPECT_EQ(platform.trace().entries().size(), 2u);
+  EXPECT_EQ(platform.metrics().snapshot().counter_value("requests.failed"),
+            1u);
 }
 
 }  // namespace

@@ -1,0 +1,244 @@
+// Unit tests for the observability subsystem: metrics registry (counters
+// + latency histograms), span traces, and the RequestContext that ties
+// them to a request's journey through the layers.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/request_context.hpp"
+#include "obs/trace.hpp"
+#include "runtime/executor.hpp"
+
+namespace mdsm::obs {
+namespace {
+
+// ---- metrics ------------------------------------------------------------
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(Histogram, RecordsCountSumAndBuckets) {
+  Histogram histogram;
+  histogram.record_us(0);
+  histogram.record_us(1);
+  histogram.record_us(100);
+  histogram.record(Duration(1000));
+  EXPECT_EQ(histogram.count(), 4u);
+  EXPECT_EQ(histogram.sum_us(), 1101u);
+}
+
+TEST(Histogram, QuantileWalksCumulativeBuckets) {
+  Histogram histogram;
+  for (int i = 0; i < 99; ++i) histogram.record_us(10);
+  histogram.record_us(100000);
+  // p50 lands in the bucket containing 10us; p100 in the outlier's.
+  EXPECT_LE(histogram.quantile_us(0.5), 15u);
+  EXPECT_GE(histogram.quantile_us(1.0), 65536u);
+}
+
+TEST(Histogram, HugeValuesClampToLastBucket) {
+  Histogram histogram;
+  histogram.record(Duration(std::chrono::hours(24)));
+  EXPECT_EQ(histogram.count(), 1u);
+  EXPECT_GT(histogram.quantile_us(1.0), 0u);
+}
+
+TEST(MetricsRegistry, CellsAreStableAndNamed) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("requests.submitted");
+  Counter& b = registry.counter("requests.submitted");
+  EXPECT_EQ(&a, &b);  // same cell on re-lookup
+  a.add(3);
+  registry.histogram("latency.ui.submit").record_us(12);
+
+  MetricsSnapshot snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counter_value("requests.submitted"), 3u);
+  ASSERT_NE(snapshot.histogram("latency.ui.submit"), nullptr);
+  EXPECT_EQ(snapshot.histogram("latency.ui.submit")->count, 1u);
+  EXPECT_EQ(snapshot.counter_value("no.such.counter"), 0u);
+
+  std::string text = registry.to_text();
+  EXPECT_NE(text.find("requests.submitted"), std::string::npos);
+  EXPECT_NE(text.find("latency.ui.submit"), std::string::npos);
+}
+
+TEST(MetricsRegistry, SafeUnderConcurrentRecording) {
+  MetricsRegistry registry;
+  constexpr int kTasks = 64;
+  constexpr int kPerTask = 250;
+  runtime::Executor executor(4);
+  for (int task = 0; task < kTasks; ++task) {
+    executor.submit([&registry, task] {
+      // Mix of shared cells and per-task cells: exercises both the map
+      // mutex (first-touch) and the atomic cells (hot path).
+      Counter& shared = registry.counter("shared.ops");
+      Histogram& latency = registry.histogram("latency.shared");
+      Counter& own =
+          registry.counter("task." + std::to_string(task % 8) + ".ops");
+      for (int i = 0; i < kPerTask; ++i) {
+        shared.add();
+        own.add();
+        latency.record_us(static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  executor.drain();
+  MetricsSnapshot snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counter_value("shared.ops"),
+            static_cast<std::uint64_t>(kTasks) * kPerTask);
+  ASSERT_NE(snapshot.histogram("latency.shared"), nullptr);
+  EXPECT_EQ(snapshot.histogram("latency.shared")->count,
+            static_cast<std::uint64_t>(kTasks) * kPerTask);
+  std::uint64_t per_task_total = 0;
+  for (int bucket = 0; bucket < 8; ++bucket) {
+    per_task_total += snapshot.counter_value(
+        "task." + std::to_string(bucket) + ".ops");
+  }
+  EXPECT_EQ(per_task_total, static_cast<std::uint64_t>(kTasks) * kPerTask);
+}
+
+// ---- trace --------------------------------------------------------------
+
+TEST(TraceTree, SpansNestByOpenOrder) {
+  SimClock clock;
+  Trace trace(clock);
+  std::uint64_t outer = trace.open("ui.submit", "app");
+  clock.advance(Duration(10));
+  std::uint64_t inner = trace.open("synthesis.submit");
+  clock.advance(Duration(5));
+  trace.close(inner);
+  trace.close(outer);
+
+  ASSERT_EQ(trace.spans().size(), 2u);
+  const Span& root = trace.spans()[0];
+  const Span& child = trace.spans()[1];
+  EXPECT_EQ(root.parent, 0u);
+  EXPECT_EQ(root.depth, 0u);
+  EXPECT_EQ(child.parent, root.id);
+  EXPECT_EQ(child.depth, 1u);
+  EXPECT_TRUE(trace.all_closed());
+  // Nested timestamps: child starts after root, ends before root.
+  EXPECT_GE(child.start, root.start);
+  EXPECT_LE(child.end, root.end);
+  EXPECT_EQ(child.elapsed(), Duration(5));
+  EXPECT_EQ(root.elapsed(), Duration(15));
+}
+
+TEST(TraceTree, CloseUnwindsThroughOpenDescendants) {
+  SimClock clock;
+  Trace trace(clock);
+  std::uint64_t outer = trace.open("controller.signal");
+  trace.open("controller.eu");
+  trace.open("broker.call");
+  trace.close(outer);  // error-path unwind: closes all three
+  EXPECT_TRUE(trace.all_closed());
+  for (const Span& span : trace.spans()) EXPECT_TRUE(span.closed);
+}
+
+TEST(TraceTree, FindCountAndText) {
+  SimClock clock;
+  Trace trace(clock);
+  std::uint64_t a = trace.open("broker.call", "svc.create");
+  trace.close(a);
+  std::uint64_t b = trace.open("broker.call", "svc.open");
+  trace.close(b);
+  EXPECT_EQ(trace.count("broker.call"), 2u);
+  ASSERT_NE(trace.find("broker.call"), nullptr);
+  EXPECT_EQ(trace.find("broker.call")->detail, "svc.create");
+  EXPECT_EQ(trace.find("no.such"), nullptr);
+  std::string text = trace.to_text();
+  EXPECT_NE(text.find("broker.call [svc.create]"), std::string::npos);
+}
+
+// ---- request context ----------------------------------------------------
+
+TEST(RequestContextTest, MintsUniqueIdsAndTags) {
+  RequestContext first;
+  RequestContext second;
+  EXPECT_NE(first.id(), second.id());
+  EXPECT_NE(first.id(), 0u);
+  EXPECT_EQ(first.tag(), "req-" + std::to_string(first.id()));
+}
+
+TEST(RequestContextTest, NoopContextIsDisabledAndInert) {
+  RequestContext& noop = RequestContext::noop();
+  EXPECT_FALSE(noop.enabled());
+  std::uint64_t span = noop.open_span("ui.submit");
+  EXPECT_EQ(span, 0u);
+  noop.close_span(span);  // must not crash or record
+  EXPECT_TRUE(noop.trace().spans().empty());
+  EXPECT_EQ(&noop, &RequestContext::noop());  // shared singleton
+}
+
+TEST(RequestContextTest, SpanCloseRecordsLatencyHistogram) {
+  SimClock clock;
+  MetricsRegistry registry;
+  RequestContext context(clock, &registry);
+  std::uint64_t span = context.open_span("broker.call", "svc.x");
+  clock.advance(Duration(250));
+  context.close_span(span);
+  MetricsSnapshot snapshot = registry.snapshot();
+  ASSERT_NE(snapshot.histogram("latency.broker.call"), nullptr);
+  EXPECT_EQ(snapshot.histogram("latency.broker.call")->count, 1u);
+  EXPECT_EQ(snapshot.histogram("latency.broker.call")->sum_us, 250u);
+}
+
+TEST(RequestContextTest, DeadlineExpiresOnSimClock) {
+  SimClock clock;
+  RequestContext context(clock, nullptr, Duration(100));
+  EXPECT_FALSE(context.expired());
+  EXPECT_TRUE(context.check_deadline("ui").ok());
+  clock.advance(Duration(101));
+  EXPECT_TRUE(context.expired());
+  Status late = context.check_deadline("controller");
+  EXPECT_EQ(late.code(), ErrorCode::kTimeout);
+  EXPECT_NE(late.to_string().find("controller"), std::string::npos);
+}
+
+TEST(AmbientScope, InstallsAndRestoresCurrent) {
+  EXPECT_EQ(current(), nullptr);
+  RequestContext outer_context;
+  {
+    ContextScope outer(outer_context);
+    EXPECT_EQ(current(), &outer_context);
+    RequestContext inner_context;
+    {
+      ContextScope inner(inner_context);
+      EXPECT_EQ(current(), &inner_context);
+    }
+    EXPECT_EQ(current(), &outer_context);
+  }
+  EXPECT_EQ(current(), nullptr);
+}
+
+TEST(AmbientScope, NoopContextNeverMasksOuterRequest) {
+  RequestContext real;
+  ContextScope outer(real);
+  {
+    // A legacy call path entered mid-request runs against noop() — it
+    // must not hide the traced request from bus stamping underneath.
+    ContextScope inner(RequestContext::noop());
+    EXPECT_EQ(current(), &real);
+  }
+  EXPECT_EQ(current(), &real);
+}
+
+TEST(AmbientScope, ThreadLocalIsolation) {
+  RequestContext context;
+  ContextScope scope(context);
+  RequestContext* seen = &context;  // sentinel, overwritten by the thread
+  std::thread worker([&seen] { seen = current(); });
+  worker.join();
+  EXPECT_EQ(seen, nullptr);  // other threads see no ambient context
+}
+
+}  // namespace
+}  // namespace mdsm::obs

@@ -41,7 +41,7 @@ struct SynthesisFixture : ::testing::Test {
   policy::ContextStore context;
   std::vector<controller::Command> dispatched;
   SynthesisEngine engine{"se", mm, make_session_lts(), context,
-                         [this](const controller::ControlScript& script) {
+                         [this](const controller::ControlScript& script, obs::RequestContext&) {
                            for (const auto& command : script.commands) {
                              dispatched.push_back(command);
                            }
@@ -122,7 +122,7 @@ TEST_F(SynthesisFixture, GuardBlocksTransition) {
          {{"session.create", {{"id", Value("%id")}}}}, "defined(allowed)");
   std::vector<controller::Command> out;
   SynthesisEngine guarded("se2", mm, std::move(lts), context,
-                          [&](const controller::ControlScript& script) {
+                          [&](const controller::ControlScript& script, obs::RequestContext&) {
                             for (const auto& c : script.commands) {
                               out.push_back(c);
                             }
@@ -161,7 +161,7 @@ TEST_F(SynthesisFixture, WrongMetamodelRejected) {
 
 TEST_F(SynthesisFixture, DispatchFailureKeepsOldModel) {
   SynthesisEngine failing("se3", mm, make_session_lts(), context,
-                          [](const controller::ControlScript&) {
+                          [](const controller::ControlScript&, obs::RequestContext&) {
                             return Unavailable("controller down");
                           });
   EXPECT_EQ(failing.submit_model(base_model()).status().code(),
@@ -200,7 +200,7 @@ TEST_F(SynthesisFixture, TemplateEscapesAndUnknownsPassThrough) {
             {"num", Value(7)}}}});
   std::vector<controller::Command> out;
   SynthesisEngine e2("se4", mm, std::move(lts), context,
-                     [&](const controller::ControlScript& script) {
+                     [&](const controller::ControlScript& script, obs::RequestContext&) {
                        for (const auto& c : script.commands) out.push_back(c);
                        return Status::Ok();
                      });
