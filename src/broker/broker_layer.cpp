@@ -136,22 +136,33 @@ Result<model::Value> BrokerLayer::execute_steps(
       }
       case StepOp::kSetState: {
         Args resolved = resolve_args(step.args, call_args, *context_);
-        state_.set(step.a, resolved["value"]);
+        Result<model::Value> value = require_arg(resolved, "value",
+                                                 "set-state");
+        if (!value.ok()) return value.status();
+        state_.set(step.a, std::move(value.value()));
         break;
       }
       case StepOp::kSetContext: {
         Args resolved = resolve_args(step.args, call_args, *context_);
-        context_->set(step.a, resolved["value"]);
+        Result<model::Value> value = require_arg(resolved, "value",
+                                                 "set-context");
+        if (!value.ok()) return value.status();
+        context_->set(step.a, std::move(value.value()));
         break;
       }
       case StepOp::kEmit: {
         Args resolved = resolve_args(step.args, call_args, *context_);
-        bus_->publish(step.a, name(), resolved["payload"]);
+        Result<model::Value> payload = require_arg(resolved, "payload",
+                                                   "emit");
+        if (!payload.ok()) return payload.status();
+        bus_->publish(step.a, name(), std::move(payload.value()));
         break;
       }
       case StepOp::kResult: {
         Args resolved = resolve_args(step.args, call_args, *context_);
-        result = resolved["value"];
+        Result<model::Value> value = require_arg(resolved, "value", "result");
+        if (!value.ok()) return value.status();
+        result = std::move(value.value());
         break;
       }
     }

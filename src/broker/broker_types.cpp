@@ -14,6 +14,16 @@ std::string format_invocation(const std::string& name, const Args& args) {
   return out;
 }
 
+Result<model::Value> require_arg(const Args& args, std::string_view key,
+                                 std::string_view op) {
+  auto it = args.find(key);
+  if (it == args.end()) {
+    return ExecutionError("'" + std::string(op) + "' is missing required arg '" +
+                          std::string(key) + "'");
+  }
+  return it->second;
+}
+
 void CommandTrace::record(const std::string& resource,
                           const std::string& command, const Args& args) {
   entries_.push_back(resource + "." + format_invocation(command, args));

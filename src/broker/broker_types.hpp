@@ -27,6 +27,13 @@ struct Call {
 /// Render "name(k=v, k=v)" with sorted keys — canonical trace form.
 std::string format_invocation(const std::string& name, const Args& args);
 
+/// Checked argument lookup for instruction/step execution. A missing key
+/// is an ExecutionError naming the operation — never a silently
+/// default-inserted null (a present key whose value resolved to none is
+/// fine; only absence is a model-authoring bug worth surfacing).
+Result<model::Value> require_arg(const Args& args, std::string_view key,
+                                 std::string_view op);
+
 /// Append-only record of resource commands, used for equivalence checks
 /// and performance accounting.
 class CommandTrace {

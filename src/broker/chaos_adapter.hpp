@@ -1,0 +1,68 @@
+// Fault-injection decorator over a ResourceAdapter: with configurable
+// probabilities a command fails cleanly (error Status), throws (exercising
+// the ResourceManager's exception boundary), or stalls (simulating a slow
+// resource) before delegating to the wrapped adapter. Used by the
+// concurrency soak harness and by failure-mode tests — a platform that
+// only ever sees well-behaved resources has never really been tested.
+//
+// Thread-safe: concurrent execute() calls draw from one seeded RNG under
+// a mutex (deterministic fault *rates*, not a deterministic fault
+// sequence, once calls interleave), and the stats are atomics.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <random>
+
+#include "broker/resource_manager.hpp"
+#include "common/clock.hpp"
+
+namespace mdsm::broker {
+
+struct ChaosConfig {
+  double fail_rate = 0.0;   ///< P(return Unavailable instead of executing)
+  double throw_rate = 0.0;  ///< P(throw std::runtime_error)
+  double delay_rate = 0.0;  ///< P(sleep `delay` before delegating)
+  Duration delay{};         ///< stall length for delayed commands
+  std::uint64_t seed = 42;  ///< RNG seed (soak runs are repeatable)
+};
+
+/// Point-in-time copy of a ChaosAdapter's injection counters.
+struct ChaosStats {
+  std::uint64_t executed = 0;  ///< total execute() calls observed
+  std::uint64_t failed = 0;    ///< commands that returned injected errors
+  std::uint64_t threw = 0;     ///< commands that threw injected exceptions
+  std::uint64_t delayed = 0;   ///< commands stalled by `delay`
+  std::uint64_t passed = 0;    ///< commands delegated to the inner adapter
+};
+
+class ChaosAdapter final : public ResourceAdapter {
+ public:
+  /// Wraps `inner`, keeping its name so the decorated resource is a
+  /// drop-in replacement; events raised by the inner adapter are
+  /// forwarded through this wrapper's sink.
+  ChaosAdapter(std::unique_ptr<ResourceAdapter> inner, ChaosConfig config);
+
+  Result<model::Value> execute(const std::string& command,
+                               const Args& args) override;
+
+  [[nodiscard]] ChaosStats stats() const noexcept;
+  [[nodiscard]] ResourceAdapter& inner() noexcept { return *inner_; }
+
+ private:
+  /// One uniform [0,1) draw; locked — execute() runs on many threads.
+  double draw();
+
+  std::unique_ptr<ResourceAdapter> inner_;
+  ChaosConfig config_;
+  std::mutex rng_mutex_;
+  std::mt19937_64 rng_;
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> threw_{0};
+  std::atomic<std::uint64_t> delayed_{0};
+  std::atomic<std::uint64_t> passed_{0};
+};
+
+}  // namespace mdsm::broker

@@ -49,7 +49,26 @@ Result<model::Value> ResourceManager::invoke(const std::string& resource,
   if (commands_counter_ != nullptr) commands_counter_->add();
   log_debug("resource-manager")
       << resource << "." << format_invocation(command, args);
-  return it->second->execute(command, args);
+  // Adapters are plugin code over external resources; this is the fault
+  // boundary. An escaping exception must degrade to a Status, not unwind
+  // through the controller's EU stack (which would strand queued signals
+  // for the next request to pick up).
+  try {
+    return it->second->execute(command, args);
+  } catch (const std::exception& e) {
+    if (exceptions_counter_ != nullptr) exceptions_counter_->add();
+    log_error("resource-manager")
+        << resource << "." << command << " threw: " << e.what();
+    return ExecutionError("resource adapter '" + resource +
+                          "' threw during '" + command + "': " + e.what());
+  } catch (...) {
+    if (exceptions_counter_ != nullptr) exceptions_counter_->add();
+    log_error("resource-manager")
+        << resource << "." << command << " threw a non-std::exception";
+    return ExecutionError("resource adapter '" + resource +
+                          "' threw a non-std::exception during '" + command +
+                          "'");
+  }
 }
 
 }  // namespace mdsm::broker

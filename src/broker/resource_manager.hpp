@@ -59,7 +59,10 @@ class ResourceManager {
 
   /// Issue a command to a named resource; records the trace entry
   /// *before* execution so failed commands still appear (they were
-  /// issued), matching how a wire trace would look.
+  /// issued), matching how a wire trace would look. Exceptions escaping
+  /// the adapter are caught here and degraded to an ExecutionError
+  /// status (counted in "broker.adapter_exceptions") — an adapter can
+  /// never unwind the layers above it.
   Result<model::Value> invoke(const std::string& resource,
                               const std::string& command, const Args& args);
 
@@ -67,15 +70,21 @@ class ResourceManager {
   [[nodiscard]] CommandTrace& trace() noexcept { return trace_; }
 
   /// Platform-wide metrics sink: every invoked resource command bumps
-  /// "broker.commands" (optional; wired via the broker layer).
+  /// "broker.commands"; every contained adapter exception bumps
+  /// "broker.adapter_exceptions" (optional; wired via the broker layer).
   void set_metrics(obs::MetricsRegistry* metrics) noexcept {
     commands_counter_ =
         metrics == nullptr ? nullptr : &metrics->counter("broker.commands");
+    exceptions_counter_ =
+        metrics == nullptr
+            ? nullptr
+            : &metrics->counter("broker.adapter_exceptions");
   }
 
  private:
   runtime::EventBus* bus_;
   obs::Counter* commands_counter_ = nullptr;
+  obs::Counter* exceptions_counter_ = nullptr;
   std::map<std::string, std::unique_ptr<ResourceAdapter>, std::less<>>
       adapters_;
   CommandTrace trace_;

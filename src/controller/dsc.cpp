@@ -20,6 +20,17 @@ Status DscRegistry::add(Dsc dsc) {
   if (!inserted) {
     return AlreadyExists("DSC '" + it->first + "' already registered");
   }
+  ++version_;
+  return Status::Ok();
+}
+
+Status DscRegistry::remove(std::string_view name) {
+  auto it = dscs_.find(name);
+  if (it == dscs_.end()) {
+    return NotFound("DSC '" + std::string(name) + "' is not registered");
+  }
+  dscs_.erase(it);
+  ++version_;
   return Status::Ok();
 }
 

@@ -31,11 +31,19 @@ struct Dsc {
 class DscRegistry {
  public:
   Status add(Dsc dsc);
+  /// Withdraw a classifier from the vocabulary. Procedures classified by
+  /// it stay in the repository but fail IM validation from then on.
+  Status remove(std::string_view name);
   [[nodiscard]] const Dsc* find(std::string_view name) const noexcept;
   [[nodiscard]] bool contains(std::string_view name) const noexcept {
     return find(name) != nullptr;
   }
   [[nodiscard]] std::size_t size() const noexcept { return dscs_.size(); }
+
+  /// Monotone counter bumped on every successful add()/remove() — lets
+  /// the IM cache detect vocabulary drift the same way it tracks context
+  /// and repository versions.
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
 
   /// All classifier names in a category, sorted.
   [[nodiscard]] std::vector<std::string> in_category(
@@ -46,6 +54,7 @@ class DscRegistry {
 
  private:
   std::map<std::string, Dsc, std::less<>> dscs_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace mdsm::controller

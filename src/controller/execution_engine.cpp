@@ -47,11 +47,13 @@ broker::Args ExecutionEngine::resolve_all(
 }
 
 model::Value ExecutionEngine::memory(std::string_view key) const {
+  std::lock_guard lock(memory_mutex_);
   auto it = memory_.find(key);
   return it == memory_.end() ? model::Value{} : it->second;
 }
 
 void ExecutionEngine::set_memory(const std::string& key, model::Value value) {
+  std::lock_guard lock(memory_mutex_);
   memory_[key] = std::move(value);
 }
 
@@ -146,7 +148,7 @@ Result<model::Value> ExecutionEngine::run(Frame initial,
         Result<model::Value> value = broker_->call(call, context);
         if (!value.ok()) return value.status();
         result = value.value();
-        memory_["last.result"] = std::move(value.value());
+        set_memory("last.result", std::move(value.value()));
         break;
       }
       case OpCode::kCallDep: {
@@ -182,15 +184,24 @@ Result<model::Value> ExecutionEngine::run(Frame initial,
       }
       case OpCode::kSetMem: {
         broker::Args resolved = resolve_all(instruction->args, command_args);
-        memory_[instruction->a] = resolved["value"];
+        Result<model::Value> value =
+            broker::require_arg(resolved, "value", "set-mem");
+        if (!value.ok()) return value.status();
+        set_memory(instruction->a, std::move(value.value()));
         break;
       }
-      case OpCode::kEraseMem:
+      case OpCode::kEraseMem: {
+        std::lock_guard lock(memory_mutex_);
         memory_.erase(instruction->a);
         break;
+      }
       case OpCode::kEmit: {
         broker::Args resolved = resolve_all(instruction->args, command_args);
-        bus_->publish(instruction->a, "controller", resolved["payload"]);
+        Result<model::Value> payload =
+            broker::require_arg(resolved, "payload", "emit");
+        if (!payload.ok()) return payload.status();
+        bus_->publish(instruction->a, "controller",
+                      std::move(payload.value()));
         break;
       }
       case OpCode::kSend: {
@@ -199,22 +210,31 @@ Result<model::Value> ExecutionEngine::run(Frame initial,
               "send instruction but no message sender installed");
         }
         broker::Args resolved = resolve_all(instruction->args, command_args);
+        Result<model::Value> payload =
+            broker::require_arg(resolved, "payload", "send");
+        if (!payload.ok()) return payload.status();
         model::Value destination = resolve(model::Value(instruction->a),
                                            command_args);
         std::string to = destination.is_string() ? destination.as_string()
                                                  : instruction->a;
-        Status sent = sender_(to, instruction->b, resolved["payload"]);
+        Status sent = sender_(to, instruction->b, std::move(payload.value()));
         if (!sent.ok()) return sent;
         break;
       }
       case OpCode::kSetContext: {
         broker::Args resolved = resolve_all(instruction->args, command_args);
-        context_->set(instruction->a, resolved["value"]);
+        Result<model::Value> value =
+            broker::require_arg(resolved, "value", "set-context");
+        if (!value.ok()) return value.status();
+        context_->set(instruction->a, std::move(value.value()));
         break;
       }
       case OpCode::kResult: {
         broker::Args resolved = resolve_all(instruction->args, command_args);
-        result = resolved["value"];
+        Result<model::Value> value =
+            broker::require_arg(resolved, "value", "result");
+        if (!value.ok()) return value.status();
+        result = std::move(value.value());
         break;
       }
     }

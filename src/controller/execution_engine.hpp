@@ -14,6 +14,7 @@
 
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "broker/broker_api.hpp"
@@ -81,9 +82,14 @@ class ExecutionEngine {
 
   /// Engine memory ("memory management" ops). Shared across executions —
   /// procedures use it to pass data between calls, tests inspect it.
+  /// Internally synchronized: concurrent executions (or monitors reading
+  /// while an execution runs) see consistent values.
   [[nodiscard]] model::Value memory(std::string_view key) const;
   void set_memory(const std::string& key, model::Value value);
-  void clear_memory() { memory_.clear(); }
+  void clear_memory() {
+    std::lock_guard lock(memory_mutex_);
+    memory_.clear();
+  }
 
   [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
   void reset_stats() { stats_ = {}; }
@@ -112,6 +118,7 @@ class ExecutionEngine {
   obs::MetricsRegistry* metrics_ = nullptr;
   Sender sender_;
   EngineConfig config_;
+  mutable std::mutex memory_mutex_;  ///< guards memory_ only
   std::map<std::string, model::Value, std::less<>> memory_;
   EngineStats stats_;
 };

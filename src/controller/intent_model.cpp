@@ -249,6 +249,7 @@ Result<IntentModelPtr> IntentModelGenerator::generate_cached(
   if (it != cache_.end() &&
       it->second.context_version == context_->version() &&
       it->second.repository_version == repository_->version() &&
+      it->second.dsc_version == dscs_->version() &&
       it->second.strategy == strategy) {
     ++stats_.cache_hits;
     return it->second.intent_model;
@@ -257,7 +258,7 @@ Result<IntentModelPtr> IntentModelGenerator::generate_cached(
   Result<IntentModelPtr> generated = generate(root_dsc, strategy);
   if (!generated.ok()) return generated;
   cache_[root_dsc] = CacheEntry{context_->version(), repository_->version(),
-                                strategy, generated.value()};
+                                dscs_->version(), strategy, generated.value()};
   return generated;
 }
 

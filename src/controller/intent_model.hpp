@@ -78,8 +78,9 @@ class IntentModelGenerator {
   Result<IntentModelPtr> generate(const std::string& root_dsc,
                                   SelectionStrategy strategy);
 
-  /// Cached cycle: reuse the previous IM for `root_dsc` when neither the
-  /// context nor the repository changed since it was generated.
+  /// Cached cycle: reuse the previous IM for `root_dsc` when none of the
+  /// context, the repository, or the DSC vocabulary changed since it was
+  /// generated (a stale-vocabulary IM would fail validate()).
   Result<IntentModelPtr> generate_cached(const std::string& root_dsc,
                                          SelectionStrategy strategy);
 
@@ -96,6 +97,7 @@ class IntentModelGenerator {
   struct CacheEntry {
     std::uint64_t context_version;
     std::uint64_t repository_version;
+    std::uint64_t dsc_version;
     SelectionStrategy strategy;
     IntentModelPtr intent_model;
   };

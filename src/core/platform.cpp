@@ -285,6 +285,7 @@ Status Platform::add_resource_adapter(
 }
 
 Status Platform::start() {
+  std::lock_guard lock(submit_mutex_);
   if (running_) return Status::Ok();
   for (const std::string& required : required_resources_) {
     if (broker_->resources().find_adapter(required) == nullptr) {
@@ -301,6 +302,7 @@ Status Platform::start() {
 }
 
 Status Platform::stop() {
+  std::lock_guard lock(submit_mutex_);
   if (!running_) return Status::Ok();
   MDSM_RETURN_IF_ERROR(synthesis_->stop());
   MDSM_RETURN_IF_ERROR(controller_->stop());
@@ -343,6 +345,11 @@ Result<controller::ControlScript> Platform::submit_woven(
 
 Result<controller::ControlScript> Platform::submit_model(
     model::Model application_model, obs::RequestContext& context) {
+  // Serialize submissions: the layer pipeline below is a single-threaded
+  // model interpreter by design (its command traces are deterministic).
+  // Concurrent callers queue here; everything thread-shared outside this
+  // lock (metrics, bus, context store, request ids) is itself safe.
+  std::lock_guard submit_lock(submit_mutex_);
   // UI-layer crossing: the root span of the request's trace. The scope
   // makes the context ambient so bus events published anywhere below are
   // stamped with this request's id.

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -74,6 +75,14 @@ class Platform {
   Status start();
   Status stop();
   [[nodiscard]] bool running() const noexcept { return running_; }
+
+  // Thread-safety (see DESIGN.md §6b for the full matrix): make_context()
+  // and the context-taking submit overloads are safe to call from any
+  // number of threads — submissions are serialized on an internal mutex,
+  // because the four layers below are deliberately single-threaded model
+  // interpreters. The context-free submit overloads and submit_woven()
+  // additionally publish last_trace() state and must be called from one
+  // thread at a time.
 
   // ---- UI layer: the model-based programming interface ----------------
 
@@ -161,6 +170,9 @@ class Platform {
   std::unique_ptr<synthesis::SynthesisEngine> synthesis_;
   std::vector<std::string> required_resources_;
   std::uint64_t error_subscription_ = 0;
+  /// Serializes submissions (and start/stop) so concurrent callers never
+  /// interleave inside the single-threaded layer pipeline.
+  mutable std::mutex submit_mutex_;
   bool running_ = false;
 };
 

@@ -46,10 +46,10 @@ std::size_t EventBus::publish(Event event) {
       event.request_id = context->id();
     }
   }
+  published_.fetch_add(1, std::memory_order_relaxed);
   std::vector<Handler> targets;
   {
     std::lock_guard lock(mutex_);
-    ++published_;
     for (const Subscription& sub : subscriptions_) {
       if (matches(sub, event.topic)) targets.push_back(sub.handler);
     }

@@ -5,6 +5,7 @@
 // cross-node asynchronous path is src/net, not this bus.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -46,8 +47,10 @@ class EventBus {
                       model::Value payload = {});
 
   [[nodiscard]] std::size_t subscription_count() const;
+  /// Total events published. Atomic so concurrent publishers and readers
+  /// (monitors, tests) never race — publish() increments it lock-free.
   [[nodiscard]] std::uint64_t published_count() const noexcept {
-    return published_;
+    return published_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -62,7 +65,7 @@ class EventBus {
 
   mutable std::mutex mutex_;
   std::vector<Subscription> subscriptions_;
-  std::uint64_t published_ = 0;
+  std::atomic<std::uint64_t> published_{0};
 };
 
 }  // namespace mdsm::runtime

@@ -1,6 +1,37 @@
 #include "runtime/executor.hpp"
 
+#include "common/log.hpp"
+
 namespace mdsm::runtime {
+
+namespace {
+
+/// Decrements the owning executor's active count on scope exit — also
+/// when the task throws — so drain() can never hang on a failed task.
+class ActiveGuard {
+ public:
+  ActiveGuard(std::mutex& mutex, std::condition_variable& idle,
+              const std::deque<std::function<void()>>& queue,
+              unsigned& active) noexcept
+      : mutex_(mutex), idle_(idle), queue_(queue), active_(active) {}
+
+  ActiveGuard(const ActiveGuard&) = delete;
+  ActiveGuard& operator=(const ActiveGuard&) = delete;
+
+  ~ActiveGuard() {
+    std::lock_guard lock(mutex_);
+    --active_;
+    if (queue_.empty() && active_ == 0) idle_.notify_all();
+  }
+
+ private:
+  std::mutex& mutex_;
+  std::condition_variable& idle_;
+  const std::deque<std::function<void()>>& queue_;
+  unsigned& active_;
+};
+
+}  // namespace
 
 Executor::Executor(unsigned thread_count) {
   if (thread_count == 0) thread_count = 1;
@@ -48,11 +79,17 @@ void Executor::worker_loop() {
       queue_.pop_front();
       ++active_;
     }
-    task();
-    {
-      std::lock_guard lock(mutex_);
-      --active_;
-      if (queue_.empty() && active_ == 0) idle_.notify_all();
+    ActiveGuard guard(mutex_, idle_, queue_, active_);
+    try {
+      task();
+    } catch (const std::exception& e) {
+      task_failures_.fetch_add(1, std::memory_order_relaxed);
+      if (failures_counter_ != nullptr) failures_counter_->add();
+      log_error("executor") << "task threw: " << e.what();
+    } catch (...) {
+      task_failures_.fetch_add(1, std::memory_order_relaxed);
+      if (failures_counter_ != nullptr) failures_counter_->add();
+      log_error("executor") << "task threw a non-std::exception";
     }
   }
 }

@@ -5,12 +5,15 @@
 // fleet and benches use it for genuine parallelism.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace mdsm::runtime {
 
@@ -23,15 +26,31 @@ class Executor {
   Executor& operator=(const Executor&) = delete;
 
   /// Enqueue a task. Safe from any thread, including worker threads.
+  /// A task that throws does not kill the worker or the process: the
+  /// exception is caught, counted in task_failures() (and the
+  /// "runtime.executor_task_failures" metric when one is attached) and
+  /// logged; the pool keeps serving and drain() still returns.
   void submit(std::function<void()> task);
 
   /// Block until the queue is empty and every worker is idle.
   void drain();
 
+  /// Platform-wide metrics sink (optional). Call before submitting.
+  void set_metrics(obs::MetricsRegistry* metrics) noexcept {
+    failures_counter_ =
+        metrics == nullptr
+            ? nullptr
+            : &metrics->counter("runtime.executor_task_failures");
+  }
+
   [[nodiscard]] unsigned thread_count() const noexcept {
     return static_cast<unsigned>(workers_.size());
   }
   [[nodiscard]] std::size_t pending() const;
+  /// Tasks whose invocation threw (contained, never propagated).
+  [[nodiscard]] std::uint64_t task_failures() const noexcept {
+    return task_failures_.load(std::memory_order_relaxed);
+  }
 
  private:
   void worker_loop();
@@ -43,6 +62,8 @@ class Executor {
   std::vector<std::thread> workers_;
   unsigned active_ = 0;
   bool shutting_down_ = false;
+  std::atomic<std::uint64_t> task_failures_{0};
+  obs::Counter* failures_counter_ = nullptr;
 };
 
 }  // namespace mdsm::runtime

@@ -2,7 +2,11 @@
 // state, autonomic adaptation.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "broker/broker_layer.hpp"
+#include "broker/chaos_adapter.hpp"
+#include "common/log.hpp"
 
 namespace mdsm::broker {
 namespace {
@@ -301,6 +305,88 @@ TEST_F(BrokerFixture, UnhandledRequestIsNotFound) {
                               .change_request = "r"})
                 .code(),
             ErrorCode::kAlreadyExists);
+}
+
+// Regression: an adapter exception used to unwind through invoke() and
+// the whole controller stack. The fault boundary converts it to an
+// ExecutionError status and counts it in "broker.adapter_exceptions".
+TEST_F(BrokerFixture, ThrowingAdapterIsContainedAsExecutionError) {
+  class ThrowingResource final : public ResourceAdapter {
+   public:
+    ThrowingResource() : ResourceAdapter("video") {}
+    Result<Value> execute(const std::string&, const Args&) override {
+      throw std::runtime_error("driver crashed");
+    }
+  };
+  set_log_level(LogLevel::kOff);
+  obs::MetricsRegistry metrics;
+  layer.set_metrics(&metrics);
+  ASSERT_TRUE(
+      layer.resources().add_adapter(std::make_unique<ThrowingResource>()).ok());
+  auto result = layer.resources().invoke("video", "start", {});
+  EXPECT_EQ(result.status().code(), ErrorCode::kExecutionError);
+  EXPECT_NE(result.status().message().find("threw during 'start'"),
+            std::string::npos)
+      << result.status().to_string();
+  EXPECT_EQ(layer.trace().size(), 1u);  // issued, then threw
+  EXPECT_EQ(metrics.snapshot().counter_value("broker.adapter_exceptions"), 1u);
+  set_log_level(LogLevel::kWarn);
+}
+
+// Regression: a step missing its required arg used to default-insert a
+// none Value silently; now the action fails with a clear error.
+TEST_F(BrokerFixture, StepMissingRequiredArgIsExecutionError) {
+  Action action;
+  action.name = "bad-set";
+  ActionStep bare;
+  bare.op = StepOp::kSetState;
+  bare.a = "k";
+  action.steps = {bare};
+  ASSERT_TRUE(layer.register_action(std::move(action)).ok());
+  ASSERT_TRUE(layer.bind_handler("go-bad", {"bad-set"}).ok());
+  auto status = layer.call({"go-bad", {}}).status();
+  EXPECT_EQ(status.code(), ErrorCode::kExecutionError);
+  EXPECT_NE(status.message().find("missing required arg 'value'"),
+            std::string::npos)
+      << status.to_string();
+  EXPECT_TRUE(layer.state().get("k").is_none());  // nothing written
+}
+
+// ------------------------------------------------------------ ChaosAdapter
+
+TEST_F(BrokerFixture, ChaosAdapterInjectsFaultsDeterministicallyAtRateOne) {
+  ChaosConfig all_fail;
+  all_fail.fail_rate = 1.0;
+  ChaosAdapter fails(std::make_unique<FakeResource>("f"), all_fail);
+  EXPECT_EQ(fails.execute("go", {}).status().code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(fails.stats().failed, 1u);
+  EXPECT_EQ(fails.stats().passed, 0u);
+
+  ChaosConfig all_throw;
+  all_throw.throw_rate = 1.0;
+  ChaosAdapter throws(std::make_unique<FakeResource>("t"), all_throw);
+  EXPECT_THROW((void)throws.execute("go", {}), std::runtime_error);
+  EXPECT_EQ(throws.stats().threw, 1u);
+
+  ChaosAdapter clean(std::make_unique<FakeResource>("c"), ChaosConfig{});
+  auto result = clean.execute("go", {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->as_string(), "ok:go");
+  EXPECT_EQ(clean.stats().passed, 1u);
+  EXPECT_EQ(clean.stats().executed, 1u);
+}
+
+TEST_F(BrokerFixture, ChaosAdapterForwardsInnerEventsAndName) {
+  auto inner = std::make_unique<FakeResource>("sensor");
+  FakeResource* inner_raw = inner.get();
+  auto chaos = std::make_unique<ChaosAdapter>(std::move(inner), ChaosConfig{});
+  EXPECT_EQ(chaos->name(), "sensor");
+  ASSERT_TRUE(layer.resources().add_adapter(std::move(chaos)).ok());
+  Value seen;
+  bus.subscribe("resource.ready",
+                [&](const runtime::Event& e) { seen = e.payload; });
+  inner_raw->fire("ready", Value("warm"));
+  EXPECT_EQ(seen, Value("warm"));
 }
 
 // ------------------------------------------------------------ StateManager

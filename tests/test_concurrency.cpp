@@ -39,6 +39,38 @@ TEST(Concurrency, EventBusPublishFromManyThreads) {
             static_cast<std::uint64_t>(kThreads * kPerThread));
 }
 
+// Regression: published_count() used to read published_ without holding
+// the bus mutex, racing with publishers. The counter is atomic now —
+// reading it mid-storm must be safe and monotone (TSan enforces the
+// "safe" half when this suite runs under -DMDSM_TSAN=ON).
+TEST(Concurrency, EventBusPublishedCountReadableWhilePublishing) {
+  runtime::EventBus bus;
+  std::atomic<bool> stop{false};
+  constexpr int kPublishers = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> publishers;
+  for (int t = 0; t < kPublishers; ++t) {
+    publishers.emplace_back([&bus] {
+      for (int i = 0; i < kPerThread; ++i) bus.publish("count.race", "x");
+    });
+  }
+  std::uint64_t last_seen = 0;
+  bool monotone = true;
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::uint64_t now = bus.published_count();
+      if (now < last_seen) monotone = false;
+      last_seen = now;
+    }
+  });
+  for (auto& thread : publishers) thread.join();
+  stop = true;
+  reader.join();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(bus.published_count(),
+            static_cast<std::uint64_t>(kPublishers * kPerThread));
+}
+
 TEST(Concurrency, EventBusSubscribeUnsubscribeUnderPublishLoad) {
   runtime::EventBus bus;
   std::atomic<bool> stop{false};

@@ -242,6 +242,54 @@ TEST_F(ControllerFixture, CacheHitsUntilContextOrRepositoryChanges) {
   EXPECT_EQ((*fourth)->root->procedure->name, "q");  // repo drift re-selects
 }
 
+// Regression: the IM cache keyed only on context/repository versions, so
+// DSC registry edits (add or remove) served stale intent models. The
+// cache entry now also records the registry version.
+TEST_F(ControllerFixture, DscRegistryChangeInvalidatesIntentModelCache) {
+  add_dsc("op");
+  ASSERT_TRUE(layer.add_procedure(leaf("p", "op")).ok());
+  ASSERT_TRUE(
+      layer.generator().generate_cached("op", SelectionStrategy::kMinCost).ok());
+  ASSERT_TRUE(
+      layer.generator().generate_cached("op", SelectionStrategy::kMinCost).ok());
+  EXPECT_EQ(layer.generator().stats().cache_hits, 1u);
+  EXPECT_EQ(layer.generator().stats().cache_misses, 1u);
+  add_dsc("aux");  // registry drift — context and repository untouched
+  ASSERT_TRUE(
+      layer.generator().generate_cached("op", SelectionStrategy::kMinCost).ok());
+  EXPECT_EQ(layer.generator().stats().cache_misses, 2u);
+  ASSERT_TRUE(layer.dscs().remove("aux").ok());
+  ASSERT_TRUE(
+      layer.generator().generate_cached("op", SelectionStrategy::kMinCost).ok());
+  EXPECT_EQ(layer.generator().stats().cache_misses, 3u);
+  EXPECT_EQ(layer.dscs().remove("ghost").code(), ErrorCode::kNotFound);
+}
+
+// Regression: instructions missing a required arg used to silently
+// default-insert a none Value via operator[]; now they fail loudly.
+TEST_F(ControllerFixture, MissingInstructionArgIsExecutionError) {
+  Instruction bare_set_mem;
+  bare_set_mem.op = OpCode::kSetMem;
+  bare_set_mem.a = "x";
+  auto status = layer.engine().execute_flat({bare_set_mem}, {}).status();
+  EXPECT_EQ(status.code(), ErrorCode::kExecutionError);
+  EXPECT_NE(status.message().find("missing required arg 'value'"),
+            std::string::npos)
+      << status.to_string();
+  EXPECT_TRUE(layer.engine().memory("x").is_none());  // nothing stored
+
+  Instruction bare_emit;
+  bare_emit.op = OpCode::kEmit;
+  bare_emit.a = "topic";
+  EXPECT_EQ(layer.engine().execute_flat({bare_emit}, {}).status().code(),
+            ErrorCode::kExecutionError);
+
+  Instruction bare_result;
+  bare_result.op = OpCode::kResult;
+  EXPECT_EQ(layer.engine().execute_flat({bare_result}, {}).status().code(),
+            ErrorCode::kExecutionError);
+}
+
 TEST_F(ControllerFixture, ValidateDetectsContextDrift) {
   add_dsc("op");
   ASSERT_TRUE(

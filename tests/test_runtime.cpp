@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 
+#include "common/log.hpp"
 #include "model/metamodel.hpp"
 #include "runtime/component.hpp"
 #include "runtime/component_factory.hpp"
@@ -240,6 +242,31 @@ TEST(Executor, WorkersMaySubmitMoreWork) {
 TEST(Executor, ZeroThreadsClampedToOne) {
   Executor executor(0);
   EXPECT_EQ(executor.thread_count(), 1u);
+}
+
+// Regression: a throwing task used to unwind through worker_loop without
+// decrementing active_, leaving drain() waiting forever and killing the
+// worker thread. Faults must be contained, counted and drained past.
+TEST(Executor, ThrowingTaskIsContainedAndCounted) {
+  set_log_level(LogLevel::kOff);
+  obs::MetricsRegistry metrics;
+  Executor executor(2);
+  executor.set_metrics(&metrics);
+  std::atomic<int> counter{0};
+  executor.submit([] { throw std::runtime_error("task fault"); });
+  executor.submit([&counter] { ++counter; });
+  executor.submit([] { throw 42; });  // non-std::exception payloads too
+  executor.submit([&counter] { ++counter; });
+  executor.drain();  // must return despite the two faults
+  EXPECT_EQ(counter.load(), 2);
+  EXPECT_EQ(executor.task_failures(), 2u);
+  EXPECT_EQ(metrics.snapshot().counter_value("runtime.executor_task_failures"),
+            2u);
+  // Workers survive: the pool still runs tasks after the faults.
+  executor.submit([&counter] { ++counter; });
+  executor.drain();
+  EXPECT_EQ(counter.load(), 3);
+  set_log_level(LogLevel::kWarn);
 }
 
 // ------------------------------------------------------------ TimerService
