@@ -15,6 +15,8 @@
 // match is cold-cycle ≫ amortized, with the running average collapsing
 // toward the warm-path cost as cycles accumulate.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "broker/broker_api.hpp"
 #include "common/clock.hpp"
@@ -86,14 +88,28 @@ void populate_repository(ControllerLayer& layer) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool json_only = false;
+  int cycles = 100000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_only = true;
+    } else if (std::strcmp(argv[i], "--cycles") == 0 && i + 1 < argc) {
+      cycles = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--json] [--cycles N]\n", argv[0]);
+      return 2;
+    }
+  }
   NullBroker broker;
   runtime::EventBus bus;
   policy::ContextStore context;
   ControllerLayer layer("bench", broker, bus, context);
   populate_repository(layer);
-  std::printf("Exp-3: IM generation with %zu procedures in the repository\n",
-              layer.repository().size());
+  if (!json_only) {
+    std::printf("Exp-3: IM generation with %zu procedures in the repository\n",
+                layer.repository().size());
+  }
 
   SteadyClock clock;
   // Cold full cycle: generation + validation + selection, no cache.
@@ -105,21 +121,24 @@ int main() {
                 cold.status().to_string().c_str());
     return 1;
   }
-  std::printf("cold full cycle: %.3f ms (IM nodes=%d, configurations "
-              "generated=%llu)  [paper: < 120 ms]\n",
-              cold_ms, (*cold)->node_count,
-              static_cast<unsigned long long>(
-                  layer.generator().stats().generated));
+  if (!json_only) {
+    std::printf("cold full cycle: %.3f ms (IM nodes=%d, configurations "
+                "generated=%llu)  [paper: < 120 ms]\n",
+                cold_ms, (*cold)->node_count,
+                static_cast<unsigned long long>(
+                    layer.generator().stats().generated));
+  }
 
   // 100 000 sequential requests, rotating over the five root DSCs.
-  constexpr int kCycles = 100000;
   const char* roots[] = {"op0_0", "op0_1", "op0_2", "op0_3", "op0_4"};
-  std::printf("\n| %8s | %18s | %18s |\n", "cycles", "running avg (ms)",
-              "running avg (us)");
-  std::printf("|----------|--------------------|--------------------|\n");
+  if (!json_only) {
+    std::printf("\n| %8s | %18s | %18s |\n", "cycles", "running avg (ms)",
+                "running avg (us)");
+    std::printf("|----------|--------------------|--------------------|\n");
+  }
   double total_ms = cold_ms;
   int next_checkpoint = 1;
-  for (int cycle = 1; cycle <= kCycles; ++cycle) {
+  for (int cycle = 1; cycle <= cycles; ++cycle) {
     Stopwatch cycle_watch(clock);
     auto intent = layer.generator().generate_cached(
         roots[cycle % 5], SelectionStrategy::kMinCost);
@@ -129,17 +148,27 @@ int main() {
                   intent.status().to_string().c_str());
       return 1;
     }
-    if (cycle == next_checkpoint || cycle == kCycles) {
+    if (!json_only && (cycle == next_checkpoint || cycle == cycles)) {
       double avg_ms = total_ms / (cycle + 1);
       std::printf("| %8d | %18.6f | %18.3f |\n", cycle, avg_ms,
                   avg_ms * 1000.0);
       next_checkpoint *= 10;
     }
   }
-  const auto& stats = layer.generator().stats();
-  std::printf("\ncache hits=%llu misses=%llu  (paper: avg approaches ~1 ms "
-              "by 100000 cycles; shape = cold >> amortized)\n",
-              static_cast<unsigned long long>(stats.cache_hits),
-              static_cast<unsigned long long>(stats.cache_misses));
+  const auto stats = layer.generator().stats();
+  double amortized_us = total_ms / (cycles + 1) * 1000.0;
+  if (json_only) {
+    std::printf("{\"bench\": \"im_generation\", \"procedures\": %zu, "
+                "\"cycles\": %d, \"cold_ms\": %.3f, \"amortized_us\": %.3f, "
+                "\"cache_hits\": %llu, \"cache_misses\": %llu}\n",
+                layer.repository().size(), cycles, cold_ms, amortized_us,
+                static_cast<unsigned long long>(stats.cache_hits),
+                static_cast<unsigned long long>(stats.cache_misses));
+  } else {
+    std::printf("\ncache hits=%llu misses=%llu  (paper: avg approaches ~1 ms "
+                "by 100000 cycles; shape = cold >> amortized)\n",
+                static_cast<unsigned long long>(stats.cache_hits),
+                static_cast<unsigned long long>(stats.cache_misses));
+  }
   return 0;
 }

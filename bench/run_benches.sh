@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# PR-3 bench trajectory: runs bench_throughput (serialized-baseline
+# "before" rows and concurrent-pipeline "after" rows in one binary),
+# bench_im_generation, and bench_trace_overhead, then composes their
+# JSON outputs into a consolidated BENCH_3.json at the repo root.
+#
+# Usage: bench/run_benches.sh [build-dir] [--smoke]
+#   build-dir  defaults to <repo>/build
+#   --smoke    small rep counts (CI bit-rot check, numbers not meaningful)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$ROOT/build"
+SMOKE=0
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) SMOKE=1 ;;
+    *) BUILD="$arg" ;;
+  esac
+done
+BENCH_DIR="$BUILD/bench"
+
+for binary in bench_throughput bench_im_generation bench_trace_overhead; do
+  if [ ! -x "$BENCH_DIR/$binary" ]; then
+    echo "missing $BENCH_DIR/$binary — build the repo first" >&2
+    exit 1
+  fi
+done
+
+if [ "$SMOKE" = 1 ]; then
+  throughput_json="$("$BENCH_DIR/bench_throughput" --smoke --json)"
+  im_json="$("$BENCH_DIR/bench_im_generation" --json --cycles 2000)"
+else
+  throughput_json="$("$BENCH_DIR/bench_throughput" --json)"
+  im_json="$("$BENCH_DIR/bench_im_generation" --json)"
+fi
+trace_json="$("$BENCH_DIR/bench_trace_overhead")"
+
+OUT="$ROOT/BENCH_3.json"
+{
+  printf '{\n'
+  printf '  "pr": 3,\n'
+  printf '  "smoke": %s,\n' "$([ "$SMOKE" = 1 ] && echo true || echo false)"
+  printf '  "throughput": %s,\n' "$throughput_json"
+  printf '  "im_generation": %s,\n' "$im_json"
+  printf '  "trace_overhead": %s\n' "$trace_json"
+  printf '}\n'
+} > "$OUT"
+echo "wrote $OUT"

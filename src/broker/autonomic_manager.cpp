@@ -51,9 +51,9 @@ void AutonomicManager::on_event(const runtime::Event& event,
   const Symptom& symptom = symptoms_[symptom_index];
   Result<bool> holds = symptom.condition.evaluate_bool(*context_);
   if (!holds.ok() || !*holds) return;
-  ++detected_;
-  log_.push_back("symptom " + symptom.name + " on " + event.topic +
-                 " -> request " + symptom.change_request);
+  detected_.fetch_add(1, std::memory_order_relaxed);
+  log_entry("symptom " + symptom.name + " on " + event.topic +
+            " -> request " + symptom.change_request);
   Args args;
   args["event.topic"] = model::Value(event.topic);
   args["event.payload"] = event.payload;
@@ -70,9 +70,9 @@ Status AutonomicManager::raise_request(const std::string& request,
     if (plan.handles_request != request) continue;
     Result<bool> applicable = plan.guard.evaluate_bool(*context_);
     if (!applicable.ok() || !*applicable) continue;
-    ++adaptations_;
+    adaptations_.fetch_add(1, std::memory_order_relaxed);
     if (metrics_ != nullptr) metrics_->counter("autonomic.reactions").add();
-    log_.push_back("plan " + plan.name + " executing for " + request);
+    log_entry("plan " + plan.name + " executing for " + request);
     // Reactions are reached through bus subscriptions, so the request
     // that caused them is only visible as the ambient context; the span
     // lands in that request's trace (none when adapting spontaneously).

@@ -9,7 +9,9 @@
 // through the layer's step executor).
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -67,18 +69,23 @@ class AutonomicManager {
   Status raise_request(const std::string& request, const Args& args = {});
 
   [[nodiscard]] std::uint64_t adaptations() const noexcept {
-    return adaptations_;
+    return adaptations_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t symptoms_detected() const noexcept {
-    return detected_;
+    return detected_.load(std::memory_order_relaxed);
   }
-  [[nodiscard]] const std::vector<std::string>& adaptation_log()
-      const noexcept {
+  /// Copy of the adaptation log (events fire on request threads).
+  [[nodiscard]] std::vector<std::string> adaptation_log() const {
+    std::lock_guard lock(log_mutex_);
     return log_;
   }
 
  private:
   void on_event(const runtime::Event& event, std::size_t symptom_index);
+  void log_entry(std::string entry) {
+    std::lock_guard lock(log_mutex_);
+    log_.push_back(std::move(entry));
+  }
 
   runtime::EventBus* bus_;
   policy::ContextStore* context_;
@@ -87,8 +94,9 @@ class AutonomicManager {
   std::vector<Symptom> symptoms_;
   std::vector<ChangePlan> plans_;
   std::vector<std::uint64_t> subscriptions_;
-  std::uint64_t adaptations_ = 0;
-  std::uint64_t detected_ = 0;
+  std::atomic<std::uint64_t> adaptations_{0};
+  std::atomic<std::uint64_t> detected_{0};
+  mutable std::mutex log_mutex_;  ///< guards log_ only
   std::vector<std::string> log_;
 };
 

@@ -1,3 +1,5 @@
+#include <mutex>
+
 #include "broker/broker_layer.hpp"
 
 #include "common/log.hpp"
@@ -20,6 +22,7 @@ BrokerLayer::BrokerLayer(std::string name, runtime::EventBus& bus,
 
 Status BrokerLayer::register_action(Action action) {
   const std::string name = action.name;
+  std::unique_lock lock(config_mutex_);
   auto [it, inserted] = actions_.emplace(name, std::move(action));
   if (!inserted) {
     return AlreadyExists("action '" + name + "' already registered");
@@ -29,6 +32,7 @@ Status BrokerLayer::register_action(Action action) {
 
 Status BrokerLayer::bind_handler(const std::string& signal,
                                  std::vector<std::string> action_names) {
+  std::unique_lock lock(config_mutex_);
   for (const std::string& action_name : action_names) {
     if (!actions_.contains(action_name)) {
       return NotFound("handler for '" + signal + "' binds unknown action '" +
@@ -45,6 +49,9 @@ Status BrokerLayer::bind_handler(const std::string& signal,
 
 Result<const Action*> BrokerLayer::select_action(
     const std::string& signal) const {
+  // Select under the shared lock; the returned pointer stays valid after
+  // release because actions are never removed (node-based map).
+  std::shared_lock lock(config_mutex_);
   auto it = handlers_.find(signal);
   if (it == handlers_.end()) {
     return NotFound("broker '" + name() + "' has no handler for signal '" +
@@ -78,7 +85,7 @@ Result<model::Value> BrokerLayer::call(const Call& call,
                                        obs::RequestContext& context) {
   obs::ContextScope ambient(context);
   obs::ScopedSpan span(context, "broker.call", call.name);
-  ++calls_handled_;
+  calls_handled_.fetch_add(1, std::memory_order_relaxed);
   if (metrics_ != nullptr) metrics_->counter("broker.calls").add();
   if (Status deadline = context.check_deadline("broker"); !deadline.ok()) {
     return deadline;
@@ -93,7 +100,7 @@ Result<model::Value> BrokerLayer::call(const Call& call,
 Status BrokerLayer::handle_event(const std::string& topic,
                                  model::Value payload,
                                  obs::RequestContext& context) {
-  ++events_handled_;
+  events_handled_.fetch_add(1, std::memory_order_relaxed);
   Result<const Action*> action = select_action(topic);
   if (!action.ok()) {
     // Unhandled events are not errors: layers subscribe selectively.

@@ -7,8 +7,10 @@
 // assembler targets and what tests drive directly.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -45,7 +47,8 @@ class BrokerLayer final : public runtime::Component, public BrokerApi {
   [[nodiscard]] policy::ContextStore& context() noexcept { return *context_; }
   [[nodiscard]] runtime::EventBus& bus() noexcept { return *bus_; }
 
-  [[nodiscard]] std::size_t action_count() const noexcept {
+  [[nodiscard]] std::size_t action_count() const {
+    std::shared_lock lock(config_mutex_);
     return actions_.size();
   }
 
@@ -89,10 +92,10 @@ class BrokerLayer final : public runtime::Component, public BrokerApi {
   // -- statistics
 
   [[nodiscard]] std::uint64_t calls_handled() const noexcept {
-    return calls_handled_;
+    return calls_handled_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t events_handled() const noexcept {
-    return events_handled_;
+    return events_handled_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -106,10 +109,14 @@ class BrokerLayer final : public runtime::Component, public BrokerApi {
   policy::PolicySet policies_;
   ResourceManager resources_;
   std::unique_ptr<AutonomicManager> autonomic_;
+  /// Reader/writer lock over the action/handler maps: calls select under
+  /// the shared side, registration takes the exclusive side. Action
+  /// nodes are never removed, so selected pointers outlive the lock.
+  mutable std::shared_mutex config_mutex_;
   std::map<std::string, Action, std::less<>> actions_;
   std::map<std::string, Handler, std::less<>> handlers_;
-  std::uint64_t calls_handled_ = 0;
-  std::uint64_t events_handled_ = 0;
+  std::atomic<std::uint64_t> calls_handled_{0};
+  std::atomic<std::uint64_t> events_handled_{0};
 };
 
 }  // namespace mdsm::broker

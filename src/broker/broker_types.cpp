@@ -26,7 +26,10 @@ Result<model::Value> require_arg(const Args& args, std::string_view key,
 
 void CommandTrace::record(const std::string& resource,
                           const std::string& command, const Args& args) {
-  entries_.push_back(resource + "." + format_invocation(command, args));
+  // Format outside the lock; only the append is serialized.
+  std::string entry = resource + "." + format_invocation(command, args);
+  std::lock_guard lock(mutex_);
+  entries_.push_back(std::move(entry));
 }
 
 }  // namespace mdsm::broker

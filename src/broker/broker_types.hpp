@@ -8,6 +8,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -35,7 +36,9 @@ Result<model::Value> require_arg(const Args& args, std::string_view key,
                                  std::string_view op);
 
 /// Append-only record of resource commands, used for equivalence checks
-/// and performance accounting.
+/// and performance accounting. record()/size()/clear() are safe under
+/// concurrent execution; entries() hands out the underlying vector and is
+/// for quiescent inspection (equivalence checks after the run).
 class CommandTrace {
  public:
   void record(const std::string& resource, const std::string& command,
@@ -44,15 +47,24 @@ class CommandTrace {
   [[nodiscard]] const std::vector<std::string>& entries() const noexcept {
     return entries_;
   }
-  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
-  void clear() { entries_.clear(); }
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return entries_.size();
+  }
+  void clear() {
+    std::lock_guard lock(mutex_);
+    entries_.clear();
+  }
 
   /// Exact sequence equality — the paper's behavioral-equivalence test.
   friend bool operator==(const CommandTrace& a, const CommandTrace& b) {
+    if (&a == &b) return true;
+    std::scoped_lock lock(a.mutex_, b.mutex_);
     return a.entries_ == b.entries_;
   }
 
  private:
+  mutable std::mutex mutex_;
   std::vector<std::string> entries_;
 };
 

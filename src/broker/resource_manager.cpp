@@ -1,3 +1,5 @@
+#include <mutex>
+
 #include "broker/resource_manager.hpp"
 
 #include "common/log.hpp"
@@ -7,6 +9,7 @@ namespace mdsm::broker {
 Status ResourceManager::add_adapter(std::unique_ptr<ResourceAdapter> adapter) {
   if (adapter == nullptr) return InvalidArgument("null resource adapter");
   const std::string name = adapter->name();
+  std::unique_lock lock(mutex_);
   if (adapters_.contains(name)) {
     return AlreadyExists("resource adapter '" + name + "' already present");
   }
@@ -15,23 +18,26 @@ Status ResourceManager::add_adapter(std::unique_ptr<ResourceAdapter> adapter) {
       [bus = bus_, name](const std::string& topic, model::Value payload) {
         bus->publish("resource." + topic, name, std::move(payload));
       });
-  adapters_[name] = std::move(adapter);
+  adapters_[name] = std::shared_ptr<ResourceAdapter>(std::move(adapter));
   return Status::Ok();
 }
 
 Status ResourceManager::remove_adapter(const std::string& name) {
+  std::unique_lock lock(mutex_);
   if (adapters_.erase(name) == 0) {
     return NotFound("resource adapter '" + name + "' not present");
   }
   return Status::Ok();
 }
 
-ResourceAdapter* ResourceManager::find_adapter(std::string_view name) noexcept {
+ResourceAdapter* ResourceManager::find_adapter(std::string_view name) {
+  std::shared_lock lock(mutex_);
   auto it = adapters_.find(name);
   return it == adapters_.end() ? nullptr : it->second.get();
 }
 
 std::vector<std::string> ResourceManager::adapter_names() const {
+  std::shared_lock lock(mutex_);
   std::vector<std::string> names;
   names.reserve(adapters_.size());
   for (const auto& [name, adapter] : adapters_) names.push_back(name);
@@ -41,9 +47,19 @@ std::vector<std::string> ResourceManager::adapter_names() const {
 Result<model::Value> ResourceManager::invoke(const std::string& resource,
                                              const std::string& command,
                                              const Args& args) {
-  auto it = adapters_.find(resource);
-  if (it == adapters_.end()) {
-    return NotFound("no resource adapter '" + resource + "'");
+  // Pin the adapter under a brief shared lock, execute unlocked: a
+  // concurrent remove_adapter() unregisters immediately while this call
+  // finishes on the pinned instance, and an adapter that re-enters
+  // invoke() through the bus (event → autonomic plan → kInvoke) cannot
+  // self-deadlock on the map lock.
+  std::shared_ptr<ResourceAdapter> adapter;
+  {
+    std::shared_lock lock(mutex_);
+    auto it = adapters_.find(resource);
+    if (it == adapters_.end()) {
+      return NotFound("no resource adapter '" + resource + "'");
+    }
+    adapter = it->second;
   }
   trace_.record(resource, command, args);
   if (commands_counter_ != nullptr) commands_counter_->add();
@@ -54,7 +70,7 @@ Result<model::Value> ResourceManager::invoke(const std::string& resource,
   // through the controller's EU stack (which would strand queued signals
   // for the next request to pick up).
   try {
-    return it->second->execute(command, args);
+    return adapter->execute(command, args);
   } catch (const std::exception& e) {
     if (exceptions_counter_ != nullptr) exceptions_counter_->add();
     log_error("resource-manager")

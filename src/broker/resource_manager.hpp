@@ -8,6 +8,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -53,8 +54,13 @@ class ResourceManager {
   explicit ResourceManager(runtime::EventBus& bus) : bus_(&bus) {}
 
   Status add_adapter(std::unique_ptr<ResourceAdapter> adapter);
+  /// Unregisters immediately; in-flight invoke()s finish on the pinned
+  /// adapter (shared ownership), new ones get NotFound.
   Status remove_adapter(const std::string& name);
-  [[nodiscard]] ResourceAdapter* find_adapter(std::string_view name) noexcept;
+  /// Borrowed pointer; may dangle across a concurrent remove_adapter().
+  /// Steady-state invocation goes through invoke(), which pins the
+  /// adapter for the duration of the call.
+  [[nodiscard]] ResourceAdapter* find_adapter(std::string_view name);
   [[nodiscard]] std::vector<std::string> adapter_names() const;
 
   /// Issue a command to a named resource; records the trace entry
@@ -85,7 +91,15 @@ class ResourceManager {
   runtime::EventBus* bus_;
   obs::Counter* commands_counter_ = nullptr;
   obs::Counter* exceptions_counter_ = nullptr;
-  std::map<std::string, std::unique_ptr<ResourceAdapter>, std::less<>>
+  /// Reader/writer lock over the adapter map only — never held across
+  /// adapter execution (an adapter event can re-enter invoke() on the
+  /// same thread via the bus and the autonomic manager, so holding the
+  /// lock through execute() would self-deadlock). invoke() copies the
+  /// shared_ptr under the shared side and executes unlocked; concurrent
+  /// commands to the same adapter overlap (adapters synchronize
+  /// internally as needed).
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, std::shared_ptr<ResourceAdapter>, std::less<>>
       adapters_;
   CommandTrace trace_;
 };

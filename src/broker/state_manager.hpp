@@ -4,6 +4,7 @@
 // variable store for cheap bookkeeping.
 #pragma once
 
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -11,14 +12,21 @@
 
 namespace mdsm::broker {
 
+/// Value accessors (set/get/has/erase and set_runtime_model) are safe
+/// under concurrent execution. The runtime_model() reference accessors
+/// hand out the stored model for in-place manipulation and are for
+/// quiescent use (tests, single-threaded domain code).
 class StateManager {
  public:
   /// Install/replace the runtime model. Usually set by the platform
-  /// assembler with an empty model of the application DSML metamodel.
+  /// assembler with an empty model of the application DSML metamodel;
+  /// re-set on every commit by the synthesis model listener.
   void set_runtime_model(model::Model model) {
+    std::lock_guard lock(mutex_);
     runtime_model_ = std::move(model);
   }
-  [[nodiscard]] bool has_runtime_model() const noexcept {
+  [[nodiscard]] bool has_runtime_model() const {
+    std::lock_guard lock(mutex_);
     return runtime_model_.has_value();
   }
   [[nodiscard]] model::Model& runtime_model() { return *runtime_model_; }
@@ -28,21 +36,29 @@ class StateManager {
 
   /// Scalar state variables (session counters, flags, ...).
   void set(const std::string& key, model::Value value) {
+    std::lock_guard lock(mutex_);
     variables_[key] = std::move(value);
   }
   [[nodiscard]] model::Value get(std::string_view key) const {
+    std::lock_guard lock(mutex_);
     auto it = variables_.find(key);
     return it == variables_.end() ? model::Value{} : it->second;
   }
   [[nodiscard]] bool has(std::string_view key) const {
+    std::lock_guard lock(mutex_);
     return variables_.contains(key);
   }
-  void erase(const std::string& key) { variables_.erase(key); }
-  [[nodiscard]] std::size_t variable_count() const noexcept {
+  void erase(const std::string& key) {
+    std::lock_guard lock(mutex_);
+    variables_.erase(key);
+  }
+  [[nodiscard]] std::size_t variable_count() const {
+    std::lock_guard lock(mutex_);
     return variables_.size();
   }
 
  private:
+  mutable std::mutex mutex_;
   std::optional<model::Model> runtime_model_;
   std::map<std::string, model::Value, std::less<>> variables_;
 };

@@ -32,6 +32,7 @@ Status ControllerLayer::add_procedure(Procedure procedure) {
 
 Status ControllerLayer::register_action(ControllerAction action) {
   const std::string name = action.name;
+  std::unique_lock lock(config_mutex_);
   auto [it, inserted] = actions_.emplace(name, std::move(action));
   if (!inserted) {
     return AlreadyExists("controller action '" + name +
@@ -42,6 +43,7 @@ Status ControllerLayer::register_action(ControllerAction action) {
 
 Status ControllerLayer::bind_action(const std::string& command,
                                     std::vector<std::string> action_names) {
+  std::unique_lock lock(config_mutex_);
   for (const std::string& action_name : action_names) {
     if (!actions_.contains(action_name)) {
       return NotFound("binding for '" + command + "' names unknown action '" +
@@ -61,6 +63,7 @@ Status ControllerLayer::map_command(const std::string& command,
     return NotFound("command '" + command + "' mapped to unknown DSC '" +
                     dsc + "'");
   }
+  std::unique_lock lock(config_mutex_);
   command_dsc_[command] = dsc;
   return Status::Ok();
 }
@@ -73,8 +76,11 @@ void ControllerLayer::attach_event_topic(const std::string& topic) {
         signal.name = event.topic;
         signal.args["event.payload"] = event.payload;
         signal.args["event.source"] = model::Value(event.source);
-        queue_.push_back(std::move(signal));
-        ++stats_.signals_received;
+        {
+          std::lock_guard lock(queue_mutex_);
+          queue_.push_back(std::move(signal));
+        }
+        stats_.signals_received.fetch_add(1, std::memory_order_relaxed);
       }));
 }
 
@@ -86,8 +92,11 @@ Status ControllerLayer::submit_script(const ControlScript& script,
     signal.kind = SignalKind::kCall;
     signal.name = command.name;
     signal.args = command.args;
-    queue_.push_back(std::move(signal));
-    ++stats_.signals_received;
+    {
+      std::lock_guard lock(queue_mutex_);
+      queue_.push_back(std::move(signal));
+    }
+    stats_.signals_received.fetch_add(1, std::memory_order_relaxed);
     if (metrics_ != nullptr) metrics_->counter("controller.signals").add();
   }
   return Status::Ok();
@@ -98,8 +107,35 @@ Status ControllerLayer::submit_command(Command command) {
   signal.kind = SignalKind::kCall;
   signal.name = std::move(command.name);
   signal.args = std::move(command.args);
-  queue_.push_back(std::move(signal));
-  ++stats_.signals_received;
+  {
+    std::lock_guard lock(queue_mutex_);
+    queue_.push_back(std::move(signal));
+  }
+  stats_.signals_received.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status ControllerLayer::execute_script(const ControlScript& script,
+                                       obs::RequestContext& context) {
+  obs::ContextScope ambient(context);
+  obs::ScopedSpan span(context, "controller.script",
+                       std::to_string(script.commands.size()) + " commands");
+  MDSM_RETURN_IF_ERROR(context.check_deadline("controller"));
+  for (const Command& command : script.commands) {
+    stats_.signals_received.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_ != nullptr) metrics_->counter("controller.signals").add();
+    obs::ScopedSpan signal_span(context, "controller.signal", command.name);
+    Result<model::Value> outcome = execute_command(command, context);
+    if (!outcome.ok()) {
+      stats_.errors.fetch_add(1, std::memory_order_relaxed);
+      if (metrics_ != nullptr) metrics_->counter("controller.errors").add();
+      bus_->publish("controller.error", name(),
+                    model::Value(command.to_text() + ": " +
+                                 outcome.status().to_string()));
+    }
+  }
+  // Drain event signals the executions raised (kEmit → subscribed topic).
+  process_pending(context);
   return Status::Ok();
 }
 
@@ -107,32 +143,44 @@ std::size_t ControllerLayer::process_pending(obs::RequestContext& context) {
   obs::ContextScope ambient(context);
   std::size_t processed = 0;
   // Signals enqueued during processing (events raised by executions) are
-  // drained too, up to a sanity bound.
+  // drained too, up to a sanity bound. Pop one signal per lock hold:
+  // executions themselves run unlocked, so concurrent drainers interleave
+  // instead of serializing on the queue.
   constexpr std::size_t kMaxBatch = 100000;
-  while (!queue_.empty() && processed < kMaxBatch) {
-    Signal signal = std::move(queue_.front());
-    queue_.pop_front();
+  while (processed < kMaxBatch) {
+    Signal signal;
+    {
+      std::lock_guard lock(queue_mutex_);
+      if (queue_.empty()) break;
+      signal = std::move(queue_.front());
+      queue_.pop_front();
+    }
     ++processed;
     obs::ScopedSpan span(context, "controller.signal", signal.name);
     if (signal.kind == SignalKind::kCall) {
       Command command{signal.name, std::move(signal.args)};
       Result<model::Value> outcome = execute_command(command, context);
       if (!outcome.ok()) {
-        ++stats_.errors;
+        stats_.errors.fetch_add(1, std::memory_order_relaxed);
         if (metrics_ != nullptr) metrics_->counter("controller.errors").add();
         bus_->publish("controller.error", name(),
                       model::Value(command.to_text() + ": " +
                                    outcome.status().to_string()));
       }
     } else {
-      ++stats_.events_handled;
+      stats_.events_handled.fetch_add(1, std::memory_order_relaxed);
       // Events are handled by Case-1 actions bound to the topic; an
       // unbound event is simply observed (layers subscribe selectively).
-      if (bindings_.contains(signal.name)) {
+      bool bound;
+      {
+        std::shared_lock lock(config_mutex_);
+        bound = bindings_.contains(signal.name);
+      }
+      if (bound) {
         Command command{signal.name, std::move(signal.args)};
         Result<model::Value> outcome = execute_case1(command, context);
         if (!outcome.ok()) {
-          ++stats_.errors;
+          stats_.errors.fetch_add(1, std::memory_order_relaxed);
           if (metrics_ != nullptr) {
             metrics_->counter("controller.errors").add();
           }
@@ -148,13 +196,13 @@ std::size_t ControllerLayer::process_pending(obs::RequestContext& context) {
 
 Result<ControllerLayer::Case> ControllerLayer::classify(
     const Command& command) const {
-  // Domain policies see the command name as a transient context variable.
-  // The context is logically const here; the transient is removed before
-  // returning (single-threaded command processing by design).
-  auto* mutable_context = const_cast<policy::ContextStore*>(context_);
-  mutable_context->set("command.name", model::Value(command.name));
-  auto decision = classification_policies_.evaluate(*context_);
-  mutable_context->erase("command.name");
+  // Domain policies see the command name as a transient *overlay* binding
+  // — the shared context store itself is untouched, so concurrent
+  // classifications neither race each other nor churn the context
+  // version the IM cache keys on.
+  policy::ContextOverlay view(*context_);
+  view.bind("command.name", model::Value(command.name));
+  auto decision = classification_policies_.evaluate(view);
   if (decision.has_value()) {
     if (decision->decision == "case1") return Case::kCase1;
     if (decision->decision == "case2") return Case::kCase2;
@@ -163,10 +211,12 @@ Result<ControllerLayer::Case> ControllerLayer::classify(
   }
   // Defaults: a bound action wins; otherwise a DSC mapping (or a DSC
   // named like the command) selects dynamic generation.
-  if (bindings_.contains(command.name)) return Case::kCase1;
-  if (command_dsc_.contains(command.name) || dscs_.contains(command.name)) {
-    return Case::kCase2;
+  {
+    std::shared_lock lock(config_mutex_);
+    if (bindings_.contains(command.name)) return Case::kCase1;
+    if (command_dsc_.contains(command.name)) return Case::kCase2;
   }
+  if (dscs_.contains(command.name)) return Case::kCase2;
   return NotFound("command '" + command.name +
                   "' has neither a bound action nor a DSC mapping");
 }
@@ -185,25 +235,30 @@ SelectionStrategy ControllerLayer::selection_strategy() const {
 
 Result<model::Value> ControllerLayer::execute_case1(
     const Command& command, obs::RequestContext& context) {
-  auto it = bindings_.find(command.name);
-  if (it == bindings_.end()) {
-    return NotFound("no action bound to command '" + command.name + "'");
-  }
+  // Select under the shared lock, execute outside it (action nodes are
+  // never removed, so `best` stays valid after release).
   const ControllerAction* best = nullptr;
-  for (const std::string& action_name : it->second) {
-    auto action_it = actions_.find(action_name);
-    if (action_it == actions_.end()) continue;
-    const ControllerAction& action = action_it->second;
-    Result<bool> applicable = action.guard.evaluate_bool(*context_);
-    if (!applicable.ok() || !*applicable) continue;
-    if (best == nullptr || action.priority > best->priority) best = &action;
+  {
+    std::shared_lock lock(config_mutex_);
+    auto it = bindings_.find(command.name);
+    if (it == bindings_.end()) {
+      return NotFound("no action bound to command '" + command.name + "'");
+    }
+    for (const std::string& action_name : it->second) {
+      auto action_it = actions_.find(action_name);
+      if (action_it == actions_.end()) continue;
+      const ControllerAction& action = action_it->second;
+      Result<bool> applicable = action.guard.evaluate_bool(*context_);
+      if (!applicable.ok() || !*applicable) continue;
+      if (best == nullptr || action.priority > best->priority) best = &action;
+    }
   }
   if (best == nullptr) {
     return FailedPrecondition("no applicable action for command '" +
                               command.name + "' in current context");
   }
-  ++stats_.case1_executions;
-  ++stats_.commands_executed;
+  stats_.case1_executions.fetch_add(1, std::memory_order_relaxed);
+  stats_.commands_executed.fetch_add(1, std::memory_order_relaxed);
   if (metrics_ != nullptr) {
     metrics_->counter("controller.case1").add();
     metrics_->counter("controller.commands").add();
@@ -213,9 +268,12 @@ Result<model::Value> ControllerLayer::execute_case1(
 
 Result<model::Value> ControllerLayer::execute_case2(
     const Command& command, obs::RequestContext& context) {
-  auto it = command_dsc_.find(command.name);
-  const std::string& dsc =
-      it != command_dsc_.end() ? it->second : command.name;
+  std::string dsc;
+  {
+    std::shared_lock lock(config_mutex_);
+    auto it = command_dsc_.find(command.name);
+    dsc = it != command_dsc_.end() ? it->second : command.name;
+  }
   if (!dscs_.contains(dsc)) {
     return NotFound("command '" + command.name + "' resolves to unknown DSC '" +
                     dsc + "'");
@@ -223,8 +281,8 @@ Result<model::Value> ControllerLayer::execute_case2(
   Result<IntentModelPtr> intent_model =
       generator_.generate_cached(dsc, selection_strategy());
   if (!intent_model.ok()) return intent_model.status();
-  ++stats_.case2_executions;
-  ++stats_.commands_executed;
+  stats_.case2_executions.fetch_add(1, std::memory_order_relaxed);
+  stats_.commands_executed.fetch_add(1, std::memory_order_relaxed);
   if (metrics_ != nullptr) {
     metrics_->counter("controller.case2").add();
     metrics_->counter("controller.commands").add();
@@ -242,6 +300,26 @@ Result<model::Value> ControllerLayer::execute_command(
                           << (*which == Case::kCase1 ? "case1" : "case2");
   return *which == Case::kCase1 ? execute_case1(command, context)
                                 : execute_case2(command, context);
+}
+
+ControllerStats ControllerLayer::stats() const {
+  ControllerStats out;
+  out.signals_received =
+      stats_.signals_received.load(std::memory_order_relaxed);
+  out.commands_executed =
+      stats_.commands_executed.load(std::memory_order_relaxed);
+  out.case1_executions =
+      stats_.case1_executions.load(std::memory_order_relaxed);
+  out.case2_executions =
+      stats_.case2_executions.load(std::memory_order_relaxed);
+  out.errors = stats_.errors.load(std::memory_order_relaxed);
+  out.events_handled = stats_.events_handled.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::size_t ControllerLayer::queued() const {
+  std::lock_guard lock(queue_mutex_);
+  return queue_.size();
 }
 
 }  // namespace mdsm::controller

@@ -13,9 +13,12 @@
 // policies and context information."
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -122,6 +125,18 @@ class ControllerLayer final : public runtime::Component {
   }
   Status submit_command(Command command);
 
+  /// Execute every command of a script inline on the calling thread —
+  /// the parallel phase of the request pipeline. Each command runs under
+  /// its own "controller.signal" span with the same error containment as
+  /// process_pending() (errors are counted and published, not returned),
+  /// then any event signals raised by the executions are drained.
+  /// Safe to call concurrently from many request threads.
+  Status execute_script(const ControlScript& script,
+                        obs::RequestContext& context);
+  Status execute_script(const ControlScript& script) {
+    return execute_script(script, obs::RequestContext::noop());
+  }
+
   /// Drain the signal queue; returns the number of signals processed.
   /// Errors are counted and published as "controller.error" events, not
   /// thrown — one bad command must not wedge the queue. Each drained
@@ -138,10 +153,10 @@ class ControllerLayer final : public runtime::Component {
     return execute_command(command, obs::RequestContext::noop());
   }
 
-  [[nodiscard]] const ControllerStats& stats() const noexcept {
-    return stats_;
-  }
-  [[nodiscard]] std::size_t queued() const noexcept { return queue_.size(); }
+  /// Snapshot of the counters (each exact; cross-counter sums may tear
+  /// momentarily while requests are in flight).
+  [[nodiscard]] ControllerStats stats() const;
+  [[nodiscard]] std::size_t queued() const;
 
  private:
   enum class Case { kCase1, kCase2 };
@@ -163,12 +178,26 @@ class ControllerLayer final : public runtime::Component {
   ExecutionEngine engine_;
   policy::PolicySet classification_policies_;
   policy::PolicySet selection_policies_;
+  /// Guards the configuration maps below. Configuration happens at
+  /// assembly/model-load time but may race steady-state classification;
+  /// lookups take the shared side. ControllerAction nodes are never
+  /// removed, so pointers into actions_ stay valid outside the lock.
+  mutable std::shared_mutex config_mutex_;
   std::map<std::string, ControllerAction, std::less<>> actions_;
   std::map<std::string, std::vector<std::string>, std::less<>> bindings_;
   std::map<std::string, std::string, std::less<>> command_dsc_;
+  mutable std::mutex queue_mutex_;  ///< guards queue_ only
   std::deque<Signal> queue_;
   std::vector<std::uint64_t> subscriptions_;
-  ControllerStats stats_;
+  struct AtomicStats {
+    std::atomic<std::uint64_t> signals_received{0};
+    std::atomic<std::uint64_t> commands_executed{0};
+    std::atomic<std::uint64_t> case1_executions{0};
+    std::atomic<std::uint64_t> case2_executions{0};
+    std::atomic<std::uint64_t> errors{0};
+    std::atomic<std::uint64_t> events_handled{0};
+  };
+  mutable AtomicStats stats_;
 };
 
 }  // namespace mdsm::controller

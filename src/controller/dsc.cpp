@@ -1,3 +1,5 @@
+#include <mutex>
+
 #include "controller/dsc.hpp"
 
 #include "common/strings.hpp"
@@ -16,32 +18,41 @@ Status DscRegistry::add(Dsc dsc) {
   if (!is_identifier(dsc.name)) {
     return InvalidArgument("'" + dsc.name + "' is not a valid DSC name");
   }
+  std::unique_lock lock(mutex_);
   auto [it, inserted] = dscs_.emplace(dsc.name, std::move(dsc));
   if (!inserted) {
     return AlreadyExists("DSC '" + it->first + "' already registered");
   }
-  ++version_;
+  version_.fetch_add(1, std::memory_order_release);
   return Status::Ok();
 }
 
 Status DscRegistry::remove(std::string_view name) {
+  std::unique_lock lock(mutex_);
   auto it = dscs_.find(name);
   if (it == dscs_.end()) {
     return NotFound("DSC '" + std::string(name) + "' is not registered");
   }
   dscs_.erase(it);
-  ++version_;
+  version_.fetch_add(1, std::memory_order_release);
   return Status::Ok();
 }
 
-const Dsc* DscRegistry::find(std::string_view name) const noexcept {
+const Dsc* DscRegistry::find(std::string_view name) const {
+  std::shared_lock lock(mutex_);
   auto it = dscs_.find(name);
   return it == dscs_.end() ? nullptr : &it->second;
+}
+
+std::size_t DscRegistry::size() const {
+  std::shared_lock lock(mutex_);
+  return dscs_.size();
 }
 
 std::vector<std::string> DscRegistry::in_category(
     std::string_view category) const {
   std::vector<std::string> out;
+  std::shared_lock lock(mutex_);
   for (const auto& [name, dsc] : dscs_) {
     if (dsc.category == category) out.push_back(name);
   }
@@ -49,6 +60,7 @@ std::vector<std::string> DscRegistry::in_category(
 }
 
 std::vector<std::string> DscRegistry::names() const {
+  std::shared_lock lock(mutex_);
   std::vector<std::string> out;
   out.reserve(dscs_.size());
   for (const auto& [name, dsc] : dscs_) out.push_back(name);

@@ -7,9 +7,15 @@
 // registry is the domain's classifier vocabulary, shared by procedures
 // (which are classified by exactly one DSC) and by the intent-model
 // generator (which matches dependencies to classifiers).
+//
+// Concurrency: lookups take a shared lock so any number of request
+// threads can classify/generate in parallel; add()/remove() take the
+// exclusive lock and bump the version stamp caches key on.
 #pragma once
 
+#include <atomic>
 #include <map>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -34,16 +40,30 @@ class DscRegistry {
   /// Withdraw a classifier from the vocabulary. Procedures classified by
   /// it stay in the repository but fail IM validation from then on.
   Status remove(std::string_view name);
-  [[nodiscard]] const Dsc* find(std::string_view name) const noexcept;
-  [[nodiscard]] bool contains(std::string_view name) const noexcept {
+  /// Pointer into the registry; stable while the DSC stays registered
+  /// (node-based map). Callers that may race with remove() should copy
+  /// what they need instead of holding the pointer.
+  [[nodiscard]] const Dsc* find(std::string_view name) const;
+  [[nodiscard]] bool contains(std::string_view name) const {
     return find(name) != nullptr;
   }
-  [[nodiscard]] std::size_t size() const noexcept { return dscs_.size(); }
+  [[nodiscard]] std::size_t size() const;
 
   /// Monotone counter bumped on every successful add()/remove() — lets
   /// the IM cache detect vocabulary drift the same way it tracks context
   /// and repository versions.
-  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+  [[nodiscard]] std::uint64_t version() const noexcept {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  /// Visit every DSC in name order without materializing a copy. Runs
+  /// under the registry's shared lock: the visitor must not call
+  /// mutating registry methods (self-deadlock) and should be cheap.
+  template <typename Visitor>
+  void for_each(Visitor&& visit) const {
+    std::shared_lock lock(mutex_);
+    for (const auto& [name, dsc] : dscs_) visit(dsc);
+  }
 
   /// All classifier names in a category, sorted.
   [[nodiscard]] std::vector<std::string> in_category(
@@ -53,8 +73,9 @@ class DscRegistry {
   [[nodiscard]] std::vector<std::string> names() const;
 
  private:
+  mutable std::shared_mutex mutex_;
   std::map<std::string, Dsc, std::less<>> dscs_;
-  std::uint64_t version_ = 0;
+  std::atomic<std::uint64_t> version_{0};
 };
 
 }  // namespace mdsm::controller

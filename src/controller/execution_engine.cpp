@@ -81,7 +81,7 @@ Result<model::Value> ExecutionEngine::execute_flat(
 Result<model::Value> ExecutionEngine::run(Frame initial,
                                           const broker::Args& command_args,
                                           obs::RequestContext& context) {
-  ++stats_.executions;
+  stats_.executions.fetch_add(1, std::memory_order_relaxed);
   if (metrics_ != nullptr) metrics_->counter("controller.eu_executions").add();
   // One "controller.eu" span per procedure frame. The root frame's span is
   // scoped to the whole run so error returns close-through any spans left
@@ -94,7 +94,13 @@ Result<model::Value> ExecutionEngine::run(Frame initial,
   model::Value result;
   std::size_t steps = 0;
   while (!stack.empty()) {
-    stats_.max_stack_depth = std::max(stats_.max_stack_depth, stack.size());
+    // Atomic running-max: CAS loop so concurrent runs never regress it.
+    std::size_t depth = stack.size();
+    std::size_t seen = stats_.max_stack_depth.load(std::memory_order_relaxed);
+    while (depth > seen &&
+           !stats_.max_stack_depth.compare_exchange_weak(
+               seen, depth, std::memory_order_relaxed)) {
+    }
     Frame& frame = stack.back();
     // Fetch the next instruction of the top frame; an exhausted frame
     // "signals that it has completed its operation" and is popped.
@@ -124,7 +130,7 @@ Result<model::Value> ExecutionEngine::run(Frame initial,
       return ExecutionError("execution exceeded " +
                             std::to_string(config_.max_steps) + " steps");
     }
-    ++stats_.instructions;
+    stats_.instructions.fetch_add(1, std::memory_order_relaxed);
     switch (instruction->op) {
       case OpCode::kNoop:
         break;
@@ -138,7 +144,7 @@ Result<model::Value> ExecutionEngine::run(Frame initial,
         break;
       }
       case OpCode::kBrokerCall: {
-        ++stats_.broker_calls;
+        stats_.broker_calls.fetch_add(1, std::memory_order_relaxed);
         if (metrics_ != nullptr) {
           metrics_->counter("controller.broker_calls").add();
         }
@@ -174,7 +180,7 @@ Result<model::Value> ExecutionEngine::run(Frame initial,
         if (stack.size() >= config_.max_stack_depth) {
           return ExecutionError("procedure stack overflow");
         }
-        ++stats_.procedure_pushes;
+        stats_.procedure_pushes.fetch_add(1, std::memory_order_relaxed);
         Frame child{};
         child.node = frame.node->children[index].get();
         child.span = context.open_span("controller.eu",
@@ -240,6 +246,26 @@ Result<model::Value> ExecutionEngine::run(Frame initial,
     }
   }
   return result;
+}
+
+EngineStats ExecutionEngine::stats() const {
+  EngineStats out;
+  out.instructions = stats_.instructions.load(std::memory_order_relaxed);
+  out.broker_calls = stats_.broker_calls.load(std::memory_order_relaxed);
+  out.procedure_pushes =
+      stats_.procedure_pushes.load(std::memory_order_relaxed);
+  out.max_stack_depth =
+      stats_.max_stack_depth.load(std::memory_order_relaxed);
+  out.executions = stats_.executions.load(std::memory_order_relaxed);
+  return out;
+}
+
+void ExecutionEngine::reset_stats() {
+  stats_.instructions.store(0, std::memory_order_relaxed);
+  stats_.broker_calls.store(0, std::memory_order_relaxed);
+  stats_.procedure_pushes.store(0, std::memory_order_relaxed);
+  stats_.max_stack_depth.store(0, std::memory_order_relaxed);
+  stats_.executions.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace mdsm::controller

@@ -12,6 +12,7 @@
 // plus kBrokerCall, the downward API into the Broker layer.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <mutex>
@@ -91,8 +92,10 @@ class ExecutionEngine {
     memory_.clear();
   }
 
-  [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
-  void reset_stats() { stats_ = {}; }
+  /// Snapshot of the counters (each exact; cross-counter sums may tear
+  /// momentarily under concurrent executions).
+  [[nodiscard]] EngineStats stats() const;
+  void reset_stats();
 
  private:
   struct Frame {
@@ -120,7 +123,14 @@ class ExecutionEngine {
   EngineConfig config_;
   mutable std::mutex memory_mutex_;  ///< guards memory_ only
   std::map<std::string, model::Value, std::less<>> memory_;
-  EngineStats stats_;
+  struct AtomicStats {
+    std::atomic<std::uint64_t> instructions{0};
+    std::atomic<std::uint64_t> broker_calls{0};
+    std::atomic<std::uint64_t> procedure_pushes{0};
+    std::atomic<std::size_t> max_stack_depth{0};
+    std::atomic<std::uint64_t> executions{0};
+  };
+  AtomicStats stats_;
 };
 
 }  // namespace mdsm::controller

@@ -58,25 +58,30 @@ IntentModelGenerator::IntentModelGenerator(
       config_(config) {}
 
 void IntentModelGenerator::enumerate(
-    const std::string& dsc, std::vector<std::string>& path,
-    std::vector<std::unique_ptr<IntentModelNode>>& out, std::size_t bound) {
+    std::string_view dsc, std::vector<std::string_view>& path,
+    std::vector<std::unique_ptr<IntentModelNode>>& out,
+    std::vector<ProcedurePtr>& pins, std::size_t bound) {
   if (out.size() >= bound) return;
   if (path.size() >= config_.max_depth) return;
   if (std::find(path.begin(), path.end(), dsc) != path.end()) {
-    ++stats_.cycle_rejections;
+    stats_.cycle_rejections.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   path.push_back(dsc);
-  for (const Procedure* candidate : repository_->classified_by(dsc)) {
+  // Snapshot (not visit-in-place): the shared lock is released before
+  // the recursion below, and the pins keep every candidate alive for the
+  // lifetime of the IM even if remove() races with generation.
+  std::vector<ProcedurePtr> candidates = repository_->classified_by_pinned(dsc);
+  for (const ProcedurePtr& candidate : candidates) {
     if (out.size() >= bound) break;
     Result<bool> applicable = candidate->guard.evaluate_bool(*context_);
     if (!applicable.ok() || !*applicable) {
-      ++stats_.guard_rejections;
+      stats_.guard_rejections.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     if (candidate->dependencies.empty()) {
       auto leaf = std::make_unique<IntentModelNode>();
-      leaf->procedure = candidate;
+      leaf->procedure = candidate.get();
       out.push_back(std::move(leaf));
       continue;
     }
@@ -86,7 +91,7 @@ void IntentModelGenerator::enumerate(
     bool feasible = true;
     for (const std::string& dependency : candidate->dependencies) {
       std::vector<std::unique_ptr<IntentModelNode>> dep_options;
-      enumerate(dependency, path, dep_options, bound);
+      enumerate(dependency, path, dep_options, pins, bound);
       if (dep_options.empty()) {
         feasible = false;
         break;
@@ -99,7 +104,7 @@ void IntentModelGenerator::enumerate(
     std::vector<std::size_t> indices(options.size(), 0);
     while (out.size() < bound) {
       auto node = std::make_unique<IntentModelNode>();
-      node->procedure = candidate;
+      node->procedure = candidate.get();
       node->children.reserve(options.size());
       for (std::size_t i = 0; i < options.size(); ++i) {
         node->children.push_back(clone_node(*options[i][indices[i]]));
@@ -115,11 +120,13 @@ void IntentModelGenerator::enumerate(
       if (position == indices.size()) break;  // odometer wrapped: done
     }
   }
+  pins.insert(pins.end(), std::make_move_iterator(candidates.begin()),
+              std::make_move_iterator(candidates.end()));
   path.pop_back();
 }
 
 Status IntentModelGenerator::validate_node(
-    const IntentModelNode& node, std::vector<std::string>& path) const {
+    const IntentModelNode& node, std::vector<std::string_view>& path) const {
   if (node.procedure == nullptr) return Internal("IM node without procedure");
   const Procedure& procedure = *node.procedure;
   if (!dscs_->contains(procedure.classifier)) {
@@ -171,25 +178,28 @@ Status IntentModelGenerator::validate(const IntentModel& intent_model) const {
                             "' but IM claims '" + intent_model.root_dsc +
                             "'");
   }
-  std::vector<std::string> path;
+  std::vector<std::string_view> path;
   return validate_node(*intent_model.root, path);
 }
 
 Result<IntentModelPtr> IntentModelGenerator::generate(
-    const std::string& root_dsc, SelectionStrategy strategy) {
+    std::string_view root_dsc, SelectionStrategy strategy) {
   if (!dscs_->contains(root_dsc)) {
-    return NotFound("unknown DSC '" + root_dsc + "'");
+    return NotFound("unknown DSC '" + std::string(root_dsc) + "'");
   }
   // Generation.
   std::vector<std::unique_ptr<IntentModelNode>> configurations;
-  std::vector<std::string> path;
-  enumerate(root_dsc, path, configurations, config_.max_configurations);
-  stats_.generated += configurations.size();
+  std::vector<std::string_view> path;
+  std::vector<ProcedurePtr> pins;
+  enumerate(root_dsc, path, configurations, pins, config_.max_configurations);
+  stats_.generated.fetch_add(configurations.size(),
+                             std::memory_order_relaxed);
   if (configurations.empty()) {
-    return FailedPrecondition("no valid configuration for DSC '" + root_dsc +
-                              "' in current context");
+    return FailedPrecondition("no valid configuration for DSC '" +
+                              std::string(root_dsc) + "' in current context");
   }
-  // Validation + metric computation.
+  // Validation + metric computation. The probe shell is hoisted out of
+  // the loop; only its root changes per configuration.
   struct Scored {
     std::unique_ptr<IntentModelNode> root;
     double cost;
@@ -197,12 +207,13 @@ Result<IntentModelPtr> IntentModelGenerator::generate(
     int count;
   };
   std::vector<Scored> valid;
+  valid.reserve(configurations.size());
+  IntentModel probe;
+  probe.root_dsc.assign(root_dsc);
   for (auto& configuration : configurations) {
-    IntentModel probe;
-    probe.root_dsc = root_dsc;
     probe.root = std::move(configuration);
     if (validate(probe).ok()) {
-      ++stats_.validated;
+      stats_.validated.fetch_add(1, std::memory_order_relaxed);
       double cost = 0.0;
       double quality = 1e300;
       int count = 0;
@@ -212,7 +223,8 @@ Result<IntentModelPtr> IntentModelGenerator::generate(
     }
   }
   if (valid.empty()) {
-    return FailedPrecondition("no configuration for DSC '" + root_dsc +
+    return FailedPrecondition("no configuration for DSC '" +
+                              std::string(root_dsc) +
                               "' survived validation");
   }
   // Selection.
@@ -233,33 +245,84 @@ Result<IntentModelPtr> IntentModelGenerator::generate(
         break;
     }
   }
-  ++stats_.selected;
+  stats_.selected.fetch_add(1, std::memory_order_relaxed);
   auto intent_model = std::make_shared<IntentModel>();
-  intent_model->root_dsc = root_dsc;
+  intent_model->root_dsc = std::move(probe.root_dsc);
   intent_model->root = std::move(valid[best].root);
   intent_model->total_cost = valid[best].cost;
   intent_model->total_quality = valid[best].quality;
   intent_model->node_count = valid[best].count;
+  intent_model->pinned = std::move(pins);
   return IntentModelPtr(intent_model);
 }
 
 Result<IntentModelPtr> IntentModelGenerator::generate_cached(
-    const std::string& root_dsc, SelectionStrategy strategy) {
-  auto it = cache_.find(root_dsc);
-  if (it != cache_.end() &&
-      it->second.context_version == context_->version() &&
-      it->second.repository_version == repository_->version() &&
-      it->second.dsc_version == dscs_->version() &&
-      it->second.strategy == strategy) {
-    ++stats_.cache_hits;
-    return it->second.intent_model;
+    std::string_view root_dsc, SelectionStrategy strategy) {
+  // Capture versions *before* the lookup/generation: a concurrent
+  // mutation during generation then makes the stored entry stale (a
+  // spurious re-generate next time), never a stale serve.
+  const std::uint64_t context_version = context_->version();
+  const std::uint64_t repository_version = repository_->version();
+  const std::uint64_t dsc_version = dscs_->version();
+  CacheShard& shard = shard_for(root_dsc);
+  {
+    std::lock_guard lock(shard.mutex);
+    auto it = shard.entries.find(root_dsc);
+    if (it != shard.entries.end() &&
+        it->second.context_version == context_version &&
+        it->second.repository_version == repository_version &&
+        it->second.dsc_version == dsc_version &&
+        it->second.strategy == strategy) {
+      stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second.intent_model;
+    }
   }
-  ++stats_.cache_misses;
+  stats_.cache_misses.fetch_add(1, std::memory_order_relaxed);
+  // Generate outside the shard lock: concurrent misses on the same DSC
+  // duplicate work instead of serializing the whole pipeline.
   Result<IntentModelPtr> generated = generate(root_dsc, strategy);
   if (!generated.ok()) return generated;
-  cache_[root_dsc] = CacheEntry{context_->version(), repository_->version(),
-                                dscs_->version(), strategy, generated.value()};
+  {
+    std::lock_guard lock(shard.mutex);
+    auto it = shard.entries.find(root_dsc);
+    if (it == shard.entries.end()) {
+      it = shard.entries.emplace(std::string(root_dsc), CacheEntry{}).first;
+    }
+    it->second = CacheEntry{context_version, repository_version, dsc_version,
+                            strategy, generated.value()};
+  }
   return generated;
+}
+
+void IntentModelGenerator::invalidate_cache() {
+  for (CacheShard& shard : cache_) {
+    std::lock_guard lock(shard.mutex);
+    shard.entries.clear();
+  }
+}
+
+GeneratorStats IntentModelGenerator::stats() const {
+  GeneratorStats out;
+  out.generated = stats_.generated.load(std::memory_order_relaxed);
+  out.validated = stats_.validated.load(std::memory_order_relaxed);
+  out.selected = stats_.selected.load(std::memory_order_relaxed);
+  out.cache_hits = stats_.cache_hits.load(std::memory_order_relaxed);
+  out.cache_misses = stats_.cache_misses.load(std::memory_order_relaxed);
+  out.guard_rejections =
+      stats_.guard_rejections.load(std::memory_order_relaxed);
+  out.cycle_rejections =
+      stats_.cycle_rejections.load(std::memory_order_relaxed);
+  return out;
+}
+
+void IntentModelGenerator::reset_stats() {
+  stats_.generated.store(0, std::memory_order_relaxed);
+  stats_.validated.store(0, std::memory_order_relaxed);
+  stats_.selected.store(0, std::memory_order_relaxed);
+  stats_.cache_hits.store(0, std::memory_order_relaxed);
+  stats_.cache_misses.store(0, std::memory_order_relaxed);
+  stats_.guard_rejections.store(0, std::memory_order_relaxed);
+  stats_.cycle_rejections.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace mdsm::controller

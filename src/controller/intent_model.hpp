@@ -11,11 +11,15 @@
 // The full generation cycle is generation → validation → selection
 // (Exp-3 times exactly this cycle); a context/repository-versioned cache
 // provides the warm path whose amortized cost the paper reports
-// approaching ~1 ms.
+// approaching ~1 ms. The cache is sharded by root-DSC hash so concurrent
+// requests for different operations never contend on one lock.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -41,6 +45,10 @@ struct IntentModel {
   double total_cost = 0.0;
   double total_quality = 0.0;
   int node_count = 0;
+  /// Ownership anchors for every procedure the tree's raw pointers may
+  /// reference: a concurrent ProcedureRepository::remove() cannot free a
+  /// procedure out from under a cached or in-flight IM.
+  std::vector<ProcedurePtr> pinned;
 
   [[nodiscard]] std::string to_text() const;  ///< indented tree, for logs
 };
@@ -66,6 +74,10 @@ struct GeneratorStats {
   std::uint64_t cycle_rejections = 0;
 };
 
+/// Thread-safe for concurrent generate()/generate_cached() calls; cache
+/// shards serialize only same-shard bookkeeping, never generation itself
+/// (two threads missing on the same DSC both generate — wasted work, not
+/// corruption — and last-writer-wins on the entry).
 class IntentModelGenerator {
  public:
   IntentModelGenerator(const DscRegistry& dscs,
@@ -75,23 +87,27 @@ class IntentModelGenerator {
 
   /// Full cycle: enumerate valid configurations for `root_dsc`, validate
   /// each, select per `strategy`. Does not consult the cache.
-  Result<IntentModelPtr> generate(const std::string& root_dsc,
+  Result<IntentModelPtr> generate(std::string_view root_dsc,
                                   SelectionStrategy strategy);
 
   /// Cached cycle: reuse the previous IM for `root_dsc` when none of the
   /// context, the repository, or the DSC vocabulary changed since it was
-  /// generated (a stale-vocabulary IM would fail validate()).
-  Result<IntentModelPtr> generate_cached(const std::string& root_dsc,
+  /// generated (a stale-vocabulary IM would fail validate()). Versions
+  /// are captured *before* generation, so a mutation racing a miss can
+  /// only make the stored entry look stale — never serve a stale IM.
+  Result<IntentModelPtr> generate_cached(std::string_view root_dsc,
                                          SelectionStrategy strategy);
 
   /// Structural re-validation of an IM against the current context:
   /// guards hold, dependencies complete, no DSC repeats along any path.
   Status validate(const IntentModel& intent_model) const;
 
-  void invalidate_cache() { cache_.clear(); }
+  void invalidate_cache();
 
-  [[nodiscard]] const GeneratorStats& stats() const noexcept { return stats_; }
-  void reset_stats() { stats_ = {}; }
+  /// Consistent-enough snapshot of the counters (each counter is exact;
+  /// cross-counter sums may be momentarily torn under concurrency).
+  [[nodiscard]] GeneratorStats stats() const;
+  void reset_stats();
 
  private:
   struct CacheEntry {
@@ -102,22 +118,44 @@ class IntentModelGenerator {
     IntentModelPtr intent_model;
   };
 
+  static constexpr std::size_t kCacheShards = 16;
+
+  struct CacheShard {
+    std::mutex mutex;
+    std::map<std::string, CacheEntry, std::less<>> entries;
+  };
+
+  [[nodiscard]] CacheShard& shard_for(std::string_view root_dsc) {
+    return cache_[std::hash<std::string_view>{}(root_dsc) % kCacheShards];
+  }
+
   /// Recursively enumerate configurations rooted at candidates of `dsc`.
   /// `path` carries the DSCs on the current root-to-leaf chain for cycle
-  /// avoidance. Appends complete subtrees to `out` (bounded).
-  void enumerate(const std::string& dsc, std::vector<std::string>& path,
+  /// avoidance (views into strings owned by `pins`/the caller). Appends
+  /// complete subtrees to `out` (bounded) and the candidate snapshots to
+  /// `pins` so node pointers stay valid past concurrent removes.
+  void enumerate(std::string_view dsc, std::vector<std::string_view>& path,
                  std::vector<std::unique_ptr<IntentModelNode>>& out,
-                 std::size_t bound);
+                 std::vector<ProcedurePtr>& pins, std::size_t bound);
 
   Status validate_node(const IntentModelNode& node,
-                       std::vector<std::string>& path) const;
+                       std::vector<std::string_view>& path) const;
 
   const DscRegistry* dscs_;
   const ProcedureRepository* repository_;
   const policy::ContextStore* context_;
   GeneratorConfig config_;
-  GeneratorStats stats_;
-  std::map<std::string, CacheEntry, std::less<>> cache_;
+  struct AtomicStats {
+    std::atomic<std::uint64_t> generated{0};
+    std::atomic<std::uint64_t> validated{0};
+    std::atomic<std::uint64_t> selected{0};
+    std::atomic<std::uint64_t> cache_hits{0};
+    std::atomic<std::uint64_t> cache_misses{0};
+    std::atomic<std::uint64_t> guard_rejections{0};
+    std::atomic<std::uint64_t> cycle_rejections{0};
+  };
+  mutable AtomicStats stats_;
+  std::array<CacheShard, kCacheShards> cache_;
 };
 
 }  // namespace mdsm::controller

@@ -45,6 +45,7 @@ Result<std::unique_ptr<Platform>> Platform::assemble(
   std::unique_ptr<Platform> platform(new Platform());
   platform->name_ = root.get_string("name");
   platform->dsml_ = config.dsml;
+  platform->pipeline_threads_ = config.pipeline_threads;
   if (config.clock != nullptr) platform->clock_ = config.clock;
 
   // The component factory holds the layer "code templates"; assembly then
@@ -115,16 +116,20 @@ Result<std::unique_ptr<Platform>> Platform::assemble(
   platform->synthesis_ = std::make_unique<synthesis::SynthesisEngine>(
       synthesis_specs.empty() ? "synthesis" : synthesis_specs[0]->id(),
       config.dsml, std::move(lts), context,
+      // Pre-commit dispatch runs under the synthesis serial mutex, so it
+      // must stay cheap: just the controller-crossing deadline check (a
+      // dispatch failure keeps the old runtime model in force).
+      [](const controller::ControlScript&, obs::RequestContext& request) {
+        return request.check_deadline("controller");
+      });
+  // Post-commit execution — the parallel phase. execute_script opens the
+  // "controller.script" span covering every command plus the drain of the
+  // events they raised, nested (like the old in-dispatch crossing) under
+  // the request's "synthesis.submit" span.
+  platform->synthesis_->set_executor(
       [controller](const controller::ControlScript& script,
                    obs::RequestContext& request) {
-        // Synthesis → Controller crossing: one span covering the script
-        // hand-off and the drain of every signal it queued.
-        obs::ScopedSpan span(request, "controller.script",
-                             std::to_string(script.commands.size()) +
-                                 " commands");
-        MDSM_RETURN_IF_ERROR(controller->submit_script(script, request));
-        controller->process_pending(request);
-        return Status::Ok();
+        return controller->execute_script(script, request);
       });
 
   // Every layer records into the platform-wide registry (stable address:
@@ -154,6 +159,10 @@ Result<std::unique_ptr<Platform>> Platform::assemble(
 }
 
 Platform::~Platform() {
+  // Join the async pipeline first: queued submissions may still reach
+  // into every layer. Executor's destructor drains before joining.
+  running_.store(false, std::memory_order_release);
+  pipeline_.reset();
   if (error_subscription_ != 0) bus_.unsubscribe(error_subscription_);
 }
 
@@ -285,8 +294,8 @@ Status Platform::add_resource_adapter(
 }
 
 Status Platform::start() {
-  std::lock_guard lock(submit_mutex_);
-  if (running_) return Status::Ok();
+  std::lock_guard lock(lifecycle_mutex_);
+  if (running_.load(std::memory_order_acquire)) return Status::Ok();
   for (const std::string& required : required_resources_) {
     if (broker_->resources().find_adapter(required) == nullptr) {
       return FailedPrecondition("required resource adapter '" + required +
@@ -296,18 +305,29 @@ Status Platform::start() {
   MDSM_RETURN_IF_ERROR(broker_->start());
   MDSM_RETURN_IF_ERROR(controller_->start());
   MDSM_RETURN_IF_ERROR(synthesis_->start());
-  running_ = true;
+  running_.store(true, std::memory_order_release);
   log_info("platform") << name_ << " started";
   return Status::Ok();
 }
 
 Status Platform::stop() {
-  std::lock_guard lock(submit_mutex_);
-  if (!running_) return Status::Ok();
+  std::lock_guard lock(lifecycle_mutex_);
+  // Close the gate first: submissions that re-check running_ after this
+  // are rejected; ones already past the check are counted in inflight_.
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    return Status::Ok();
+  }
+  // Drain the async pipeline (queued tasks run to completion — rejected
+  // by the gate or finishing normally), then wait out every in-flight
+  // synchronous submission before stopping the layers under them.
+  if (pipeline_ != nullptr) pipeline_->drain();
+  {
+    std::unique_lock inflight(inflight_mutex_);
+    inflight_cv_.wait(inflight, [this] { return inflight_ == 0; });
+  }
   MDSM_RETURN_IF_ERROR(synthesis_->stop());
   MDSM_RETURN_IF_ERROR(controller_->stop());
   MDSM_RETURN_IF_ERROR(broker_->stop());
-  running_ = false;
   return Status::Ok();
 }
 
@@ -345,11 +365,13 @@ Result<controller::ControlScript> Platform::submit_woven(
 
 Result<controller::ControlScript> Platform::submit_model(
     model::Model application_model, obs::RequestContext& context) {
-  // Serialize submissions: the layer pipeline below is a single-threaded
-  // model interpreter by design (its command traces are deterministic).
-  // Concurrent callers queue here; everything thread-shared outside this
-  // lock (metrics, bus, context store, request ids) is itself safe.
-  std::lock_guard submit_lock(submit_mutex_);
+  // No global submit lock: submissions run concurrently. The only serial
+  // section is the synthesis model swap (diff→interpret→commit, under the
+  // synthesis engine's mutex); classification, IM generation, and
+  // controller/broker execution overlap across requests. The guard
+  // registers this submission before the running_ check so stop() either
+  // rejects us or waits for us — never tears us mid-pipeline.
+  InflightGuard inflight(*this);
   // UI-layer crossing: the root span of the request's trace. The scope
   // makes the context ambient so bus events published anywhere below are
   // stamped with this request's id.
@@ -360,7 +382,7 @@ Result<controller::ControlScript> Platform::submit_model(
     metrics_.counter("requests.failed").add();
     return status;
   };
-  if (!running_) {
+  if (!running_.load(std::memory_order_acquire)) {
     return fail(
         FailedPrecondition("platform '" + name_ + "' is not started"));
   }
@@ -373,6 +395,31 @@ Result<controller::ControlScript> Platform::submit_model(
   return script;
 }
 
+Status Platform::submit_async(std::string text, SubmitCallback callback) {
+  if (!running_.load(std::memory_order_acquire)) {
+    return FailedPrecondition("platform '" + name_ + "' is not started");
+  }
+  {
+    std::lock_guard lock(pipeline_mutex_);
+    if (pipeline_ == nullptr) {
+      unsigned threads = pipeline_threads_ != 0
+                             ? pipeline_threads_
+                             : std::thread::hardware_concurrency();
+      if (threads == 0) threads = 1;
+      pipeline_ = std::make_unique<runtime::Executor>(threads);
+      pipeline_->set_metrics(&metrics_);
+    }
+  }
+  pipeline_->submit(
+      [this, text = std::move(text), callback = std::move(callback)] {
+        obs::RequestContext request(*clock_, &metrics_);
+        Result<controller::ControlScript> outcome =
+            submit_model_text(text, request);
+        if (callback != nullptr) callback(std::move(outcome));
+      });
+  return Status::Ok();
+}
+
 Result<controller::ControlScript> Platform::submit_model(
     model::Model application_model) {
   last_context_ = std::make_unique<obs::RequestContext>(*clock_, &metrics_);
@@ -380,7 +427,7 @@ Result<controller::ControlScript> Platform::submit_model(
 }
 
 std::string Platform::runtime_model_text() const {
-  return model::serialize_model(synthesis_->runtime_model());
+  return synthesis_->runtime_model_text();
 }
 
 }  // namespace mdsm::core

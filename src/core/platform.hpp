@@ -14,6 +14,9 @@
 // against the model's ResourceSpec list at start().
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -30,6 +33,7 @@
 #include "policy/context.hpp"
 #include "runtime/component_factory.hpp"
 #include "runtime/event_bus.hpp"
+#include "runtime/executor.hpp"
 #include "synthesis/synthesis_engine.hpp"
 #include "synthesis/weaver.hpp"
 
@@ -48,6 +52,10 @@ struct PlatformConfig {
   /// clock). Simulated domains inject their SimClock here so request
   /// traces share the domain's virtual time.
   const Clock* clock = nullptr;
+  /// Worker threads for submit_async()'s request pipeline (0 = one per
+  /// hardware thread). The pool is created lazily on the first async
+  /// submission; synchronous submits never pay for it.
+  unsigned pipeline_threads = 0;
 };
 
 class Platform {
@@ -73,16 +81,23 @@ class Platform {
 
   /// Verify required resources are present and start all layers.
   Status start();
+  /// Stop accepting submissions, drain the async pipeline and every
+  /// in-flight synchronous submission, then stop the layers. Safe to call
+  /// while submissions are racing in: they either complete normally or
+  /// are rejected with FailedPrecondition — never torn.
   Status stop();
-  [[nodiscard]] bool running() const noexcept { return running_; }
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
 
   // Thread-safety (see DESIGN.md §6b for the full matrix): make_context()
   // and the context-taking submit overloads are safe to call from any
-  // number of threads — submissions are serialized on an internal mutex,
-  // because the four layers below are deliberately single-threaded model
-  // interpreters. The context-free submit overloads and submit_woven()
-  // additionally publish last_trace() state and must be called from one
-  // thread at a time.
+  // number of threads and execute *concurrently* — only the synthesis
+  // model swap is serialized (on the synthesis engine's internal mutex);
+  // classification, IM generation, and controller/broker execution all
+  // overlap across requests. The context-free submit overloads and
+  // submit_woven() additionally publish last_trace() state and must be
+  // called from one thread at a time. start()/stop() may race anything.
 
   // ---- UI layer: the model-based programming interface ----------------
 
@@ -106,6 +121,17 @@ class Platform {
   Result<controller::ControlScript> submit_model(
       model::Model application_model, obs::RequestContext& context);
   Result<controller::ControlScript> submit_model(model::Model application_model);
+
+  /// Completion callback for submit_async(); invoked on a pipeline
+  /// worker thread.
+  using SubmitCallback =
+      std::function<void(Result<controller::ControlScript>)>;
+
+  /// Fire-and-forget submission through the N-way request pipeline
+  /// (PlatformConfig.pipeline_threads workers, created lazily). The text
+  /// is parsed and executed on a worker; `callback` (optional) receives
+  /// the outcome there. stop() drains all queued async submissions.
+  Status submit_async(std::string text, SubmitCallback callback = nullptr);
 
   /// Aspect-oriented execution (paper §IX): weave several concern models
   /// (texts in the platform's DSML) into one application model and
@@ -170,10 +196,40 @@ class Platform {
   std::unique_ptr<synthesis::SynthesisEngine> synthesis_;
   std::vector<std::string> required_resources_;
   std::uint64_t error_subscription_ = 0;
-  /// Serializes submissions (and start/stop) so concurrent callers never
-  /// interleave inside the single-threaded layer pipeline.
-  mutable std::mutex submit_mutex_;
-  bool running_ = false;
+
+  /// Counts a submission as in flight for stop()'s drain. Registered
+  /// *before* the running_ check so stop() can never miss a submission
+  /// that goes on to pass the check.
+  class InflightGuard {
+   public:
+    explicit InflightGuard(Platform& platform) : platform_(platform) {
+      std::lock_guard lock(platform_.inflight_mutex_);
+      ++platform_.inflight_;
+    }
+    ~InflightGuard() {
+      {
+        std::lock_guard lock(platform_.inflight_mutex_);
+        --platform_.inflight_;
+      }
+      platform_.inflight_cv_.notify_all();
+    }
+    InflightGuard(const InflightGuard&) = delete;
+    InflightGuard& operator=(const InflightGuard&) = delete;
+
+   private:
+    Platform& platform_;
+  };
+
+  /// Serializes start()/stop() against each other — the only remaining
+  /// global lock; steady-state submissions never take it.
+  mutable std::mutex lifecycle_mutex_;
+  std::atomic<bool> running_{false};
+  mutable std::mutex inflight_mutex_;
+  std::condition_variable inflight_cv_;
+  std::size_t inflight_ = 0;
+  std::mutex pipeline_mutex_;  ///< guards lazy pipeline_ creation
+  std::unique_ptr<runtime::Executor> pipeline_;
+  unsigned pipeline_threads_ = 0;
 };
 
 }  // namespace mdsm::core

@@ -1,36 +1,39 @@
 #include "policy/context.hpp"
 
+#include <mutex>
+
 namespace mdsm::policy {
 
 void ContextStore::set(const std::string& name, model::Value value) {
-  std::lock_guard lock(mutex_);
+  std::unique_lock lock(mutex_);
   variables_[name] = std::move(value);
-  ++version_;
+  version_.fetch_add(1, std::memory_order_release);
 }
 
 model::Value ContextStore::get(std::string_view name) const {
-  std::lock_guard lock(mutex_);
+  std::shared_lock lock(mutex_);
   auto it = variables_.find(name);
   return it == variables_.end() ? model::Value{} : it->second;
 }
 
 bool ContextStore::has(std::string_view name) const {
-  std::lock_guard lock(mutex_);
+  std::shared_lock lock(mutex_);
   return variables_.contains(name);
 }
 
 void ContextStore::erase(const std::string& name) {
-  std::lock_guard lock(mutex_);
-  if (variables_.erase(name) > 0) ++version_;
+  std::unique_lock lock(mutex_);
+  if (variables_.erase(name) > 0) {
+    version_.fetch_add(1, std::memory_order_release);
+  }
 }
 
 std::uint64_t ContextStore::version() const noexcept {
-  std::lock_guard lock(mutex_);
-  return version_;
+  return version_.load(std::memory_order_acquire);
 }
 
 std::vector<std::string> ContextStore::names() const {
-  std::lock_guard lock(mutex_);
+  std::shared_lock lock(mutex_);
   std::vector<std::string> out;
   out.reserve(variables_.size());
   for (const auto& [name, value] : variables_) out.push_back(name);
@@ -38,7 +41,7 @@ std::vector<std::string> ContextStore::names() const {
 }
 
 std::map<std::string, model::Value> ContextStore::snapshot() const {
-  std::lock_guard lock(mutex_);
+  std::shared_lock lock(mutex_);
   return {variables_.begin(), variables_.end()};
 }
 

@@ -307,10 +307,15 @@ class ExprParser {
 };
 
 // ------------------------------------------------------------- evaluator
+//
+// Templated over the context type: any type with get(name)/has(name)
+// (ContextStore, ContextOverlay) evaluates through the same tree walk.
 
-Result<Value> eval(const Node& node, const ContextStore& context);
+template <typename Ctx>
+Result<Value> eval(const Node& node, const Ctx& context);
 
-Result<bool> eval_bool(const Node& node, const ContextStore& context) {
+template <typename Ctx>
+Result<bool> eval_bool(const Node& node, const Ctx& context) {
   Result<Value> value = eval(node, context);
   if (!value.ok()) return value.status();
   if (value->is_bool()) return value->as_bool();
@@ -386,7 +391,8 @@ Result<Value> eval_arith(Op op, const Value& lhs, const Value& rhs) {
   return Internal("bad arithmetic op");
 }
 
-Result<Value> eval(const Node& node, const ContextStore& context) {
+template <typename Ctx>
+Result<Value> eval(const Node& node, const Ctx& context) {
   switch (node.op) {
     case Op::kLiteral: return node.literal;
     case Op::kIdent: return context.get(node.ident);
@@ -470,7 +476,17 @@ Result<model::Value> Expression::evaluate(const ContextStore& context) const {
   return eval(*root_, context);
 }
 
+Result<model::Value> Expression::evaluate(const ContextOverlay& context) const {
+  if (root_ == nullptr) return model::Value(true);
+  return eval(*root_, context);
+}
+
 Result<bool> Expression::evaluate_bool(const ContextStore& context) const {
+  if (root_ == nullptr) return true;
+  return eval_bool(*root_, context);
+}
+
+Result<bool> Expression::evaluate_bool(const ContextOverlay& context) const {
   if (root_ == nullptr) return true;
   return eval_bool(*root_, context);
 }

@@ -38,13 +38,19 @@ class Expression {
  public:
   Expression() = default;  ///< empty expression; evaluates to true
 
-  /// Evaluate to an arbitrary Value.
+  /// Evaluate to an arbitrary Value. The ContextOverlay overloads look
+  /// identifiers up in the overlay's transient bindings first, then in
+  /// the underlying store — the concurrency-safe replacement for
+  /// temporarily set()ing a request-scoped variable.
   [[nodiscard]] Result<model::Value> evaluate(
       const ContextStore& context) const;
+  [[nodiscard]] Result<model::Value> evaluate(
+      const ContextOverlay& context) const;
 
   /// Evaluate and require a boolean result (none → false; anything else
   /// non-bool is an error — guards must be explicit).
   [[nodiscard]] Result<bool> evaluate_bool(const ContextStore& context) const;
+  [[nodiscard]] Result<bool> evaluate_bool(const ContextOverlay& context) const;
 
   [[nodiscard]] const std::string& text() const noexcept { return text_; }
   [[nodiscard]] bool empty() const noexcept { return root_ == nullptr; }

@@ -43,12 +43,13 @@ Status PolicySet::remove(const std::string& name) {
   return Status::Ok();
 }
 
-std::optional<PolicyDecision> PolicySet::evaluate(
-    const ContextStore& context) const {
-  last_error_ = Status::Ok();
+template <typename Ctx>
+std::optional<PolicyDecision> PolicySet::evaluate_impl(
+    const Ctx& context) const {
   for (const Policy& policy : policies_) {
     Result<bool> holds = policy.condition.evaluate_bool(context);
     if (!holds.ok()) {
+      std::lock_guard lock(error_mutex_);
       last_error_ = holds.status();
       continue;
     }
@@ -59,13 +60,23 @@ std::optional<PolicyDecision> PolicySet::evaluate(
   return std::nullopt;
 }
 
+std::optional<PolicyDecision> PolicySet::evaluate(
+    const ContextStore& context) const {
+  return evaluate_impl(context);
+}
+
+std::optional<PolicyDecision> PolicySet::evaluate(
+    const ContextOverlay& context) const {
+  return evaluate_impl(context);
+}
+
 std::vector<PolicyDecision> PolicySet::evaluate_all(
     const ContextStore& context) const {
-  last_error_ = Status::Ok();
   std::vector<PolicyDecision> out;
   for (const Policy& policy : policies_) {
     Result<bool> holds = policy.condition.evaluate_bool(context);
     if (!holds.ok()) {
+      std::lock_guard lock(error_mutex_);
       last_error_ = holds.status();
       continue;
     }

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -39,9 +40,15 @@ class PolicySet {
 
   /// Highest-priority policy whose condition holds (ties: insertion
   /// order). nullopt when none matches. Condition evaluation errors
-  /// count as non-matching but are surfaced via last_error().
+  /// count as non-matching but are surfaced via last_error(). Safe to
+  /// call concurrently (evaluation is read-only over the policies;
+  /// add()/remove() are configuration-time).
   [[nodiscard]] std::optional<PolicyDecision> evaluate(
       const ContextStore& context) const;
+  /// Overlay variant: conditions see the overlay's transient bindings
+  /// first (per-request variables such as "command.name").
+  [[nodiscard]] std::optional<PolicyDecision> evaluate(
+      const ContextOverlay& context) const;
 
   /// Every matching policy, priority-descending.
   [[nodiscard]] std::vector<PolicyDecision> evaluate_all(
@@ -49,12 +56,19 @@ class PolicySet {
 
   [[nodiscard]] std::size_t size() const noexcept { return policies_.size(); }
   [[nodiscard]] bool empty() const noexcept { return policies_.empty(); }
-  [[nodiscard]] const Status& last_error() const noexcept {
+  /// Most recent condition-evaluation error (diagnostic; under
+  /// concurrent evaluation this is a last-writer-wins snapshot).
+  [[nodiscard]] Status last_error() const {
+    std::lock_guard lock(error_mutex_);
     return last_error_;
   }
 
  private:
+  template <typename Ctx>
+  std::optional<PolicyDecision> evaluate_impl(const Ctx& context) const;
+
   std::vector<Policy> policies_;  ///< kept priority-descending, stable
+  mutable std::mutex error_mutex_;  ///< guards last_error_ only
   mutable Status last_error_;
 };
 

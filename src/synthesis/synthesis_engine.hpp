@@ -5,9 +5,19 @@
 // and handles events from the Controller layer; and (3) dispatcher —
 // dispatches a new runtime model to the UI and updates the currently
 // executing model."
+//
+// Concurrency: synthesis itself is inherently serial — each submission
+// diffs against (and then replaces) the single shared runtime model — so
+// the diff→interpret→dispatch→commit section runs under an internal
+// mutex. Everything after the commit (the executor hook, i.e. actual
+// controller/broker execution) runs *outside* that mutex, which is what
+// lets independent requests overlap: the serial window is only the model
+// swap, not the work.
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -32,8 +42,11 @@ struct SynthesisStats {
 class SynthesisEngine final : public runtime::Component {
  public:
   /// `dispatch` delivers a generated control script to the layer below
-  /// (usually ControllerLayer::submit_script + process_pending, wired by
-  /// the platform; in split deployments it serializes over the network).
+  /// *before* the runtime model commits — a dispatch failure keeps the
+  /// old model in force (all-or-nothing semantics). It runs under the
+  /// engine's serial mutex, so keep it cheap in concurrent deployments
+  /// (the platform wires a deadline check here and does the real work in
+  /// the executor hook; split deployments serialize over the network).
   /// The request context rides along so the layer below continues the
   /// request's span tree.
   using Dispatch = std::function<Status(const controller::ControlScript&,
@@ -49,11 +62,22 @@ class SynthesisEngine final : public runtime::Component {
     listener_ = std::move(listener);
   }
 
+  /// Post-commit execution hook: runs *after* the runtime model commits
+  /// and after the serial mutex is released, still inside the request's
+  /// "synthesis.submit" span. This is the parallel phase of the request
+  /// pipeline — the platform wires ControllerLayer::execute_script here.
+  /// Its failure surfaces to the submitter but does not roll the model
+  /// back (the model swap already happened; execution is best-effort
+  /// forward progress, with errors also contained per-command below).
+  void set_executor(Dispatch executor) { executor_ = std::move(executor); }
+
   /// Full synthesis cycle: validate the new model, compare against the
   /// current runtime model, interpret the changes, dispatch the script,
-  /// and commit the new model as the running one. On any failure the
-  /// previous runtime model stays in force (all-or-nothing semantics).
-  /// Opens the request's "synthesis.submit" span.
+  /// commit the new model as the running one, then execute via the
+  /// executor hook. On any pre-commit failure the previous runtime model
+  /// stays in force. Opens the request's "synthesis.submit" span.
+  /// Safe to call concurrently (submissions serialize on the internal
+  /// mutex up to the commit; execution overlaps).
   Result<controller::ControlScript> submit_model(model::Model new_model,
                                                  obs::RequestContext& context);
   Result<controller::ControlScript> submit_model(model::Model new_model) {
@@ -67,20 +91,27 @@ class SynthesisEngine final : public runtime::Component {
 
   /// Events from the Controller layer (exceptional conditions); recorded
   /// and exposed so domain logic (or tests) can react — e.g. resubmitting
-  /// a degraded model.
+  /// a degraded model. Safe to call concurrently (published from request
+  /// threads mid-execution).
   void handle_controller_event(const std::string& topic,
                                const model::Value& payload);
 
+  /// Reference to the committed runtime model. Only meaningful while no
+  /// submission is in flight; concurrent readers should use
+  /// runtime_model_text() instead.
   [[nodiscard]] const model::Model& runtime_model() const noexcept {
     return runtime_model_;
   }
+  /// Serialized runtime model, captured under the engine's mutex — the
+  /// race-free way to observe the model while submissions are running.
+  [[nodiscard]] std::string runtime_model_text() const;
   [[nodiscard]] const ChangeInterpreter& interpreter() const noexcept {
     return interpreter_;
   }
-  [[nodiscard]] const SynthesisStats& stats() const noexcept { return stats_; }
-  [[nodiscard]] const std::vector<std::string>& event_log() const noexcept {
-    return event_log_;
-  }
+  /// Snapshot of the counters (each exact; cross-counter sums may tear
+  /// momentarily while submissions are in flight).
+  [[nodiscard]] SynthesisStats stats() const;
+  [[nodiscard]] std::vector<std::string> event_log() const;
 
  private:
   model::MetamodelPtr dsml_;
@@ -88,10 +119,22 @@ class SynthesisEngine final : public runtime::Component {
   ChangeInterpreter interpreter_;
   obs::MetricsRegistry* metrics_ = nullptr;
   Dispatch dispatch_;
+  Dispatch executor_;
   ModelListener listener_;
+  /// Serializes diff → interpret → dispatch → commit → listener. Also
+  /// guards runtime_model_ and the interpreter's LTS state.
+  mutable std::mutex mutex_;
   model::Model runtime_model_;  ///< "an empty model if the system has
                                 ///< just been started"
-  SynthesisStats stats_;
+  struct AtomicStats {
+    std::atomic<std::uint64_t> models_submitted{0};
+    std::atomic<std::uint64_t> scripts_dispatched{0};
+    std::atomic<std::uint64_t> commands_generated{0};
+    std::atomic<std::uint64_t> rejected_models{0};
+    std::atomic<std::uint64_t> controller_events{0};
+  };
+  mutable AtomicStats stats_;
+  mutable std::mutex event_mutex_;  ///< guards event_log_ only
   std::vector<std::string> event_log_;
 };
 
