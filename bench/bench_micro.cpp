@@ -148,7 +148,7 @@ void BM_BrokerCallUnguarded(benchmark::State& state) {
     auto result = fixture.layer.call(call);
     benchmark::DoNotOptimize(result);
   }
-  fixture.layer.resources().trace().clear();
+  fixture.layer.resources().clear_trace();
 }
 BENCHMARK(BM_BrokerCallUnguarded);
 
@@ -159,7 +159,7 @@ void BM_BrokerCallGuardedSelection(benchmark::State& state) {
     auto result = fixture.layer.call(call);
     benchmark::DoNotOptimize(result);
   }
-  fixture.layer.resources().trace().clear();
+  fixture.layer.resources().clear_trace();
 }
 BENCHMARK(BM_BrokerCallGuardedSelection);
 

@@ -83,6 +83,9 @@ Status AutonomicManager::raise_request(const std::string& request,
     }
     Status executed = execute_steps_(plan.steps, args);
     if (request_context != nullptr) request_context->close_span(span);
+    if (!executed.ok() && metrics_ != nullptr) {
+      metrics_->counter("autonomic.reaction_failures").add();
+    }
     return executed;
   }
   return NotFound("no applicable change plan for request '" + request + "'");

@@ -136,7 +136,7 @@ Result<model::Value> BrokerLayer::execute_steps(
       case StepOp::kInvoke: {
         Args resolved = resolve_args(step.args, call_args, *context_);
         Result<model::Value> invoked =
-            resources_.invoke(step.a, step.b, resolved);
+            resources_.invoke(step.a, step.b, resolved, context);
         if (!invoked.ok()) return invoked.status();
         result = std::move(invoked.value());
         break;

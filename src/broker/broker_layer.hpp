@@ -41,6 +41,12 @@ class BrokerLayer final : public runtime::Component, public BrokerApi {
                       std::vector<std::string> action_names);
 
   [[nodiscard]] ResourceManager& resources() noexcept { return resources_; }
+  /// Convenience forwarder to ResourceManager::set_policy (the broker API
+  /// surface the assembler and domain DSKs configure fault tolerance by).
+  Status set_invocation_policy(const std::string& resource,
+                               InvocationPolicy policy) {
+    return resources_.set_policy(resource, std::move(policy));
+  }
   [[nodiscard]] StateManager& state() noexcept { return state_; }
   [[nodiscard]] policy::PolicySet& policies() noexcept { return policies_; }
   [[nodiscard]] AutonomicManager& autonomic() noexcept { return *autonomic_; }

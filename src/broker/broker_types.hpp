@@ -36,15 +36,20 @@ Result<model::Value> require_arg(const Args& args, std::string_view key,
                                  std::string_view op);
 
 /// Append-only record of resource commands, used for equivalence checks
-/// and performance accounting. record()/size()/clear() are safe under
-/// concurrent execution; entries() hands out the underlying vector and is
-/// for quiescent inspection (equivalence checks after the run).
+/// and performance accounting. record()/size()/clear()/snapshot() are safe
+/// under concurrent execution; entries() hands out the underlying vector
+/// and is for quiescent inspection (equivalence checks after the run).
 class CommandTrace {
  public:
   void record(const std::string& resource, const std::string& command,
               const Args& args);
 
   [[nodiscard]] const std::vector<std::string>& entries() const noexcept {
+    return entries_;
+  }
+  /// Locked point-in-time copy, safe while other threads still record.
+  [[nodiscard]] std::vector<std::string> snapshot() const {
+    std::lock_guard lock(mutex_);
     return entries_;
   }
   [[nodiscard]] std::size_t size() const {

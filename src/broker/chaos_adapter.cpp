@@ -28,7 +28,11 @@ Result<model::Value> ChaosAdapter::execute(const std::string& command,
   if (config_.delay_rate > 0.0 && config_.delay.count() > 0 &&
       draw() < config_.delay_rate) {
     delayed_.fetch_add(1, std::memory_order_relaxed);
-    std::this_thread::sleep_for(config_.delay);
+    if (config_.sleeper) {
+      config_.sleeper(config_.delay);
+    } else {
+      std::this_thread::sleep_for(config_.delay);
+    }
   }
   if (config_.throw_rate > 0.0 && draw() < config_.throw_rate) {
     threw_.fetch_add(1, std::memory_order_relaxed);

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <random>
@@ -26,6 +27,11 @@ struct ChaosConfig {
   double delay_rate = 0.0;  ///< P(sleep `delay` before delegating)
   Duration delay{};         ///< stall length for delayed commands
   std::uint64_t seed = 42;  ///< RNG seed (soak runs are repeatable)
+  /// How a delayed command stalls; null means a real
+  /// std::this_thread::sleep_for. SimClock tests inject an advance of
+  /// their clock instead, so "slow resource" scenarios run in virtual
+  /// time (and ASan/TSan soaks do not wall-block).
+  std::function<void(Duration)> sleeper;
 };
 
 /// Point-in-time copy of a ChaosAdapter's injection counters.

@@ -1,0 +1,113 @@
+#include "broker/invocation_policy.hpp"
+
+#include <algorithm>
+
+namespace mdsm::broker {
+
+bool retryable(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kUnavailable:
+    case ErrorCode::kTimeout:
+    case ErrorCode::kExecutionError:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Duration RetryBackoff::next() {
+  if (base_.count() <= 0) return Duration{};
+  const std::int64_t low = base_.count();
+  const std::int64_t high = std::max<std::int64_t>(low, 3 * prev_.count());
+  std::int64_t drawn =
+      std::uniform_int_distribution<std::int64_t>(low, high)(rng_);
+  prev_ = Duration(std::min(drawn, cap_.count()));
+  return prev_;
+}
+
+CircuitBreaker::CircuitBreaker(BreakerConfig config) : config_(config) {
+  outcomes_.assign(std::max<std::size_t>(config_.window, 1), false);
+}
+
+void CircuitBreaker::open_locked(TimePoint now) {
+  state_ = State::kOpen;
+  opened_at_ = now;
+  probes_in_flight_ = 0;
+  probe_successes_ = 0;
+  // The window restarts from scratch after a trip: pre-trip history must
+  // not re-open a breaker that just recovered.
+  std::fill(outcomes_.begin(), outcomes_.end(), false);
+  next_slot_ = 0;
+  samples_ = 0;
+  failures_ = 0;
+}
+
+CircuitBreaker::AdmitResult CircuitBreaker::admit(TimePoint now) {
+  std::lock_guard lock(mutex_);
+  if (!config_.enabled()) return {Admission::kAllow, Transition::kNone};
+  switch (state_) {
+    case State::kClosed:
+      return {Admission::kAllow, Transition::kNone};
+    case State::kOpen:
+      if (now - opened_at_ < config_.cooldown) {
+        return {Admission::kReject, Transition::kNone};
+      }
+      state_ = State::kHalfOpen;
+      probes_in_flight_ = 0;
+      probe_successes_ = 0;
+      [[fallthrough]];
+    case State::kHalfOpen:
+      if (probes_in_flight_ >= config_.half_open_probes) {
+        return {Admission::kReject, Transition::kNone};
+      }
+      ++probes_in_flight_;
+      return {Admission::kProbe, Transition::kNone};
+  }
+  return {Admission::kAllow, Transition::kNone};
+}
+
+CircuitBreaker::Transition CircuitBreaker::on_result(Admission admission,
+                                                     bool success,
+                                                     TimePoint now) {
+  std::lock_guard lock(mutex_);
+  if (!config_.enabled() || admission == Admission::kReject) {
+    return Transition::kNone;
+  }
+  if (admission == Admission::kProbe) {
+    if (state_ != State::kHalfOpen) return Transition::kNone;  // raced a trip
+    probes_in_flight_ = std::max(probes_in_flight_ - 1, 0);
+    if (!success) {
+      open_locked(now);
+      return Transition::kOpened;
+    }
+    if (++probe_successes_ >= config_.half_open_probes) {
+      state_ = State::kClosed;
+      probes_in_flight_ = 0;
+      probe_successes_ = 0;
+      return Transition::kClosed;
+    }
+    return Transition::kNone;
+  }
+  // Normal (closed-state) outcome: slide the window.
+  if (state_ != State::kClosed) return Transition::kNone;
+  const bool evicted = outcomes_[next_slot_];
+  if (samples_ == outcomes_.size() && evicted) --failures_;
+  outcomes_[next_slot_] = !success;
+  next_slot_ = (next_slot_ + 1) % outcomes_.size();
+  samples_ = std::min(samples_ + 1, outcomes_.size());
+  if (!success) ++failures_;
+  if (samples_ >= config_.min_samples &&
+      static_cast<double>(failures_) >=
+          config_.failure_threshold * static_cast<double>(samples_)) {
+    open_locked(now);
+    return Transition::kOpened;
+  }
+  return Transition::kNone;
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard lock(mutex_);
+  return state_;
+}
+
+}  // namespace mdsm::broker

@@ -1,0 +1,141 @@
+// Fault-tolerance vocabulary of the Broker layer: per-resource invocation
+// policies (bounded retries with decorrelated-jitter backoff and a
+// cooperative per-attempt timeout), a sliding-window circuit breaker, and
+// optional fallback resources for graceful degradation.
+//
+// The paper's Broker layer exists "to interface with the underlying
+// resources" (§V-A) and delegates self-management to an autonomic
+// manager; recovering from transient resource faults is therefore the
+// middleware's job, not the domain VM's. ResourceManager::invoke drives
+// the retry loop; everything here is mechanism (state machines + math)
+// with no knowledge of adapters or metrics.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+
+namespace mdsm::broker {
+
+/// Circuit-breaker tuning. Disabled (window == 0) resources never trip.
+struct BreakerConfig {
+  /// Sliding window of attempt outcomes consulted for the failure rate.
+  /// 0 disables the breaker entirely.
+  std::size_t window = 0;
+  /// The breaker never trips before this many outcomes are in the window
+  /// (a single failure on a cold resource is not a trend).
+  std::size_t min_samples = 5;
+  /// Open when failures/window >= this fraction.
+  double failure_threshold = 0.5;
+  /// Time spent open before admitting half-open probes.
+  Duration cooldown{10'000};
+  /// Probes admitted concurrently while half-open; this many consecutive
+  /// probe successes close the breaker, one probe failure re-opens it.
+  int half_open_probes = 1;
+
+  [[nodiscard]] bool enabled() const noexcept { return window > 0; }
+};
+
+/// Per-resource invocation policy. The zero-configuration default (one
+/// attempt, no breaker, no fallback) reproduces fire-once semantics
+/// exactly, so resources without a policy behave as before.
+struct InvocationPolicy {
+  /// Total attempts per logical invoke (1 = no retries).
+  int max_attempts = 1;
+  /// Decorrelated-jitter backoff: sleep_n = uniform(base, 3 * sleep_{n-1})
+  /// clamped to max_backoff. Base 0 disables sleeping between attempts.
+  Duration initial_backoff{500};
+  Duration max_backoff{50'000};
+  /// Cooperative per-attempt timeout: a synchronous adapter cannot be
+  /// preempted, but an attempt that fails after stalling longer than this
+  /// is reclassified as Timeout (retryable) and the remaining deadline
+  /// budget caps further attempts. 0 = no per-attempt budget.
+  Duration attempt_timeout{};
+  /// Name of another registered adapter invoked once (fire-once, no
+  /// breaker) when the primary exhausts its attempts or its breaker is
+  /// open. Empty = fail upward.
+  std::string fallback_resource;
+  /// Wrap a successful fallback value as ["degraded", value] so callers
+  /// can see the result is second-choice.
+  bool tag_degraded = true;
+  BreakerConfig breaker;
+  /// Seed for the backoff jitter (kept deterministic for tests/soaks).
+  std::uint64_t jitter_seed = 42;
+};
+
+/// Codes worth retrying: the fault may be transient (resource down,
+/// attempt timed out, adapter crashed mid-command). Model-authoring and
+/// registry errors (NotFound, InvalidArgument, FailedPrecondition...)
+/// fail fast — retrying cannot fix a missing adapter.
+[[nodiscard]] bool retryable(ErrorCode code) noexcept;
+
+/// Decorrelated-jitter backoff sequence (one instance per retry chain).
+class RetryBackoff {
+ public:
+  RetryBackoff(Duration base, Duration cap, std::uint64_t seed)
+      : base_(base), cap_(cap), prev_(base), rng_(seed) {}
+
+  /// Next sleep: uniform(base, 3 * previous), clamped to [base, cap].
+  [[nodiscard]] Duration next();
+
+ private:
+  Duration base_;
+  Duration cap_;
+  Duration prev_;
+  std::mt19937_64 rng_;
+};
+
+/// Sliding-window circuit breaker over the abstract Clock.
+///
+///   closed ──(failure rate >= threshold over window)──► open
+///   open ──(cooldown elapsed)──► half-open
+///   half-open ──(probe failure)──► open
+///   half-open ──(half_open_probes successes)──► closed
+///
+/// Thread-safe: admit()/on_result() serialize on an internal mutex (the
+/// state machine is tiny; contention is bounded by attempt rate).
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+  /// admit() verdict: run normally, run as a half-open probe, or
+  /// fast-fail without touching the resource.
+  enum class Admission { kAllow, kProbe, kReject };
+  /// State-machine edge taken by a call, for the caller to publish.
+  enum class Transition { kNone, kOpened, kClosed };
+
+  explicit CircuitBreaker(BreakerConfig config);
+
+  struct AdmitResult {
+    Admission admission = Admission::kAllow;
+    Transition transition = Transition::kNone;  ///< open → half-open is kNone
+  };
+  [[nodiscard]] AdmitResult admit(TimePoint now);
+
+  /// Report the outcome of an admitted attempt. `admission` must be the
+  /// verdict admit() returned for it (probes retire probe slots).
+  [[nodiscard]] Transition on_result(Admission admission, bool success,
+                                     TimePoint now);
+
+  [[nodiscard]] State state() const;
+
+ private:
+  void open_locked(TimePoint now);
+
+  BreakerConfig config_;
+  mutable std::mutex mutex_;
+  State state_ = State::kClosed;
+  std::vector<bool> outcomes_;  ///< ring buffer, true = failure
+  std::size_t next_slot_ = 0;
+  std::size_t samples_ = 0;
+  std::size_t failures_ = 0;
+  TimePoint opened_at_{};
+  int probes_in_flight_ = 0;
+  int probe_successes_ = 0;
+};
+
+}  // namespace mdsm::broker

@@ -1,4 +1,5 @@
 #include <mutex>
+#include <thread>
 
 #include "broker/resource_manager.hpp"
 
@@ -36,6 +37,11 @@ ResourceAdapter* ResourceManager::find_adapter(std::string_view name) {
   return it == adapters_.end() ? nullptr : it->second.get();
 }
 
+bool ResourceManager::has_adapter(std::string_view name) const {
+  std::shared_lock lock(mutex_);
+  return adapters_.contains(name);
+}
+
 std::vector<std::string> ResourceManager::adapter_names() const {
   std::shared_lock lock(mutex_);
   std::vector<std::string> names;
@@ -44,25 +50,77 @@ std::vector<std::string> ResourceManager::adapter_names() const {
   return names;
 }
 
-Result<model::Value> ResourceManager::invoke(const std::string& resource,
-                                             const std::string& command,
-                                             const Args& args) {
-  // Pin the adapter under a brief shared lock, execute unlocked: a
-  // concurrent remove_adapter() unregisters immediately while this call
-  // finishes on the pinned instance, and an adapter that re-enters
-  // invoke() through the bus (event → autonomic plan → kInvoke) cannot
-  // self-deadlock on the map lock.
-  std::shared_ptr<ResourceAdapter> adapter;
+Status ResourceManager::set_policy(const std::string& resource,
+                                   InvocationPolicy policy) {
+  if (policy.max_attempts < 1) {
+    return InvalidArgument("invocation policy for '" + resource +
+                           "' needs max_attempts >= 1");
+  }
+  if (policy.breaker.enabled()) {
+    if (policy.breaker.failure_threshold <= 0.0 ||
+        policy.breaker.failure_threshold > 1.0) {
+      return InvalidArgument("breaker failure_threshold for '" + resource +
+                             "' must be in (0, 1]");
+    }
+    if (policy.breaker.half_open_probes < 1) {
+      return InvalidArgument("breaker for '" + resource +
+                             "' needs half_open_probes >= 1");
+    }
+  }
+  if (policy.fallback_resource == resource) {
+    return InvalidArgument("resource '" + resource +
+                           "' cannot be its own fallback");
+  }
+  auto state = std::make_shared<PolicyState>();
+  if (policy.breaker.enabled()) {
+    state->breaker = std::make_shared<CircuitBreaker>(policy.breaker);
+  }
+  state->policy = std::move(policy);
+  std::unique_lock lock(mutex_);
+  policies_[resource] = std::move(state);
+  return Status::Ok();
+}
+
+InvocationPolicy ResourceManager::policy(const std::string& resource) const {
+  std::shared_lock lock(mutex_);
+  auto it = policies_.find(resource);
+  return it == policies_.end() ? InvocationPolicy{} : it->second->policy;
+}
+
+CircuitBreaker::State ResourceManager::breaker_state(
+    const std::string& resource) const {
+  std::shared_ptr<CircuitBreaker> breaker;
   {
     std::shared_lock lock(mutex_);
-    auto it = adapters_.find(resource);
-    if (it == adapters_.end()) {
-      return NotFound("no resource adapter '" + resource + "'");
-    }
-    adapter = it->second;
+    auto it = policies_.find(resource);
+    if (it != policies_.end()) breaker = it->second->breaker;
   }
+  return breaker == nullptr ? CircuitBreaker::State::kClosed
+                            : breaker->state();
+}
+
+void ResourceManager::set_metrics(obs::MetricsRegistry* metrics) noexcept {
+  if (metrics == nullptr) {
+    commands_counter_ = exceptions_counter_ = retries_counter_ =
+        exhausted_counter_ = breaker_open_counter_ =
+            breaker_transitions_counter_ = fallbacks_counter_ = nullptr;
+    return;
+  }
+  commands_counter_ = &metrics->counter("broker.commands");
+  exceptions_counter_ = &metrics->counter("broker.adapter_exceptions");
+  retries_counter_ = &metrics->counter("broker.retries");
+  exhausted_counter_ = &metrics->counter("broker.retry_exhausted");
+  breaker_open_counter_ = &metrics->counter("broker.breaker_open");
+  breaker_transitions_counter_ = &metrics->counter(
+      "broker.breaker_transitions");
+  fallbacks_counter_ = &metrics->counter("broker.fallbacks");
+}
+
+Result<model::Value> ResourceManager::invoke_attempt(
+    ResourceAdapter& adapter, const std::string& resource,
+    const std::string& command, const Args& args) {
   trace_.record(resource, command, args);
-  if (commands_counter_ != nullptr) commands_counter_->add();
+  count(commands_counter_);
   log_debug("resource-manager")
       << resource << "." << format_invocation(command, args);
   // Adapters are plugin code over external resources; this is the fault
@@ -70,21 +128,214 @@ Result<model::Value> ResourceManager::invoke(const std::string& resource,
   // through the controller's EU stack (which would strand queued signals
   // for the next request to pick up).
   try {
-    return adapter->execute(command, args);
+    return adapter.execute(command, args);
   } catch (const std::exception& e) {
-    if (exceptions_counter_ != nullptr) exceptions_counter_->add();
+    count(exceptions_counter_);
     log_error("resource-manager")
         << resource << "." << command << " threw: " << e.what();
     return ExecutionError("resource adapter '" + resource +
                           "' threw during '" + command + "': " + e.what());
   } catch (...) {
-    if (exceptions_counter_ != nullptr) exceptions_counter_->add();
+    count(exceptions_counter_);
     log_error("resource-manager")
         << resource << "." << command << " threw a non-std::exception";
     return ExecutionError("resource adapter '" + resource +
                           "' threw a non-std::exception during '" + command +
                           "'");
   }
+}
+
+Result<model::Value> ResourceManager::invoke(const std::string& resource,
+                                             const std::string& command,
+                                             const Args& args,
+                                             obs::RequestContext& context) {
+  // Pin the adapter (and its policy) under a brief shared lock, execute
+  // unlocked: a concurrent remove_adapter() unregisters immediately while
+  // this call finishes on the pinned instance, and an adapter that
+  // re-enters invoke() through the bus (event → autonomic plan → kInvoke)
+  // cannot self-deadlock on the map lock.
+  std::shared_ptr<ResourceAdapter> adapter;
+  std::shared_ptr<PolicyState> state;
+  {
+    std::shared_lock lock(mutex_);
+    auto it = adapters_.find(resource);
+    if (it == adapters_.end()) {
+      return NotFound("no resource adapter '" + resource + "'");
+    }
+    adapter = it->second;
+    auto policy_it = policies_.find(resource);
+    if (policy_it != policies_.end()) state = policy_it->second;
+  }
+  if (state == nullptr) {
+    // Fire-once fast path (no policy): identical to the historical
+    // behavior plus the deadline gate around the resource call itself —
+    // a request with no budget left must not issue the command at all.
+    if (Status gate = context.check_deadline("broker.invoke"); !gate.ok()) {
+      return gate;
+    }
+    return invoke_attempt(*adapter, resource, command, args);
+  }
+  return invoke_with_policy(std::move(adapter), state, resource, command,
+                            args, context);
+}
+
+Result<model::Value> ResourceManager::invoke_with_policy(
+    std::shared_ptr<ResourceAdapter> adapter,
+    const std::shared_ptr<PolicyState>& state, const std::string& resource,
+    const std::string& command, const Args& args,
+    obs::RequestContext& context) {
+  const InvocationPolicy& policy = state->policy;
+  const Clock& clock = context.clock();
+  // One jitter chain per logical invoke; the per-chain seed keeps soak
+  // runs repeatable without sharing RNG state across threads.
+  RetryBackoff backoff(
+      policy.initial_backoff, policy.max_backoff,
+      policy.jitter_seed +
+          state->chains.fetch_add(1, std::memory_order_relaxed));
+  Status last_status;
+  for (int attempt = 1; attempt <= policy.max_attempts; ++attempt) {
+    CircuitBreaker::AdmitResult admitted{};
+    if (state->breaker != nullptr) {
+      admitted = state->breaker->admit(clock.now());
+      if (admitted.admission == CircuitBreaker::Admission::kReject) {
+        count(breaker_open_counter_);
+        log_debug("resource-manager")
+            << resource << "." << command << " fast-failed: circuit open";
+        return invoke_fallback(
+            policy, resource, command, args, context,
+            Unavailable("circuit open for resource '" + resource + "' ('" +
+                        command + "' fast-failed)"));
+      }
+    }
+    // The deadline budget gates every attempt, not just layer crossings:
+    // a stalled previous attempt must not let this one start over budget.
+    if (Status gate = context.check_deadline("broker.invoke"); !gate.ok()) {
+      if (state->breaker != nullptr &&
+          admitted.admission == CircuitBreaker::Admission::kProbe) {
+        // The admitted probe never ran; retire its slot (as a failure, so
+        // the breaker re-opens) rather than leaking it — a leaked probe
+        // slot would reject every future probe and wedge the breaker
+        // half-open forever. Closed-state admissions need no retiring and
+        // must not record a synthetic outcome in the window.
+        publish_transition(resource,
+                           state->breaker->on_result(admitted.admission,
+                                                     false, clock.now()));
+      }
+      count(exhausted_counter_);
+      return gate;
+    }
+    if (attempt > 1) count(retries_counter_);
+    std::uint64_t span =
+        context.open_span("broker.attempt", resource + "." + command + "#" +
+                                                std::to_string(attempt));
+    const TimePoint started = clock.now();
+    Result<model::Value> outcome =
+        invoke_attempt(*adapter, resource, command, args);
+    const Duration took = clock.now() - started;
+    context.close_span(span);
+    const bool success = outcome.ok();
+    if (state->breaker != nullptr) {
+      publish_transition(resource,
+                         state->breaker->on_result(admitted.admission,
+                                                   success, clock.now()));
+    }
+    if (success) return outcome;
+    last_status = outcome.status();
+    // Cooperative per-attempt timeout: a synchronous adapter cannot be
+    // preempted, but a failure that stalled past the attempt budget is
+    // a timeout fault (retryable), whatever the adapter claimed.
+    if (policy.attempt_timeout.count() > 0 && took >= policy.attempt_timeout) {
+      last_status = Timeout(
+          "resource '" + resource + "' attempt " + std::to_string(attempt) +
+          " of '" + command + "' exceeded its " +
+          std::to_string(policy.attempt_timeout.count()) + "us budget (" +
+          last_status.to_string() + ")");
+    }
+    if (!retryable(last_status.code())) {
+      // Permanent fault (authoring/registry error): retrying or degrading
+      // to a fallback would only mask it.
+      return last_status;
+    }
+    if (attempt == policy.max_attempts) break;
+    Duration delay = backoff.next();
+    if (std::optional<TimePoint> deadline = context.deadline()) {
+      const Duration remaining = *deadline - clock.now();
+      if (remaining.count() <= 0 || delay >= remaining) {
+        // Sleeping the backoff would blow the budget; give up with the
+        // budget intact rather than returning late.
+        count(exhausted_counter_);
+        return invoke_fallback(
+            policy, resource, command, args, context,
+            Timeout("resource '" + resource + "' retry budget exhausted "
+                    "after attempt " +
+                    std::to_string(attempt) + " of '" + command + "' (" +
+                    last_status.to_string() + ")"));
+      }
+    }
+    if (delay.count() > 0) {
+      if (sleep_hook_ != nullptr) {
+        sleep_hook_(delay);
+      } else {
+        std::this_thread::sleep_for(delay);
+      }
+    }
+  }
+  count(exhausted_counter_);
+  log_warn("resource-manager")
+      << resource << "." << command << " failed after "
+      << policy.max_attempts << " attempts: " << last_status.to_string();
+  return invoke_fallback(policy, resource, command, args, context,
+                         std::move(last_status));
+}
+
+Result<model::Value> ResourceManager::invoke_fallback(
+    const InvocationPolicy& policy, const std::string& resource,
+    const std::string& command, const Args& args,
+    obs::RequestContext& context, Status primary_status) {
+  if (policy.fallback_resource.empty()) return primary_status;
+  std::shared_ptr<ResourceAdapter> fallback;
+  {
+    std::shared_lock lock(mutex_);
+    auto it = adapters_.find(policy.fallback_resource);
+    if (it != adapters_.end()) fallback = it->second;
+  }
+  if (fallback == nullptr) {
+    log_warn("resource-manager")
+        << resource << " fallback '" << policy.fallback_resource
+        << "' is not registered";
+    return primary_status;
+  }
+  count(fallbacks_counter_);
+  bus_->publish("resource.degraded", resource,
+                model::Value(model::ValueList{
+                    model::Value(resource),
+                    model::Value(policy.fallback_resource),
+                    model::Value(command)}));
+  std::uint64_t span = context.open_span(
+      "broker.fallback", resource + "->" + policy.fallback_resource);
+  Result<model::Value> outcome = invoke_attempt(
+      *fallback, policy.fallback_resource, command, args);
+  context.close_span(span);
+  if (!outcome.ok()) {
+    // The degraded path failed too; the primary fault is the one worth
+    // reporting upward.
+    return primary_status;
+  }
+  if (!policy.tag_degraded) return outcome;
+  return model::Value(model::ValueList{model::Value("degraded"),
+                                       std::move(outcome.value())});
+}
+
+void ResourceManager::publish_transition(
+    const std::string& resource, CircuitBreaker::Transition transition) {
+  if (transition == CircuitBreaker::Transition::kNone) return;
+  count(breaker_transitions_counter_);
+  const bool opened = transition == CircuitBreaker::Transition::kOpened;
+  log_warn("resource-manager")
+      << "circuit for '" << resource << "' "
+      << (opened ? "opened" : "closed");
+  bus_->publish(opened ? "resource.breaker.open" : "resource.breaker.close",
+                resource, model::Value(resource));
 }
 
 }  // namespace mdsm::broker

@@ -3,6 +3,13 @@
 // resources (communication services, microgrid controllers, smart
 // objects, sensing devices); the manager routes commands, records the
 // command trace, and forwards resource events onto the layer's bus.
+//
+// The manager is also the platform's fault boundary to the outside
+// world: per-resource InvocationPolicies add bounded retries (with
+// decorrelated-jitter backoff that consumes the request's deadline
+// budget), circuit breakers, and fallback adapters for graceful
+// degradation. Resources without a policy keep exact fire-once
+// semantics.
 #pragma once
 
 #include <functional>
@@ -13,8 +20,10 @@
 #include <vector>
 
 #include "broker/broker_types.hpp"
+#include "broker/invocation_policy.hpp"
 #include "common/status.hpp"
 #include "obs/metrics.hpp"
+#include "obs/request_context.hpp"
 #include "runtime/event_bus.hpp"
 
 namespace mdsm::broker {
@@ -50,7 +59,10 @@ class ResourceAdapter {
 
 class ResourceManager {
  public:
-  /// Resource events are republished on `bus` as "resource.<topic>".
+  /// Resource events are republished on `bus` as "resource.<topic>";
+  /// breaker trips/recoveries surface as "resource.breaker.open" /
+  /// "resource.breaker.close" and degraded fallbacks as
+  /// "resource.degraded", so autonomic symptoms can react to them.
   explicit ResourceManager(runtime::EventBus& bus) : bus_(&bus) {}
 
   Status add_adapter(std::unique_ptr<ResourceAdapter> adapter);
@@ -59,48 +71,118 @@ class ResourceManager {
   Status remove_adapter(const std::string& name);
   /// Borrowed pointer; may dangle across a concurrent remove_adapter().
   /// Steady-state invocation goes through invoke(), which pins the
-  /// adapter for the duration of the call.
+  /// adapter for the duration of the call; presence checks should use
+  /// has_adapter(), which never exposes the pointer.
   [[nodiscard]] ResourceAdapter* find_adapter(std::string_view name);
+  [[nodiscard]] bool has_adapter(std::string_view name) const;
   [[nodiscard]] std::vector<std::string> adapter_names() const;
 
-  /// Issue a command to a named resource; records the trace entry
-  /// *before* execution so failed commands still appear (they were
-  /// issued), matching how a wire trace would look. Exceptions escaping
-  /// the adapter are caught here and degraded to an ExecutionError
-  /// status (counted in "broker.adapter_exceptions") — an adapter can
-  /// never unwind the layers above it.
-  Result<model::Value> invoke(const std::string& resource,
-                              const std::string& command, const Args& args);
+  /// Install (or replace) the invocation policy for `resource`. May be
+  /// called before the adapter itself is registered (the assembler loads
+  /// specs first). A breaker-enabled policy gets a fresh, closed breaker.
+  Status set_policy(const std::string& resource, InvocationPolicy policy);
+  /// The resource's policy, or the fire-once default when none is set.
+  [[nodiscard]] InvocationPolicy policy(const std::string& resource) const;
+  /// Breaker state for diagnostics/tests; kClosed when no breaker is set.
+  [[nodiscard]] CircuitBreaker::State breaker_state(
+      const std::string& resource) const;
 
-  [[nodiscard]] const CommandTrace& trace() const noexcept { return trace_; }
-  [[nodiscard]] CommandTrace& trace() noexcept { return trace_; }
-
-  /// Platform-wide metrics sink: every invoked resource command bumps
-  /// "broker.commands"; every contained adapter exception bumps
-  /// "broker.adapter_exceptions" (optional; wired via the broker layer).
-  void set_metrics(obs::MetricsRegistry* metrics) noexcept {
-    commands_counter_ =
-        metrics == nullptr ? nullptr : &metrics->counter("broker.commands");
-    exceptions_counter_ =
-        metrics == nullptr
-            ? nullptr
-            : &metrics->counter("broker.adapter_exceptions");
+  /// Replaces the real sleep used for retry backoff (simulated-clock
+  /// tests advance their SimClock here instead of wall-blocking).
+  /// Configure at assembly time, before steady-state traffic.
+  void set_sleep_hook(std::function<void(Duration)> hook) {
+    sleep_hook_ = std::move(hook);
   }
 
+  /// Issue a command to a named resource under its invocation policy;
+  /// each physical attempt records a trace entry *before* execution so
+  /// failed commands still appear (they were issued), matching how a
+  /// wire trace would look. Exceptions escaping the adapter are caught
+  /// here and degraded to an ExecutionError status (counted in
+  /// "broker.adapter_exceptions") — an adapter can never unwind the
+  /// layers above it. Retries consume `context`'s deadline budget: the
+  /// loop never issues an attempt (or sleeps a backoff) past the
+  /// request deadline. The context-free overload runs under the shared
+  /// noop context (no deadline, no spans).
+  Result<model::Value> invoke(const std::string& resource,
+                              const std::string& command, const Args& args,
+                              obs::RequestContext& context);
+  Result<model::Value> invoke(const std::string& resource,
+                              const std::string& command, const Args& args) {
+    return invoke(resource, command, args, obs::RequestContext::noop());
+  }
+
+  [[nodiscard]] const CommandTrace& trace() const noexcept { return trace_; }
+  /// Reset the command trace (benchmarks between phases). The previous
+  /// mutable trace() accessor is gone: concurrent invoke()s append under
+  /// the trace's own lock, and handing out a mutable reference invited
+  /// unsynchronized mutation around it.
+  void clear_trace() { trace_.clear(); }
+
+  /// Platform-wide metrics sink: every attempted resource command bumps
+  /// "broker.commands"; contained adapter exceptions bump
+  /// "broker.adapter_exceptions"; the fault-tolerance loop records
+  /// "broker.retries" (attempts after the first), "broker.retry_exhausted"
+  /// (policy-managed invokes that gave up — attempts or deadline budget
+  /// spent), "broker.breaker_open" (fast-fail rejections while open),
+  /// "broker.breaker_transitions" (state-machine edges) and
+  /// "broker.fallbacks" (degraded invocations attempted).
+  void set_metrics(obs::MetricsRegistry* metrics) noexcept;
+
  private:
+  /// Per-resource fault-tolerance state; immutable policy after set,
+  /// breaker internally synchronized, chain counter seeds backoff jitter.
+  struct PolicyState {
+    InvocationPolicy policy;
+    std::shared_ptr<CircuitBreaker> breaker;
+    std::atomic<std::uint64_t> chains{0};
+  };
+
+  /// One physical attempt: trace record, metrics, exception containment.
+  Result<model::Value> invoke_attempt(ResourceAdapter& adapter,
+                                      const std::string& resource,
+                                      const std::string& command,
+                                      const Args& args);
+  Result<model::Value> invoke_with_policy(
+      std::shared_ptr<ResourceAdapter> adapter,
+      const std::shared_ptr<PolicyState>& state, const std::string& resource,
+      const std::string& command, const Args& args,
+      obs::RequestContext& context);
+  /// Degraded path: fire-once on the fallback adapter; a success is
+  /// tagged ["degraded", value] when the policy asks for it, a failure
+  /// surfaces `primary_status` (the more informative fault).
+  Result<model::Value> invoke_fallback(const InvocationPolicy& policy,
+                                       const std::string& resource,
+                                       const std::string& command,
+                                       const Args& args,
+                                       obs::RequestContext& context,
+                                       Status primary_status);
+  void publish_transition(const std::string& resource,
+                          CircuitBreaker::Transition transition);
+  void count(obs::Counter* counter) {
+    if (counter != nullptr) counter->add();
+  }
+
   runtime::EventBus* bus_;
   obs::Counter* commands_counter_ = nullptr;
   obs::Counter* exceptions_counter_ = nullptr;
-  /// Reader/writer lock over the adapter map only — never held across
-  /// adapter execution (an adapter event can re-enter invoke() on the
-  /// same thread via the bus and the autonomic manager, so holding the
-  /// lock through execute() would self-deadlock). invoke() copies the
-  /// shared_ptr under the shared side and executes unlocked; concurrent
-  /// commands to the same adapter overlap (adapters synchronize
-  /// internally as needed).
+  obs::Counter* retries_counter_ = nullptr;
+  obs::Counter* exhausted_counter_ = nullptr;
+  obs::Counter* breaker_open_counter_ = nullptr;
+  obs::Counter* breaker_transitions_counter_ = nullptr;
+  obs::Counter* fallbacks_counter_ = nullptr;
+  std::function<void(Duration)> sleep_hook_;  ///< null = real sleep
+  /// Reader/writer lock over the adapter and policy maps only — never
+  /// held across adapter execution (an adapter event can re-enter
+  /// invoke() on the same thread via the bus and the autonomic manager,
+  /// so holding the lock through execute() would self-deadlock).
+  /// invoke() copies the shared_ptrs under the shared side and executes
+  /// unlocked; concurrent commands to the same adapter overlap (adapters
+  /// synchronize internally as needed).
   mutable std::shared_mutex mutex_;
   std::map<std::string, std::shared_ptr<ResourceAdapter>, std::less<>>
       adapters_;
+  std::map<std::string, std::shared_ptr<PolicyState>, std::less<>> policies_;
   CommandTrace trace_;
 };
 

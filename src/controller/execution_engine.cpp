@@ -130,6 +130,13 @@ Result<model::Value> ExecutionEngine::run(Frame initial,
       return ExecutionError("execution exceeded " +
                             std::to_string(config_.max_steps) + " steps");
     }
+    // The EU loop is the controller's steady-state: checking here (not
+    // just at the layer crossing) stops a long instruction stream as soon
+    // as the budget runs out instead of at the next broker call.
+    if (Status budget = context.check_deadline("controller.engine");
+        !budget.ok()) {
+      return budget;
+    }
     stats_.instructions.fetch_add(1, std::memory_order_relaxed);
     switch (instruction->op) {
       case OpCode::kNoop:

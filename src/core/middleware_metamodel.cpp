@@ -107,6 +107,31 @@ Metamodel build() {
   resource.add_attribute({.name = "optional",
                           .type = AttrType::kBool,
                           .default_value = Value(false)});
+  // Fault-tolerance policy (decoded into a broker::InvocationPolicy; the
+  // defaults reproduce fire-once semantics so existing models are
+  // unaffected).
+  resource.add_attribute({.name = "max_attempts",
+                          .type = AttrType::kInt,
+                          .default_value = Value(1)});
+  resource.add_attribute({.name = "backoff_us",
+                          .type = AttrType::kInt,
+                          .default_value = Value(500)});
+  resource.add_attribute({.name = "max_backoff_us",
+                          .type = AttrType::kInt,
+                          .default_value = Value(50'000)});
+  resource.add_attribute({.name = "attempt_timeout_us",
+                          .type = AttrType::kInt,
+                          .default_value = Value(0)});
+  resource.add_attribute({.name = "fallback", .type = AttrType::kString});
+  resource.add_attribute({.name = "breaker_window",
+                          .type = AttrType::kInt,
+                          .default_value = Value(0)});
+  resource.add_attribute({.name = "breaker_threshold",
+                          .type = AttrType::kReal,
+                          .default_value = Value(0.5)});
+  resource.add_attribute({.name = "breaker_cooldown_us",
+                          .type = AttrType::kInt,
+                          .default_value = Value(10'000)});
 
   auto& broker = mm.add_class("BrokerLayerSpec");
   broker.add_attribute({.name = "enabled",

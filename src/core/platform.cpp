@@ -214,8 +214,37 @@ Status Platform::load_broker_spec(const model::Model& middleware_model,
   }
   for (const model::ModelObject* resource_spec :
        middleware_model.children(broker_spec.id(), "resources")) {
+    const std::string resource_name = resource_spec->get_string("name");
     if (!resource_spec->get_bool("optional", false)) {
-      required_resources_.push_back(resource_spec->get_string("name"));
+      required_resources_.push_back(resource_name);
+    }
+    // Decode the spec's fault-tolerance attributes into an
+    // InvocationPolicy. The metamodel defaults describe fire-once with no
+    // breaker and no fallback; only specs that deviate get a policy
+    // installed, so unconfigured resources keep the zero-overhead path.
+    broker::InvocationPolicy policy;
+    policy.max_attempts =
+        static_cast<int>(resource_spec->get_int("max_attempts", 1));
+    policy.initial_backoff = Duration(resource_spec->get_int("backoff_us",
+                                                             500));
+    policy.max_backoff = Duration(resource_spec->get_int("max_backoff_us",
+                                                         50'000));
+    policy.attempt_timeout =
+        Duration(resource_spec->get_int("attempt_timeout_us", 0));
+    policy.fallback_resource = resource_spec->get_string("fallback");
+    policy.breaker.window = static_cast<std::size_t>(
+        resource_spec->get_int("breaker_window", 0));
+    policy.breaker.failure_threshold =
+        resource_spec->get_real("breaker_threshold", 0.5);
+    policy.breaker.cooldown =
+        Duration(resource_spec->get_int("breaker_cooldown_us", 10'000));
+    const bool configured = policy.max_attempts != 1 ||
+                            policy.attempt_timeout.count() != 0 ||
+                            !policy.fallback_resource.empty() ||
+                            policy.breaker.enabled();
+    if (configured) {
+      MDSM_RETURN_IF_ERROR(
+          broker_->set_invocation_policy(resource_name, std::move(policy)));
     }
   }
   // The broker keeps the application runtime model (models@runtime).
@@ -297,7 +326,7 @@ Status Platform::start() {
   std::lock_guard lock(lifecycle_mutex_);
   if (running_.load(std::memory_order_acquire)) return Status::Ok();
   for (const std::string& required : required_resources_) {
-    if (broker_->resources().find_adapter(required) == nullptr) {
+    if (!broker_->resources().has_adapter(required)) {
       return FailedPrecondition("required resource adapter '" + required +
                                 "' is not installed");
     }

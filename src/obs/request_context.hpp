@@ -65,8 +65,11 @@ class RequestContext {
   [[nodiscard]] std::optional<TimePoint> deadline() const noexcept {
     return deadline_;
   }
+  /// A request exactly at its deadline has no budget left: with a
+  /// microsecond-granular SimClock, `now == deadline` means the whole
+  /// allowance is spent, so the boundary counts as expired.
   [[nodiscard]] bool expired() const noexcept {
-    return deadline_.has_value() && clock_->now() > *deadline_;
+    return deadline_.has_value() && clock_->now() >= *deadline_;
   }
   /// Ok, or a Timeout status naming the layer that hit the deadline.
   [[nodiscard]] Status check_deadline(std::string_view layer) const;

@@ -1,23 +1,23 @@
 #include "runtime/timer_service.hpp"
 
-#include <vector>
+#include "common/log.hpp"
 
 namespace mdsm::runtime {
 
 std::uint64_t TimerService::schedule(Duration delay, Callback callback) {
   std::uint64_t id = next_id();
-  timers_.emplace(clock_->now() + delay, Entry{id, std::move(callback)});
+  auto it = timers_.emplace(clock_->now() + delay,
+                            Entry{id, std::move(callback)});
+  index_.emplace(id, it);
   return id;
 }
 
 bool TimerService::cancel(std::uint64_t timer_id) {
-  for (auto it = timers_.begin(); it != timers_.end(); ++it) {
-    if (it->second.id == timer_id) {
-      timers_.erase(it);
-      return true;
-    }
-  }
-  return false;
+  auto indexed = index_.find(timer_id);
+  if (indexed == index_.end()) return false;
+  timers_.erase(indexed->second);
+  index_.erase(indexed);
+  return true;
 }
 
 std::size_t TimerService::run_due() {
@@ -28,9 +28,22 @@ std::size_t TimerService::run_due() {
     auto it = timers_.begin();
     if (it->first > clock_->now()) break;
     Callback callback = std::move(it->second.callback);
+    index_.erase(it->second.id);
     timers_.erase(it);
-    callback();
+    // The timer is retired before its callback runs, so a throw cannot
+    // leave a half-fired entry behind; it counts as fired (it ran) and
+    // the drain moves on to the next due deadline.
     ++fired;
+    try {
+      callback();
+    } catch (const std::exception& e) {
+      ++callback_failures_;
+      log_error("timer-service") << "timer callback threw: " << e.what();
+    } catch (...) {
+      ++callback_failures_;
+      log_error("timer-service") << "timer callback threw a non-std "
+                                    "exception";
+    }
   }
   return fired;
 }

@@ -24,17 +24,25 @@ class TimerService {
   /// Schedule `callback` to fire once `delay` from now. Returns timer id.
   std::uint64_t schedule(Duration delay, Callback callback);
 
-  /// Cancel; returns false if already fired or unknown.
+  /// Cancel; returns false if already fired or unknown. O(log n) via the
+  /// id index (was a linear scan over every pending timer).
   bool cancel(std::uint64_t timer_id);
 
   /// Fire every timer whose deadline is <= now, in deadline order.
   /// Returns the number fired. Callbacks may schedule further timers.
+  /// A throwing callback loses only its own timer: the exception is
+  /// contained (counted in callback_failures()) and the drain continues —
+  /// one bad timer must not wedge every deadline scheduled behind it.
   std::size_t run_due();
 
   /// Deadline of the earliest pending timer, or nullopt.
   [[nodiscard]] std::optional<TimePoint> next_deadline() const;
 
   [[nodiscard]] std::size_t pending() const noexcept { return timers_.size(); }
+  /// Callbacks whose exceptions run_due() swallowed.
+  [[nodiscard]] std::uint64_t callback_failures() const noexcept {
+    return callback_failures_;
+  }
 
  private:
   struct Entry {
@@ -44,6 +52,9 @@ class TimerService {
 
   const Clock* clock_;
   std::multimap<TimePoint, Entry> timers_;
+  /// id → position in `timers_`, kept in lockstep for O(log n) cancel.
+  std::map<std::uint64_t, std::multimap<TimePoint, Entry>::iterator> index_;
+  std::uint64_t callback_failures_ = 0;
 };
 
 }  // namespace mdsm::runtime

@@ -14,7 +14,9 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "broker/chaos_adapter.hpp"
@@ -176,7 +178,14 @@ struct SoakPlatform {
 };
 
 /// Assemble + start the soak platform with `config` faults on "svc".
-inline SoakPlatform make_soak_platform(broker::ChaosConfig config) {
+/// When `policy` is set it is installed on "svc" before start, so the
+/// soak exercises the broker's retry/breaker/fallback path; backoff
+/// sleeps then go through the manager's sleep hook if one is also given
+/// (null keeps real sleeping — fine, the backoffs are microseconds).
+inline SoakPlatform make_soak_platform(
+    broker::ChaosConfig config,
+    std::optional<broker::InvocationPolicy> policy = std::nullopt,
+    std::function<void(Duration)> sleep_hook = nullptr) {
   SoakPlatform out;
   out.dsml = model::testing::make_test_metamodel();
   core::PlatformConfig platform_config;
@@ -196,6 +205,14 @@ inline SoakPlatform make_soak_platform(broker::ChaosConfig config) {
   out.chaos = chaos.get();
   out.status = out.platform->add_resource_adapter(std::move(chaos));
   if (!out.status.ok()) return out;
+  if (policy.has_value()) {
+    out.status = out.platform->broker().set_invocation_policy(
+        "svc", std::move(*policy));
+    if (!out.status.ok()) return out;
+  }
+  if (sleep_hook != nullptr) {
+    out.platform->broker().resources().set_sleep_hook(std::move(sleep_hook));
+  }
   out.status = out.platform->start();
   return out;
 }

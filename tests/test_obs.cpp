@@ -203,6 +203,19 @@ TEST(RequestContextTest, DeadlineExpiresOnSimClock) {
   EXPECT_NE(late.to_string().find("controller"), std::string::npos);
 }
 
+TEST(RequestContextTest, DeadlineBoundaryCountsAsExpired) {
+  // At now == deadline the full budget is spent; the boundary instant
+  // must not admit one more layer crossing.
+  SimClock clock;
+  RequestContext context(clock, nullptr, Duration(100));
+  clock.advance(Duration(99));
+  EXPECT_FALSE(context.expired());
+  EXPECT_TRUE(context.check_deadline("broker").ok());
+  clock.advance(Duration(1));
+  EXPECT_TRUE(context.expired());
+  EXPECT_EQ(context.check_deadline("broker").code(), ErrorCode::kTimeout);
+}
+
 TEST(AmbientScope, InstallsAndRestoresCurrent) {
   EXPECT_EQ(current(), nullptr);
   RequestContext outer_context;

@@ -310,6 +310,45 @@ TEST(TimerService, CallbackMayScheduleImmediateTimer) {
   EXPECT_EQ(fired, 2);
 }
 
+TEST(TimerService, ThrowingCallbackDoesNotAbortTheDrain) {
+  SimClock clock;
+  TimerService timers(clock);
+  std::vector<int> fired;
+  timers.schedule(Duration(1), [&] { fired.push_back(1); });
+  timers.schedule(Duration(2), [&]() -> void {
+    throw std::runtime_error("timer fault injected");
+  });
+  timers.schedule(Duration(3), [&] { fired.push_back(3); });
+  clock.advance(Duration(10));
+  // All three ran (the throwing one counts as fired: it was retired and
+  // invoked); the timers behind the fault still fired.
+  EXPECT_EQ(timers.run_due(), 3u);
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+  EXPECT_EQ(timers.callback_failures(), 1u);
+  EXPECT_EQ(timers.pending(), 0u);
+}
+
+TEST(TimerService, CancelScalesViaIdIndex) {
+  SimClock clock;
+  TimerService timers(clock);
+  // Many pending timers, cancelled out of schedule order — the id index
+  // must stay in lockstep with the deadline map through the churn.
+  std::vector<std::uint64_t> ids;
+  int fired = 0;
+  for (int i = 0; i < 200; ++i) {
+    ids.push_back(timers.schedule(Duration(100 + i), [&] { ++fired; }));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 2) {
+    EXPECT_TRUE(timers.cancel(ids[i]));
+  }
+  EXPECT_EQ(timers.pending(), 100u);
+  clock.advance(Duration(1'000));
+  EXPECT_EQ(timers.run_due(), 100u);
+  EXPECT_EQ(fired, 100);
+  // Every cancelled and fired id is now unknown.
+  for (std::uint64_t id : ids) EXPECT_FALSE(timers.cancel(id));
+}
+
 TEST(TimerService, NextDeadlineReported) {
   SimClock clock;
   TimerService timers(clock);
