@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# PR-4 bench trajectory: runs bench_throughput (serialized-baseline
+# PR-5 bench trajectory: runs bench_throughput (serialized-baseline
 # "before" rows and concurrent-pipeline "after" rows in one binary),
-# bench_im_generation, bench_trace_overhead, and bench_resilience
-# (retry/breaker goodput against a chaotic resource), then composes their
-# JSON outputs into a consolidated BENCH_4.json at the repo root.
+# bench_im_generation, bench_trace_overhead, bench_resilience
+# (retry/breaker goodput against a chaotic resource), and bench_overload
+# (goodput/shed-rate/p99 as offered load sweeps 1x-10x of pipeline
+# capacity), then composes their JSON outputs into a consolidated
+# BENCH_5.json at the repo root.
 #
 # Usage: bench/run_benches.sh [build-dir] [--smoke]
 #   build-dir  defaults to <repo>/build
@@ -22,7 +24,7 @@ done
 BENCH_DIR="$BUILD/bench"
 
 for binary in bench_throughput bench_im_generation bench_trace_overhead \
-              bench_resilience; do
+              bench_resilience bench_overload; do
   if [ ! -x "$BENCH_DIR/$binary" ]; then
     echo "missing $BENCH_DIR/$binary — build the repo first" >&2
     exit 1
@@ -33,22 +35,25 @@ if [ "$SMOKE" = 1 ]; then
   throughput_json="$("$BENCH_DIR/bench_throughput" --smoke --json)"
   im_json="$("$BENCH_DIR/bench_im_generation" --json --cycles 2000)"
   resilience_json="$("$BENCH_DIR/bench_resilience" --smoke)"
+  overload_json="$("$BENCH_DIR/bench_overload" --smoke --json)" || true
 else
   throughput_json="$("$BENCH_DIR/bench_throughput" --json)"
   im_json="$("$BENCH_DIR/bench_im_generation" --json)"
   resilience_json="$("$BENCH_DIR/bench_resilience")"
+  overload_json="$("$BENCH_DIR/bench_overload" --json)" || true
 fi
 trace_json="$("$BENCH_DIR/bench_trace_overhead")"
 
-OUT="$ROOT/BENCH_4.json"
+OUT="$ROOT/BENCH_5.json"
 {
   printf '{\n'
-  printf '  "pr": 4,\n'
+  printf '  "pr": 5,\n'
   printf '  "smoke": %s,\n' "$([ "$SMOKE" = 1 ] && echo true || echo false)"
   printf '  "throughput": %s,\n' "$throughput_json"
   printf '  "im_generation": %s,\n' "$im_json"
   printf '  "trace_overhead": %s,\n' "$trace_json"
-  printf '  "resilience": %s\n' "$resilience_json"
+  printf '  "resilience": %s,\n' "$resilience_json"
+  printf '  "overload": %s\n' "$overload_json"
   printf '}\n'
 } > "$OUT"
 echo "wrote $OUT"

@@ -304,6 +304,26 @@ Metamodel build() {
   platform.add_attribute(
       {.name = "name", .type = AttrType::kString, .required = true});
   platform.add_attribute({.name = "domain", .type = AttrType::kString});
+  // Overload protection (decoded into the async pipeline's bounded
+  // queue and the UI-layer admission controller; the defaults reproduce
+  // the unbounded, admit-everything behaviour so existing models are
+  // unaffected).
+  platform.add_attribute({.name = "queue_capacity",
+                          .type = AttrType::kInt,
+                          .default_value = Value(0)});
+  platform.add_attribute({.name = "overflow_policy",
+                          .type = AttrType::kEnum,
+                          .enum_literals = {"reject", "block", "shed-oldest"},
+                          .default_value = Value("reject")});
+  platform.add_attribute({.name = "admission",
+                          .type = AttrType::kBool,
+                          .default_value = Value(false)});
+  platform.add_attribute({.name = "admission_alpha",
+                          .type = AttrType::kReal,
+                          .default_value = Value(0.2)});
+  platform.add_attribute({.name = "admission_safety",
+                          .type = AttrType::kReal,
+                          .default_value = Value(1.0)});
   platform.add_reference({.name = "broker",
                           .target_class = "BrokerLayerSpec",
                           .containment = true,

@@ -48,6 +48,26 @@ Result<std::unique_ptr<Platform>> Platform::assemble(
   platform->pipeline_threads_ = config.pipeline_threads;
   if (config.clock != nullptr) platform->clock_ = config.clock;
 
+  // Overload protection is model-driven (PR 5): the MiddlewarePlatform
+  // root declares the async pipeline's queue bound and overflow policy
+  // plus the UI-layer admission controller, exactly like ResourceSpec
+  // declares fault-tolerance. The defaults reproduce the pre-PR-5
+  // unbounded, admit-everything platform.
+  platform->pipeline_config_.queue_capacity =
+      static_cast<std::size_t>(root.get_int("queue_capacity", 0));
+  const std::string overflow = root.get_string("overflow_policy", "reject");
+  platform->pipeline_config_.overflow_policy =
+      overflow == "block"         ? runtime::OverflowPolicy::kBlock
+      : overflow == "shed-oldest" ? runtime::OverflowPolicy::kShedOldest
+                                  : runtime::OverflowPolicy::kReject;
+  AdmissionConfig admission_config;
+  admission_config.enabled = root.get_bool("admission", false);
+  admission_config.ewma_alpha = root.get_real("admission_alpha", 0.2);
+  admission_config.safety_factor = root.get_real("admission_safety", 1.0);
+  platform->admission_.configure(admission_config);
+  platform->admission_.set_metrics(&platform->metrics_);
+  platform->admission_.set_bus(&platform->bus_);
+
   // The component factory holds the layer "code templates"; assembly then
   // instantiates them with the model objects as metadata (paper §V-A).
   runtime::EventBus& bus = platform->bus_;
@@ -415,38 +435,112 @@ Result<controller::ControlScript> Platform::submit_model(
     return fail(
         FailedPrecondition("platform '" + name_ + "' is not started"));
   }
+  // UI-layer admission (PR 5): shed requests whose deadline is already
+  // spent or whose remaining budget cannot cover the predicted pipeline
+  // latency — before they cost any synthesis work. For async submissions
+  // this re-checks the enqueue-time decision after queue delay ate into
+  // the budget. Falls through to the plain deadline check when admission
+  // is disabled.
+  if (Status admitted = admission_.admit(context); !admitted.ok()) {
+    return fail(std::move(admitted));
+  }
   if (Status deadline = context.check_deadline("ui"); !deadline.ok()) {
     return fail(std::move(deadline));
   }
   Result<controller::ControlScript> script =
       synthesis_->submit_model(std::move(application_model), context);
+  // Feed the admission EWMA with the observed end-to-end latency (queue
+  // delay included — async contexts are minted at enqueue). Failures
+  // consumed pipeline time all the same, so they count too; admission
+  // sheds never reach this line.
+  admission_.record_latency(context.elapsed());
   if (!script.ok()) return fail(script.status());
+  // Overload contract: a success the caller's budget can no longer use
+  // is delivered as kTimeout, never as a late Ok. The pre-stage gates
+  // make this rare — it fires only when the final pipeline stage itself
+  // crossed the deadline.
+  if (context.expired()) {
+    metrics_.counter("ui.completed_late").add();
+    return fail(Timeout(context.tag() + " completed after its deadline"));
+  }
   return script;
 }
 
-Status Platform::submit_async(std::string text, SubmitCallback callback) {
+Status Platform::submit_async(std::string text, SubmitCallback callback,
+                              SubmitOptions options) {
   if (!running_.load(std::memory_order_acquire)) {
     return FailedPrecondition("platform '" + name_ + "' is not started");
   }
   {
     std::lock_guard lock(pipeline_mutex_);
     if (pipeline_ == nullptr) {
-      unsigned threads = pipeline_threads_ != 0
-                             ? pipeline_threads_
-                             : std::thread::hardware_concurrency();
-      if (threads == 0) threads = 1;
-      pipeline_ = std::make_unique<runtime::Executor>(threads);
+      runtime::ExecutorConfig config = pipeline_config_;
+      config.thread_count = pipeline_threads_ != 0
+                                ? pipeline_threads_
+                                : std::thread::hardware_concurrency();
+      if (config.thread_count == 0) config.thread_count = 1;
+      pipeline_ = std::make_unique<runtime::Executor>(config);
       pipeline_->set_metrics(&metrics_);
+      pipeline_->set_clock(clock_);
     }
   }
-  pipeline_->submit(
-      [this, text = std::move(text), callback = std::move(callback)] {
-        obs::RequestContext request(*clock_, &metrics_);
-        Result<controller::ControlScript> outcome =
-            submit_model_text(text, request);
-        if (callback != nullptr) callback(std::move(outcome));
-      });
-  return Status::Ok();
+  // The context is minted at enqueue, not at dequeue: queue delay counts
+  // against the request's deadline, shows up in its trace as the
+  // "runtime.queue" span, and flows into the admission EWMA. shared_ptr
+  // because std::function requires a copyable callable.
+  auto request = std::make_shared<obs::RequestContext>(*clock_, &metrics_,
+                                                       options.deadline);
+  if (options.high_priority) request->set_attribute("priority", "high");
+  // Enqueue-time admission: refuse doomed work before it costs a queue
+  // slot. submit_model re-checks at dequeue, after queue delay.
+  if (Status admitted = admission_.admit(*request); !admitted.ok()) {
+    return admitted;
+  }
+  const std::uint64_t queue_span = request->open_span("runtime.queue");
+  runtime::Executor::Task task;
+  task.lane = request->high_priority() ? runtime::TaskLane::kHigh
+                                       : runtime::TaskLane::kNormal;
+  task.run = [this, text = std::move(text), callback, request, queue_span] {
+    request->close_span(queue_span);
+    Result<controller::ControlScript> outcome =
+        submit_model_text(text, *request);
+    invoke_callback(callback, std::move(outcome));
+  };
+  // kShedOldest victims still resolve their callback — exactly once, on
+  // the shedding submitter's thread — so every accepted submission
+  // reaches its completion.
+  task.on_shed = [this, callback, request] {
+    invoke_callback(
+        callback, Unavailable(request->tag() +
+                              " shed from the pipeline queue under overload"));
+  };
+  return pipeline_->submit(std::move(task));
+}
+
+void Platform::invoke_callback(const SubmitCallback& callback,
+                               Result<controller::ControlScript> outcome) {
+  if (callback == nullptr) return;
+  try {
+    callback(std::move(outcome));
+  } catch (const std::exception& error) {
+    metrics_.counter("ui.callback_failures").add();
+    log_warn("platform") << "submit_async callback threw: " << error.what();
+  } catch (...) {
+    metrics_.counter("ui.callback_failures").add();
+    log_warn("platform") << "submit_async callback threw a non-exception";
+  }
+}
+
+Platform::PipelineStats Platform::pipeline_stats() const {
+  std::lock_guard lock(pipeline_mutex_);
+  PipelineStats stats;
+  stats.queue_capacity = pipeline_config_.queue_capacity;
+  if (pipeline_ != nullptr) {
+    stats.max_pending = pipeline_->max_pending();
+    stats.rejections = pipeline_->rejections();
+    stats.shed = pipeline_->shed_tasks();
+  }
+  return stats;
 }
 
 Result<controller::ControlScript> Platform::submit_model(

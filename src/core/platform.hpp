@@ -26,6 +26,7 @@
 #include "broker/broker_layer.hpp"
 #include "common/status.hpp"
 #include "controller/controller_layer.hpp"
+#include "core/admission.hpp"
 #include "core/middleware_metamodel.hpp"
 #include "model/text_format.hpp"
 #include "obs/metrics.hpp"
@@ -56,6 +57,16 @@ struct PlatformConfig {
   /// hardware thread). The pool is created lazily on the first async
   /// submission; synchronous submits never pay for it.
   unsigned pipeline_threads = 0;
+};
+
+/// Per-submission options for Platform::submit_async().
+struct SubmitOptions {
+  /// Deadline budget for the whole pipeline, queue delay included (the
+  /// request context is minted at enqueue time).
+  std::optional<Duration> deadline;
+  /// Route through the executor's high-priority lane: control-plane
+  /// requests overtake queued bulk work.
+  bool high_priority = false;
 };
 
 class Platform {
@@ -123,15 +134,26 @@ class Platform {
   Result<controller::ControlScript> submit_model(model::Model application_model);
 
   /// Completion callback for submit_async(); invoked on a pipeline
-  /// worker thread.
+  /// worker thread. A throwing callback is contained there (counted in
+  /// "ui.callback_failures" and logged), never propagated into the
+  /// worker.
   using SubmitCallback =
       std::function<void(Result<controller::ControlScript>)>;
 
   /// Fire-and-forget submission through the N-way request pipeline
-  /// (PlatformConfig.pipeline_threads workers, created lazily). The text
-  /// is parsed and executed on a worker; `callback` (optional) receives
-  /// the outcome there. stop() drains all queued async submissions.
-  Status submit_async(std::string text, SubmitCallback callback = nullptr);
+  /// (PlatformConfig.pipeline_threads workers, created lazily; queue
+  /// bound and overflow policy come from the middleware model's
+  /// queue_capacity / overflow_policy attributes). The text is parsed
+  /// and executed on a worker; `callback` (optional) receives the
+  /// outcome there. Returns non-Ok — and does NOT invoke the callback —
+  /// when the submission is refused at the door: platform not running,
+  /// shed by admission control (deadline spent or predicted doomed), or
+  /// rejected by a full bounded queue under the kReject policy. Once Ok
+  /// is returned the callback is invoked exactly once, including for
+  /// requests later dropped by kShedOldest (they resolve with
+  /// kUnavailable). stop() drains all queued async submissions.
+  Status submit_async(std::string text, SubmitCallback callback = nullptr,
+                      SubmitOptions options = {});
 
   /// Aspect-oriented execution (paper §IX): weave several concern models
   /// (texts in the platform's DSML) into one application model and
@@ -157,6 +179,22 @@ class Platform {
   [[nodiscard]] const broker::CommandTrace& trace() const noexcept {
     return broker_->trace();
   }
+  /// UI-layer admission controller (PR 5). Configured from the
+  /// middleware model's admission/admission_alpha/admission_safety
+  /// attributes; exposed so domains and benches can prime or inspect the
+  /// latency EWMA.
+  [[nodiscard]] AdmissionController& admission() noexcept {
+    return admission_;
+  }
+  /// Overload counters of the async request pipeline. Zeroes before the
+  /// first async submission (the executor is created lazily).
+  struct PipelineStats {
+    std::size_t queue_capacity = 0;  ///< configured bound (0 = unbounded)
+    std::size_t max_pending = 0;     ///< deepest the queue ever got
+    std::uint64_t rejections = 0;    ///< submits refused (kReject/shutdown)
+    std::uint64_t shed = 0;          ///< queued tasks dropped (kShedOldest)
+  };
+  [[nodiscard]] PipelineStats pipeline_stats() const;
   /// Platform-wide metrics: counters and latency histograms recorded by
   /// every layer (and by request contexts minted via make_context()).
   [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
@@ -182,6 +220,11 @@ class Platform {
                           const model::ModelObject& broker_spec);
   Status load_controller_spec(const model::Model& middleware_model,
                               const model::ModelObject& controller_spec);
+  /// Invoke a SubmitCallback with exception containment: a throw is
+  /// counted ("ui.callback_failures") and logged, never propagated into
+  /// the pipeline worker.
+  void invoke_callback(const SubmitCallback& callback,
+                       Result<controller::ControlScript> outcome);
 
   std::string name_;
   model::MetamodelPtr dsml_;
@@ -227,9 +270,14 @@ class Platform {
   mutable std::mutex inflight_mutex_;
   std::condition_variable inflight_cv_;
   std::size_t inflight_ = 0;
-  std::mutex pipeline_mutex_;  ///< guards lazy pipeline_ creation
+  mutable std::mutex pipeline_mutex_;  ///< guards lazy pipeline_ creation
   std::unique_ptr<runtime::Executor> pipeline_;
   unsigned pipeline_threads_ = 0;
+  /// Queue bound + overflow policy decoded from the middleware model's
+  /// MiddlewarePlatform attributes (thread_count is filled in at lazy
+  /// pipeline creation).
+  runtime::ExecutorConfig pipeline_config_;
+  AdmissionController admission_;
 };
 
 }  // namespace mdsm::core

@@ -279,6 +279,11 @@ Result<controller::ControlScript> CrowdDevice::submit_model_text(
   obs::ContextScope ambient(context);
   Result<model::Model> parsed = model::parse_model(text, csml_metamodel());
   if (!parsed.ok()) return parsed.status();
+  // On-the-fly updates to an already-sampling device (retune/stop of a
+  // running query) are control-plane traffic: tag the request so shared
+  // bounded pipelines dequeue it through the high-priority lane ahead of
+  // bulk query starts.
+  if (!queries_.empty()) context.set_attribute("priority", "high");
   obs::ScopedSpan span(context, "ui.submit", parsed->name());
   metrics_.counter("requests.submitted").add();
   Result<controller::ControlScript> script =

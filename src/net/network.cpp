@@ -14,6 +14,7 @@ Network::Network(SimClock& clock, NetworkConfig config)
     : clock_(&clock), config_(config), rng_(config.seed) {}
 
 Result<Endpoint*> Network::create_endpoint(const std::string& name) {
+  std::lock_guard lock(mutex_);
   if (endpoints_.contains(name)) {
     return AlreadyExists("endpoint '" + name + "' already exists");
   }
@@ -24,19 +25,22 @@ Result<Endpoint*> Network::create_endpoint(const std::string& name) {
 }
 
 Status Network::remove_endpoint(const std::string& name) {
+  std::lock_guard lock(mutex_);
   if (endpoints_.erase(name) == 0) {
     return NotFound("endpoint '" + name + "' does not exist");
   }
   return Status::Ok();
 }
 
-Endpoint* Network::find_endpoint(std::string_view name) noexcept {
+Endpoint* Network::find_endpoint(std::string_view name) {
+  std::lock_guard lock(mutex_);
   auto it = endpoints_.find(name);
   return it == endpoints_.end() ? nullptr : it->second.get();
 }
 
 Status Network::send(const std::string& from, const std::string& to,
                      std::string topic, model::Value payload) {
+  std::lock_guard lock(mutex_);
   if (!endpoints_.contains(from)) {
     return NotFound("sender endpoint '" + from + "' does not exist");
   }
@@ -81,45 +85,54 @@ bool Network::link_up(const std::string& a, const std::string& b) const {
 
 std::size_t Network::deliver_due() {
   std::size_t delivered = 0;
-  while (!queue_.empty() && queue_.top().deliver_at <= clock_->now()) {
-    Message message = queue_.top().message;
-    queue_.pop();
-    // Link state is evaluated at delivery time: a link that went down
-    // after send still swallows in-flight traffic.
-    if (!link_up(message.from, message.to)) {
-      ++stats_.blocked;
-      continue;
+  for (;;) {
+    Endpoint::Handler handler;
+    Message message;
+    {
+      std::lock_guard lock(mutex_);
+      if (queue_.empty() || queue_.top().deliver_at > clock_->now()) break;
+      message = queue_.top().message;
+      queue_.pop();
+      // Link state is evaluated at delivery time: a link that went down
+      // after send still swallows in-flight traffic.
+      if (!link_up(message.from, message.to)) {
+        ++stats_.blocked;
+        continue;
+      }
+      auto it = endpoints_.find(message.to);
+      if (it != endpoints_.end()) handler = it->second->handler_snapshot();
+      if (handler == nullptr) {
+        ++stats_.undeliverable;
+        continue;
+      }
+      ++stats_.delivered;
     }
-    Endpoint* target = find_endpoint(message.to);
-    if (target == nullptr || target->handler_ == nullptr) {
-      ++stats_.undeliverable;
-      continue;
-    }
-    ++stats_.delivered;
     ++delivered;
-    target->handler_(message);
+    // Outside the lock: handlers may reentrantly send (ping/pong) or
+    // inspect the network without self-deadlocking.
+    handler(message);
   }
   return delivered;
 }
 
 std::size_t Network::run_until_idle(std::size_t max_messages) {
   std::size_t total = 0;
-  while (!queue_.empty() && total < max_messages) {
-    clock_->set(queue_.top().deliver_at);
-    std::size_t delivered = deliver_due();
-    total += delivered;
-    if (delivered == 0 && !queue_.empty() &&
-        queue_.top().deliver_at <= clock_->now()) {
-      // All due messages were blocked/undeliverable; loop continues and
-      // the queue shrank, so progress is guaranteed.
-      continue;
+  while (total < max_messages) {
+    {
+      std::lock_guard lock(mutex_);
+      if (queue_.empty()) break;
+      clock_->set(queue_.top().deliver_at);
     }
+    // Every due message is popped even when blocked/undeliverable, so
+    // the queue shrinks and progress is guaranteed.
+    total += deliver_due();
   }
   return total;
 }
 
 void Network::set_link_down(const std::string& a, const std::string& b,
                             bool down) {
+  std::lock_guard lock(mutex_);
   if (down) {
     down_links_.insert({a, b});
   } else {
@@ -129,9 +142,23 @@ void Network::set_link_down(const std::string& a, const std::string& b,
 }
 
 void Network::set_partition(const std::set<std::string>& group) {
+  std::lock_guard lock(mutex_);
   partition_ = group;
 }
 
-void Network::clear_partition() { partition_.reset(); }
+void Network::clear_partition() {
+  std::lock_guard lock(mutex_);
+  partition_.reset();
+}
+
+NetworkStats Network::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+std::size_t Network::pending() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
 
 }  // namespace mdsm::net

@@ -11,7 +11,15 @@
 // Determinism: message delivery order is a function of (virtual) delivery
 // time and a monotonically increasing sequence number; jitter and loss
 // draw from a seeded RNG. Driving the same scenario twice yields the same
-// trace.
+// trace (single-driver scenarios; concurrent senders race for sequence
+// numbers, which is the point of using threads).
+//
+// Thread-safety (PR 5): all Network state — endpoint registry, message
+// queue, RNG, link/partition state, stats — is guarded by one internal
+// mutex, so endpoints may send from any thread while another drives
+// delivery. Handlers are invoked OUTSIDE the lock (a handler may
+// reentrantly send, as the ping/pong tests do); set_handler() takes a
+// per-endpoint mutex so installing a handler races safely with delivery.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +27,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <queue>
 #include <random>
@@ -67,8 +76,13 @@ class Endpoint {
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
-  /// Install the message handler (replaces any previous one).
-  void set_handler(Handler handler) { handler_ = std::move(handler); }
+  /// Install the message handler (replaces any previous one). Safe to
+  /// call while the network is delivering: in-flight deliveries finish
+  /// against the handler they snapshotted.
+  void set_handler(Handler handler) {
+    std::lock_guard lock(mutex_);
+    handler_ = std::move(handler);
+  }
 
   /// Send via the owning network.
   Status send(const std::string& to, std::string topic,
@@ -79,8 +93,14 @@ class Endpoint {
   Endpoint(std::string name, Network& network)
       : name_(std::move(name)), network_(&network) {}
 
+  [[nodiscard]] Handler handler_snapshot() const {
+    std::lock_guard lock(mutex_);
+    return handler_;
+  }
+
   std::string name_;
   Network* network_;
+  mutable std::mutex mutex_;  ///< guards handler_
   Handler handler_;
 };
 
@@ -96,7 +116,7 @@ class Network {
 
   Result<Endpoint*> create_endpoint(const std::string& name);
   Status remove_endpoint(const std::string& name);
-  [[nodiscard]] Endpoint* find_endpoint(std::string_view name) noexcept;
+  [[nodiscard]] Endpoint* find_endpoint(std::string_view name);
 
   /// Queue a message for future delivery (applies latency/jitter/loss at
   /// send time, link state at delivery time).
@@ -117,8 +137,10 @@ class Network {
   void set_partition(const std::set<std::string>& group);
   void clear_partition();
 
-  [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
-  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  /// Consistent snapshot of the delivery counters (by value: the live
+  /// struct mutates under the network mutex).
+  [[nodiscard]] NetworkStats stats() const;
+  [[nodiscard]] std::size_t pending() const;
   [[nodiscard]] SimClock& clock() noexcept { return *clock_; }
 
  private:
@@ -131,9 +153,13 @@ class Network {
     }
   };
 
+  /// Caller must hold mutex_.
   [[nodiscard]] bool link_up(const std::string& a,
                              const std::string& b) const;
 
+  /// Guards everything below (lock order: mutex_ before an endpoint's
+  /// handler mutex; never the reverse). clock_ has its own internal lock.
+  mutable std::mutex mutex_;
   SimClock* clock_;
   NetworkConfig config_;
   std::mt19937 rng_;

@@ -39,6 +39,25 @@ Status RequestContext::check_deadline(std::string_view layer) const {
                  std::string(layer) + " layer");
 }
 
+void RequestContext::set_attribute(std::string key, std::string value) {
+  if (!enabled_) return;
+  for (auto& [existing, current] : attributes_) {
+    if (existing == key) {
+      current = std::move(value);
+      return;
+    }
+  }
+  attributes_.emplace_back(std::move(key), std::move(value));
+}
+
+std::string_view RequestContext::attribute(
+    std::string_view key) const noexcept {
+  for (const auto& [existing, value] : attributes_) {
+    if (existing == key) return value;
+  }
+  return {};
+}
+
 std::uint64_t RequestContext::open_span(std::string_view name,
                                         std::string_view detail) {
   if (!enabled_) return 0;

@@ -19,6 +19,8 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "common/clock.hpp"
 #include "common/status.hpp"
@@ -83,6 +85,18 @@ class RequestContext {
   std::uint64_t open_span(std::string_view name, std::string_view detail = {});
   void close_span(std::uint64_t span_id);
 
+  /// Free-form request attributes ("priority" = "high", tenant tags, …)
+  /// set at the UI boundary and readable at any layer crossing. Requests
+  /// carry a handful at most, so a flat vector beats a map. No-op /
+  /// empty on a disabled context. Setting an existing key overwrites.
+  void set_attribute(std::string key, std::string value);
+  [[nodiscard]] std::string_view attribute(std::string_view key) const noexcept;
+  /// True when the request is marked control-plane ("priority" = "high");
+  /// the platform's async pipeline dequeues such requests first.
+  [[nodiscard]] bool high_priority() const noexcept {
+    return attribute("priority") == "high";
+  }
+
  private:
   struct NoopTag {};
   explicit RequestContext(NoopTag) noexcept;
@@ -95,6 +109,7 @@ class RequestContext {
   std::chrono::system_clock::time_point wall_start_{};
   TimePoint steady_start_{};
   std::optional<TimePoint> deadline_;
+  std::vector<std::pair<std::string, std::string>> attributes_;
   Trace trace_;
 };
 

@@ -6,80 +6,176 @@ namespace mdsm::runtime {
 
 namespace {
 
-/// Decrements the owning executor's active count on scope exit — also
-/// when the task throws — so drain() can never hang on a failed task.
-class ActiveGuard {
- public:
-  ActiveGuard(std::mutex& mutex, std::condition_variable& idle,
-              const std::deque<std::function<void()>>& queue,
-              unsigned& active) noexcept
-      : mutex_(mutex), idle_(idle), queue_(queue), active_(active) {}
+/// Set while a worker of a given executor runs tasks: lets submit()
+/// recognize self-submission and bypass the capacity bound (a worker
+/// blocked — or rejected — on its own executor's full queue could never
+/// make progress again).
+thread_local const Executor* g_worker_of = nullptr;
 
-  ActiveGuard(const ActiveGuard&) = delete;
-  ActiveGuard& operator=(const ActiveGuard&) = delete;
-
-  ~ActiveGuard() {
-    std::lock_guard lock(mutex_);
-    --active_;
-    if (queue_.empty() && active_ == 0) idle_.notify_all();
-  }
-
- private:
-  std::mutex& mutex_;
-  std::condition_variable& idle_;
-  const std::deque<std::function<void()>>& queue_;
-  unsigned& active_;
-};
+const Clock& process_clock() noexcept {
+  static const SteadyClock clock;
+  return clock;
+}
 
 }  // namespace
 
-Executor::Executor(unsigned thread_count) {
-  if (thread_count == 0) thread_count = 1;
-  workers_.reserve(thread_count);
-  for (unsigned i = 0; i < thread_count; ++i) {
+Executor::Executor(unsigned thread_count)
+    : Executor(ExecutorConfig{.thread_count = thread_count}) {}
+
+Executor::Executor(ExecutorConfig config)
+    : config_(config), clock_(&process_clock()) {
+  if (config_.thread_count == 0) config_.thread_count = 1;
+  workers_.reserve(config_.thread_count);
+  for (unsigned i = 0; i < config_.thread_count; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
 }
 
-Executor::~Executor() {
+Executor::~Executor() { shutdown(); }
+
+void Executor::shutdown() {
+  bool join_here = false;
   {
     std::lock_guard lock(mutex_);
     shutting_down_ = true;
+    if (!joined_) {
+      joined_ = true;
+      join_here = true;
+    }
   }
   wake_.notify_all();
-  for (auto& worker : workers_) worker.join();
+  space_.notify_all();  // blocked submitters resolve to rejection
+  if (join_here) {
+    for (auto& worker : workers_) worker.join();
+  }
 }
 
-void Executor::submit(std::function<void()> task) {
+Status Executor::reject(const char* why) {
+  rejections_.fetch_add(1, std::memory_order_relaxed);
+  if (rejections_counter_ != nullptr) rejections_counter_->add();
+  return Unavailable(std::string("executor refused task: ") + why);
+}
+
+Status Executor::submit(std::function<void()> task) {
+  return submit(Task{.run = std::move(task)});
+}
+
+Status Executor::submit(Task task) {
+  Queued queued;
+  queued.run = std::move(task.run);
+  queued.on_shed = std::move(task.on_shed);
+  std::function<void()> shed_victim;
   {
-    std::lock_guard lock(mutex_);
-    queue_.push_back(std::move(task));
+    std::unique_lock lock(mutex_);
+    if (shutting_down_) return reject("shutdown in progress");
+    const bool bounded =
+        config_.queue_capacity != 0 && g_worker_of != this;
+    if (bounded && queued_unlocked() >= config_.queue_capacity) {
+      switch (config_.overflow_policy) {
+        case OverflowPolicy::kReject:
+          return reject("queue at capacity");
+        case OverflowPolicy::kBlock: {
+          ++blocked_submitters_;
+          space_.wait(lock, [this] {
+            return shutting_down_ ||
+                   queued_unlocked() < config_.queue_capacity;
+          });
+          --blocked_submitters_;
+          if (shutting_down_) {
+            if (blocked_submitters_ == 0) idle_.notify_all();
+            return reject("shutdown in progress");
+          }
+          break;
+        }
+        case OverflowPolicy::kShedOldest: {
+          // Prefer shedding bulk work; only eat into the high lane when
+          // nothing normal is queued.
+          auto& victim_lane =
+              !queues_[0].empty() ? queues_[0] : queues_[1];
+          shed_victim = std::move(victim_lane.front().on_shed);
+          victim_lane.pop_front();
+          shed_.fetch_add(1, std::memory_order_relaxed);
+          if (shed_counter_ != nullptr) shed_counter_->add();
+          break;
+        }
+      }
+    }
+    queued.enqueued_at = clock_->now();
+    queues_[static_cast<int>(task.lane)].push_back(std::move(queued));
+    std::size_t depth = queued_unlocked();
+    std::size_t seen = max_pending_.load(std::memory_order_relaxed);
+    while (depth > seen &&
+           !max_pending_.compare_exchange_weak(seen, depth,
+                                               std::memory_order_relaxed)) {
+    }
   }
   wake_.notify_one();
+  if (shed_victim != nullptr) {
+    try {
+      shed_victim();
+    } catch (const std::exception& e) {
+      log_error("executor") << "on_shed threw: " << e.what();
+    } catch (...) {
+      log_error("executor") << "on_shed threw a non-std::exception";
+    }
+  }
+  return Status::Ok();
 }
 
 void Executor::drain() {
   std::unique_lock lock(mutex_);
-  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  idle_.wait(lock, [this] {
+    return queued_unlocked() == 0 && active_ == 0 &&
+           blocked_submitters_ == 0;
+  });
 }
 
 std::size_t Executor::pending() const {
   std::lock_guard lock(mutex_);
-  return queue_.size();
+  return queued_unlocked();
 }
 
 void Executor::worker_loop() {
+  g_worker_of = this;
+  // Decrements active_ on scope exit — also when the task throws — so
+  // drain() can never hang on a failed task.
+  class ActiveGuard {
+   public:
+    explicit ActiveGuard(Executor& owner) noexcept : owner_(owner) {}
+    ActiveGuard(const ActiveGuard&) = delete;
+    ActiveGuard& operator=(const ActiveGuard&) = delete;
+    ~ActiveGuard() {
+      std::lock_guard lock(owner_.mutex_);
+      --owner_.active_;
+      if (owner_.queued_unlocked() == 0 && owner_.active_ == 0 &&
+          owner_.blocked_submitters_ == 0) {
+        owner_.idle_.notify_all();
+      }
+    }
+
+   private:
+    Executor& owner_;
+  };
+
   while (true) {
     std::function<void()> task;
     {
       std::unique_lock lock(mutex_);
-      wake_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
-      if (shutting_down_ && queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      wake_.wait(lock, [this] {
+        return shutting_down_ || queued_unlocked() != 0;
+      });
+      if (shutting_down_ && queued_unlocked() == 0) return;
+      auto& lane = !queues_[1].empty() ? queues_[1] : queues_[0];
+      Queued next = std::move(lane.front());
+      lane.pop_front();
       ++active_;
+      if (queue_delay_histogram_ != nullptr) {
+        queue_delay_histogram_->record(clock_->now() - next.enqueued_at);
+      }
+      task = std::move(next.run);
+      space_.notify_one();
     }
-    ActiveGuard guard(mutex_, idle_, queue_, active_);
+    ActiveGuard guard(*this);
     try {
       task();
     } catch (const std::exception& e) {

@@ -3,6 +3,15 @@
 // middleware components", paper §V-A). Platforms that need determinism
 // run single-threaded and never touch the executor; the crowdsensing
 // fleet and benches use it for genuine parallelism.
+//
+// Overload protection (PR 5): the queue may be bounded
+// (ExecutorConfig::queue_capacity) with a pluggable overflow policy —
+// kReject (fail the submit), kBlock (wait for space), kShedOldest (drop
+// the oldest queued task to admit the newest). Two priority lanes
+// (kHigh drains before kNormal) let control-plane traffic overtake bulk
+// work. Every queued task is stamped at enqueue; the dequeue records the
+// queue delay in the "runtime.queue_delay_us" histogram so admission
+// control can see queue pressure building.
 #pragma once
 
 #include <atomic>
@@ -13,57 +22,151 @@
 #include <thread>
 #include <vector>
 
+#include "common/clock.hpp"
+#include "common/status.hpp"
 #include "obs/metrics.hpp"
 
 namespace mdsm::runtime {
 
+/// What a bounded executor does with a submit that finds the queue full.
+enum class OverflowPolicy {
+  kReject,     ///< fail the submit with kUnavailable
+  kBlock,      ///< block the submitter until space frees up
+  kShedOldest  ///< drop the oldest queued task (its on_shed runs), admit
+};
+
+/// Priority lane of a queued task. High-lane tasks are dequeued before
+/// any normal-lane task, regardless of arrival order.
+enum class TaskLane { kNormal = 0, kHigh = 1 };
+
+struct ExecutorConfig {
+  unsigned thread_count = std::thread::hardware_concurrency();
+  /// Upper bound on queued (not yet running) tasks across both lanes;
+  /// 0 = unbounded (the pre-PR-5 behaviour).
+  std::size_t queue_capacity = 0;
+  OverflowPolicy overflow_policy = OverflowPolicy::kReject;
+};
+
 class Executor {
  public:
   explicit Executor(unsigned thread_count = std::thread::hardware_concurrency());
+  explicit Executor(ExecutorConfig config);
   ~Executor();
 
   Executor(const Executor&) = delete;
   Executor& operator=(const Executor&) = delete;
 
+  /// A submission with overload metadata. `on_shed` (optional) is invoked
+  /// — outside the executor lock — if the task is dropped by kShedOldest
+  /// before it ever ran, so callers can resolve completions exactly once.
+  struct Task {
+    std::function<void()> run;
+    TaskLane lane = TaskLane::kNormal;
+    std::function<void()> on_shed;
+  };
+
   /// Enqueue a task. Safe from any thread, including worker threads.
+  /// Returns Ok when the task was accepted, kUnavailable when it was
+  /// refused — the queue is at capacity under kReject, or shutdown has
+  /// begun (a task enqueued after shutdown would never run; refusing is
+  /// the only honest answer). Refusals count into rejections() and the
+  /// "runtime.executor_rejections" metric. Tasks submitted from a worker
+  /// thread of this executor bypass the capacity bound: blocking or
+  /// rejecting a worker's own continuation could deadlock a full queue.
+  ///
   /// A task that throws does not kill the worker or the process: the
   /// exception is caught, counted in task_failures() (and the
   /// "runtime.executor_task_failures" metric when one is attached) and
   /// logged; the pool keeps serving and drain() still returns.
-  void submit(std::function<void()> task);
+  Status submit(std::function<void()> task);
+  Status submit(Task task);
 
-  /// Block until the queue is empty and every worker is idle.
+  /// Block until the queue is empty, no submitter is blocked waiting for
+  /// space, and every worker is idle.
   void drain();
+
+  /// Begin shutdown and join all workers. Queued tasks still run;
+  /// subsequent submits are rejected. Idempotent; the destructor calls it.
+  void shutdown();
 
   /// Platform-wide metrics sink (optional). Call before submitting.
   void set_metrics(obs::MetricsRegistry* metrics) noexcept {
-    failures_counter_ =
-        metrics == nullptr
-            ? nullptr
-            : &metrics->counter("runtime.executor_task_failures");
+    if (metrics == nullptr) {
+      failures_counter_ = nullptr;
+      rejections_counter_ = nullptr;
+      shed_counter_ = nullptr;
+      queue_delay_histogram_ = nullptr;
+      return;
+    }
+    failures_counter_ = &metrics->counter("runtime.executor_task_failures");
+    rejections_counter_ = &metrics->counter("runtime.executor_rejections");
+    shed_counter_ = &metrics->counter("runtime.executor_shed");
+    queue_delay_histogram_ = &metrics->histogram("runtime.queue_delay_us");
+  }
+
+  /// Clock used to stamp enqueue→dequeue delay (default: process steady
+  /// clock). Platforms inject theirs so queue delay shares request time.
+  void set_clock(const Clock* clock) noexcept {
+    if (clock != nullptr) clock_ = clock;
   }
 
   [[nodiscard]] unsigned thread_count() const noexcept {
     return static_cast<unsigned>(workers_.size());
   }
+  [[nodiscard]] std::size_t queue_capacity() const noexcept {
+    return config_.queue_capacity;
+  }
   [[nodiscard]] std::size_t pending() const;
+  /// High-water mark of pending(): the deepest the queue ever got.
+  [[nodiscard]] std::size_t max_pending() const noexcept {
+    return max_pending_.load(std::memory_order_relaxed);
+  }
   /// Tasks whose invocation threw (contained, never propagated).
   [[nodiscard]] std::uint64_t task_failures() const noexcept {
     return task_failures_.load(std::memory_order_relaxed);
   }
+  /// Submits refused (queue full under kReject, or after shutdown).
+  [[nodiscard]] std::uint64_t rejections() const noexcept {
+    return rejections_.load(std::memory_order_relaxed);
+  }
+  /// Queued tasks dropped by kShedOldest before running.
+  [[nodiscard]] std::uint64_t shed_tasks() const noexcept {
+    return shed_.load(std::memory_order_relaxed);
+  }
 
  private:
-  void worker_loop();
+  struct Queued {
+    std::function<void()> run;
+    std::function<void()> on_shed;
+    TimePoint enqueued_at;
+  };
 
+  void worker_loop();
+  Status reject(const char* why);
+  [[nodiscard]] std::size_t queued_unlocked() const noexcept {
+    return queues_[0].size() + queues_[1].size();
+  }
+
+  ExecutorConfig config_;
+  const Clock* clock_;
   mutable std::mutex mutex_;
   std::condition_variable wake_;
   std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
+  std::condition_variable space_;  ///< kBlock submitters wait here
+  std::deque<Queued> queues_[2];   ///< indexed by TaskLane
   std::vector<std::thread> workers_;
   unsigned active_ = 0;
+  unsigned blocked_submitters_ = 0;
   bool shutting_down_ = false;
+  bool joined_ = false;
+  std::atomic<std::size_t> max_pending_{0};
   std::atomic<std::uint64_t> task_failures_{0};
+  std::atomic<std::uint64_t> rejections_{0};
+  std::atomic<std::uint64_t> shed_{0};
   obs::Counter* failures_counter_ = nullptr;
+  obs::Counter* rejections_counter_ = nullptr;
+  obs::Counter* shed_counter_ = nullptr;
+  obs::Histogram* queue_delay_histogram_ = nullptr;
 };
 
 }  // namespace mdsm::runtime

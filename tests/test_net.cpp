@@ -1,6 +1,9 @@
 // Unit tests for the simulated network substrate.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "net/network.hpp"
 
 namespace mdsm::net {
@@ -88,7 +91,7 @@ TEST(Network, DropRateLosesMessages) {
   b->set_handler([&](const Message&) { ++received; });
   for (int i = 0; i < 200; ++i) a->send("b", "m");
   network.run_until_idle();
-  const NetworkStats& stats = network.stats();
+  const NetworkStats stats = network.stats();
   EXPECT_EQ(stats.sent, 200u);
   EXPECT_EQ(stats.delivered + stats.dropped, 200u);
   // With p=0.5 and n=200, both counts are overwhelmingly within [60,140].
@@ -187,6 +190,58 @@ TEST(Network, SendFromUnknownEndpointRejected) {
   SimClock clock;
   Network network(clock, quiet_config());
   EXPECT_EQ(network.send("ghost", "b", "m", {}).code(), ErrorCode::kNotFound);
+}
+
+// TSan regression (PR 5): two endpoints firing concurrently while a
+// third thread drives delivery and a fourth flaps a link and reads
+// stats. Before the Network grew its internal mutex this raced on the
+// queue, the RNG, the link set and the stats struct.
+TEST(Network, ConcurrentSendersAndDeliveryAreRaceFree) {
+  SimClock clock;
+  NetworkConfig config = quiet_config();
+  config.jitter = std::chrono::microseconds(50);  // exercise the RNG
+  Network network(clock, config);
+  auto a = network.create_endpoint("a").value();
+  auto b = network.create_endpoint("b").value();
+  (void)network.create_endpoint("sink");
+  std::atomic<std::uint64_t> received{0};
+  network.find_endpoint("sink")->set_handler(
+      [&](const Message&) { received.fetch_add(1, std::memory_order_relaxed); });
+
+  constexpr int kPerSender = 500;
+  std::thread sender_a([&] {
+    for (int i = 0; i < kPerSender; ++i) a->send("sink", "from-a");
+  });
+  std::thread sender_b([&] {
+    for (int i = 0; i < kPerSender; ++i) b->send("sink", "from-b");
+  });
+  std::thread chaos([&] {
+    for (int i = 0; i < 50; ++i) {
+      network.set_link_down("a", "sink", i % 2 == 0);
+      (void)network.stats();
+      (void)network.pending();
+    }
+    network.set_link_down("a", "sink", false);
+  });
+  std::thread driver([&] {
+    for (int i = 0; i < 200; ++i) {
+      clock.advance(std::chrono::microseconds(10));
+      network.deliver_due();
+    }
+  });
+  sender_a.join();
+  sender_b.join();
+  chaos.join();
+  driver.join();
+  network.run_until_idle();
+
+  const NetworkStats stats = network.stats();
+  EXPECT_EQ(stats.sent, 2u * kPerSender);
+  // Every message is accounted for exactly once; "blocked" depends on
+  // how deliveries interleave with the link flapping.
+  EXPECT_EQ(stats.delivered + stats.blocked, stats.sent);
+  EXPECT_EQ(received.load(), stats.delivered);
+  EXPECT_EQ(network.pending(), 0u);
 }
 
 }  // namespace

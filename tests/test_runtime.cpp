@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "common/log.hpp"
 #include "model/metamodel.hpp"
@@ -267,6 +271,161 @@ TEST(Executor, ThrowingTaskIsContainedAndCounted) {
   executor.drain();
   EXPECT_EQ(counter.load(), 3);
   set_log_level(LogLevel::kWarn);
+}
+
+// --------------------------------------- Executor overload protection (PR 5)
+
+// Regression: submit() after shutdown() used to enqueue into a pool with
+// no workers left — the task silently never ran. It must be refused.
+TEST(Executor, SubmitAfterShutdownIsRejected) {
+  obs::MetricsRegistry metrics;
+  Executor executor(1);
+  executor.set_metrics(&metrics);
+  std::atomic<int> ran{0};
+  EXPECT_TRUE(executor.submit([&ran] { ++ran; }).ok());
+  executor.shutdown();
+  Status late = executor.submit([&ran] { ++ran; });
+  EXPECT_EQ(late.code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_EQ(executor.rejections(), 1u);
+  EXPECT_EQ(metrics.snapshot().counter_value("runtime.executor_rejections"),
+            1u);
+}
+
+// Saturating a bounded kReject queue fails fast — typed status, counter
+// bump — and never deadlocks the submitter or the pool.
+TEST(Executor, BoundedQueueRejectsAtCapacityWithoutDeadlock) {
+  obs::MetricsRegistry metrics;
+  Executor executor(ExecutorConfig{.thread_count = 1,
+                                   .queue_capacity = 2,
+                                   .overflow_policy = OverflowPolicy::kReject});
+  executor.set_metrics(&metrics);
+  std::atomic<bool> gate{false};
+  // Park the single worker so submissions pile up behind it.
+  executor.submit([&gate] {
+    while (!gate.load()) std::this_thread::yield();
+  });
+  while (executor.pending() != 0) std::this_thread::yield();
+  EXPECT_TRUE(executor.submit([] {}).ok());
+  EXPECT_TRUE(executor.submit([] {}).ok());
+  Status rejected = executor.submit([] {});
+  EXPECT_EQ(rejected.code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(executor.pending(), 2u);  // bound held
+  EXPECT_EQ(executor.rejections(), 1u);
+  EXPECT_EQ(metrics.snapshot().counter_value("runtime.executor_rejections"),
+            1u);
+  gate = true;
+  executor.drain();
+  EXPECT_EQ(executor.max_pending(), 2u);  // depth never exceeded capacity
+}
+
+// kShedOldest admits the newest work by dropping the oldest queued task;
+// the victim's on_shed hook fires exactly once so callers can resolve
+// completions for work that never ran.
+TEST(Executor, ShedOldestDropsOldestAndKeepsNewest) {
+  obs::MetricsRegistry metrics;
+  Executor executor(
+      ExecutorConfig{.thread_count = 1,
+                     .queue_capacity = 2,
+                     .overflow_policy = OverflowPolicy::kShedOldest});
+  executor.set_metrics(&metrics);
+  std::atomic<bool> gate{false};
+  executor.submit([&gate] {
+    while (!gate.load()) std::this_thread::yield();
+  });
+  while (executor.pending() != 0) std::this_thread::yield();
+  std::vector<int> ran;
+  std::atomic<int> shed_calls{0};
+  auto make_task = [&ran, &shed_calls](int id) {
+    Executor::Task task;
+    task.run = [&ran, id] { ran.push_back(id); };
+    task.on_shed = [&shed_calls] { ++shed_calls; };
+    return task;
+  };
+  EXPECT_TRUE(executor.submit(make_task(1)).ok());
+  EXPECT_TRUE(executor.submit(make_task(2)).ok());
+  EXPECT_TRUE(executor.submit(make_task(3)).ok());  // sheds task 1
+  EXPECT_EQ(executor.shed_tasks(), 1u);
+  EXPECT_EQ(shed_calls.load(), 1);
+  gate = true;
+  executor.drain();
+  EXPECT_EQ(ran, (std::vector<int>{2, 3}));
+  EXPECT_EQ(metrics.snapshot().counter_value("runtime.executor_shed"), 1u);
+}
+
+// kBlock applies backpressure: the submitter waits for space instead of
+// failing, and nothing is lost.
+TEST(Executor, BlockPolicyWaitsForSpaceInsteadOfFailing) {
+  Executor executor(ExecutorConfig{.thread_count = 1,
+                                   .queue_capacity = 1,
+                                   .overflow_policy = OverflowPolicy::kBlock});
+  std::atomic<bool> gate{false};
+  std::atomic<int> ran{0};
+  executor.submit([&gate] {
+    while (!gate.load()) std::this_thread::yield();
+  });
+  while (executor.pending() != 0) std::this_thread::yield();
+  EXPECT_TRUE(executor.submit([&ran] { ++ran; }).ok());  // fills the queue
+  std::atomic<bool> accepted{false};
+  std::thread submitter([&] {
+    EXPECT_TRUE(executor.submit([&ran] { ++ran; }).ok());
+    accepted = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(accepted.load());  // still waiting — not rejected, not lost
+  gate = true;
+  submitter.join();
+  EXPECT_TRUE(accepted.load());
+  executor.drain();
+  EXPECT_EQ(ran.load(), 2);
+  EXPECT_EQ(executor.rejections(), 0u);
+}
+
+// The high lane drains before any queued normal work, regardless of
+// arrival order.
+TEST(Executor, HighLaneOvertakesQueuedNormalWork) {
+  Executor executor(ExecutorConfig{.thread_count = 1});
+  std::atomic<bool> gate{false};
+  std::vector<std::string> order;
+  executor.submit([&gate] {
+    while (!gate.load()) std::this_thread::yield();
+  });
+  while (executor.pending() != 0) std::this_thread::yield();
+  executor.submit([&order] { order.push_back("normal-1"); });
+  executor.submit([&order] { order.push_back("normal-2"); });
+  Executor::Task urgent;
+  urgent.run = [&order] { order.push_back("high"); };
+  urgent.lane = TaskLane::kHigh;
+  executor.submit(std::move(urgent));
+  gate = true;
+  executor.drain();
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"high", "normal-1", "normal-2"}));
+}
+
+// Enqueue→dequeue delay is measured on the injected clock and recorded
+// into the "runtime.queue_delay_us" histogram — the signal admission
+// control's EWMA feeds on.
+TEST(Executor, QueueDelayRecordedOnInjectedClock) {
+  obs::MetricsRegistry metrics;
+  SimClock sim;
+  Executor executor(ExecutorConfig{.thread_count = 1});
+  executor.set_metrics(&metrics);
+  executor.set_clock(&sim);
+  std::atomic<bool> gate{false};
+  executor.submit([&gate] {
+    while (!gate.load()) std::this_thread::yield();
+  });
+  while (executor.pending() != 0) std::this_thread::yield();
+  executor.submit([] {});  // enqueued at virtual t0
+  sim.advance(std::chrono::microseconds(750));
+  gate = true;
+  executor.drain();
+  const auto snapshot = metrics.snapshot();
+  const auto* delay = snapshot.histogram("runtime.queue_delay_us");
+  ASSERT_NE(delay, nullptr);
+  EXPECT_EQ(delay->count, 2u);  // the gate task and the measured task
+  EXPECT_GE(delay->sum_us, 750u);
 }
 
 // ------------------------------------------------------------ TimerService
