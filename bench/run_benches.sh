@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
-# PR-5 bench trajectory: runs bench_throughput (serialized-baseline
-# "before" rows and concurrent-pipeline "after" rows in one binary),
+# PR-6 bench trajectory: runs bench_throughput (serialized/concurrent
+# sync rows plus the staged-vs-parked async and in-flight-per-core
+# rows in one binary),
 # bench_im_generation, bench_trace_overhead, bench_resilience
 # (retry/breaker goodput against a chaotic resource), and bench_overload
 # (goodput/shed-rate/p99 as offered load sweeps 1x-10x of pipeline
 # capacity), then composes their JSON outputs into a consolidated
-# BENCH_5.json at the repo root.
+# BENCH_6.json at the repo root.
 #
 # Usage: bench/run_benches.sh [build-dir] [--smoke]
 #   build-dir  defaults to <repo>/build
@@ -44,10 +45,10 @@ else
 fi
 trace_json="$("$BENCH_DIR/bench_trace_overhead")"
 
-OUT="$ROOT/BENCH_5.json"
+OUT="$ROOT/BENCH_6.json"
 {
   printf '{\n'
-  printf '  "pr": 5,\n'
+  printf '  "pr": 6,\n'
   printf '  "smoke": %s,\n' "$([ "$SMOKE" = 1 ] && echo true || echo false)"
   printf '  "throughput": %s,\n' "$throughput_json"
   printf '  "im_generation": %s,\n' "$im_json"

@@ -5,6 +5,8 @@
 // model-based broker are interchangeable behind the same port.
 #pragma once
 
+#include <functional>
+
 #include "broker/broker_types.hpp"
 #include "obs/request_context.hpp"
 
@@ -23,6 +25,21 @@ class BrokerApi {
   /// Context-less convenience for callers outside a traced request.
   Result<model::Value> call(const Call& broker_call) {
     return call(broker_call, obs::RequestContext::noop());
+  }
+
+  /// Completion of call_async(); invoked exactly once, possibly inline
+  /// on the calling thread (fast path) or later from another thread.
+  using CallCallback = std::function<void(Result<model::Value>)>;
+
+  /// Asynchronous variant used by the staged execution core (PR 6).
+  /// The default wraps the synchronous call() and completes inline, so
+  /// stub and handcrafted brokers participate in the staged pipeline
+  /// unchanged; the model-based BrokerLayer overrides it to suspend the
+  /// request across slow resource invocations instead of holding the
+  /// worker. `context` must outlive the invocation.
+  virtual void call_async(const Call& broker_call,
+                          obs::RequestContext& context, CallCallback done) {
+    done(call(broker_call, context));
   }
 
   /// The trace of resource commands issued so far (Exp-1 compares these).

@@ -1,4 +1,5 @@
 #include <mutex>
+#include <optional>
 
 #include "broker/broker_layer.hpp"
 
@@ -115,6 +116,162 @@ Status BrokerLayer::handle_event(const std::string& topic,
   Result<model::Value> result =
       execute_steps((*action)->steps, args, context);
   return result.ok() ? Status::Ok() : result.status();
+}
+
+// ---- staged execution (PR 6) -----------------------------------------
+
+struct BrokerLayer::StepRun {
+  const std::vector<ActionStep>* steps = nullptr;
+  Args call_args;
+  obs::RequestContext* context = nullptr;
+  CallCallback done;
+  model::Value result;
+  std::optional<Result<model::Value>> pending;  ///< settled kInvoke outcome
+  std::size_t index = 0;
+};
+
+void BrokerLayer::call_async(const Call& broker_call,
+                             obs::RequestContext& context,
+                             CallCallback done) {
+  obs::ContextScope ambient(context);
+  calls_handled_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_ != nullptr) metrics_->counter("broker.calls").add();
+  // The span is closed by `finish`, not a ScopedSpan: the call may park
+  // and complete on another thread long after this frame unwinds.
+  const std::uint64_t span = context.open_span("broker.call",
+                                               broker_call.name);
+  obs::RequestContext* context_ptr = &context;
+  CallCallback finish = [context_ptr, span,
+                         done = std::move(done)](Result<model::Value> r) {
+    context_ptr->close_span(span);
+    done(std::move(r));
+  };
+  if (Status deadline = context.check_deadline("broker"); !deadline.ok()) {
+    finish(deadline);
+    return;
+  }
+  Result<const Action*> action = select_action(broker_call.name);
+  if (!action.ok()) {
+    finish(action.status());
+    return;
+  }
+  log_debug("broker") << name() << " call " << broker_call.name
+                      << " -> action " << (*action)->name;
+  execute_steps_async((*action)->steps, broker_call.args, context,
+                      std::move(finish));
+}
+
+void BrokerLayer::execute_steps_async(const std::vector<ActionStep>& steps,
+                                      Args call_args,
+                                      obs::RequestContext& context,
+                                      CallCallback done) {
+  auto run = std::make_shared<StepRun>();
+  run->steps = &steps;
+  run->call_args = std::move(call_args);
+  run->context = &context;
+  run->done = std::move(done);
+  drive_steps(std::move(run));
+}
+
+bool BrokerLayer::consume_pending(StepRun& run) {
+  Result<model::Value> invoked = std::move(*run.pending);
+  run.pending.reset();
+  if (!invoked.ok()) {
+    run.done(invoked.status());
+    return false;
+  }
+  run.result = std::move(invoked.value());
+  return true;
+}
+
+void BrokerLayer::drive_steps(std::shared_ptr<StepRun> run) {
+  obs::ContextScope ambient(*run->context);
+  const std::vector<ActionStep>& steps = *run->steps;
+  while (run->index < steps.size()) {
+    const ActionStep& step = steps[run->index];
+    ++run->index;
+    switch (step.op) {
+      case StepOp::kGuard: {
+        Result<bool> holds = step.guard.evaluate_bool(*context_);
+        if (!holds.ok()) {
+          run->done(holds.status());
+          return;
+        }
+        if (!*holds) {
+          run->done(FailedPrecondition("action guard '" + step.guard.text() +
+                                       "' failed"));
+          return;
+        }
+        break;
+      }
+      case StepOp::kInvoke: {
+        Args resolved = resolve_args(step.args, run->call_args, *context_);
+        // Trampoline: 0 = driver still in this frame, 1 = driver parked,
+        // 2 = completion fired inline. Whoever arrives second owns the
+        // continuation, so inline completions stay in this loop (no
+        // recursion) and true parks resume on the settling thread.
+        auto turn = std::make_shared<std::atomic<int>>(0);
+        StepRun& state = *run;
+        resources_.invoke_async(
+            step.a, step.b, resolved, *run->context,
+            [this, run, turn](Result<model::Value> invoked) {
+              run->pending.emplace(std::move(invoked));
+              if (turn->exchange(2, std::memory_order_acq_rel) == 1) {
+                if (consume_pending(*run)) drive_steps(run);
+              }
+            });
+        if (turn->exchange(1, std::memory_order_acq_rel) == 0) {
+          return;  // parked: the completion resumes the run
+        }
+        if (!consume_pending(state)) return;
+        break;
+      }
+      case StepOp::kSetState: {
+        Args resolved = resolve_args(step.args, run->call_args, *context_);
+        Result<model::Value> value = require_arg(resolved, "value",
+                                                 "set-state");
+        if (!value.ok()) {
+          run->done(value.status());
+          return;
+        }
+        state_.set(step.a, std::move(value.value()));
+        break;
+      }
+      case StepOp::kSetContext: {
+        Args resolved = resolve_args(step.args, run->call_args, *context_);
+        Result<model::Value> value = require_arg(resolved, "value",
+                                                 "set-context");
+        if (!value.ok()) {
+          run->done(value.status());
+          return;
+        }
+        context_->set(step.a, std::move(value.value()));
+        break;
+      }
+      case StepOp::kEmit: {
+        Args resolved = resolve_args(step.args, run->call_args, *context_);
+        Result<model::Value> payload = require_arg(resolved, "payload",
+                                                   "emit");
+        if (!payload.ok()) {
+          run->done(payload.status());
+          return;
+        }
+        bus_->publish(step.a, name(), std::move(payload.value()));
+        break;
+      }
+      case StepOp::kResult: {
+        Args resolved = resolve_args(step.args, run->call_args, *context_);
+        Result<model::Value> value = require_arg(resolved, "value", "result");
+        if (!value.ok()) {
+          run->done(value.status());
+          return;
+        }
+        run->result = std::move(value.value());
+        break;
+      }
+    }
+  }
+  run->done(std::move(run->result));
 }
 
 Result<model::Value> BrokerLayer::execute_steps(

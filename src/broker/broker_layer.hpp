@@ -72,6 +72,15 @@ class BrokerLayer final : public runtime::Component, public BrokerApi {
   Result<model::Value> call(const Call& call,
                             obs::RequestContext& context) override;
 
+  /// Staged-core variant of call(): the action's steps run as a resumable
+  /// state machine, so a kInvoke that parks in ResourceManager (retry
+  /// backoff, attempt overrun) suspends this call instead of a thread;
+  /// the surviving steps resume on whatever thread settles the resource
+  /// invocation. `context` must outlive the call; `done` fires exactly
+  /// once (inline when every step completes synchronously).
+  void call_async(const Call& broker_call, obs::RequestContext& context,
+                  CallCallback done) override;
+
   [[nodiscard]] const CommandTrace& trace() const override {
     return resources_.trace();
   }
@@ -95,6 +104,14 @@ class BrokerLayer final : public runtime::Component, public BrokerApi {
     return execute_steps(steps, call_args, obs::RequestContext::noop());
   }
 
+  /// Resumable twin of execute_steps(). `steps` must outlive the run
+  /// (action step lists are never removed once registered); `call_args`
+  /// is copied into the run state. Synchronous steps (guards, state,
+  /// context, emit, result) execute inline; only kInvoke can park.
+  void execute_steps_async(const std::vector<ActionStep>& steps,
+                           Args call_args, obs::RequestContext& context,
+                           CallCallback done);
+
   // -- statistics
 
   [[nodiscard]] std::uint64_t calls_handled() const noexcept {
@@ -107,6 +124,15 @@ class BrokerLayer final : public runtime::Component, public BrokerApi {
  private:
   [[nodiscard]] Result<const Action*> select_action(
       const std::string& signal) const;
+
+  /// Shared state of one execute_steps_async() run (step cursor, copied
+  /// args, accumulated result, the pending invoke outcome in flight).
+  struct StepRun;
+  /// Drive steps from the run's cursor until done or a kInvoke parks.
+  void drive_steps(std::shared_ptr<StepRun> run);
+  /// Consume run->pending after a kInvoke settles; false means the run
+  /// failed and `done` has already been invoked.
+  bool consume_pending(StepRun& run);
 
   runtime::EventBus* bus_;
   policy::ContextStore* context_;

@@ -103,7 +103,8 @@ void ResourceManager::set_metrics(obs::MetricsRegistry* metrics) noexcept {
   if (metrics == nullptr) {
     commands_counter_ = exceptions_counter_ = retries_counter_ =
         exhausted_counter_ = breaker_open_counter_ =
-            breaker_transitions_counter_ = fallbacks_counter_ = nullptr;
+            breaker_transitions_counter_ = fallbacks_counter_ =
+                overruns_counter_ = late_completions_counter_ = nullptr;
     return;
   }
   commands_counter_ = &metrics->counter("broker.commands");
@@ -114,6 +115,8 @@ void ResourceManager::set_metrics(obs::MetricsRegistry* metrics) noexcept {
   breaker_transitions_counter_ = &metrics->counter(
       "broker.breaker_transitions");
   fallbacks_counter_ = &metrics->counter("broker.fallbacks");
+  overruns_counter_ = &metrics->counter("broker.attempt_overruns");
+  late_completions_counter_ = &metrics->counter("broker.late_completions");
 }
 
 Result<model::Value> ResourceManager::invoke_attempt(
@@ -324,6 +327,330 @@ Result<model::Value> ResourceManager::invoke_fallback(
   if (!policy.tag_degraded) return outcome;
   return model::Value(model::ValueList{model::Value("degraded"),
                                        std::move(outcome.value())});
+}
+
+// ---- event-driven invocation (PR 6) ----------------------------------
+//
+// The async path mirrors invoke_with_policy step for step, but nothing
+// blocks: backoff is an event-loop timer that re-enters
+// start_attempt_async on a pipeline worker, and the per-attempt timeout
+// is a timer that *disowns* an overrunning attempt — each attempt
+// carries a settle flag, and whoever flips it first (adapter completion
+// or the overrun timer) owns the outcome, the breaker record and the
+// span close; the loser only bumps a counter. That single-owner
+// discipline is also what keeps the request's Trace single-writer even
+// though attempts, timers and retries run on different threads.
+
+struct ResourceManager::AsyncInvocation {
+  std::shared_ptr<ResourceAdapter> adapter;
+  std::shared_ptr<PolicyState> state;
+  std::string resource;
+  std::string command;
+  Args args;
+  obs::RequestContext* context = nullptr;
+  InvokeCallback done;
+  RetryBackoff backoff{Duration(0), Duration(0), 0};
+  int attempt = 0;  ///< attempts issued so far
+  /// Belt-and-braces: the state machine resolves exactly once by
+  /// construction; the flag turns a logic bug into a dropped duplicate
+  /// instead of a double completion.
+  std::atomic<bool> resolved{false};
+
+  void resolve(Result<model::Value> outcome) {
+    if (resolved.exchange(true, std::memory_order_acq_rel)) return;
+    done(std::move(outcome));
+  }
+};
+
+void ResourceManager::set_async_engine(
+    runtime::EventLoop* loop,
+    std::function<void(std::function<void()>)> resume) {
+  loop_ = loop;
+  resume_ = std::move(resume);
+}
+
+void ResourceManager::resume_on_worker(std::function<void()> fn) {
+  if (resume_ != nullptr) {
+    resume_(std::move(fn));
+  } else if (loop_ != nullptr) {
+    loop_->post(std::move(fn));
+  } else {
+    fn();
+  }
+}
+
+void ResourceManager::execute_attempt_async(
+    ResourceAdapter& adapter, const std::string& resource,
+    const std::string& command, const Args& args,
+    ResourceAdapter::Completion done) {
+  trace_.record(resource, command, args);
+  count(commands_counter_);
+  log_debug("resource-manager")
+      << resource << "." << format_invocation(command, args);
+  // Same fault boundary as invoke_attempt: a synchronously escaping
+  // exception degrades to a Status. (The copy of `done` is for the catch
+  // path; callers' settle flags absorb the pathological adapter that
+  // completes and then throws.)
+  ResourceAdapter::Completion on_throw = done;
+  try {
+    adapter.execute_async(command, args, std::move(done));
+  } catch (const std::exception& e) {
+    count(exceptions_counter_);
+    log_error("resource-manager")
+        << resource << "." << command << " threw: " << e.what();
+    on_throw(ExecutionError("resource adapter '" + resource +
+                            "' threw during '" + command + "': " + e.what()));
+  } catch (...) {
+    count(exceptions_counter_);
+    log_error("resource-manager")
+        << resource << "." << command << " threw a non-std::exception";
+    on_throw(ExecutionError("resource adapter '" + resource +
+                            "' threw a non-std::exception during '" +
+                            command + "'"));
+  }
+}
+
+void ResourceManager::invoke_async(const std::string& resource,
+                                   const std::string& command,
+                                   const Args& args,
+                                   obs::RequestContext& context,
+                                   InvokeCallback done) {
+  if (done == nullptr) done = [](Result<model::Value>) {};
+  if (loop_ == nullptr) {
+    // No event engine wired: degrade to the synchronous path (tests and
+    // split deployments that never built a staged pipeline).
+    done(invoke(resource, command, args, context));
+    return;
+  }
+  std::shared_ptr<ResourceAdapter> adapter;
+  std::shared_ptr<PolicyState> state;
+  {
+    std::shared_lock lock(mutex_);
+    auto it = adapters_.find(resource);
+    if (it == adapters_.end()) {
+      lock.unlock();
+      done(NotFound("no resource adapter '" + resource + "'"));
+      return;
+    }
+    adapter = it->second;
+    auto policy_it = policies_.find(resource);
+    if (policy_it != policies_.end()) state = policy_it->second;
+  }
+  if (state == nullptr) {
+    // Fire-once fast path, async flavor: deadline gate, then a single
+    // attempt whose completion is the resolution.
+    if (Status gate = context.check_deadline("broker.invoke"); !gate.ok()) {
+      done(gate);
+      return;
+    }
+    auto settled = std::make_shared<std::atomic<bool>>(false);
+    execute_attempt_async(
+        *adapter, resource, command, args,
+        [settled, done = std::move(done)](Result<model::Value> outcome) {
+          if (settled->exchange(true, std::memory_order_acq_rel)) return;
+          done(std::move(outcome));
+        });
+    return;
+  }
+  auto call = std::make_shared<AsyncInvocation>();
+  call->adapter = std::move(adapter);
+  call->state = state;
+  call->resource = resource;
+  call->command = command;
+  call->args = args;
+  call->context = &context;
+  call->done = std::move(done);
+  call->backoff = RetryBackoff(
+      state->policy.initial_backoff, state->policy.max_backoff,
+      state->policy.jitter_seed +
+          state->chains.fetch_add(1, std::memory_order_relaxed));
+  start_attempt_async(std::move(call));
+}
+
+void ResourceManager::start_attempt_async(
+    std::shared_ptr<AsyncInvocation> call) {
+  const InvocationPolicy& policy = call->state->policy;
+  obs::RequestContext& context = *call->context;
+  const Clock& clock = context.clock();
+  CircuitBreaker::AdmitResult admitted{};
+  if (call->state->breaker != nullptr) {
+    admitted = call->state->breaker->admit(clock.now());
+    if (admitted.admission == CircuitBreaker::Admission::kReject) {
+      count(breaker_open_counter_);
+      log_debug("resource-manager") << call->resource << "." << call->command
+                                    << " fast-failed: circuit open";
+      invoke_fallback_async(
+          call, Unavailable("circuit open for resource '" + call->resource +
+                            "' ('" + call->command + "' fast-failed)"));
+      return;
+    }
+  }
+  if (Status gate = context.check_deadline("broker.invoke"); !gate.ok()) {
+    if (call->state->breaker != nullptr &&
+        admitted.admission == CircuitBreaker::Admission::kProbe) {
+      // Same probe-slot retirement as the sync loop: an admitted probe
+      // that never ran must not wedge the breaker half-open.
+      publish_transition(call->resource, call->state->breaker->on_result(
+                                             admitted.admission, false,
+                                             clock.now()));
+    }
+    count(exhausted_counter_);
+    call->resolve(gate);
+    return;
+  }
+  ++call->attempt;
+  if (call->attempt > 1) count(retries_counter_);
+  const std::uint64_t span = context.open_span(
+      "broker.attempt", call->resource + "." + call->command + "#" +
+                            std::to_string(call->attempt));
+  auto settled = std::make_shared<std::atomic<bool>>(false);
+  std::uint64_t overrun_timer = 0;
+  if (policy.attempt_timeout.count() > 0) {
+    // The overrun timer makes the attempt timeout *preemptive*: when it
+    // wins the settle race the attempt is disowned — failed against the
+    // breaker, retried or degraded right away — while the adapter is
+    // still grinding on some other thread.
+    overrun_timer = loop_->schedule(
+        policy.attempt_timeout,
+        [this, call, settled, admission = admitted.admission, span] {
+          if (settled->exchange(true, std::memory_order_acq_rel)) return;
+          count(overruns_counter_);
+          Status timed_out = Timeout(
+              "resource '" + call->resource + "' attempt " +
+              std::to_string(call->attempt) + " of '" + call->command +
+              "' exceeded its " +
+              std::to_string(
+                  call->state->policy.attempt_timeout.count()) +
+              "us budget (disowned)");
+          // Settle on a worker, not the loop thread: the retry decision
+          // may issue the next attempt inline.
+          resume_on_worker([this, call, admission, span,
+                            timed_out = std::move(timed_out)] {
+            attempt_settled(call, admission, span, timed_out);
+          });
+        });
+  }
+  execute_attempt_async(
+      *call->adapter, call->resource, call->command, call->args,
+      [this, call, settled, overrun_timer, admission = admitted.admission,
+       span](Result<model::Value> outcome) {
+        if (settled->exchange(true, std::memory_order_acq_rel)) {
+          // The overrun timer already disowned this attempt; its actual
+          // outcome — success or not — arrives too late to matter.
+          count(late_completions_counter_);
+          return;
+        }
+        if (overrun_timer != 0) loop_->cancel(overrun_timer);
+        attempt_settled(call, admission, span, std::move(outcome));
+      });
+}
+
+void ResourceManager::attempt_settled(
+    const std::shared_ptr<AsyncInvocation>& call,
+    CircuitBreaker::Admission admission, std::uint64_t span,
+    Result<model::Value> outcome) {
+  const InvocationPolicy& policy = call->state->policy;
+  obs::RequestContext& context = *call->context;
+  const Clock& clock = context.clock();
+  context.close_span(span);
+  const bool success = outcome.ok();
+  if (call->state->breaker != nullptr) {
+    publish_transition(call->resource, call->state->breaker->on_result(
+                                           admission, success, clock.now()));
+  }
+  if (success) {
+    call->resolve(std::move(outcome));
+    return;
+  }
+  Status last_status = outcome.status();
+  if (!retryable(last_status.code())) {
+    call->resolve(std::move(last_status));
+    return;
+  }
+  if (call->attempt >= policy.max_attempts) {
+    count(exhausted_counter_);
+    log_warn("resource-manager")
+        << call->resource << "." << call->command << " failed after "
+        << policy.max_attempts << " attempts: " << last_status.to_string();
+    invoke_fallback_async(call, std::move(last_status));
+    return;
+  }
+  Duration delay = call->backoff.next();
+  if (std::optional<TimePoint> deadline = context.deadline()) {
+    const Duration remaining = *deadline - clock.now();
+    if (remaining.count() <= 0 || delay >= remaining) {
+      // Parking past the deadline would only deliver a late failure;
+      // give up with the budget intact, exactly like the sync loop.
+      count(exhausted_counter_);
+      invoke_fallback_async(
+          call,
+          Timeout("resource '" + call->resource + "' retry budget exhausted "
+                  "after attempt " +
+                  std::to_string(call->attempt) + " of '" + call->command +
+                  "' (" + last_status.to_string() + ")"));
+      return;
+    }
+  }
+  if (delay.count() <= 0) {
+    // Degenerate zero backoff: hop through a worker to bound recursion.
+    resume_on_worker([this, call] { start_attempt_async(call); });
+    return;
+  }
+  // The park: no worker holds this request while the backoff elapses.
+  loop_->schedule(delay, [this, call] {
+    resume_on_worker([this, call] { start_attempt_async(call); });
+  });
+}
+
+void ResourceManager::invoke_fallback_async(
+    const std::shared_ptr<AsyncInvocation>& call, Status primary_status) {
+  const InvocationPolicy& policy = call->state->policy;
+  if (policy.fallback_resource.empty()) {
+    call->resolve(std::move(primary_status));
+    return;
+  }
+  std::shared_ptr<ResourceAdapter> fallback;
+  {
+    std::shared_lock lock(mutex_);
+    auto it = adapters_.find(policy.fallback_resource);
+    if (it != adapters_.end()) fallback = it->second;
+  }
+  if (fallback == nullptr) {
+    log_warn("resource-manager")
+        << call->resource << " fallback '" << policy.fallback_resource
+        << "' is not registered";
+    call->resolve(std::move(primary_status));
+    return;
+  }
+  count(fallbacks_counter_);
+  bus_->publish("resource.degraded", call->resource,
+                model::Value(model::ValueList{
+                    model::Value(call->resource),
+                    model::Value(policy.fallback_resource),
+                    model::Value(call->command)}));
+  std::uint64_t span = call->context->open_span(
+      "broker.fallback", call->resource + "->" + policy.fallback_resource);
+  auto settled = std::make_shared<std::atomic<bool>>(false);
+  const bool tag_degraded = policy.tag_degraded;
+  execute_attempt_async(
+      *fallback, policy.fallback_resource, call->command, call->args,
+      [call, span, settled, tag_degraded,
+       primary_status = std::move(primary_status)](
+          Result<model::Value> outcome) {
+        if (settled->exchange(true, std::memory_order_acq_rel)) return;
+        call->context->close_span(span);
+        if (!outcome.ok()) {
+          // The degraded path failed too; surface the primary fault.
+          call->resolve(primary_status);
+          return;
+        }
+        if (!tag_degraded) {
+          call->resolve(std::move(outcome));
+          return;
+        }
+        call->resolve(model::Value(model::ValueList{
+            model::Value("degraded"), std::move(outcome.value())}));
+      });
 }
 
 void ResourceManager::publish_transition(

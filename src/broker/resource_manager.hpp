@@ -25,6 +25,7 @@
 #include "obs/metrics.hpp"
 #include "obs/request_context.hpp"
 #include "runtime/event_bus.hpp"
+#include "runtime/event_loop.hpp"
 
 namespace mdsm::broker {
 
@@ -42,6 +43,22 @@ class ResourceAdapter {
   /// Execute an atomic command against the resource.
   virtual Result<model::Value> execute(const std::string& command,
                                        const Args& args) = 0;
+
+  /// Completion of an asynchronous execute_async(); must be invoked
+  /// exactly once, from any thread.
+  using Completion = std::function<void(Result<model::Value>)>;
+
+  /// Asynchronous variant used by the staged pipeline (PR 6). The
+  /// default wraps the synchronous execute() — existing adapters work
+  /// unchanged, at the cost of occupying the calling worker for the
+  /// duration. Adapters over genuinely asynchronous resources override
+  /// this to return immediately and invoke `done` later (e.g. off an
+  /// event-loop timer), which is what lets a slow resource suspend the
+  /// request instead of a thread.
+  virtual void execute_async(const std::string& command, const Args& args,
+                             Completion done) {
+    done(execute(command, args));
+  }
 
   /// The manager installs a sink so the adapter can raise asynchronous
   /// resource events ("controller states", link failures, readings).
@@ -112,6 +129,33 @@ class ResourceManager {
     return invoke(resource, command, args, obs::RequestContext::noop());
   }
 
+  using InvokeCallback = std::function<void(Result<model::Value>)>;
+
+  /// Wire the event-driven engine (PR 6): retry backoff and
+  /// attempt-timeout timers go to `loop`; continuations hop back onto
+  /// pipeline workers through `resume` (the platform submits them to its
+  /// broker stage). Both must outlive steady-state traffic; configure at
+  /// assembly time. Unwired, invoke_async() degrades to the synchronous
+  /// invoke() on the calling thread.
+  void set_async_engine(runtime::EventLoop* loop,
+                        std::function<void(std::function<void()>)> resume);
+
+  /// Asynchronous invoke with the same policy semantics as invoke() —
+  /// bounded retries, breaker, fallback, per-attempt deadline gates —
+  /// but no thread ever sleeps: backoff parks the invocation on an
+  /// event-loop timer, and an attempt that overruns
+  /// policy.attempt_timeout is *disowned* by a timer (counted in
+  /// "broker.attempt_overruns", recorded as a breaker failure, retried
+  /// or degraded immediately) instead of cooperatively reclassified
+  /// after the adapter finally returns; the disowned attempt's late
+  /// completion is discarded ("broker.late_completions"). `context` must
+  /// outlive the invocation — the staged request state owns it. `done`
+  /// is invoked exactly once, on whatever thread settles the final
+  /// attempt (a pipeline worker, the event loop, or the caller inline).
+  void invoke_async(const std::string& resource, const std::string& command,
+                    const Args& args, obs::RequestContext& context,
+                    InvokeCallback done);
+
   [[nodiscard]] const CommandTrace& trace() const noexcept { return trace_; }
   /// Reset the command trace (benchmarks between phases). The previous
   /// mutable trace() accessor is gone: concurrent invoke()s append under
@@ -143,6 +187,27 @@ class ResourceManager {
                                       const std::string& resource,
                                       const std::string& command,
                                       const Args& args);
+  /// Shared state of one logical invoke_async() (all attempts + fallback).
+  struct AsyncInvocation;
+  /// Issue attempt `call->attempt + 1`, gated by breaker and deadline.
+  void start_attempt_async(std::shared_ptr<AsyncInvocation> call);
+  /// Settle one attempt (exactly once: adapter completion or the overrun
+  /// timer, whichever wins the per-attempt flag): breaker accounting,
+  /// span close, then resolve / retry / degrade.
+  void attempt_settled(const std::shared_ptr<AsyncInvocation>& call,
+                       CircuitBreaker::Admission admission,
+                       std::uint64_t span, Result<model::Value> outcome);
+  /// Async twin of invoke_attempt: trace record, metrics, containment.
+  void execute_attempt_async(ResourceAdapter& adapter,
+                             const std::string& resource,
+                             const std::string& command, const Args& args,
+                             ResourceAdapter::Completion done);
+  /// Async twin of invoke_fallback (fire-once on the fallback adapter).
+  void invoke_fallback_async(const std::shared_ptr<AsyncInvocation>& call,
+                             Status primary_status);
+  /// Hand a continuation to a pipeline worker (resume_ hook, or the
+  /// loop, or inline as a last resort).
+  void resume_on_worker(std::function<void()> fn);
   Result<model::Value> invoke_with_policy(
       std::shared_ptr<ResourceAdapter> adapter,
       const std::shared_ptr<PolicyState>& state, const std::string& resource,
@@ -171,7 +236,11 @@ class ResourceManager {
   obs::Counter* breaker_open_counter_ = nullptr;
   obs::Counter* breaker_transitions_counter_ = nullptr;
   obs::Counter* fallbacks_counter_ = nullptr;
+  obs::Counter* overruns_counter_ = nullptr;
+  obs::Counter* late_completions_counter_ = nullptr;
   std::function<void(Duration)> sleep_hook_;  ///< null = real sleep
+  runtime::EventLoop* loop_ = nullptr;        ///< timers for async invokes
+  std::function<void(std::function<void()>)> resume_;  ///< worker hand-off
   /// Reader/writer lock over the adapter and policy maps only — never
   /// held across adapter execution (an adapter event can re-enter
   /// invoke() on the same thread via the bus and the autonomic manager,

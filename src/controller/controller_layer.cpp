@@ -302,6 +302,174 @@ Result<model::Value> ControllerLayer::execute_command(
                                 : execute_case2(command, context);
 }
 
+// ---- staged execution (PR 6) -----------------------------------------
+
+struct ControllerLayer::ScriptRun {
+  ControlScript script;
+  obs::RequestContext* context = nullptr;
+  ScriptCallback done;
+  std::uint64_t script_span = 0;  ///< "controller.script", closed at end
+  std::size_t index = 0;
+};
+
+void ControllerLayer::execute_command_async(const Command& command,
+                                            obs::RequestContext& context,
+                                            CommandCallback done) {
+  obs::ContextScope ambient(context);
+  if (Status deadline = context.check_deadline("controller");
+      !deadline.ok()) {
+    done(deadline);
+    return;
+  }
+  Result<Case> which = classify(command);
+  if (!which.ok()) {
+    done(which.status());
+    return;
+  }
+  log_debug("controller") << name() << " " << command.to_text() << " -> "
+                          << (*which == Case::kCase1 ? "case1" : "case2");
+  if (*which == Case::kCase1) {
+    execute_case1_async(command, context, std::move(done));
+  } else {
+    execute_case2_async(command, context, std::move(done));
+  }
+}
+
+void ControllerLayer::execute_case1_async(const Command& command,
+                                          obs::RequestContext& context,
+                                          CommandCallback done) {
+  const ControllerAction* best = nullptr;
+  {
+    std::shared_lock lock(config_mutex_);
+    auto it = bindings_.find(command.name);
+    if (it == bindings_.end()) {
+      lock.unlock();
+      done(NotFound("no action bound to command '" + command.name + "'"));
+      return;
+    }
+    for (const std::string& action_name : it->second) {
+      auto action_it = actions_.find(action_name);
+      if (action_it == actions_.end()) continue;
+      const ControllerAction& action = action_it->second;
+      Result<bool> applicable = action.guard.evaluate_bool(*context_);
+      if (!applicable.ok() || !*applicable) continue;
+      if (best == nullptr || action.priority > best->priority) best = &action;
+    }
+  }
+  if (best == nullptr) {
+    done(FailedPrecondition("no applicable action for command '" +
+                            command.name + "' in current context"));
+    return;
+  }
+  stats_.case1_executions.fetch_add(1, std::memory_order_relaxed);
+  stats_.commands_executed.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_ != nullptr) {
+    metrics_->counter("controller.case1").add();
+    metrics_->counter("controller.commands").add();
+  }
+  // Action bodies are never removed, so `best->body` outlives the run.
+  engine_.execute_flat_async(best->body, command.args, context,
+                             std::move(done));
+}
+
+void ControllerLayer::execute_case2_async(const Command& command,
+                                          obs::RequestContext& context,
+                                          CommandCallback done) {
+  std::string dsc;
+  {
+    std::shared_lock lock(config_mutex_);
+    auto it = command_dsc_.find(command.name);
+    dsc = it != command_dsc_.end() ? it->second : command.name;
+  }
+  if (!dscs_.contains(dsc)) {
+    done(NotFound("command '" + command.name +
+                  "' resolves to unknown DSC '" + dsc + "'"));
+    return;
+  }
+  Result<IntentModelPtr> intent_model =
+      generator_.generate_cached(dsc, selection_strategy());
+  if (!intent_model.ok()) {
+    done(intent_model.status());
+    return;
+  }
+  stats_.case2_executions.fetch_add(1, std::memory_order_relaxed);
+  stats_.commands_executed.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_ != nullptr) {
+    metrics_->counter("controller.case2").add();
+    metrics_->counter("controller.commands").add();
+  }
+  // The completion capture keeps the IM alive for the whole run (the
+  // cache may evict it while the request is parked mid-execution).
+  IntentModelPtr pinned = std::move(intent_model.value());
+  const IntentModel& model_ref = *pinned;
+  engine_.execute_async(
+      model_ref, command.args, context,
+      [pinned = std::move(pinned),
+       done = std::move(done)](Result<model::Value> outcome) {
+        done(std::move(outcome));
+      });
+}
+
+void ControllerLayer::execute_script_async(ControlScript script,
+                                           obs::RequestContext& context,
+                                           ScriptCallback done) {
+  obs::ContextScope ambient(context);
+  auto run = std::make_shared<ScriptRun>();
+  run->script = std::move(script);
+  run->context = &context;
+  run->done = std::move(done);
+  run->script_span = context.open_span(
+      "controller.script",
+      std::to_string(run->script.commands.size()) + " commands");
+  if (Status deadline = context.check_deadline("controller");
+      !deadline.ok()) {
+    context.close_span(run->script_span);
+    run->done(deadline);
+    return;
+  }
+  drive_script(std::move(run));
+}
+
+void ControllerLayer::drive_script(std::shared_ptr<ScriptRun> run) {
+  obs::ContextScope ambient(*run->context);
+  while (run->index < run->script.commands.size()) {
+    const std::size_t cmd_index = run->index++;
+    const Command& command = run->script.commands[cmd_index];
+    stats_.signals_received.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_ != nullptr) metrics_->counter("controller.signals").add();
+    const std::uint64_t span =
+        run->context->open_span("controller.signal", command.name);
+    // Trampoline: inline completions continue this loop; a parked
+    // command's completion re-enters drive_script on the settling thread.
+    auto turn = std::make_shared<std::atomic<int>>(0);
+    execute_command_async(
+        command, *run->context,
+        [this, run, turn, span, cmd_index](Result<model::Value> outcome) {
+          if (!outcome.ok()) {
+            stats_.errors.fetch_add(1, std::memory_order_relaxed);
+            if (metrics_ != nullptr) {
+              metrics_->counter("controller.errors").add();
+            }
+            bus_->publish("controller.error", name(),
+                          model::Value(
+                              run->script.commands[cmd_index].to_text() +
+                              ": " + outcome.status().to_string()));
+          }
+          run->context->close_span(span);
+          if (turn->exchange(2, std::memory_order_acq_rel) == 1) {
+            drive_script(run);
+          }
+        });
+    if (turn->exchange(1, std::memory_order_acq_rel) == 0) {
+      return;  // parked: the command's completion resumes the script
+    }
+  }
+  // Drain event signals the executions raised (kEmit → subscribed topic).
+  process_pending(*run->context);
+  run->context->close_span(run->script_span);
+  run->done(Status::Ok());
+}
+
 ControllerStats ControllerLayer::stats() const {
   ControllerStats out;
   out.signals_received =

@@ -153,6 +153,27 @@ class ControllerLayer final : public runtime::Component {
     return execute_command(command, obs::RequestContext::noop());
   }
 
+  using CommandCallback = ExecutionEngine::ExecuteCallback;
+  using ScriptCallback = std::function<void(Status)>;
+
+  /// Staged-core twin of execute_script() (PR 6): commands run in order
+  /// as a resumable chain — a command whose broker call parks suspends
+  /// the script, and the remaining commands resume on the settling
+  /// thread. Error containment is identical to the sync path (counted
+  /// and published, never returned); `done` fires exactly once after the
+  /// final command and the pending-event drain. The script is copied
+  /// into the run state; `context` must outlive the run.
+  void execute_script_async(ControlScript script,
+                            obs::RequestContext& context, ScriptCallback done);
+
+  /// Staged-core twin of execute_command(): classification is
+  /// synchronous, execution may park. `command` is only read before the
+  /// first suspension point (the engine copies its args); `context` must
+  /// outlive the run.
+  void execute_command_async(const Command& command,
+                             obs::RequestContext& context,
+                             CommandCallback done);
+
   /// Snapshot of the counters (each exact; cross-counter sums may tear
   /// momentarily while requests are in flight).
   [[nodiscard]] ControllerStats stats() const;
@@ -167,6 +188,18 @@ class ControllerLayer final : public runtime::Component {
                                      obs::RequestContext& context);
   Result<model::Value> execute_case2(const Command& command,
                                      obs::RequestContext& context);
+
+  /// Shared state of one execute_script_async() run.
+  struct ScriptRun;
+  /// Drive script commands from the run's cursor until done or a command
+  /// parks.
+  void drive_script(std::shared_ptr<ScriptRun> run);
+  void execute_case1_async(const Command& command,
+                           obs::RequestContext& context,
+                           CommandCallback done);
+  void execute_case2_async(const Command& command,
+                           obs::RequestContext& context,
+                           CommandCallback done);
 
   broker::BrokerApi* broker_;
   runtime::EventBus* bus_;

@@ -1,6 +1,7 @@
 #include "controller/execution_engine.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/log.hpp"
 #include "common/strings.hpp"
@@ -78,6 +79,140 @@ Result<model::Value> ExecutionEngine::execute_flat(
   return run(initial, command_args, context);
 }
 
+const Instruction* ExecutionEngine::fetch(std::vector<Frame>& stack,
+                                          obs::RequestContext& context) {
+  // Fetch the next instruction of the top frame; an exhausted frame
+  // "signals that it has completed its operation" and is popped.
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.flat != nullptr) {
+      if (frame.pc < frame.flat->size()) return &(*frame.flat)[frame.pc++];
+    } else {
+      const auto& units = frame.node->procedure->units;
+      while (frame.unit < units.size() &&
+             frame.pc >= units[frame.unit].size()) {
+        ++frame.unit;
+        frame.pc = 0;
+      }
+      if (frame.unit < units.size()) return &units[frame.unit][frame.pc++];
+    }
+    context.close_span(frame.span);
+    stack.pop_back();
+  }
+  return nullptr;
+}
+
+Status ExecutionEngine::exec_instruction(const Instruction& instruction,
+                                         const IntentModelNode* node,
+                                         std::vector<Frame>& stack,
+                                         model::Value& result,
+                                         const broker::Args& command_args,
+                                         obs::RequestContext& context) {
+  switch (instruction.op) {
+    case OpCode::kNoop:
+      break;
+    case OpCode::kGuard: {
+      Result<bool> holds = instruction.guard.evaluate_bool(*context_);
+      if (!holds.ok()) return holds.status();
+      if (!*holds) {
+        return ExecutionError("EU guard '" + instruction.guard.text() +
+                              "' failed");
+      }
+      break;
+    }
+    case OpCode::kBrokerCall:
+      // The sync and async drivers dispatch this op themselves (it is
+      // the only instruction that can suspend an async run).
+      return Internal("kBrokerCall reached exec_instruction");
+    case OpCode::kCallDep: {
+      if (node == nullptr) {
+        return ExecutionError(
+            "call-dep is illegal in a predefined action (no matched "
+            "dependencies)");
+      }
+      const Procedure& procedure = *node->procedure;
+      auto it = std::find(procedure.dependencies.begin(),
+                          procedure.dependencies.end(), instruction.a);
+      if (it == procedure.dependencies.end()) {
+        return ExecutionError("procedure '" + procedure.name +
+                              "' calls undeclared dependency '" +
+                              instruction.a + "'");
+      }
+      std::size_t index = static_cast<std::size_t>(
+          std::distance(procedure.dependencies.begin(), it));
+      if (index >= node->children.size()) {
+        return Internal("IM missing matched child " + std::to_string(index));
+      }
+      if (stack.size() >= config_.max_stack_depth) {
+        return ExecutionError("procedure stack overflow");
+      }
+      stats_.procedure_pushes.fetch_add(1, std::memory_order_relaxed);
+      Frame child{};
+      child.node = node->children[index].get();
+      child.span = context.open_span("controller.eu",
+                                     child.node->procedure->name);
+      stack.push_back(child);  // invalidates callers' top-frame refs
+      break;
+    }
+    case OpCode::kSetMem: {
+      broker::Args resolved = resolve_all(instruction.args, command_args);
+      Result<model::Value> value =
+          broker::require_arg(resolved, "value", "set-mem");
+      if (!value.ok()) return value.status();
+      set_memory(instruction.a, std::move(value.value()));
+      break;
+    }
+    case OpCode::kEraseMem: {
+      std::lock_guard lock(memory_mutex_);
+      memory_.erase(instruction.a);
+      break;
+    }
+    case OpCode::kEmit: {
+      broker::Args resolved = resolve_all(instruction.args, command_args);
+      Result<model::Value> payload =
+          broker::require_arg(resolved, "payload", "emit");
+      if (!payload.ok()) return payload.status();
+      bus_->publish(instruction.a, "controller",
+                    std::move(payload.value()));
+      break;
+    }
+    case OpCode::kSend: {
+      if (sender_ == nullptr) {
+        return ExecutionError(
+            "send instruction but no message sender installed");
+      }
+      broker::Args resolved = resolve_all(instruction.args, command_args);
+      Result<model::Value> payload =
+          broker::require_arg(resolved, "payload", "send");
+      if (!payload.ok()) return payload.status();
+      model::Value destination = resolve(model::Value(instruction.a),
+                                         command_args);
+      std::string to = destination.is_string() ? destination.as_string()
+                                               : instruction.a;
+      Status sent = sender_(to, instruction.b, std::move(payload.value()));
+      if (!sent.ok()) return sent;
+      break;
+    }
+    case OpCode::kSetContext: {
+      broker::Args resolved = resolve_all(instruction.args, command_args);
+      Result<model::Value> value =
+          broker::require_arg(resolved, "value", "set-context");
+      if (!value.ok()) return value.status();
+      context_->set(instruction.a, std::move(value.value()));
+      break;
+    }
+    case OpCode::kResult: {
+      broker::Args resolved = resolve_all(instruction.args, command_args);
+      Result<model::Value> value =
+          broker::require_arg(resolved, "value", "result");
+      if (!value.ok()) return value.status();
+      result = std::move(value.value());
+      break;
+    }
+  }
+  return Status::Ok();
+}
+
 Result<model::Value> ExecutionEngine::run(Frame initial,
                                           const broker::Args& command_args,
                                           obs::RequestContext& context) {
@@ -93,7 +228,7 @@ Result<model::Value> ExecutionEngine::run(Frame initial,
   stack.push_back(initial);
   model::Value result;
   std::size_t steps = 0;
-  while (!stack.empty()) {
+  while (true) {
     // Atomic running-max: CAS loop so concurrent runs never regress it.
     std::size_t depth = stack.size();
     std::size_t seen = stats_.max_stack_depth.load(std::memory_order_relaxed);
@@ -101,31 +236,8 @@ Result<model::Value> ExecutionEngine::run(Frame initial,
            !stats_.max_stack_depth.compare_exchange_weak(
                seen, depth, std::memory_order_relaxed)) {
     }
-    Frame& frame = stack.back();
-    // Fetch the next instruction of the top frame; an exhausted frame
-    // "signals that it has completed its operation" and is popped.
-    const Instruction* instruction = nullptr;
-    if (frame.flat != nullptr) {
-      if (frame.pc >= frame.flat->size()) {
-        context.close_span(frame.span);
-        stack.pop_back();
-        continue;
-      }
-      instruction = &(*frame.flat)[frame.pc++];
-    } else {
-      const auto& units = frame.node->procedure->units;
-      while (frame.unit < units.size() &&
-             frame.pc >= units[frame.unit].size()) {
-        ++frame.unit;
-        frame.pc = 0;
-      }
-      if (frame.unit >= units.size()) {
-        context.close_span(frame.span);
-        stack.pop_back();
-        continue;
-      }
-      instruction = &units[frame.unit][frame.pc++];
-    }
+    const Instruction* instruction = fetch(stack, context);
+    if (instruction == nullptr) break;
     if (++steps > config_.max_steps) {
       return ExecutionError("execution exceeded " +
                             std::to_string(config_.max_steps) + " steps");
@@ -138,121 +250,158 @@ Result<model::Value> ExecutionEngine::run(Frame initial,
       return budget;
     }
     stats_.instructions.fetch_add(1, std::memory_order_relaxed);
-    switch (instruction->op) {
-      case OpCode::kNoop:
-        break;
-      case OpCode::kGuard: {
-        Result<bool> holds = instruction->guard.evaluate_bool(*context_);
-        if (!holds.ok()) return holds.status();
-        if (!*holds) {
-          return ExecutionError("EU guard '" + instruction->guard.text() +
-                                "' failed");
-        }
-        break;
+    if (instruction->op == OpCode::kBrokerCall) {
+      stats_.broker_calls.fetch_add(1, std::memory_order_relaxed);
+      if (metrics_ != nullptr) {
+        metrics_->counter("controller.broker_calls").add();
       }
-      case OpCode::kBrokerCall: {
-        stats_.broker_calls.fetch_add(1, std::memory_order_relaxed);
-        if (metrics_ != nullptr) {
-          metrics_->counter("controller.broker_calls").add();
-        }
-        broker::Call call;
-        call.name = instruction->a;
-        call.args = resolve_all(instruction->args, command_args);
-        Result<model::Value> value = broker_->call(call, context);
-        if (!value.ok()) return value.status();
-        result = value.value();
-        set_memory("last.result", std::move(value.value()));
-        break;
-      }
-      case OpCode::kCallDep: {
-        if (frame.node == nullptr) {
-          return ExecutionError(
-              "call-dep is illegal in a predefined action (no matched "
-              "dependencies)");
-        }
-        const Procedure& procedure = *frame.node->procedure;
-        auto it = std::find(procedure.dependencies.begin(),
-                            procedure.dependencies.end(), instruction->a);
-        if (it == procedure.dependencies.end()) {
-          return ExecutionError("procedure '" + procedure.name +
-                                "' calls undeclared dependency '" +
-                                instruction->a + "'");
-        }
-        std::size_t index = static_cast<std::size_t>(
-            std::distance(procedure.dependencies.begin(), it));
-        if (index >= frame.node->children.size()) {
-          return Internal("IM missing matched child " +
-                          std::to_string(index));
-        }
-        if (stack.size() >= config_.max_stack_depth) {
-          return ExecutionError("procedure stack overflow");
-        }
-        stats_.procedure_pushes.fetch_add(1, std::memory_order_relaxed);
-        Frame child{};
-        child.node = frame.node->children[index].get();
-        child.span = context.open_span("controller.eu",
-                                       child.node->procedure->name);
-        stack.push_back(child);  // invalidates `frame`; loop re-reads top
-        break;
-      }
-      case OpCode::kSetMem: {
-        broker::Args resolved = resolve_all(instruction->args, command_args);
-        Result<model::Value> value =
-            broker::require_arg(resolved, "value", "set-mem");
-        if (!value.ok()) return value.status();
-        set_memory(instruction->a, std::move(value.value()));
-        break;
-      }
-      case OpCode::kEraseMem: {
-        std::lock_guard lock(memory_mutex_);
-        memory_.erase(instruction->a);
-        break;
-      }
-      case OpCode::kEmit: {
-        broker::Args resolved = resolve_all(instruction->args, command_args);
-        Result<model::Value> payload =
-            broker::require_arg(resolved, "payload", "emit");
-        if (!payload.ok()) return payload.status();
-        bus_->publish(instruction->a, "controller",
-                      std::move(payload.value()));
-        break;
-      }
-      case OpCode::kSend: {
-        if (sender_ == nullptr) {
-          return ExecutionError(
-              "send instruction but no message sender installed");
-        }
-        broker::Args resolved = resolve_all(instruction->args, command_args);
-        Result<model::Value> payload =
-            broker::require_arg(resolved, "payload", "send");
-        if (!payload.ok()) return payload.status();
-        model::Value destination = resolve(model::Value(instruction->a),
-                                           command_args);
-        std::string to = destination.is_string() ? destination.as_string()
-                                                 : instruction->a;
-        Status sent = sender_(to, instruction->b, std::move(payload.value()));
-        if (!sent.ok()) return sent;
-        break;
-      }
-      case OpCode::kSetContext: {
-        broker::Args resolved = resolve_all(instruction->args, command_args);
-        Result<model::Value> value =
-            broker::require_arg(resolved, "value", "set-context");
-        if (!value.ok()) return value.status();
-        context_->set(instruction->a, std::move(value.value()));
-        break;
-      }
-      case OpCode::kResult: {
-        broker::Args resolved = resolve_all(instruction->args, command_args);
-        Result<model::Value> value =
-            broker::require_arg(resolved, "value", "result");
-        if (!value.ok()) return value.status();
-        result = std::move(value.value());
-        break;
-      }
+      broker::Call call;
+      call.name = instruction->a;
+      call.args = resolve_all(instruction->args, command_args);
+      Result<model::Value> value = broker_->call(call, context);
+      if (!value.ok()) return value.status();
+      result = value.value();
+      set_memory("last.result", std::move(value.value()));
+      continue;
     }
+    Status status = exec_instruction(*instruction, stack.back().node, stack,
+                                     result, command_args, context);
+    if (!status.ok()) return status;
   }
   return result;
+}
+
+// ---- staged execution (PR 6) -----------------------------------------
+
+struct ExecutionEngine::RunState {
+  broker::Args command_args;
+  obs::RequestContext* context = nullptr;
+  ExecuteCallback done;
+  std::uint64_t root_span = 0;
+  std::vector<Frame> stack;
+  model::Value result;
+  std::size_t steps = 0;
+  std::optional<Result<model::Value>> pending;  ///< settled broker call
+};
+
+void ExecutionEngine::execute_async(const IntentModel& intent_model,
+                                    broker::Args command_args,
+                                    obs::RequestContext& context,
+                                    ExecuteCallback done) {
+  if (intent_model.root == nullptr) {
+    done(InvalidArgument("intent model has no root procedure"));
+    return;
+  }
+  Frame initial{};
+  initial.node = intent_model.root.get();
+  start_async(initial, intent_model.root->procedure->name,
+              std::move(command_args), context, std::move(done));
+}
+
+void ExecutionEngine::execute_flat_async(const std::vector<Instruction>& body,
+                                         broker::Args command_args,
+                                         obs::RequestContext& context,
+                                         ExecuteCallback done) {
+  Frame initial{};
+  initial.flat = &body;
+  start_async(initial, "action", std::move(command_args), context,
+              std::move(done));
+}
+
+void ExecutionEngine::start_async(Frame initial, std::string root_name,
+                                  broker::Args command_args,
+                                  obs::RequestContext& context,
+                                  ExecuteCallback done) {
+  stats_.executions.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_ != nullptr) metrics_->counter("controller.eu_executions").add();
+  auto run = std::make_shared<RunState>();
+  run->command_args = std::move(command_args);
+  run->context = &context;
+  run->done = std::move(done);
+  // The root span is closed by finish() (closing through any frames the
+  // run abandoned), mirroring run()'s ScopedSpan — but it must live on
+  // the heap state because the run can outlive this frame.
+  run->root_span = context.open_span("controller.eu", root_name);
+  run->stack.push_back(initial);
+  drive(std::move(run));
+}
+
+void ExecutionEngine::finish(const std::shared_ptr<RunState>& run,
+                             Result<model::Value> outcome) {
+  run->context->close_span(run->root_span);
+  run->done(std::move(outcome));
+}
+
+bool ExecutionEngine::consume_call(const std::shared_ptr<RunState>& run) {
+  Result<model::Value> value = std::move(*run->pending);
+  run->pending.reset();
+  if (!value.ok()) {
+    finish(run, value.status());
+    return false;
+  }
+  run->result = value.value();
+  set_memory("last.result", std::move(value.value()));
+  return true;
+}
+
+void ExecutionEngine::drive(std::shared_ptr<RunState> run) {
+  obs::ContextScope ambient(*run->context);
+  while (true) {
+    std::size_t depth = run->stack.size();
+    std::size_t seen = stats_.max_stack_depth.load(std::memory_order_relaxed);
+    while (depth > seen &&
+           !stats_.max_stack_depth.compare_exchange_weak(
+               seen, depth, std::memory_order_relaxed)) {
+    }
+    const Instruction* instruction = fetch(run->stack, *run->context);
+    if (instruction == nullptr) break;
+    if (++run->steps > config_.max_steps) {
+      finish(run, ExecutionError("execution exceeded " +
+                                 std::to_string(config_.max_steps) +
+                                 " steps"));
+      return;
+    }
+    if (Status budget = run->context->check_deadline("controller.engine");
+        !budget.ok()) {
+      finish(run, budget);
+      return;
+    }
+    stats_.instructions.fetch_add(1, std::memory_order_relaxed);
+    if (instruction->op == OpCode::kBrokerCall) {
+      stats_.broker_calls.fetch_add(1, std::memory_order_relaxed);
+      if (metrics_ != nullptr) {
+        metrics_->counter("controller.broker_calls").add();
+      }
+      broker::Call call;
+      call.name = instruction->a;
+      call.args = resolve_all(instruction->args, run->command_args);
+      // Trampoline (same discipline as BrokerLayer::drive_steps): the
+      // second arrival at the turnstile owns the continuation, so inline
+      // completions keep looping here instead of recursing.
+      auto turn = std::make_shared<std::atomic<int>>(0);
+      broker_->call_async(
+          call, *run->context,
+          [this, run, turn](Result<model::Value> value) {
+            run->pending.emplace(std::move(value));
+            if (turn->exchange(2, std::memory_order_acq_rel) == 1) {
+              if (consume_call(run)) drive(run);
+            }
+          });
+      if (turn->exchange(1, std::memory_order_acq_rel) == 0) {
+        return;  // parked: the broker completion resumes the run
+      }
+      if (!consume_call(run)) return;
+      continue;
+    }
+    Status status =
+        exec_instruction(*instruction, run->stack.back().node, run->stack,
+                         run->result, run->command_args, *run->context);
+    if (!status.ok()) {
+      finish(run, status);
+      return;
+    }
+  }
+  finish(run, std::move(run->result));
 }
 
 EngineStats ExecutionEngine::stats() const {

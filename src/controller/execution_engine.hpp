@@ -15,6 +15,7 @@
 #include <atomic>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 
@@ -76,6 +77,24 @@ class ExecutionEngine {
     return execute_flat(body, command_args, obs::RequestContext::noop());
   }
 
+  /// Completion of the *_async variants; invoked exactly once (inline
+  /// when no broker call parks).
+  using ExecuteCallback = std::function<void(Result<model::Value>)>;
+
+  /// Staged-core twins of execute()/execute_flat() (PR 6): the stack
+  /// machine's state lives on the heap, and a kBrokerCall that parks in
+  /// the Broker layer suspends the run — the surviving instructions
+  /// resume on whatever thread completes the call. `intent_model` /
+  /// `body` and `context` must outlive the run (callers keep the IM
+  /// alive by capturing its shared_ptr in `done`; action bodies are
+  /// never removed); `command_args` is copied into the run state.
+  void execute_async(const IntentModel& intent_model,
+                     broker::Args command_args, obs::RequestContext& context,
+                     ExecuteCallback done);
+  void execute_flat_async(const std::vector<Instruction>& body,
+                          broker::Args command_args,
+                          obs::RequestContext& context, ExecuteCallback done);
+
   /// Platform-wide metrics sink (optional; wired via the controller).
   void set_metrics(obs::MetricsRegistry* metrics) noexcept {
     metrics_ = metrics;
@@ -109,6 +128,38 @@ class ExecutionEngine {
 
   Result<model::Value> run(Frame initial, const broker::Args& command_args,
                            obs::RequestContext& context);
+
+  /// Advance past exhausted frames (closing their spans, popping);
+  /// returns the next instruction of the top frame, or null when the
+  /// stack has drained. Shared by the sync and async drivers.
+  const Instruction* fetch(std::vector<Frame>& stack,
+                           obs::RequestContext& context);
+  /// Execute one non-broker instruction (kBrokerCall is the only op the
+  /// sync and async drivers dispatch differently). `node` is the current
+  /// frame's IM node (null in flat runs); kCallDep pushes onto `stack`.
+  Status exec_instruction(const Instruction& instruction,
+                          const IntentModelNode* node,
+                          std::vector<Frame>& stack, model::Value& result,
+                          const broker::Args& command_args,
+                          obs::RequestContext& context);
+
+  /// Heap-allocated stack-machine state of one *_async run.
+  struct RunState;
+  /// Start an async run from `initial` (opens the root "controller.eu"
+  /// span, then drives).
+  void start_async(Frame initial, std::string root_name,
+                   broker::Args command_args, obs::RequestContext& context,
+                   ExecuteCallback done);
+  /// Drive the stack machine until the run completes or a broker call
+  /// parks it.
+  void drive(std::shared_ptr<RunState> run);
+  /// Consume the settled broker-call outcome; false = run failed and
+  /// finished.
+  bool consume_call(const std::shared_ptr<RunState>& run);
+  /// Close the root span (closing through any frames still open) and
+  /// resolve the run.
+  void finish(const std::shared_ptr<RunState>& run,
+              Result<model::Value> outcome);
 
   model::Value resolve(const model::Value& value,
                        const broker::Args& command_args) const;

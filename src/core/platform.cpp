@@ -46,6 +46,8 @@ Result<std::unique_ptr<Platform>> Platform::assemble(
   platform->name_ = root.get_string("name");
   platform->dsml_ = config.dsml;
   platform->pipeline_threads_ = config.pipeline_threads;
+  platform->staged_ = config.staged_pipeline;
+  platform->manual_loop_ = config.manual_event_loop;
   if (config.clock != nullptr) platform->clock_ = config.clock;
 
   // Overload protection is model-driven (PR 5): the MiddlewarePlatform
@@ -180,9 +182,15 @@ Result<std::unique_ptr<Platform>> Platform::assemble(
 
 Platform::~Platform() {
   // Join the async pipeline first: queued submissions may still reach
-  // into every layer. Executor's destructor drains before joining.
+  // into every layer. The loop stops before the executor drains — no
+  // more timer-driven resumes — but stays alive through the drain so
+  // draining tasks can still call schedule() (dropped silently after
+  // stop()). Then the stage pipeline (holds Executor*), then the loop.
   running_.store(false, std::memory_order_release);
+  if (loop_ != nullptr) loop_->stop();
   pipeline_.reset();
+  stages_.reset();
+  loop_.reset();
   if (error_subscription_ != 0) bus_.unsubscribe(error_subscription_);
 }
 
@@ -368,8 +376,22 @@ Status Platform::stop() {
   }
   // Drain the async pipeline (queued tasks run to completion — rejected
   // by the gate or finishing normally), then wait out every in-flight
-  // synchronous submission before stopping the layers under them.
+  // submission before stopping the layers under them. Staged requests
+  // hold an inflight slot from the door to their terminal continuation,
+  // so the wait also covers requests parked on event-loop timers — the
+  // threaded loop keeps firing them; a manual loop must be pumped here.
   if (pipeline_ != nullptr) pipeline_->drain();
+  if (loop_ != nullptr && !loop_->threaded()) {
+    while (true) {
+      {
+        std::lock_guard inflight(inflight_mutex_);
+        if (inflight_ == 0) break;
+      }
+      loop_->flush();
+      if (pipeline_ != nullptr) pipeline_->drain();
+      std::this_thread::yield();  // sync submissions drain on their own
+    }
+  }
   {
     std::unique_lock inflight(inflight_mutex_);
     inflight_cv_.wait(inflight, [this] { return inflight_ == 0; });
@@ -466,24 +488,65 @@ Result<controller::ControlScript> Platform::submit_model(
   return script;
 }
 
+void Platform::ensure_pipeline() {
+  std::lock_guard lock(pipeline_mutex_);
+  if (pipeline_ != nullptr) return;
+  runtime::ExecutorConfig config = pipeline_config_;
+  config.thread_count = pipeline_threads_ != 0
+                            ? pipeline_threads_
+                            : std::thread::hardware_concurrency();
+  if (config.thread_count == 0) config.thread_count = 1;
+  pipeline_ = std::make_unique<runtime::Executor>(config);
+  pipeline_->set_metrics(&metrics_);
+  pipeline_->set_clock(clock_);
+  if (!staged_) return;
+  // The staged core: logical per-stage queues over the shared executor,
+  // plus the event loop that parks requests between stages.
+  stages_ = std::make_unique<runtime::StagePipeline>(*pipeline_, *clock_,
+                                                     &metrics_);
+  stage_synthesis_ = stages_->add_stage("synthesis");
+  stage_controller_ = stages_->add_stage("controller");
+  stage_broker_ = stages_->add_stage("broker");
+  stage_complete_ = stages_->add_stage("complete");
+  runtime::EventLoopConfig loop_config;
+  loop_config.clock = clock_;
+  loop_config.threaded = !manual_loop_;
+  // An injected virtual clock advances without waking the loop thread;
+  // the poll cap bounds how stale a due check can get. 1ms keeps the
+  // loop idle-cheap while real-time tests stay responsive.
+  loop_config.poll_cap = Duration(1000);
+  loop_ = std::make_unique<runtime::EventLoop>(loop_config);
+  // Broker invocations park their retries/overruns on the loop and hop
+  // back onto workers through the broker stage.
+  broker_->resources().set_async_engine(
+      loop_.get(), [this](std::function<void()> fn) {
+        runtime::StagePipeline::SubmitOptions options;
+        options.continuation = true;
+        Status submitted =
+            stages_->submit(stage_broker_, std::move(fn), options);
+        if (!submitted.ok()) {
+          log_warn("platform") << "broker continuation dropped: "
+                               << submitted.to_string();
+        }
+      });
+}
+
 Status Platform::submit_async(std::string text, SubmitCallback callback,
                               SubmitOptions options) {
+  return staged_
+             ? submit_async_staged(std::move(text), std::move(callback),
+                                   options)
+             : submit_async_parked(std::move(text), std::move(callback),
+                                   options);
+}
+
+Status Platform::submit_async_parked(std::string text,
+                                     SubmitCallback callback,
+                                     SubmitOptions options) {
   if (!running_.load(std::memory_order_acquire)) {
     return FailedPrecondition("platform '" + name_ + "' is not started");
   }
-  {
-    std::lock_guard lock(pipeline_mutex_);
-    if (pipeline_ == nullptr) {
-      runtime::ExecutorConfig config = pipeline_config_;
-      config.thread_count = pipeline_threads_ != 0
-                                ? pipeline_threads_
-                                : std::thread::hardware_concurrency();
-      if (config.thread_count == 0) config.thread_count = 1;
-      pipeline_ = std::make_unique<runtime::Executor>(config);
-      pipeline_->set_metrics(&metrics_);
-      pipeline_->set_clock(clock_);
-    }
-  }
+  ensure_pipeline();
   // The context is minted at enqueue, not at dequeue: queue delay counts
   // against the request's deadline, shows up in its trace as the
   // "runtime.queue" span, and flows into the admission EWMA. shared_ptr
@@ -517,6 +580,235 @@ Status Platform::submit_async(std::string text, SubmitCallback callback,
   return pipeline_->submit(std::move(task));
 }
 
+// ---- staged pipeline (PR 6) ------------------------------------------
+//
+// A request is no longer a worker parked end-to-end: it is a StagedRequest
+// hopping synthesis → controller → broker → complete as continuations,
+// parking on the event loop whenever the broker backs off or an attempt
+// overruns. Ownership discipline: exactly one continuation "holds" the
+// request (and may touch its trace) at a time; the deadline watchdog — the
+// only concurrent party — flips `resolved` and invokes the callback but
+// NEVER touches the trace. The chain observes `resolved` at its next
+// touch, closes the spans and releases the inflight slot, so stop() still
+// waits out every admitted request and no span is written concurrently.
+
+struct Platform::StagedRequest {
+  std::shared_ptr<obs::RequestContext> context;
+  std::string text;
+  SubmitCallback callback;
+  controller::ControlScript script;  ///< commit result, delivered at the end
+  std::uint64_t root_span = 0;       ///< "ui.submit", closed by the chain
+  std::uint64_t queue_span = 0;      ///< "runtime.queue", closed at stage 1
+  std::uint64_t watchdog = 0;        ///< deadline timer id (0 = none)
+  std::atomic<bool> resolved{false};
+  std::optional<InflightGuard> inflight;
+};
+
+Status Platform::submit_async_staged(std::string text,
+                                     SubmitCallback callback,
+                                     SubmitOptions options) {
+  auto request = std::make_shared<StagedRequest>();
+  // The inflight slot registers before the running_ check (same rule as
+  // submit_model): stop() either rejects this request or waits for it.
+  request->inflight.emplace(*this);
+  if (!running_.load(std::memory_order_acquire)) {
+    return FailedPrecondition("platform '" + name_ + "' is not started");
+  }
+  ensure_pipeline();
+  request->context = std::make_shared<obs::RequestContext>(*clock_, &metrics_,
+                                                           options.deadline);
+  if (options.high_priority) {
+    request->context->set_attribute("priority", "high");
+  }
+  // Enqueue-time admission: refuse doomed work before it costs a queue
+  // slot. The synthesis stage re-checks after queue delay.
+  if (Status admitted = admission_.admit(*request->context); !admitted.ok()) {
+    return admitted;
+  }
+  request->text = std::move(text);
+  request->callback = std::move(callback);
+  // One root span for the whole staged traversal — every stage, park and
+  // resume nests under it, so the trace stays a single tree no matter
+  // how many workers the request visits.
+  request->root_span = request->context->open_span("ui.submit", "staged");
+  request->queue_span = request->context->open_span("runtime.queue");
+  // Deadline watchdog: a request whose budget expires while parked
+  // between stages resolves with kTimeout *when it expires*, not when
+  // some stage eventually notices. The loser of the resolved race only
+  // counts; the chain does the trace/inflight cleanup at its next touch.
+  if (options.deadline.has_value()) {
+    request->watchdog = loop_->schedule(
+        std::max<Duration>(*options.deadline, Duration(0)), [this, request] {
+          if (request->resolved.exchange(true, std::memory_order_acq_rel)) {
+            return;
+          }
+          metrics_.counter("ui.watchdog_timeouts").add();
+          metrics_.counter("requests.failed").add();
+          invoke_callback(request->callback,
+                          Timeout(request->context->tag() +
+                                  " deadline expired in the staged pipeline"));
+        });
+  }
+  runtime::StagePipeline::SubmitOptions stage_options;
+  stage_options.lane = request->context->high_priority()
+                           ? runtime::TaskLane::kHigh
+                           : runtime::TaskLane::kNormal;
+  // kShedOldest victims resolve their callback exactly once, then the
+  // shed handler (chain owner: the request never started) closes out.
+  stage_options.on_shed = [this, request] {
+    const bool won =
+        !request->resolved.exchange(true, std::memory_order_acq_rel);
+    request->context->close_span(request->root_span);  // closes queue span
+    if (won) {
+      if (request->watchdog != 0) loop_->cancel(request->watchdog);
+      invoke_callback(request->callback,
+                      Unavailable(request->context->tag() +
+                                  " shed from the pipeline queue under "
+                                  "overload"));
+    }
+    request->inflight.reset();
+  };
+  Status submitted = stages_->submit(
+      stage_synthesis_, [this, request] { stage_synthesis(request); },
+      stage_options);
+  if (!submitted.ok()) {
+    // Door refusal (kReject/full queue): undo — no callback, the caller
+    // gets the status, exactly like the parked path.
+    request->context->close_span(request->root_span);
+    if (request->watchdog != 0) loop_->cancel(request->watchdog);
+    return submitted;
+  }
+  return Status::Ok();
+}
+
+bool Platform::staged_abandoned(const std::shared_ptr<StagedRequest>& request) {
+  if (!request->resolved.load(std::memory_order_acquire)) return false;
+  // The watchdog already delivered kTimeout; the chain owns the trace,
+  // so the close-out happens here, at its next touch.
+  admission_.record_latency(request->context->elapsed());
+  request->context->close_span(request->root_span);
+  request->inflight.reset();
+  return true;
+}
+
+void Platform::finish_staged(const std::shared_ptr<StagedRequest>& request,
+                             Result<controller::ControlScript> outcome) {
+  // Feed the admission EWMA with the observed end-to-end latency (queue
+  // and park time included — the context was minted at enqueue).
+  admission_.record_latency(request->context->elapsed());
+  if (!outcome.ok()) metrics_.counter("requests.failed").add();
+  const bool won =
+      !request->resolved.exchange(true, std::memory_order_acq_rel);
+  // Close-through: the root span pops any child spans a timed-out chain
+  // left open, keeping the trace a single well-formed tree.
+  request->context->close_span(request->root_span);
+  {
+    std::lock_guard lock(last_async_mutex_);
+    last_async_context_ = request->context;
+  }
+  if (won) {
+    if (request->watchdog != 0) loop_->cancel(request->watchdog);
+    invoke_callback(request->callback, std::move(outcome));
+  }
+  request->inflight.reset();
+}
+
+void Platform::submit_continuation(
+    std::size_t stage, const std::shared_ptr<StagedRequest>& request,
+    runtime::Continuation fn) {
+  runtime::StagePipeline::SubmitOptions options;
+  options.lane = request->context->high_priority() ? runtime::TaskLane::kHigh
+                                                   : runtime::TaskLane::kNormal;
+  options.continuation = true;  // admitted work is never refused mid-chain
+  Status submitted = stages_->submit(stage, std::move(fn), options);
+  if (!submitted.ok()) {
+    // Only reachable when the executor is shutting down (destructor
+    // teardown); the request can never complete, so close it out.
+    log_warn("platform") << request->context->tag()
+                         << " continuation dropped: " << submitted.to_string();
+    finish_staged(request, Unavailable("staged pipeline shut down mid-request"));
+  }
+}
+
+void Platform::stage_synthesis(std::shared_ptr<StagedRequest> request) {
+  request->context->close_span(request->queue_span);
+  if (staged_abandoned(request)) return;
+  obs::ContextScope ambient(*request->context);
+  metrics_.counter("requests.submitted").add();
+  if (!running_.load(std::memory_order_acquire)) {
+    finish_staged(request, FailedPrecondition("platform '" + name_ +
+                                              "' is not started"));
+    return;
+  }
+  // Dequeue-time admission re-check: queue delay ate into the budget.
+  if (Status admitted = admission_.admit(*request->context); !admitted.ok()) {
+    finish_staged(request, std::move(admitted));
+    return;
+  }
+  if (Status deadline = request->context->check_deadline("ui");
+      !deadline.ok()) {
+    finish_staged(request, std::move(deadline));
+    return;
+  }
+  Result<model::Model> parsed = model::parse_model(request->text, dsml_);
+  if (!parsed.ok()) {
+    finish_staged(request, parsed.status());
+    return;
+  }
+  // Commit only — the serial synthesis window releases before controller
+  // execution is even scheduled (the commit itself never parks).
+  Result<controller::ControlScript> script =
+      synthesis_->commit_model(std::move(parsed.value()), *request->context);
+  if (!script.ok()) {
+    finish_staged(request, script.status());
+    return;
+  }
+  request->script = std::move(script.value());
+  if (request->script.empty()) {
+    // Nothing to execute (model unchanged): skip straight to completion.
+    submit_continuation(stage_complete_, request, [this, request] {
+      stage_complete(request, Status::Ok());
+    });
+    return;
+  }
+  submit_continuation(stage_controller_, request,
+                      [this, request] { stage_controller(request); });
+}
+
+void Platform::stage_controller(std::shared_ptr<StagedRequest> request) {
+  if (staged_abandoned(request)) return;
+  obs::ContextScope ambient(*request->context);
+  // The script chain may park in the broker (backoff, attempt overrun);
+  // its completion fires on whatever thread settles the last command and
+  // hops to the completion stage from there.
+  controller_->execute_script_async(
+      request->script, *request->context, [this, request](Status executed) {
+        submit_continuation(stage_complete_, request,
+                            [this, request, executed] {
+                              stage_complete(request, executed);
+                            });
+      });
+}
+
+void Platform::stage_complete(std::shared_ptr<StagedRequest> request,
+                              Status executed) {
+  if (staged_abandoned(request)) return;
+  obs::ContextScope ambient(*request->context);
+  if (!executed.ok()) {
+    finish_staged(request, std::move(executed));
+    return;
+  }
+  // Overload contract (PR 5): a success the caller's budget can no
+  // longer use is delivered as kTimeout, never as a late Ok.
+  if (request->context->expired()) {
+    metrics_.counter("ui.completed_late").add();
+    finish_staged(request, Timeout(request->context->tag() +
+                                   " completed after its deadline"));
+    return;
+  }
+  finish_staged(request, std::move(request->script));
+}
+
 void Platform::invoke_callback(const SubmitCallback& callback,
                                Result<controller::ControlScript> outcome) {
   if (callback == nullptr) return;
@@ -537,10 +829,18 @@ Platform::PipelineStats Platform::pipeline_stats() const {
   stats.queue_capacity = pipeline_config_.queue_capacity;
   if (pipeline_ != nullptr) {
     stats.max_pending = pipeline_->max_pending();
+    stats.max_bounded_pending = pipeline_->max_bounded_pending();
     stats.rejections = pipeline_->rejections();
     stats.shed = pipeline_->shed_tasks();
   }
   return stats;
+}
+
+std::vector<runtime::StagePipeline::StageStats> Platform::stage_stats()
+    const {
+  std::lock_guard lock(pipeline_mutex_);
+  if (stages_ == nullptr) return {};
+  return stages_->stats();
 }
 
 Result<controller::ControlScript> Platform::submit_model(

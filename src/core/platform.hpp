@@ -34,7 +34,9 @@
 #include "policy/context.hpp"
 #include "runtime/component_factory.hpp"
 #include "runtime/event_bus.hpp"
+#include "runtime/event_loop.hpp"
 #include "runtime/executor.hpp"
+#include "runtime/stage.hpp"
 #include "synthesis/synthesis_engine.hpp"
 #include "synthesis/weaver.hpp"
 
@@ -57,6 +59,18 @@ struct PlatformConfig {
   /// hardware thread). The pool is created lazily on the first async
   /// submission; synchronous submits never pay for it.
   unsigned pipeline_threads = 0;
+  /// PR 6: run submit_async() through the event-driven staged pipeline
+  /// (admission → synthesis-commit → controller-execute → broker-invoke
+  /// → completion as non-blocking continuations, with retry backoff and
+  /// attempt timeouts on the event loop). false restores the PR-5 parked
+  /// pipeline — one worker holds each request end-to-end — kept for the
+  /// staged-vs-parked benchmark comparison.
+  bool staged_pipeline = true;
+  /// Staged pipeline only: create the event loop in manual mode (no loop
+  /// thread; nothing fires until event_loop()->poll()/flush()).
+  /// Deterministic tests pair this with an injected SimClock and pump
+  /// the loop themselves.
+  bool manual_event_loop = false;
 };
 
 /// Per-submission options for Platform::submit_async().
@@ -191,10 +205,27 @@ class Platform {
   struct PipelineStats {
     std::size_t queue_capacity = 0;  ///< configured bound (0 = unbounded)
     std::size_t max_pending = 0;     ///< deepest the queue ever got
+    /// Deepest the *bounded* entry backlog ever got — continuation hops
+    /// excluded. This is the gauge queue_capacity governs; on the staged
+    /// pipeline max_pending also counts mid-request hops and may
+    /// legitimately exceed the capacity.
+    std::size_t max_bounded_pending = 0;
     std::uint64_t rejections = 0;    ///< submits refused (kReject/shutdown)
     std::uint64_t shed = 0;          ///< queued tasks dropped (kShedOldest)
   };
   [[nodiscard]] PipelineStats pipeline_stats() const;
+  /// Per-stage queue depth / delay statistics of the staged pipeline
+  /// (empty before the first async submission, or when staged_pipeline
+  /// is off). Stage order: synthesis, controller, broker, complete.
+  [[nodiscard]] std::vector<runtime::StagePipeline::StageStats> stage_stats()
+      const;
+  /// The staged pipeline's event loop (timers for retry backoff, attempt
+  /// overruns and deadline watchdogs). Null before the first async
+  /// submission or when staged_pipeline is off. With manual_event_loop,
+  /// tests pump poll()/flush() on it after advancing their SimClock.
+  [[nodiscard]] runtime::EventLoop* event_loop() noexcept {
+    return loop_.get();
+  }
   /// Platform-wide metrics: counters and latency histograms recorded by
   /// every layer (and by request contexts minted via make_context()).
   [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
@@ -206,6 +237,15 @@ class Platform {
   /// caller's RequestContext instead.
   [[nodiscard]] const obs::Trace* last_trace() const noexcept {
     return last_context_ == nullptr ? nullptr : &last_context_->trace();
+  }
+  /// Context (and span tree) of the most recently *completed* staged
+  /// async submission — the async counterpart of last_trace(). Returned
+  /// as a shared_ptr so a concurrent completion cannot invalidate the
+  /// snapshot mid-inspection. Null before the first staged completion.
+  [[nodiscard]] std::shared_ptr<const obs::RequestContext>
+  last_async_context() const {
+    std::lock_guard lock(last_async_mutex_);
+    return last_async_context_;
   }
   [[nodiscard]] const Clock& clock() const noexcept { return *clock_; }
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
@@ -226,11 +266,44 @@ class Platform {
   void invoke_callback(const SubmitCallback& callback,
                        Result<controller::ControlScript> outcome);
 
+  /// One request traversing the staged pipeline (heap state; the request
+  /// owns its context, root span, deadline watchdog and inflight slot).
+  struct StagedRequest;
+  /// Lazily create the executor — and, when staged, the stage pipeline,
+  /// the event loop and the broker's async engine wiring.
+  void ensure_pipeline();
+  /// PR-5 parked pipeline (one worker holds the request end-to-end);
+  /// kept behind staged_pipeline=false for benchmark comparison.
+  Status submit_async_parked(std::string text, SubmitCallback callback,
+                             SubmitOptions options);
+  Status submit_async_staged(std::string text, SubmitCallback callback,
+                             SubmitOptions options);
+  /// Stage bodies. Each runs as a continuation on a pipeline worker.
+  void stage_synthesis(std::shared_ptr<StagedRequest> request);
+  void stage_controller(std::shared_ptr<StagedRequest> request);
+  void stage_complete(std::shared_ptr<StagedRequest> request,
+                      Status executed);
+  /// Mid-pipeline hop: submit `fn` to `stage` as a never-shed
+  /// continuation.
+  void submit_continuation(std::size_t stage,
+                           const std::shared_ptr<StagedRequest>& request,
+                           runtime::Continuation fn);
+  /// True when the deadline watchdog already resolved the request; the
+  /// chain (single owner of the trace) closes out and releases its
+  /// inflight slot here.
+  bool staged_abandoned(const std::shared_ptr<StagedRequest>& request);
+  /// Terminal stage bookkeeping: record latency, close the root span,
+  /// resolve the callback exactly once, release the inflight slot.
+  void finish_staged(const std::shared_ptr<StagedRequest>& request,
+                     Result<controller::ControlScript> outcome);
+
   std::string name_;
   model::MetamodelPtr dsml_;
   const Clock* clock_ = &obs::steady_clock();
   obs::MetricsRegistry metrics_;
   std::unique_ptr<obs::RequestContext> last_context_;
+  mutable std::mutex last_async_mutex_;  ///< guards last_async_context_
+  std::shared_ptr<obs::RequestContext> last_async_context_;
   runtime::EventBus bus_;
   policy::ContextStore context_;
   runtime::ComponentFactory factory_;
@@ -272,6 +345,18 @@ class Platform {
   std::size_t inflight_ = 0;
   mutable std::mutex pipeline_mutex_;  ///< guards lazy pipeline_ creation
   std::unique_ptr<runtime::Executor> pipeline_;
+  /// Staged-core companions of the executor (created together under
+  /// pipeline_mutex_; destroyed after the executor joins). The loop
+  /// outlives the executor's drain because queued tasks may still
+  /// schedule timers; after stop() those are silently dropped.
+  std::unique_ptr<runtime::StagePipeline> stages_;
+  std::unique_ptr<runtime::EventLoop> loop_;
+  std::size_t stage_synthesis_ = 0;
+  std::size_t stage_controller_ = 0;
+  std::size_t stage_broker_ = 0;
+  std::size_t stage_complete_ = 0;
+  bool staged_ = true;
+  bool manual_loop_ = false;
   unsigned pipeline_threads_ = 0;
   /// Queue bound + overflow policy decoded from the middleware model's
   /// MiddlewarePlatform attributes (thread_count is filled in at lazy

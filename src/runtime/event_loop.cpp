@@ -1,0 +1,196 @@
+#include "runtime/event_loop.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace mdsm::runtime {
+
+namespace {
+
+const Clock& process_steady_clock() noexcept {
+  static const SteadyClock clock;
+  return clock;
+}
+
+}  // namespace
+
+EventLoop::EventLoop(EventLoopConfig config)
+    : config_(config),
+      clock_(config.clock != nullptr ? config.clock
+                                     : &process_steady_clock()),
+      timers_(*clock_) {
+  if (config_.threaded) {
+    thread_ = std::thread([this] { run(); });
+  }
+}
+
+EventLoop::~EventLoop() { stop(); }
+
+void EventLoop::post(std::function<void()> fn) {
+  if (fn == nullptr) return;
+  {
+    std::lock_guard lock(mutex_);
+    if (stop_) return;
+    posted_.push_back(std::move(fn));
+  }
+  wake_.notify_one();
+}
+
+std::uint64_t EventLoop::schedule(Duration delay, std::function<void()> fn) {
+  std::uint64_t id = 0;
+  {
+    std::lock_guard lock(mutex_);
+    if (stop_) return 0;
+    id = timers_.schedule(delay, std::move(fn));
+  }
+  // The new deadline may be nearer than what the loop thread is waiting
+  // for; wake it to recompute.
+  wake_.notify_one();
+  return id;
+}
+
+bool EventLoop::cancel(std::uint64_t timer_id) {
+  std::lock_guard lock(mutex_);
+  return timers_.cancel(timer_id);
+}
+
+void EventLoop::run_contained(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const std::exception& e) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    log_error("event-loop") << "callback threw: " << e.what();
+  } catch (...) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    log_error("event-loop") << "callback threw a non-std::exception";
+  }
+}
+
+void EventLoop::run() {
+  std::unique_lock lock(mutex_);
+  while (true) {
+    // Drain everything currently runnable. Posts before timers: a post
+    // is "as soon as possible" work, a timer merely became eligible.
+    bool ran = true;
+    while (ran) {
+      ran = false;
+      if (!posted_.empty()) {
+        std::function<void()> fn = std::move(posted_.front());
+        posted_.pop_front();
+        lock.unlock();
+        run_contained(fn);
+        lock.lock();
+        ran = true;
+        continue;
+      }
+      if (std::optional<TimerService::Callback> due =
+              timers_.take_due(clock_->now())) {
+        lock.unlock();
+        run_contained(*due);
+        lock.lock();
+        ran = true;
+      }
+    }
+    if (stop_) return;
+    if (std::optional<TimePoint> next = timers_.next_deadline()) {
+      Duration wait = *next - clock_->now();
+      if (config_.poll_cap.count() > 0 && wait > config_.poll_cap) {
+        // Virtual clocks advance silently; re-check at the cap.
+        wait = config_.poll_cap;
+      }
+      if (wait.count() > 0) wake_.wait_for(lock, wait);
+    } else {
+      // Nothing pending: only post()/schedule()/stop() can create work,
+      // and all three notify.
+      wake_.wait(lock, [this] {
+        return stop_ || !posted_.empty() || timers_.pending() != 0;
+      });
+    }
+  }
+}
+
+std::size_t EventLoop::poll() {
+  std::size_t ran = 0;
+  std::unique_lock lock(mutex_);
+  // Bound both drains by what existed at entry: work created by the
+  // closures we run belongs to the next poll.
+  std::size_t post_budget = posted_.size();
+  const TimePoint now = clock_->now();
+  // Exact due-prefix count: zero-delay timers scheduled by the closures
+  // we run land past the budget (equal deadlines insert at the upper
+  // bound), so they wait for the next poll.
+  std::size_t timer_budget = timers_.due_count(now);
+  while (post_budget > 0 && !posted_.empty()) {
+    --post_budget;
+    std::function<void()> fn = std::move(posted_.front());
+    posted_.pop_front();
+    lock.unlock();
+    run_contained(fn);
+    lock.lock();
+    ++ran;
+  }
+  while (timer_budget > 0) {
+    --timer_budget;
+    std::optional<TimerService::Callback> due = timers_.take_due(now);
+    if (!due.has_value()) break;
+    lock.unlock();
+    run_contained(*due);
+    lock.lock();
+    ++ran;
+  }
+  return ran;
+}
+
+std::size_t EventLoop::flush() {
+  std::size_t ran = 0;
+  std::unique_lock lock(mutex_);
+  while (true) {
+    if (!posted_.empty()) {
+      std::function<void()> fn = std::move(posted_.front());
+      posted_.pop_front();
+      lock.unlock();
+      run_contained(fn);
+      lock.lock();
+      ++ran;
+      continue;
+    }
+    std::optional<TimerService::Callback> next = timers_.take_earliest();
+    if (!next.has_value()) break;
+    lock.unlock();
+    run_contained(*next);
+    lock.lock();
+    ++ran;
+  }
+  return ran;
+}
+
+void EventLoop::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stop_) {
+      // Already stopping; fall through to the join (idempotent, and a
+      // second caller must not return before the thread is gone).
+    }
+    stop_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+std::size_t EventLoop::pending_timers() const {
+  std::lock_guard lock(mutex_);
+  return timers_.pending();
+}
+
+std::size_t EventLoop::pending_posts() const {
+  std::lock_guard lock(mutex_);
+  return posted_.size();
+}
+
+std::uint64_t EventLoop::callback_failures() const {
+  return failures_.load(std::memory_order_relaxed);
+}
+
+}  // namespace mdsm::runtime

@@ -68,9 +68,12 @@ Status Executor::submit(Task task) {
   {
     std::unique_lock lock(mutex_);
     if (shutting_down_) return reject("shutdown in progress");
-    const bool bounded =
-        config_.queue_capacity != 0 && g_worker_of != this;
-    if (bounded && queued_unlocked() >= config_.queue_capacity) {
+    // The capacity bound governs the entry backlog only: continuation
+    // hops carry already-admitted requests, so they neither count toward
+    // the bound nor crowd fresh entries out of it.
+    const bool bounded = config_.queue_capacity != 0 &&
+                         g_worker_of != this && !task.continuation;
+    if (bounded && bounded_pending_ >= config_.queue_capacity) {
       switch (config_.overflow_policy) {
         case OverflowPolicy::kReject:
           return reject("queue at capacity");
@@ -78,7 +81,7 @@ Status Executor::submit(Task task) {
           ++blocked_submitters_;
           space_.wait(lock, [this] {
             return shutting_down_ ||
-                   queued_unlocked() < config_.queue_capacity;
+                   bounded_pending_ < config_.queue_capacity;
           });
           --blocked_submitters_;
           if (shutting_down_) {
@@ -89,11 +92,22 @@ Status Executor::submit(Task task) {
         }
         case OverflowPolicy::kShedOldest: {
           // Prefer shedding bulk work; only eat into the high lane when
-          // nothing normal is queued.
-          auto& victim_lane =
-              !queues_[0].empty() ? queues_[0] : queues_[1];
-          shed_victim = std::move(victim_lane.front().on_shed);
-          victim_lane.pop_front();
+          // no normal-lane entry is queued. Continuations are never
+          // victims — shedding one would strand an admitted request
+          // whose completion callback must still fire — and since
+          // bounded_pending_ >= capacity >= 1, a sheddable entry is
+          // guaranteed to exist.
+          auto shed_from = [this, &shed_victim](std::deque<Queued>& lane) {
+            for (auto it = lane.begin(); it != lane.end(); ++it) {
+              if (it->continuation) continue;
+              shed_victim = std::move(it->on_shed);
+              lane.erase(it);
+              --bounded_pending_;
+              return true;
+            }
+            return false;
+          };
+          if (!shed_from(queues_[0])) shed_from(queues_[1]);
           shed_.fetch_add(1, std::memory_order_relaxed);
           if (shed_counter_ != nullptr) shed_counter_->add();
           break;
@@ -101,12 +115,23 @@ Status Executor::submit(Task task) {
       }
     }
     queued.enqueued_at = clock_->now();
+    queued.continuation = task.continuation;
     queues_[static_cast<int>(task.lane)].push_back(std::move(queued));
     std::size_t depth = queued_unlocked();
     std::size_t seen = max_pending_.load(std::memory_order_relaxed);
     while (depth > seen &&
            !max_pending_.compare_exchange_weak(seen, depth,
                                                std::memory_order_relaxed)) {
+    }
+    if (!task.continuation) {
+      ++bounded_pending_;
+      std::size_t bounded_seen =
+          max_bounded_pending_.load(std::memory_order_relaxed);
+      while (bounded_pending_ > bounded_seen &&
+             !max_bounded_pending_.compare_exchange_weak(
+                 bounded_seen, bounded_pending_,
+                 std::memory_order_relaxed)) {
+      }
     }
   }
   wake_.notify_one();
@@ -168,6 +193,7 @@ void Executor::worker_loop() {
       auto& lane = !queues_[1].empty() ? queues_[1] : queues_[0];
       Queued next = std::move(lane.front());
       lane.pop_front();
+      if (!next.continuation) --bounded_pending_;
       ++active_;
       if (queue_delay_histogram_ != nullptr) {
         queue_delay_histogram_->record(clock_->now() - next.enqueued_at);

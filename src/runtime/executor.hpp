@@ -63,6 +63,11 @@ class Executor {
     std::function<void()> run;
     TaskLane lane = TaskLane::kNormal;
     std::function<void()> on_shed;
+    /// Mid-pipeline continuation of already-admitted work (PR 6 staged
+    /// pipeline): bypasses the capacity bound like a worker self-submit
+    /// does — admission happened once at the door, and refusing a hop
+    /// would strand the request's completion.
+    bool continuation = false;
   };
 
   /// Enqueue a task. Safe from any thread, including worker threads.
@@ -117,9 +122,18 @@ class Executor {
     return config_.queue_capacity;
   }
   [[nodiscard]] std::size_t pending() const;
-  /// High-water mark of pending(): the deepest the queue ever got.
+  /// High-water mark of pending(): the deepest the queue ever got,
+  /// continuations included.
   [[nodiscard]] std::size_t max_pending() const noexcept {
     return max_pending_.load(std::memory_order_relaxed);
+  }
+  /// High-water mark of the bounded backlog: queued non-continuation
+  /// tasks, the population queue_capacity actually governs. Continuation
+  /// hops ride above this bound (their count is limited by admitted
+  /// in-flight work, not by client arrival rate), so this — not
+  /// max_pending() — is the gauge that proves the admission bound held.
+  [[nodiscard]] std::size_t max_bounded_pending() const noexcept {
+    return max_bounded_pending_.load(std::memory_order_relaxed);
   }
   /// Tasks whose invocation threw (contained, never propagated).
   [[nodiscard]] std::uint64_t task_failures() const noexcept {
@@ -139,6 +153,7 @@ class Executor {
     std::function<void()> run;
     std::function<void()> on_shed;
     TimePoint enqueued_at;
+    bool continuation = false;
   };
 
   void worker_loop();
@@ -157,9 +172,11 @@ class Executor {
   std::vector<std::thread> workers_;
   unsigned active_ = 0;
   unsigned blocked_submitters_ = 0;
+  std::size_t bounded_pending_ = 0;  ///< queued non-continuation tasks
   bool shutting_down_ = false;
   bool joined_ = false;
   std::atomic<std::size_t> max_pending_{0};
+  std::atomic<std::size_t> max_bounded_pending_{0};
   std::atomic<std::uint64_t> task_failures_{0};
   std::atomic<std::uint64_t> rejections_{0};
   std::atomic<std::uint64_t> shed_{0};

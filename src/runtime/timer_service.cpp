@@ -1,5 +1,7 @@
 #include "runtime/timer_service.hpp"
 
+#include <vector>
+
 #include "common/log.hpp"
 
 namespace mdsm::runtime {
@@ -21,15 +23,25 @@ bool TimerService::cancel(std::uint64_t timer_id) {
 }
 
 std::size_t TimerService::run_due() {
+  // Snapshot the ids due at entry, in deadline order. Only these fire in
+  // this call: a callback that schedules a new timer — even with zero
+  // delay — defers it to the next tick, deterministically. Ids (not
+  // iterators) survive callbacks mutating the maps; a callback that
+  // cancels a due-but-unfired timer removes its id from the index and
+  // the drain skips it.
+  const TimePoint now = clock_->now();
+  std::vector<std::uint64_t> due;
+  for (auto it = timers_.begin(); it != timers_.end() && it->first <= now;
+       ++it) {
+    due.push_back(it->second.id);
+  }
   std::size_t fired = 0;
-  // Re-read now() each round: callbacks may schedule timers that are
-  // already due (delay zero) and must fire in this call.
-  while (!timers_.empty()) {
-    auto it = timers_.begin();
-    if (it->first > clock_->now()) break;
-    Callback callback = std::move(it->second.callback);
-    index_.erase(it->second.id);
-    timers_.erase(it);
+  for (std::uint64_t id : due) {
+    auto indexed = index_.find(id);
+    if (indexed == index_.end()) continue;  // cancelled mid-drain
+    Callback callback = std::move(indexed->second->second.callback);
+    timers_.erase(indexed->second);
+    index_.erase(indexed);
     // The timer is retired before its callback runs, so a throw cannot
     // leave a half-fired entry behind; it counts as fired (it ran) and
     // the drain moves on to the next due deadline.
@@ -48,9 +60,37 @@ std::size_t TimerService::run_due() {
   return fired;
 }
 
+std::optional<TimerService::Callback> TimerService::take_due(TimePoint now) {
+  if (timers_.empty()) return std::nullopt;
+  auto it = timers_.begin();
+  if (it->first > now) return std::nullopt;
+  Callback callback = std::move(it->second.callback);
+  index_.erase(it->second.id);
+  timers_.erase(it);
+  return callback;
+}
+
+std::optional<TimerService::Callback> TimerService::take_earliest() {
+  if (timers_.empty()) return std::nullopt;
+  auto it = timers_.begin();
+  Callback callback = std::move(it->second.callback);
+  index_.erase(it->second.id);
+  timers_.erase(it);
+  return callback;
+}
+
 std::optional<TimePoint> TimerService::next_deadline() const {
   if (timers_.empty()) return std::nullopt;
   return timers_.begin()->first;
+}
+
+std::size_t TimerService::due_count(TimePoint now) const {
+  std::size_t due = 0;
+  for (auto it = timers_.begin(); it != timers_.end() && it->first <= now;
+       ++it) {
+    ++due;
+  }
+  return due;
 }
 
 }  // namespace mdsm::runtime

@@ -29,14 +29,35 @@ class TimerService {
   bool cancel(std::uint64_t timer_id);
 
   /// Fire every timer whose deadline is <= now, in deadline order.
-  /// Returns the number fired. Callbacks may schedule further timers.
-  /// A throwing callback loses only its own timer: the exception is
-  /// contained (counted in callback_failures()) and the drain continues —
-  /// one bad timer must not wedge every deadline scheduled behind it.
+  /// Returns the number fired. The due set is snapshotted at entry:
+  /// timers scheduled by callbacks during the drain — even zero-delay
+  /// ones — are deferred to the *next* run_due() call, never fired in
+  /// this one and never skipped or double-fired. (Firing them in the
+  /// same call made a tick's work depend on callback scheduling order;
+  /// timer-driven retry backoff needs "one tick = the timers that were
+  /// due when the tick started".) Callbacks may cancel not-yet-fired due
+  /// timers; cancelled ones are skipped. A throwing callback loses only
+  /// its own timer: the exception is contained (counted in
+  /// callback_failures()) and the drain continues — one bad timer must
+  /// not wedge every deadline scheduled behind it.
   std::size_t run_due();
+
+  /// Retire and return the earliest timer due at `now`, or nullopt when
+  /// none is due. Building block for event loops that interleave their
+  /// own locking with timer pops (the callback runs outside any lock).
+  std::optional<Callback> take_due(TimePoint now);
+
+  /// Retire and return the earliest pending timer regardless of its
+  /// deadline, or nullopt when none is pending. Shutdown flushes use
+  /// this to run out parked continuations instead of leaking them.
+  std::optional<Callback> take_earliest();
 
   /// Deadline of the earliest pending timer, or nullopt.
   [[nodiscard]] std::optional<TimePoint> next_deadline() const;
+
+  /// Number of pending timers with deadline <= `now` (the prefix a
+  /// snapshot-bounded drain would fire).
+  [[nodiscard]] std::size_t due_count(TimePoint now) const;
 
   [[nodiscard]] std::size_t pending() const noexcept { return timers_.size(); }
   /// Callbacks whose exceptions run_due() swallowed.

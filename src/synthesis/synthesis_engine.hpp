@@ -84,6 +84,17 @@ class SynthesisEngine final : public runtime::Component {
     return submit_model(std::move(new_model), obs::RequestContext::noop());
   }
 
+  /// The commit phase alone (PR 6 staged pipeline): validate, diff,
+  /// interpret, dispatch and commit under the serial mutex, but do NOT
+  /// run the post-commit executor hook — the staged platform calls this
+  /// from its synthesis stage and hands the returned script to the
+  /// controller stage as a separate continuation, so the serial window
+  /// releases before execution is even scheduled. Opens its own
+  /// "synthesis.submit" span (closed on return: the commit itself never
+  /// parks).
+  Result<controller::ControlScript> commit_model(model::Model new_model,
+                                                 obs::RequestContext& context);
+
   /// Platform-wide metrics sink (optional; wired by the assembler).
   void set_metrics(obs::MetricsRegistry* metrics) noexcept {
     metrics_ = metrics;
@@ -114,6 +125,11 @@ class SynthesisEngine final : public runtime::Component {
   [[nodiscard]] std::vector<std::string> event_log() const;
 
  private:
+  /// Shared pre-check + serial diff→interpret→dispatch→commit section of
+  /// submit_model()/commit_model() (everything except the executor hook).
+  Result<controller::ControlScript> commit_core(model::Model new_model,
+                                                obs::RequestContext& context);
+
   model::MetamodelPtr dsml_;
   Lts lts_;
   ChangeInterpreter interpreter_;

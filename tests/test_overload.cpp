@@ -111,8 +111,11 @@ TEST(Overload, AdmissionShedsWhenBudgetBelowPredictedLatency) {
   platform.admission().record_latency(std::chrono::milliseconds(50));
   EXPECT_GE(platform.admission().predicted_latency(),
             std::chrono::milliseconds(50));
-  // 1ms of budget cannot cover 50ms of predicted latency: shed as doomed.
-  auto doomed = platform.make_context(std::chrono::milliseconds(1));
+  // 10ms of budget cannot cover 50ms of predicted latency: shed as
+  // doomed. (Not 1ms — a sanitizer build on a loaded core can burn a
+  // tight budget between make_context and the admission check, which
+  // would reclassify the shed as "expired" and flake the test.)
+  auto doomed = platform.make_context(std::chrono::milliseconds(10));
   auto outcome =
       platform.submit_model_text(soak::open_session_text("s1"), doomed);
   EXPECT_EQ(outcome.status().code(), ErrorCode::kUnavailable);
@@ -203,7 +206,9 @@ TEST(Overload, AsyncQueueDelaySpanRecorded) {
   EXPECT_EQ(queue_span->count, 1u);
   const auto* queue_delay = snapshot.histogram("runtime.queue_delay_us");
   ASSERT_NE(queue_delay, nullptr);
-  EXPECT_EQ(queue_delay->count, 1u);
+  // The staged pipeline (PR 6) makes one executor submission per stage
+  // hop, so a single request leaves several queue-delay samples.
+  EXPECT_GE(queue_delay->count, 1u);
 }
 
 // The ledger soak (satellite): concurrent submitters against a small
@@ -270,7 +275,10 @@ TEST(Overload, ConcurrentLedgerAccountsForEverySubmission) {
   EXPECT_EQ(accepted.load() + refused.load(), kThreads * kPerThread);
   EXPECT_EQ(completed_ok.load() + completed_failed.load(), accepted.load());
   const Platform::PipelineStats stats = platform->pipeline_stats();
-  EXPECT_LE(stats.max_pending, 4u);  // the bound held under pressure
+  // The bound held under pressure. On the staged pipeline the bound
+  // governs entry submissions only — continuation hops of admitted
+  // requests ride above it — so the bounded gauge is the one to check.
+  EXPECT_LE(stats.max_bounded_pending, 4u);
   // Shed tasks resolved through their callbacks (counted as failed) and
   // in the shed counter; with shed-oldest the door never refuses.
   EXPECT_EQ(refused.load(), static_cast<int>(stats.rejections));

@@ -14,7 +14,9 @@
 #include "runtime/component.hpp"
 #include "runtime/component_factory.hpp"
 #include "runtime/event_bus.hpp"
+#include "runtime/event_loop.hpp"
 #include "runtime/executor.hpp"
+#include "runtime/stage.hpp"
 #include "runtime/timer_service.hpp"
 
 namespace mdsm::runtime {
@@ -457,7 +459,11 @@ TEST(TimerService, CancelPreventsFiring) {
   EXPECT_FALSE(fired);
 }
 
-TEST(TimerService, CallbackMayScheduleImmediateTimer) {
+// Regression (PR 6): a callback that schedules a new timer during
+// run_due() — even a zero-delay one — defers it to the *next* tick. It
+// must never fire in the same drain (that made a tick's work depend on
+// callback order) and never be skipped or double-fired.
+TEST(TimerService, CallbackScheduledTimerDefersToNextTick) {
   SimClock clock;
   TimerService timers(clock);
   int fired = 0;
@@ -465,8 +471,48 @@ TEST(TimerService, CallbackMayScheduleImmediateTimer) {
     ++fired;
     timers.schedule(Duration(0), [&] { ++fired; });
   });
-  EXPECT_EQ(timers.run_due(), 2u);  // chained zero-delay fires same call
+  EXPECT_EQ(timers.run_due(), 1u);  // only the timer due at entry fires
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(timers.pending(), 1u);  // the chained timer is parked, not lost
+  EXPECT_EQ(timers.run_due(), 1u);  // ...and fires exactly once next tick
   EXPECT_EQ(fired, 2);
+  EXPECT_EQ(timers.pending(), 0u);
+}
+
+// A self-rescheduling heartbeat must not spin run_due() forever: each
+// drain fires exactly one generation.
+TEST(TimerService, SelfReschedulingTimerFiresOncePerDrain) {
+  SimClock clock;
+  TimerService timers(clock);
+  int generation = 0;
+  std::function<void()> beat = [&] {
+    ++generation;
+    timers.schedule(Duration(0), beat);
+  };
+  timers.schedule(Duration(0), beat);
+  for (int tick = 1; tick <= 5; ++tick) {
+    EXPECT_EQ(timers.run_due(), 1u);
+    EXPECT_EQ(generation, tick);
+  }
+  EXPECT_EQ(timers.pending(), 1u);
+}
+
+// Callbacks may cancel a timer that is due but not yet fired in the same
+// drain; the drain skips it without double-firing anything.
+TEST(TimerService, CallbackMayCancelLaterDueTimer) {
+  SimClock clock;
+  TimerService timers(clock);
+  int fired = 0;
+  std::uint64_t victim = 0;
+  timers.schedule(Duration(1), [&] {
+    ++fired;
+    EXPECT_TRUE(timers.cancel(victim));
+  });
+  victim = timers.schedule(Duration(2), [&] { ++fired; });
+  clock.advance(Duration(10));
+  EXPECT_EQ(timers.run_due(), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(timers.pending(), 0u);
 }
 
 TEST(TimerService, ThrowingCallbackDoesNotAbortTheDrain) {
@@ -515,6 +561,189 @@ TEST(TimerService, NextDeadlineReported) {
   timers.schedule(std::chrono::milliseconds(3), [] {});
   ASSERT_TRUE(timers.next_deadline().has_value());
   EXPECT_EQ(*timers.next_deadline(), clock.now() + Duration(3000));
+}
+
+// ------------------------------------------------------------- EventLoop
+
+TEST(EventLoop, ManualModeRunsNothingUntilPolled) {
+  SimClock clock;
+  EventLoop loop(EventLoopConfig{.clock = &clock, .threaded = false});
+  int ran = 0;
+  loop.post([&] { ++ran; });
+  loop.schedule(Duration(5), [&] { ++ran; });
+  EXPECT_EQ(ran, 0);  // nothing fires from a hidden thread
+  EXPECT_EQ(loop.poll(), 1u);  // the post; the timer is not due
+  clock.advance(Duration(10));
+  EXPECT_EQ(loop.poll(), 1u);
+  EXPECT_EQ(ran, 2);
+}
+
+// Tick discipline carries through the loop: a callback that schedules a
+// zero-delay timer during poll() sees it fire on the *next* poll.
+TEST(EventLoop, TimerScheduledDuringPollDefersToNextPoll) {
+  SimClock clock;
+  EventLoop loop(EventLoopConfig{.clock = &clock, .threaded = false});
+  int fired = 0;
+  loop.schedule(Duration(0), [&] {
+    ++fired;
+    loop.schedule(Duration(0), [&] { ++fired; });
+  });
+  EXPECT_EQ(loop.poll(), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.poll(), 1u);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoop, CancelPreventsScheduledCallback) {
+  SimClock clock;
+  EventLoop loop(EventLoopConfig{.clock = &clock, .threaded = false});
+  bool fired = false;
+  auto id = loop.schedule(Duration(1), [&] { fired = true; });
+  EXPECT_TRUE(loop.cancel(id));
+  clock.advance(Duration(10));
+  loop.poll();
+  EXPECT_FALSE(fired);
+}
+
+// flush() is the shutdown drain: every pending timer runs immediately,
+// due or not, so parked continuations run out instead of leaking.
+TEST(EventLoop, FlushFiresPendingTimersRegardlessOfDeadline) {
+  SimClock clock;
+  EventLoop loop(EventLoopConfig{.clock = &clock, .threaded = false});
+  int fired = 0;
+  loop.schedule(std::chrono::hours(1), [&] { ++fired; });
+  loop.schedule(std::chrono::hours(2), [&] { ++fired; });
+  loop.post([&] { ++fired; });
+  EXPECT_EQ(loop.flush(), 3u);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(loop.pending_timers(), 0u);
+}
+
+TEST(EventLoop, ThreadedModeDrainsPostsAndTimers) {
+  EventLoop loop;  // real clock, threaded
+  std::atomic<int> ran{0};
+  loop.post([&] { ++ran; });
+  loop.schedule(std::chrono::milliseconds(1), [&] { ++ran; });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (ran.load() != 2 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(EventLoop, PostAfterStopIsDropped) {
+  SimClock clock;
+  EventLoop loop(EventLoopConfig{.clock = &clock, .threaded = false});
+  loop.stop();
+  loop.post([] { FAIL() << "posted after stop must not run"; });
+  EXPECT_EQ(loop.poll(), 0u);
+  EXPECT_EQ(loop.pending_posts(), 0u);
+}
+
+TEST(EventLoop, ThrowingCallbackIsContained) {
+  set_log_level(LogLevel::kOff);
+  SimClock clock;
+  EventLoop loop(EventLoopConfig{.clock = &clock, .threaded = false});
+  int ran = 0;
+  loop.post([] { throw std::runtime_error("loop fault"); });
+  loop.post([&] { ++ran; });
+  EXPECT_EQ(loop.poll(), 2u);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(loop.callback_failures(), 1u);
+  set_log_level(LogLevel::kWarn);
+}
+
+// --------------------------------------------------------- StagePipeline
+
+TEST(StagePipeline, TracksPerStageDepthAndDelay) {
+  obs::MetricsRegistry metrics;
+  SimClock sim;
+  Executor executor(ExecutorConfig{.thread_count = 1});
+  StagePipeline stages(executor, sim, &metrics);
+  const std::size_t synthesis = stages.add_stage("synthesis");
+  const std::size_t broker = stages.add_stage("broker");
+  ASSERT_EQ(stages.stage_count(), 2u);
+  std::atomic<bool> gate{false};
+  executor.submit([&gate] {
+    while (!gate.load()) std::this_thread::yield();
+  });
+  while (executor.pending() != 0) std::this_thread::yield();
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(stages.submit(synthesis, [&ran] { ++ran; }).ok());
+  ASSERT_TRUE(stages.submit(broker, [&ran] { ++ran; }).ok());
+  EXPECT_EQ(stages.depth(synthesis), 1u);
+  EXPECT_EQ(stages.depth(broker), 1u);
+  sim.advance(std::chrono::microseconds(500));
+  gate = true;
+  executor.drain();
+  EXPECT_EQ(ran.load(), 2);
+  const auto stats = stages.stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].name, "synthesis");
+  EXPECT_EQ(stats[0].depth, 0u);
+  EXPECT_EQ(stats[0].max_depth, 1u);
+  EXPECT_EQ(stats[0].entered, 1u);
+  const auto snapshot = metrics.snapshot();
+  const auto* delay = snapshot.histogram("stage.synthesis.delay_us");
+  ASSERT_NE(delay, nullptr);
+  EXPECT_EQ(delay->count, 1u);
+  EXPECT_GE(delay->sum_us, 500u);
+}
+
+// Continuations of admitted work bypass the executor's capacity bound:
+// a full queue must never strand a mid-pipeline hop.
+TEST(StagePipeline, ContinuationBypassesCapacityBound) {
+  Executor executor(ExecutorConfig{.thread_count = 1,
+                                   .queue_capacity = 1,
+                                   .overflow_policy = OverflowPolicy::kReject});
+  SteadyClock clock;
+  StagePipeline stages(executor, clock, nullptr);
+  const std::size_t stage = stages.add_stage("s");
+  std::atomic<bool> gate{false};
+  executor.submit([&gate] {
+    while (!gate.load()) std::this_thread::yield();
+  });
+  while (executor.pending() != 0) std::this_thread::yield();
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(stages.submit(stage, [&ran] { ++ran; }).ok());  // fills queue
+  EXPECT_FALSE(stages.submit(stage, [&ran] { ++ran; }).ok());  // entry refused
+  StagePipeline::SubmitOptions hop;
+  hop.continuation = true;
+  EXPECT_TRUE(stages.submit(stage, [&ran] { ++ran; }, hop).ok());
+  gate = true;
+  executor.drain();
+  EXPECT_EQ(ran.load(), 2);
+}
+
+// A shed entry submission fires its on_shed hook and counts against the
+// stage, so the caller can resolve the callback of work that never ran.
+TEST(StagePipeline, ShedEntryRunsOnShedAndCounts) {
+  Executor executor(
+      ExecutorConfig{.thread_count = 1,
+                     .queue_capacity = 1,
+                     .overflow_policy = OverflowPolicy::kShedOldest});
+  SteadyClock clock;
+  StagePipeline stages(executor, clock, nullptr);
+  const std::size_t stage = stages.add_stage("s");
+  std::atomic<bool> gate{false};
+  executor.submit([&gate] {
+    while (!gate.load()) std::this_thread::yield();
+  });
+  while (executor.pending() != 0) std::this_thread::yield();
+  std::atomic<int> shed{0};
+  std::atomic<int> ran{0};
+  StagePipeline::SubmitOptions entry;
+  entry.on_shed = [&shed] { ++shed; };
+  ASSERT_TRUE(stages.submit(stage, [&ran] { ++ran; }, entry).ok());
+  ASSERT_TRUE(stages.submit(stage, [&ran] { ++ran; }, entry).ok());
+  EXPECT_EQ(shed.load(), 1);
+  gate = true;
+  executor.drain();
+  EXPECT_EQ(ran.load(), 1);
+  const auto stats = stages.stats();
+  EXPECT_EQ(stats[0].shed, 1u);
+  EXPECT_EQ(stats[0].depth, 0u);  // shed work leaves no ghost depth
 }
 
 }  // namespace

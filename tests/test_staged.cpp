@@ -1,0 +1,348 @@
+// The event-driven staged pipeline (PR 6): cross-thread span parentage,
+// deadline expiry while a request is parked between stages, and N
+// concurrent retrying requests progressing on fewer than N executor
+// threads — the properties that distinguish the continuation-passing
+// core from the PR-5 parked pipeline.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "broker/invocation_policy.hpp"
+#include "common/log.hpp"
+#include "core/platform.hpp"
+#include "soak_fixtures.hpp"
+
+namespace mdsm::core {
+namespace {
+
+/// Fails the first `failures` executions with a retryable fault, then
+/// succeeds — deterministic fuel for retry-path tests.
+class FlakyAdapter final : public broker::ResourceAdapter {
+ public:
+  FlakyAdapter(std::string name, int failures)
+      : ResourceAdapter(std::move(name)), remaining_(failures) {}
+
+  Result<model::Value> execute(const std::string& command,
+                               const broker::Args& args) override {
+    (void)args;
+    executed_.fetch_add(1, std::memory_order_relaxed);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) > 0) {
+      return Unavailable("injected transient fault");
+    }
+    return model::Value("done:" + command);
+  }
+
+  [[nodiscard]] std::uint64_t executed() const noexcept {
+    return executed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<int> remaining_;
+};
+
+/// Completes asynchronously on the platform's event loop after `delay`
+/// of loop-clock time — the request parks in the broker stage with no
+/// worker held while the "device" is busy.
+class ParkingAdapter final : public broker::ResourceAdapter {
+ public:
+  ParkingAdapter(std::string name, Platform** platform, Duration delay)
+      : ResourceAdapter(std::move(name)), platform_(platform), delay_(delay) {}
+
+  Result<model::Value> execute(const std::string& command,
+                               const broker::Args&) override {
+    return model::Value("sync:" + command);  // unused; async path below
+  }
+
+  void execute_async(const std::string& command, const broker::Args&,
+                     Completion done) override {
+    started_.fetch_add(1, std::memory_order_relaxed);
+    (*platform_)->event_loop()->schedule(
+        delay_, [command, done = std::move(done)] {
+          done(model::Value("late:" + command));
+        });
+  }
+
+  [[nodiscard]] std::uint64_t started() const noexcept {
+    return started_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Platform** platform_;
+  Duration delay_;
+  std::atomic<std::uint64_t> started_{0};
+};
+
+struct StagedFixture {
+  model::MetamodelPtr dsml;
+  std::unique_ptr<Platform> platform;
+};
+
+StagedFixture make_staged_platform(PlatformConfig config,
+                                   std::unique_ptr<broker::ResourceAdapter>
+                                       adapter) {
+  StagedFixture out;
+  out.dsml = model::testing::make_test_metamodel();
+  config.dsml = out.dsml;
+  auto assembled =
+      Platform::assemble_from_text(soak::kSoakMiddlewareModel, config);
+  if (!assembled.ok()) return out;
+  out.platform = std::move(assembled.value());
+  if (!out.platform->add_resource_adapter(std::move(adapter)).ok() ||
+      !out.platform->start().ok()) {
+    out.platform.reset();
+  }
+  return out;
+}
+
+// Satellite (PR 6): a request crossing every stage on different workers
+// — including a retry that parks on the event loop and resumes on yet
+// another thread — must still produce ONE nested span tree: exactly one
+// root, every other span reachable from it, nothing left open.
+TEST(Staged, CrossThreadSpanParentageStaysOneTree) {
+  PlatformConfig config;
+  config.pipeline_threads = 4;
+  auto fixture = make_staged_platform(
+      config, std::make_unique<FlakyAdapter>("svc", /*failures=*/1));
+  ASSERT_NE(fixture.platform, nullptr);
+  Platform& platform = *fixture.platform;
+  broker::InvocationPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff = Duration(200);  // real microseconds, loop timer
+  ASSERT_TRUE(platform.broker().resources().set_policy("svc", policy).ok());
+
+  std::atomic<int> done{0};
+  ASSERT_TRUE(platform
+                  .submit_async(soak::open_session_text("s1"),
+                                [&done](Result<controller::ControlScript> r) {
+                                  EXPECT_TRUE(r.ok()) << r.status().to_string();
+                                  ++done;
+                                })
+                  .ok());
+  while (done.load() != 1) std::this_thread::yield();
+  EXPECT_TRUE(platform.stop().ok());
+
+  auto context = platform.last_async_context();
+  ASSERT_NE(context, nullptr);
+  const obs::Trace& trace = context->trace();
+  EXPECT_TRUE(trace.all_closed());
+  // Exactly one root, and it is the UI-layer submission span.
+  std::size_t roots = 0;
+  for (const obs::Span& span : trace.spans()) {
+    if (span.parent == 0) {
+      ++roots;
+      EXPECT_EQ(span.name, "ui.submit");
+    } else {
+      // No orphans: every non-root span's parent is in the same tree.
+      EXPECT_NE(trace.find_id(span.parent), nullptr)
+          << span.name << " lost its parent across a thread hop";
+    }
+  }
+  EXPECT_EQ(roots, 1u);
+  // The request crossed all four layers...
+  EXPECT_EQ(trace.count("runtime.queue"), 1u);
+  EXPECT_EQ(trace.count("synthesis.submit"), 1u);
+  EXPECT_EQ(trace.count("controller.script"), 1u);
+  EXPECT_GE(trace.count("broker.call"), 1u);
+  // ...and the flaky resource forced a second attempt, so the trace
+  // provably spans a park/resume hop through the event loop.
+  EXPECT_GE(trace.count("broker.attempt"), 2u);
+}
+
+// Satellite (PR 6): a deadline that expires while the request is parked
+// between stages (virtual clock) fires exactly one kTimeout callback at
+// expiry — not when a stage eventually notices — and the parked
+// continuation is released and cleaned up, not leaked.
+TEST(Staged, DeadlineExpiryWhileParkedFiresExactlyOnce) {
+  set_log_level(LogLevel::kOff);
+  SimClock sim;
+  Platform* platform_handle = nullptr;
+  PlatformConfig config;
+  config.clock = &sim;
+  config.pipeline_threads = 1;
+  config.manual_event_loop = true;
+  auto fixture = make_staged_platform(
+      config, std::make_unique<ParkingAdapter>(
+                  "svc", &platform_handle, std::chrono::seconds(1)));
+  ASSERT_NE(fixture.platform, nullptr);
+  Platform& platform = *fixture.platform;
+  platform_handle = &platform;
+
+  std::atomic<int> callbacks{0};
+  std::atomic<int> timeouts{0};
+  SubmitOptions options;
+  options.deadline = std::chrono::milliseconds(100);
+  ASSERT_TRUE(platform
+                  .submit_async(soak::open_session_text("s1"),
+                                [&](Result<controller::ControlScript> r) {
+                                  ++callbacks;
+                                  if (r.status().code() == ErrorCode::kTimeout)
+                                    ++timeouts;
+                                },
+                                options)
+                  .ok());
+  // Two timers pending = the deadline watchdog + the parked attempt's
+  // completion: the request is suspended with no worker held.
+  runtime::EventLoop* loop = platform.event_loop();
+  ASSERT_NE(loop, nullptr);
+  const auto wall_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (loop->pending_timers() < 2 &&
+         std::chrono::steady_clock::now() < wall_deadline) {
+    std::this_thread::yield();
+  }
+  ASSERT_EQ(loop->pending_timers(), 2u);
+  EXPECT_EQ(callbacks.load(), 0);
+
+  // Virtual time passes the deadline while the request is still parked:
+  // the watchdog fires on this poll, the adapter's timer does not.
+  sim.advance(std::chrono::milliseconds(200));
+  loop->poll();
+  EXPECT_EQ(callbacks.load(), 1);
+  EXPECT_EQ(timeouts.load(), 1);
+  EXPECT_EQ(
+      platform.metrics().snapshot().counter_value("ui.watchdog_timeouts"),
+      1u);
+
+  // Release the parked continuation: the late completion resumes the
+  // chain, which observes the resolved flag and cleans up — it must NOT
+  // deliver a second callback.
+  sim.advance(std::chrono::seconds(2));
+  loop->poll();
+  EXPECT_TRUE(platform.stop().ok());  // no leaked inflight slot
+  EXPECT_EQ(callbacks.load(), 1);     // exactly once, ever
+  set_log_level(LogLevel::kWarn);
+}
+
+// Acceptance (PR 6): N concurrent requests all in retry backoff make
+// progress on ONE executor thread — backoff parks on the event loop
+// instead of sleeping the worker, so a single worker serves all first
+// attempts, parks all N, then serves all retries after virtual time
+// advances.
+TEST(Staged, ConcurrentRetriesProgressOnOneWorkerThread) {
+  set_log_level(LogLevel::kOff);
+  constexpr int kRequests = 4;
+  SimClock sim;
+  PlatformConfig config;
+  config.clock = &sim;
+  config.pipeline_threads = 1;  // fewer threads than retrying requests
+  config.manual_event_loop = true;
+  auto fixture = make_staged_platform(
+      config, std::make_unique<FlakyAdapter>("svc", kRequests));
+  ASSERT_NE(fixture.platform, nullptr);
+  Platform& platform = *fixture.platform;
+  auto* svc = static_cast<FlakyAdapter*>(
+      platform.broker().resources().find_adapter("svc"));
+  broker::InvocationPolicy policy;
+  policy.max_attempts = 2;
+  policy.initial_backoff = std::chrono::milliseconds(50);
+  ASSERT_TRUE(platform.broker().resources().set_policy("svc", policy).ok());
+
+  std::atomic<int> completed_ok{0};
+  for (int i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(platform
+                    .submit_async(
+                        soak::open_session_text("s" + std::to_string(i)),
+                        [&](Result<controller::ControlScript> r) {
+                          if (r.ok()) ++completed_ok;
+                        })
+                    .ok());
+  }
+  // All N first attempts fail and park in backoff without any poll: the
+  // single worker was never held across a backoff sleep.
+  runtime::EventLoop* loop = platform.event_loop();
+  ASSERT_NE(loop, nullptr);
+  const auto wall_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (loop->pending_timers() < kRequests &&
+         std::chrono::steady_clock::now() < wall_deadline) {
+    std::this_thread::yield();
+  }
+  ASSERT_EQ(loop->pending_timers(), static_cast<std::size_t>(kRequests));
+  EXPECT_EQ(svc->executed(), static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(completed_ok.load(), 0);
+
+  // One tick of virtual time releases every parked request; the same
+  // single worker runs all N retries to completion.
+  sim.advance(std::chrono::seconds(10));
+  loop->poll();
+  while (completed_ok.load() != kRequests &&
+         std::chrono::steady_clock::now() < wall_deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(completed_ok.load(), kRequests);
+  // Every first attempt retried once; later scripts also close the
+  // previous session (the model diff), so there are at least 2N calls.
+  EXPECT_GE(svc->executed(), static_cast<std::uint64_t>(2 * kRequests));
+  EXPECT_TRUE(platform.stop().ok());
+  EXPECT_EQ(platform.metrics().snapshot().counter_value("broker.retries"),
+            static_cast<std::uint64_t>(kRequests));
+  set_log_level(LogLevel::kWarn);
+}
+
+// Per-stage queue visibility: the staged pipeline reports depth/entered
+// counters for each of its four stages.
+TEST(Staged, StageStatsExposePerStageCounters) {
+  PlatformConfig config;
+  config.pipeline_threads = 2;
+  auto fixture = make_staged_platform(
+      config, std::make_unique<FlakyAdapter>("svc", 0));
+  ASSERT_NE(fixture.platform, nullptr);
+  Platform& platform = *fixture.platform;
+  std::atomic<int> done{0};
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(platform
+                    .submit_async(
+                        soak::open_session_text("s" + std::to_string(i)),
+                        [&done](Result<controller::ControlScript> r) {
+                          EXPECT_TRUE(r.ok());
+                          ++done;
+                        })
+                    .ok());
+  }
+  while (done.load() != 3) std::this_thread::yield();
+  EXPECT_TRUE(platform.stop().ok());
+  const auto stats = platform.stage_stats();
+  ASSERT_EQ(stats.size(), 4u);
+  EXPECT_EQ(stats[0].name, "synthesis");
+  EXPECT_EQ(stats[1].name, "controller");
+  EXPECT_EQ(stats[2].name, "broker");
+  EXPECT_EQ(stats[3].name, "complete");
+  EXPECT_EQ(stats[0].entered, 3u);
+  EXPECT_EQ(stats[3].entered, 3u);
+  // Per-stage delay histograms landed in the registry.
+  const auto snapshot = platform.metrics().snapshot();
+  EXPECT_NE(snapshot.histogram("stage.synthesis.delay_us"), nullptr);
+  EXPECT_NE(snapshot.histogram("stage.complete.delay_us"), nullptr);
+}
+
+// The PR-5 parked pipeline stays available behind the config flag, and
+// the exactly-once callback ledger holds on both paths.
+TEST(Staged, ParkedPipelineStillAvailableBehindFlag) {
+  PlatformConfig config;
+  config.pipeline_threads = 2;
+  config.staged_pipeline = false;
+  auto fixture = make_staged_platform(
+      config, std::make_unique<FlakyAdapter>("svc", 0));
+  ASSERT_NE(fixture.platform, nullptr);
+  Platform& platform = *fixture.platform;
+  std::atomic<int> done{0};
+  ASSERT_TRUE(platform
+                  .submit_async(soak::open_session_text("s1"),
+                                [&done](Result<controller::ControlScript> r) {
+                                  EXPECT_TRUE(r.ok());
+                                  ++done;
+                                })
+                  .ok());
+  while (done.load() != 1) std::this_thread::yield();
+  EXPECT_TRUE(platform.stop().ok());
+  EXPECT_TRUE(platform.stage_stats().empty());  // no stages on this path
+}
+
+}  // namespace
+}  // namespace mdsm::core
