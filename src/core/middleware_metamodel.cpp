@@ -324,6 +324,19 @@ Metamodel build() {
   platform.add_attribute({.name = "admission_safety",
                           .type = AttrType::kReal,
                           .default_value = Value(1.0)});
+  // Networked ingress front-end (PR 7): where the platform listens on
+  // the simulated network, the shared-secret auth stub, and the deadline
+  // stamped on wire submissions that carry none. An empty endpoint means
+  // "derive <platform-name>.ingress" at attach time.
+  platform.add_attribute({.name = "ingress_endpoint",
+                          .type = AttrType::kString,
+                          .default_value = Value("")});
+  platform.add_attribute({.name = "ingress_auth",
+                          .type = AttrType::kString,
+                          .default_value = Value("")});
+  platform.add_attribute({.name = "ingress_default_deadline_us",
+                          .type = AttrType::kInt,
+                          .default_value = Value(0)});
   platform.add_reference({.name = "broker",
                           .target_class = "BrokerLayerSpec",
                           .containment = true,

@@ -70,6 +70,15 @@ Result<std::unique_ptr<Platform>> Platform::assemble(
   platform->admission_.set_metrics(&platform->metrics_);
   platform->admission_.set_bus(&platform->bus_);
 
+  // Networked ingress (PR 7): the front-end's endpoint name, auth stub
+  // and default wire deadline are model attributes too — a split
+  // deployment is described by the same middleware model that describes
+  // the platform it fronts.
+  platform->ingress_settings_.endpoint = root.get_string("ingress_endpoint");
+  platform->ingress_settings_.auth_token = root.get_string("ingress_auth");
+  platform->ingress_settings_.default_deadline =
+      Duration(root.get_int("ingress_default_deadline_us", 0));
+
   // The component factory holds the layer "code templates"; assembly then
   // instantiates them with the model objects as metadata (paper §V-A).
   runtime::EventBus& bus = platform->bus_;
@@ -554,6 +563,9 @@ Status Platform::submit_async_parked(std::string text,
   auto request = std::make_shared<obs::RequestContext>(*clock_, &metrics_,
                                                        options.deadline);
   if (options.high_priority) request->set_attribute("priority", "high");
+  for (auto& [key, value] : options.attributes) {
+    request->set_attribute(key, value);
+  }
   // Enqueue-time admission: refuse doomed work before it costs a queue
   // slot. submit_model re-checks at dequeue, after queue delay.
   if (Status admitted = admission_.admit(*request); !admitted.ok()) {
@@ -620,6 +632,9 @@ Status Platform::submit_async_staged(std::string text,
   if (options.high_priority) {
     request->context->set_attribute("priority", "high");
   }
+  for (auto& [key, value] : options.attributes) {
+    request->context->set_attribute(key, value);
+  }
   // Enqueue-time admission: refuse doomed work before it costs a queue
   // slot. The synthesis stage re-checks after queue delay.
   if (Status admitted = admission_.admit(*request->context); !admitted.ok()) {
@@ -629,8 +644,12 @@ Status Platform::submit_async_staged(std::string text,
   request->callback = std::move(callback);
   // One root span for the whole staged traversal — every stage, park and
   // resume nests under it, so the trace stays a single tree no matter
-  // how many workers the request visits.
-  request->root_span = request->context->open_span("ui.submit", "staged");
+  // how many workers the request visits. A request that crossed the wire
+  // carries the sender's id as the span detail, keeping remote and local
+  // trace trees correlated.
+  const std::string_view remote = request->context->remote_id();
+  request->root_span = request->context->open_span(
+      "ui.submit", remote.empty() ? std::string_view("staged") : remote);
   request->queue_span = request->context->open_span("runtime.queue");
   // Deadline watchdog: a request whose budget expires while parked
   // between stages resolves with kTimeout *when it expires*, not when

@@ -21,6 +21,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "broker/broker_layer.hpp"
@@ -81,6 +82,24 @@ struct SubmitOptions {
   /// Route through the executor's high-priority lane: control-plane
   /// requests overtake queued bulk work.
   bool high_priority = false;
+  /// Free-form attributes stamped on the minted RequestContext before
+  /// the pipeline sees it. The ingress front-end threads the remote
+  /// request id across the wire this way ("ingress.request_id"), so the
+  /// request's span tree and bus events stay correlated with the sender.
+  std::vector<std::pair<std::string, std::string>> attributes;
+};
+
+/// Networked-ingress settings decoded from the MiddlewarePlatform model
+/// (PR 7). The ingress front-end (src/ingress) reads these at attach;
+/// the defaults describe "no ingress configured".
+struct IngressSettings {
+  /// Endpoint name the IngressServer binds on the simulated network
+  /// ("" = derive "<platform-name>.ingress").
+  std::string endpoint;
+  /// Shared-secret auth stub; "" disables the auth middleware.
+  std::string auth_token;
+  /// Deadline applied to wire submissions that carry none (0 = none).
+  Duration default_deadline{0};
 };
 
 class Platform {
@@ -248,6 +267,11 @@ class Platform {
     return last_async_context_;
   }
   [[nodiscard]] const Clock& clock() const noexcept { return *clock_; }
+  /// Ingress attributes decoded from the MiddlewarePlatform model
+  /// (ingress_endpoint / ingress_auth / ingress_default_deadline_us).
+  [[nodiscard]] const IngressSettings& ingress_settings() const noexcept {
+    return ingress_settings_;
+  }
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] const model::MetamodelPtr& dsml() const noexcept {
     return dsml_;
@@ -363,6 +387,7 @@ class Platform {
   /// pipeline creation).
   runtime::ExecutorConfig pipeline_config_;
   AdmissionController admission_;
+  IngressSettings ingress_settings_;
 };
 
 }  // namespace mdsm::core

@@ -1,0 +1,199 @@
+#include "ingress/ingress_client.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace mdsm::ingress {
+
+IngressClient::IngressClient(net::Network& network,
+                             std::string server_endpoint,
+                             IngressClientOptions options)
+    : network_(&network),
+      server_endpoint_(std::move(server_endpoint)),
+      options_(std::move(options)) {}
+
+Result<std::unique_ptr<IngressClient>> IngressClient::attach(
+    net::Network& network, std::string server_endpoint,
+    IngressClientOptions options) {
+  std::string name = options.endpoint;
+  Result<net::Endpoint*> created = network.create_endpoint(name);
+  if (!created.ok()) return created.status();
+
+  std::unique_ptr<IngressClient> client(new IngressClient(
+      network, std::move(server_endpoint), std::move(options)));
+  client->endpoint_ = network.endpoint_handle(name);
+  client->endpoint_name_ = std::move(name);
+  IngressClient* raw = client.get();
+  client->endpoint_->set_handler(
+      [raw](const net::Message& message) { raw->on_reply(message); });
+  return client;
+}
+
+IngressClient::~IngressClient() {
+  endpoint_->set_handler(nullptr);
+  // Whatever is still pending will never resolve over the wire now;
+  // honor exactly-once by resolving it here.
+  std::vector<std::pair<std::uint64_t, Callback>> unresolved;
+  {
+    std::lock_guard lock(mutex_);
+    unresolved.reserve(pending_.size());
+    for (auto& [id, call] : pending_) {
+      unresolved.emplace_back(id, std::move(call.callback));
+    }
+    pending_.clear();
+    stats_.expired += unresolved.size();
+  }
+  for (auto& [id, callback] : unresolved) {
+    if (callback == nullptr) continue;
+    RemoteOutcome outcome;
+    outcome.request_id = id;
+    outcome.status = Unavailable("ingress client detached before reply");
+    outcome.refusal = "reply-lost";
+    callback(outcome);
+  }
+  if (!endpoint_->detached()) network_->remove_endpoint(endpoint_name_);
+}
+
+Result<std::uint64_t> IngressClient::send_request(
+    std::string topic, wire::Request request,
+    std::optional<Duration> deadline, Callback callback) {
+  request.auth = options_.auth;
+
+  std::uint64_t id = 0;
+  {
+    std::lock_guard lock(mutex_);
+    id = next_id_++;
+    request.request_id = id;
+    // Expiry on the network clock: the budget the server may legally
+    // spend, plus the reply's grace period.
+    Duration budget = options_.reply_timeout;
+    if (deadline.has_value()) budget += *deadline;
+    // Registered before the send: a reply raced in by another delivery
+    // thread must find its pending entry, or exactly-once breaks.
+    pending_.emplace(
+        id, PendingCall{std::move(callback), network_->clock().now() + budget});
+    ++stats_.submitted;
+  }
+
+  Status sent = endpoint_->send(server_endpoint_, std::move(topic),
+                                wire::encode_request(request));
+  if (!sent.ok()) {
+    std::lock_guard lock(mutex_);
+    pending_.erase(id);
+    --stats_.submitted;
+    return sent;
+  }
+  return id;
+}
+
+Result<std::uint64_t> IngressClient::submit(std::string_view dsml,
+                                            std::string_view session,
+                                            std::string text,
+                                            Callback callback,
+                                            RemoteSubmitOptions options) {
+  if (dsml.empty() || session.empty()) {
+    return InvalidArgument("submit needs a dsml and a session name");
+  }
+  wire::Request request;
+  request.text = std::move(text);
+  request.high_priority = options.high_priority;
+  if (options.deadline.has_value()) {
+    request.deadline_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(*options.deadline)
+            .count();
+  }
+  std::string topic = "submit/";
+  topic.append(dsml);
+  topic.push_back('/');
+  topic.append(session);
+  return send_request(std::move(topic), std::move(request), options.deadline,
+                      std::move(callback));
+}
+
+Result<std::uint64_t> IngressClient::query(std::string_view what,
+                                           Callback callback) {
+  if (what.empty()) return InvalidArgument("query needs a subject");
+  return send_request("query/" + std::string(what), wire::Request{}, {},
+                      std::move(callback));
+}
+
+void IngressClient::on_reply(const net::Message& message) {
+  Result<wire::Reply> decoded = wire::decode_reply(message.payload);
+  if (!decoded.ok()) {
+    std::lock_guard lock(mutex_);
+    ++stats_.stray_replies;
+    return;
+  }
+  const wire::Reply& reply = decoded.value();
+
+  Callback callback;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = pending_.find(reply.request_id);
+    if (it == pending_.end()) {
+      // Late reply for an expired entry, or corruption: either way
+      // the callback already fired, so only the ledger moves.
+      ++stats_.stray_replies;
+      return;
+    }
+    callback = std::move(it->second.callback);
+    pending_.erase(it);
+    if (reply.code == ErrorCode::kOk) {
+      ++stats_.resolved_ok;
+    } else {
+      ++stats_.refused;
+    }
+  }
+
+  if (callback == nullptr) return;
+  RemoteOutcome outcome;
+  outcome.request_id = reply.request_id;
+  outcome.status = reply.code == ErrorCode::kOk
+                       ? Status::Ok()
+                       : Status(reply.code, reply.message);
+  outcome.refusal = reply.refusal;
+  outcome.commands = reply.commands;
+  outcome.payload = reply.message;
+  callback(outcome);
+}
+
+std::size_t IngressClient::expire_overdue() {
+  const TimePoint now = network_->clock().now();
+  std::vector<std::pair<std::uint64_t, Callback>> overdue;
+  {
+    std::lock_guard lock(mutex_);
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (it->second.expires_at <= now) {
+        overdue.emplace_back(it->first, std::move(it->second.callback));
+        it = pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    stats_.expired += overdue.size();
+  }
+  // Callbacks outside the lock: they may legally resubmit.
+  for (auto& [id, callback] : overdue) {
+    if (callback == nullptr) continue;
+    RemoteOutcome outcome;
+    outcome.request_id = id;
+    outcome.status =
+        Timeout("no reply for request " + std::to_string(id) +
+                " within its window (request or reply lost)");
+    outcome.refusal = "reply-lost";
+    callback(outcome);
+  }
+  return overdue.size();
+}
+
+std::size_t IngressClient::pending() const {
+  std::lock_guard lock(mutex_);
+  return pending_.size();
+}
+
+IngressClient::Stats IngressClient::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace mdsm::ingress

@@ -1,0 +1,123 @@
+// Client-side counterpart of the IngressServer (PR 7): a thin stub that
+// encodes submissions onto the wire, correlates replies by request id,
+// and surfaces every outcome — including the server's typed refusals —
+// as a Status the caller can branch on. The refusal slug rides along, so
+// a remote caller distinguishes "overload" backpressure from a spent
+// "deadline" without parsing message strings.
+//
+// Message loss is a first-class outcome: the network may drop a request
+// or its reply, so every pending submission carries an expiry on the
+// network clock, and expire_overdue() resolves the overdue ones with
+// kTimeout / "reply-lost". A callback therefore fires exactly once per
+// accepted submit: on the reply, or on expiry, or at detach (client
+// destruction) — never twice, never zero.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+#include "ingress/wire.hpp"
+#include "net/network.hpp"
+
+namespace mdsm::ingress {
+
+struct IngressClientOptions {
+  std::string endpoint = "client";  ///< this client's endpoint name
+  std::string auth;                 ///< token stamped on every request
+  /// Grace period past the request deadline (or from send, when no
+  /// deadline is set) before a missing reply is written off as lost.
+  Duration reply_timeout = std::chrono::seconds(5);
+};
+
+/// What became of one remote submission.
+struct RemoteOutcome {
+  std::uint64_t request_id = 0;
+  Status status;        ///< Ok, or the server's refusal re-typed locally
+  std::string refusal;  ///< taxonomy slug ("" on success)
+  std::int64_t commands = 0;  ///< commands the platform executed
+  std::string payload;        ///< script id or query result text
+};
+
+/// Per-submission options mirrored onto the wire request.
+struct RemoteSubmitOptions {
+  std::optional<Duration> deadline;  ///< pipeline budget, sent on the wire
+  bool high_priority = false;
+};
+
+class IngressClient {
+ public:
+  using Callback = std::function<void(const RemoteOutcome&)>;
+
+  /// Bind a client endpoint on `network`, talking to `server_endpoint`.
+  static Result<std::unique_ptr<IngressClient>> attach(
+      net::Network& network, std::string server_endpoint,
+      IngressClientOptions options = {});
+
+  ~IngressClient();  // unresolved submissions resolve kUnavailable/"detached"
+  IngressClient(const IngressClient&) = delete;
+  IngressClient& operator=(const IngressClient&) = delete;
+
+  /// Submit application-model text to the remote platform. Returns the
+  /// assigned request id, or the network-layer error when even the send
+  /// failed (then `callback` will never fire).
+  Result<std::uint64_t> submit(std::string_view dsml, std::string_view session,
+                               std::string text, Callback callback,
+                               RemoteSubmitOptions options = {});
+
+  /// Query the remote platform ("runtime-model", "metrics").
+  Result<std::uint64_t> query(std::string_view what, Callback callback);
+
+  /// Resolve every pending submission whose expiry passed on the network
+  /// clock with kTimeout / "reply-lost"; returns how many. Simulation
+  /// drivers call this after advancing virtual time.
+  std::size_t expire_overdue();
+
+  [[nodiscard]] const std::string& endpoint_name() const noexcept {
+    return endpoint_name_;
+  }
+  [[nodiscard]] std::size_t pending() const;
+
+  struct Stats {
+    std::uint64_t submitted = 0;      ///< requests that left the endpoint
+    std::uint64_t resolved_ok = 0;    ///< replies carrying kOk
+    std::uint64_t refused = 0;        ///< replies carrying a typed refusal
+    std::uint64_t expired = 0;        ///< written off as "reply-lost"
+    std::uint64_t stray_replies = 0;  ///< replies with no pending entry
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  IngressClient(net::Network& network, std::string server_endpoint,
+                IngressClientOptions options);
+
+  void on_reply(const net::Message& message);
+  Result<std::uint64_t> send_request(std::string topic, wire::Request request,
+                                     std::optional<Duration> deadline,
+                                     Callback callback);
+
+  struct PendingCall {
+    Callback callback;
+    TimePoint expires_at;
+  };
+
+  net::Network* network_;
+  std::shared_ptr<net::Endpoint> endpoint_;  ///< keepalive past teardown
+  std::string endpoint_name_;
+  std::string server_endpoint_;
+  IngressClientOptions options_;
+
+  mutable std::mutex mutex_;  ///< guards pending_, next_id_, stats_
+  std::unordered_map<std::uint64_t, PendingCall> pending_;
+  std::uint64_t next_id_ = 1;
+  Stats stats_;
+};
+
+}  // namespace mdsm::ingress

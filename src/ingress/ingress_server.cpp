@@ -1,0 +1,304 @@
+#include "ingress/ingress_server.hpp"
+
+#include <chrono>
+#include <utility>
+
+namespace mdsm::ingress {
+
+namespace {
+
+/// Reply-loop poll cap: with a virtual clock the loop thread cannot see
+/// advances, so it re-checks at least this often (same rationale as the
+/// platform's staged event loop).
+constexpr Duration kReplyPollCap = std::chrono::milliseconds(1);
+
+}  // namespace
+
+IngressServer::IngressServer(core::Platform& platform, net::Network& network)
+    : platform_(&platform), network_(&network) {}
+
+Result<std::unique_ptr<IngressServer>> IngressServer::attach(
+    core::Platform& platform, net::Network& network,
+    IngressServerOptions options) {
+  const core::IngressSettings& settings = platform.ingress_settings();
+  std::string name = !options.endpoint.empty() ? options.endpoint
+                     : !settings.endpoint.empty()
+                         ? settings.endpoint
+                         : platform.name() + ".ingress";
+
+  Result<net::Endpoint*> created = network.create_endpoint(name);
+  if (!created.ok()) return created.status();
+
+  // Can't use make_unique: the constructor is private.
+  std::unique_ptr<IngressServer> server(new IngressServer(platform, network));
+  server->endpoint_ = network.endpoint_handle(name);
+  server->endpoint_name_ = std::move(name);
+  server->attach_time_ = platform.clock().now();
+  server->chain_.set_metrics(&platform.metrics());
+  server->install_default_chain(settings);
+  if (Status routes = server->install_default_routes(); !routes.ok()) {
+    network.remove_endpoint(server->endpoint_name_);
+    return routes;
+  }
+
+  runtime::EventLoopConfig loop_config;
+  loop_config.clock = &platform.clock();
+  loop_config.threaded = !options.manual_reply_loop;
+  loop_config.poll_cap = kReplyPollCap;
+  server->reply_loop_ = std::make_unique<runtime::EventLoop>(loop_config);
+
+  // Last: no traffic may reach on_message before the server is whole.
+  IngressServer* raw = server.get();
+  server->endpoint_->set_handler(
+      [raw](const net::Message& message) { raw->on_message(message); });
+  return server;
+}
+
+IngressServer::~IngressServer() {
+  // Quiesce inbound traffic first, then let queued replies drain while
+  // the endpoint is still attached, then give the endpoint back.
+  endpoint_->set_handler(nullptr);
+  if (reply_loop_ != nullptr) {
+    reply_loop_->flush();
+    reply_loop_->stop();
+  }
+  if (!endpoint_->detached()) network_->remove_endpoint(endpoint_name_);
+}
+
+void IngressServer::install_default_chain(
+    const core::IngressSettings& settings) {
+  // trace: thread the sender-scoped request identity across the wire so
+  // the platform's root span and bus events stay correlated with the
+  // remote submission.
+  chain_.add("trace", [](IngressContext& context) {
+    context.options.attributes.emplace_back(
+        std::string(obs::RequestContext::kRemoteIdAttribute),
+        context.message->from + "#" +
+            std::to_string(context.request.request_id));
+    if (std::string_view session = context.params->get("session");
+        !session.empty()) {
+      context.options.attributes.emplace_back("ingress.session",
+                                              std::string(session));
+    }
+    return Status::Ok();
+  });
+
+  // auth: shared-secret stub. A model with no ingress_auth attribute
+  // runs an open door; a configured token refuses mismatches with the
+  // pre-typed "unauthenticated" slug.
+  if (!settings.auth_token.empty()) {
+    std::string token = settings.auth_token;
+    chain_.add("auth", [token](IngressContext& context) {
+      if (context.request.auth == token) return Status::Ok();
+      context.refusal = "unauthenticated";
+      return FailedPrecondition("ingress auth token mismatch");
+    });
+  }
+
+  // deadline: the wire budget (or the model default) becomes the
+  // pipeline deadline PR-5 admission enforces at the platform door.
+  Duration default_deadline = settings.default_deadline;
+  chain_.add("deadline", [default_deadline](IngressContext& context) {
+    if (context.request.deadline_us < 0) {
+      return InvalidArgument("negative deadline_us on the wire");
+    }
+    if (context.request.deadline_us > 0) {
+      context.options.deadline =
+          std::chrono::microseconds(context.request.deadline_us);
+    } else if (default_deadline.count() > 0) {
+      context.options.deadline = default_deadline;
+    }
+    context.options.high_priority = context.request.high_priority;
+    return Status::Ok();
+  });
+}
+
+Status IngressServer::install_default_routes() {
+  Status submit_route = router_.add(
+      wire::kSubmitPattern,
+      [this](const net::Message& message, const RouteParams& params) {
+        handle_submit(message, params);
+      });
+  if (!submit_route.ok()) return submit_route;
+  return router_.add(
+      wire::kQueryPattern,
+      [this](const net::Message& message, const RouteParams& params) {
+        handle_query(message, params);
+      });
+}
+
+void IngressServer::on_message(const net::Message& message) {
+  received_.fetch_add(1, std::memory_order_relaxed);
+  platform_->metrics().counter("ingress.received").add();
+
+  std::optional<Router::Match> match = router_.route(message.topic);
+  if (!match.has_value()) {
+    unrouted_.fetch_add(1, std::memory_order_relaxed);
+    platform_->metrics().counter("ingress.unrouted").add();
+    // Best-effort correlation: the body may still carry a request id.
+    Result<wire::Request> decoded = wire::decode_request(message.payload);
+    const std::uint64_t id = decoded.ok() ? decoded.value().request_id : 0;
+    refuse(message.from, id,
+           NotFound("no route for topic '" + message.topic + "'"),
+           "no-route");
+    return;
+  }
+  (*match->handler)(message, match->params);
+}
+
+void IngressServer::handle_submit(const net::Message& message,
+                                  const RouteParams& params) {
+  Result<wire::Request> decoded = wire::decode_request(message.payload);
+  if (!decoded.ok()) {
+    malformed_.fetch_add(1, std::memory_order_relaxed);
+    platform_->metrics().counter("ingress.malformed").add();
+    refuse(message.from, 0, decoded.status(), "malformed");
+    return;
+  }
+
+  IngressContext context;
+  context.message = &message;
+  context.params = &params;
+  context.request = std::move(decoded).value();
+  const std::uint64_t id = context.request.request_id;
+
+  // The route names the DSML it wants; this platform speaks exactly one.
+  if (std::string_view dsml = params.get("dsml");
+      dsml != platform_->dsml()->name()) {
+    refuse(message.from, id,
+           NotFound("platform speaks DSML '" + platform_->dsml()->name() +
+                    "', not '" + std::string(dsml) + "'"),
+           "wrong-dsml");
+    return;
+  }
+
+  if (Status chained = chain_.run(context); !chained.ok()) {
+    refuse(message.from, id, chained, std::move(context.refusal));
+    return;
+  }
+
+  const std::string to = message.from;
+  const TimePoint start = platform_->clock().now();
+  Status door = platform_->submit_async(
+      std::move(context.request.text),
+      [this, to, id, start](Result<controller::ControlScript> outcome) {
+        platform_->metrics()
+            .histogram("ingress.service_us")
+            .record(platform_->clock().now() - start);
+        if (outcome.ok()) {
+          completed_ok_.fetch_add(1, std::memory_order_relaxed);
+          platform_->metrics().counter("ingress.completed_ok").add();
+          wire::Reply reply;
+          reply.request_id = id;
+          reply.code = ErrorCode::kOk;
+          reply.message = outcome.value().id;
+          reply.commands =
+              static_cast<std::int64_t>(outcome.value().commands.size());
+          send_reply(to, std::move(reply));
+        } else {
+          completed_error_.fetch_add(1, std::memory_order_relaxed);
+          platform_->metrics().counter("ingress.completed_error").add();
+          refuse(to, id, outcome.status(), {});
+        }
+      },
+      std::move(context.options));
+  if (!door.ok()) {
+    // Refused at the platform door (not running / admission shed /
+    // queue full): the PR-5 contract says no callback will fire, so the
+    // typed refusal reply is the only signal the sender gets.
+    refuse(to, id, door, std::move(context.refusal));
+    return;
+  }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  platform_->metrics().counter("ingress.accepted").add();
+}
+
+void IngressServer::handle_query(const net::Message& message,
+                                 const RouteParams& params) {
+  Result<wire::Request> decoded = wire::decode_request(message.payload);
+  if (!decoded.ok()) {
+    malformed_.fetch_add(1, std::memory_order_relaxed);
+    platform_->metrics().counter("ingress.malformed").add();
+    refuse(message.from, 0, decoded.status(), "malformed");
+    return;
+  }
+
+  IngressContext context;
+  context.message = &message;
+  context.params = &params;
+  context.request = std::move(decoded).value();
+  const std::uint64_t id = context.request.request_id;
+
+  if (Status chained = chain_.run(context); !chained.ok()) {
+    refuse(message.from, id, chained, std::move(context.refusal));
+    return;
+  }
+
+  const std::string_view what = params.get("what");
+  wire::Reply reply;
+  reply.request_id = id;
+  if (what == "runtime-model") {
+    reply.message = platform_->runtime_model_text();
+  } else if (what == "metrics") {
+    reply.message = platform_->metrics().to_text();
+  } else {
+    refuse(message.from, id,
+           NotFound("unknown query '" + std::string(what) + "'"), "no-route");
+    return;
+  }
+  send_reply(message.from, std::move(reply));
+}
+
+void IngressServer::refuse(const std::string& to, std::uint64_t request_id,
+                           const Status& status, std::string refusal) {
+  if (refusal.empty()) refusal = std::string(wire::classify_refusal(status));
+  refused_.fetch_add(1, std::memory_order_relaxed);
+  platform_->metrics().counter("ingress.refused").add();
+  platform_->metrics().counter("ingress.refused." + refusal).add();
+
+  wire::Reply reply;
+  reply.request_id = request_id;
+  reply.code = status.code();
+  reply.refusal = std::move(refusal);
+  reply.message = status.message();
+  send_reply(to, std::move(reply));
+}
+
+void IngressServer::send_reply(const std::string& to, wire::Reply reply) {
+  // Hop onto the reply loop: completion callbacks run on pipeline
+  // workers, and network sends don't belong there. The endpoint handle
+  // is pinned into the closure, so a reply racing teardown fails soft
+  // (kUnavailable) instead of touching a destroyed endpoint.
+  std::shared_ptr<net::Endpoint> endpoint = endpoint_;
+  model::Value payload = wire::encode_reply(reply);
+  reply_loop_->post([this, endpoint = std::move(endpoint), to,
+                     payload = std::move(payload)]() {
+    Status sent =
+        endpoint->send(to, std::string(wire::kReplyTopic), payload);
+    if (sent.ok()) {
+      replies_.fetch_add(1, std::memory_order_relaxed);
+      platform_->metrics().counter("ingress.replies").add();
+    } else {
+      reply_failures_.fetch_add(1, std::memory_order_relaxed);
+      platform_->metrics().counter("ingress.reply_failures").add();
+    }
+  });
+}
+
+std::size_t IngressServer::pump() { return reply_loop_->poll(); }
+
+IngressServer::Stats IngressServer::stats() const {
+  Stats stats;
+  stats.received = received_.load(std::memory_order_relaxed);
+  stats.malformed = malformed_.load(std::memory_order_relaxed);
+  stats.unrouted = unrouted_.load(std::memory_order_relaxed);
+  stats.refused = refused_.load(std::memory_order_relaxed);
+  stats.accepted = accepted_.load(std::memory_order_relaxed);
+  stats.completed_ok = completed_ok_.load(std::memory_order_relaxed);
+  stats.completed_error = completed_error_.load(std::memory_order_relaxed);
+  stats.replies = replies_.load(std::memory_order_relaxed);
+  stats.reply_failures = reply_failures_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace mdsm::ingress

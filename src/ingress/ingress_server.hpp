@@ -1,0 +1,123 @@
+// The networked ingress front-end (PR 7): turns a Platform from a
+// library into a server. An IngressServer binds an Endpoint on the
+// simulated network, decodes submit/query wire messages, routes them
+// through a pattern Router and an ordered MiddlewareChain, and hands
+// admitted submissions to Platform::submit_async. Every outcome —
+// including the PR-5/PR-6 overload refusals at the platform door — goes
+// back to the sender as a typed refusal reply, so a remote client
+// experiences exactly the backpressure contract an in-process caller
+// does.
+//
+// Replies are posted through a dedicated runtime::EventLoop rather than
+// sent from pipeline workers: completion callbacks hand the encoded
+// reply to the loop and return, keeping network work off the request
+// pipeline and parking no thread (manual mode lets deterministic tests
+// pump the reply queue themselves).
+//
+// Lifecycle: attach() → traffic → destroy the server *before* the
+// Network and Platform it fronts (destruction flushes pending replies,
+// then unbinds the endpoint; the PR-7 net lifecycle fixes make a reply
+// racing teardown fail soft with kUnavailable instead of crashing).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/platform.hpp"
+#include "ingress/middleware.hpp"
+#include "ingress/router.hpp"
+#include "ingress/wire.hpp"
+#include "net/network.hpp"
+#include "runtime/event_loop.hpp"
+
+namespace mdsm::ingress {
+
+struct IngressServerOptions {
+  /// Endpoint name override; "" takes the middleware model's
+  /// ingress_endpoint attribute, then "<platform-name>.ingress".
+  std::string endpoint;
+  /// Create the reply loop in manual mode: replies queue until pump().
+  /// Deterministic tests pair this with a SimClock network.
+  bool manual_reply_loop = false;
+};
+
+class IngressServer {
+ public:
+  /// Bind the server to `network` and front `platform`. Auth token and
+  /// default deadline come from the platform's model-decoded
+  /// IngressSettings; the default router serves
+  /// "submit/{dsml}/{session}" and "query/{what}".
+  static Result<std::unique_ptr<IngressServer>> attach(
+      core::Platform& platform, net::Network& network,
+      IngressServerOptions options = {});
+
+  ~IngressServer();
+  IngressServer(const IngressServer&) = delete;
+  IngressServer& operator=(const IngressServer&) = delete;
+
+  [[nodiscard]] const std::string& endpoint_name() const noexcept {
+    return endpoint_name_;
+  }
+  /// Extend routing/middleware before traffic flows (not thread-safe
+  /// against concurrent delivery, by design — same rule as set_handler).
+  [[nodiscard]] Router& router() noexcept { return router_; }
+  [[nodiscard]] MiddlewareChain& middleware() noexcept { return chain_; }
+
+  /// Manual reply loop only: send queued replies; returns closures run.
+  std::size_t pump();
+
+  /// Snapshot of the server's delivery ledger (all counters are also
+  /// mirrored as "ingress.*" metrics in the platform registry).
+  struct Stats {
+    std::uint64_t received = 0;     ///< wire messages seen
+    std::uint64_t malformed = 0;    ///< undecodable payloads
+    std::uint64_t unrouted = 0;     ///< no route matched the topic
+    std::uint64_t refused = 0;      ///< typed refusals sent (door + chain)
+    std::uint64_t accepted = 0;     ///< handed to submit_async, Ok at door
+    std::uint64_t completed_ok = 0; ///< pipeline outcomes delivered Ok
+    std::uint64_t completed_error = 0;
+    std::uint64_t replies = 0;        ///< replies handed to the network
+    std::uint64_t reply_failures = 0; ///< network refused the reply send
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  IngressServer(core::Platform& platform, net::Network& network);
+
+  void install_default_chain(const core::IngressSettings& settings);
+  Status install_default_routes();
+
+  void on_message(const net::Message& message);
+  void handle_submit(const net::Message& message, const RouteParams& params);
+  void handle_query(const net::Message& message, const RouteParams& params);
+
+  /// Type + send a refusal for `status` (slug from `refusal`, falling
+  /// back to classify_refusal).
+  void refuse(const std::string& to, std::uint64_t request_id,
+              const Status& status, std::string refusal);
+  /// Post the reply onto the reply loop (manual: until pump()).
+  void send_reply(const std::string& to, wire::Reply reply);
+
+  core::Platform* platform_;
+  net::Network* network_;
+  std::shared_ptr<net::Endpoint> endpoint_;  ///< keepalive past removal
+  std::string endpoint_name_;
+  Router router_;
+  MiddlewareChain chain_;
+  std::unique_ptr<runtime::EventLoop> reply_loop_;
+  TimePoint attach_time_{};
+
+  std::atomic<std::uint64_t> received_{0};
+  std::atomic<std::uint64_t> malformed_{0};
+  std::atomic<std::uint64_t> unrouted_{0};
+  std::atomic<std::uint64_t> refused_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> completed_ok_{0};
+  std::atomic<std::uint64_t> completed_error_{0};
+  std::atomic<std::uint64_t> replies_{0};
+  std::atomic<std::uint64_t> reply_failures_{0};
+};
+
+}  // namespace mdsm::ingress

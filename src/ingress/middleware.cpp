@@ -1,0 +1,33 @@
+#include "ingress/middleware.hpp"
+
+namespace mdsm::ingress {
+
+void MiddlewareChain::add(std::string name, Middleware fn) {
+  entries_.push_back(Entry{std::move(name), std::move(fn)});
+}
+
+Status MiddlewareChain::run(IngressContext& context) const {
+  for (const Entry& entry : entries_) {
+    Status status = entry.fn(context);
+    if (!status.ok()) {
+      if (metrics_ != nullptr) {
+        metrics_->counter("ingress.middleware." + entry.name + ".refusals")
+            .add();
+      }
+      if (context.refusal.empty()) {
+        context.refusal = std::string(wire::classify_refusal(status));
+      }
+      return status;
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> MiddlewareChain::names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const Entry& entry : entries_) names.push_back(entry.name);
+  return names;
+}
+
+}  // namespace mdsm::ingress

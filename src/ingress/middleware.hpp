@@ -1,0 +1,74 @@
+// Ordered ingress middleware chain (PR 7), after WebFrame's
+// ViewMiddlewareChain: each middleware inspects/annotates the decoded
+// request on its way to Platform::submit_async, and the first failure
+// short-circuits the chain into a *typed* refusal reply. The default
+// chain an IngressServer installs is
+//
+//   trace    — stamp the cross-wire request id + session as context
+//              attributes (the platform opens its root span with them)
+//   auth     — shared-secret stub; refusal slug "unauthenticated"
+//   deadline — extract the wire deadline (or apply the model default)
+//              into SubmitOptions; malformed budgets are refused
+//
+// PR-5 admission control stays where it lives — at the platform door
+// inside submit_async — so the ingress chain hands off an annotated
+// request and the overload gates type the refusals the chain forwards.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/platform.hpp"
+#include "ingress/router.hpp"
+#include "ingress/wire.hpp"
+#include "net/network.hpp"
+#include "obs/metrics.hpp"
+
+namespace mdsm::ingress {
+
+/// Everything a middleware may read or annotate while a request moves
+/// from the wire to the platform door.
+struct IngressContext {
+  const net::Message* message = nullptr;  ///< raw wire message
+  const RouteParams* params = nullptr;    ///< route captures (dsml, session)
+  wire::Request request;                  ///< decoded body
+  core::SubmitOptions options;            ///< accumulated submit options
+  /// Refusal slug a refusing middleware pre-types ("unauthenticated");
+  /// left empty, the server falls back to wire::classify_refusal.
+  std::string refusal;
+};
+
+/// Returns Ok to pass the request on, any error Status to refuse it.
+using Middleware = std::function<Status(IngressContext&)>;
+
+class MiddlewareChain {
+ public:
+  /// Append `fn` under `name` (names show up in metrics:
+  /// "ingress.middleware.<name>.refusals").
+  void add(std::string name, Middleware fn);
+
+  /// Run every middleware in registration order; the first non-Ok
+  /// status stops the chain and is returned. Counts per-middleware
+  /// refusals when a registry is attached.
+  [[nodiscard]] Status run(IngressContext& context) const;
+
+  void set_metrics(obs::MetricsRegistry* metrics) noexcept {
+    metrics_ = metrics;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    Middleware fn;
+  };
+  std::vector<Entry> entries_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+};
+
+}  // namespace mdsm::ingress

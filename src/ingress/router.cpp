@@ -1,0 +1,89 @@
+#include "ingress/router.hpp"
+
+namespace mdsm::ingress {
+
+std::vector<std::string> Router::split(std::string_view topic) {
+  std::vector<std::string> segments;
+  std::size_t start = 0;
+  while (start <= topic.size()) {
+    std::size_t slash = topic.find('/', start);
+    if (slash == std::string_view::npos) slash = topic.size();
+    segments.emplace_back(topic.substr(start, slash - start));
+    start = slash + 1;
+  }
+  return segments;
+}
+
+Status Router::add(std::string_view pattern, Handler handler) {
+  if (pattern.empty()) return InvalidArgument("route pattern is empty");
+  if (handler == nullptr) {
+    return InvalidArgument("route '" + std::string(pattern) +
+                           "' has no handler");
+  }
+  for (const Route& existing : routes_) {
+    if (existing.pattern == pattern) {
+      return AlreadyExists("route '" + std::string(pattern) +
+                           "' is already registered");
+    }
+  }
+  Route route;
+  route.pattern = std::string(pattern);
+  route.segments = split(pattern);
+  for (const std::string& segment : route.segments) {
+    const bool capture =
+        segment.size() >= 2 && segment.front() == '{' && segment.back() == '}';
+    if (capture && segment.size() == 2) {
+      return InvalidArgument("route '" + std::string(pattern) +
+                             "' has an unnamed capture");
+    }
+    if (!capture) ++route.literals;
+  }
+  route.handler = std::move(handler);
+  routes_.push_back(std::move(route));
+  return Status::Ok();
+}
+
+bool Router::matches(const Route& route,
+                     const std::vector<std::string>& topic_segments,
+                     RouteParams& params) {
+  if (route.segments.size() != topic_segments.size()) return false;
+  for (std::size_t i = 0; i < route.segments.size(); ++i) {
+    const std::string& pattern_segment = route.segments[i];
+    const bool capture = pattern_segment.size() >= 3 &&
+                         pattern_segment.front() == '{' &&
+                         pattern_segment.back() == '}';
+    if (capture) {
+      // An empty topic segment cannot bind a capture — "submit//x" must
+      // not silently match "submit/{dsml}/x" with an empty DSML.
+      if (topic_segments[i].empty()) return false;
+      params.add(pattern_segment.substr(1, pattern_segment.size() - 2),
+                 topic_segments[i]);
+    } else if (pattern_segment != topic_segments[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<Router::Match> Router::route(std::string_view topic) const {
+  const std::vector<std::string> topic_segments = split(topic);
+  const Route* best = nullptr;
+  RouteParams best_params;
+  for (const Route& candidate : routes_) {
+    RouteParams params;
+    if (!matches(candidate, topic_segments, params)) continue;
+    // Most literal segments wins; ties keep the earliest registration.
+    if (best == nullptr || candidate.literals > best->literals) {
+      best = &candidate;
+      best_params = std::move(params);
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  Match match;
+  match.handler = &best->handler;
+  match.params = std::move(best_params);
+  match.pattern = best->pattern;
+  return match;
+}
+
+}  // namespace mdsm::ingress

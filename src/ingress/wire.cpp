@@ -1,0 +1,145 @@
+#include "ingress/wire.hpp"
+
+#include <utility>
+
+namespace mdsm::ingress::wire {
+
+namespace {
+
+using model::Value;
+using model::ValueList;
+
+void put(ValueList& fields, std::string_view key, Value value) {
+  fields.push_back(Value(ValueList{Value(std::string(key)),
+                                   std::move(value)}));
+}
+
+/// Find `key` in a [key, value]-pair list; nullptr when absent/malformed.
+const Value* get(const ValueList& fields, std::string_view key) {
+  for (const Value& field : fields) {
+    if (!field.is_list()) continue;
+    const ValueList& pair = field.as_list();
+    if (pair.size() != 2 || !pair[0].is_string()) continue;
+    if (pair[0].as_string() == key) return &pair[1];
+  }
+  return nullptr;
+}
+
+Status malformed(std::string_view what) {
+  return InvalidArgument("malformed wire payload: " + std::string(what));
+}
+
+}  // namespace
+
+model::Value encode_request(const Request& request) {
+  ValueList fields;
+  put(fields, "request_id", Value(static_cast<std::int64_t>(
+                                request.request_id)));
+  put(fields, "text", Value(request.text));
+  if (!request.auth.empty()) put(fields, "auth", Value(request.auth));
+  if (request.deadline_us != 0) {
+    put(fields, "deadline_us", Value(request.deadline_us));
+  }
+  if (request.high_priority) put(fields, "priority", Value("high"));
+  return Value(std::move(fields));
+}
+
+Result<Request> decode_request(const model::Value& payload) {
+  if (!payload.is_list()) return malformed("payload is not a field list");
+  const ValueList& fields = payload.as_list();
+  Request request;
+  const Value* id = get(fields, "request_id");
+  if (id == nullptr || !id->is_int() || id->as_int() < 0) {
+    return malformed("missing or non-integer request_id");
+  }
+  request.request_id = static_cast<std::uint64_t>(id->as_int());
+  if (const Value* text = get(fields, "text"); text != nullptr) {
+    if (!text->is_string()) return malformed("text is not a string");
+    request.text = text->as_string();
+  }
+  if (const Value* auth = get(fields, "auth"); auth != nullptr) {
+    if (!auth->is_string()) return malformed("auth is not a string");
+    request.auth = auth->as_string();
+  }
+  if (const Value* deadline = get(fields, "deadline_us");
+      deadline != nullptr) {
+    if (!deadline->is_int() || deadline->as_int() < 0) {
+      return malformed("deadline_us is not a non-negative integer");
+    }
+    request.deadline_us = deadline->as_int();
+  }
+  if (const Value* priority = get(fields, "priority"); priority != nullptr) {
+    if (!priority->is_string()) return malformed("priority is not a string");
+    request.high_priority = priority->as_string() == "high";
+  }
+  return request;
+}
+
+model::Value encode_reply(const Reply& reply) {
+  ValueList fields;
+  put(fields, "request_id",
+      Value(static_cast<std::int64_t>(reply.request_id)));
+  put(fields, "code", Value(static_cast<std::int64_t>(reply.code)));
+  if (!reply.refusal.empty()) put(fields, "refusal", Value(reply.refusal));
+  if (!reply.message.empty()) put(fields, "message", Value(reply.message));
+  if (reply.commands != 0) put(fields, "commands", Value(reply.commands));
+  return Value(std::move(fields));
+}
+
+Result<Reply> decode_reply(const model::Value& payload) {
+  if (!payload.is_list()) return malformed("payload is not a field list");
+  const ValueList& fields = payload.as_list();
+  Reply reply;
+  const Value* id = get(fields, "request_id");
+  if (id == nullptr || !id->is_int() || id->as_int() < 0) {
+    return malformed("missing or non-integer request_id");
+  }
+  reply.request_id = static_cast<std::uint64_t>(id->as_int());
+  const Value* code = get(fields, "code");
+  if (code == nullptr || !code->is_int() || code->as_int() < 0 ||
+      code->as_int() > static_cast<std::int64_t>(ErrorCode::kInternal)) {
+    return malformed("missing or out-of-range code");
+  }
+  reply.code = static_cast<ErrorCode>(code->as_int());
+  if (const Value* refusal = get(fields, "refusal"); refusal != nullptr) {
+    if (!refusal->is_string()) return malformed("refusal is not a string");
+    reply.refusal = refusal->as_string();
+  }
+  if (const Value* message = get(fields, "message"); message != nullptr) {
+    if (!message->is_string()) return malformed("message is not a string");
+    reply.message = message->as_string();
+  }
+  if (const Value* commands = get(fields, "commands"); commands != nullptr) {
+    if (!commands->is_int()) return malformed("commands is not an integer");
+    reply.commands = commands->as_int();
+  }
+  return reply;
+}
+
+std::string_view classify_refusal(const Status& status) noexcept {
+  switch (status.code()) {
+    case ErrorCode::kOk:
+      return "";
+    case ErrorCode::kTimeout:
+      return "deadline";  // spent budget: admission shed, watchdog, late
+    case ErrorCode::kUnavailable:
+      return "overload";  // queue full, shed-oldest victim, breaker open
+    case ErrorCode::kFailedPrecondition:
+      return "not-running";
+    case ErrorCode::kParseError:
+    case ErrorCode::kInvalidArgument:
+      return "malformed";
+    case ErrorCode::kConformanceError:
+      return "conformance";
+    case ErrorCode::kNotFound:
+      return "no-route";
+    case ErrorCode::kExecutionError:
+      return "execution";
+    case ErrorCode::kAlreadyExists:
+    case ErrorCode::kInternal:
+      return "error";
+  }
+  return "error";
+}
+
+}  // namespace mdsm::ingress::wire

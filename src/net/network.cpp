@@ -1,5 +1,7 @@
 #include "net/network.hpp"
 
+#include <limits>
+
 #include "common/ids.hpp"
 #include "common/log.hpp"
 
@@ -7,28 +9,53 @@ namespace mdsm::net {
 
 Status Endpoint::send(const std::string& to, std::string topic,
                       model::Value payload) {
-  return network_->send(name_, to, std::move(topic), std::move(payload));
+  // Pin the owner outside any lock: a concurrent detach flips the
+  // pointer to null, and we either observe it (refuse) or the still-live
+  // network (the detacher has not destroyed it yet at flip time).
+  Network* network = network_.load(std::memory_order_acquire);
+  if (network == nullptr) {
+    return Unavailable("endpoint '" + name_ +
+                       "' is detached from its network");
+  }
+  return network->send(name_, to, std::move(topic), std::move(payload));
 }
 
 Network::Network(SimClock& clock, NetworkConfig config)
     : clock_(&clock), config_(config), rng_(config.seed) {}
+
+Network::~Network() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, endpoint] : endpoints_) {
+    endpoint->network_.store(nullptr, std::memory_order_release);
+  }
+}
 
 Result<Endpoint*> Network::create_endpoint(const std::string& name) {
   std::lock_guard lock(mutex_);
   if (endpoints_.contains(name)) {
     return AlreadyExists("endpoint '" + name + "' already exists");
   }
-  auto endpoint = std::unique_ptr<Endpoint>(new Endpoint(name, *this));
+  auto endpoint = std::shared_ptr<Endpoint>(new Endpoint(name, *this));
   Endpoint* raw = endpoint.get();
   endpoints_[name] = std::move(endpoint);
   return raw;
 }
 
 Status Network::remove_endpoint(const std::string& name) {
-  std::lock_guard lock(mutex_);
-  if (endpoints_.erase(name) == 0) {
-    return NotFound("endpoint '" + name + "' does not exist");
+  std::shared_ptr<Endpoint> removed;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = endpoints_.find(name);
+    if (it == endpoints_.end()) {
+      return NotFound("endpoint '" + name + "' does not exist");
+    }
+    removed = std::move(it->second);
+    endpoints_.erase(it);
+    removed->network_.store(nullptr, std::memory_order_release);
   }
+  // `removed` drops its reference outside the lock; an in-flight delivery
+  // (or a user handle) still pinning the endpoint defers the destruction
+  // until it settles, so handlers never run against a destroyed Endpoint.
   return Status::Ok();
 }
 
@@ -36,6 +63,12 @@ Endpoint* Network::find_endpoint(std::string_view name) {
   std::lock_guard lock(mutex_);
   auto it = endpoints_.find(name);
   return it == endpoints_.end() ? nullptr : it->second.get();
+}
+
+std::shared_ptr<Endpoint> Network::endpoint_handle(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = endpoints_.find(name);
+  return it == endpoints_.end() ? nullptr : it->second;
 }
 
 Status Network::send(const std::string& from, const std::string& to,
@@ -72,9 +105,7 @@ Status Network::send(const std::string& from, const std::string& to,
 }
 
 bool Network::link_up(const std::string& a, const std::string& b) const {
-  if (down_links_.contains({a, b}) || down_links_.contains({b, a})) {
-    return false;
-  }
+  if (down_links_.contains(link_key(a, b))) return false;
   if (partition_.has_value()) {
     bool a_in = partition_->contains(a);
     bool b_in = partition_->contains(b);
@@ -84,9 +115,17 @@ bool Network::link_up(const std::string& a, const std::string& b) const {
 }
 
 std::size_t Network::deliver_due() {
+  return deliver_due_bounded(std::numeric_limits<std::size_t>::max());
+}
+
+std::size_t Network::deliver_due_bounded(std::size_t budget) {
   std::size_t delivered = 0;
-  for (;;) {
+  while (delivered < budget) {
     Endpoint::Handler handler;
+    // Pin the destination for the whole handler call: a concurrent
+    // remove_endpoint() defers the Endpoint's destruction until this
+    // delivery settles (the handler may reentrantly send through it).
+    std::shared_ptr<Endpoint> target;
     Message message;
     {
       std::lock_guard lock(mutex_);
@@ -100,7 +139,12 @@ std::size_t Network::deliver_due() {
         continue;
       }
       auto it = endpoints_.find(message.to);
-      if (it != endpoints_.end()) handler = it->second->handler_snapshot();
+      if (it != endpoints_.end()) {
+        target = it->second;
+        handler = target->handler_snapshot();
+      }
+      // A removed endpoint (or one that never installed a handler) makes
+      // the queued message undeliverable — counted, not crashed into.
       if (handler == nullptr) {
         ++stats_.undeliverable;
         continue;
@@ -124,8 +168,17 @@ std::size_t Network::run_until_idle(std::size_t max_messages) {
       clock_->set(queue_.top().deliver_at);
     }
     // Every due message is popped even when blocked/undeliverable, so
-    // the queue shrinks and progress is guaranteed.
-    total += deliver_due();
+    // the queue shrinks and progress is guaranteed. The bounded budget
+    // keeps a handler that reentrantly sends due-now messages (same-tick
+    // ping/pong) from pinning this pass past the caller's cap.
+    std::size_t round = deliver_due_bounded(max_messages - total);
+    total += round;
+    if (round == 0) {
+      // Nothing delivered at this tick (all blocked/undeliverable): loop
+      // again — the clock advance above is monotonic, so either the
+      // queue drains or time moves forward. No premature idle.
+      continue;
+    }
   }
   return total;
 }
@@ -133,11 +186,11 @@ std::size_t Network::run_until_idle(std::size_t max_messages) {
 void Network::set_link_down(const std::string& a, const std::string& b,
                             bool down) {
   std::lock_guard lock(mutex_);
+  // Normalized storage: (a, b) and (b, a) are the same undirected link.
   if (down) {
-    down_links_.insert({a, b});
+    down_links_.insert(link_key(a, b));
   } else {
-    down_links_.erase({a, b});
-    down_links_.erase({b, a});
+    down_links_.erase(link_key(a, b));
   }
 }
 

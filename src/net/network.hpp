@@ -5,8 +5,9 @@
 // provides the closest synthetic equivalent: named endpoints exchanging
 // messages through a latency/jitter/loss-modeled bus with link failure
 // injection and partitions. The broker layers and the split deployments
-// (2SVM, CSVM) run their remote interactions over it, exercising the same
-// asynchronous code paths a real network would.
+// (2SVM, CSVM, the PR-7 ingress front-end) run their remote interactions
+// over it, exercising the same asynchronous code paths a real network
+// would.
 //
 // Determinism: message delivery order is a function of (virtual) delivery
 // time and a monotonically increasing sequence number; jitter and loss
@@ -20,8 +21,20 @@
 // delivery. Handlers are invoked OUTSIDE the lock (a handler may
 // reentrantly send, as the ping/pong tests do); set_handler() takes a
 // per-endpoint mutex so installing a handler races safely with delivery.
+//
+// Endpoint lifecycle (PR 7): endpoints are shared-owned. The delivering
+// thread pins the destination endpoint for the duration of its handler,
+// so remove_endpoint() racing an in-flight delivery defers destruction
+// until the delivery settles instead of running the handler against a
+// destroyed Endpoint. Messages still queued for a removed endpoint count
+// as `undeliverable` at their delivery time. endpoint_handle() hands out
+// that shared ownership: a handle outlives removal and even the Network
+// itself — the Network detaches every endpoint on destruction, and
+// send() on a detached endpoint returns kUnavailable instead of
+// dereferencing a dangling Network pointer.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -62,14 +75,15 @@ struct NetworkStats {
   std::uint64_t delivered = 0;
   std::uint64_t dropped = 0;       ///< lost to drop_rate
   std::uint64_t blocked = 0;       ///< lost to downed links/partitions
-  std::uint64_t undeliverable = 0; ///< no such destination at delivery time
+  std::uint64_t undeliverable = 0; ///< no destination/handler at delivery time
 };
 
 class Network;
 
-/// A named attachment point. Endpoints are owned by the Network; user
-/// code keeps the raw pointer only while the Network lives (the Network
-/// is the composition root of every simulated deployment).
+/// A named attachment point. Endpoints are shared-owned by the Network;
+/// user code may keep the raw pointer while the Network lives, or take an
+/// endpoint_handle() to outlive removal/teardown (sends on a detached
+/// endpoint fail with kUnavailable instead of crashing).
 class Endpoint {
  public:
   using Handler = std::function<void(const Message&)>;
@@ -84,9 +98,17 @@ class Endpoint {
     handler_ = std::move(handler);
   }
 
-  /// Send via the owning network.
+  /// Send via the owning network. After the network detached this
+  /// endpoint (remove_endpoint() or Network destruction), returns
+  /// kUnavailable — the handle-holding caller learns the endpoint is
+  /// gone instead of dereferencing a dangling pointer.
   Status send(const std::string& to, std::string topic,
               model::Value payload = {});
+
+  /// True once the owning network dropped this endpoint.
+  [[nodiscard]] bool detached() const noexcept {
+    return network_.load(std::memory_order_acquire) == nullptr;
+  }
 
  private:
   friend class Network;
@@ -99,7 +121,11 @@ class Endpoint {
   }
 
   std::string name_;
-  Network* network_;
+  /// The owning network, nulled at detach. A send racing the *detach* is
+  /// safe (it observes nullptr or a still-live network); a send racing
+  /// actual Network destruction from another thread is a caller ordering
+  /// bug, same as any use-after-free of the Network itself.
+  std::atomic<Network*> network_;
   mutable std::mutex mutex_;  ///< guards handler_
   Handler handler_;
 };
@@ -110,13 +136,24 @@ class Network {
   /// The clock is typically a SimClock the test advances; run_until_idle
   /// advances it automatically to each delivery time.
   Network(SimClock& clock, NetworkConfig config = {});
+  /// Detaches every endpoint: surviving handles observe kUnavailable on
+  /// send instead of touching the destroyed network.
+  ~Network();
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
   Result<Endpoint*> create_endpoint(const std::string& name);
+  /// Unregister the endpoint. An in-flight delivery pins the endpoint, so
+  /// destruction is deferred until the delivery (and any handle) settles;
+  /// messages still queued to it count as undeliverable when due.
   Status remove_endpoint(const std::string& name);
   [[nodiscard]] Endpoint* find_endpoint(std::string_view name);
+  /// Shared ownership of the endpoint: the handle stays valid after
+  /// remove_endpoint() and Network destruction (sends then fail with
+  /// kUnavailable). Null when the endpoint does not exist.
+  [[nodiscard]] std::shared_ptr<Endpoint> endpoint_handle(
+      std::string_view name);
 
   /// Queue a message for future delivery (applies latency/jitter/loss at
   /// send time, link state at delivery time).
@@ -127,10 +164,16 @@ class Network {
   std::size_t deliver_due();
 
   /// Advance the clock through each pending delivery until no messages
-  /// remain (or `max_messages` were delivered). Returns count delivered.
+  /// remain (or `max_messages` were delivered). Handlers that reentrantly
+  /// send messages due at the current tick are drained in the same pass —
+  /// never left behind as "idle" — and count against the cap, so a
+  /// same-tick ping/pong loop terminates instead of spinning forever.
+  /// Returns count delivered.
   std::size_t run_until_idle(std::size_t max_messages = 100000);
 
-  /// Bidirectional link failure between two endpoints.
+  /// Bidirectional link failure between two endpoints. The pair is
+  /// normalized internally, so set_link_down(a, b, …) and
+  /// set_link_down(b, a, …) address the same link.
   void set_link_down(const std::string& a, const std::string& b, bool down);
 
   /// Partition: endpoints in `group` can only reach each other.
@@ -153,9 +196,18 @@ class Network {
     }
   };
 
+  /// deliver_due with a delivery budget (run_until_idle's termination
+  /// guarantee against same-tick reentrant send loops).
+  std::size_t deliver_due_bounded(std::size_t budget);
+
   /// Caller must hold mutex_.
   [[nodiscard]] bool link_up(const std::string& a,
                              const std::string& b) const;
+  /// Canonical (ordered) form of an undirected link pair.
+  [[nodiscard]] static std::pair<std::string, std::string> link_key(
+      const std::string& a, const std::string& b) {
+    return a <= b ? std::pair(a, b) : std::pair(b, a);
+  }
 
   /// Guards everything below (lock order: mutex_ before an endpoint's
   /// handler mutex; never the reverse). clock_ has its own internal lock.
@@ -163,7 +215,7 @@ class Network {
   SimClock* clock_;
   NetworkConfig config_;
   std::mt19937 rng_;
-  std::map<std::string, std::unique_ptr<Endpoint>, std::less<>> endpoints_;
+  std::map<std::string, std::shared_ptr<Endpoint>, std::less<>> endpoints_;
   std::priority_queue<Pending, std::vector<Pending>, std::greater<>> queue_;
   std::set<std::pair<std::string, std::string>> down_links_;
   std::optional<std::set<std::string>> partition_;

@@ -96,6 +96,15 @@ class RequestContext {
   [[nodiscard]] bool high_priority() const noexcept {
     return attribute("priority") == "high";
   }
+  /// Cross-wire identity (PR 7): the attribute key under which a
+  /// networked ingress stamps the *sender's* request id, so a span tree
+  /// recorded on the platform side can be joined with the remote
+  /// client's ledger. Empty for in-process requests.
+  static constexpr std::string_view kRemoteIdAttribute =
+      "ingress.request_id";
+  [[nodiscard]] std::string_view remote_id() const noexcept {
+    return attribute(kRemoteIdAttribute);
+  }
 
  private:
   struct NoopTag {};

@@ -1,0 +1,562 @@
+// Networked ingress front-end (PR 7): wire codec, pattern router and
+// middleware chain units, plus end-to-end split deployments — a client
+// endpoint submitting application models to an IngressServer over the
+// simulated network, with the PR-5 overload contract propagating across
+// the wire as typed refusal replies.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "ingress/ingress_client.hpp"
+#include "ingress/ingress_server.hpp"
+#include "ingress/middleware.hpp"
+#include "ingress/router.hpp"
+#include "ingress/wire.hpp"
+#include "net/network.hpp"
+#include "soak_fixtures.hpp"
+
+namespace mdsm {
+namespace {
+
+// ---- wire codec -----------------------------------------------------------
+
+TEST(Wire, RequestRoundTrip) {
+  ingress::wire::Request request;
+  request.request_id = 42;
+  request.text = "model m conforms testlang\n";
+  request.auth = "secret";
+  request.deadline_us = 1500;
+  request.high_priority = true;
+  auto decoded = ingress::wire::decode_request(
+      ingress::wire::encode_request(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded.value().request_id, 42u);
+  EXPECT_EQ(decoded.value().text, request.text);
+  EXPECT_EQ(decoded.value().auth, "secret");
+  EXPECT_EQ(decoded.value().deadline_us, 1500);
+  EXPECT_TRUE(decoded.value().high_priority);
+}
+
+TEST(Wire, ReplyRoundTrip) {
+  ingress::wire::Reply reply;
+  reply.request_id = 7;
+  reply.code = ErrorCode::kUnavailable;
+  reply.refusal = "overload";
+  reply.message = "queue full";
+  reply.commands = 3;
+  auto decoded =
+      ingress::wire::decode_reply(ingress::wire::encode_reply(reply));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded.value().request_id, 7u);
+  EXPECT_EQ(decoded.value().code, ErrorCode::kUnavailable);
+  EXPECT_EQ(decoded.value().refusal, "overload");
+  EXPECT_EQ(decoded.value().message, "queue full");
+  EXPECT_EQ(decoded.value().commands, 3);
+}
+
+TEST(Wire, DecodeRejectsMalformedPayloads) {
+  EXPECT_FALSE(ingress::wire::decode_request(model::Value("garbage")).ok());
+  EXPECT_FALSE(ingress::wire::decode_reply(model::Value(7.0)).ok());
+  EXPECT_FALSE(ingress::wire::decode_request(model::Value()).ok());
+}
+
+TEST(Wire, RefusalTaxonomyIsStable) {
+  using ingress::wire::classify_refusal;
+  EXPECT_EQ(classify_refusal(Timeout("x")), "deadline");
+  EXPECT_EQ(classify_refusal(Unavailable("x")), "overload");
+  EXPECT_EQ(classify_refusal(FailedPrecondition("x")), "not-running");
+  EXPECT_EQ(classify_refusal(InvalidArgument("x")), "malformed");
+  EXPECT_EQ(classify_refusal(ParseError("x")), "malformed");
+  EXPECT_EQ(classify_refusal(ConformanceError("x")), "conformance");
+  EXPECT_EQ(classify_refusal(NotFound("x")), "no-route");
+  EXPECT_EQ(classify_refusal(ExecutionError("x")), "execution");
+  EXPECT_EQ(classify_refusal(Internal("x")), "error");
+}
+
+// ---- router ---------------------------------------------------------------
+
+TEST(Router, BindsCapturesAndPrefersLiterals) {
+  ingress::Router router;
+  std::string hit;
+  auto handler = [&hit](std::string name) {
+    return [&hit, name](const net::Message&, const ingress::RouteParams&) {
+      hit = name;
+    };
+  };
+  ASSERT_TRUE(router.add("submit/{dsml}/{session}", handler("generic")).ok());
+  ASSERT_TRUE(router.add("submit/cml/{session}", handler("cml")).ok());
+
+  auto generic = router.route("submit/testlang/s1");
+  ASSERT_TRUE(generic.has_value());
+  EXPECT_EQ(generic->pattern, "submit/{dsml}/{session}");
+  EXPECT_EQ(generic->params.get("dsml"), "testlang");
+  EXPECT_EQ(generic->params.get("session"), "s1");
+
+  // The more literal pattern wins for its own prefix.
+  auto specific = router.route("submit/cml/s2");
+  ASSERT_TRUE(specific.has_value());
+  EXPECT_EQ(specific->pattern, "submit/cml/{session}");
+  EXPECT_EQ(specific->params.get("session"), "s2");
+
+  EXPECT_FALSE(router.route("submit/testlang").has_value());
+  EXPECT_FALSE(router.route("other/testlang/s1").has_value());
+  // An empty segment cannot bind a capture.
+  EXPECT_FALSE(router.route("submit//s1").has_value());
+}
+
+TEST(Router, RejectsDuplicateAndUnnamedPatterns) {
+  ingress::Router router;
+  auto noop = [](const net::Message&, const ingress::RouteParams&) {};
+  ASSERT_TRUE(router.add("a/{x}", noop).ok());
+  EXPECT_EQ(router.add("a/{x}", noop).code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(router.add("a/{}", noop).code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(router.add("", noop).code(), ErrorCode::kInvalidArgument);
+}
+
+// ---- middleware chain -----------------------------------------------------
+
+TEST(MiddlewareChain, RunsInOrderAndShortCircuits) {
+  ingress::MiddlewareChain chain;
+  std::vector<std::string> ran;
+  chain.add("first", [&ran](ingress::IngressContext&) {
+    ran.push_back("first");
+    return Status::Ok();
+  });
+  chain.add("second", [&ran](ingress::IngressContext& context) {
+    ran.push_back("second");
+    context.refusal = "unauthenticated";
+    return FailedPrecondition("nope");
+  });
+  chain.add("third", [&ran](ingress::IngressContext&) {
+    ran.push_back("third");
+    return Status::Ok();
+  });
+
+  ingress::IngressContext context;
+  Status status = chain.run(context);
+  EXPECT_EQ(status.code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(context.refusal, "unauthenticated");
+  EXPECT_EQ(ran, (std::vector<std::string>{"first", "second"}));
+  EXPECT_EQ(chain.names(),
+            (std::vector<std::string>{"first", "second", "third"}));
+}
+
+TEST(MiddlewareChain, FillsRefusalSlugFromStatusWhenUntyped) {
+  ingress::MiddlewareChain chain;
+  chain.add("gate",
+            [](ingress::IngressContext&) { return Unavailable("busy"); });
+  ingress::IngressContext context;
+  EXPECT_EQ(chain.run(context).code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(context.refusal, "overload");
+}
+
+// ---- split deployment over the simulated network --------------------------
+
+net::NetworkConfig quiet_network() {
+  net::NetworkConfig config;
+  config.base_latency = std::chrono::microseconds(100);
+  config.jitter = std::chrono::microseconds(0);
+  config.drop_rate = 0.0;
+  return config;
+}
+
+/// A full split deployment: platform + network + server + client. The
+/// platform runs its real-time staged pipeline; the network runs on its
+/// own SimClock that run_until_idle advances.
+struct SplitDeployment {
+  model::MetamodelPtr dsml;
+  SimClock clock;
+  std::unique_ptr<core::Platform> platform;
+  soak::CountingAdapter* svc = nullptr;
+  std::unique_ptr<net::Network> network;
+  std::unique_ptr<ingress::IngressServer> server;
+  std::unique_ptr<ingress::IngressClient> client;
+
+  /// Deliver requests, pump replies, deliver replies, repeat until
+  /// `done` (or ~10s of wall time — the pipeline runs in real time).
+  bool drive_until(const std::function<bool()>& done) {
+    const auto wall_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (std::chrono::steady_clock::now() < wall_deadline) {
+      network->run_until_idle();
+      server->pump();
+      network->run_until_idle();
+      if (done()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return done();
+  }
+
+  /// Orderly teardown: drain the platform first so no completion
+  /// callback can reach a destroyed server, then unwind outside-in.
+  void shutdown() {
+    if (platform != nullptr) {
+      EXPECT_TRUE(platform->stop().ok());
+    }
+    client.reset();
+    server.reset();
+    network.reset();
+    platform.reset();
+  }
+};
+
+std::unique_ptr<SplitDeployment> make_split_deployment(
+    std::string_view extra_attrs = "", unsigned pipeline_threads = 2,
+    net::NetworkConfig network_config = quiet_network(),
+    ingress::IngressClientOptions client_options = {}) {
+  auto out = std::make_unique<SplitDeployment>();
+  out->dsml = model::testing::make_test_metamodel();
+
+  std::string text(soak::kSoakMiddlewareModel);
+  const std::string anchor = "domain = \"testing\"";
+  text.insert(text.find(anchor) + anchor.size(),
+              "\n  " + std::string(extra_attrs));
+
+  core::PlatformConfig config;
+  config.dsml = out->dsml;
+  config.pipeline_threads = pipeline_threads;
+  auto assembled = core::Platform::assemble_from_text(text, config);
+  if (!assembled.ok()) return nullptr;
+  out->platform = std::move(assembled.value());
+  auto svc = std::make_unique<soak::CountingAdapter>("svc");
+  out->svc = svc.get();
+  if (!out->platform->add_resource_adapter(std::move(svc)).ok()) return nullptr;
+  if (!out->platform->start().ok()) return nullptr;
+
+  out->network = std::make_unique<net::Network>(out->clock, network_config);
+  ingress::IngressServerOptions server_options;
+  server_options.manual_reply_loop = true;  // tests pump() deterministically
+  auto server = ingress::IngressServer::attach(*out->platform, *out->network,
+                                               server_options);
+  if (!server.ok()) return nullptr;
+  out->server = std::move(server.value());
+  auto client = ingress::IngressClient::attach(
+      *out->network, out->server->endpoint_name(), std::move(client_options));
+  if (!client.ok()) return nullptr;
+  out->client = std::move(client.value());
+  return out;
+}
+
+/// Exactly-once callback ledger shared by the load tests.
+struct Ledger {
+  std::mutex mutex;
+  std::map<std::uint64_t, int> fired;  ///< request id → callback count
+  std::map<std::string, int> refusals; ///< slug → count ("" = success)
+
+  ingress::IngressClient::Callback recorder() {
+    return [this](const ingress::RemoteOutcome& outcome) {
+      std::lock_guard lock(mutex);
+      ++fired[outcome.request_id];
+      ++refusals[outcome.refusal];
+    };
+  }
+  int total() {
+    std::lock_guard lock(mutex);
+    int sum = 0;
+    for (auto& [id, count] : fired) sum += count;
+    return sum;
+  }
+};
+
+TEST(IngressE2E, SubmitCompletesOverTheWire) {
+  auto deployment = make_split_deployment();
+  ASSERT_NE(deployment, nullptr);
+
+  std::optional<ingress::RemoteOutcome> outcome;
+  auto submitted = deployment->client->submit(
+      "testlang", "s1", soak::open_session_text("s1"),
+      [&outcome](const ingress::RemoteOutcome& result) { outcome = result; });
+  ASSERT_TRUE(submitted.ok()) << submitted.status().to_string();
+  EXPECT_EQ(submitted.value(), 1u);
+
+  ASSERT_TRUE(deployment->drive_until([&] { return outcome.has_value(); }));
+  EXPECT_TRUE(outcome->status.ok()) << outcome->status.to_string();
+  EXPECT_EQ(outcome->refusal, "");
+  EXPECT_GT(outcome->commands, 0);
+  EXPECT_GE(deployment->svc->executed(), 1u);
+
+  // The cross-wire identity landed on the request context: the platform
+  // correlates its span tree with the remote sender's request id.
+  auto context = deployment->platform->last_async_context();
+  ASSERT_NE(context, nullptr);
+  EXPECT_EQ(context->remote_id(), "client#1");
+  EXPECT_EQ(context->attribute("ingress.session"), "s1");
+
+  const ingress::IngressServer::Stats stats = deployment->server->stats();
+  EXPECT_EQ(stats.received, 1u);
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(stats.completed_ok, 1u);
+  EXPECT_EQ(stats.replies, 1u);
+  EXPECT_EQ(deployment->client->stats().resolved_ok, 1u);
+  deployment->shutdown();
+}
+
+TEST(IngressE2E, WrongDsmlAndUnknownQueryAreTypedRefusals) {
+  auto deployment = make_split_deployment();
+  ASSERT_NE(deployment, nullptr);
+
+  std::optional<ingress::RemoteOutcome> wrong_dsml;
+  ASSERT_TRUE(deployment->client
+                  ->submit("otherlang", "s1", "model x conforms otherlang\n",
+                           [&](const ingress::RemoteOutcome& r) {
+                             wrong_dsml = r;
+                           })
+                  .ok());
+  ASSERT_TRUE(deployment->drive_until([&] { return wrong_dsml.has_value(); }));
+  EXPECT_EQ(wrong_dsml->status.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(wrong_dsml->refusal, "wrong-dsml");
+
+  std::optional<ingress::RemoteOutcome> unknown;
+  ASSERT_TRUE(deployment->client
+                  ->query("bogus",
+                          [&](const ingress::RemoteOutcome& r) { unknown = r; })
+                  .ok());
+  ASSERT_TRUE(deployment->drive_until([&] { return unknown.has_value(); }));
+  EXPECT_EQ(unknown->status.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(unknown->refusal, "no-route");
+  deployment->shutdown();
+}
+
+TEST(IngressE2E, MalformedAndUnroutedMessagesAreRefusedNotDropped) {
+  auto deployment = make_split_deployment();
+  ASSERT_NE(deployment, nullptr);
+
+  auto raw = deployment->network->create_endpoint("raw");
+  ASSERT_TRUE(raw.ok());
+  std::vector<ingress::wire::Reply> replies;
+  raw.value()->set_handler([&](const net::Message& message) {
+    auto reply = ingress::wire::decode_reply(message.payload);
+    ASSERT_TRUE(reply.ok());
+    replies.push_back(reply.value());
+  });
+
+  // Garbage payload on a valid submit topic → "malformed".
+  raw.value()->send(deployment->server->endpoint_name(),
+                    "submit/testlang/s1", model::Value("garbage"));
+  // Valid payload on a topic no route matches → "no-route", with the
+  // request id recovered best-effort for correlation.
+  ingress::wire::Request request;
+  request.request_id = 99;
+  raw.value()->send(deployment->server->endpoint_name(), "weird/topic",
+                    ingress::wire::encode_request(request));
+  ASSERT_TRUE(deployment->drive_until([&] { return replies.size() == 2; }));
+
+  EXPECT_EQ(replies[0].refusal, "malformed");
+  EXPECT_EQ(replies[0].code, ErrorCode::kInvalidArgument);
+  EXPECT_EQ(replies[1].refusal, "no-route");
+  EXPECT_EQ(replies[1].request_id, 99u);
+
+  const ingress::IngressServer::Stats stats = deployment->server->stats();
+  EXPECT_EQ(stats.malformed, 1u);
+  EXPECT_EQ(stats.unrouted, 1u);
+  deployment->shutdown();
+}
+
+TEST(IngressE2E, AuthTokenFromModelGatesSubmissions) {
+  auto deployment = make_split_deployment("ingress_auth = \"sesame\"");
+  ASSERT_NE(deployment, nullptr);
+  // The client is attached without a token: refused.
+  std::optional<ingress::RemoteOutcome> denied;
+  ASSERT_TRUE(deployment->client
+                  ->submit("testlang", "s1", soak::open_session_text("s1"),
+                           [&](const ingress::RemoteOutcome& r) { denied = r; })
+                  .ok());
+  ASSERT_TRUE(deployment->drive_until([&] { return denied.has_value(); }));
+  EXPECT_EQ(denied->status.code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(denied->refusal, "unauthenticated");
+
+  // A second client carrying the model's token gets through.
+  ingress::IngressClientOptions options;
+  options.endpoint = "trusted";
+  options.auth = "sesame";
+  auto trusted = ingress::IngressClient::attach(
+      *deployment->network, deployment->server->endpoint_name(), options);
+  ASSERT_TRUE(trusted.ok());
+  std::optional<ingress::RemoteOutcome> accepted;
+  ASSERT_TRUE(trusted.value()
+                  ->submit("testlang", "s2", soak::open_session_text("s2"),
+                           [&](const ingress::RemoteOutcome& r) {
+                             accepted = r;
+                           })
+                  .ok());
+  ASSERT_TRUE(deployment->drive_until([&] { return accepted.has_value(); }));
+  EXPECT_TRUE(accepted->status.ok()) << accepted->status.to_string();
+  trusted.value().reset();
+  deployment->shutdown();
+}
+
+TEST(IngressE2E, QueryReturnsRuntimeModelAndMetrics) {
+  auto deployment = make_split_deployment();
+  ASSERT_NE(deployment, nullptr);
+
+  std::optional<ingress::RemoteOutcome> submitted;
+  ASSERT_TRUE(deployment->client
+                  ->submit("testlang", "s1", soak::open_session_text("s1"),
+                           [&](const ingress::RemoteOutcome& r) {
+                             submitted = r;
+                           })
+                  .ok());
+  ASSERT_TRUE(deployment->drive_until([&] { return submitted.has_value(); }));
+
+  std::optional<ingress::RemoteOutcome> runtime_model;
+  ASSERT_TRUE(deployment->client
+                  ->query("runtime-model",
+                          [&](const ingress::RemoteOutcome& r) {
+                            runtime_model = r;
+                          })
+                  .ok());
+  ASSERT_TRUE(
+      deployment->drive_until([&] { return runtime_model.has_value(); }));
+  EXPECT_TRUE(runtime_model->status.ok());
+  // The session the submit created is visible in the round-tripped model.
+  EXPECT_NE(runtime_model->payload.find("s1"), std::string::npos);
+
+  std::optional<ingress::RemoteOutcome> metrics;
+  ASSERT_TRUE(deployment->client
+                  ->query("metrics",
+                          [&](const ingress::RemoteOutcome& r) { metrics = r; })
+                  .ok());
+  ASSERT_TRUE(deployment->drive_until([&] { return metrics.has_value(); }));
+  EXPECT_TRUE(metrics->status.ok());
+  EXPECT_NE(metrics->payload.find("ingress.received"), std::string::npos);
+  deployment->shutdown();
+}
+
+// Satellite 4: the overload contract crosses the wire. 10x the pipeline's
+// capacity is thrown at a tightly bounded platform; every submission
+// resolves exactly once at the client — success or typed refusal — and
+// the door refusals surface as "overload".
+TEST(IngressE2E, OverloadRefusalsPropagateAsTypedRepliesUnderLoad) {
+  auto deployment = make_split_deployment(
+      "queue_capacity = 2\n  overflow_policy = reject",
+      /*pipeline_threads=*/1);
+  ASSERT_NE(deployment, nullptr);
+
+  Ledger ledger;
+  constexpr int kSubmissions = 100;
+  for (int i = 0; i < kSubmissions; ++i) {
+    auto submitted = deployment->client->submit(
+        "testlang", "s" + std::to_string(i),
+        soak::open_session_text("s" + std::to_string(i)), ledger.recorder());
+    ASSERT_TRUE(submitted.ok()) << submitted.status().to_string();
+  }
+
+  ASSERT_TRUE(
+      deployment->drive_until([&] { return ledger.total() == kSubmissions; }));
+
+  // Exactly-once: every request id fired its callback exactly one time.
+  {
+    std::lock_guard lock(ledger.mutex);
+    EXPECT_EQ(ledger.fired.size(), static_cast<std::size_t>(kSubmissions));
+    for (const auto& [id, count] : ledger.fired) {
+      EXPECT_EQ(count, 1) << "request " << id;
+    }
+    // The bounded queue + single worker cannot swallow 100 instant
+    // arrivals: some were refused at the door, some completed.
+    EXPECT_GT(ledger.refusals["overload"], 0);
+    EXPECT_GT(ledger.refusals[""], 0);
+  }
+
+  const ingress::IngressServer::Stats stats = deployment->server->stats();
+  EXPECT_EQ(stats.received, static_cast<std::uint64_t>(kSubmissions));
+  EXPECT_EQ(stats.accepted + stats.refused,
+            static_cast<std::uint64_t>(kSubmissions));
+  EXPECT_GT(stats.refused, 0u);
+  const ingress::IngressClient::Stats client_stats =
+      deployment->client->stats();
+  EXPECT_EQ(client_stats.resolved_ok + client_stats.refused,
+            static_cast<std::uint64_t>(kSubmissions));
+  EXPECT_EQ(deployment->platform->metrics().snapshot().counter_value(
+                "ingress.refused.overload"),
+            stats.refused);
+  deployment->shutdown();
+}
+
+// Satellite 4, lossy half: with drop_rate > 0 requests and replies
+// vanish, and the client's expiry ledger turns every loss into a
+// "reply-lost" outcome — still exactly once per submission.
+TEST(IngressE2E, LostRepliesExpireExactlyOnceUnderDropRate) {
+  net::NetworkConfig lossy = quiet_network();
+  lossy.drop_rate = 0.3;
+  lossy.seed = 17;
+  ingress::IngressClientOptions client_options;
+  client_options.reply_timeout = std::chrono::seconds(1);
+  auto deployment = make_split_deployment("", /*pipeline_threads=*/2, lossy,
+                                          client_options);
+  ASSERT_NE(deployment, nullptr);
+
+  Ledger ledger;
+  constexpr int kSubmissions = 60;
+  for (int i = 0; i < kSubmissions; ++i) {
+    ASSERT_TRUE(deployment->client
+                    ->submit("testlang", "s" + std::to_string(i),
+                             soak::open_session_text("s" + std::to_string(i)),
+                             ledger.recorder())
+                    .ok());
+  }
+
+  // Drain everything the network did deliver: the pipeline settles when
+  // each accepted submission has completed, then the replies flush.
+  ASSERT_TRUE(deployment->drive_until([&] {
+    const ingress::IngressServer::Stats stats = deployment->server->stats();
+    return stats.accepted == stats.completed_ok + stats.completed_error &&
+           deployment->server->pump() == 0 &&
+           deployment->network->pending() == 0;
+  }));
+
+  // Whatever is still unresolved at the client was lost on the wire.
+  deployment->clock.advance(std::chrono::seconds(5));
+  deployment->client->expire_overdue();
+
+  {
+    std::lock_guard lock(ledger.mutex);
+    EXPECT_EQ(ledger.fired.size(), static_cast<std::size_t>(kSubmissions));
+    for (const auto& [id, count] : ledger.fired) {
+      EXPECT_EQ(count, 1) << "request " << id;
+    }
+    // With p=0.3 over ~120 crossings, losses are a statistical
+    // certainty; each shows up as the typed "reply-lost" outcome.
+    EXPECT_GT(ledger.refusals["reply-lost"], 0);
+  }
+  const ingress::IngressClient::Stats stats = deployment->client->stats();
+  EXPECT_EQ(stats.resolved_ok + stats.refused + stats.expired,
+            static_cast<std::uint64_t>(kSubmissions));
+  EXPECT_GT(stats.expired, 0u);
+  EXPECT_EQ(deployment->client->pending(), 0u);
+  deployment->shutdown();
+}
+
+// ---- model-driven ingress configuration -----------------------------------
+
+TEST(IngressConfig, SettingsDecodedFromMiddlewareModel) {
+  auto deployment = make_split_deployment(
+      "ingress_endpoint = \"front-door\"\n"
+      "  ingress_auth = \"token\"\n"
+      "  ingress_default_deadline_us = 250000");
+  ASSERT_NE(deployment, nullptr);
+  const core::IngressSettings& settings =
+      deployment->platform->ingress_settings();
+  EXPECT_EQ(settings.endpoint, "front-door");
+  EXPECT_EQ(settings.auth_token, "token");
+  EXPECT_EQ(settings.default_deadline, std::chrono::microseconds(250000));
+  // The server picked the model-configured endpoint name up.
+  EXPECT_EQ(deployment->server->endpoint_name(), "front-door");
+  deployment->shutdown();
+}
+
+TEST(IngressConfig, EndpointNameDerivedFromPlatformName) {
+  auto deployment = make_split_deployment();
+  ASSERT_NE(deployment, nullptr);
+  EXPECT_EQ(deployment->server->endpoint_name(), "soak-platform.ingress");
+  deployment->shutdown();
+}
+
+}  // namespace
+}  // namespace mdsm

@@ -244,5 +244,149 @@ TEST(Network, ConcurrentSendersAndDeliveryAreRaceFree) {
   EXPECT_EQ(network.pending(), 0u);
 }
 
+// PR-7 lifecycle regressions ------------------------------------------------
+
+// A same-tick reentrant sender (zero latency: every reply is due at the
+// delivery tick it was triggered on) must not spin run_until_idle
+// forever: the cap bounds the whole pass, including reentrant messages
+// drained within one deliver_due sweep.
+TEST(Network, RunUntilIdleTerminatesOnSameTickPingPong) {
+  SimClock clock;
+  NetworkConfig config;
+  config.base_latency = Duration(0);
+  config.jitter = Duration(0);
+  Network network(clock, config);
+  auto a = network.create_endpoint("a").value();
+  auto b = network.create_endpoint("b").value();
+  int volleys = 0;
+  a->set_handler([&](const Message&) {
+    ++volleys;
+    a->send("b", "ping");
+  });
+  b->set_handler([&](const Message&) {
+    ++volleys;
+    b->send("a", "pong");
+  });
+  a->send("b", "serve");
+  EXPECT_EQ(network.run_until_idle(/*max_messages=*/50), 50u);
+  EXPECT_EQ(volleys, 50);
+  // The rally is still alive — the cap ended it, not message exhaustion.
+  EXPECT_GT(network.pending(), 0u);
+}
+
+TEST(Network, LinkDownPairIsNormalized) {
+  SimClock clock;
+  Network network(clock, quiet_config());
+  auto a = network.create_endpoint("a").value();
+  (void)network.create_endpoint("b");
+  int received = 0;
+  network.find_endpoint("b")->set_handler([&](const Message&) { ++received; });
+  // Downed as (b, a), sent as a→b: the same undirected link.
+  network.set_link_down("b", "a", true);
+  a->send("b", "m");
+  network.run_until_idle();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(network.stats().blocked, 1u);
+  // Restored with the argument order flipped again.
+  network.set_link_down("a", "b", false);
+  a->send("b", "m");
+  network.run_until_idle();
+  EXPECT_EQ(received, 1);
+}
+
+// A handle taken before remove_endpoint() stays safe to use afterwards:
+// the endpoint survives as a detached shell whose send() reports
+// kUnavailable instead of dereferencing the registry's freed entry.
+TEST(Network, SendAfterRemoveEndpointReturnsUnavailable) {
+  SimClock clock;
+  Network network(clock, quiet_config());
+  (void)network.create_endpoint("a");
+  (void)network.create_endpoint("b");
+  std::shared_ptr<Endpoint> handle = network.endpoint_handle("a");
+  ASSERT_NE(handle, nullptr);
+  EXPECT_FALSE(handle->detached());
+  ASSERT_TRUE(network.remove_endpoint("a").ok());
+  EXPECT_TRUE(handle->detached());
+  EXPECT_EQ(handle->send("b", "m").code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(network.endpoint_handle("a"), nullptr);
+}
+
+// Same contract when the whole Network goes away first: destruction
+// detaches every endpoint, so a surviving handle fails soft.
+TEST(Network, SendAfterNetworkDestroyedReturnsUnavailable) {
+  SimClock clock;
+  std::shared_ptr<Endpoint> handle;
+  {
+    Network network(clock, quiet_config());
+    (void)network.create_endpoint("a");
+    handle = network.endpoint_handle("a");
+    ASSERT_NE(handle, nullptr);
+  }
+  EXPECT_TRUE(handle->detached());
+  EXPECT_EQ(handle->send("anyone", "m").code(), ErrorCode::kUnavailable);
+}
+
+// Messages still queued to an endpoint at its removal count as
+// undeliverable at their delivery time instead of silently vanishing
+// from the ledger (or worse, reaching a destroyed handler).
+TEST(Network, QueuedMessagesToRemovedEndpointCountUndeliverable) {
+  SimClock clock;
+  Network network(clock, quiet_config());
+  auto a = network.create_endpoint("a").value();
+  (void)network.create_endpoint("b");
+  int received = 0;
+  network.find_endpoint("b")->set_handler([&](const Message&) { ++received; });
+  a->send("b", "m1");
+  a->send("b", "m2");
+  ASSERT_TRUE(network.remove_endpoint("b").ok());
+  network.run_until_idle();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(network.stats().undeliverable, 2u);
+}
+
+// TSan regression (PR 7): remove_endpoint() racing in-flight delivery.
+// The delivering thread pins the target endpoint for the duration of its
+// handler, so removal defers destruction until the delivery settles;
+// before the fix this was a use-after-free of the Endpoint (and its
+// handler state) under load.
+TEST(Network, RemoveEndpointDuringDeliveryIsRaceFree) {
+  SimClock clock;
+  Network network(clock, quiet_config());
+  auto sender = network.create_endpoint("sender").value();
+  (void)network.create_endpoint("victim");
+  std::atomic<std::uint64_t> handled{0};
+  network.find_endpoint("victim")->set_handler([&](const Message&) {
+    handled.fetch_add(1, std::memory_order_relaxed);
+    // Hold the delivery open long enough for removal to overlap it.
+    std::this_thread::sleep_for(std::chrono::microseconds(20));
+  });
+
+  constexpr int kMessages = 400;
+  for (int i = 0; i < kMessages; ++i) sender->send("victim", "m");
+
+  std::thread driver([&] {
+    for (int i = 0; i < kMessages; ++i) {
+      clock.advance(std::chrono::microseconds(10));
+      network.deliver_due();
+    }
+  });
+  std::thread remover([&] {
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+    EXPECT_TRUE(network.remove_endpoint("victim").ok());
+  });
+  driver.join();
+  remover.join();
+  network.run_until_idle();
+
+  // Every message is accounted for: delivered before the removal, or
+  // undeliverable after it — none lost, none crashed.
+  const NetworkStats stats = network.stats();
+  EXPECT_EQ(stats.sent, static_cast<std::uint64_t>(kMessages));
+  EXPECT_EQ(stats.delivered + stats.undeliverable,
+            static_cast<std::uint64_t>(kMessages));
+  EXPECT_EQ(handled.load(), stats.delivered);
+  EXPECT_EQ(network.pending(), 0u);
+}
+
 }  // namespace
 }  // namespace mdsm::net
