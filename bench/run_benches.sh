@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
-# PR-7 bench trajectory: runs bench_throughput (serialized/concurrent
+# PR-8 bench trajectory: runs bench_throughput (serialized/concurrent
 # sync rows plus the staged-vs-parked async and in-flight-per-core
 # rows in one binary),
 # bench_im_generation, bench_trace_overhead, bench_resilience
 # (retry/breaker goodput against a chaotic resource), bench_overload
 # (goodput/shed-rate/p99 as offered load sweeps 1x-10x of pipeline
-# capacity), and bench_ingress (in-process vs over-the-wire goodput/p99
-# through the networked ingress front-end at 1x/10x), then composes
-# their JSON outputs into a consolidated BENCH_7.json at the repo root.
+# capacity), bench_ingress (in-process vs over-the-wire goodput/p99
+# through the networked ingress front-end at 1x/10x), and bench_cluster
+# (goodput/p99 at 1/2/4/8 consistent-hash shards behind the cluster
+# front-end, the mid-run shard-kill failover row, and the diff-based
+# replication byte savings — gated on 4-shard goodput >= 3x 1-shard,
+# relaxed to 2.5x in smoke mode), then composes their JSON outputs into
+# a consolidated BENCH_8.json at the repo root.
 #
 # Usage: bench/run_benches.sh [build-dir] [--smoke]
 #   build-dir  defaults to <repo>/build
@@ -26,7 +30,8 @@ done
 BENCH_DIR="$BUILD/bench"
 
 for binary in bench_throughput bench_im_generation bench_trace_overhead \
-              bench_resilience bench_overload bench_ingress; do
+              bench_resilience bench_overload bench_ingress \
+              bench_cluster; do
   if [ ! -x "$BENCH_DIR/$binary" ]; then
     echo "missing $BENCH_DIR/$binary — build the repo first" >&2
     exit 1
@@ -39,26 +44,29 @@ if [ "$SMOKE" = 1 ]; then
   resilience_json="$("$BENCH_DIR/bench_resilience" --smoke)"
   overload_json="$("$BENCH_DIR/bench_overload" --smoke --json)" || true
   ingress_json="$("$BENCH_DIR/bench_ingress" --smoke --json)" || true
+  cluster_json="$("$BENCH_DIR/bench_cluster" --smoke --json --min-scaling 2.5)"
 else
   throughput_json="$("$BENCH_DIR/bench_throughput" --json)"
   im_json="$("$BENCH_DIR/bench_im_generation" --json)"
   resilience_json="$("$BENCH_DIR/bench_resilience")"
   overload_json="$("$BENCH_DIR/bench_overload" --json)" || true
   ingress_json="$("$BENCH_DIR/bench_ingress" --json)" || true
+  cluster_json="$("$BENCH_DIR/bench_cluster" --json)"
 fi
 trace_json="$("$BENCH_DIR/bench_trace_overhead")"
 
-OUT="$ROOT/BENCH_7.json"
+OUT="$ROOT/BENCH_8.json"
 {
   printf '{\n'
-  printf '  "pr": 7,\n'
+  printf '  "pr": 8,\n'
   printf '  "smoke": %s,\n' "$([ "$SMOKE" = 1 ] && echo true || echo false)"
   printf '  "throughput": %s,\n' "$throughput_json"
   printf '  "im_generation": %s,\n' "$im_json"
   printf '  "trace_overhead": %s,\n' "$trace_json"
   printf '  "resilience": %s,\n' "$resilience_json"
   printf '  "overload": %s,\n' "$overload_json"
-  printf '  "ingress": %s\n' "$ingress_json"
+  printf '  "ingress": %s,\n' "$ingress_json"
+  printf '  "cluster": %s\n' "$cluster_json"
   printf '}\n'
 } > "$OUT"
 echo "wrote $OUT"

@@ -1,0 +1,383 @@
+#include "cluster/cluster_front_end.hpp"
+
+#include <utility>
+
+#include "model/diff.hpp"
+#include "model/text_format.hpp"
+
+namespace mdsm::cluster {
+
+namespace wire = ingress::wire;
+
+ClusterFrontEnd::ClusterFrontEnd(net::Network& network,
+                                 model::Model authoritative)
+    : network_(&network), authoritative_(std::move(authoritative)) {}
+
+Result<std::unique_ptr<ClusterFrontEnd>> ClusterFrontEnd::attach(
+    net::Network& network, const model::Model& authoritative_model,
+    std::vector<std::string> shard_endpoints, ClusterConfig config) {
+  if (shard_endpoints.empty()) {
+    return InvalidArgument("a cluster needs at least one shard endpoint");
+  }
+  Result<net::Endpoint*> created = network.create_endpoint(config.endpoint);
+  if (!created.ok()) return created.status();
+
+  std::unique_ptr<ClusterFrontEnd> front(
+      new ClusterFrontEnd(network, authoritative_model.clone()));
+  front->endpoint_ = network.endpoint_handle(config.endpoint);
+  front->endpoint_name_ = config.endpoint;
+  front->ring_ = ShardRing(shard_endpoints.size(), config.virtual_nodes);
+
+  for (std::size_t i = 0; i < shard_endpoints.size(); ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->endpoint = shard_endpoints[i];
+    ingress::IngressClientOptions client_options;
+    // One downstream stub per shard, each on its own endpoint so reply
+    // correlation never crosses shards.
+    client_options.endpoint =
+        config.endpoint + ".to." + std::to_string(i);
+    client_options.reply_timeout = config.downstream_reply_timeout;
+    client_options.retry_budget = config.downstream_retry_budget;
+    Result<std::unique_ptr<ingress::IngressClient>> client =
+        ingress::IngressClient::attach(network, shard_endpoints[i],
+                                       std::move(client_options));
+    if (!client.ok()) {
+      front.reset();  // destructor unwinds endpoints created so far
+      return client.status();
+    }
+    shard->client = std::move(client).value();
+    shard->breaker = std::make_unique<broker::CircuitBreaker>(config.health);
+    front->shards_.push_back(std::move(shard));
+  }
+  front->config_ = std::move(config);
+
+  Status routes = front->router_.add(
+      wire::kSubmitPattern,
+      [raw = front.get()](const net::Message& message,
+                          const ingress::RouteParams& params) {
+        raw->handle_submit(message, params);
+      });
+  if (routes.ok()) {
+    routes = front->router_.add(
+        wire::kQueryPattern,
+        [raw = front.get()](const net::Message& message,
+                            const ingress::RouteParams& params) {
+          raw->handle_query(message, params);
+        });
+  }
+  if (!routes.ok()) {
+    front.reset();
+    return routes;
+  }
+
+  // Last: traffic may arrive the moment the handler lands.
+  ClusterFrontEnd* raw = front.get();
+  front->endpoint_->set_handler(
+      [raw](const net::Message& message) { raw->on_message(message); });
+  return front;
+}
+
+ClusterFrontEnd::~ClusterFrontEnd() {
+  if (endpoint_ != nullptr) {
+    endpoint_->set_handler(nullptr);
+    // Downstream clients resolve their pending forwards on destruction;
+    // quiescing the public endpoint first means no new ones arrive.
+    shards_.clear();
+    if (!endpoint_->detached()) network_->remove_endpoint(endpoint_name_);
+  }
+}
+
+std::size_t ClusterFrontEnd::shard_for(std::string_view session) const {
+  const std::size_t primary = ring_.owner(session);
+  // Peek, don't admit: state() alone — an admit() here would consume
+  // half-open probe slots that belong to real traffic.
+  if (shards_[primary]->breaker->state() ==
+      broker::CircuitBreaker::State::kOpen) {
+    return ring_.replica(session);
+  }
+  return primary;
+}
+
+void ClusterFrontEnd::on_message(const net::Message& message) {
+  received_.fetch_add(1, std::memory_order_relaxed);
+  std::optional<ingress::Router::Match> match = router_.route(message.topic);
+  if (!match.has_value()) {
+    Result<wire::Request> decoded = wire::decode_request(message.payload);
+    const std::uint64_t id = decoded.ok() ? decoded.value().request_id : 0;
+    refuse(message.from, id,
+           NotFound("no route for topic '" + message.topic + "'"),
+           "no-route");
+    return;
+  }
+  (*match->handler)(message, match->params);
+}
+
+void ClusterFrontEnd::handle_submit(const net::Message& message,
+                                    const ingress::RouteParams& params) {
+  Result<wire::Request> decoded = wire::decode_request(message.payload);
+  if (!decoded.ok()) {
+    refuse(message.from, 0, decoded.status(),
+           wire::is_version_mismatch(decoded.status()) ? "bad-version"
+                                                       : "malformed");
+    return;
+  }
+  wire::Request request = std::move(decoded).value();
+
+  Forward state;
+  state.client = message.from;
+  state.id = request.request_id;
+  state.session = std::string(params.get("session"));
+  state.dsml = std::string(params.get("dsml"));
+  state.text = std::move(request.text);
+  state.high_priority = request.high_priority;
+  if (request.deadline_us > 0) {
+    state.deadline = Duration(request.deadline_us);
+  }
+
+  const std::size_t primary = ring_.owner(state.session);
+  const std::size_t replica = ring_.replica(state.session);
+  std::size_t target = primary;
+  if (config_.failover && replica != primary) state.fallback = replica;
+
+  // Health gate: an open primary window reroutes the whole attempt to
+  // the replica (which then has no further fallback).
+  broker::CircuitBreaker::AdmitResult admit =
+      shards_[primary]->breaker->admit(network_->clock().now());
+  if (admit.admission == broker::CircuitBreaker::Admission::kReject) {
+    if (replica == primary) {
+      refuse(message.from, state.id,
+             Unavailable("shard " + std::to_string(primary) +
+                         " is unhealthy and the ring has no replica"),
+             "shard-unavailable");
+      return;
+    }
+    rerouted_.fetch_add(1, std::memory_order_relaxed);
+    target = replica;
+    state.fallback.reset();
+    state.admission = broker::CircuitBreaker::Admission::kAllow;
+  } else {
+    state.admission = admit.admission;  // kAllow, or a half-open kProbe
+  }
+  forward(std::move(state), target);
+}
+
+void ClusterFrontEnd::forward(Forward state, std::size_t shard_index) {
+  // Shared ownership: the downstream callback needs the state to settle
+  // the outcome, but a send failure drops that callback unfired and the
+  // failure path here still needs it for the failover/refusal.
+  auto shared = std::make_shared<Forward>(std::move(state));
+  Shard& shard = *shards_[shard_index];
+
+  ingress::RemoteSubmitOptions options;
+  options.deadline = shared->deadline;
+  options.high_priority = shared->high_priority;
+  // The retry-stable identity: shard-side tracing and the dedup ledger
+  // key on the ORIGINAL client and id, not this hop's.
+  options.forwarded_for =
+      shared->client + "#" + std::to_string(shared->id);
+
+  Result<std::uint64_t> sent = shard.client->submit(
+      shared->dsml, shared->session, shared->text,
+      [this, shard_index, shared](const ingress::RemoteOutcome& outcome) {
+        settle_forward(*shared, shard_index, outcome);
+      },
+      std::move(options));
+  if (!sent.ok()) {
+    // The network layer refused the send outright (shard endpoint gone
+    // mid-teardown): the callback will never fire, so settle here with
+    // a synthetic lost outcome — same failover/refusal path.
+    ingress::RemoteOutcome outcome;
+    outcome.request_id = shared->id;
+    outcome.status = sent.status();
+    outcome.refusal = "reply-lost";
+    settle_forward(*shared, shard_index, outcome);
+    return;
+  }
+  forwarded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ClusterFrontEnd::settle_forward(Forward& state, std::size_t shard_index,
+                                     const ingress::RemoteOutcome& outcome) {
+  // A shard that answered — even with a refusal — is alive; only a lost
+  // reply (or an unreachable endpoint) marks it unhealthy.
+  const bool lost = outcome.refusal == "reply-lost";
+  record_health(shard_index, state.admission, !lost);
+  if (lost && state.fallback.has_value() && *state.fallback != shard_index) {
+    failovers_.fetch_add(1, std::memory_order_relaxed);
+    Forward retry = std::move(state);
+    const std::size_t fallback = *retry.fallback;
+    retry.fallback.reset();
+    retry.admission = broker::CircuitBreaker::Admission::kAllow;
+    forward(std::move(retry), fallback);
+    return;
+  }
+  wire::Reply reply;
+  reply.request_id = state.id;
+  reply.code = outcome.status.code();
+  reply.refusal = outcome.refusal;
+  reply.message =
+      outcome.status.ok() ? outcome.payload : outcome.status.message();
+  reply.commands = outcome.commands;
+  send_reply(state.client, std::move(reply));
+}
+
+void ClusterFrontEnd::handle_query(const net::Message& message,
+                                   const ingress::RouteParams& params) {
+  Result<wire::Request> decoded = wire::decode_request(message.payload);
+  if (!decoded.ok()) {
+    refuse(message.from, 0, decoded.status(),
+           wire::is_version_mismatch(decoded.status()) ? "bad-version"
+                                                       : "malformed");
+    return;
+  }
+  const std::uint64_t id = decoded.value().request_id;
+  const std::string what(params.get("what"));
+  query_fanouts_.fetch_add(1, std::memory_order_relaxed);
+
+  // Fan out to every shard and merge: the join fires the client reply
+  // when the last downstream outcome (success, refusal or loss) lands.
+  struct Join {
+    std::mutex mutex;
+    std::size_t remaining = 0;
+    std::vector<std::string> parts;
+  };
+  auto join = std::make_shared<Join>();
+  join->remaining = shards_.size();
+  join->parts.resize(shards_.size());
+  const std::string to = message.from;
+
+  auto settle = [this, join, to, id](std::size_t index, std::string part) {
+    bool last = false;
+    {
+      std::lock_guard lock(join->mutex);
+      join->parts[index] = std::move(part);
+      last = --join->remaining == 0;
+    }
+    if (!last) return;
+    wire::Reply reply;
+    reply.request_id = id;
+    for (std::size_t i = 0; i < join->parts.size(); ++i) {
+      reply.message += "=== shard " + std::to_string(i) + " ===\n";
+      reply.message += join->parts[i];
+      reply.message += "\n";
+    }
+    send_reply(to, std::move(reply));
+  };
+
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Result<std::uint64_t> sent = shards_[i]->client->query(
+        what, [settle, i](const ingress::RemoteOutcome& outcome) {
+          settle(i, outcome.status.ok()
+                        ? outcome.payload
+                        : "<" + std::string(outcome.refusal.empty()
+                                                ? "error"
+                                                : outcome.refusal) +
+                              ">");
+        });
+    if (!sent.ok()) settle(i, "<unreachable>");
+  }
+}
+
+Status ClusterFrontEnd::update_model(const model::Model& next_model) {
+  model::ChangeList changes;
+  model::Value encoded;
+  {
+    std::lock_guard lock(model_mutex_);
+    changes = model::diff(authoritative_, next_model);
+    if (changes.empty()) return Status::Ok();
+    encoded = model::encode_changes(changes);
+    // The bytes a full-model push would have cost vs what the delta
+    // actually costs — the savings BENCH_8 reports.
+    full_bytes_.fetch_add(model::serialize_model(next_model).size(),
+                          std::memory_order_relaxed);
+    delta_bytes_.fetch_add(encoded.to_text().size(),
+                           std::memory_order_relaxed);
+    deltas_shipped_.fetch_add(1, std::memory_order_relaxed);
+    authoritative_ = next_model.clone();
+  }
+
+  Status first_failure = Status::Ok();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    wire::Request request;
+    request.body = encoded;
+    Result<std::uint64_t> sent = shards_[i]->client->call(
+        "replicate/model-diff", std::move(request),
+        [this](const ingress::RemoteOutcome& outcome) {
+          if (outcome.status.ok()) {
+            replication_acks_.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            replication_failures_.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+    if (!sent.ok()) {
+      replication_failures_.fetch_add(1, std::memory_order_relaxed);
+      if (first_failure.ok()) first_failure = sent.status();
+    }
+  }
+  return first_failure;
+}
+
+std::size_t ClusterFrontEnd::maintain() {
+  std::size_t resolved = 0;
+  for (auto& shard : shards_) resolved += shard->client->expire_overdue();
+  return resolved;
+}
+
+void ClusterFrontEnd::send_reply(const std::string& to, wire::Reply reply) {
+  // Reentrant sends are legal on the simulated bus (handlers run outside
+  // the network lock), so replies go straight out from the delivery
+  // thread — the front-end has no pipeline of its own to keep clear.
+  Status sent = endpoint_->send(to, std::string(wire::kReplyTopic),
+                                wire::encode_reply(reply));
+  if (sent.ok()) {
+    replies_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    reply_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ClusterFrontEnd::refuse(const std::string& to, std::uint64_t request_id,
+                             const Status& status, std::string refusal) {
+  if (refusal.empty()) refusal = std::string(wire::classify_refusal(status));
+  refused_.fetch_add(1, std::memory_order_relaxed);
+  wire::Reply reply;
+  reply.request_id = request_id;
+  reply.code = status.code();
+  reply.refusal = std::move(refusal);
+  reply.message = status.message();
+  send_reply(to, std::move(reply));
+}
+
+void ClusterFrontEnd::record_health(
+    std::size_t shard_index, broker::CircuitBreaker::Admission admission,
+    bool success) {
+  const broker::CircuitBreaker::Transition transition =
+      shards_[shard_index]->breaker->on_result(admission, success,
+                                               network_->clock().now());
+  if (transition == broker::CircuitBreaker::Transition::kOpened) {
+    breaker_trips_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+ClusterFrontEnd::Stats ClusterFrontEnd::stats() const {
+  Stats stats;
+  stats.received = received_.load(std::memory_order_relaxed);
+  stats.forwarded = forwarded_.load(std::memory_order_relaxed);
+  stats.rerouted = rerouted_.load(std::memory_order_relaxed);
+  stats.failovers = failovers_.load(std::memory_order_relaxed);
+  stats.refused = refused_.load(std::memory_order_relaxed);
+  stats.replies = replies_.load(std::memory_order_relaxed);
+  stats.reply_failures = reply_failures_.load(std::memory_order_relaxed);
+  stats.query_fanouts = query_fanouts_.load(std::memory_order_relaxed);
+  stats.breaker_trips = breaker_trips_.load(std::memory_order_relaxed);
+  stats.deltas_shipped = deltas_shipped_.load(std::memory_order_relaxed);
+  stats.delta_bytes = delta_bytes_.load(std::memory_order_relaxed);
+  stats.full_bytes = full_bytes_.load(std::memory_order_relaxed);
+  stats.replication_acks =
+      replication_acks_.load(std::memory_order_relaxed);
+  stats.replication_failures =
+      replication_failures_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace mdsm::cluster

@@ -1,0 +1,189 @@
+// The cluster front-end (PR 8): one well-known ingress endpoint fanning
+// a consistent-hash-sharded fleet of ShardNodes out behind it.
+//
+// Routing: the submit route's {session} capture is the shard key — the
+// ShardRing maps it onto the owning shard, whose IngressServer executes
+// the request. Clients keep speaking the PR-7 wire protocol to ONE
+// endpoint; the front-end forwards via per-shard IngressClients with
+// the original "<client>#<id>" identity stamped as forwarded_for, so
+// traces and the shard-side dedup ledger see one request no matter how
+// many hops (or retries) it took.
+//
+// Health/failover: every shard gets a PR-4 sliding-window breaker fed
+// by forwarding outcomes (a lost reply = failure; a typed refusal means
+// the shard is alive and counts as success). A tripped window reroutes
+// the session's traffic to its ring-designated replica shard at
+// admission time; an individual lost reply fails over the one request
+// to the replica. Failover is at-most-once end-to-end: the replica run
+// is a fresh execution, and exactly-once refers to the client-facing
+// callback ledger (one terminal outcome per request, never two).
+//
+// Replication: update_model() diffs the new authoritative middleware
+// model against the current one and ships the model::diff ChangeList —
+// not full model text — to every shard's "replicate/model-diff" route,
+// tracking delta vs full-model bytes (the savings BENCH_8 reports).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "broker/invocation_policy.hpp"
+#include "cluster/shard_ring.hpp"
+#include "common/status.hpp"
+#include "ingress/ingress_client.hpp"
+#include "ingress/router.hpp"
+#include "ingress/wire.hpp"
+#include "model/model.hpp"
+#include "net/network.hpp"
+
+namespace mdsm::cluster {
+
+struct ClusterConfig {
+  std::string endpoint = "cluster";  ///< the fleet's public endpoint
+  std::size_t virtual_nodes = 64;    ///< ring points per shard
+  /// Per-shard health window (PR-4 machinery). The defaults trip after
+  /// half of the last 16 forwards are lost, with min_samples guarding
+  /// cold shards and a cooldown before half-open probes retest.
+  broker::BreakerConfig health{.window = 16,
+                               .min_samples = 4,
+                               .failure_threshold = 0.5,
+                               .cooldown = std::chrono::milliseconds(200),
+                               .half_open_probes = 1};
+  /// Reply budget per downstream hop before a forward counts as lost.
+  Duration downstream_reply_timeout = std::chrono::milliseconds(500);
+  /// Retries each downstream client performs itself before reporting
+  /// reply-lost (shard-side dedup keeps them idempotent).
+  int downstream_retry_budget = 0;
+  /// Re-forward a lost request to the replica shard once (false: report
+  /// reply-lost to the client as-is).
+  bool failover = true;
+};
+
+class ClusterFrontEnd {
+ public:
+  /// Bind the front-end on `network`, forwarding to the shard ingress
+  /// endpoints in `shard_endpoints` (index order = ring shard index).
+  /// `authoritative_model` seeds the replication baseline — it must be
+  /// the middleware model every shard was launched from.
+  static Result<std::unique_ptr<ClusterFrontEnd>> attach(
+      net::Network& network, const model::Model& authoritative_model,
+      std::vector<std::string> shard_endpoints, ClusterConfig config = {});
+
+  ~ClusterFrontEnd();
+  ClusterFrontEnd(const ClusterFrontEnd&) = delete;
+  ClusterFrontEnd& operator=(const ClusterFrontEnd&) = delete;
+
+  [[nodiscard]] const std::string& endpoint_name() const noexcept {
+    return endpoint_name_;
+  }
+  [[nodiscard]] const ShardRing& ring() const noexcept { return ring_; }
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+  /// The shard currently serving `session` (after health rerouting).
+  [[nodiscard]] std::size_t shard_for(std::string_view session) const;
+
+  /// Replace the authoritative middleware model: diff, ship the
+  /// ChangeList to every shard, adopt `next_model` as the new baseline.
+  /// Returns the first immediate send failure (delivery outcomes arrive
+  /// asynchronously and land in stats()).
+  Status update_model(const model::Model& next_model);
+
+  /// Housekeeping for simulation drivers: expire overdue downstream
+  /// forwards (triggering retries/failover). Returns outcomes resolved.
+  std::size_t maintain();
+
+  struct Stats {
+    std::uint64_t received = 0;    ///< wire messages from clients
+    std::uint64_t forwarded = 0;   ///< submits relayed to a shard
+    std::uint64_t rerouted = 0;    ///< sent to the replica: breaker open
+    std::uint64_t failovers = 0;   ///< re-forwarded after a lost reply
+    std::uint64_t refused = 0;     ///< refused at the front-end itself
+    std::uint64_t replies = 0;     ///< replies returned to clients
+    std::uint64_t reply_failures = 0;
+    std::uint64_t query_fanouts = 0;  ///< query/* broadcast to all shards
+    std::uint64_t breaker_trips = 0;  ///< health windows opened
+    // Replication ledger:
+    std::uint64_t deltas_shipped = 0;  ///< update_model() calls that diffed
+    std::uint64_t delta_bytes = 0;     ///< ChangeList bytes actually sent
+    std::uint64_t full_bytes = 0;      ///< full-model bytes NOT sent
+    std::uint64_t replication_acks = 0;
+    std::uint64_t replication_failures = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  /// Everything one forwarded submit needs to fail over and reply.
+  struct Forward {
+    std::string client;  ///< original sender endpoint
+    std::uint64_t id = 0;  ///< original request id (reply correlation)
+    std::string session;
+    std::string dsml;
+    std::string text;
+    std::optional<Duration> deadline;
+    bool high_priority = false;
+    std::optional<std::size_t> fallback;  ///< replica to try on loss
+    /// Verdict the target shard's breaker issued for this attempt
+    /// (probes must retire their probe slot on settle).
+    broker::CircuitBreaker::Admission admission =
+        broker::CircuitBreaker::Admission::kAllow;
+  };
+
+  struct Shard {
+    std::string endpoint;
+    std::unique_ptr<ingress::IngressClient> client;
+    std::unique_ptr<broker::CircuitBreaker> breaker;
+  };
+
+  ClusterFrontEnd(net::Network& network, model::Model authoritative);
+
+  void on_message(const net::Message& message);
+  void handle_submit(const net::Message& message,
+                     const ingress::RouteParams& params);
+  void handle_query(const net::Message& message,
+                    const ingress::RouteParams& params);
+  void forward(Forward state, std::size_t shard_index);
+  /// Resolve one downstream outcome: fail over, or reply to the client.
+  void settle_forward(Forward& state, std::size_t shard_index,
+                      const ingress::RemoteOutcome& outcome);
+  void send_reply(const std::string& to, ingress::wire::Reply reply);
+  void refuse(const std::string& to, std::uint64_t request_id,
+              const Status& status, std::string refusal);
+  /// Feed the shard's health window; counts breaker trips.
+  void record_health(std::size_t shard_index,
+                     broker::CircuitBreaker::Admission admission,
+                     bool success);
+
+  net::Network* network_;
+  std::shared_ptr<net::Endpoint> endpoint_;
+  std::string endpoint_name_;
+  ingress::Router router_;
+  ClusterConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  ShardRing ring_{1};
+
+  mutable std::mutex model_mutex_;  ///< guards authoritative_
+  model::Model authoritative_;
+
+  std::atomic<std::uint64_t> received_{0};
+  std::atomic<std::uint64_t> forwarded_{0};
+  std::atomic<std::uint64_t> rerouted_{0};
+  std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<std::uint64_t> refused_{0};
+  std::atomic<std::uint64_t> replies_{0};
+  std::atomic<std::uint64_t> reply_failures_{0};
+  std::atomic<std::uint64_t> query_fanouts_{0};
+  std::atomic<std::uint64_t> breaker_trips_{0};
+  std::atomic<std::uint64_t> deltas_shipped_{0};
+  std::atomic<std::uint64_t> delta_bytes_{0};
+  std::atomic<std::uint64_t> full_bytes_{0};
+  std::atomic<std::uint64_t> replication_acks_{0};
+  std::atomic<std::uint64_t> replication_failures_{0};
+};
+
+}  // namespace mdsm::cluster

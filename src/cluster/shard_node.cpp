@@ -1,0 +1,238 @@
+#include "cluster/shard_node.hpp"
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/spec_decode.hpp"
+#include "ingress/wire.hpp"
+
+namespace mdsm::cluster {
+
+namespace {
+
+/// The DscSpec/ProcedureSpec ancestor owning `id` in `model` (the
+/// object itself counts), or null when the object sits outside the
+/// controller vocabulary (platform attrs, broker specs, ...).
+const model::ModelObject* owning_spec(const model::Model& model,
+                                      std::string_view id) {
+  const model::ModelObject* object = model.find(id);
+  while (object != nullptr) {
+    if (object->class_name() == "ProcedureSpec" ||
+        object->class_name() == "DscSpec") {
+      return object;
+    }
+    if (object->parent_id().empty()) return nullptr;
+    object = model.find(object->parent_id());
+  }
+  return nullptr;
+}
+
+controller::Dsc decode_dsc(const model::ModelObject& dsc_spec) {
+  controller::Dsc dsc;
+  dsc.name = dsc_spec.get_string("name");
+  dsc.kind = dsc_spec.get_string("kind", "operation") == "data"
+                 ? controller::DscKind::kData
+                 : controller::DscKind::kOperation;
+  dsc.category = dsc_spec.get_string("category");
+  dsc.description = dsc_spec.get_string("description");
+  return dsc;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ShardNode>> ShardNode::launch(
+    const model::Model& middleware_model, net::Network& network,
+    ShardNodeOptions options) {
+  Result<std::unique_ptr<core::Platform>> platform =
+      core::Platform::assemble(middleware_model,
+                               std::move(options.platform_config));
+  if (!platform.ok()) return platform.status();
+
+  std::unique_ptr<ShardNode> node(new ShardNode(middleware_model.clone()));
+  node->network_ = &network;
+  node->platform_ = std::move(platform).value();
+  if (options.provision != nullptr) {
+    MDSM_RETURN_IF_ERROR(options.provision(*node->platform_));
+  }
+  MDSM_RETURN_IF_ERROR(node->platform_->start());
+
+  ingress::IngressServerOptions server_options;
+  server_options.endpoint = std::move(options.endpoint);
+  server_options.manual_reply_loop = options.manual_reply_loop;
+  Result<std::unique_ptr<ingress::IngressServer>> server =
+      ingress::IngressServer::attach(*node->platform_, network,
+                                     std::move(server_options));
+  if (!server.ok()) {
+    (void)node->platform_->stop();
+    return server.status();
+  }
+  node->server_ = std::move(server).value();
+  node->install_replication_route();
+  return node;
+}
+
+ShardNode::~ShardNode() {
+  // Same ordering as kill(): unbind the endpoint so no new delivery
+  // races the drain, stop the platform while the server is still alive
+  // (in-flight submit callbacks capture it), then free the server.
+  if (server_ != nullptr && network_ != nullptr) {
+    (void)network_->remove_endpoint(server_->endpoint_name());
+  }
+  if (platform_ != nullptr && platform_->running()) (void)platform_->stop();
+  server_.reset();
+}
+
+void ShardNode::install_replication_route() {
+  // Registered before any traffic flows (launch returns the node only
+  // after this), satisfying the router's no-concurrent-mutation rule.
+  (void)server_->router().add(
+      "replicate/{what}",
+      [this](const net::Message& message, const ingress::RouteParams& params) {
+        handle_replicate(message, params);
+      });
+}
+
+void ShardNode::handle_replicate(const net::Message& message,
+                                 const ingress::RouteParams& params) {
+  Result<ingress::wire::Request> decoded =
+      ingress::wire::decode_request(message.payload);
+  if (!decoded.ok()) {
+    server_->post_refusal(message.from, 0, decoded.status(),
+                          ingress::wire::is_version_mismatch(decoded.status())
+                              ? "bad-version"
+                              : "malformed");
+    return;
+  }
+  const std::uint64_t id = decoded.value().request_id;
+  if (params.get("what") != "model-diff") {
+    server_->post_refusal(
+        message.from, id,
+        NotFound("unknown replication payload '" +
+                 std::string(params.get("what")) + "'"),
+        "no-route");
+    return;
+  }
+  Result<model::ChangeList> changes =
+      model::decode_changes(decoded.value().body);
+  if (!changes.ok()) {
+    server_->post_refusal(message.from, id, changes.status(), "malformed");
+    return;
+  }
+  const std::int64_t applied =
+      static_cast<std::int64_t>(changes.value().size());
+  if (Status status = apply_changes(changes.value()); !status.ok()) {
+    server_->post_refusal(message.from, id, status, {});
+    return;
+  }
+  ingress::wire::Reply reply;
+  reply.request_id = id;
+  reply.message = "model-diff applied";
+  reply.commands = applied;
+  server_->post_reply(message.from, std::move(reply));
+}
+
+Status ShardNode::apply_changes(const model::ChangeList& changes) {
+  std::lock_guard lock(replica_mutex_);
+
+  // Pre-apply pass: removals must be resolved against the model that
+  // still contains them — both the registry keys (`name` attributes) of
+  // removed specs, and the owning spec of a removed *descendant* (a
+  // step deleted from a surviving procedure re-syncs that procedure).
+  std::vector<std::string> removed_procedures;
+  std::vector<std::string> removed_dscs;
+  std::set<std::string> touched_specs;
+  for (const model::Change& change : changes) {
+    if (change.kind == model::ChangeKind::kRemoveObject) {
+      const model::ModelObject* object = replica_model_.find(change.object_id);
+      if (object == nullptr) continue;
+      if (object->class_name() == "ProcedureSpec") {
+        removed_procedures.push_back(object->get_string("name"));
+        continue;
+      }
+      if (object->class_name() == "DscSpec") {
+        removed_dscs.push_back(object->get_string("name"));
+        continue;
+      }
+      if (const model::ModelObject* spec =
+              owning_spec(replica_model_, change.object_id);
+          spec != nullptr) {
+        touched_specs.insert(spec->id());
+      }
+    }
+  }
+
+  MDSM_RETURN_IF_ERROR(model::apply(changes, replica_model_));
+
+  // Post-apply pass: additions and mutations resolve against the new
+  // model state (an added object's ancestors exist only now).
+  for (const model::Change& change : changes) {
+    if (change.kind == model::ChangeKind::kRemoveObject) continue;
+    if (const model::ModelObject* spec =
+            owning_spec(replica_model_, change.object_id);
+        spec != nullptr) {
+      touched_specs.insert(spec->id());
+    }
+  }
+
+  // Withdraw vocabulary first (a procedure and its classifier may leave
+  // together), then upsert DSCs before the procedures that validate
+  // against them.
+  controller::ControllerLayer& controller = platform_->controller();
+  for (const std::string& name : removed_procedures) {
+    (void)controller.repository().remove(name);
+  }
+  for (const std::string& name : removed_dscs) {
+    (void)controller.dscs().remove(name);
+  }
+
+  std::vector<const model::ModelObject*> touched_procedures;
+  for (const std::string& spec_id : touched_specs) {
+    const model::ModelObject* spec = replica_model_.find(spec_id);
+    if (spec == nullptr) continue;  // removed later in the same delta
+    if (spec->class_name() == "DscSpec") {
+      controller::Dsc dsc = decode_dsc(*spec);
+      (void)controller.dscs().remove(dsc.name);
+      MDSM_RETURN_IF_ERROR(controller.dscs().add(std::move(dsc)));
+      ++stats_.dscs_synced;
+    } else {
+      touched_procedures.push_back(spec);
+    }
+  }
+  for (const model::ModelObject* spec : touched_procedures) {
+    Result<controller::Procedure> procedure =
+        core::decode_procedure(replica_model_, *spec);
+    if (!procedure.ok()) return procedure.status();
+    (void)controller.repository().remove(procedure.value().name);
+    MDSM_RETURN_IF_ERROR(
+        controller.add_procedure(std::move(procedure.value())));
+    ++stats_.procedures_synced;
+  }
+
+  ++stats_.deltas_applied;
+  stats_.changes_applied += changes.size();
+  return Status::Ok();
+}
+
+std::size_t ShardNode::pump() {
+  return server_ != nullptr ? server_->pump() : 0;
+}
+
+void ShardNode::kill() {
+  if (killed_) return;
+  killed_ = true;
+  // Unbind first — traffic becomes undeliverable — but keep the server
+  // object alive: pipeline workers still hold submit callbacks that
+  // capture it. stop() drains those callbacks (their replies now fail
+  // kUnavailable and are dropped); only then may the server be freed.
+  (void)network_->remove_endpoint(server_->endpoint_name());
+  if (platform_ != nullptr && platform_->running()) (void)platform_->stop();
+  server_.reset();
+}
+
+ShardNode::Stats ShardNode::replication_stats() const {
+  std::lock_guard lock(replica_mutex_);
+  return stats_;
+}
+
+}  // namespace mdsm::cluster

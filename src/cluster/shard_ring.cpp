@@ -1,0 +1,72 @@
+#include "cluster/shard_ring.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace mdsm::cluster {
+
+namespace {
+
+/// 64-bit avalanche finalizer (murmur3 fmix64) over the raw FNV hash.
+/// Raw FNV-1a clusters inputs that differ only in their last bytes —
+/// the final byte is multiplied by the prime just once, so "s1"/"s2"
+/// land ~2^40 apart on a 2^64 circle and a shard's virtual nodes
+/// collapse into a few tight arcs. Mixing restores uniform placement.
+constexpr std::uint64_t avalanche(std::uint64_t hash) noexcept {
+  hash ^= hash >> 33;
+  hash *= 0xff51afd7ed558ccdull;
+  hash ^= hash >> 33;
+  hash *= 0xc4ceb9fe1a85ec53ull;
+  hash ^= hash >> 33;
+  return hash;
+}
+
+constexpr std::uint64_t ring_position(std::string_view bytes) noexcept {
+  return avalanche(fnv1a(bytes));
+}
+
+}  // namespace
+
+ShardRing::ShardRing(std::size_t shards, std::size_t virtual_nodes)
+    : shards_(std::max<std::size_t>(shards, 1)) {
+  const std::size_t points = std::max<std::size_t>(virtual_nodes, 1);
+  ring_.reserve(shards_ * points);
+  for (std::size_t shard = 0; shard < shards_; ++shard) {
+    for (std::size_t v = 0; v < points; ++v) {
+      const std::string label =
+          "shard-" + std::to_string(shard) + "#" + std::to_string(v);
+      ring_.push_back(Point{ring_position(label), shard});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
+    // Shard index tiebreaks a (vanishingly unlikely) position collision
+    // so the ring is deterministic regardless of construction order.
+    return a.position != b.position ? a.position < b.position
+                                    : a.shard < b.shard;
+  });
+}
+
+std::size_t ShardRing::owner_point(std::string_view key) const noexcept {
+  const std::uint64_t position = ring_position(key);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), position,
+      [](const Point& point, std::uint64_t pos) { return point.position < pos; });
+  if (it == ring_.end()) it = ring_.begin();  // wrap past the top
+  return static_cast<std::size_t>(it - ring_.begin());
+}
+
+std::size_t ShardRing::owner(std::string_view key) const noexcept {
+  return ring_[owner_point(key)].shard;
+}
+
+std::size_t ShardRing::replica(std::string_view key) const noexcept {
+  const std::size_t start = owner_point(key);
+  const std::size_t owner_shard = ring_[start].shard;
+  for (std::size_t step = 1; step < ring_.size(); ++step) {
+    const Point& point = ring_[(start + step) % ring_.size()];
+    if (point.shard != owner_shard) return point.shard;
+  }
+  return owner_shard;  // single-shard ring: no distinct replica exists
+}
+
+}  // namespace mdsm::cluster

@@ -1,0 +1,64 @@
+// Consistent-hash ring over shard indices (PR 8).
+//
+// The cluster front-end maps the ingress route's {session} capture onto
+// one of N backend platforms. A plain hash % N would reshuffle nearly
+// every session when N changes; the ring only moves the keys adjacent
+// to the vanished/added node. Each shard projects `virtual_nodes`
+// points onto a 64-bit circle — FNV-1a (the same hash family the IM
+// cache shards by) run through an avalanche finalizer, since raw FNV
+// clusters short keys with shared prefixes — smoothing the key
+// distribution; a key's owner is
+// the first point at or clockwise of the key's own hash, and its
+// designated replica is the next *distinct* shard clockwise — the node
+// the front-end fails over to when the owner's health window trips.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace mdsm::cluster {
+
+/// FNV-1a 64-bit — deterministic across runs, so shard placement is
+/// reproducible in tests and benches.
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::string_view bytes) noexcept {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+class ShardRing {
+ public:
+  /// Build a ring over shards [0, shards); `virtual_nodes` points per
+  /// shard (>= 1; more points = smoother distribution).
+  explicit ShardRing(std::size_t shards, std::size_t virtual_nodes = 64);
+
+  /// The shard owning `key` (first ring point clockwise of hash(key)).
+  [[nodiscard]] std::size_t owner(std::string_view key) const noexcept;
+
+  /// The designated failover shard for `key`: the next point clockwise
+  /// of the owner's belonging to a *different* shard. With one shard,
+  /// replica(key) == owner(key).
+  [[nodiscard]] std::size_t replica(std::string_view key) const noexcept;
+
+  [[nodiscard]] std::size_t shards() const noexcept { return shards_; }
+  [[nodiscard]] std::size_t points() const noexcept { return ring_.size(); }
+
+ private:
+  struct Point {
+    std::uint64_t position;
+    std::size_t shard;
+  };
+
+  /// Index into ring_ of the point owning `key`.
+  [[nodiscard]] std::size_t owner_point(std::string_view key) const noexcept;
+
+  std::size_t shards_;
+  std::vector<Point> ring_;  ///< sorted by position
+};
+
+}  // namespace mdsm::cluster

@@ -337,6 +337,16 @@ Metamodel build() {
   platform.add_attribute({.name = "ingress_default_deadline_us",
                           .type = AttrType::kInt,
                           .default_value = Value(0)});
+  // Per-client token-bucket rate limit at the ingress door (PR 8):
+  // sustained requests/second per client endpoint and the burst the
+  // bucket tolerates (0 limit disables the middleware; 0 burst derives
+  // max(1, rate)).
+  platform.add_attribute({.name = "ingress_rate_limit",
+                          .type = AttrType::kReal,
+                          .default_value = Value(0.0)});
+  platform.add_attribute({.name = "ingress_rate_burst",
+                          .type = AttrType::kReal,
+                          .default_value = Value(0.0)});
   platform.add_reference({.name = "broker",
                           .target_class = "BrokerLayerSpec",
                           .containment = true,

@@ -78,6 +78,10 @@ Result<std::unique_ptr<Platform>> Platform::assemble(
   platform->ingress_settings_.auth_token = root.get_string("ingress_auth");
   platform->ingress_settings_.default_deadline =
       Duration(root.get_int("ingress_default_deadline_us", 0));
+  platform->ingress_settings_.rate_limit =
+      root.get_real("ingress_rate_limit", 0.0);
+  platform->ingress_settings_.rate_burst =
+      root.get_real("ingress_rate_burst", 0.0);
 
   // The component factory holds the layer "code templates"; assembly then
   // instantiates them with the model objects as metadata (paper §V-A).

@@ -100,6 +100,11 @@ struct IngressSettings {
   std::string auth_token;
   /// Deadline applied to wire submissions that carry none (0 = none).
   Duration default_deadline{0};
+  /// Per-client token-bucket rate limit (requests/second sustained;
+  /// 0 disables the rate-limit middleware).
+  double rate_limit = 0.0;
+  /// Bucket capacity in tokens (burst tolerance; 0 derives max(1, rate)).
+  double rate_burst = 0.0;
 };
 
 class Platform {

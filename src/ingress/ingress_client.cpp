@@ -70,8 +70,18 @@ Result<std::uint64_t> IngressClient::send_request(
     if (deadline.has_value()) budget += *deadline;
     // Registered before the send: a reply raced in by another delivery
     // thread must find its pending entry, or exactly-once breaks.
-    pending_.emplace(
-        id, PendingCall{std::move(callback), network_->clock().now() + budget});
+    PendingCall call;
+    call.callback = std::move(callback);
+    call.expires_at = network_->clock().now() + budget;
+    call.budget = budget;
+    call.retries_left = options_.retry_budget;
+    if (options_.retry_budget > 0) {
+      // Keep the request verbatim so expire_overdue can re-send it
+      // under the same id (the server dedups on it).
+      call.topic = topic;
+      call.request = request;
+    }
+    pending_.emplace(id, std::move(call));
     ++stats_.submitted;
   }
 
@@ -97,6 +107,7 @@ Result<std::uint64_t> IngressClient::submit(std::string_view dsml,
   wire::Request request;
   request.text = std::move(text);
   request.high_priority = options.high_priority;
+  request.forwarded_for = std::move(options.forwarded_for);
   if (options.deadline.has_value()) {
     request.deadline_us =
         std::chrono::duration_cast<std::chrono::microseconds>(*options.deadline)
@@ -114,6 +125,15 @@ Result<std::uint64_t> IngressClient::query(std::string_view what,
                                            Callback callback) {
   if (what.empty()) return InvalidArgument("query needs a subject");
   return send_request("query/" + std::string(what), wire::Request{}, {},
+                      std::move(callback));
+}
+
+Result<std::uint64_t> IngressClient::call(std::string topic,
+                                          wire::Request request,
+                                          Callback callback,
+                                          std::optional<Duration> deadline) {
+  if (topic.empty()) return InvalidArgument("call needs a topic");
+  return send_request(std::move(topic), std::move(request), deadline,
                       std::move(callback));
 }
 
@@ -160,19 +180,39 @@ void IngressClient::on_reply(const net::Message& message) {
 std::size_t IngressClient::expire_overdue() {
   const TimePoint now = network_->clock().now();
   std::vector<std::pair<std::uint64_t, Callback>> overdue;
+  std::vector<std::pair<std::string, wire::Request>> resends;
   {
     std::lock_guard lock(mutex_);
     for (auto it = pending_.begin(); it != pending_.end();) {
-      if (it->second.expires_at <= now) {
-        overdue.emplace_back(it->first, std::move(it->second.callback));
-        it = pending_.erase(it);
-      } else {
+      if (it->second.expires_at > now) {
         ++it;
+        continue;
       }
+      PendingCall& call = it->second;
+      if (call.retries_left > 0) {
+        // Re-send under the same id and re-arm the window; the server's
+        // dedup ledger keeps the replay idempotent.
+        --call.retries_left;
+        call.expires_at = now + call.budget;
+        resends.emplace_back(call.topic, call.request);
+        ++stats_.retried;
+        ++it;
+        continue;
+      }
+      overdue.emplace_back(it->first, std::move(call.callback));
+      it = pending_.erase(it);
     }
     stats_.expired += overdue.size();
   }
-  // Callbacks outside the lock: they may legally resubmit.
+  // Sends and callbacks outside the lock: a reply may race in during
+  // the resend (it finds the still-pending entry) and callbacks may
+  // legally resubmit.
+  for (auto& [topic, request] : resends) {
+    // Failure is not terminal: the pending entry stays armed and either
+    // a later retry or final expiry resolves it.
+    (void)endpoint_->send(server_endpoint_, topic,
+                          wire::encode_request(request));
+  }
   for (auto& [id, callback] : overdue) {
     if (callback == nullptr) continue;
     RemoteOutcome outcome;

@@ -35,6 +35,10 @@ struct IngressClientOptions {
   /// Grace period past the request deadline (or from send, when no
   /// deadline is set) before a missing reply is written off as lost.
   Duration reply_timeout = std::chrono::seconds(5);
+  /// Times an overdue request is re-sent (same request id — the server's
+  /// dedup ledger makes the retry idempotent) before expire_overdue()
+  /// writes it off as "reply-lost". 0 preserves fire-once behaviour.
+  int retry_budget = 0;
 };
 
 /// What became of one remote submission.
@@ -50,6 +54,9 @@ struct RemoteOutcome {
 struct RemoteSubmitOptions {
   std::optional<Duration> deadline;  ///< pipeline budget, sent on the wire
   bool high_priority = false;
+  /// Original "<client>#<id>" identity when forwarding on another
+  /// client's behalf (cluster front-end); "" = direct submission.
+  std::string forwarded_for;
 };
 
 class IngressClient {
@@ -75,9 +82,18 @@ class IngressClient {
   /// Query the remote platform ("runtime-model", "metrics").
   Result<std::uint64_t> query(std::string_view what, Callback callback);
 
-  /// Resolve every pending submission whose expiry passed on the network
-  /// clock with kTimeout / "reply-lost"; returns how many. Simulation
-  /// drivers call this after advancing virtual time.
+  /// Send `request` on an arbitrary topic (extension routes like the
+  /// cluster's "replicate/model-diff"). The request id is assigned here;
+  /// correlation, expiry and retries behave exactly like submit().
+  Result<std::uint64_t> call(std::string topic, wire::Request request,
+                             Callback callback,
+                             std::optional<Duration> deadline = {});
+
+  /// Walk every pending submission whose expiry passed on the network
+  /// clock: re-send it under the same request id while its retry budget
+  /// lasts, then resolve it with kTimeout / "reply-lost"; returns how
+  /// many were resolved. Simulation drivers call this after advancing
+  /// virtual time.
   std::size_t expire_overdue();
 
   [[nodiscard]] const std::string& endpoint_name() const noexcept {
@@ -91,6 +107,7 @@ class IngressClient {
     std::uint64_t refused = 0;        ///< replies carrying a typed refusal
     std::uint64_t expired = 0;        ///< written off as "reply-lost"
     std::uint64_t stray_replies = 0;  ///< replies with no pending entry
+    std::uint64_t retried = 0;        ///< overdue requests re-sent
   };
   [[nodiscard]] Stats stats() const;
 
@@ -106,6 +123,12 @@ class IngressClient {
   struct PendingCall {
     Callback callback;
     TimePoint expires_at;
+    /// Retry state: the request is kept verbatim (same id) so an overdue
+    /// entry can be re-sent while retries_left lasts.
+    std::string topic;
+    wire::Request request;
+    Duration budget{0};  ///< expiry window to re-arm on each retry
+    int retries_left = 0;
   };
 
   net::Network* network_;

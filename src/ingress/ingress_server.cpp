@@ -12,6 +12,20 @@ namespace {
 /// platform's staged event loop).
 constexpr Duration kReplyPollCap = std::chrono::milliseconds(1);
 
+/// Completed-submit outcomes the dedup ledger retains before the oldest
+/// are forgotten (a retry older than this window re-executes).
+constexpr std::size_t kLedgerCapacity = 1024;
+
+/// "<client>#<id>": the retry-stable identity of a submission. A
+/// front-end forwarding on a client's behalf stamps forwarded_for with
+/// the *original* identity so retries routed through a different
+/// front-end instance still dedup.
+std::string dedup_key(const net::Message& message,
+                      const wire::Request& request) {
+  if (!request.forwarded_for.empty()) return request.forwarded_for;
+  return message.from + "#" + std::to_string(request.request_id);
+}
+
 }  // namespace
 
 IngressServer::IngressServer(core::Platform& platform, net::Network& network)
@@ -69,12 +83,18 @@ void IngressServer::install_default_chain(
     const core::IngressSettings& settings) {
   // trace: thread the sender-scoped request identity across the wire so
   // the platform's root span and bus events stay correlated with the
-  // remote submission.
+  // remote submission. A forwarded request (cluster front-end relaying
+  // on a client's behalf) keeps the *original* client identity, so one
+  // submission traces as one request no matter how many hops it took.
   chain_.add("trace", [](IngressContext& context) {
+    std::string remote_id =
+        !context.request.forwarded_for.empty()
+            ? context.request.forwarded_for
+            : context.message->from + "#" +
+                  std::to_string(context.request.request_id);
     context.options.attributes.emplace_back(
         std::string(obs::RequestContext::kRemoteIdAttribute),
-        context.message->from + "#" +
-            std::to_string(context.request.request_id));
+        std::move(remote_id));
     if (std::string_view session = context.params->get("session");
         !session.empty()) {
       context.options.attributes.emplace_back("ingress.session",
@@ -82,6 +102,16 @@ void IngressServer::install_default_chain(
     }
     return Status::Ok();
   });
+
+  // rate-limit: per-client token bucket on the network clock, enabled
+  // when the model sets ingress_rate_limit > 0. Sits before auth so a
+  // flooding client can't even buy auth-check cycles.
+  if (settings.rate_limit > 0) {
+    chain_.add("rate-limit",
+               make_rate_limit_middleware(settings.rate_limit,
+                                          settings.rate_burst,
+                                          network_->clock()));
+  }
 
   // auth: shared-secret stub. A model with no ingress_auth attribute
   // runs an open door; a configured token refuses mismatches with the
@@ -152,7 +182,9 @@ void IngressServer::handle_submit(const net::Message& message,
   if (!decoded.ok()) {
     malformed_.fetch_add(1, std::memory_order_relaxed);
     platform_->metrics().counter("ingress.malformed").add();
-    refuse(message.from, 0, decoded.status(), "malformed");
+    refuse(message.from, 0, decoded.status(),
+           wire::is_version_mismatch(decoded.status()) ? "bad-version"
+                                                       : "malformed");
     return;
   }
 
@@ -172,7 +204,24 @@ void IngressServer::handle_submit(const net::Message& message,
     return;
   }
 
+  // Retry dedup: a client that lost the reply resends under the same
+  // identity. Answer completed work from the ledger and absorb retries
+  // of in-flight work — the submission must never execute twice.
+  const std::string key = dedup_key(message, context.request);
+  wire::Reply recorded;
+  switch (check_dedup(key, &recorded)) {
+    case DedupVerdict::kCompleted:
+      recorded.request_id = id;
+      send_reply(message.from, std::move(recorded));
+      return;
+    case DedupVerdict::kInFlight:
+      return;  // the original's completion reply answers the retry too
+    case DedupVerdict::kFresh:
+      break;
+  }
+
   if (Status chained = chain_.run(context); !chained.ok()) {
+    abandon_in_flight(key);
     refuse(message.from, id, chained, std::move(context.refusal));
     return;
   }
@@ -181,23 +230,31 @@ void IngressServer::handle_submit(const net::Message& message,
   const TimePoint start = platform_->clock().now();
   Status door = platform_->submit_async(
       std::move(context.request.text),
-      [this, to, id, start](Result<controller::ControlScript> outcome) {
+      [this, to, id, key, start](Result<controller::ControlScript> outcome) {
         platform_->metrics()
             .histogram("ingress.service_us")
             .record(platform_->clock().now() - start);
+        wire::Reply reply;
+        reply.request_id = id;
         if (outcome.ok()) {
           completed_ok_.fetch_add(1, std::memory_order_relaxed);
           platform_->metrics().counter("ingress.completed_ok").add();
-          wire::Reply reply;
-          reply.request_id = id;
           reply.code = ErrorCode::kOk;
           reply.message = outcome.value().id;
           reply.commands =
               static_cast<std::int64_t>(outcome.value().commands.size());
+          record_outcome(key, reply);
           send_reply(to, std::move(reply));
         } else {
           completed_error_.fetch_add(1, std::memory_order_relaxed);
           platform_->metrics().counter("ingress.completed_error").add();
+          // Pipeline errors are terminal for this identity too: the
+          // work was consumed, so a retry must see the same answer.
+          reply.code = outcome.status().code();
+          reply.refusal =
+              std::string(wire::classify_refusal(outcome.status()));
+          reply.message = outcome.status().message();
+          record_outcome(key, reply);
           refuse(to, id, outcome.status(), {});
         }
       },
@@ -205,7 +262,10 @@ void IngressServer::handle_submit(const net::Message& message,
   if (!door.ok()) {
     // Refused at the platform door (not running / admission shed /
     // queue full): the PR-5 contract says no callback will fire, so the
-    // typed refusal reply is the only signal the sender gets.
+    // typed refusal reply is the only signal the sender gets. Door
+    // refusals are not ledgered — the condition is transient and a
+    // retry deserves a fresh attempt.
+    abandon_in_flight(key);
     refuse(to, id, door, std::move(context.refusal));
     return;
   }
@@ -219,7 +279,9 @@ void IngressServer::handle_query(const net::Message& message,
   if (!decoded.ok()) {
     malformed_.fetch_add(1, std::memory_order_relaxed);
     platform_->metrics().counter("ingress.malformed").add();
-    refuse(message.from, 0, decoded.status(), "malformed");
+    refuse(message.from, 0, decoded.status(),
+           wire::is_version_mismatch(decoded.status()) ? "bad-version"
+                                                       : "malformed");
     return;
   }
 
@@ -287,6 +349,51 @@ void IngressServer::send_reply(const std::string& to, wire::Reply reply) {
 
 std::size_t IngressServer::pump() { return reply_loop_->poll(); }
 
+void IngressServer::post_reply(const std::string& to, wire::Reply reply) {
+  send_reply(to, std::move(reply));
+}
+
+void IngressServer::post_refusal(const std::string& to,
+                                 std::uint64_t request_id,
+                                 const Status& status, std::string refusal) {
+  refuse(to, request_id, status, std::move(refusal));
+}
+
+IngressServer::DedupVerdict IngressServer::check_dedup(const std::string& key,
+                                                       wire::Reply* recorded) {
+  std::lock_guard lock(dedup_mutex_);
+  if (auto it = ledger_.find(key); it != ledger_.end()) {
+    deduped_.fetch_add(1, std::memory_order_relaxed);
+    platform_->metrics().counter("ingress.deduped").add();
+    *recorded = it->second;
+    return DedupVerdict::kCompleted;
+  }
+  if (!in_flight_.insert(key).second) {
+    deduped_.fetch_add(1, std::memory_order_relaxed);
+    platform_->metrics().counter("ingress.deduped").add();
+    return DedupVerdict::kInFlight;
+  }
+  return DedupVerdict::kFresh;
+}
+
+void IngressServer::abandon_in_flight(const std::string& key) {
+  std::lock_guard lock(dedup_mutex_);
+  in_flight_.erase(key);
+}
+
+void IngressServer::record_outcome(const std::string& key,
+                                   const wire::Reply& reply) {
+  std::lock_guard lock(dedup_mutex_);
+  in_flight_.erase(key);
+  if (ledger_.emplace(key, reply).second) {
+    ledger_order_.push_back(key);
+    while (ledger_order_.size() > kLedgerCapacity) {
+      ledger_.erase(ledger_order_.front());
+      ledger_order_.pop_front();
+    }
+  }
+}
+
 IngressServer::Stats IngressServer::stats() const {
   Stats stats;
   stats.received = received_.load(std::memory_order_relaxed);
@@ -298,6 +405,7 @@ IngressServer::Stats IngressServer::stats() const {
   stats.completed_error = completed_error_.load(std::memory_order_relaxed);
   stats.replies = replies_.load(std::memory_order_relaxed);
   stats.reply_failures = reply_failures_.load(std::memory_order_relaxed);
+  stats.deduped = deduped_.load(std::memory_order_relaxed);
   return stats;
 }
 

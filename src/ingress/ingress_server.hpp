@@ -22,8 +22,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "core/platform.hpp"
 #include "ingress/middleware.hpp"
@@ -68,6 +72,14 @@ class IngressServer {
   /// Manual reply loop only: send queued replies; returns closures run.
   std::size_t pump();
 
+  /// Dispatch hooks for extension routes registered on router() (the
+  /// cluster's replicate/{what} handlers): send a reply / typed refusal
+  /// through the server's reply loop, with the same accounting the
+  /// built-in routes get.
+  void post_reply(const std::string& to, wire::Reply reply);
+  void post_refusal(const std::string& to, std::uint64_t request_id,
+                    const Status& status, std::string refusal = {});
+
   /// Snapshot of the server's delivery ledger (all counters are also
   /// mirrored as "ingress.*" metrics in the platform registry).
   struct Stats {
@@ -80,6 +92,8 @@ class IngressServer {
     std::uint64_t completed_error = 0;
     std::uint64_t replies = 0;        ///< replies handed to the network
     std::uint64_t reply_failures = 0; ///< network refused the reply send
+    std::uint64_t deduped = 0;        ///< retried submits answered/absorbed
+                                      ///< by the ledger, not re-executed
   };
   [[nodiscard]] Stats stats() const;
 
@@ -100,6 +114,18 @@ class IngressServer {
   /// Post the reply onto the reply loop (manual: until pump()).
   void send_reply(const std::string& to, wire::Reply reply);
 
+  /// Dedup ledger (PR 8): answer to a retried "<client>#<id>" submit.
+  enum class DedupVerdict {
+    kFresh,      ///< never seen: execute it (now marked in flight)
+    kInFlight,   ///< still executing: swallow, completion will reply
+    kCompleted,  ///< finished: answer from the recorded reply
+  };
+  DedupVerdict check_dedup(const std::string& key, wire::Reply* recorded);
+  /// Drop the in-flight mark without recording (refused before the door).
+  void abandon_in_flight(const std::string& key);
+  /// Record the terminal reply for `key` and clear its in-flight mark.
+  void record_outcome(const std::string& key, const wire::Reply& reply);
+
   core::Platform* platform_;
   net::Network* network_;
   std::shared_ptr<net::Endpoint> endpoint_;  ///< keepalive past removal
@@ -118,6 +144,16 @@ class IngressServer {
   std::atomic<std::uint64_t> completed_error_{0};
   std::atomic<std::uint64_t> replies_{0};
   std::atomic<std::uint64_t> reply_failures_{0};
+  std::atomic<std::uint64_t> deduped_{0};
+
+  /// Bounded FIFO ledger of completed submit outcomes keyed
+  /// "<client>#<id>", plus the set still executing — together they make
+  /// client retries idempotent: a retry is answered from the ledger or
+  /// absorbed, never re-executed.
+  mutable std::mutex dedup_mutex_;
+  std::unordered_map<std::string, wire::Reply> ledger_;
+  std::deque<std::string> ledger_order_;
+  std::unordered_set<std::string> in_flight_;
 };
 
 }  // namespace mdsm::ingress

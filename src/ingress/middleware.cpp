@@ -1,5 +1,11 @@
 #include "ingress/middleware.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <utility>
+
 namespace mdsm::ingress {
 
 void MiddlewareChain::add(std::string name, Middleware fn) {
@@ -28,6 +34,52 @@ std::vector<std::string> MiddlewareChain::names() const {
   names.reserve(entries_.size());
   for (const Entry& entry : entries_) names.push_back(entry.name);
   return names;
+}
+
+RateLimiter::RateLimiter(double rate_per_second, double burst)
+    : rate_(std::max(rate_per_second, 0.0)),
+      burst_(burst > 0 ? burst : std::max(1.0, rate_)) {}
+
+bool RateLimiter::admit(std::string_view client, TimePoint now) {
+  std::lock_guard lock(mutex_);
+  auto it = buckets_.find(client);
+  if (it == buckets_.end()) {
+    // First sight of this client: a full bucket, minus this request.
+    it = buckets_.emplace(std::string(client), Bucket{burst_, now}).first;
+  } else {
+    Bucket& bucket = it->second;
+    if (now > bucket.refilled_at) {
+      const double elapsed_s =
+          std::chrono::duration<double>(now - bucket.refilled_at).count();
+      bucket.tokens = std::min(burst_, bucket.tokens + elapsed_s * rate_);
+      bucket.refilled_at = now;
+    }
+  }
+  Bucket& bucket = it->second;
+  if (bucket.tokens < 1.0) return false;
+  bucket.tokens -= 1.0;
+  return true;
+}
+
+std::size_t RateLimiter::clients() const {
+  std::lock_guard lock(mutex_);
+  return buckets_.size();
+}
+
+Middleware make_rate_limit_middleware(double rate_per_second, double burst,
+                                      const Clock& clock) {
+  // Shared state: the chain copies the std::function, so the limiter
+  // lives behind a shared_ptr all copies see.
+  auto limiter = std::make_shared<RateLimiter>(rate_per_second, burst);
+  const Clock* clock_ptr = &clock;
+  return [limiter, clock_ptr](IngressContext& context) {
+    if (limiter->admit(context.message->from, clock_ptr->now())) {
+      return Status::Ok();
+    }
+    context.refusal = "rate-limited";
+    return Unavailable("client '" + context.message->from +
+                       "' exceeded the ingress rate limit");
+  };
 }
 
 }  // namespace mdsm::ingress

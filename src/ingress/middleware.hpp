@@ -16,9 +16,13 @@
 #pragma once
 
 #include <functional>
+#include <map>
+#include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/clock.hpp"
 #include "common/status.hpp"
 #include "core/platform.hpp"
 #include "ingress/router.hpp"
@@ -70,5 +74,39 @@ class MiddlewareChain {
   std::vector<Entry> entries_;
   obs::MetricsRegistry* metrics_ = nullptr;
 };
+
+/// Per-client token-bucket rate limiter backing the "rate-limit"
+/// middleware (PR 8). Each client endpoint gets a bucket of `burst`
+/// tokens refilled at `rate_per_second`; admit() takes one token or
+/// reports the bucket dry. Buckets are lazily created and refilled on
+/// the caller-supplied clock (the network's SimClock at the ingress), so
+/// virtual-time tests are deterministic.
+class RateLimiter {
+ public:
+  RateLimiter(double rate_per_second, double burst);
+
+  /// Take one token for `client` at `now`; false when the bucket is dry.
+  [[nodiscard]] bool admit(std::string_view client, TimePoint now);
+
+  [[nodiscard]] std::size_t clients() const;
+
+ private:
+  struct Bucket {
+    double tokens = 0;
+    TimePoint refilled_at{};
+  };
+
+  double rate_;
+  double burst_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Bucket, std::less<>> buckets_;
+};
+
+/// The middleware the default chain installs when the model sets
+/// ingress_rate_limit > 0: refuses with slug "rate-limited" /
+/// kUnavailable when the sender's bucket is dry. `clock` must outlive
+/// the chain (the ingress passes the network clock).
+[[nodiscard]] Middleware make_rate_limit_middleware(
+    double rate_per_second, double burst, const Clock& clock);
 
 }  // namespace mdsm::ingress

@@ -29,10 +29,39 @@ Status malformed(std::string_view what) {
   return InvalidArgument("malformed wire payload: " + std::string(what));
 }
 
+/// Message prefix marking a wire-major refusal; is_version_mismatch()
+/// keys off it so servers can type the "bad-version" slug.
+constexpr std::string_view kVersionMismatchPrefix = "wire version mismatch";
+
+void put_version(ValueList& fields) {
+  put(fields, "wire_version",
+      Value(ValueList{Value(kWireMajor), Value(kWireMinor)}));
+}
+
+/// Accept an absent stamp (pre-versioning peer == major 1), any minor of
+/// our major; refuse a foreign major or an unreadable stamp.
+Status check_version(const ValueList& fields) {
+  const Value* stamp = get(fields, "wire_version");
+  if (stamp == nullptr) return Status::Ok();
+  if (!stamp->is_list() || stamp->as_list().size() != 2 ||
+      !stamp->as_list()[0].is_int() || !stamp->as_list()[1].is_int()) {
+    return malformed("unreadable wire_version stamp");
+  }
+  const std::int64_t major = stamp->as_list()[0].as_int();
+  if (major != kWireMajor) {
+    return InvalidArgument(std::string(kVersionMismatchPrefix) + ": peer " +
+                           "speaks major " + std::to_string(major) +
+                           ", this node speaks major " +
+                           std::to_string(kWireMajor));
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 model::Value encode_request(const Request& request) {
   ValueList fields;
+  put_version(fields);
   put(fields, "request_id", Value(static_cast<std::int64_t>(
                                 request.request_id)));
   put(fields, "text", Value(request.text));
@@ -41,12 +70,17 @@ model::Value encode_request(const Request& request) {
     put(fields, "deadline_us", Value(request.deadline_us));
   }
   if (request.high_priority) put(fields, "priority", Value("high"));
+  if (!request.body.is_none()) put(fields, "body", request.body);
+  if (!request.forwarded_for.empty()) {
+    put(fields, "forwarded_for", Value(request.forwarded_for));
+  }
   return Value(std::move(fields));
 }
 
 Result<Request> decode_request(const model::Value& payload) {
   if (!payload.is_list()) return malformed("payload is not a field list");
   const ValueList& fields = payload.as_list();
+  MDSM_RETURN_IF_ERROR(check_version(fields));
   Request request;
   const Value* id = get(fields, "request_id");
   if (id == nullptr || !id->is_int() || id->as_int() < 0) {
@@ -72,11 +106,22 @@ Result<Request> decode_request(const model::Value& payload) {
     if (!priority->is_string()) return malformed("priority is not a string");
     request.high_priority = priority->as_string() == "high";
   }
+  if (const Value* body = get(fields, "body"); body != nullptr) {
+    request.body = *body;
+  }
+  if (const Value* forwarded = get(fields, "forwarded_for");
+      forwarded != nullptr) {
+    if (!forwarded->is_string()) {
+      return malformed("forwarded_for is not a string");
+    }
+    request.forwarded_for = forwarded->as_string();
+  }
   return request;
 }
 
 model::Value encode_reply(const Reply& reply) {
   ValueList fields;
+  put_version(fields);
   put(fields, "request_id",
       Value(static_cast<std::int64_t>(reply.request_id)));
   put(fields, "code", Value(static_cast<std::int64_t>(reply.code)));
@@ -89,6 +134,7 @@ model::Value encode_reply(const Reply& reply) {
 Result<Reply> decode_reply(const model::Value& payload) {
   if (!payload.is_list()) return malformed("payload is not a field list");
   const ValueList& fields = payload.as_list();
+  MDSM_RETURN_IF_ERROR(check_version(fields));
   Reply reply;
   const Value* id = get(fields, "request_id");
   if (id == nullptr || !id->is_int() || id->as_int() < 0) {
@@ -140,6 +186,11 @@ std::string_view classify_refusal(const Status& status) noexcept {
       return "error";
   }
   return "error";
+}
+
+bool is_version_mismatch(const Status& status) noexcept {
+  return status.code() == ErrorCode::kInvalidArgument &&
+         status.message().rfind(kVersionMismatchPrefix, 0) == 0;
 }
 
 }  // namespace mdsm::ingress::wire

@@ -30,6 +30,17 @@ inline constexpr std::string_view kReplyTopic = "mdsm.reply";
 inline constexpr std::string_view kSubmitPattern = "submit/{dsml}/{session}";
 inline constexpr std::string_view kQueryPattern = "query/{what}";
 
+/// Wire schema version (PR 8). Every encoded message stamps
+/// [major, minor] under "wire_version"; decoders accept any minor of
+/// their own major (fields are keyed, unknown keys are skipped) and any
+/// message with no version stamp (a pre-versioning peer, by definition
+/// major 1), but refuse a foreign major — the shape of the field list
+/// itself may have changed. The refusal slug for that case is
+/// "bad-version", distinguished from "malformed" via
+/// is_version_mismatch().
+inline constexpr std::int64_t kWireMajor = 1;
+inline constexpr std::int64_t kWireMinor = 1;
+
 /// A submit or query crossing the wire client → ingress.
 struct Request {
   std::uint64_t request_id = 0;  ///< sender-assigned correlation id
@@ -37,6 +48,12 @@ struct Request {
   std::string auth;              ///< shared-secret token ("" = none)
   std::int64_t deadline_us = 0;  ///< pipeline budget (0 = server default)
   bool high_priority = false;    ///< control-plane lane
+  /// Structured payload for non-submit routes (model-diff replication,
+  /// future batching); none when the route only needs `text`.
+  model::Value body;
+  /// Original "<client>#<id>" attribution when a front-end forwards the
+  /// request on a client's behalf ("" = direct submission).
+  std::string forwarded_for;
 };
 
 /// The outcome travelling ingress → client.
@@ -56,8 +73,12 @@ struct Reply {
 
 /// Stable refusal slug for a non-Ok status ("overload", "deadline",
 /// "no-route", "malformed", "not-running", "conformance", "execution",
-/// "error"). Middleware may pre-type a refusal (e.g. "unauthenticated")
-/// before this default mapping applies.
+/// "error"). Middleware may pre-type a refusal (e.g. "unauthenticated",
+/// "rate-limited", "bad-version") before this default mapping applies.
 [[nodiscard]] std::string_view classify_refusal(const Status& status) noexcept;
+
+/// True when `status` came from a decoder refusing a foreign wire major
+/// (the "bad-version" refusal, as opposed to plain "malformed").
+[[nodiscard]] bool is_version_mismatch(const Status& status) noexcept;
 
 }  // namespace mdsm::ingress::wire

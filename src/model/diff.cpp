@@ -223,10 +223,22 @@ Status apply(const ChangeList& changes, Model& target) {
         MDSM_RETURN_IF_ERROR(target.add_reference(
             change.object_id, change.feature, change.target_id));
         break;
-      case ChangeKind::kRemoveReference:
+      case ChangeKind::kRemoveReference: {
+        // Removing the referenced object may have already cascaded this
+        // reference away (Model::remove clears inbound references), and
+        // the holder itself may have been removed. Both are satisfied
+        // states, not errors.
+        const ModelObject* holder = target.find(change.object_id);
+        if (holder == nullptr) break;
+        const auto& targets = holder->targets(change.feature);
+        if (std::find(targets.begin(), targets.end(), change.target_id) ==
+            targets.end()) {
+          break;
+        }
         MDSM_RETURN_IF_ERROR(target.remove_reference(
             change.object_id, change.feature, change.target_id));
         break;
+      }
     }
   }
   return Status::Ok();
@@ -238,6 +250,71 @@ std::string summarize(const ChangeList& changes) {
     out += "\n  " + change.to_text();
   }
   return out;
+}
+
+namespace {
+
+constexpr std::size_t kChangeSlots = 9;
+constexpr std::int64_t kMaxChangeKind =
+    static_cast<std::int64_t>(ChangeKind::kRemoveReference);
+
+}  // namespace
+
+Value encode_changes(const ChangeList& changes) {
+  ValueList encoded;
+  encoded.reserve(changes.size());
+  for (const Change& change : changes) {
+    ValueList slots;
+    slots.reserve(kChangeSlots);
+    slots.emplace_back(static_cast<std::int64_t>(change.kind));
+    slots.emplace_back(change.object_id);
+    slots.emplace_back(change.class_name);
+    slots.emplace_back(change.feature);
+    slots.push_back(change.old_value);
+    slots.push_back(change.new_value);
+    slots.emplace_back(change.target_id);
+    slots.emplace_back(change.parent_id);
+    slots.emplace_back(change.containment);
+    encoded.emplace_back(std::move(slots));
+  }
+  return Value(std::move(encoded));
+}
+
+Result<ChangeList> decode_changes(const Value& payload) {
+  if (!payload.is_list()) {
+    return InvalidArgument("encoded change list is not a list");
+  }
+  ChangeList changes;
+  changes.reserve(payload.as_list().size());
+  for (const Value& entry : payload.as_list()) {
+    if (!entry.is_list() || entry.as_list().size() != kChangeSlots) {
+      return InvalidArgument("encoded change is not a " +
+                             std::to_string(kChangeSlots) + "-slot list");
+    }
+    const ValueList& slots = entry.as_list();
+    if (!slots[0].is_int() || slots[0].as_int() < 0 ||
+        slots[0].as_int() > kMaxChangeKind) {
+      return InvalidArgument("encoded change kind out of range");
+    }
+    for (std::size_t i : {1u, 2u, 3u, 6u, 7u, 8u}) {
+      if (!slots[i].is_string()) {
+        return InvalidArgument("encoded change slot " + std::to_string(i) +
+                               " is not a string");
+      }
+    }
+    Change change;
+    change.kind = static_cast<ChangeKind>(slots[0].as_int());
+    change.object_id = slots[1].as_string();
+    change.class_name = slots[2].as_string();
+    change.feature = slots[3].as_string();
+    change.old_value = slots[4];
+    change.new_value = slots[5];
+    change.target_id = slots[6].as_string();
+    change.parent_id = slots[7].as_string();
+    change.containment = slots[8].as_string();
+    changes.push_back(std::move(change));
+  }
+  return changes;
 }
 
 }  // namespace mdsm::model

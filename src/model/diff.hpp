@@ -58,4 +58,15 @@ std::string summarize(const ChangeList& changes);
 /// for replicating models across nodes by shipping deltas.
 Status apply(const ChangeList& changes, Model& target);
 
+/// Wire form of a ChangeList (PR 8): each Change becomes a fixed
+/// 9-slot positional value list
+///   [kind, object_id, class_name, feature, old_value, new_value,
+///    target_id, parent_id, containment]
+/// and the ChangeList a list of those — the payload the cluster ships
+/// to replicate the authoritative runtime model to shards by delta
+/// instead of re-sending full model text. decode_changes(encode_changes
+/// (c)) == c for every well-formed list.
+[[nodiscard]] Value encode_changes(const ChangeList& changes);
+[[nodiscard]] Result<ChangeList> decode_changes(const Value& payload);
+
 }  // namespace mdsm::model

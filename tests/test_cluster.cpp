@@ -1,0 +1,476 @@
+// Sharded platform cluster (PR 8): consistent-hash ring units, and
+// end-to-end fixtures running N ShardNodes behind a ClusterFrontEnd on
+// one simulated network — session-sticky routing, query fan-out,
+// diff-based model replication, and the failover exactly-once ledger.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster_front_end.hpp"
+#include "cluster/shard_node.hpp"
+#include "cluster/shard_ring.hpp"
+#include "core/middleware_metamodel.hpp"
+#include "core/platform.hpp"
+#include "ingress/ingress_client.hpp"
+#include "model/diff.hpp"
+#include "model/text_format.hpp"
+#include "net/network.hpp"
+#include "soak_fixtures.hpp"
+
+namespace mdsm {
+namespace {
+
+// ---- consistent-hash ring -------------------------------------------------
+
+TEST(ShardRing, FnvIsTheReferenceFunction) {
+  // FNV-1a offset basis: hashing nothing yields it verbatim.
+  static_assert(cluster::fnv1a("") == 1469598103934665603ull);
+  EXPECT_NE(cluster::fnv1a("a"), cluster::fnv1a("b"));
+  EXPECT_EQ(cluster::fnv1a("session-1"), cluster::fnv1a("session-1"));
+}
+
+TEST(ShardRing, CoversEveryShardWithRoughBalance) {
+  const cluster::ShardRing ring(4, 64);
+  EXPECT_EQ(ring.shards(), 4u);
+  EXPECT_EQ(ring.points(), 256u);
+  std::vector<int> owned(4, 0);
+  for (int i = 0; i < 1000; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    const std::size_t owner = ring.owner(key);
+    ASSERT_LT(owner, 4u);
+    EXPECT_EQ(ring.owner(key), owner);  // deterministic
+    ++owned[owner];
+  }
+  for (int shard = 0; shard < 4; ++shard) {
+    EXPECT_GT(owned[shard], 0) << "shard " << shard << " owns nothing";
+    // 64 virtual nodes keep the spread within ~2.4x of the 250 mean.
+    EXPECT_LT(owned[shard], 600) << "shard " << shard << " owns too much";
+  }
+}
+
+TEST(ShardRing, ReplicaIsAlwaysADistinctShard) {
+  const cluster::ShardRing ring(3, 32);
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "s" + std::to_string(i);
+    EXPECT_NE(ring.replica(key), ring.owner(key)) << key;
+  }
+  // Degenerate single-shard ring: the only candidate is the owner.
+  const cluster::ShardRing solo(1);
+  EXPECT_EQ(solo.replica("anything"), solo.owner("anything"));
+}
+
+TEST(ShardRing, GrowingTheRingMovesOnlyAMinorityOfKeys) {
+  const cluster::ShardRing four(4, 64);
+  const cluster::ShardRing five(5, 64);
+  int moved = 0;
+  constexpr int kKeys = 1000;
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    if (four.owner(key) != five.owner(key)) ++moved;
+  }
+  // Consistent hashing's whole point: ~1/5 of keys move, not ~4/5 as
+  // with hash % N. Allow slack either side of the ideal 200.
+  EXPECT_GT(moved, 0);
+  EXPECT_LT(moved, kKeys / 2);
+}
+
+// ---- cluster end-to-end fixture -------------------------------------------
+
+net::NetworkConfig quiet_network() {
+  net::NetworkConfig config;
+  config.base_latency = std::chrono::microseconds(100);
+  config.jitter = std::chrono::microseconds(0);
+  config.drop_rate = 0.0;
+  return config;
+}
+
+/// N ShardNodes + a ClusterFrontEnd + one client on a shared simulated
+/// network. Shards run their real staged pipelines; the network runs on
+/// a SimClock the drive loop advances when a test needs timeouts.
+struct ClusterDeployment {
+  model::MetamodelPtr dsml;
+  SimClock clock;
+  std::unique_ptr<net::Network> network;
+  std::optional<model::Model> middleware;  ///< the authoritative model
+  std::vector<std::unique_ptr<cluster::ShardNode>> nodes;
+  std::vector<soak::CountingAdapter*> adapters;  ///< owned by the nodes
+  std::unique_ptr<cluster::ClusterFrontEnd> frontend;
+  std::unique_ptr<ingress::IngressClient> client;
+
+  /// Deliver, pump every shard's replies, run the front-end's expiry
+  /// housekeeping, repeat until `done`. `advance` > 0 moves the SimClock
+  /// each lap so reply timeouts (and therefore failover) can fire.
+  bool drive_until(const std::function<bool()>& done,
+                   Duration advance = Duration{0}) {
+    const auto wall_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(15);
+    while (std::chrono::steady_clock::now() < wall_deadline) {
+      network->run_until_idle();
+      for (auto& node : nodes) node->pump();
+      network->run_until_idle();
+      frontend->maintain();
+      client->expire_overdue();
+      network->run_until_idle();
+      if (done()) return true;
+      if (advance.count() > 0) clock.advance(advance);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return done();
+  }
+
+  void shutdown() {
+    client.reset();
+    frontend.reset();
+    nodes.clear();  // each node stops its platform
+    network.reset();
+  }
+};
+
+std::unique_ptr<ClusterDeployment> make_cluster(
+    std::size_t shards, cluster::ClusterConfig config = {},
+    ingress::IngressClientOptions client_options = {}) {
+  auto out = std::make_unique<ClusterDeployment>();
+  out->dsml = model::testing::make_test_metamodel();
+  auto parsed = model::parse_model(soak::kSoakMiddlewareModel,
+                                   core::middleware_metamodel());
+  if (!parsed.ok()) return nullptr;
+  out->middleware.emplace(std::move(parsed.value()));
+  out->network = std::make_unique<net::Network>(out->clock, quiet_network());
+
+  std::vector<std::string> endpoints;
+  for (std::size_t i = 0; i < shards; ++i) {
+    cluster::ShardNodeOptions options;
+    options.endpoint = "shard-" + std::to_string(i);
+    options.platform_config.dsml = out->dsml;
+    options.platform_config.pipeline_threads = 2;
+    options.manual_reply_loop = true;  // tests pump() deterministically
+    options.provision = [out = out.get()](core::Platform& platform) {
+      auto svc = std::make_unique<soak::CountingAdapter>("svc");
+      out->adapters.push_back(svc.get());
+      return platform.add_resource_adapter(std::move(svc));
+    };
+    auto node = cluster::ShardNode::launch(*out->middleware, *out->network,
+                                           std::move(options));
+    if (!node.ok()) return nullptr;
+    endpoints.push_back(node.value()->endpoint_name());
+    out->nodes.push_back(std::move(node.value()));
+  }
+
+  auto frontend = cluster::ClusterFrontEnd::attach(
+      *out->network, *out->middleware, std::move(endpoints),
+      std::move(config));
+  if (!frontend.ok()) return nullptr;
+  out->frontend = std::move(frontend.value());
+
+  // Generous local budget: failover tests advance virtual time by
+  // seconds, and the client must not write its requests off first.
+  if (client_options.reply_timeout == std::chrono::seconds(5)) {
+    client_options.reply_timeout = std::chrono::minutes(5);
+  }
+  auto client = ingress::IngressClient::attach(
+      *out->network, out->frontend->endpoint_name(),
+      std::move(client_options));
+  if (!client.ok()) return nullptr;
+  out->client = std::move(client.value());
+  return out;
+}
+
+/// Exactly-once callback ledger (same shape as the ingress tests').
+struct Ledger {
+  std::mutex mutex;
+  std::map<std::uint64_t, int> fired;
+  std::map<std::string, int> refusals;
+
+  ingress::IngressClient::Callback recorder() {
+    return [this](const ingress::RemoteOutcome& outcome) {
+      std::lock_guard lock(mutex);
+      ++fired[outcome.request_id];
+      ++refusals[outcome.refusal];
+    };
+  }
+  int total() {
+    std::lock_guard lock(mutex);
+    int sum = 0;
+    for (auto& [id, count] : fired) sum += count;
+    return sum;
+  }
+};
+
+TEST(ClusterE2E, SessionStickyRoutingMatchesTheRing) {
+  auto cluster = make_cluster(4);
+  ASSERT_NE(cluster, nullptr);
+
+  constexpr int kSessions = 40;
+  Ledger ledger;
+  std::vector<std::uint64_t> expected_executions(4, 0);
+  for (int i = 0; i < kSessions; ++i) {
+    const std::string session = "s" + std::to_string(i);
+    // Each soak submission costs two svc invocations on its owner.
+    expected_executions[cluster->frontend->ring().owner(session)] += 2;
+    ASSERT_TRUE(cluster->client
+                    ->submit("testlang", session,
+                             soak::open_session_text(session),
+                             ledger.recorder())
+                    .ok());
+  }
+  ASSERT_TRUE(cluster->drive_until([&] { return ledger.total() == kSessions; }));
+
+  {
+    std::lock_guard lock(ledger.mutex);
+    EXPECT_EQ(ledger.refusals[""], kSessions);  // every submission succeeded
+    for (const auto& [id, count] : ledger.fired) {
+      EXPECT_EQ(count, 1) << "request " << id;
+    }
+  }
+  // The ring's placement is exactly where the work landed.
+  for (int shard = 0; shard < 4; ++shard) {
+    EXPECT_EQ(cluster->adapters[shard]->executed(),
+              expected_executions[shard])
+        << "shard " << shard;
+  }
+  const cluster::ClusterFrontEnd::Stats stats = cluster->frontend->stats();
+  EXPECT_EQ(stats.forwarded, static_cast<std::uint64_t>(kSessions));
+  EXPECT_EQ(stats.replies, static_cast<std::uint64_t>(kSessions));
+  EXPECT_EQ(stats.failovers, 0u);
+  EXPECT_EQ(stats.rerouted, 0u);
+
+  // Stickiness: resubmitting a session lands on the same shard.
+  const std::string session = "s0";
+  const std::size_t owner = cluster->frontend->ring().owner(session);
+  const std::uint64_t before = cluster->adapters[owner]->executed();
+  Ledger again;
+  ASSERT_TRUE(cluster->client
+                  ->submit("testlang", session, soak::open_session_text("x0"),
+                           again.recorder())
+                  .ok());
+  ASSERT_TRUE(cluster->drive_until([&] { return again.total() == 1; }));
+  EXPECT_EQ(cluster->adapters[owner]->executed(), before + 2);
+  cluster->shutdown();
+}
+
+TEST(ClusterE2E, QueryFansOutAndMergesEveryShard) {
+  auto cluster = make_cluster(3);
+  ASSERT_NE(cluster, nullptr);
+
+  std::mutex mutex;
+  std::optional<ingress::RemoteOutcome> merged;
+  ASSERT_TRUE(cluster->client
+                  ->query("metrics",
+                          [&](const ingress::RemoteOutcome& outcome) {
+                            std::lock_guard lock(mutex);
+                            merged = outcome;
+                          })
+                  .ok());
+  ASSERT_TRUE(cluster->drive_until([&] {
+    std::lock_guard lock(mutex);
+    return merged.has_value();
+  }));
+
+  ASSERT_TRUE(merged->status.ok()) << merged->status.to_string();
+  for (int shard = 0; shard < 3; ++shard) {
+    EXPECT_NE(merged->payload.find("=== shard " + std::to_string(shard) +
+                                   " ==="),
+              std::string::npos)
+        << merged->payload;
+  }
+  EXPECT_EQ(cluster->frontend->stats().query_fanouts, 1u);
+  cluster->shutdown();
+}
+
+TEST(ClusterE2E, ModelDiffReplicationSyncsEveryShard) {
+  auto cluster = make_cluster(2);
+  ASSERT_NE(cluster, nullptr);
+
+  // Grow the vocabulary: a cheaper media.path procedure. The next model
+  // differs from the baseline by exactly this subtree.
+  std::string next_text(soak::kSoakMiddlewareModel);
+  const std::string anchor = "child actions ActionSpec ca1";
+  next_text.insert(next_text.find(anchor),
+                   "child procedures ProcedureSpec pr3 {\n"
+                   "      name = \"path-cheap\"\n"
+                   "      classifier = \"media.path\"\n"
+                   "      cost = 0.5\n"
+                   "      child units EuSpec eu3 {\n"
+                   "        child steps StepSpec t9 {\n"
+                   "          op = broker-call\n"
+                   "          a = \"svc.open\"\n"
+                   "          child args ArgSpec b3a { key = \"id\" value = "
+                   "\"$id\" }\n"
+                   "        }\n"
+                   "      }\n"
+                   "    }\n    ");
+  auto next = model::parse_model(next_text, core::middleware_metamodel());
+  ASSERT_TRUE(next.ok()) << next.status().to_string();
+
+  ASSERT_TRUE(cluster->frontend->update_model(next.value()).ok());
+  ASSERT_TRUE(cluster->drive_until(
+      [&] { return cluster->frontend->stats().replication_acks == 2; }));
+
+  const cluster::ClusterFrontEnd::Stats stats = cluster->frontend->stats();
+  EXPECT_EQ(stats.deltas_shipped, 1u);
+  EXPECT_EQ(stats.replication_failures, 0u);
+  // The headline economy: the delta is a fraction of a full-model push.
+  EXPECT_GT(stats.delta_bytes, 0u);
+  EXPECT_LT(stats.delta_bytes, stats.full_bytes / 4);
+
+  for (auto& node : cluster->nodes) {
+    const cluster::ShardNode::Stats replication = node->replication_stats();
+    EXPECT_EQ(replication.deltas_applied, 1u);
+    EXPECT_GE(replication.procedures_synced, 1u);
+    // The new procedure is live in the shard's controller.
+    const controller::Procedure* synced =
+        node->platform().controller().repository().find("path-cheap");
+    ASSERT_NE(synced, nullptr);
+    EXPECT_EQ(synced->classifier, "media.path");
+  }
+
+  // Re-shipping an identical model is a no-op, not an empty broadcast.
+  ASSERT_TRUE(cluster->frontend->update_model(next.value()).ok());
+  EXPECT_EQ(cluster->frontend->stats().deltas_shipped, 1u);
+
+  // And the replicated vocabulary actually serves traffic.
+  Ledger ledger;
+  ASSERT_TRUE(cluster->client
+                  ->submit("testlang", "post-sync",
+                           soak::open_session_text("ps1"), ledger.recorder())
+                  .ok());
+  ASSERT_TRUE(cluster->drive_until([&] { return ledger.total() == 1; }));
+  {
+    std::lock_guard lock(ledger.mutex);
+    EXPECT_EQ(ledger.refusals[""], 1);
+  }
+  cluster->shutdown();
+}
+
+// The tentpole guarantee: killing a shard mid-run loses no callbacks.
+// Requests bound for the dead shard time out downstream, fail over to
+// the ring-designated replica, and resolve exactly once at the client;
+// once the health window trips, later requests reroute at admission.
+TEST(ClusterE2E, FailoverResolvesEveryRequestExactlyOnce) {
+  cluster::ClusterConfig config;
+  config.downstream_reply_timeout = std::chrono::milliseconds(200);
+  auto cluster = make_cluster(4, config);
+  ASSERT_NE(cluster, nullptr);
+
+  // Sessions the ring places on the victim shard.
+  const std::size_t victim = 0;
+  std::vector<std::string> victim_sessions;
+  for (int i = 0; victim_sessions.size() < 12; ++i) {
+    const std::string session = "s" + std::to_string(i);
+    if (cluster->frontend->ring().owner(session) == victim) {
+      victim_sessions.push_back(session);
+    }
+  }
+  cluster->nodes[victim]->kill();
+  EXPECT_FALSE(cluster->nodes[victim]->alive());
+
+  Ledger ledger;
+  for (const std::string& session : victim_sessions) {
+    ASSERT_TRUE(cluster->client
+                    ->submit("testlang", session,
+                             soak::open_session_text(session),
+                             ledger.recorder())
+                    .ok());
+  }
+  // Advance virtual time so the downstream windows expire and failover
+  // fires; every request must still resolve OK on the replica.
+  ASSERT_TRUE(cluster->drive_until(
+      [&] { return ledger.total() == static_cast<int>(victim_sessions.size()); },
+      std::chrono::milliseconds(20)));
+
+  {
+    std::lock_guard lock(ledger.mutex);
+    EXPECT_EQ(ledger.refusals[""], static_cast<int>(victim_sessions.size()));
+    EXPECT_EQ(ledger.refusals["reply-lost"], 0);
+    for (const auto& [id, count] : ledger.fired) {
+      EXPECT_EQ(count, 1) << "request " << id;  // zero lost, zero duplicated
+    }
+  }
+  cluster::ClusterFrontEnd::Stats stats = cluster->frontend->stats();
+  EXPECT_GE(stats.failovers, 1u);
+  EXPECT_GE(stats.breaker_trips, 1u);
+
+  // Exactly-once execution: the dead shard ran nothing, the survivors
+  // ran each failed-over session exactly once.
+  EXPECT_EQ(cluster->adapters[victim]->executed(), 0u);
+  std::uint64_t executed = 0;
+  for (int shard = 0; shard < 4; ++shard) {
+    executed += cluster->adapters[shard]->executed();
+  }
+  EXPECT_EQ(executed, 2 * victim_sessions.size());
+
+  // With the victim's window open, admission reroutes to the replica.
+  // All shard_for peeks happen before any submit: the first admit after
+  // the cooldown turns the window half-open (one probe retries the dead
+  // primary; it fails over like any lost forward).
+  Ledger second_wave;
+  std::vector<std::string> more;
+  for (int i = 1000; more.size() < 4; ++i) {
+    const std::string session = "s" + std::to_string(i);
+    if (cluster->frontend->ring().owner(session) == victim) {
+      more.push_back(session);
+      EXPECT_EQ(cluster->frontend->shard_for(session),
+                cluster->frontend->ring().replica(session));
+    }
+  }
+  for (const std::string& session : more) {
+    ASSERT_TRUE(cluster->client
+                    ->submit("testlang", session,
+                             soak::open_session_text(session),
+                             second_wave.recorder())
+                    .ok());
+  }
+  ASSERT_TRUE(cluster->drive_until(
+      [&] { return second_wave.total() == static_cast<int>(more.size()); },
+      std::chrono::milliseconds(20)));
+  {
+    std::lock_guard lock(second_wave.mutex);
+    EXPECT_EQ(second_wave.refusals[""], static_cast<int>(more.size()));
+  }
+  stats = cluster->frontend->stats();
+  EXPECT_GE(stats.rerouted + stats.failovers, victim_sessions.size() + 1);
+  cluster->shutdown();
+}
+
+// Single-shard degenerate cluster: no replica exists, so when the only
+// shard dies its requests surface as typed reply-lost refusals — the
+// client still hears exactly once about each.
+TEST(ClusterE2E, SingleShardDeathYieldsTypedLossNotSilence) {
+  cluster::ClusterConfig config;
+  config.downstream_reply_timeout = std::chrono::milliseconds(200);
+  auto cluster = make_cluster(1, config);
+  ASSERT_NE(cluster, nullptr);
+  cluster->nodes[0]->kill();
+
+  Ledger ledger;
+  constexpr int kSubmissions = 3;
+  for (int i = 0; i < kSubmissions; ++i) {
+    ASSERT_TRUE(cluster->client
+                    ->submit("testlang", "s" + std::to_string(i),
+                             soak::open_session_text("s" + std::to_string(i)),
+                             ledger.recorder())
+                    .ok());
+  }
+  ASSERT_TRUE(cluster->drive_until(
+      [&] { return ledger.total() == kSubmissions; },
+      std::chrono::milliseconds(20)));
+  {
+    std::lock_guard lock(ledger.mutex);
+    EXPECT_EQ(ledger.refusals["reply-lost"], kSubmissions);
+    for (const auto& [id, count] : ledger.fired) {
+      EXPECT_EQ(count, 1) << "request " << id;
+    }
+  }
+  cluster->shutdown();
+}
+
+}  // namespace
+}  // namespace mdsm

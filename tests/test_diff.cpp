@@ -203,6 +203,120 @@ TEST_P(DiffPropertyTest, ObjectCountDeltaMatchesAddRemoveBalance) {
   EXPECT_TRUE(after.validate().ok());
 }
 
+// ---- wire form (PR 8): the cluster's replication payload -------------------
+
+TEST(DiffWire, EveryChangeKindRoundTrips) {
+  MetamodelPtr mm = make_test_metamodel();
+  Model before = make_test_model(mm);
+  Model after = before.clone();
+  // One edit script covering adds (with containment context), attribute
+  // sets, reference retargets and removals.
+  after.create_child("s1", "participants", "Participant", "carol");
+  after.set_attribute("carol", "address", Value("carol@host"));
+  after.set_attribute("s1", "state", Value("closed"));
+  after.add_reference("s1", "initiator", "bob");
+  after.remove("cam");
+  const ChangeList changes = diff(before, after);
+  ASSERT_FALSE(changes.empty());
+
+  auto decoded = decode_changes(encode_changes(changes));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  ASSERT_EQ(decoded.value().size(), changes.size());
+  for (std::size_t i = 0; i < changes.size(); ++i) {
+    EXPECT_EQ(decoded.value()[i].kind, changes[i].kind) << i;
+    EXPECT_EQ(decoded.value()[i].object_id, changes[i].object_id) << i;
+    EXPECT_EQ(decoded.value()[i].class_name, changes[i].class_name) << i;
+    EXPECT_EQ(decoded.value()[i].feature, changes[i].feature) << i;
+    EXPECT_EQ(decoded.value()[i].old_value, changes[i].old_value) << i;
+    EXPECT_EQ(decoded.value()[i].new_value, changes[i].new_value) << i;
+    EXPECT_EQ(decoded.value()[i].target_id, changes[i].target_id) << i;
+    EXPECT_EQ(decoded.value()[i].parent_id, changes[i].parent_id) << i;
+    EXPECT_EQ(decoded.value()[i].containment, changes[i].containment) << i;
+  }
+
+  // The decoded list is as applicable as the original.
+  Model replica = before.clone();
+  ASSERT_TRUE(model::apply(decoded.value(), replica).ok());
+  EXPECT_TRUE(diff(replica, after).empty());
+}
+
+TEST(DiffWire, DecodeRejectsMalformedPayloads) {
+  // Not a list at all.
+  EXPECT_FALSE(decode_changes(Value("garbage")).ok());
+  EXPECT_FALSE(decode_changes(Value(7.0)).ok());
+  // A non-list element.
+  EXPECT_FALSE(decode_changes(Value(ValueList{Value(1.0)})).ok());
+  // Wrong slot count.
+  EXPECT_FALSE(
+      decode_changes(Value(ValueList{Value(ValueList{Value("short")})})).ok());
+  // A valid 9-slot shape with an out-of-range kind.
+  ValueList slots(9, Value(std::string{}));
+  slots[0] = Value(std::int64_t{99});
+  EXPECT_FALSE(decode_changes(Value(ValueList{Value(slots)})).ok());
+  // A non-string object id.
+  slots[0] = Value(std::int64_t{0});
+  slots[1] = Value(3.5);
+  EXPECT_FALSE(decode_changes(Value(ValueList{Value(slots)})).ok());
+  // The empty change list is legal.
+  EXPECT_TRUE(decode_changes(Value(ValueList{})).ok());
+}
+
+// Property: whatever edit script the fuzz loop produced, its diff
+// survives encode/decode byte-identically in effect — applying the
+// decoded list to a clone of `before` reproduces `after`.
+TEST_P(DiffPropertyTest, EncodedChangeListsSurviveTheWire) {
+  MetamodelPtr mm = make_test_metamodel();
+  Model before = make_test_model(mm);
+  Model after = before.clone();
+  std::mt19937 rng(GetParam() * 7919u);
+  std::uniform_int_distribution<int> op(0, 3);
+  int created = 0;
+  for (int step = 0; step < 20; ++step) {
+    switch (op(rng)) {
+      case 0: {
+        std::string id = "wire" + std::to_string(++created) + "x" +
+                         std::to_string(GetParam());
+        if (after.contains("s1")) {
+          after.create_child("s1", "participants", "Participant", id);
+          after.set_attribute(id, "address", Value(id + "@host"));
+        }
+        break;
+      }
+      case 1: {
+        if (after.contains("s1")) {
+          after.set_attribute("s1", "bandwidth",
+                              Value(static_cast<double>(step) + 0.25));
+        }
+        break;
+      }
+      case 2: {
+        auto participants = after.objects_of("Participant");
+        if (!participants.empty()) {
+          after.remove(participants.front()->id());
+        }
+        break;
+      }
+      case 3: {
+        if (after.contains("s1")) {
+          after.set_attribute(
+              "s1", "tags",
+              Value(ValueList{Value("t" + std::to_string(step)),
+                              Value(static_cast<std::int64_t>(step))}));
+        }
+        break;
+      }
+    }
+  }
+  const ChangeList changes = diff(before, after);
+  auto decoded = decode_changes(encode_changes(changes));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  Model replica = before.clone();
+  const auto applied = model::apply(decoded.value(), replica);
+  ASSERT_TRUE(applied.ok()) << applied.to_string();
+  EXPECT_TRUE(diff(replica, after).empty());
+  EXPECT_TRUE(replica.validate().ok());
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, DiffPropertyTest,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
 

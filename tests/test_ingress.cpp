@@ -6,9 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -555,6 +557,413 @@ TEST(IngressConfig, EndpointNameDerivedFromPlatformName) {
   auto deployment = make_split_deployment();
   ASSERT_NE(deployment, nullptr);
   EXPECT_EQ(deployment->server->endpoint_name(), "soak-platform.ingress");
+  deployment->shutdown();
+}
+
+// ---- wire schema versioning (PR 8) ----------------------------------------
+
+/// Rewrite the payload's wire_version stamp in place (encode always
+/// emits one); returns false if no stamp was found.
+bool stamp_version(model::Value& payload, model::Value stamp) {
+  for (model::Value& field : payload.as_list()) {
+    if (!field.is_list() || field.as_list().size() != 2) continue;
+    if (field.as_list()[0].is_string() &&
+        field.as_list()[0].as_string() == "wire_version") {
+      field.as_list()[1] = std::move(stamp);
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(Wire, VersionStampGatesForeignMajorsOnly) {
+  ingress::wire::Request request;
+  request.request_id = 1;
+  request.text = "model m conforms testlang\n";
+
+  // A foreign major is refused, and typed as a version mismatch.
+  model::Value foreign = ingress::wire::encode_request(request);
+  ASSERT_TRUE(stamp_version(
+      foreign, model::Value(model::ValueList{
+                   model::Value(std::int64_t{ingress::wire::kWireMajor + 1}),
+                   model::Value(std::int64_t{0})})));
+  auto refused = ingress::wire::decode_request(foreign);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), ErrorCode::kInvalidArgument);
+  EXPECT_TRUE(ingress::wire::is_version_mismatch(refused.status()));
+  EXPECT_FALSE(ingress::wire::is_version_mismatch(InvalidArgument("other")));
+
+  // A newer minor of our major is within-major compatible.
+  model::Value newer_minor = ingress::wire::encode_request(request);
+  ASSERT_TRUE(stamp_version(
+      newer_minor,
+      model::Value(model::ValueList{
+          model::Value(std::int64_t{ingress::wire::kWireMajor}),
+          model::Value(std::int64_t{ingress::wire::kWireMinor + 7})})));
+  EXPECT_TRUE(ingress::wire::decode_request(newer_minor).ok());
+
+  // An absent stamp is a pre-versioning peer: accepted as major 1.
+  model::Value bare = ingress::wire::encode_request(request);
+  model::ValueList& fields = bare.as_list();
+  std::erase_if(fields, [](const model::Value& field) {
+    return field.is_list() && field.as_list().size() == 2 &&
+           field.as_list()[0].is_string() &&
+           field.as_list()[0].as_string() == "wire_version";
+  });
+  EXPECT_TRUE(ingress::wire::decode_request(bare).ok());
+
+  // An unreadable stamp is malformed, not a version mismatch.
+  model::Value garbled = ingress::wire::encode_request(request);
+  ASSERT_TRUE(stamp_version(garbled, model::Value("one.two")));
+  auto malformed = ingress::wire::decode_request(garbled);
+  ASSERT_FALSE(malformed.ok());
+  EXPECT_FALSE(ingress::wire::is_version_mismatch(malformed.status()));
+
+  // Replies run through the same gate.
+  ingress::wire::Reply reply;
+  reply.request_id = 1;
+  model::Value reply_payload = ingress::wire::encode_reply(reply);
+  ASSERT_TRUE(stamp_version(
+      reply_payload, model::Value(model::ValueList{
+                         model::Value(std::int64_t{99}),
+                         model::Value(std::int64_t{0})})));
+  auto reply_refused = ingress::wire::decode_reply(reply_payload);
+  ASSERT_FALSE(reply_refused.ok());
+  EXPECT_TRUE(ingress::wire::is_version_mismatch(reply_refused.status()));
+}
+
+/// Property test: any Value tree survives the wire verbatim as a
+/// request body, whatever its shape — the codec round-trips structure
+/// it has no schema for.
+TEST(Wire, RandomValueTreeBodiesRoundTrip) {
+  std::mt19937 rng(20260808);
+  std::function<model::Value(int)> make_tree = [&](int depth) -> model::Value {
+    std::uniform_int_distribution<int> kind(0, depth > 0 ? 5 : 4);
+    switch (kind(rng)) {
+      case 0:
+        return model::Value();
+      case 1:
+        return model::Value(rng() % 2 == 0);
+      case 2:
+        return model::Value(static_cast<std::int64_t>(rng()) -
+                            static_cast<std::int64_t>(rng()));
+      case 3:
+        return model::Value(static_cast<double>(rng() % 10000) / 16.0);
+      case 4:
+        return model::Value("s" + std::to_string(rng() % 100000));
+      default: {
+        std::uniform_int_distribution<int> width(0, 4);
+        model::ValueList children;
+        const int n = width(rng);
+        children.reserve(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i) children.push_back(make_tree(depth - 1));
+        return model::Value(std::move(children));
+      }
+    }
+  };
+
+  for (int round = 0; round < 100; ++round) {
+    ingress::wire::Request request;
+    request.request_id = static_cast<std::uint64_t>(round) + 1;
+    request.text = "payload";
+    request.body = make_tree(4);
+    auto decoded =
+        ingress::wire::decode_request(ingress::wire::encode_request(request));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+    EXPECT_EQ(decoded.value().body, request.body) << "round " << round;
+    EXPECT_EQ(decoded.value().request_id, request.request_id);
+  }
+}
+
+TEST(Wire, ForwardedForRidesTheWire) {
+  ingress::wire::Request request;
+  request.request_id = 9;
+  request.text = "t";
+  request.forwarded_for = "edge-client#41";
+  auto decoded =
+      ingress::wire::decode_request(ingress::wire::encode_request(request));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().forwarded_for, "edge-client#41");
+}
+
+// ---- router specificity edge cases ----------------------------------------
+
+TEST(Router, LiteralCountTiesKeepEarliestRegistration) {
+  ingress::Router router;
+  std::string hit;
+  auto handler = [&hit](std::string name) {
+    return [&hit, name](const net::Message&, const ingress::RouteParams&) {
+      hit = name;
+    };
+  };
+  // Both match "a/b/c" with two literals; the first added must win.
+  ASSERT_TRUE(router.add("a/{x}/c", handler("first")).ok());
+  ASSERT_TRUE(router.add("a/b/{y}", handler("second")).ok());
+  auto tie = router.route("a/b/c");
+  ASSERT_TRUE(tie.has_value());
+  EXPECT_EQ(tie->pattern, "a/{x}/c");
+  EXPECT_EQ(tie->params.get("x"), "b");
+
+  // A fully literal pattern outranks both, regardless of order.
+  ASSERT_TRUE(router.add("a/b/c", handler("exact")).ok());
+  auto exact = router.route("a/b/c");
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_EQ(exact->pattern, "a/b/c");
+  EXPECT_TRUE(exact->params.get("x").empty());
+
+  // The capture routes still serve their own topics.
+  EXPECT_EQ(router.route("a/q/c")->pattern, "a/{x}/c");
+  EXPECT_EQ(router.route("a/b/q")->pattern, "a/b/{y}");
+}
+
+TEST(Router, TrailingSlashIsADistinctUnmatchedTopic) {
+  ingress::Router router;
+  auto noop = [](const net::Message&, const ingress::RouteParams&) {};
+  ASSERT_TRUE(router.add("a/b", noop).ok());
+  ASSERT_TRUE(router.add("a/b/{y}", noop).ok());
+  // "a/b/" splits into three segments with an empty tail: too long for
+  // the literal route, an unbindable capture for the other.
+  EXPECT_FALSE(router.route("a/b/").has_value());
+  EXPECT_TRUE(router.route("a/b").has_value());
+}
+
+TEST(Router, AdjacentCapturesBindIndependently) {
+  ingress::Router router;
+  ingress::RouteParams seen;
+  ASSERT_TRUE(router
+                  .add("x/{p}/{q}",
+                       [](const net::Message&, const ingress::RouteParams&) {})
+                  .ok());
+  auto match = router.route("x/1/2");
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->params.get("p"), "1");
+  EXPECT_EQ(match->params.get("q"), "2");
+  EXPECT_FALSE(router.route("x/1").has_value());
+  EXPECT_FALSE(router.route("x/1/2/3").has_value());
+}
+
+// ---- per-client rate limiting (PR 8) ---------------------------------------
+
+TEST(RateLimiter, TokenBucketRefillsPerClient) {
+  ingress::RateLimiter limiter(2.0, 2.0);
+  const TimePoint t0{};
+  // A fresh client starts with a full burst...
+  EXPECT_TRUE(limiter.admit("alice", t0));
+  EXPECT_TRUE(limiter.admit("alice", t0));
+  // ...and is refused once it is spent.
+  EXPECT_FALSE(limiter.admit("alice", t0));
+  // Buckets are per client: bob is unaffected by alice's burst.
+  EXPECT_TRUE(limiter.admit("bob", t0));
+  EXPECT_EQ(limiter.clients(), 2u);
+
+  // 500ms at 2 tokens/s refills one token — exactly one more admit.
+  const TimePoint t1 = t0 + std::chrono::milliseconds(500);
+  EXPECT_TRUE(limiter.admit("alice", t1));
+  EXPECT_FALSE(limiter.admit("alice", t1));
+
+  // Refill caps at the burst: a long idle spell is not a credit line.
+  const TimePoint t2 = t1 + std::chrono::hours(1);
+  EXPECT_TRUE(limiter.admit("alice", t2));
+  EXPECT_TRUE(limiter.admit("alice", t2));
+  EXPECT_FALSE(limiter.admit("alice", t2));
+}
+
+TEST(IngressE2E, ModelDrivenRateLimitRefusesTheBurstOverflow) {
+  auto deployment = make_split_deployment(
+      "ingress_rate_limit = 1.0\n"
+      "  ingress_rate_burst = 2.0");
+  ASSERT_NE(deployment, nullptr);
+  EXPECT_EQ(deployment->platform->ingress_settings().rate_limit, 1.0);
+  EXPECT_EQ(deployment->platform->ingress_settings().rate_burst, 2.0);
+
+  Ledger ledger;
+  for (int i = 0; i < 4; ++i) {
+    const std::string session = "rl" + std::to_string(i);
+    ASSERT_TRUE(deployment->client
+                    ->submit("testlang", session,
+                             soak::open_session_text(session),
+                             ledger.recorder())
+                    .ok());
+  }
+  ASSERT_TRUE(deployment->drive_until([&] { return ledger.total() == 4; }));
+  {
+    std::lock_guard lock(ledger.mutex);
+    EXPECT_EQ(ledger.refusals[""], 2);
+    EXPECT_EQ(ledger.refusals["rate-limited"], 2);
+  }
+
+  // Tokens accrue on the network clock: after 3 virtual seconds the
+  // same client is welcome again.
+  deployment->clock.advance(std::chrono::seconds(3));
+  ASSERT_TRUE(deployment->client
+                  ->submit("testlang", "rl9", soak::open_session_text("rl9"),
+                           ledger.recorder())
+                  .ok());
+  ASSERT_TRUE(deployment->drive_until([&] { return ledger.total() == 5; }));
+  {
+    std::lock_guard lock(ledger.mutex);
+    EXPECT_EQ(ledger.refusals[""], 3);
+    EXPECT_EQ(ledger.refusals["rate-limited"], 2);
+  }
+  deployment->shutdown();
+}
+
+// ---- wire versioning over the wire -----------------------------------------
+
+TEST(IngressE2E, ForeignMajorIsRefusedWithBadVersionSlug) {
+  auto deployment = make_split_deployment();
+  ASSERT_NE(deployment, nullptr);
+
+  std::mutex mutex;
+  std::vector<ingress::wire::Reply> replies;
+  auto probe = deployment->network->create_endpoint("probe");
+  ASSERT_TRUE(probe.ok());
+  probe.value()->set_handler([&](const net::Message& message) {
+    auto reply = ingress::wire::decode_reply(message.payload);
+    if (reply.ok()) {
+      std::lock_guard lock(mutex);
+      replies.push_back(std::move(reply.value()));
+    }
+  });
+
+  ingress::wire::Request request;
+  request.request_id = 5;
+  request.text = soak::open_session_text("v1");
+  model::Value payload = ingress::wire::encode_request(request);
+  ASSERT_TRUE(stamp_version(
+      payload,
+      model::Value(model::ValueList{model::Value(std::int64_t{2}),
+                                    model::Value(std::int64_t{0})})));
+  ASSERT_TRUE(probe.value()
+                  ->send(deployment->server->endpoint_name(),
+                         "submit/testlang/v1", std::move(payload))
+                  .ok());
+  ASSERT_TRUE(deployment->drive_until([&] {
+    std::lock_guard lock(mutex);
+    return !replies.empty();
+  }));
+  {
+    std::lock_guard lock(mutex);
+    EXPECT_EQ(replies[0].refusal, "bad-version");
+    EXPECT_EQ(replies[0].code, ErrorCode::kInvalidArgument);
+  }
+  // The mismatched speaker consumed no platform work.
+  EXPECT_EQ(deployment->svc->executed(), 0u);
+  deployment->shutdown();
+}
+
+// ---- dedup ledger + retry budget (PR 8) ------------------------------------
+
+// Satellite 3, deterministic half: replaying a completed request id is
+// answered from the server's outcome ledger — same reply, no second
+// execution.
+TEST(IngressE2E, DuplicateSubmitIsServedFromTheLedgerNotReExecuted) {
+  auto deployment = make_split_deployment();
+  ASSERT_NE(deployment, nullptr);
+
+  std::mutex mutex;
+  std::vector<ingress::wire::Reply> replies;
+  auto probe = deployment->network->create_endpoint("probe");
+  ASSERT_TRUE(probe.ok());
+  probe.value()->set_handler([&](const net::Message& message) {
+    auto reply = ingress::wire::decode_reply(message.payload);
+    if (reply.ok()) {
+      std::lock_guard lock(mutex);
+      replies.push_back(std::move(reply.value()));
+    }
+  });
+
+  ingress::wire::Request request;
+  request.request_id = 77;
+  request.text = soak::open_session_text("dup1");
+  const model::Value payload = ingress::wire::encode_request(request);
+
+  ASSERT_TRUE(probe.value()
+                  ->send(deployment->server->endpoint_name(),
+                         "submit/testlang/dup1", payload)
+                  .ok());
+  ASSERT_TRUE(deployment->drive_until([&] {
+    std::lock_guard lock(mutex);
+    return replies.size() == 1;
+  }));
+  const std::uint64_t executed_once = deployment->svc->executed();
+  EXPECT_EQ(executed_once, 2u);  // create + open ran exactly once
+
+  // The retry (same id, same payload) is answered without re-execution.
+  ASSERT_TRUE(probe.value()
+                  ->send(deployment->server->endpoint_name(),
+                         "submit/testlang/dup1", payload)
+                  .ok());
+  ASSERT_TRUE(deployment->drive_until([&] {
+    std::lock_guard lock(mutex);
+    return replies.size() == 2;
+  }));
+  EXPECT_EQ(deployment->svc->executed(), executed_once);
+  {
+    std::lock_guard lock(mutex);
+    EXPECT_EQ(replies[1].request_id, 77u);
+    EXPECT_EQ(replies[1].code, replies[0].code);
+    EXPECT_EQ(replies[1].commands, replies[0].commands);
+  }
+  EXPECT_EQ(deployment->server->stats().deduped, 1u);
+  deployment->shutdown();
+}
+
+// Satellite 3, lossy half: a client with a retry budget re-sends overdue
+// requests under the same id; the dedup ledger keeps the replays
+// idempotent, so losses heal instead of surfacing as reply-lost — and
+// still exactly one callback per submission.
+TEST(IngressE2E, RetryBudgetHealsLossesWithoutDoubleExecution) {
+  net::NetworkConfig lossy = quiet_network();
+  lossy.drop_rate = 0.3;
+  lossy.seed = 17;
+  ingress::IngressClientOptions client_options;
+  client_options.reply_timeout = std::chrono::seconds(1);
+  client_options.retry_budget = 3;
+  auto deployment = make_split_deployment("", /*pipeline_threads=*/2, lossy,
+                                          client_options);
+  ASSERT_NE(deployment, nullptr);
+
+  Ledger ledger;
+  constexpr int kSubmissions = 60;
+  for (int i = 0; i < kSubmissions; ++i) {
+    const std::string session = "r" + std::to_string(i);
+    ASSERT_TRUE(deployment->client
+                    ->submit("testlang", session,
+                             soak::open_session_text(session),
+                             ledger.recorder())
+                    .ok());
+  }
+  // Drive with virtual time moving so reply timeouts fire retries.
+  const auto wall_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < wall_deadline &&
+         ledger.total() < kSubmissions) {
+    deployment->network->run_until_idle();
+    deployment->server->pump();
+    deployment->network->run_until_idle();
+    deployment->clock.advance(std::chrono::milliseconds(250));
+    deployment->client->expire_overdue();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  {
+    std::lock_guard lock(ledger.mutex);
+    ASSERT_EQ(ledger.fired.size(), static_cast<std::size_t>(kSubmissions));
+    for (const auto& [id, count] : ledger.fired) {
+      EXPECT_EQ(count, 1) << "request " << id;
+    }
+    // With up to 4 attempts per request, nearly everything heals: the
+    // all-attempts-lost probability is well under 10%.
+    EXPECT_GE(ledger.refusals[""], kSubmissions * 3 / 4);
+  }
+  const ingress::IngressClient::Stats stats = deployment->client->stats();
+  EXPECT_GT(stats.retried, 0u);
+  // The dedup ledger absorbed replays of already-executed requests: the
+  // adapter never ran a session twice.
+  EXPECT_LE(deployment->svc->executed(),
+            static_cast<std::uint64_t>(2 * kSubmissions));
+  EXPECT_GT(deployment->server->stats().deduped, 0u);
   deployment->shutdown();
 }
 
