@@ -20,6 +20,15 @@
 // model::diff ChangeList; we record delta bytes vs the full-model bytes
 // a naive re-ship would have cost.
 //
+// Rebalance row (PR 9): 4 shards at 0.8x capacity with a warm spare
+// standing by; at 40% of the feed the spare JOINS (full-model warm-up,
+// then the ring flip moves ~1/5 of the keyspace onto it), at 70% shard
+// 0 LEAVES (immediate ring flip, drain, retire). Completions are
+// timestamped so the row compares the post-resize goodput plateau to
+// the pre-join one — the gate demands recovery >= 0.9x — and the
+// exactly-once ledger must stay clean across both flips. The moved
+// fraction reported by the join is asserted <= ~1/N.
+//
 // A driver thread slaves the network's SimClock to real time (as in
 // bench_ingress) and doubles as the front-end's housekeeping loop:
 // deliver_due() + frontend->maintain() + client->expire_overdue().
@@ -137,6 +146,11 @@ struct Fleet {
   std::thread driver;
   std::atomic<bool> stop{false};
   std::atomic<int> kill_shard{-1};  ///< set by the feeder; driver executes
+  // Rebalance triggers (PR 9), same pattern: the feeder flags them, the
+  // driver performs them between delivery batches.
+  std::atomic<bool> join_spare{false};
+  std::atomic<int> leave_shard{-1};
+  std::string spare_endpoint;  ///< pre-launched node outside the ring
 
   ~Fleet() {
     if (driver.joinable()) {
@@ -152,7 +166,8 @@ struct Fleet {
 
 Result<std::unique_ptr<Fleet>> make_fleet(
     const BenchConfig& config, std::size_t shards,
-    cluster::ClusterConfig cluster_config = {}) {
+    cluster::ClusterConfig cluster_config = {},
+    std::size_t spare_nodes = 0) {
   auto fleet = std::make_unique<Fleet>();
   auto parsed = model::parse_model(cluster_cvm_text(config),
                                    core::middleware_metamodel());
@@ -167,7 +182,7 @@ Result<std::unique_ptr<Fleet>> make_fleet(
   fleet->network = std::make_unique<net::Network>(fleet->sim, network_config);
 
   std::vector<std::string> endpoints;
-  for (std::size_t i = 0; i < shards; ++i) {
+  for (std::size_t i = 0; i < shards + spare_nodes; ++i) {
     cluster::ShardNodeOptions options;
     options.endpoint = "shard-" + std::to_string(i);
     options.platform_config.dsml = comm::cml_metamodel();
@@ -181,7 +196,13 @@ Result<std::unique_ptr<Fleet>> make_fleet(
     auto node = cluster::ShardNode::launch(*fleet->middleware, *fleet->network,
                                            std::move(options));
     if (!node.ok()) return node.status();
-    endpoints.push_back(node.value()->endpoint_name());
+    // Spares run but stay OUT of the front-end's initial ring; a later
+    // frontend->join() admits them.
+    if (i < shards) {
+      endpoints.push_back(node.value()->endpoint_name());
+    } else if (fleet->spare_endpoint.empty()) {
+      fleet->spare_endpoint = node.value()->endpoint_name();
+    }
     fleet->nodes.push_back(std::move(node.value()));
   }
 
@@ -216,6 +237,15 @@ Result<std::unique_ptr<Fleet>> make_fleet(
       f->network->deliver_due();
       const int victim = f->kill_shard.exchange(-1, std::memory_order_acq_rel);
       if (victim >= 0) f->nodes[static_cast<std::size_t>(victim)]->kill();
+      if (f->join_spare.exchange(false, std::memory_order_acq_rel) &&
+          !f->spare_endpoint.empty()) {
+        (void)f->frontend->join(f->spare_endpoint);
+      }
+      const int leaver =
+          f->leave_shard.exchange(-1, std::memory_order_acq_rel);
+      if (leaver >= 0) {
+        (void)f->frontend->leave(static_cast<std::size_t>(leaver));
+      }
       f->frontend->maintain();
       f->client->expire_overdue();
       std::this_thread::sleep_for(std::chrono::microseconds(50));
@@ -365,6 +395,139 @@ struct ReplicationRow {
   std::uint64_t acks = 0;
 };
 
+struct RebalanceRow {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed_ok = 0;
+  std::uint64_t refused = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t duplicate_callbacks = 0;
+  std::uint64_t unresolved = 0;
+  std::uint64_t joins_completed = 0;
+  std::uint64_t leaves_completed = 0;
+  std::uint64_t full_sync_acks = 0;
+  double moved_fraction = 0.0;  ///< keyspace slice the JOIN migrated
+  double pre_join_goodput_rps = 0.0;
+  double post_resize_goodput_rps = 0.0;
+  double recovery_ratio = 0.0;  ///< post / pre (the >= 0.9 gate)
+};
+
+/// OK-completions inside [begin_s, end_s), as a rate.
+double window_goodput(const std::vector<double>& ok_times_s, double begin_s,
+                      double end_s) {
+  if (end_s <= begin_s) return 0.0;
+  std::size_t count = 0;
+  for (const double t : ok_times_s) {
+    if (t >= begin_s && t < end_s) ++count;
+  }
+  return static_cast<double>(count) / (end_s - begin_s);
+}
+
+/// Feed a 4-shard fleet at 0.8x capacity; join the spare at 40% of the
+/// feed, retire shard 0 at 70%. Goodput is compared between the
+/// pre-join plateau and the post-resize tail.
+Result<RebalanceRow> run_rebalance_step(const BenchConfig& config,
+                                        double shard_capacity_rps) {
+  constexpr std::size_t kShards = 4;
+  auto fleet = make_fleet(config, kShards, {}, /*spare_nodes=*/1);
+  if (!fleet.ok()) return fleet.status();
+
+  const double offered_rps =
+      0.8 * shard_capacity_rps * static_cast<double>(kShards);
+  const auto interval =
+      std::chrono::nanoseconds(static_cast<std::int64_t>(1e9 / offered_rps));
+  // Twice the per-step budget: the row needs a plateau on each side of
+  // the two topology flips.
+  const int total =
+      static_cast<int>(offered_rps * config.seconds_per_step * 2.0);
+  const double feed_s = static_cast<double>(total) * 1e-9 *
+                        static_cast<double>(interval.count());
+  const int join_at = (total * 2) / 5;
+  const int leave_at = (total * 7) / 10;
+
+  RebalanceRow row;
+  Ledger ledger(static_cast<std::size_t>(total));
+  std::mutex times_mutex;
+  std::vector<double> ok_times_s;
+  ok_times_s.reserve(static_cast<std::size_t>(total));
+  ingress::RemoteSubmitOptions options;
+  options.deadline = std::chrono::milliseconds(config.deadline_ms);
+
+  const auto start = std::chrono::steady_clock::now();
+  auto next_at = start;
+  for (int r = 0; r < total; ++r) {
+    std::this_thread::sleep_until(next_at);
+    next_at += interval;
+    if (r == join_at) {
+      fleet.value()->join_spare.store(true, std::memory_order_release);
+    }
+    if (r == leave_at) {
+      // The join's migration bound, read before the leave overwrites it.
+      row.moved_fraction =
+          fleet.value()->frontend->last_rebalance_fraction();
+      fleet.value()->leave_shard.store(0, std::memory_order_release);
+    }
+    ++row.submitted;
+    ledger.outstanding.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t index = static_cast<std::size_t>(r);
+    auto submitted = fleet.value()->client->submit(
+        "cml", "s" + std::to_string(r), scenario_text(r),
+        [&ledger, &times_mutex, &ok_times_s, index,
+         start](const ingress::RemoteOutcome& outcome) {
+          const double at_s = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - start)
+                                  .count();
+          ledger.resolve(index, outcome, 0.0);
+          if (outcome.status.ok()) {
+            std::lock_guard lock(times_mutex);
+            ok_times_s.push_back(at_s);
+          }
+        },
+        options);
+    if (!submitted.ok()) {
+      ingress::RemoteOutcome failed;
+      failed.status = submitted.status();
+      ledger.resolve(index, failed, 0.0);
+    }
+  }
+  const auto wall_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (ledger.outstanding.load(std::memory_order_relaxed) != 0 &&
+         std::chrono::steady_clock::now() < wall_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  const cluster::ClusterFrontEnd::Stats stats =
+      fleet.value()->frontend->stats();
+  row.joins_completed = stats.joins_completed;
+  row.leaves_completed = stats.leaves_completed;
+  row.full_sync_acks = stats.full_sync_acks;
+  fleet.value().reset();  // joins the driver; detach resolves stragglers
+
+  Row scratch;
+  ledger.finalize(scratch, feed_s);
+  row.completed_ok = scratch.completed_ok;
+  row.refused = scratch.refused;
+  row.lost = scratch.lost;
+  row.duplicate_callbacks = scratch.duplicate_callbacks;
+  row.unresolved = scratch.unresolved;
+
+  // Plateaus: [10%, 40%) of the feed is untouched by either flip; the
+  // tail after 80% has both behind it (the leave flip at 70% is
+  // instantaneous — only the drain settles afterwards).
+  {
+    std::lock_guard lock(times_mutex);
+    row.pre_join_goodput_rps =
+        window_goodput(ok_times_s, 0.10 * feed_s, 0.40 * feed_s);
+    row.post_resize_goodput_rps =
+        window_goodput(ok_times_s, 0.80 * feed_s, feed_s);
+  }
+  row.recovery_ratio =
+      row.pre_join_goodput_rps > 0.0
+          ? row.post_resize_goodput_rps / row.pre_join_goodput_rps
+          : 0.0;
+  return row;
+}
+
 /// Ship a runtime-model tune-up (admission knob change) to a 2-shard
 /// fleet as a diff and record the bytes a full-model re-ship would have
 /// cost instead.
@@ -479,6 +642,12 @@ int main(int argc, char** argv) {
                  replication.status().to_string().c_str());
     return 1;
   }
+  auto rebalance = run_rebalance_step(config, shard_capacity_rps);
+  if (!rebalance.ok()) {
+    std::fprintf(stderr, "rebalance step failed: %s\n",
+                 rebalance.status().to_string().c_str());
+    return 1;
+  }
 
   double goodput_1 = 0.0;
   double goodput_4 = 0.0;
@@ -502,11 +671,21 @@ int main(int argc, char** argv) {
   const double scaling = goodput_1 > 0.0 ? goodput_4 / goodput_1 : 0.0;
   const Row& fo = failover.value();
   const ReplicationRow& repl = replication.value();
+  const RebalanceRow& reb = rebalance.value();
   const bool exactly_once =
       fo.duplicate_callbacks == 0 && fo.unresolved == 0;
   const bool delta_saves = repl.delta_bytes < repl.full_bytes;
-  const bool pass =
-      scaling >= config.min_scaling && exactly_once && delta_saves;
+  // Elasticity gates (PR 9): both resizes completed mid-feed, callbacks
+  // stayed exactly-once, the join moved no more than ~1/5 of the
+  // keyspace, and goodput recovered to >= 0.9x the pre-join plateau.
+  const bool rebalance_exactly_once =
+      reb.duplicate_callbacks == 0 && reb.unresolved == 0;
+  const bool rebalance_ok =
+      reb.joins_completed == 1 && reb.leaves_completed == 1 &&
+      rebalance_exactly_once && reb.moved_fraction <= 1.5 / 5.0 &&
+      reb.recovery_ratio >= 0.9;
+  const bool pass = scaling >= config.min_scaling && exactly_once &&
+                    delta_saves && rebalance_ok;
   if (!config.json_only) {
     std::fprintf(stderr,
                  "\nfailover: ok=%llu refused=%llu lost=%llu dupes=%llu "
@@ -523,6 +702,17 @@ int main(int argc, char** argv) {
                  "replication: delta=%llu bytes vs full=%llu bytes\n",
                  static_cast<unsigned long long>(repl.delta_bytes),
                  static_cast<unsigned long long>(repl.full_bytes));
+    std::fprintf(stderr,
+                 "rebalance: pre=%.1f/s post=%.1f/s recovery=%.2fx "
+                 "moved=%.3f joins=%llu leaves=%llu dupes=%llu "
+                 "unresolved=%llu lost=%llu\n",
+                 reb.pre_join_goodput_rps, reb.post_resize_goodput_rps,
+                 reb.recovery_ratio, reb.moved_fraction,
+                 static_cast<unsigned long long>(reb.joins_completed),
+                 static_cast<unsigned long long>(reb.leaves_completed),
+                 static_cast<unsigned long long>(reb.duplicate_callbacks),
+                 static_cast<unsigned long long>(reb.unresolved),
+                 static_cast<unsigned long long>(reb.lost));
     std::fprintf(stderr, "scaling 1->4 shards: %.2fx (target >= %.2fx)\n",
                  scaling, config.min_scaling);
   }
@@ -545,9 +735,31 @@ int main(int argc, char** argv) {
               repl.shards, static_cast<unsigned long long>(repl.delta_bytes),
               static_cast<unsigned long long>(repl.full_bytes),
               static_cast<unsigned long long>(repl.acks));
+  std::printf(
+      "  \"rebalance\": {\"shards\": 4, \"spares\": 1, \"submitted\": %llu, "
+      "\"completed_ok\": %llu, \"refused\": %llu, \"lost\": %llu, "
+      "\"duplicate_callbacks\": %llu, \"unresolved\": %llu, "
+      "\"joins_completed\": %llu, \"leaves_completed\": %llu, "
+      "\"full_sync_acks\": %llu, \"moved_fraction\": %.4f, "
+      "\"pre_join_goodput_rps\": %.1f, \"post_resize_goodput_rps\": %.1f, "
+      "\"recovery_ratio\": %.3f},\n",
+      static_cast<unsigned long long>(reb.submitted),
+      static_cast<unsigned long long>(reb.completed_ok),
+      static_cast<unsigned long long>(reb.refused),
+      static_cast<unsigned long long>(reb.lost),
+      static_cast<unsigned long long>(reb.duplicate_callbacks),
+      static_cast<unsigned long long>(reb.unresolved),
+      static_cast<unsigned long long>(reb.joins_completed),
+      static_cast<unsigned long long>(reb.leaves_completed),
+      static_cast<unsigned long long>(reb.full_sync_acks),
+      reb.moved_fraction, reb.pre_join_goodput_rps,
+      reb.post_resize_goodput_rps, reb.recovery_ratio);
   std::printf("  \"scaling_1_to_4\": %.3f, \"min_scaling\": %.2f, "
-              "\"failover_exactly_once\": %s, \"pass\": %s\n}\n",
+              "\"failover_exactly_once\": %s, "
+              "\"rebalance_exactly_once\": %s, \"rebalance_pass\": %s, "
+              "\"pass\": %s\n}\n",
               scaling, config.min_scaling, exactly_once ? "true" : "false",
-              pass ? "true" : "false");
+              rebalance_exactly_once ? "true" : "false",
+              rebalance_ok ? "true" : "false", pass ? "true" : "false");
   return pass ? 0 : 1;
 }

@@ -11,10 +11,12 @@
 //
 // The walkthrough shows: sessions sticking to their ring owner, a
 // query fanning out and merging every shard, a runtime-model change
-// shipped as a model::diff delta (73 bytes instead of ~19 KB), and a
-// shard dying mid-conversation — the breaker trips, traffic fails over
-// to the ring replica, and every submission still resolves exactly
-// once.
+// shipped as a model::diff delta (73 bytes instead of ~19 KB), the
+// fleet resizing live (PR 9: a fourth shard joins — warmed by a
+// full-model sync before it serves — then a shard leaves and drains),
+// and a shard dying mid-conversation — the breaker trips, traffic
+// fails over to the ring replica, and every submission still resolves
+// exactly once.
 #include <cstdio>
 #include <functional>
 #include <map>
@@ -76,9 +78,9 @@ int main() {
   // 2. Three shards, each a full platform with its own ingress.
   std::vector<std::unique_ptr<cluster::ShardNode>> nodes;
   std::vector<std::string> endpoints;
-  for (int i = 0; i < 3; ++i) {
+  auto launch_node = [&](const std::string& endpoint) -> bool {
     cluster::ShardNodeOptions options;
-    options.endpoint = "shard-" + std::to_string(i);
+    options.endpoint = endpoint;
     options.platform_config.dsml = comm::cml_metamodel();
     options.platform_config.pipeline_threads = 1;
     options.manual_reply_loop = true;  // this example pumps explicitly
@@ -90,10 +92,15 @@ int main() {
                                            std::move(options));
     if (!node.ok()) {
       std::printf("launch failed: %s\n", node.status().to_string().c_str());
-      return 1;
+      return false;
     }
-    endpoints.push_back(node.value()->endpoint_name());
     nodes.push_back(std::move(node.value()));
+    return true;
+  };
+  for (int i = 0; i < 3; ++i) {
+    const std::string endpoint = "shard-" + std::to_string(i);
+    if (!launch_node(endpoint)) return 1;
+    endpoints.push_back(endpoint);
   }
 
   auto frontend = cluster::ClusterFrontEnd::attach(
@@ -159,7 +166,49 @@ int main() {
               static_cast<unsigned long long>(repl.delta_bytes),
               static_cast<unsigned long long>(repl.full_bytes));
 
-  // 6. Kill a shard mid-conversation. Its sessions fail over to their
+  // 6. Elasticity (PR 9): a fourth shard joins live. join() warms it
+  //    with a full-model sync first and only then splices the ring —
+  //    the moved keyspace is ~1/4, everything else stays put.
+  std::printf("\n-- joining shard-3 (warm, then splice) --\n");
+  if (!launch_node("shard-3")) return 1;
+  if (auto joined = frontend.value()->join("shard-3"); !joined.ok()) {
+    std::printf("join refused: %s\n", joined.status().to_string().c_str());
+    return 1;
+  }
+  drive([&] { return frontend.value()->stats().joins_completed == 1; });
+  std::printf("  active shards: %zu  epoch: %llu  moved keyspace: %.2f\n",
+              frontend.value()->active_shard_count(),
+              static_cast<unsigned long long>(frontend.value()->epoch()),
+              frontend.value()->last_rebalance_fraction());
+  int rebalanced = 0;
+  for (int i = 0; i < 9; ++i) {
+    const std::string session = "session-" + std::to_string(i);
+    std::printf("  %-10s -> shard %zu\n", session.c_str(),
+                frontend.value()->ring().owner(session));
+    (void)client.value()->submit(
+        "cml", session, connection_text("j" + std::to_string(i)),
+        [&](const ingress::RemoteOutcome&) { ++rebalanced; });
+  }
+  drive([&] { return rebalanced == 9; });
+  std::printf("  all %d resolved on the grown ring\n", rebalanced);
+
+  // 7. And shard 1 leaves: unspliced from the ring at once (new work
+  //    routes to survivors), drained of in-flight forwards, retired.
+  std::printf("\n-- shard 1 leaving (drain, then retire) --\n");
+  if (Status left = frontend.value()->leave(1); !left.ok()) {
+    std::printf("leave refused: %s\n", left.to_string().c_str());
+    return 1;
+  }
+  drive([&] { return frontend.value()->stats().leaves_completed == 1; });
+  std::printf("  active shards: %zu  epoch: %llu  retired: %s\n",
+              frontend.value()->active_shard_count(),
+              static_cast<unsigned long long>(frontend.value()->epoch()),
+              frontend.value()->shard_state(1) ==
+                      cluster::ClusterFrontEnd::ShardState::kRetired
+                  ? "yes"
+                  : "no");
+
+  // 8. Kill a shard mid-conversation. Its sessions fail over to their
   //    ring replica; the callback ledger stays exactly-once.
   std::printf("\n-- killing shard 0 --\n");
   nodes[0]->kill();
@@ -188,7 +237,7 @@ int main() {
               static_cast<unsigned long long>(stats.rerouted),
               static_cast<unsigned long long>(stats.breaker_trips));
 
-  // 7. Orderly teardown: client, front-end, shards, network.
+  // 9. Orderly teardown: client, front-end, shards, network.
   client.value().reset();
   frontend.value().reset();
   nodes.clear();

@@ -1,5 +1,6 @@
-// The cluster front-end (PR 8): one well-known ingress endpoint fanning
-// a consistent-hash-sharded fleet of ShardNodes out behind it.
+// The cluster front-end (PR 8, elastic since PR 9): one well-known
+// ingress endpoint fanning a consistent-hash-sharded fleet of
+// ShardNodes out behind it.
 //
 // Routing: the submit route's {session} capture is the shard key — the
 // ShardRing maps it onto the owning shard, whose IngressServer executes
@@ -13,15 +14,37 @@
 // by forwarding outcomes (a lost reply = failure; a typed refusal means
 // the shard is alive and counts as success). A tripped window reroutes
 // the session's traffic to its ring-designated replica shard at
-// admission time; an individual lost reply fails over the one request
-// to the replica. Failover is at-most-once end-to-end: the replica run
-// is a fresh execution, and exactly-once refers to the client-facing
-// callback ledger (one terminal outcome per request, never two).
+// admission time — gated through the REPLICA's breaker too, so a
+// tripped replica is never dogpiled; both windows open refuses
+// "shard-unavailable". An individual lost reply fails over the one
+// request to the replica with the elapsed wait deducted from its
+// deadline budget (a spent deadline refuses "deadline" instead of
+// delivering a reply the client can no longer use). Failover is
+// at-most-once end-to-end: the replica run is a fresh execution, and
+// exactly-once refers to the client-facing callback ledger (one
+// terminal outcome per request, never two).
 //
 // Replication: update_model() diffs the new authoritative middleware
 // model against the current one and ships the model::diff ChangeList —
-// not full model text — to every shard's "replicate/model-diff" route,
-// tracking delta vs full-model bytes (the savings BENCH_8 reports).
+// not full model text — to every current shard's "replicate/model-diff"
+// route, tracking delta vs full-model bytes (the savings BENCH_8
+// reports). A shard whose delta send fails or is nacked is marked
+// STALE: it stops receiving deltas (they would apply against the wrong
+// baseline) and instead gets a full-model ship ("replicate/model-full")
+// on the next maintain()/update_model() cycle, versioned so a late ack
+// of an old full ship never clears staleness spuriously.
+//
+// Elasticity (PR 9): join(endpoint) admits a new shard — it attaches a
+// downstream client, warms the newcomer with the same full-model
+// machinery (stale until the CURRENT model version is acked), and only
+// then splices it into the ring, bumping the topology epoch. leave()
+// removes a shard from the ring immediately (epoch bump), closes its
+// client so no new forwards can race in, lets the pending forwards
+// settle on the old route, and retires the shard once they have. Every
+// routing decision happens under the topology lock against exactly one
+// ring state and is stamped with its epoch; a failover from an older
+// epoch re-resolves its target against the current ring — so no
+// session ever has two live owners.
 #pragma once
 
 #include <atomic>
@@ -29,6 +52,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -66,6 +90,14 @@ struct ClusterConfig {
 
 class ClusterFrontEnd {
  public:
+  /// A shard's place in the join → serve → drain → gone lifecycle.
+  enum class ShardState {
+    kJoining,   ///< warming via full-model ship; not in the ring yet
+    kActive,    ///< in the ring, serving its key-arcs
+    kDraining,  ///< out of the ring; pending forwards still settling
+    kRetired,   ///< drained; client released, slot kept for index stability
+  };
+
   /// Bind the front-end on `network`, forwarding to the shard ingress
   /// endpoints in `shard_endpoints` (index order = ring shard index).
   /// `authoritative_model` seeds the replication baseline — it must be
@@ -81,21 +113,54 @@ class ClusterFrontEnd {
   [[nodiscard]] const std::string& endpoint_name() const noexcept {
     return endpoint_name_;
   }
+  /// The ring itself. NOT synchronized against concurrent join/leave —
+  /// single-threaded introspection (tests, examples) only; concurrent
+  /// callers should use shard_for().
   [[nodiscard]] const ShardRing& ring() const noexcept { return ring_; }
-  [[nodiscard]] std::size_t shard_count() const noexcept {
-    return shards_.size();
+  /// Slots ever allocated, retired ones included (indices are stable).
+  [[nodiscard]] std::size_t shard_count() const;
+  /// Shards currently in the ring.
+  [[nodiscard]] std::size_t active_shard_count() const;
+  [[nodiscard]] ShardState shard_state(std::size_t index) const;
+  /// Topology epoch: bumps on every ring change (join completion,
+  /// leave). Forwards are stamped with it so stale failovers re-resolve.
+  [[nodiscard]] std::uint64_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+  /// Fraction of the keyspace the LAST topology change moved (the
+  /// migration bound the bench asserts: ~1/N per single join/leave).
+  [[nodiscard]] double last_rebalance_fraction() const noexcept {
+    return last_rebalance_fraction_.load(std::memory_order_acquire);
   }
   /// The shard currently serving `session` (after health rerouting).
   [[nodiscard]] std::size_t shard_for(std::string_view session) const;
 
+  /// Begin admitting a new shard serving `endpoint`: attach a
+  /// downstream client, start the full-model warm-up, and splice it
+  /// into the ring once the warm-up acks at the current model version.
+  /// Returns the new shard's index immediately; completion is
+  /// observable via shard_state() / stats().joins_completed.
+  Result<std::size_t> join(const std::string& endpoint);
+
+  /// Begin retiring shard `index`: remove it from the ring (new submits
+  /// for its arcs route to the survivors at the bumped epoch), close
+  /// its downstream client, and retire it once every pending forward
+  /// has settled on the old route. Refuses to retire the last active
+  /// shard. Completion is observable via shard_state() /
+  /// stats().leaves_completed.
+  Status leave(std::size_t index);
+
   /// Replace the authoritative middleware model: diff, ship the
-  /// ChangeList to every shard, adopt `next_model` as the new baseline.
-  /// Returns the first immediate send failure (delivery outcomes arrive
+  /// ChangeList to every current shard (stale shards get a full-model
+  /// ship instead), adopt `next_model` as the new baseline. Returns the
+  /// first immediate send failure (delivery outcomes arrive
   /// asynchronously and land in stats()).
   Status update_model(const model::Model& next_model);
 
   /// Housekeeping for simulation drivers: expire overdue downstream
-  /// forwards (triggering retries/failover). Returns outcomes resolved.
+  /// forwards (triggering retries/failover), retire drained leavers,
+  /// and re-ship the full model to stale shards. Returns outcomes
+  /// resolved.
   std::size_t maintain();
 
   struct Stats {
@@ -114,6 +179,15 @@ class ClusterFrontEnd {
     std::uint64_t full_bytes = 0;      ///< full-model bytes NOT sent
     std::uint64_t replication_acks = 0;
     std::uint64_t replication_failures = 0;
+    // Full-sync / staleness ledger (PR 9):
+    std::uint64_t stale_marks = 0;       ///< shards marked divergent
+    std::uint64_t full_syncs_shipped = 0;  ///< full-model ships sent
+    std::uint64_t full_sync_acks = 0;      ///< ...that the shard accepted
+    // Elasticity ledger (PR 9):
+    std::uint64_t joins_started = 0;
+    std::uint64_t joins_completed = 0;   ///< warm shard spliced into ring
+    std::uint64_t leaves_started = 0;
+    std::uint64_t leaves_completed = 0;  ///< drained shard retired
   };
   [[nodiscard]] Stats stats() const;
 
@@ -125,19 +199,38 @@ class ClusterFrontEnd {
     std::string session;
     std::string dsml;
     std::string text;
-    std::optional<Duration> deadline;
+    std::optional<Duration> deadline;  ///< REMAINING budget this attempt
     bool high_priority = false;
     std::optional<std::size_t> fallback;  ///< replica to try on loss
     /// Verdict the target shard's breaker issued for this attempt
     /// (probes must retire their probe slot on settle).
     broker::CircuitBreaker::Admission admission =
         broker::CircuitBreaker::Admission::kAllow;
+    /// Topology epoch the routing decision was made under; a failover
+    /// after a flip re-resolves its target against the current ring.
+    std::uint64_t epoch = 0;
+    /// When this attempt left the front-end (network clock), so a
+    /// failover can deduct the wait already spent from the deadline.
+    TimePoint sent_at{};
   };
 
   struct Shard {
     std::string endpoint;
-    std::unique_ptr<ingress::IngressClient> client;
+    /// breaker declared BEFORE client: the client's destructor fires
+    /// straggler callbacks that feed the health window, so the breaker
+    /// must outlive it.
     std::unique_ptr<broker::CircuitBreaker> breaker;
+    /// shared_ptr so in-flight forwards and maintenance snapshots keep
+    /// the client alive across a concurrent retire; null once retired.
+    std::shared_ptr<ingress::IngressClient> client;
+    std::atomic<ShardState> state{ShardState::kActive};
+    /// Replica diverged (missed/nacked a delta, or still warming):
+    /// deltas are withheld; the full model re-ships until the current
+    /// version acks.
+    std::atomic<bool> stale{false};
+    std::atomic<bool> full_sync_in_flight{false};
+    /// Highest model version this shard acked (delta or full).
+    std::atomic<std::uint64_t> acked_version{0};
   };
 
   ClusterFrontEnd(net::Network& network, model::Model authoritative);
@@ -151,6 +244,15 @@ class ClusterFrontEnd {
   /// Resolve one downstream outcome: fail over, or reply to the client.
   void settle_forward(Forward& state, std::size_t shard_index,
                       const ingress::RemoteOutcome& outcome);
+  /// Ship the current full model to `index` (at most one in flight per
+  /// shard). Clears staleness — and completes a pending join — when the
+  /// ack matches the current model version.
+  void kick_full_sync(std::size_t index);
+  /// Splice a warmed joiner into the ring (unique topology lock).
+  void complete_join(std::size_t index);
+  /// Release a drained leaver's client and mark the slot retired.
+  void retire(std::size_t index);
+  void mark_stale(std::size_t index);
   void send_reply(const std::string& to, ingress::wire::Reply reply);
   void refuse(const std::string& to, std::uint64_t request_id,
               const Status& status, std::string refusal);
@@ -164,11 +266,27 @@ class ClusterFrontEnd {
   std::string endpoint_name_;
   ingress::Router router_;
   ClusterConfig config_;
+
+  /// Guards the SHAPE of shards_ (append on join, client release on
+  /// retire) and every ring_ read/write. Routing paths take it shared
+  /// for the decision only — never across a downstream send, so a
+  /// reentrant settle can re-acquire it safely.
+  mutable std::shared_mutex topology_mutex_;
   std::vector<std::unique_ptr<Shard>> shards_;
   ShardRing ring_{1};
+  std::atomic<std::uint64_t> epoch_{1};
+  std::atomic<double> last_rebalance_fraction_{0.0};
 
-  mutable std::mutex model_mutex_;  ///< guards authoritative_
+  mutable std::mutex model_mutex_;  ///< guards authoritative_; serializes
+                                    ///< model_version_ writes
   model::Model authoritative_;
+  /// Atomic so ack callbacks can compare versions without nesting
+  /// model_mutex_ inside topology_mutex_ (the lock order is
+  /// model → nothing, topology → nothing — never one inside the other).
+  std::atomic<std::uint64_t> model_version_{1};
+  /// Teardown latch: straggler outcomes fired by destructing downstream
+  /// clients must not fail over or touch breakers mid-destruction.
+  std::atomic<bool> shutting_down_{false};
 
   std::atomic<std::uint64_t> received_{0};
   std::atomic<std::uint64_t> forwarded_{0};
@@ -184,6 +302,13 @@ class ClusterFrontEnd {
   std::atomic<std::uint64_t> full_bytes_{0};
   std::atomic<std::uint64_t> replication_acks_{0};
   std::atomic<std::uint64_t> replication_failures_{0};
+  std::atomic<std::uint64_t> stale_marks_{0};
+  std::atomic<std::uint64_t> full_syncs_shipped_{0};
+  std::atomic<std::uint64_t> full_sync_acks_{0};
+  std::atomic<std::uint64_t> joins_started_{0};
+  std::atomic<std::uint64_t> joins_completed_{0};
+  std::atomic<std::uint64_t> leaves_started_{0};
+  std::atomic<std::uint64_t> leaves_completed_{0};
 };
 
 }  // namespace mdsm::cluster

@@ -4,8 +4,10 @@
 #include <utility>
 #include <vector>
 
+#include "core/middleware_metamodel.hpp"
 #include "core/spec_decode.hpp"
 #include "ingress/wire.hpp"
+#include "model/text_format.hpp"
 
 namespace mdsm::cluster {
 
@@ -105,11 +107,32 @@ void ShardNode::handle_replicate(const net::Message& message,
     return;
   }
   const std::uint64_t id = decoded.value().request_id;
-  if (params.get("what") != "model-diff") {
+  const std::string_view what = params.get("what");
+  if (what == "model-full") {
+    // Full-model ship: the warm-up / stale-repair path. The payload is
+    // serialized model text; the node diffs it against its replica so
+    // the apply machinery (and the vocabulary re-sync) is shared with
+    // the delta path.
+    Result<model::Model> full = model::parse_model(
+        decoded.value().text, core::middleware_metamodel());
+    if (!full.ok()) {
+      server_->post_refusal(message.from, id, full.status(), "malformed");
+      return;
+    }
+    if (Status status = apply_full_model(full.value()); !status.ok()) {
+      server_->post_refusal(message.from, id, status, {});
+      return;
+    }
+    ingress::wire::Reply reply;
+    reply.request_id = id;
+    reply.message = "model-full applied";
+    server_->post_reply(message.from, std::move(reply));
+    return;
+  }
+  if (what != "model-diff") {
     server_->post_refusal(
         message.from, id,
-        NotFound("unknown replication payload '" +
-                 std::string(params.get("what")) + "'"),
+        NotFound("unknown replication payload '" + std::string(what) + "'"),
         "no-route");
     return;
   }
@@ -134,7 +157,22 @@ void ShardNode::handle_replicate(const net::Message& message,
 
 Status ShardNode::apply_changes(const model::ChangeList& changes) {
   std::lock_guard lock(replica_mutex_);
+  return apply_changes_locked(changes);
+}
 
+Status ShardNode::apply_full_model(const model::Model& full) {
+  std::lock_guard lock(replica_mutex_);
+  // The diff must be computed against the replica under the same lock
+  // that apply uses, or a racing delta could wedge between the two.
+  const model::ChangeList changes = model::diff(replica_model_, full);
+  if (!changes.empty()) {
+    MDSM_RETURN_IF_ERROR(apply_changes_locked(changes));
+  }
+  ++stats_.full_syncs_applied;
+  return Status::Ok();
+}
+
+Status ShardNode::apply_changes_locked(const model::ChangeList& changes) {
   // Pre-apply pass: removals must be resolved against the model that
   // still contains them — both the registry keys (`name` attributes) of
   // removed specs, and the owning spec of a removed *descendant* (a

@@ -74,9 +74,17 @@ class ShardNode {
   /// arrives via "replicate/model-diff").
   Status apply_changes(const model::ChangeList& changes);
 
+  /// Full-model sync (PR 9): diff the authoritative `full` model against
+  /// the local replica and apply the difference — the warm-up path for a
+  /// freshly joined shard and the repair path for one that missed or
+  /// nacked a delta. The wire path arrives via "replicate/model-full"
+  /// carrying the serialized model text.
+  Status apply_full_model(const model::Model& full);
+
   struct Stats {
     std::uint64_t deltas_applied = 0;   ///< replication payloads accepted
     std::uint64_t changes_applied = 0;  ///< individual changes in them
+    std::uint64_t full_syncs_applied = 0;  ///< full-model ships accepted
     std::uint64_t procedures_synced = 0;
     std::uint64_t dscs_synced = 0;
   };
@@ -89,6 +97,8 @@ class ShardNode {
   void install_replication_route();
   void handle_replicate(const net::Message& message,
                         const ingress::RouteParams& params);
+  /// apply_changes with replica_mutex_ already held.
+  Status apply_changes_locked(const model::ChangeList& changes);
   /// Upsert/remove the DscSpec/ProcedureSpec artifacts `changes` touch.
   Status sync_touched_artifacts(const model::ChangeList& changes);
 

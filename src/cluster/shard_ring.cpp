@@ -25,17 +25,37 @@ constexpr std::uint64_t ring_position(std::string_view bytes) noexcept {
   return avalanche(fnv1a(bytes));
 }
 
+std::uint64_t vnode_position(std::size_t shard, std::size_t vnode) {
+  const std::string label =
+      "shard-" + std::to_string(shard) + "#" + std::to_string(vnode);
+  return ring_position(label);
+}
+
+/// The shard owning `position` in a sorted point vector: first point at
+/// or clockwise of it, wrapping past the top.
+template <typename Point>
+std::size_t owner_at(const std::vector<Point>& points,
+                     std::uint64_t position) noexcept {
+  auto it = std::lower_bound(
+      points.begin(), points.end(), position,
+      [](const Point& point, std::uint64_t pos) { return point.position < pos; });
+  if (it == points.end()) it = points.begin();
+  return it->shard;
+}
+
 }  // namespace
 
+std::uint64_t ShardRing::position(std::string_view key) noexcept {
+  return ring_position(key);
+}
+
 ShardRing::ShardRing(std::size_t shards, std::size_t virtual_nodes)
-    : shards_(std::max<std::size_t>(shards, 1)) {
-  const std::size_t points = std::max<std::size_t>(virtual_nodes, 1);
-  ring_.reserve(shards_ * points);
+    : shards_(std::max<std::size_t>(shards, 1)),
+      virtual_nodes_(std::max<std::size_t>(virtual_nodes, 1)) {
+  ring_.reserve(shards_ * virtual_nodes_);
   for (std::size_t shard = 0; shard < shards_; ++shard) {
-    for (std::size_t v = 0; v < points; ++v) {
-      const std::string label =
-          "shard-" + std::to_string(shard) + "#" + std::to_string(v);
-      ring_.push_back(Point{ring_position(label), shard});
+    for (std::size_t v = 0; v < virtual_nodes_; ++v) {
+      ring_.push_back(Point{vnode_position(shard, v), shard});
     }
   }
   std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
@@ -67,6 +87,132 @@ std::size_t ShardRing::replica(std::string_view key) const noexcept {
     if (point.shard != owner_shard) return point.shard;
   }
   return owner_shard;  // single-shard ring: no distinct replica exists
+}
+
+bool ShardRing::contains(std::size_t shard) const noexcept {
+  for (const Point& point : ring_) {
+    if (point.shard == shard) return true;
+  }
+  return false;
+}
+
+std::vector<std::size_t> ShardRing::members() const {
+  std::vector<std::size_t> ids;
+  for (const Point& point : ring_) ids.push_back(point.shard);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+namespace {
+
+/// Walk the union of both rings' point positions; within each segment
+/// between consecutive boundaries no point is crossed in either ring,
+/// so ownership is constant there and equals the owner of the
+/// segment's end position. Emit the segments whose owner changed.
+std::vector<ShardRing::Arc> moved_arcs(
+    const std::vector<std::uint64_t>& before_positions,
+    const auto& before_points, const auto& after_points,
+    const std::vector<std::uint64_t>& after_positions) {
+  std::vector<std::uint64_t> boundaries;
+  boundaries.reserve(before_positions.size() + after_positions.size());
+  boundaries.insert(boundaries.end(), before_positions.begin(),
+                    before_positions.end());
+  boundaries.insert(boundaries.end(), after_positions.begin(),
+                    after_positions.end());
+  std::sort(boundaries.begin(), boundaries.end());
+  boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
+                   boundaries.end());
+
+  std::vector<ShardRing::Arc> arcs;
+  for (std::size_t i = 0; i < boundaries.size(); ++i) {
+    const std::uint64_t end = boundaries[i];
+    const std::uint64_t begin =
+        boundaries[i == 0 ? boundaries.size() - 1 : i - 1];
+    const std::size_t from = owner_at(before_points, end);
+    const std::size_t to = owner_at(after_points, end);
+    if (from == to) continue;
+    // Coalesce with the previous arc when contiguous and same movement.
+    if (!arcs.empty() && arcs.back().end == begin &&
+        arcs.back().from == from && arcs.back().to == to) {
+      arcs.back().end = end;
+    } else {
+      arcs.push_back(ShardRing::Arc{begin, end, from, to});
+    }
+  }
+  return arcs;
+}
+
+}  // namespace
+
+std::vector<ShardRing::Arc> ShardRing::add_shard(std::size_t shard) {
+  if (contains(shard)) return {};
+
+  std::vector<std::uint64_t> before_positions;
+  before_positions.reserve(ring_.size());
+  for (const Point& point : ring_) before_positions.push_back(point.position);
+  const std::vector<Point> before = ring_;
+
+  std::vector<std::uint64_t> added_positions;
+  for (std::size_t v = 0; v < virtual_nodes_; ++v) {
+    const std::uint64_t position = vnode_position(shard, v);
+    added_positions.push_back(position);
+    ring_.push_back(Point{position, shard});
+  }
+  std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
+    return a.position != b.position ? a.position < b.position
+                                    : a.shard < b.shard;
+  });
+  ++shards_;
+  return moved_arcs(before_positions, before, ring_, added_positions);
+}
+
+std::vector<ShardRing::Arc> ShardRing::remove_shard(std::size_t shard) {
+  if (!contains(shard) || shards_ <= 1) return {};
+
+  std::vector<std::uint64_t> removed_positions;
+  std::vector<std::uint64_t> before_positions;
+  before_positions.reserve(ring_.size());
+  for (const Point& point : ring_) {
+    before_positions.push_back(point.position);
+    if (point.shard == shard) removed_positions.push_back(point.position);
+  }
+  const std::vector<Point> before = ring_;
+
+  ring_.erase(std::remove_if(ring_.begin(), ring_.end(),
+                             [shard](const Point& point) {
+                               return point.shard == shard;
+                             }),
+              ring_.end());
+  --shards_;
+  return moved_arcs(before_positions, before, ring_, removed_positions);
+}
+
+bool ShardRing::arcs_contain(const std::vector<Arc>& arcs,
+                             std::string_view key) noexcept {
+  const std::uint64_t position = ring_position(key);
+  for (const Arc& arc : arcs) {
+    if (arc.begin < arc.end) {
+      if (position > arc.begin && position <= arc.end) return true;
+    } else if (arc.begin > arc.end) {  // wraps past the top
+      if (position > arc.begin || position <= arc.end) return true;
+    } else {
+      return true;  // degenerate full-circle arc
+    }
+  }
+  return false;
+}
+
+double ShardRing::arcs_fraction(const std::vector<Arc>& arcs) noexcept {
+  long double covered = 0.0L;
+  for (const Arc& arc : arcs) {
+    // Unsigned subtraction wraps exactly like the circle does; a
+    // degenerate begin == end arc covers the whole circle.
+    const std::uint64_t length = arc.end - arc.begin;
+    covered += length == 0 ? 18446744073709551615.0L
+                           : static_cast<long double>(length);
+  }
+  return static_cast<double>(covered / 18446744073709551616.0L);
 }
 
 }  // namespace mdsm::cluster

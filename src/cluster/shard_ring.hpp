@@ -1,4 +1,4 @@
-// Consistent-hash ring over shard indices (PR 8).
+// Consistent-hash ring over shard indices (PR 8, elastic since PR 9).
 //
 // The cluster front-end maps the ingress route's {session} capture onto
 // one of N backend platforms. A plain hash % N would reshuffle nearly
@@ -11,6 +11,13 @@
 // the first point at or clockwise of the key's own hash, and its
 // designated replica is the next *distinct* shard clockwise — the node
 // the front-end fails over to when the owner's health window trips.
+//
+// Elasticity: membership is a mutable set of shard ids. add_shard() /
+// remove_shard() splice a member's virtual nodes in or out and return
+// the exact set of key-arcs whose ownership changed, so callers can
+// bound migration (and tests can prove only ~1/(N+1) of the keyspace
+// moved). Shard ids are stable across resizes — removing shard 2 from
+// {0,1,2,3} leaves {0,1,3}; nobody is renumbered.
 #pragma once
 
 #include <cstddef>
@@ -37,6 +44,41 @@ class ShardRing {
   /// shard (>= 1; more points = smoother distribution).
   explicit ShardRing(std::size_t shards, std::size_t virtual_nodes = 64);
 
+  /// One contiguous span of the hash circle whose owner changed in a
+  /// resize: every key whose ring position lies in (begin, end] moved
+  /// from shard `from` to shard `to`. `begin > end` means the arc wraps
+  /// past the top of the circle.
+  struct Arc {
+    std::uint64_t begin;
+    std::uint64_t end;
+    std::size_t from;
+    std::size_t to;
+  };
+
+  /// The position a key occupies on the circle (what owner() looks up).
+  [[nodiscard]] static std::uint64_t position(std::string_view key) noexcept;
+
+  /// Splice `shard` into the ring. Returns the arcs that moved — all of
+  /// them moving TO the new shard — or an empty list when `shard` was
+  /// already a member. ShardRing(n).add_shard(n) is point-for-point
+  /// identical to ShardRing(n + 1).
+  std::vector<Arc> add_shard(std::size_t shard);
+
+  /// Splice `shard` out of the ring. Returns the arcs that moved — all
+  /// of them moving FROM the departing shard to a survivor — or an
+  /// empty list when `shard` is not a member or is the last one (a ring
+  /// must always have an owner for every key).
+  std::vector<Arc> remove_shard(std::size_t shard);
+
+  /// True when `key`'s position lies inside one of `arcs`.
+  [[nodiscard]] static bool arcs_contain(const std::vector<Arc>& arcs,
+                                         std::string_view key) noexcept;
+
+  /// Fraction of the keyspace the arcs cover, in [0, 1] — the migration
+  /// bound a resize imposes.
+  [[nodiscard]] static double arcs_fraction(
+      const std::vector<Arc>& arcs) noexcept;
+
   /// The shard owning `key` (first ring point clockwise of hash(key)).
   [[nodiscard]] std::size_t owner(std::string_view key) const noexcept;
 
@@ -47,6 +89,8 @@ class ShardRing {
 
   [[nodiscard]] std::size_t shards() const noexcept { return shards_; }
   [[nodiscard]] std::size_t points() const noexcept { return ring_.size(); }
+  [[nodiscard]] bool contains(std::size_t shard) const noexcept;
+  [[nodiscard]] std::vector<std::size_t> members() const;
 
  private:
   struct Point {
@@ -57,8 +101,9 @@ class ShardRing {
   /// Index into ring_ of the point owning `key`.
   [[nodiscard]] std::size_t owner_point(std::string_view key) const noexcept;
 
-  std::size_t shards_;
-  std::vector<Point> ring_;  ///< sorted by position
+  std::size_t shards_;         ///< member count (not the max id)
+  std::size_t virtual_nodes_;  ///< points per member
+  std::vector<Point> ring_;    ///< sorted by position
 };
 
 }  // namespace mdsm::cluster

@@ -62,6 +62,10 @@ Result<std::uint64_t> IngressClient::send_request(
   std::uint64_t id = 0;
   {
     std::lock_guard lock(mutex_);
+    if (closed_) {
+      return Unavailable("ingress client '" + endpoint_name_ +
+                         "' closed (draining)");
+    }
     id = next_id_++;
     request.request_id = id;
     // Expiry on the network clock: the budget the server may legally
@@ -117,8 +121,10 @@ Result<std::uint64_t> IngressClient::submit(std::string_view dsml,
   topic.append(dsml);
   topic.push_back('/');
   topic.append(session);
-  return send_request(std::move(topic), std::move(request), options.deadline,
-                      std::move(callback));
+  return send_request(
+      std::move(topic), std::move(request),
+      options.wait_includes_deadline ? options.deadline : std::nullopt,
+      std::move(callback));
 }
 
 Result<std::uint64_t> IngressClient::query(std::string_view what,
@@ -224,6 +230,16 @@ std::size_t IngressClient::expire_overdue() {
     callback(outcome);
   }
   return overdue.size();
+}
+
+void IngressClient::close() {
+  std::lock_guard lock(mutex_);
+  closed_ = true;
+}
+
+bool IngressClient::closed() const {
+  std::lock_guard lock(mutex_);
+  return closed_;
 }
 
 std::size_t IngressClient::pending() const {

@@ -57,6 +57,12 @@ struct RemoteSubmitOptions {
   /// Original "<client>#<id>" identity when forwarding on another
   /// client's behalf (cluster front-end); "" = direct submission.
   std::string forwarded_for;
+  /// When true (the default for end clients), the reply window is
+  /// reply_timeout + deadline — the server may legally spend the whole
+  /// deadline before the grace period starts. The cluster front-end sets
+  /// it false: its hop detects losses on its own reply_timeout cadence
+  /// so a failover still has deadline budget left to spend (PR 9).
+  bool wait_includes_deadline = true;
 };
 
 class IngressClient {
@@ -88,6 +94,16 @@ class IngressClient {
   Result<std::uint64_t> call(std::string topic, wire::Request request,
                              Callback callback,
                              std::optional<Duration> deadline = {});
+
+  /// Drain semantics (PR 9): stop accepting NEW work — submit / query /
+  /// call return kUnavailable with a "client closed" message — while
+  /// everything already pending keeps resolving normally (replies
+  /// correlate, expiries fire, retries of accepted work still re-send).
+  /// The cluster front-end closes a leaving shard's client the moment
+  /// the shard drops out of the ring, then retires it once pending()
+  /// reaches zero. Idempotent.
+  void close();
+  [[nodiscard]] bool closed() const;
 
   /// Walk every pending submission whose expiry passed on the network
   /// clock: re-send it under the same request id while its retry budget
@@ -137,9 +153,10 @@ class IngressClient {
   std::string server_endpoint_;
   IngressClientOptions options_;
 
-  mutable std::mutex mutex_;  ///< guards pending_, next_id_, stats_
+  mutable std::mutex mutex_;  ///< guards pending_, next_id_, stats_, closed_
   std::unordered_map<std::uint64_t, PendingCall> pending_;
   std::uint64_t next_id_ = 1;
+  bool closed_ = false;
   Stats stats_;
 };
 

@@ -82,6 +82,88 @@ TEST(ShardRing, GrowingTheRingMovesOnlyAMinorityOfKeys) {
   EXPECT_LT(moved, kKeys / 2);
 }
 
+// The elasticity property (PR 9): splicing shard n into an n-member
+// ring moves at most ~1/(n+1) of 10k sampled keys, every moved key goes
+// TO the newcomer, the returned arcs describe the move set exactly, and
+// the grown ring is point-for-point the fresh (n+1)-ring.
+TEST(ShardRing, AddShardMovesBoundedArcsToTheNewcomerOnly) {
+  constexpr int kKeys = 10000;
+  for (const std::size_t n : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    const cluster::ShardRing before(n, 64);
+    cluster::ShardRing ring(n, 64);
+    const std::vector<cluster::ShardRing::Arc> arcs = ring.add_shard(n);
+    ASSERT_FALSE(arcs.empty());
+    for (const cluster::ShardRing::Arc& arc : arcs) {
+      EXPECT_EQ(arc.to, n) << "arc moved to a shard other than the newcomer";
+    }
+    const cluster::ShardRing fresh(n + 1, 64);
+    int moved = 0;
+    for (int i = 0; i < kKeys; ++i) {
+      const std::string key = "k" + std::to_string(i);
+      ASSERT_EQ(ring.owner(key), fresh.owner(key)) << key;
+      if (before.owner(key) != ring.owner(key)) {
+        ++moved;
+        EXPECT_EQ(ring.owner(key), n) << key << " moved to a survivor";
+        EXPECT_TRUE(cluster::ShardRing::arcs_contain(arcs, key)) << key;
+      } else {
+        EXPECT_FALSE(cluster::ShardRing::arcs_contain(arcs, key)) << key;
+      }
+    }
+    EXPECT_GT(moved, 0) << "n=" << n;
+    EXPECT_LE(moved, static_cast<int>(kKeys * 1.5 / (n + 1))) << "n=" << n;
+    const double fraction = cluster::ShardRing::arcs_fraction(arcs);
+    EXPECT_GT(fraction, 0.0);
+    EXPECT_LE(fraction, 1.5 / static_cast<double>(n + 1));
+    // Re-adding a member is inert.
+    EXPECT_TRUE(ring.add_shard(n).empty());
+  }
+}
+
+TEST(ShardRing, RemoveShardHandsArcsToSurvivorsOthersStayPut) {
+  constexpr int kKeys = 10000;
+  const cluster::ShardRing before(5, 64);
+  cluster::ShardRing ring(5, 64);
+  const std::vector<cluster::ShardRing::Arc> arcs = ring.remove_shard(2);
+  ASSERT_FALSE(arcs.empty());
+  EXPECT_FALSE(ring.contains(2));
+  EXPECT_EQ(ring.shards(), 4u);
+  for (const cluster::ShardRing::Arc& arc : arcs) EXPECT_EQ(arc.from, 2u);
+  int moved = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    if (before.owner(key) == 2) {
+      ++moved;
+      EXPECT_NE(ring.owner(key), 2u) << key;
+      EXPECT_TRUE(cluster::ShardRing::arcs_contain(arcs, key)) << key;
+    } else {
+      // Keys the leaver never owned keep their owner verbatim.
+      EXPECT_EQ(ring.owner(key), before.owner(key)) << key;
+      EXPECT_FALSE(cluster::ShardRing::arcs_contain(arcs, key)) << key;
+    }
+  }
+  EXPECT_GT(moved, 0);
+  // Splicing the leaver back restores the original placement exactly.
+  ASSERT_FALSE(ring.add_shard(2).empty());
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    ASSERT_EQ(ring.owner(key), before.owner(key)) << key;
+  }
+}
+
+TEST(ShardRing, ResizeRefusalsAreInert) {
+  cluster::ShardRing ring(2, 16);
+  EXPECT_TRUE(ring.add_shard(0).empty());     // already a member
+  EXPECT_TRUE(ring.remove_shard(7).empty());  // never was one
+  ASSERT_FALSE(ring.remove_shard(1).empty());
+  EXPECT_TRUE(ring.remove_shard(0).empty());  // the last member must stay
+  EXPECT_EQ(ring.shards(), 1u);
+  EXPECT_TRUE(ring.contains(0));
+  const std::vector<std::size_t> members = ring.members();
+  ASSERT_EQ(members.size(), 1u);
+  EXPECT_EQ(members[0], 0u);
+  EXPECT_EQ(ring.owner("any-key"), 0u);
+}
+
 // ---- cluster end-to-end fixture -------------------------------------------
 
 net::NetworkConfig quiet_network() {
@@ -134,6 +216,30 @@ struct ClusterDeployment {
   }
 };
 
+/// Launch one more ShardNode on `endpoint` from the deployment's
+/// ORIGINAL baseline model, with the standard provision recipe. Used by
+/// make_cluster for the initial fleet and by elasticity tests to stand
+/// up a spare before frontend->join() — a joiner deliberately starts on
+/// the stale launch baseline so the warm-up has something to ship.
+bool launch_spare(ClusterDeployment& out, const std::string& endpoint) {
+  cluster::ShardNodeOptions options;
+  options.endpoint = endpoint;
+  options.platform_config.dsml = out.dsml;
+  options.platform_config.pipeline_threads = 2;
+  options.manual_reply_loop = true;  // tests pump() deterministically
+  options.provision = [o = &out](core::Platform& platform) {
+    auto svc = std::make_unique<soak::CountingAdapter>("svc");
+    o->adapters.push_back(svc.get());
+    return platform.add_resource_adapter(std::move(svc));
+  };
+  auto node =
+      cluster::ShardNode::launch(*out.middleware, *out.network,
+                                 std::move(options));
+  if (!node.ok()) return false;
+  out.nodes.push_back(std::move(node.value()));
+  return true;
+}
+
 std::unique_ptr<ClusterDeployment> make_cluster(
     std::size_t shards, cluster::ClusterConfig config = {},
     ingress::IngressClientOptions client_options = {}) {
@@ -147,21 +253,8 @@ std::unique_ptr<ClusterDeployment> make_cluster(
 
   std::vector<std::string> endpoints;
   for (std::size_t i = 0; i < shards; ++i) {
-    cluster::ShardNodeOptions options;
-    options.endpoint = "shard-" + std::to_string(i);
-    options.platform_config.dsml = out->dsml;
-    options.platform_config.pipeline_threads = 2;
-    options.manual_reply_loop = true;  // tests pump() deterministically
-    options.provision = [out = out.get()](core::Platform& platform) {
-      auto svc = std::make_unique<soak::CountingAdapter>("svc");
-      out->adapters.push_back(svc.get());
-      return platform.add_resource_adapter(std::move(svc));
-    };
-    auto node = cluster::ShardNode::launch(*out->middleware, *out->network,
-                                           std::move(options));
-    if (!node.ok()) return nullptr;
-    endpoints.push_back(node.value()->endpoint_name());
-    out->nodes.push_back(std::move(node.value()));
+    if (!launch_spare(*out, "shard-" + std::to_string(i))) return nullptr;
+    endpoints.push_back(out->nodes.back()->endpoint_name());
   }
 
   auto frontend = cluster::ClusterFrontEnd::attach(
@@ -285,12 +378,10 @@ TEST(ClusterE2E, QueryFansOutAndMergesEveryShard) {
   cluster->shutdown();
 }
 
-TEST(ClusterE2E, ModelDiffReplicationSyncsEveryShard) {
-  auto cluster = make_cluster(2);
-  ASSERT_NE(cluster, nullptr);
-
-  // Grow the vocabulary: a cheaper media.path procedure. The next model
-  // differs from the baseline by exactly this subtree.
+/// The baseline middleware model grown by one cheaper media.path
+/// procedure ("path-cheap") — the canonical "next model" replication
+/// and elasticity tests ship.
+std::string grown_model_text() {
   std::string next_text(soak::kSoakMiddlewareModel);
   const std::string anchor = "child actions ActionSpec ca1";
   next_text.insert(next_text.find(anchor),
@@ -307,7 +398,17 @@ TEST(ClusterE2E, ModelDiffReplicationSyncsEveryShard) {
                    "        }\n"
                    "      }\n"
                    "    }\n    ");
-  auto next = model::parse_model(next_text, core::middleware_metamodel());
+  return next_text;
+}
+
+TEST(ClusterE2E, ModelDiffReplicationSyncsEveryShard) {
+  auto cluster = make_cluster(2);
+  ASSERT_NE(cluster, nullptr);
+
+  // Grow the vocabulary: a cheaper media.path procedure. The next model
+  // differs from the baseline by exactly this subtree.
+  auto next =
+      model::parse_model(grown_model_text(), core::middleware_metamodel());
   ASSERT_TRUE(next.ok()) << next.status().to_string();
 
   ASSERT_TRUE(cluster->frontend->update_model(next.value()).ok());
@@ -469,6 +570,459 @@ TEST(ClusterE2E, SingleShardDeathYieldsTypedLossNotSilence) {
       EXPECT_EQ(count, 1) << "request " << id;
     }
   }
+  cluster->shutdown();
+}
+
+// PR 9 bugfix regression: a shard that nacks a delta (its replica
+// diverged and the delta no longer applies) must be marked stale and
+// repaired by a full-model ship — the old code only bumped
+// replication_failures_ and the shard diverged permanently.
+TEST(ClusterE2E, StaleShardIsRepairedByFullModelSync) {
+  auto cluster = make_cluster(2);
+  ASSERT_NE(cluster, nullptr);
+
+  // Diverge shard 1 behind the front-end's back: remove pr2
+  // ("path-direct") from its replica, as if a previous delta never
+  // arrived there.
+  model::ChangeList divergence;
+  model::Change removal;
+  removal.kind = model::ChangeKind::kRemoveObject;
+  removal.object_id = "pr2";
+  removal.class_name = "ProcedureSpec";
+  divergence.push_back(removal);
+  ASSERT_TRUE(cluster->nodes[1]->apply_changes(divergence).ok());
+  EXPECT_EQ(cluster->nodes[1]->platform().controller().repository().find(
+                "path-direct"),
+            nullptr);
+
+  // Ship a delta that touches pr2 (cost 1.0 -> 2.0): shard 0 applies it,
+  // shard 1 cannot (the object is gone) and nacks.
+  std::string repriced(soak::kSoakMiddlewareModel);
+  const std::string old_cost = "cost = 1.0";
+  repriced.replace(repriced.find(old_cost), old_cost.size(), "cost = 2.0");
+  auto next = model::parse_model(repriced, core::middleware_metamodel());
+  ASSERT_TRUE(next.ok()) << next.status().to_string();
+  ASSERT_TRUE(cluster->frontend->update_model(next.value()).ok());
+
+  // maintain() notices the staleness and re-ships the FULL model; the
+  // version-matched ack clears it and the shard converges.
+  ASSERT_TRUE(cluster->drive_until([&] {
+    return cluster->frontend->stats().full_sync_acks >= 1;
+  }));
+
+  cluster::ClusterFrontEnd::Stats stats = cluster->frontend->stats();
+  EXPECT_GE(stats.replication_failures, 1u);
+  EXPECT_EQ(stats.stale_marks, 1u);
+  EXPECT_GE(stats.full_syncs_shipped, 1u);
+
+  const cluster::ShardNode::Stats repaired =
+      cluster->nodes[1]->replication_stats();
+  EXPECT_GE(repaired.full_syncs_applied, 1u);
+  const controller::Procedure* restored =
+      cluster->nodes[1]->platform().controller().repository().find(
+          "path-direct");
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->classifier, "media.path");
+
+  // Staleness cleared: the NEXT update ships shard 1 a plain delta
+  // again, and it acks.
+  const std::uint64_t acks_before = stats.replication_acks;
+  auto grown =
+      model::parse_model(grown_model_text(), core::middleware_metamodel());
+  ASSERT_TRUE(grown.ok());
+  // Re-apply the repricing on top so the diff against the adopted
+  // baseline is just the pr3 addition.
+  std::string grown_repriced = grown_model_text();
+  grown_repriced.replace(grown_repriced.find(old_cost), old_cost.size(),
+                         "cost = 2.0");
+  auto third =
+      model::parse_model(grown_repriced, core::middleware_metamodel());
+  ASSERT_TRUE(third.ok());
+  ASSERT_TRUE(cluster->frontend->update_model(third.value()).ok());
+  ASSERT_TRUE(cluster->drive_until([&] {
+    return cluster->frontend->stats().replication_acks >= acks_before + 2;
+  }));
+  EXPECT_NE(cluster->nodes[1]->platform().controller().repository().find(
+                "path-cheap"),
+            nullptr);
+  cluster->shutdown();
+}
+
+// PR 9 bugfix regression: failover and admission-time reroute must
+// consult the REPLICA's breaker. When the fallback shard's window is
+// open the request refuses "shard-unavailable" — it is not dogpiled
+// onto a shard already known to be sick.
+TEST(ClusterE2E, FailoverConsultsTheReplicaBreaker) {
+  cluster::ClusterConfig config;
+  config.downstream_reply_timeout = std::chrono::milliseconds(200);
+  // Keep tripped windows open for the whole test: no half-open probes.
+  config.health.cooldown = std::chrono::minutes(5);
+  auto cluster = make_cluster(3, config);
+  ASSERT_NE(cluster, nullptr);
+
+  // Phase 1: kill shard 1 and burn its window with sessions it owns —
+  // their failovers land on live replicas and succeed.
+  cluster->nodes[1]->kill();
+  std::vector<std::string> owned_by_1;
+  for (int i = 0; owned_by_1.size() < 8; ++i) {
+    const std::string session = "a" + std::to_string(i);
+    if (cluster->frontend->ring().owner(session) == 1) {
+      owned_by_1.push_back(session);
+    }
+  }
+  Ledger first;
+  for (const std::string& session : owned_by_1) {
+    ASSERT_TRUE(cluster->client
+                    ->submit("testlang", session,
+                             soak::open_session_text(session),
+                             first.recorder())
+                    .ok());
+  }
+  ASSERT_TRUE(cluster->drive_until(
+      [&] { return first.total() == static_cast<int>(owned_by_1.size()); },
+      std::chrono::milliseconds(20)));
+  {
+    std::lock_guard lock(first.mutex);
+    EXPECT_EQ(first.refusals[""], static_cast<int>(owned_by_1.size()));
+  }
+  EXPECT_GE(cluster->frontend->stats().breaker_trips, 1u);
+
+  // Phase 2: kill shard 2. Sessions owned by 2 whose ring replica is
+  // the already-tripped shard 1 lose their reply, and the failover hop
+  // finds the replica's window open: typed "shard-unavailable", not a
+  // forward into a known-sick shard.
+  cluster->nodes[2]->kill();
+  std::vector<std::string> doomed;
+  for (int i = 0; doomed.size() < 4; ++i) {
+    const std::string session = "b" + std::to_string(i);
+    if (cluster->frontend->ring().owner(session) == 2 &&
+        cluster->frontend->ring().replica(session) == 1) {
+      doomed.push_back(session);
+    }
+  }
+  Ledger second;
+  for (const std::string& session : doomed) {
+    ASSERT_TRUE(cluster->client
+                    ->submit("testlang", session,
+                             soak::open_session_text(session),
+                             second.recorder())
+                    .ok());
+  }
+  ASSERT_TRUE(cluster->drive_until(
+      [&] { return second.total() == static_cast<int>(doomed.size()); },
+      std::chrono::milliseconds(20)));
+  {
+    std::lock_guard lock(second.mutex);
+    EXPECT_EQ(second.refusals["shard-unavailable"],
+              static_cast<int>(doomed.size()));
+    for (const auto& [id, count] : second.fired) {
+      EXPECT_EQ(count, 1) << "request " << id;
+    }
+  }
+
+  // Phase 3: with shard 2's window now open too, the same placement is
+  // refused at ADMISSION — both windows open, nothing is forwarded.
+  const std::uint64_t forwarded_before =
+      cluster->frontend->stats().forwarded;
+  Ledger third;
+  std::vector<std::string> more;
+  for (int i = 1000; more.size() < 3; ++i) {
+    const std::string session = "b" + std::to_string(i);
+    if (cluster->frontend->ring().owner(session) == 2 &&
+        cluster->frontend->ring().replica(session) == 1) {
+      more.push_back(session);
+    }
+  }
+  for (const std::string& session : more) {
+    ASSERT_TRUE(cluster->client
+                    ->submit("testlang", session,
+                             soak::open_session_text(session),
+                             third.recorder())
+                    .ok());
+  }
+  ASSERT_TRUE(cluster->drive_until(
+      [&] { return third.total() == static_cast<int>(more.size()); }));
+  {
+    std::lock_guard lock(third.mutex);
+    EXPECT_EQ(third.refusals["shard-unavailable"],
+              static_cast<int>(more.size()));
+  }
+  EXPECT_EQ(cluster->frontend->stats().forwarded, forwarded_before);
+  cluster->shutdown();
+}
+
+// PR 9 bugfix regression: a failover must deduct the wait already spent
+// on the lost reply from the client's deadline. A deadline shorter than
+// the downstream reply window can never survive a failover — it refuses
+// "deadline" — while a roomy one fails over with the remainder.
+TEST(ClusterE2E, FailoverDeductsTheDeadlineAlreadySpent) {
+  cluster::ClusterConfig config;
+  config.downstream_reply_timeout = std::chrono::milliseconds(200);
+  auto cluster = make_cluster(4, config);
+  ASSERT_NE(cluster, nullptr);
+
+  const std::size_t victim = 0;
+  cluster->nodes[victim]->kill();
+  std::vector<std::string> sessions;
+  for (int i = 0; sessions.size() < 6; ++i) {
+    const std::string session = "d" + std::to_string(i);
+    if (cluster->frontend->ring().owner(session) == victim) {
+      sessions.push_back(session);
+    }
+  }
+
+  // Tight deadlines: 150ms is already spent by the time the 200ms reply
+  // window writes the forward off as lost. The old code re-granted the
+  // replica the full 150ms and the client got a reply after its
+  // deadline had passed.
+  Ledger tight;
+  for (std::size_t i = 0; i < 3; ++i) {
+    ingress::RemoteSubmitOptions options;
+    options.deadline = std::chrono::milliseconds(150);
+    ASSERT_TRUE(cluster->client
+                    ->submit("testlang", sessions[i],
+                             soak::open_session_text(sessions[i]),
+                             tight.recorder(), std::move(options))
+                    .ok());
+  }
+  ASSERT_TRUE(cluster->drive_until([&] { return tight.total() == 3; },
+                                   std::chrono::milliseconds(20)));
+  {
+    std::lock_guard lock(tight.mutex);
+    EXPECT_EQ(tight.refusals["deadline"], 3);
+    for (const auto& [id, count] : tight.fired) {
+      EXPECT_EQ(count, 1) << "request " << id;
+    }
+  }
+
+  // Roomy deadlines: 10s minus the 200ms wait leaves plenty — the
+  // failover succeeds on the replica.
+  Ledger roomy;
+  for (std::size_t i = 3; i < 6; ++i) {
+    ingress::RemoteSubmitOptions options;
+    options.deadline = std::chrono::seconds(10);
+    ASSERT_TRUE(cluster->client
+                    ->submit("testlang", sessions[i],
+                             soak::open_session_text(sessions[i]),
+                             roomy.recorder(), std::move(options))
+                    .ok());
+  }
+  ASSERT_TRUE(cluster->drive_until([&] { return roomy.total() == 3; },
+                                   std::chrono::milliseconds(20)));
+  {
+    std::lock_guard lock(roomy.mutex);
+    EXPECT_EQ(roomy.refusals[""], 3);
+  }
+  EXPECT_GE(cluster->frontend->stats().failovers, 3u);
+  cluster->shutdown();
+}
+
+// The tentpole, join half: a 5th shard joins a live 4-shard cluster
+// whose model has moved past the joiner's launch baseline. The warm-up
+// full-sync brings it to the current model BEFORE it enters the ring;
+// the flip moves a bounded slice of sessions onto it; traffic there
+// resolves exactly once.
+TEST(ClusterE2E, JoinWarmsTheNewcomerThenServesMovedSessions) {
+  auto cluster = make_cluster(4);
+  ASSERT_NE(cluster, nullptr);
+
+  // Move the cluster's model past the launch baseline first.
+  auto next =
+      model::parse_model(grown_model_text(), core::middleware_metamodel());
+  ASSERT_TRUE(next.ok());
+  ASSERT_TRUE(cluster->frontend->update_model(next.value()).ok());
+  ASSERT_TRUE(cluster->drive_until(
+      [&] { return cluster->frontend->stats().replication_acks >= 4; }));
+
+  // Stand up the spare (on the stale baseline) and admit it.
+  ASSERT_TRUE(launch_spare(*cluster, "shard-4"));
+  const std::uint64_t epoch_before = cluster->frontend->epoch();
+  auto joined = cluster->frontend->join("shard-4");
+  ASSERT_TRUE(joined.ok()) << joined.status().to_string();
+  EXPECT_EQ(joined.value(), 4u);
+  EXPECT_EQ(cluster->frontend->shard_state(4),
+            cluster::ClusterFrontEnd::ShardState::kJoining);
+  EXPECT_EQ(cluster->frontend->active_shard_count(), 4u);  // not in ring yet
+  // A second join on a serving endpoint is refused.
+  EXPECT_FALSE(cluster->frontend->join("shard-0").ok());
+
+  ASSERT_TRUE(cluster->drive_until(
+      [&] { return cluster->frontend->stats().joins_completed == 1; }));
+  EXPECT_EQ(cluster->frontend->shard_state(4),
+            cluster::ClusterFrontEnd::ShardState::kActive);
+  EXPECT_EQ(cluster->frontend->active_shard_count(), 5u);
+  EXPECT_EQ(cluster->frontend->epoch(), epoch_before + 1);
+  // The migration bound: one join moves ~1/5 of the keyspace, not more.
+  EXPECT_GT(cluster->frontend->last_rebalance_fraction(), 0.0);
+  EXPECT_LE(cluster->frontend->last_rebalance_fraction(), 1.5 / 5.0);
+  // The warm-up shipped the CURRENT model, not the launch baseline.
+  EXPECT_GE(cluster->nodes[4]->replication_stats().full_syncs_applied, 1u);
+  EXPECT_NE(cluster->nodes[4]->platform().controller().repository().find(
+                "path-cheap"),
+            nullptr);
+
+  // Traffic: placement follows the grown ring, the newcomer serves its
+  // arcs, and every callback fires exactly once.
+  constexpr int kSessions = 60;
+  Ledger ledger;
+  std::vector<std::uint64_t> expected(5, 0);
+  for (int i = 0; i < kSessions; ++i) {
+    const std::string session = "j" + std::to_string(i);
+    expected[cluster->frontend->ring().owner(session)] += 2;
+    ASSERT_TRUE(cluster->client
+                    ->submit("testlang", session,
+                             soak::open_session_text(session),
+                             ledger.recorder())
+                    .ok());
+  }
+  ASSERT_TRUE(
+      cluster->drive_until([&] { return ledger.total() == kSessions; }));
+  {
+    std::lock_guard lock(ledger.mutex);
+    EXPECT_EQ(ledger.refusals[""], kSessions);
+    for (const auto& [id, count] : ledger.fired) {
+      EXPECT_EQ(count, 1) << "request " << id;
+    }
+  }
+  EXPECT_GT(expected[4], 0u) << "no sampled session moved to the newcomer";
+  for (int shard = 0; shard < 5; ++shard) {
+    EXPECT_EQ(cluster->adapters[shard]->executed(), expected[shard])
+        << "shard " << shard;
+  }
+  cluster->shutdown();
+}
+
+// The tentpole, leave half: retiring a shard flips its arcs to the
+// survivors immediately, lets every in-flight forward settle on the OLD
+// route, and only then releases the shard. No callback is lost or
+// duplicated across the drain.
+TEST(ClusterE2E, LeaveDrainsInFlightForwardsThenRetires) {
+  auto cluster = make_cluster(3);
+  ASSERT_NE(cluster, nullptr);
+  const std::size_t victim = 1;
+
+  std::vector<std::string> sessions;
+  for (int i = 0; sessions.size() < 8; ++i) {
+    const std::string session = "l" + std::to_string(i);
+    if (cluster->frontend->ring().owner(session) == victim) {
+      sessions.push_back(session);
+    }
+  }
+  Ledger ledger;
+  for (const std::string& session : sessions) {
+    ASSERT_TRUE(cluster->client
+                    ->submit("testlang", session,
+                             soak::open_session_text(session),
+                             ledger.recorder())
+                    .ok());
+  }
+  // Deliver the submits and the forwards, but DON'T pump shard replies:
+  // the victim now holds 8 in-flight forwards.
+  cluster->network->run_until_idle();
+
+  const std::uint64_t epoch_before = cluster->frontend->epoch();
+  ASSERT_TRUE(cluster->frontend->leave(victim).ok());
+  EXPECT_EQ(cluster->frontend->shard_state(victim),
+            cluster::ClusterFrontEnd::ShardState::kDraining);
+  EXPECT_EQ(cluster->frontend->active_shard_count(), 2u);
+  EXPECT_EQ(cluster->frontend->epoch(), epoch_before + 1);
+  EXPECT_GT(cluster->frontend->last_rebalance_fraction(), 0.0);
+  // Leaving twice is refused; so is retiring a shard mid-drain.
+  EXPECT_FALSE(cluster->frontend->leave(victim).ok());
+
+  // The drain: pending forwards settle on the old route, then the shard
+  // retires.
+  ASSERT_TRUE(cluster->drive_until([&] {
+    return ledger.total() == static_cast<int>(sessions.size()) &&
+           cluster->frontend->stats().leaves_completed == 1;
+  }));
+  EXPECT_EQ(cluster->frontend->shard_state(victim),
+            cluster::ClusterFrontEnd::ShardState::kRetired);
+  {
+    std::lock_guard lock(ledger.mutex);
+    EXPECT_EQ(ledger.refusals[""], static_cast<int>(sessions.size()));
+    EXPECT_EQ(ledger.refusals["reply-lost"], 0);
+    for (const auto& [id, count] : ledger.fired) {
+      EXPECT_EQ(count, 1) << "request " << id;
+    }
+  }
+  // The drained work executed on the LEAVING shard (old route settled).
+  EXPECT_EQ(cluster->adapters[victim]->executed(), 2 * sessions.size());
+
+  // The same sessions now route to survivors; the leaver stays cold.
+  Ledger second;
+  for (const std::string& session : sessions) {
+    EXPECT_NE(cluster->frontend->ring().owner(session), victim) << session;
+    ASSERT_TRUE(cluster->client
+                    ->submit("testlang", session,
+                             soak::open_session_text(session),
+                             second.recorder())
+                    .ok());
+  }
+  ASSERT_TRUE(cluster->drive_until(
+      [&] { return second.total() == static_cast<int>(sessions.size()); }));
+  {
+    std::lock_guard lock(second.mutex);
+    EXPECT_EQ(second.refusals[""], static_cast<int>(sessions.size()));
+  }
+  EXPECT_EQ(cluster->adapters[victim]->executed(), 2 * sessions.size());
+
+  // The ring floor: the last active shard may never leave.
+  ASSERT_TRUE(cluster->frontend->leave(0).ok());
+  ASSERT_TRUE(cluster->drive_until(
+      [&] { return cluster->frontend->stats().leaves_completed == 2; }));
+  EXPECT_FALSE(cluster->frontend->leave(2).ok());
+  cluster->shutdown();
+}
+
+// Drain invariants under sustained load: submissions keep flowing while
+// a shard joins AND another leaves; every callback fires exactly once,
+// nothing is lost, and total executions match total submissions.
+TEST(ClusterE2E, ElasticResizeUnderLoadKeepsCallbacksExactlyOnce) {
+  auto cluster = make_cluster(4);
+  ASSERT_NE(cluster, nullptr);
+  ASSERT_TRUE(launch_spare(*cluster, "shard-4"));
+
+  Ledger ledger;
+  int submitted = 0;
+  auto blast = [&](int count) {
+    for (int i = 0; i < count; ++i, ++submitted) {
+      const std::string session = "load-" + std::to_string(submitted);
+      ASSERT_TRUE(cluster->client
+                      ->submit("testlang", session,
+                               soak::open_session_text(session),
+                               ledger.recorder())
+                      .ok());
+    }
+  };
+
+  blast(20);
+  ASSERT_TRUE(cluster->frontend->join("shard-4").ok());
+  blast(20);  // races the warm-up; routed on the pre-join ring
+  ASSERT_TRUE(cluster->drive_until(
+      [&] { return cluster->frontend->stats().joins_completed == 1; }));
+  blast(20);  // routed on the grown ring
+  ASSERT_TRUE(cluster->frontend->leave(0).ok());
+  blast(20);  // routed on the shrunk ring while shard 0 drains
+  ASSERT_TRUE(cluster->drive_until([&] {
+    return ledger.total() == submitted &&
+           cluster->frontend->stats().leaves_completed == 1;
+  }));
+
+  {
+    std::lock_guard lock(ledger.mutex);
+    EXPECT_EQ(ledger.refusals[""], submitted);
+    EXPECT_EQ(ledger.refusals["reply-lost"], 0);
+    for (const auto& [id, count] : ledger.fired) {
+      EXPECT_EQ(count, 1) << "request " << id;
+    }
+  }
+  std::uint64_t executed = 0;
+  for (soak::CountingAdapter* adapter : cluster->adapters) {
+    executed += adapter->executed();
+  }
+  EXPECT_EQ(executed, static_cast<std::uint64_t>(2 * submitted));
+  EXPECT_EQ(cluster->frontend->stats().failovers, 0u);
   cluster->shutdown();
 }
 
