@@ -29,6 +29,14 @@
 // exactly-once ledger must stay clean across both flips. The moved
 // fraction reported by the join is asserted <= ~1/N.
 //
+// Resume row (PR 10): a 2-shard fleet with checkpoint_interval=1 opens
+// probe sessions on shard 0, waits for their checkpoints to land on the
+// replica, feeds background load at 0.4x capacity, and kills shard 0 at
+// 50%. Each probe close then resumes on the survivor from its
+// replicated checkpoint — the gate demands exactly ONE re-executed step
+// per session (the teardown; a cold re-run would double it) and a
+// post-failover goodput plateau >= 0.9x the pre-kill one.
+//
 // A driver thread slaves the network's SimClock to real time (as in
 // bench_ingress) and doubles as the front-end's housekeeping loop:
 // deliver_due() + frontend->maintain() + client->expire_overdue().
@@ -65,7 +73,10 @@ namespace {
 using namespace mdsm;
 
 /// Thread-safe stand-in for the comm services: each invocation sleeps
-/// for the configured service latency.
+/// for the configured service latency. Executions whose object id
+/// carries the resume row's "probe" prefix are counted separately —
+/// that count is the row's re-execution evidence (a resumed close is
+/// ONE teardown; a cold close re-runs the create first).
 class SimulatedCommService final : public broker::ResourceAdapter {
  public:
   SimulatedCommService(std::string name, std::chrono::microseconds delay)
@@ -74,13 +85,22 @@ class SimulatedCommService final : public broker::ResourceAdapter {
   Result<model::Value> execute(const std::string& command,
                                const broker::Args& args) override {
     (void)command;
-    (void)args;
+    auto it = args.find("id");
+    if (it != args.end() && it->second.is_string() &&
+        it->second.as_string().rfind("probe", 0) == 0) {
+      probe_executions_.fetch_add(1, std::memory_order_relaxed);
+    }
     if (delay_.count() > 0) std::this_thread::sleep_for(delay_);
     return model::Value(true);
   }
 
+  [[nodiscard]] std::uint64_t probe_executions() const {
+    return probe_executions_.load(std::memory_order_relaxed);
+  }
+
  private:
   std::chrono::microseconds delay_;
+  std::atomic<std::uint64_t> probe_executions_{0};
 };
 
 struct BenchConfig {
@@ -92,6 +112,7 @@ struct BenchConfig {
   double multiplier = 1.5;        ///< offered load vs fleet capacity
   double seconds_per_step = 1.0;
   double min_scaling = 3.0;       ///< goodput(4 shards) / goodput(1 shard)
+  int checkpoint_interval = 0;    ///< session-state cadence attr (0: off)
   bool json_only = false;
 };
 
@@ -105,6 +126,10 @@ std::string cluster_cvm_text(const BenchConfig& config) {
                       std::to_string(config.queue_capacity) +
                       "\n  overflow_policy = reject"
                       "\n  admission = true";
+  if (config.checkpoint_interval > 0) {
+    attrs += "\n  checkpoint_interval = " +
+             std::to_string(config.checkpoint_interval);
+  }
   text.insert(text.find(anchor) + anchor.size(), attrs);
   return text;
 }
@@ -140,6 +165,8 @@ struct Fleet {
   std::unique_ptr<net::Network> network;
   std::optional<model::Model> middleware;
   std::vector<std::unique_ptr<cluster::ShardNode>> nodes;
+  /// Per-shard adapter, launch order (owned by the shard's platform).
+  std::vector<SimulatedCommService*> adapters;
   std::unique_ptr<cluster::ClusterFrontEnd> frontend;
   std::unique_ptr<ingress::IngressClient> client;
 
@@ -188,10 +215,11 @@ Result<std::unique_ptr<Fleet>> make_fleet(
     options.platform_config.dsml = comm::cml_metamodel();
     options.platform_config.pipeline_threads =
         static_cast<unsigned>(config.pipeline_threads_per_shard);
-    options.provision = [&config](core::Platform& platform) {
-      return platform.add_resource_adapter(
-          std::make_unique<SimulatedCommService>(
-              "comm", std::chrono::microseconds(config.service_delay_us)));
+    options.provision = [&config, f = fleet.get()](core::Platform& platform) {
+      auto adapter = std::make_unique<SimulatedCommService>(
+          "comm", std::chrono::microseconds(config.service_delay_us));
+      f->adapters.push_back(adapter.get());
+      return platform.add_resource_adapter(std::move(adapter));
     };
     auto node = cluster::ShardNode::launch(*fleet->middleware, *fleet->network,
                                            std::move(options));
@@ -528,6 +556,219 @@ Result<RebalanceRow> run_rebalance_step(const BenchConfig& config,
   return row;
 }
 
+struct ResumeRow {
+  std::uint64_t submitted = 0;  ///< background feed only
+  std::uint64_t completed_ok = 0;
+  std::uint64_t refused = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t duplicate_callbacks = 0;
+  std::uint64_t unresolved = 0;
+  std::uint64_t checkpoints_taken = 0;
+  std::uint64_t checkpoint_acks = 0;
+  std::uint64_t resumes_shipped = 0;
+  std::uint64_t resumes_completed = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t rerouted = 0;
+  std::uint64_t probe_sessions = 0;  ///< victim-owned, checkpointed pre-kill
+  std::uint64_t probe_ok = 0;        ///< closes that completed after the kill
+  /// Survivor-side adapter executions attributable to the probes. Every
+  /// close that resumed from its checkpoint is exactly ONE teardown; a
+  /// cold re-run doubles it (create + teardown) — so == probe_sessions
+  /// is the "re-execute <= 1 step per session" gate.
+  std::uint64_t survivor_probe_executions = 0;
+  double pre_kill_goodput_rps = 0.0;
+  double post_kill_goodput_rps = 0.0;
+  double recovery_ratio = 0.0;  ///< post / pre (the >= 0.9 gate)
+};
+
+std::string probe_text(int id, const char* state) {
+  const std::string name = "probe" + std::to_string(id);
+  return "model app_" + name + " conforms cml\nobject Connection " + name +
+         " { state = " + state + " }\n";
+}
+
+/// Session-resume row (PR 10): a 2-shard fleet with checkpoint_interval=1
+/// opens a handful of probe sessions owned by shard 0 and waits for each
+/// checkpoint to land on the replica BEFORE any other traffic (so the
+/// capture races nothing). A background feed then runs at 0.4x fleet
+/// capacity — low enough that the survivor can absorb the whole load —
+/// and shard 0 is killed halfway through. After the feed drains, the
+/// probe sessions are CLOSED one at a time: each close reroutes/fails
+/// over to the survivor, which must import the session's checkpoint
+/// first, so the close executes exactly one teardown instead of
+/// re-running the session lifecycle cold.
+Result<ResumeRow> run_resume_step(const BenchConfig& base,
+                                  double shard_capacity_rps) {
+  constexpr std::size_t kShards = 2;
+  constexpr std::size_t kProbes = 6;
+  BenchConfig config = base;
+  config.checkpoint_interval = 1;  // checkpoint every completed request
+  cluster::ClusterConfig cluster_config;
+  // Same rationale as the failover row: tight loss detection so the
+  // breaker trips (and rerouting starts) while the feed still runs.
+  cluster_config.downstream_reply_timeout = std::chrono::milliseconds(150);
+  auto fleet = make_fleet(config, kShards, std::move(cluster_config));
+  if (!fleet.ok()) return fleet.status();
+  cluster::ClusterFrontEnd& frontend = *fleet.value()->frontend;
+
+  ResumeRow row;
+  // Probe ids whose session key hashes onto the shard we will kill.
+  std::vector<int> probe_ids;
+  for (int id = 0; probe_ids.size() < kProbes && id < 4096; ++id) {
+    if (frontend.ring().owner("probe-" + std::to_string(id)) == 0) {
+      probe_ids.push_back(id);
+    }
+  }
+  row.probe_sessions = probe_ids.size();
+
+  // One synchronous submit: the resume row's probe traffic is strictly
+  // sequential, so a polled flag is all the coordination it needs.
+  auto submit_and_wait = [&fleet](const std::string& session,
+                                  const std::string& text, bool& ok) {
+    std::atomic<int> done{0};  // 0 pending, 1 ok, -1 failed
+    ingress::RemoteSubmitOptions options;
+    options.deadline = std::chrono::seconds(2);
+    auto sent = fleet.value()->client->submit(
+        "cml", session, text,
+        [&done](const ingress::RemoteOutcome& outcome) {
+          done.store(outcome.status.ok() ? 1 : -1,
+                     std::memory_order_release);
+        },
+        options);
+    if (!sent.ok()) {
+      ok = false;
+      return;
+    }
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (done.load(std::memory_order_acquire) == 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ok = done.load(std::memory_order_acquire) == 1;
+  };
+
+  // Open every probe and wait until its checkpoint is captured AND the
+  // stage-only ship acked on the replica.
+  std::uint64_t acks_expected = 0;
+  for (const int id : probe_ids) {
+    const std::string session = "probe-" + std::to_string(id);
+    bool ok = false;
+    submit_and_wait(session, probe_text(id, "pending"), ok);
+    if (!ok) return Internal("probe open did not complete: " + session);
+    ++acks_expected;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while ((frontend.checkpoint_version(session) < 1 ||
+            frontend.stats().checkpoint_acks < acks_expected) &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (frontend.checkpoint_version(session) < 1) {
+      return Internal("checkpoint never captured for " + session);
+    }
+  }
+
+  // Background feed at 0.4x fleet capacity (0.8x of the one survivor),
+  // shard 0 killed halfway. Long enough that the post-kill plateau is
+  // clear of the breaker-trip transient even in --smoke runs.
+  const double offered_rps =
+      0.4 * shard_capacity_rps * static_cast<double>(kShards);
+  const double feed_s = std::max(2.0, config.seconds_per_step);
+  const auto interval =
+      std::chrono::nanoseconds(static_cast<std::int64_t>(1e9 / offered_rps));
+  const int total = static_cast<int>(offered_rps * feed_s);
+  Ledger ledger(static_cast<std::size_t>(total));
+  std::mutex times_mutex;
+  std::vector<double> ok_times_s;
+  ok_times_s.reserve(static_cast<std::size_t>(total));
+  ingress::RemoteSubmitOptions options;
+  options.deadline = std::chrono::milliseconds(config.deadline_ms);
+
+  const auto start = std::chrono::steady_clock::now();
+  auto next_at = start;
+  for (int r = 0; r < total; ++r) {
+    std::this_thread::sleep_until(next_at);
+    next_at += interval;
+    if (r == total / 2) {
+      fleet.value()->kill_shard.store(0, std::memory_order_release);
+    }
+    ++row.submitted;
+    ledger.outstanding.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t index = static_cast<std::size_t>(r);
+    auto submitted = fleet.value()->client->submit(
+        "cml", "s" + std::to_string(r), scenario_text(r),
+        [&ledger, &times_mutex, &ok_times_s, index,
+         start](const ingress::RemoteOutcome& outcome) {
+          const double at_s = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - start)
+                                  .count();
+          ledger.resolve(index, outcome, 0.0);
+          if (outcome.status.ok()) {
+            std::lock_guard lock(times_mutex);
+            ok_times_s.push_back(at_s);
+          }
+        },
+        options);
+    if (!submitted.ok()) {
+      ingress::RemoteOutcome failed;
+      failed.status = submitted.status();
+      ledger.resolve(index, failed, 0.0);
+    }
+  }
+  const auto wall_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (ledger.outstanding.load(std::memory_order_relaxed) != 0 &&
+         std::chrono::steady_clock::now() < wall_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // The victim is dead and its breaker open: close the probes one at a
+  // time. Sequential on purpose — a resume import wholesale-replaces
+  // the survivor's runtime model, so concurrent probe closes would wipe
+  // each other's just-imported state.
+  for (const int id : probe_ids) {
+    bool ok = false;
+    submit_and_wait("probe-" + std::to_string(id), probe_text(id, "closed"),
+                    ok);
+    if (ok) ++row.probe_ok;
+  }
+  row.survivor_probe_executions =
+      fleet.value()->adapters[1]->probe_executions();
+
+  const cluster::ClusterFrontEnd::Stats stats = frontend.stats();
+  row.checkpoints_taken = stats.checkpoints_taken;
+  row.checkpoint_acks = stats.checkpoint_acks;
+  row.resumes_shipped = stats.resumes_shipped;
+  row.resumes_completed = stats.resumes_completed;
+  row.failovers = stats.failovers;
+  row.rerouted = stats.rerouted;
+  fleet.value().reset();  // joins the driver; detach resolves stragglers
+
+  Row scratch;
+  ledger.finalize(scratch, feed_s);
+  row.completed_ok = scratch.completed_ok;
+  row.refused = scratch.refused;
+  row.lost = scratch.lost;
+  row.duplicate_callbacks = scratch.duplicate_callbacks;
+  row.unresolved = scratch.unresolved;
+
+  // Plateaus around the 50% kill: [10%, 45%) is untouched; by 70% the
+  // breaker has tripped and every victim-arc submit reroutes.
+  {
+    std::lock_guard lock(times_mutex);
+    row.pre_kill_goodput_rps =
+        window_goodput(ok_times_s, 0.10 * feed_s, 0.45 * feed_s);
+    row.post_kill_goodput_rps =
+        window_goodput(ok_times_s, 0.70 * feed_s, feed_s);
+  }
+  row.recovery_ratio = row.pre_kill_goodput_rps > 0.0
+                           ? row.post_kill_goodput_rps /
+                                 row.pre_kill_goodput_rps
+                           : 0.0;
+  return row;
+}
+
 /// Ship a runtime-model tune-up (admission knob change) to a 2-shard
 /// fleet as a diff and record the bytes a full-model re-ship would have
 /// cost instead.
@@ -648,6 +889,12 @@ int main(int argc, char** argv) {
                  rebalance.status().to_string().c_str());
     return 1;
   }
+  auto resume = run_resume_step(config, shard_capacity_rps);
+  if (!resume.ok()) {
+    std::fprintf(stderr, "resume step failed: %s\n",
+                 resume.status().to_string().c_str());
+    return 1;
+  }
 
   double goodput_1 = 0.0;
   double goodput_4 = 0.0;
@@ -684,8 +931,21 @@ int main(int argc, char** argv) {
       reb.joins_completed == 1 && reb.leaves_completed == 1 &&
       rebalance_exactly_once && reb.moved_fraction <= 1.5 / 5.0 &&
       reb.recovery_ratio >= 0.9;
+  const ResumeRow& res = resume.value();
+  // Session-resume gates (PR 10): every probe close completed on the
+  // survivor with exactly one re-executed step (the teardown — cold
+  // re-runs would double the count), the feed's callbacks stayed
+  // exactly-once, and post-failover goodput recovered to >= 0.9x the
+  // pre-kill plateau.
+  const bool resume_exactly_once =
+      res.duplicate_callbacks == 0 && res.unresolved == 0;
+  const bool resume_ok =
+      res.probe_sessions > 0 && res.probe_ok == res.probe_sessions &&
+      res.survivor_probe_executions == res.probe_sessions &&
+      res.resumes_completed >= res.probe_sessions && resume_exactly_once &&
+      res.recovery_ratio >= 0.9;
   const bool pass = scaling >= config.min_scaling && exactly_once &&
-                    delta_saves && rebalance_ok;
+                    delta_saves && rebalance_ok && resume_ok;
   if (!config.json_only) {
     std::fprintf(stderr,
                  "\nfailover: ok=%llu refused=%llu lost=%llu dupes=%llu "
@@ -713,6 +973,22 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(reb.duplicate_callbacks),
                  static_cast<unsigned long long>(reb.unresolved),
                  static_cast<unsigned long long>(reb.lost));
+    std::fprintf(stderr,
+                 "resume: probes=%llu ok=%llu survivor_execs=%llu "
+                 "resumed=%llu/%llu ckpts=%llu acks=%llu pre=%.1f/s "
+                 "post=%.1f/s recovery=%.2fx dupes=%llu unresolved=%llu\n",
+                 static_cast<unsigned long long>(res.probe_sessions),
+                 static_cast<unsigned long long>(res.probe_ok),
+                 static_cast<unsigned long long>(
+                     res.survivor_probe_executions),
+                 static_cast<unsigned long long>(res.resumes_completed),
+                 static_cast<unsigned long long>(res.resumes_shipped),
+                 static_cast<unsigned long long>(res.checkpoints_taken),
+                 static_cast<unsigned long long>(res.checkpoint_acks),
+                 res.pre_kill_goodput_rps, res.post_kill_goodput_rps,
+                 res.recovery_ratio,
+                 static_cast<unsigned long long>(res.duplicate_callbacks),
+                 static_cast<unsigned long long>(res.unresolved));
     std::fprintf(stderr, "scaling 1->4 shards: %.2fx (target >= %.2fx)\n",
                  scaling, config.min_scaling);
   }
@@ -754,12 +1030,41 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(reb.full_sync_acks),
       reb.moved_fraction, reb.pre_join_goodput_rps,
       reb.post_resize_goodput_rps, reb.recovery_ratio);
+  std::printf(
+      "  \"resume\": {\"shards\": 2, \"checkpoint_interval\": 1, "
+      "\"probe_sessions\": %llu, \"probe_ok\": %llu, "
+      "\"survivor_probe_executions\": %llu, \"submitted\": %llu, "
+      "\"completed_ok\": %llu, \"refused\": %llu, \"lost\": %llu, "
+      "\"duplicate_callbacks\": %llu, \"unresolved\": %llu, "
+      "\"checkpoints_taken\": %llu, \"checkpoint_acks\": %llu, "
+      "\"resumes_shipped\": %llu, \"resumes_completed\": %llu, "
+      "\"failovers\": %llu, \"rerouted\": %llu, "
+      "\"pre_kill_goodput_rps\": %.1f, \"post_kill_goodput_rps\": %.1f, "
+      "\"recovery_ratio\": %.3f},\n",
+      static_cast<unsigned long long>(res.probe_sessions),
+      static_cast<unsigned long long>(res.probe_ok),
+      static_cast<unsigned long long>(res.survivor_probe_executions),
+      static_cast<unsigned long long>(res.submitted),
+      static_cast<unsigned long long>(res.completed_ok),
+      static_cast<unsigned long long>(res.refused),
+      static_cast<unsigned long long>(res.lost),
+      static_cast<unsigned long long>(res.duplicate_callbacks),
+      static_cast<unsigned long long>(res.unresolved),
+      static_cast<unsigned long long>(res.checkpoints_taken),
+      static_cast<unsigned long long>(res.checkpoint_acks),
+      static_cast<unsigned long long>(res.resumes_shipped),
+      static_cast<unsigned long long>(res.resumes_completed),
+      static_cast<unsigned long long>(res.failovers),
+      static_cast<unsigned long long>(res.rerouted),
+      res.pre_kill_goodput_rps, res.post_kill_goodput_rps,
+      res.recovery_ratio);
   std::printf("  \"scaling_1_to_4\": %.3f, \"min_scaling\": %.2f, "
               "\"failover_exactly_once\": %s, "
               "\"rebalance_exactly_once\": %s, \"rebalance_pass\": %s, "
-              "\"pass\": %s\n}\n",
+              "\"resume_pass\": %s, \"pass\": %s\n}\n",
               scaling, config.min_scaling, exactly_once ? "true" : "false",
               rebalance_exactly_once ? "true" : "false",
-              rebalance_ok ? "true" : "false", pass ? "true" : "false");
+              rebalance_ok ? "true" : "false", resume_ok ? "true" : "false",
+              pass ? "true" : "false");
   return pass ? 0 : 1;
 }

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# PR-9 bench trajectory: runs bench_throughput (serialized/concurrent
+# PR-10 bench trajectory: runs bench_throughput (serialized/concurrent
 # sync rows plus the staged-vs-parked async and in-flight-per-core
 # rows in one binary),
 # bench_im_generation, bench_trace_overhead, bench_resilience
@@ -9,12 +9,15 @@
 # through the networked ingress front-end at 1x/10x), and bench_cluster
 # (goodput/p99 at 1/2/4/8 consistent-hash shards behind the cluster
 # front-end, the mid-run shard-kill failover row, the diff-based
-# replication byte savings, and the PR-9 rebalance row — a 5th shard
+# replication byte savings, the PR-9 rebalance row — a 5th shard
 # joins and a shard leaves mid-feed; gated on exactly-once callbacks,
 # moved keyspace <= ~1/5, and post-resize goodput >= 0.9x the pre-join
 # plateau, plus 4-shard goodput >= 3x 1-shard, relaxed to 2.5x in smoke
-# mode), then composes their JSON outputs into a consolidated
-# BENCH_9.json at the repo root.
+# mode — and the PR-10 session-resume row: checkpointed sessions whose
+# owner dies mid-feed must close on the survivor with exactly one
+# re-executed step each and post-failover goodput >= 0.9x the pre-kill
+# plateau), then composes their JSON outputs into a consolidated
+# BENCH_10.json at the repo root.
 #
 # Usage: bench/run_benches.sh [build-dir] [--smoke]
 #   build-dir  defaults to <repo>/build
@@ -58,10 +61,10 @@ else
 fi
 trace_json="$("$BENCH_DIR/bench_trace_overhead")"
 
-OUT="$ROOT/BENCH_9.json"
+OUT="$ROOT/BENCH_10.json"
 {
   printf '{\n'
-  printf '  "pr": 9,\n'
+  printf '  "pr": 10,\n'
   printf '  "smoke": %s,\n' "$([ "$SMOKE" = 1 ] && echo true || echo false)"
   printf '  "throughput": %s,\n' "$throughput_json"
   printf '  "im_generation": %s,\n' "$im_json"

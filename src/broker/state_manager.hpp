@@ -56,6 +56,13 @@ class StateManager {
     std::lock_guard lock(mutex_);
     return variables_.size();
   }
+  /// Full copy of the scalar store — the broker half of a session
+  /// checkpoint (Platform::export_session_state).
+  [[nodiscard]] std::map<std::string, model::Value, std::less<>>
+  variables_snapshot() const {
+    std::lock_guard lock(mutex_);
+    return variables_;
+  }
 
  private:
   mutable std::mutex mutex_;

@@ -70,6 +70,15 @@ Result<std::unique_ptr<ClusterFrontEnd>> ClusterFrontEnd::attach(
   }
   front->config_ = std::move(config);
 
+  // Session-state replication cadence is model-driven (PR 10): the
+  // MiddlewarePlatform root's `checkpoint_interval` attr says how many
+  // completed sequenced requests a session accrues between checkpoints.
+  auto platforms = authoritative_model.objects_of("MiddlewarePlatform");
+  if (!platforms.empty()) {
+    front->checkpoint_interval_ =
+        platforms[0]->get_int("checkpoint_interval", 0);
+  }
+
   Status routes = front->router_.add(
       wire::kSubmitPattern,
       [raw = front.get()](const net::Message& message,
@@ -175,6 +184,7 @@ void ClusterFrontEnd::handle_submit(const net::Message& message,
   }
 
   std::size_t target = 0;
+  bool rerouted = false;  // off the owner → resume the session first
   std::optional<Status> refusal;  // decided under the lock, sent outside
   {
     std::shared_lock lock(topology_mutex_);
@@ -204,6 +214,7 @@ void ClusterFrontEnd::handle_submit(const net::Message& message,
               " are both unhealthy (primary and replica windows open)");
         } else {
           rerouted_.fetch_add(1, std::memory_order_relaxed);
+          rerouted = true;
           target = replica;
           state.fallback.reset();  // the replica is the last resort
           state.admission = replica_admit.admission;
@@ -215,6 +226,13 @@ void ClusterFrontEnd::handle_submit(const net::Message& message,
   }
   if (refusal.has_value()) {
     refuse(message.from, state.id, *refusal, "shard-unavailable");
+    return;
+  }
+  // Admission-time reroute is a resume path too (PR 10): the rerouted
+  // request lands on the replica, which must import the session's last
+  // checkpoint before serving or it would restart sequenced work cold.
+  if (rerouted) {
+    resume_then_forward(std::move(state), target);
     return;
   }
   forward(std::move(state), target);
@@ -353,7 +371,12 @@ void ClusterFrontEnd::settle_forward(Forward& state, std::size_t shard_index,
       retry.admission = admission;
       retry.deadline = remaining;
       retry.epoch = routed_epoch;
-      forward(std::move(retry), *target);
+      // Resume-before-retry (PR 10): when a checkpoint of this session
+      // is cached, it is imported on the failover target BEFORE the
+      // retried request forwards, so sequenced work resumes from where
+      // the dead owner left off instead of restarting. No checkpoint
+      // (or a lost ship) degrades to the PR-8 cold retry.
+      resume_then_forward(std::move(retry), *target);
       return;
     }
     // No candidate at all (single-shard ring): fall through and report
@@ -367,6 +390,197 @@ void ClusterFrontEnd::settle_forward(Forward& state, std::size_t shard_index,
       outcome.status.ok() ? outcome.payload : outcome.status.message();
   reply.commands = outcome.commands;
   send_reply(state.client, std::move(reply));
+  // Checkpoint cadence: only COMPLETED requests advance a session's
+  // counter (refusals and losses leave no new state worth capturing).
+  if (!shutting_down && !lost && outcome.status.ok() &&
+      checkpoint_interval_ > 0) {
+    maybe_checkpoint(state.session, shard_index);
+  }
+}
+
+void ClusterFrontEnd::resume_then_forward(Forward state,
+                                          std::size_t shard_index) {
+  // Skip the ship when the target already holds this (or a newer)
+  // version live — it captured the checkpoint itself, or a prior
+  // resume landed it there. Re-importing would only redo work the
+  // shard has already applied.
+  std::optional<std::pair<std::int64_t, std::string>> checkpoint;
+  {
+    std::lock_guard lock(checkpoint_mutex_);
+    auto it = checkpoints_.find(state.session);
+    if (it != checkpoints_.end() && it->second.version > 0 &&
+        !(it->second.resumed_shard == shard_index &&
+          it->second.resumed_version >= it->second.version)) {
+      checkpoint = {it->second.version, it->second.state_text};
+    }
+  }
+  if (!checkpoint.has_value()) {
+    forward(std::move(state), shard_index);
+    return;
+  }
+  resumes_shipped_.fetch_add(1, std::memory_order_relaxed);
+  const std::int64_t version = checkpoint->first;
+  auto shared = std::make_shared<Forward>(std::move(state));
+  ship_session_state(
+      shared->session, version, checkpoint->second, shard_index,
+      /*resume=*/true, [this, shared, shard_index, version](bool acked) {
+        if (acked) {
+          resumes_completed_.fetch_add(1, std::memory_order_relaxed);
+          std::lock_guard lock(checkpoint_mutex_);
+          SessionCheckpoint& entry = checkpoints_[shared->session];
+          if (entry.resumed_shard != shard_index ||
+              entry.resumed_version < version) {
+            entry.resumed_shard = shard_index;
+            entry.resumed_version = version;
+          }
+        }
+        // A lost ship still forwards: the cold retry is strictly better
+        // than refusing, and the receiver's version gate makes a late
+        // duplicate import harmless.
+        forward(std::move(*shared), shard_index);
+      });
+}
+
+void ClusterFrontEnd::maybe_checkpoint(const std::string& session,
+                                       std::size_t owner) {
+  bool capture = false;
+  {
+    std::lock_guard lock(checkpoint_mutex_);
+    SessionCheckpoint& entry = checkpoints_[session];
+    ++entry.completed;
+    if (entry.completed %
+                static_cast<std::uint64_t>(checkpoint_interval_) ==
+            0 &&
+        !entry.capture_in_flight) {
+      entry.capture_in_flight = true;
+      capture = true;
+    }
+  }
+  if (capture) checkpoint_session(session, owner);
+}
+
+void ClusterFrontEnd::checkpoint_session(const std::string& session,
+                                         std::size_t owner) {
+  std::shared_ptr<ingress::IngressClient> client;
+  std::size_t replica = owner;
+  {
+    std::shared_lock lock(topology_mutex_);
+    if (owner < shards_.size()) client = shards_[owner]->client;
+    replica = ring_.replica(session);
+  }
+  auto abort_capture = [this, &session] {
+    checkpoint_failures_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard lock(checkpoint_mutex_);
+    checkpoints_[session].capture_in_flight = false;
+  };
+  if (client == nullptr) {
+    abort_capture();
+    return;
+  }
+  wire::Request request;
+  Result<std::uint64_t> sent = client->call(
+      "checkpoint/" + session, std::move(request),
+      [this, session, owner, replica](const ingress::RemoteOutcome& outcome) {
+        if (shutting_down_.load(std::memory_order_acquire)) return;
+        if (!outcome.status.ok()) {
+          checkpoint_failures_.fetch_add(1, std::memory_order_relaxed);
+          std::lock_guard lock(checkpoint_mutex_);
+          checkpoints_[session].capture_in_flight = false;
+          return;
+        }
+        checkpoints_taken_.fetch_add(1, std::memory_order_relaxed);
+        std::int64_t version = 0;
+        {
+          std::lock_guard lock(checkpoint_mutex_);
+          SessionCheckpoint& entry = checkpoints_[session];
+          entry.state_text = outcome.payload;
+          version = ++entry.version;
+          entry.capture_in_flight = false;
+          // The capture SOURCE holds this state live by construction —
+          // a later reroute/failover to it must not re-import.
+          entry.resumed_shard = owner;
+          entry.resumed_version = version;
+        }
+        // Ship to the ring replica so a failover can resume there. A
+        // single-shard ring has nowhere to ship; the cache still powers
+        // a later re-resolved failover.
+        if (replica == owner) return;
+        ship_session_state(session, version, outcome.payload, replica,
+                           /*resume=*/false, [this](bool acked) {
+                             (acked ? checkpoint_acks_
+                                    : checkpoint_failures_)
+                                 .fetch_add(1, std::memory_order_relaxed);
+                           });
+      });
+  if (!sent.ok()) abort_capture();
+}
+
+void ClusterFrontEnd::ship_session_state(const std::string& session,
+                                         std::int64_t version,
+                                         const std::string& state_text,
+                                         std::size_t index, bool resume,
+                                         std::function<void(bool)> done) {
+  auto settle = [done = std::move(done)](bool acked) {
+    if (done != nullptr) done(acked);
+  };
+  std::shared_ptr<ingress::IngressClient> client;
+  {
+    std::shared_lock lock(topology_mutex_);
+    if (index < shards_.size()) client = shards_[index]->client;
+  }
+  Result<model::Value> state = model::parse_value(state_text);
+  if (client == nullptr || !state.ok()) {
+    settle(false);
+    return;
+  }
+  auto pair = [](std::string key, model::Value value) {
+    model::ValueList entry;
+    entry.push_back(model::Value(std::move(key)));
+    entry.push_back(std::move(value));
+    return model::Value(std::move(entry));
+  };
+  model::ValueList envelope;
+  envelope.push_back(pair("session", model::Value(session)));
+  envelope.push_back(pair("version", model::Value(version)));
+  envelope.push_back(pair("resume", model::Value(resume)));
+  envelope.push_back(pair("state", std::move(state).value()));
+  wire::Request request;
+  request.body = model::Value(std::move(envelope));
+  Result<std::uint64_t> sent = client->call(
+      "replicate/session-state", std::move(request),
+      [this, settle](const ingress::RemoteOutcome& outcome) {
+        if (shutting_down_.load(std::memory_order_acquire)) return;
+        settle(outcome.status.ok());
+      });
+  if (!sent.ok()) settle(false);
+}
+
+void ClusterFrontEnd::warm_joiner_sessions(std::size_t index) {
+  struct Cached {
+    std::string session;
+    std::int64_t version;
+    std::string text;
+  };
+  std::vector<Cached> cached;
+  {
+    std::lock_guard lock(checkpoint_mutex_);
+    for (const auto& [session, entry] : checkpoints_) {
+      if (entry.version > 0) {
+        cached.push_back(Cached{session, entry.version, entry.state_text});
+      }
+    }
+  }
+  for (Cached& entry : cached) {
+    ship_session_state(entry.session, entry.version, entry.text, index,
+                       /*resume=*/false, nullptr);
+  }
+}
+
+std::int64_t ClusterFrontEnd::checkpoint_version(
+    std::string_view session) const {
+  std::lock_guard lock(checkpoint_mutex_);
+  auto it = checkpoints_.find(session);
+  return it == checkpoints_.end() ? 0 : it->second.version;
 }
 
 void ClusterFrontEnd::handle_query(const net::Message& message,
@@ -584,7 +798,13 @@ void ClusterFrontEnd::kick_full_sync(std::size_t index) {
             // Stays stale; the next maintain() retries.
           }
         }
-        if (warmed) complete_join(index);
+        if (warmed) {
+          // Warm the joiner's checkpoint staging table before it takes
+          // ring arcs: a failover targeting it right after the splice
+          // must find session state already staged.
+          warm_joiner_sessions(index);
+          complete_join(index);
+        }
       });
   if (!sent.ok()) {
     replication_failures_.fetch_add(1, std::memory_order_relaxed);
@@ -810,6 +1030,13 @@ ClusterFrontEnd::Stats ClusterFrontEnd::stats() const {
   stats.joins_completed = joins_completed_.load(std::memory_order_relaxed);
   stats.leaves_started = leaves_started_.load(std::memory_order_relaxed);
   stats.leaves_completed = leaves_completed_.load(std::memory_order_relaxed);
+  stats.checkpoints_taken = checkpoints_taken_.load(std::memory_order_relaxed);
+  stats.checkpoint_acks = checkpoint_acks_.load(std::memory_order_relaxed);
+  stats.checkpoint_failures =
+      checkpoint_failures_.load(std::memory_order_relaxed);
+  stats.resumes_shipped = resumes_shipped_.load(std::memory_order_relaxed);
+  stats.resumes_completed =
+      resumes_completed_.load(std::memory_order_relaxed);
   return stats;
 }
 

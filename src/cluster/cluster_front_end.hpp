@@ -49,11 +49,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "broker/invocation_policy.hpp"
@@ -188,8 +191,18 @@ class ClusterFrontEnd {
     std::uint64_t joins_completed = 0;   ///< warm shard spliced into ring
     std::uint64_t leaves_started = 0;
     std::uint64_t leaves_completed = 0;  ///< drained shard retired
+    // Session-state replication ledger (PR 10):
+    std::uint64_t checkpoints_taken = 0;   ///< captures pulled from owners
+    std::uint64_t checkpoint_acks = 0;     ///< replica staged the ship
+    std::uint64_t checkpoint_failures = 0;  ///< capture or ship lost/nacked
+    std::uint64_t resumes_shipped = 0;    ///< failovers that found a ckpt
+    std::uint64_t resumes_completed = 0;  ///< ...whose import acked
   };
   [[nodiscard]] Stats stats() const;
+
+  /// Version of the last checkpoint captured for `session` (0 = none) —
+  /// exposed for tests.
+  [[nodiscard]] std::int64_t checkpoint_version(std::string_view session) const;
 
  private:
   /// Everything one forwarded submit needs to fail over and reply.
@@ -241,6 +254,11 @@ class ClusterFrontEnd {
   void handle_query(const net::Message& message,
                     const ingress::RouteParams& params);
   void forward(Forward state, std::size_t shard_index);
+  /// Forward `state` to `shard_index`, first importing the session's
+  /// cached checkpoint there if that shard is not already known to hold
+  /// it live. Used by both resume paths: settle-time failover and
+  /// admission-time reroute (breaker open on the owner).
+  void resume_then_forward(Forward state, std::size_t shard_index);
   /// Resolve one downstream outcome: fail over, or reply to the client.
   void settle_forward(Forward& state, std::size_t shard_index,
                       const ingress::RemoteOutcome& outcome);
@@ -253,6 +271,24 @@ class ClusterFrontEnd {
   /// Release a drained leaver's client and mark the slot retired.
   void retire(std::size_t index);
   void mark_stale(std::size_t index);
+  /// Cadence hook (PR 10): count a completed sequenced request for
+  /// `session` and, when the model-driven interval fires, pull a fresh
+  /// checkpoint from the owning shard.
+  void maybe_checkpoint(const std::string& session, std::size_t owner);
+  /// Capture `session`'s state from shard `owner` ("checkpoint/{session}"),
+  /// version-stamp and cache it, then ship it to the ring replica.
+  void checkpoint_session(const std::string& session, std::size_t owner);
+  /// Ship a cached checkpoint to shard `index` via
+  /// "replicate/session-state". `resume` asks the receiver to import it
+  /// into its live platform (the failover path); false merely stages it.
+  /// `done(acked)` fires once the ship settles (immediately on a send
+  /// failure); it may be null.
+  void ship_session_state(const std::string& session, std::int64_t version,
+                          const std::string& state_text, std::size_t index,
+                          bool resume, std::function<void(bool)> done);
+  /// Warm a joining shard with every cached checkpoint (stage-only
+  /// ships) — called before the join completes.
+  void warm_joiner_sessions(std::size_t index);
   void send_reply(const std::string& to, ingress::wire::Reply reply);
   void refuse(const std::string& to, std::uint64_t request_id,
               const Status& status, std::string refusal);
@@ -288,6 +324,25 @@ class ClusterFrontEnd {
   /// clients must not fail over or touch breakers mid-destruction.
   std::atomic<bool> shutting_down_{false};
 
+  /// Session-state replication (PR 10). Decoded from the authoritative
+  /// model's `checkpoint_interval` attr: pull + ship a checkpoint after
+  /// every N completed sequenced requests per session (0 disables).
+  std::int64_t checkpoint_interval_ = 0;
+  struct SessionCheckpoint {
+    std::int64_t version = 0;    ///< stamp of the cached state_text
+    std::string state_text;      ///< last captured checkpoint (text codec)
+    std::uint64_t completed = 0;  ///< completed requests since attach
+    bool capture_in_flight = false;  ///< at most one pull per session
+    /// Highest version known to be LIVE at resumed_shard — captures mark
+    /// their source shard current; resume ships mark their target. A
+    /// forward to that shard skips the redundant re-import.
+    std::int64_t resumed_version = 0;
+    std::size_t resumed_shard = static_cast<std::size_t>(-1);
+  };
+  mutable std::mutex checkpoint_mutex_;  ///< guards checkpoints_ only;
+                                         ///< never held across a send
+  std::map<std::string, SessionCheckpoint, std::less<>> checkpoints_;
+
   std::atomic<std::uint64_t> received_{0};
   std::atomic<std::uint64_t> forwarded_{0};
   std::atomic<std::uint64_t> rerouted_{0};
@@ -309,6 +364,11 @@ class ClusterFrontEnd {
   std::atomic<std::uint64_t> joins_completed_{0};
   std::atomic<std::uint64_t> leaves_started_{0};
   std::atomic<std::uint64_t> leaves_completed_{0};
+  std::atomic<std::uint64_t> checkpoints_taken_{0};
+  std::atomic<std::uint64_t> checkpoint_acks_{0};
+  std::atomic<std::uint64_t> checkpoint_failures_{0};
+  std::atomic<std::uint64_t> resumes_shipped_{0};
+  std::atomic<std::uint64_t> resumes_completed_{0};
 };
 
 }  // namespace mdsm::cluster

@@ -41,6 +41,20 @@ controller::Dsc decode_dsc(const model::ModelObject& dsc_spec) {
   return dsc;
 }
 
+/// The session-state envelope is a list of [key, value] pairs
+/// ([["session", s], ["version", v], ["resume", b], ["state", tree]]);
+/// find `key`.
+const model::Value* find_envelope_entry(const model::Value& envelope,
+                                        std::string_view key) {
+  if (!envelope.is_list()) return nullptr;
+  for (const model::Value& entry : envelope.as_list()) {
+    if (!entry.is_list() || entry.as_list().size() != 2) continue;
+    const model::ValueList& pair = entry.as_list();
+    if (pair[0].is_string() && pair[0].as_string() == key) return &pair[1];
+  }
+  return nullptr;
+}
+
 }  // namespace
 
 Result<std::unique_ptr<ShardNode>> ShardNode::launch(
@@ -93,6 +107,95 @@ void ShardNode::install_replication_route() {
       [this](const net::Message& message, const ingress::RouteParams& params) {
         handle_replicate(message, params);
       });
+  (void)server_->router().add(
+      "checkpoint/{session}",
+      [this](const net::Message& message, const ingress::RouteParams& params) {
+        handle_checkpoint(message, params);
+      });
+}
+
+void ShardNode::handle_checkpoint(const net::Message& message,
+                                  const ingress::RouteParams& params) {
+  Result<ingress::wire::Request> decoded =
+      ingress::wire::decode_request(message.payload);
+  if (!decoded.ok()) {
+    server_->post_refusal(message.from, 0, decoded.status(),
+                          ingress::wire::is_version_mismatch(decoded.status())
+                              ? "bad-version"
+                              : "malformed");
+    return;
+  }
+  const std::uint64_t id = decoded.value().request_id;
+  Result<model::Value> state =
+      platform_->export_session_state(std::string(params.get("session")));
+  if (!state.ok()) {
+    server_->post_refusal(message.from, id, state.status(), {});
+    return;
+  }
+  {
+    std::lock_guard lock(replica_mutex_);
+    ++stats_.checkpoints_exported;
+  }
+  ingress::wire::Reply reply;
+  reply.request_id = id;
+  reply.message = state.value().to_text();
+  server_->post_reply(message.from, std::move(reply));
+}
+
+void ShardNode::handle_session_state(const net::Message& message,
+                                     std::uint64_t id,
+                                     const ingress::wire::Request& request) {
+  const model::Value* session = find_envelope_entry(request.body, "session");
+  const model::Value* version = find_envelope_entry(request.body, "version");
+  const model::Value* state = find_envelope_entry(request.body, "state");
+  const model::Value* resume = find_envelope_entry(request.body, "resume");
+  if (session == nullptr || !session->is_string() || version == nullptr ||
+      !version->is_int() || state == nullptr) {
+    server_->post_refusal(
+        message.from, id,
+        InvalidArgument("session-state envelope needs session/version/state"),
+        "malformed");
+    return;
+  }
+  const std::string& key = session->as_string();
+  const std::int64_t shipped = version->as_int();
+  {
+    std::lock_guard lock(replica_mutex_);
+    auto it = staged_checkpoints_.find(key);
+    // Strict <: re-shipping the staged version is an idempotent retry
+    // and must succeed; only an *older* checkpoint is refused so a
+    // delayed ship can never roll a session back.
+    if (it != staged_checkpoints_.end() && shipped < it->second.version) {
+      ++stats_.session_states_rejected_stale;
+      server_->post_refusal(
+          message.from, id,
+          FailedPrecondition("checkpoint v" + std::to_string(shipped) +
+                             " for session '" + key +
+                             "' is older than staged v" +
+                             std::to_string(it->second.version)),
+          "stale-checkpoint");
+      return;
+    }
+    staged_checkpoints_[key] = StagedCheckpoint{shipped, *state};
+    ++stats_.session_states_staged;
+  }
+  if (resume != nullptr && resume->is_bool() && resume->as_bool()) {
+    // Failover: adopt the checkpoint into the live platform *before*
+    // the front-end forwards the retried request, so sequenced work
+    // resumes from where the dead owner left off.
+    if (Status imported = platform_->import_session_state(*state);
+        !imported.ok()) {
+      server_->post_refusal(message.from, id, imported, {});
+      return;
+    }
+    std::lock_guard lock(replica_mutex_);
+    ++stats_.session_states_imported;
+  }
+  ingress::wire::Reply reply;
+  reply.request_id = id;
+  reply.message = "session-state staged";
+  reply.commands = shipped;
+  server_->post_reply(message.from, std::move(reply));
 }
 
 void ShardNode::handle_replicate(const net::Message& message,
@@ -127,6 +230,10 @@ void ShardNode::handle_replicate(const net::Message& message,
     reply.request_id = id;
     reply.message = "model-full applied";
     server_->post_reply(message.from, std::move(reply));
+    return;
+  }
+  if (what == "session-state") {
+    handle_session_state(message, id, decoded.value());
     return;
   }
   if (what != "model-diff") {
@@ -271,6 +378,14 @@ void ShardNode::kill() {
 ShardNode::Stats ShardNode::replication_stats() const {
   std::lock_guard lock(replica_mutex_);
   return stats_;
+}
+
+std::optional<std::int64_t> ShardNode::staged_checkpoint_version(
+    std::string_view session) const {
+  std::lock_guard lock(replica_mutex_);
+  auto it = staged_checkpoints_.find(session);
+  if (it == staged_checkpoints_.end()) return std::nullopt;
+  return it->second.version;
 }
 
 }  // namespace mdsm::cluster

@@ -15,8 +15,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 
 #include "common/status.hpp"
@@ -87,8 +89,18 @@ class ShardNode {
     std::uint64_t full_syncs_applied = 0;  ///< full-model ships accepted
     std::uint64_t procedures_synced = 0;
     std::uint64_t dscs_synced = 0;
+    // Session-state replication (PR 10).
+    std::uint64_t checkpoints_exported = 0;  ///< "checkpoint/{session}" serves
+    std::uint64_t session_states_staged = 0;  ///< checkpoints accepted+held
+    std::uint64_t session_states_imported = 0;  ///< resume imports applied
+    std::uint64_t session_states_rejected_stale = 0;  ///< version-gated drops
   };
   [[nodiscard]] Stats replication_stats() const;
+
+  /// Version of the checkpoint currently staged for `session` (nullopt
+  /// when none has been shipped) — exposed for tests.
+  [[nodiscard]] std::optional<std::int64_t> staged_checkpoint_version(
+      std::string_view session) const;
 
  private:
   explicit ShardNode(model::Model replica_model)
@@ -97,6 +109,14 @@ class ShardNode {
   void install_replication_route();
   void handle_replicate(const net::Message& message,
                         const ingress::RouteParams& params);
+  /// Serve "checkpoint/{session}": export this platform's session state
+  /// and reply with its text encoding (the front-end's capture path).
+  void handle_checkpoint(const net::Message& message,
+                         const ingress::RouteParams& params);
+  /// "replicate/session-state" payload: version-gate, stage, and (on a
+  /// resume ship) import into the live platform.
+  void handle_session_state(const net::Message& message, std::uint64_t id,
+                            const ingress::wire::Request& request);
   /// apply_changes with replica_mutex_ already held.
   Status apply_changes_locked(const model::ChangeList& changes);
   /// Upsert/remove the DscSpec/ProcedureSpec artifacts `changes` touch.
@@ -110,6 +130,15 @@ class ShardNode {
   mutable std::mutex replica_mutex_;  ///< guards replica_model_ + stats
   model::Model replica_model_;
   Stats stats_;
+
+  /// Last checkpoint shipped per session, version-gated (strict <: an
+  /// equal-version re-ship is an idempotent retry and is accepted).
+  struct StagedCheckpoint {
+    std::int64_t version = 0;
+    model::Value state;
+  };
+  std::map<std::string, StagedCheckpoint, std::less<>>
+      staged_checkpoints_;  ///< guarded by replica_mutex_
 };
 
 }  // namespace mdsm::cluster

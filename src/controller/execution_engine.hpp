@@ -110,6 +110,13 @@ class ExecutionEngine {
     std::lock_guard lock(memory_mutex_);
     memory_.clear();
   }
+  /// Full copy of engine memory — the controller half of a session
+  /// checkpoint (Platform::export_session_state).
+  [[nodiscard]] std::map<std::string, model::Value, std::less<>>
+  memory_snapshot() const {
+    std::lock_guard lock(memory_mutex_);
+    return memory_;
+  }
 
   /// Snapshot of the counters (each exact; cross-counter sums may tear
   /// momentarily under concurrent executions).

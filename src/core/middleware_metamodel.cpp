@@ -347,6 +347,18 @@ Metamodel build() {
   platform.add_attribute({.name = "ingress_rate_burst",
                           .type = AttrType::kReal,
                           .default_value = Value(0.0)});
+  // Clock-based TTL on *completed* ingress dedup-ledger entries (PR 10);
+  // 0 keeps capacity eviction as the only bound. In-flight entries are
+  // never evicted regardless.
+  platform.add_attribute({.name = "ingress_dedup_ttl_us",
+                          .type = AttrType::kInt,
+                          .default_value = Value(0)});
+  // Session-state replication cadence (PR 10): a cluster front-end ships
+  // a session checkpoint to the ring replica after every N completed
+  // sequenced requests for that session (0 disables checkpointing).
+  platform.add_attribute({.name = "checkpoint_interval",
+                          .type = AttrType::kInt,
+                          .default_value = Value(0)});
   platform.add_reference({.name = "broker",
                           .target_class = "BrokerLayerSpec",
                           .containment = true,

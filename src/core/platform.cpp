@@ -82,6 +82,8 @@ Result<std::unique_ptr<Platform>> Platform::assemble(
       root.get_real("ingress_rate_limit", 0.0);
   platform->ingress_settings_.rate_burst =
       root.get_real("ingress_rate_burst", 0.0);
+  platform->ingress_settings_.dedup_ttl =
+      Duration(root.get_int("ingress_dedup_ttl_us", 0));
 
   // The component factory holds the layer "code templates"; assembly then
   // instantiates them with the model objects as metadata (paper §V-A).
@@ -617,6 +619,12 @@ struct Platform::StagedRequest {
   std::uint64_t queue_span = 0;      ///< "runtime.queue", closed at stage 1
   std::uint64_t watchdog = 0;        ///< deadline timer id (0 = none)
   std::atomic<bool> resolved{false};
+  /// True once real pipeline work began (set just before the synthesis
+  /// commit). Only executed requests feed the admission EWMA: a burst of
+  /// fast door refusals (admission re-check, deadline check, parse
+  /// errors) must not drag the latency prediction down and re-admit
+  /// doomed work. Written and read on the chain only.
+  bool executed = false;
   std::optional<InflightGuard> inflight;
 };
 
@@ -708,7 +716,9 @@ bool Platform::staged_abandoned(const std::shared_ptr<StagedRequest>& request) {
   if (!request->resolved.load(std::memory_order_acquire)) return false;
   // The watchdog already delivered kTimeout; the chain owns the trace,
   // so the close-out happens here, at its next touch.
-  admission_.record_latency(request->context->elapsed());
+  if (request->executed) {
+    admission_.record_latency(request->context->elapsed());
+  }
   request->context->close_span(request->root_span);
   request->inflight.reset();
   return true;
@@ -717,8 +727,12 @@ bool Platform::staged_abandoned(const std::shared_ptr<StagedRequest>& request) {
 void Platform::finish_staged(const std::shared_ptr<StagedRequest>& request,
                              Result<controller::ControlScript> outcome) {
   // Feed the admission EWMA with the observed end-to-end latency (queue
-  // and park time included — the context was minted at enqueue).
-  admission_.record_latency(request->context->elapsed());
+  // and park time included — the context was minted at enqueue), but
+  // only for requests that actually ran the pipeline: shed and refused
+  // requests resolve in microseconds and would poison the prediction.
+  if (request->executed) {
+    admission_.record_latency(request->context->elapsed());
+  }
   if (!outcome.ok()) metrics_.counter("requests.failed").add();
   const bool won =
       !request->resolved.exchange(true, std::memory_order_acq_rel);
@@ -780,6 +794,7 @@ void Platform::stage_synthesis(std::shared_ptr<StagedRequest> request) {
   }
   // Commit only — the serial synthesis window releases before controller
   // execution is even scheduled (the commit itself never parks).
+  request->executed = true;
   Result<controller::ControlScript> script =
       synthesis_->commit_model(std::move(parsed.value()), *request->context);
   if (!script.ok()) {
@@ -874,6 +889,167 @@ Result<controller::ControlScript> Platform::submit_model(
 
 std::string Platform::runtime_model_text() const {
   return synthesis_->runtime_model_text();
+}
+
+// ---- session-state checkpoint / snapshot-restore (PR 10) --------------
+
+namespace {
+
+/// Wire/disk format tag; bumped if the pair layout ever changes.
+constexpr std::string_view kCheckpointFormat = "mdsm-session-checkpoint-v1";
+
+/// The checkpoint tree is a list of [key, value] pairs; find `key`.
+const model::Value* find_checkpoint_entry(const model::ValueList& entries,
+                                          std::string_view key) {
+  for (const model::Value& entry : entries) {
+    if (!entry.is_list() || entry.as_list().size() != 2) continue;
+    const model::ValueList& pair = entry.as_list();
+    if (pair[0].is_string() && pair[0].as_string() == key) return &pair[1];
+  }
+  return nullptr;
+}
+
+model::Value make_pair(std::string key, model::Value value) {
+  model::ValueList pair;
+  pair.push_back(model::Value(std::move(key)));
+  pair.push_back(std::move(value));
+  return model::Value(std::move(pair));
+}
+
+/// Pack a sorted string→Value map as [[key, value], ...]. The input maps
+/// are std::map, so the encoding is deterministic — snapshot() texts are
+/// byte-comparable.
+template <typename Map>
+model::Value pack_scalar_map(const Map& map) {
+  model::ValueList out;
+  out.reserve(map.size());
+  for (const auto& [key, value] : map) {
+    out.push_back(make_pair(key, value));
+  }
+  return model::Value(std::move(out));
+}
+
+/// Visit a [[key, value], ...] section (absent section = empty).
+template <typename Apply>
+Status each_checkpoint_pair(const model::Value* section,
+                            std::string_view what, Apply&& apply) {
+  if (section == nullptr) return Status::Ok();
+  if (!section->is_list()) {
+    return InvalidArgument("checkpoint section '" + std::string(what) +
+                           "' must be a list of [key, value] pairs");
+  }
+  for (const model::Value& entry : section->as_list()) {
+    if (!entry.is_list() || entry.as_list().size() != 2 ||
+        !entry.as_list()[0].is_string()) {
+      return InvalidArgument("checkpoint section '" + std::string(what) +
+                             "' holds a malformed [key, value] pair");
+    }
+    apply(entry.as_list()[0].as_string(), entry.as_list()[1]);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<model::Value> Platform::export_session_state(
+    const std::string& session) {
+  // The runtime model and the interpreter's LTS states are captured in
+  // ONE hold of the synthesis mutex — mutually consistent even while
+  // submissions race. The scalar stores follow as point-in-time copies
+  // (each internally synchronized).
+  synthesis::SynthesisEngine::ExportedState synth = synthesis_->export_state();
+  model::ValueList lts;
+  lts.reserve(synth.lts_states.size());
+  for (const auto& [object_id, state] : synth.lts_states) {
+    lts.push_back(make_pair(object_id, model::Value(state)));
+  }
+  model::ValueList root;
+  root.push_back(make_pair("format", model::Value(std::string(
+                                         kCheckpointFormat))));
+  root.push_back(make_pair("session", model::Value(session)));
+  root.push_back(
+      make_pair("runtime_model",
+                model::Value(std::move(synth.runtime_model_text))));
+  root.push_back(make_pair("lts_states", model::Value(std::move(lts))));
+  root.push_back(make_pair(
+      "memory", pack_scalar_map(controller_->engine().memory_snapshot())));
+  root.push_back(make_pair("context", pack_scalar_map(context_.snapshot())));
+  root.push_back(make_pair(
+      "broker", pack_scalar_map(broker_->state().variables_snapshot())));
+  return model::Value(std::move(root));
+}
+
+Status Platform::import_session_state(const model::Value& state) {
+  if (!state.is_list()) {
+    return InvalidArgument(
+        "session checkpoint must be a list of [key, value] pairs");
+  }
+  const model::ValueList& entries = state.as_list();
+  const model::Value* format = find_checkpoint_entry(entries, "format");
+  if (format == nullptr || !format->is_string() ||
+      format->as_string() != kCheckpointFormat) {
+    return InvalidArgument("unrecognized session-checkpoint format");
+  }
+  const model::Value* model_text =
+      find_checkpoint_entry(entries, "runtime_model");
+  if (model_text == nullptr || !model_text->is_string()) {
+    return InvalidArgument("session checkpoint carries no runtime model");
+  }
+  Result<model::Model> checkpointed =
+      model::parse_model(model_text->as_string(), dsml_);
+  if (!checkpointed.ok()) return checkpointed.status();
+  std::map<std::string, std::string, std::less<>> lts_states;
+  if (const model::Value* lts = find_checkpoint_entry(entries, "lts_states");
+      lts != nullptr) {
+    if (!lts->is_list()) {
+      return InvalidArgument("checkpoint lts_states must be a list");
+    }
+    for (const model::Value& entry : lts->as_list()) {
+      if (!entry.is_list() || entry.as_list().size() != 2 ||
+          !entry.as_list()[0].is_string() ||
+          !entry.as_list()[1].is_string()) {
+        return InvalidArgument(
+            "checkpoint lts_states entries must be [id, state] string "
+            "pairs");
+      }
+      lts_states[entry.as_list()[0].as_string()] =
+          entry.as_list()[1].as_string();
+    }
+  }
+  // Adopt model + LTS states first (validates conformance; fires the
+  // model listener so the broker's runtime-model mirror converges). On
+  // failure nothing below has been touched.
+  MDSM_RETURN_IF_ERROR(synthesis_->restore_state(
+      std::move(checkpointed.value()), std::move(lts_states)));
+  MDSM_RETURN_IF_ERROR(each_checkpoint_pair(
+      find_checkpoint_entry(entries, "memory"), "memory",
+      [this](const std::string& key, const model::Value& value) {
+        controller_->engine().set_memory(key, value);
+      }));
+  MDSM_RETURN_IF_ERROR(each_checkpoint_pair(
+      find_checkpoint_entry(entries, "context"), "context",
+      [this](const std::string& key, const model::Value& value) {
+        context_.set(key, value);
+      }));
+  MDSM_RETURN_IF_ERROR(each_checkpoint_pair(
+      find_checkpoint_entry(entries, "broker"), "broker",
+      [this](const std::string& key, const model::Value& value) {
+        broker_->state().set(key, value);
+      }));
+  metrics_.counter("platform.session_states_imported").add();
+  return Status::Ok();
+}
+
+Result<std::string> Platform::snapshot() {
+  Result<model::Value> exported = export_session_state(name_);
+  if (!exported.ok()) return exported.status();
+  return exported.value().to_text();
+}
+
+Status Platform::restore(std::string_view snapshot_text) {
+  Result<model::Value> parsed = model::parse_value(snapshot_text);
+  if (!parsed.ok()) return parsed.status();
+  return import_session_state(parsed.value());
 }
 
 }  // namespace mdsm::core

@@ -105,6 +105,10 @@ struct IngressSettings {
   double rate_limit = 0.0;
   /// Bucket capacity in tokens (burst tolerance; 0 derives max(1, rate)).
   double rate_burst = 0.0;
+  /// Clock-based TTL on the ingress dedup ledger's completed entries
+  /// (PR 10): how long a settled reply stays replayable for client
+  /// retries. 0 keeps entries until capacity eviction alone.
+  Duration dedup_ttl{0};
 };
 
 class Platform {
@@ -202,6 +206,34 @@ class Platform {
 
   /// Serialized current runtime model (round-trip engineering).
   [[nodiscard]] std::string runtime_model_text() const;
+
+  // ---- session-state checkpoint / snapshot-restore (PR 10) -------------
+
+  /// Serialize the platform's session-visible runtime state as a
+  /// model::Value tree: the committed runtime model, every tracked LTS
+  /// state, ExecutionEngine memory, ContextStore entries and the broker
+  /// StateManager's scalar store. `session` is a label stamped into the
+  /// payload (the cluster ships one checkpoint per session key; a disk
+  /// snapshot stamps the platform name). The model + LTS pair is
+  /// captured atomically under the synthesis mutex; the scalar stores
+  /// are point-in-time copies. Encoded with the text-format Value codec,
+  /// so payload.to_text() round-trips through model::parse_value().
+  Result<model::Value> export_session_state(const std::string& session);
+
+  /// Inverse of export_session_state(): adopt the checkpointed runtime
+  /// model + LTS states wholesale (so the next submission diffs against
+  /// the checkpointed model and sequenced work RESUMES rather than
+  /// restarts) and merge the memory/context/broker scalar entries in.
+  /// Merging — not clearing — keeps an importing replica's own sessions
+  /// intact; a fresh platform ends up byte-equal to the exporter.
+  Status import_session_state(const model::Value& state);
+
+  /// Disk-format snapshot of a running platform: the export tree
+  /// serialized as text. restore() on a fresh platform assembled from
+  /// the same middleware model round-trips byte-equal on both
+  /// runtime_model_text() and a re-snapshot.
+  Result<std::string> snapshot();
+  Status restore(std::string_view snapshot_text);
 
   // ---- layer access ----------------------------------------------------
 

@@ -12,10 +12,6 @@ namespace {
 /// platform's staged event loop).
 constexpr Duration kReplyPollCap = std::chrono::milliseconds(1);
 
-/// Completed-submit outcomes the dedup ledger retains before the oldest
-/// are forgotten (a retry older than this window re-executes).
-constexpr std::size_t kLedgerCapacity = 1024;
-
 /// "<client>#<id>": the retry-stable identity of a submission. A
 /// front-end forwarding on a client's behalf stamps forwarded_for with
 /// the *original* identity so retries routed through a different
@@ -48,6 +44,8 @@ Result<std::unique_ptr<IngressServer>> IngressServer::attach(
   server->endpoint_ = network.endpoint_handle(name);
   server->endpoint_name_ = std::move(name);
   server->attach_time_ = platform.clock().now();
+  server->ledger_capacity_ = options.ledger_capacity;
+  server->dedup_ttl_ = settings.dedup_ttl;
   server->chain_.set_metrics(&platform.metrics());
   server->install_default_chain(settings);
   if (Status routes = server->install_default_routes(); !routes.ok()) {
@@ -362,34 +360,62 @@ void IngressServer::post_refusal(const std::string& to,
 IngressServer::DedupVerdict IngressServer::check_dedup(const std::string& key,
                                                        wire::Reply* recorded) {
   std::lock_guard lock(dedup_mutex_);
-  if (auto it = ledger_.find(key); it != ledger_.end()) {
-    deduped_.fetch_add(1, std::memory_order_relaxed);
-    platform_->metrics().counter("ingress.deduped").add();
-    *recorded = it->second;
-    return DedupVerdict::kCompleted;
+  auto it = ledger_.find(key);
+  if (it != ledger_.end() && it->second.completed &&
+      dedup_ttl_ > Duration(0) &&
+      network_->clock().now() - it->second.recorded_at >= dedup_ttl_) {
+    // TTL lapsed: the recorded outcome is too old to answer from, so
+    // the retry re-executes as fresh work. The stale (key, seq) pair
+    // left in ledger_order_ is skipped at eviction by its seq mismatch.
+    dedup_expired_.fetch_add(1, std::memory_order_relaxed);
+    platform_->metrics().counter("ingress.dedup_expired").add();
+    --ledger_completed_;
+    ledger_.erase(it);
+    it = ledger_.end();
   }
-  if (!in_flight_.insert(key).second) {
+  if (it != ledger_.end()) {
     deduped_.fetch_add(1, std::memory_order_relaxed);
     platform_->metrics().counter("ingress.deduped").add();
+    if (it->second.completed) {
+      *recorded = it->second.reply;
+      return DedupVerdict::kCompleted;
+    }
     return DedupVerdict::kInFlight;
   }
+  DedupEntry entry;
+  entry.seq = ++ledger_seq_;
+  ledger_.emplace(key, std::move(entry));
   return DedupVerdict::kFresh;
 }
 
 void IngressServer::abandon_in_flight(const std::string& key) {
   std::lock_guard lock(dedup_mutex_);
-  in_flight_.erase(key);
+  auto it = ledger_.find(key);
+  if (it != ledger_.end() && !it->second.completed) ledger_.erase(it);
 }
 
 void IngressServer::record_outcome(const std::string& key,
                                    const wire::Reply& reply) {
   std::lock_guard lock(dedup_mutex_);
-  in_flight_.erase(key);
-  if (ledger_.emplace(key, reply).second) {
-    ledger_order_.push_back(key);
-    while (ledger_order_.size() > kLedgerCapacity) {
-      ledger_.erase(ledger_order_.front());
-      ledger_order_.pop_front();
+  DedupEntry& entry = ledger_[key];
+  if (entry.completed) return;  // already terminal for this identity
+  if (entry.seq == 0) entry.seq = ++ledger_seq_;
+  entry.completed = true;
+  entry.reply = reply;
+  entry.recorded_at = network_->clock().now();
+  ledger_order_.emplace_back(key, entry.seq);
+  ++ledger_completed_;
+  while (ledger_completed_ > ledger_capacity_ && !ledger_order_.empty()) {
+    const auto [victim, seq] = std::move(ledger_order_.front());
+    ledger_order_.pop_front();
+    auto it = ledger_.find(victim);
+    // Evict only the exact completed entry this slot was queued for: an
+    // in-flight entry (never queued) or a TTL-readmitted successor
+    // (different seq) survives capacity pressure untouched.
+    if (it != ledger_.end() && it->second.completed &&
+        it->second.seq == seq) {
+      ledger_.erase(it);
+      --ledger_completed_;
     }
   }
 }
@@ -406,6 +432,7 @@ IngressServer::Stats IngressServer::stats() const {
   stats.replies = replies_.load(std::memory_order_relaxed);
   stats.reply_failures = reply_failures_.load(std::memory_order_relaxed);
   stats.deduped = deduped_.load(std::memory_order_relaxed);
+  stats.dedup_expired = dedup_expired_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -27,7 +27,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
+#include <utility>
 
 #include "core/platform.hpp"
 #include "ingress/middleware.hpp"
@@ -45,6 +45,10 @@ struct IngressServerOptions {
   /// Create the reply loop in manual mode: replies queue until pump().
   /// Deterministic tests pair this with a SimClock network.
   bool manual_reply_loop = false;
+  /// Completed outcomes the dedup ledger retains before the oldest are
+  /// forgotten. Only COMPLETED entries count against (or are evicted
+  /// for) this bound — an in-flight entry is pinned until it settles.
+  std::size_t ledger_capacity = 1024;
 };
 
 class IngressServer {
@@ -94,6 +98,8 @@ class IngressServer {
     std::uint64_t reply_failures = 0; ///< network refused the reply send
     std::uint64_t deduped = 0;        ///< retried submits answered/absorbed
                                       ///< by the ledger, not re-executed
+    std::uint64_t dedup_expired = 0;  ///< completed entries dropped by TTL
+                                      ///< (the retry re-executed as fresh)
   };
   [[nodiscard]] Stats stats() const;
 
@@ -145,15 +151,34 @@ class IngressServer {
   std::atomic<std::uint64_t> replies_{0};
   std::atomic<std::uint64_t> reply_failures_{0};
   std::atomic<std::uint64_t> deduped_{0};
+  std::atomic<std::uint64_t> dedup_expired_{0};
 
-  /// Bounded FIFO ledger of completed submit outcomes keyed
-  /// "<client>#<id>", plus the set still executing — together they make
-  /// client retries idempotent: a retry is answered from the ledger or
-  /// absorbed, never re-executed.
+  /// Dedup ledger (PR 8, restructured in PR 10): one entry per
+  /// "<client>#<id>" identity, in flight from admission until its
+  /// terminal reply is recorded. Retries are answered from a completed
+  /// entry or absorbed by an in-flight one — never re-executed. Two
+  /// bounds apply to COMPLETED entries only: a capacity FIFO and an
+  /// optional clock TTL (model attr ingress_dedup_ttl_us; network
+  /// clock, checked lazily on lookup). In-flight entries are pinned —
+  /// neither bound may evict one, or a storm of fresh traffic could
+  /// un-absorb a retry and double-execute the original.
+  struct DedupEntry {
+    bool completed = false;
+    std::uint64_t seq = 0;  ///< admission stamp; pairs with ledger_order_
+    wire::Reply reply;      ///< valid once completed
+    TimePoint recorded_at{};  ///< completion time, for the TTL
+  };
   mutable std::mutex dedup_mutex_;
-  std::unordered_map<std::string, wire::Reply> ledger_;
-  std::deque<std::string> ledger_order_;
-  std::unordered_set<std::string> in_flight_;
+  std::unordered_map<std::string, DedupEntry> ledger_;
+  /// Eviction queue of (key, seq) for COMPLETED entries only. A pair
+  /// whose seq no longer matches the live entry is skipped: the key was
+  /// TTL-expired and re-admitted, and the successor entry must not be
+  /// evicted in the old one's place.
+  std::deque<std::pair<std::string, std::uint64_t>> ledger_order_;
+  std::size_t ledger_completed_ = 0;  ///< completed entries in ledger_
+  std::uint64_t ledger_seq_ = 0;
+  std::size_t ledger_capacity_ = 1024;
+  Duration dedup_ttl_{0};  ///< 0 = capacity bound only
 };
 
 }  // namespace mdsm::ingress

@@ -185,6 +185,17 @@ class Parser {
     return model;
   }
 
+  /// Parse exactly one standalone value (no model header, no metamodel
+  /// involvement) and require the input to end there.
+  Result<Value> run_value() {
+    Result<Value> value = parse_value();
+    if (!value.ok()) return value.status();
+    if (peek().kind != TokenKind::kEnd) {
+      return error("trailing input after value, got '" + peek().text + "'");
+    }
+    return value;
+  }
+
  private:
   const Token& peek() const { return tokens_[index_]; }
   Token take() { return tokens_[index_++]; }
@@ -369,6 +380,14 @@ Result<Model> parse_model(std::string_view text, MetamodelPtr metamodel) {
   if (!tokens.ok()) return tokens.status();
   Parser parser(std::move(tokens.value()), std::move(metamodel));
   return parser.run();
+}
+
+Result<Value> parse_value(std::string_view text) {
+  Lexer lexer(text);
+  Result<std::vector<Token>> tokens = lexer.run();
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens.value()), /*metamodel=*/nullptr);
+  return parser.run_value();
 }
 
 std::string serialize_model(const Model& model) {

@@ -30,4 +30,10 @@ Result<Model> parse_model(std::string_view text, MetamodelPtr metamodel);
 /// names). parse_model(serialize_model(m)) reproduces m.
 std::string serialize_model(const Model& model);
 
+/// Parse a single standalone Value in the same concrete syntax the
+/// model grammar uses for attribute values (string/number/bool/none/
+/// nested lists). parse_value(v.to_text()) reproduces v — the codec the
+/// session-checkpoint wire format and Platform::snapshot() ride on.
+Result<Value> parse_value(std::string_view text);
+
 }  // namespace mdsm::model

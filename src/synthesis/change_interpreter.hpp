@@ -48,6 +48,21 @@ class ChangeInterpreter {
     stats_ = {};
   }
 
+  /// Snapshot of every tracked object's LTS state — the session-
+  /// checkpoint payload. Callers synchronize (the owning engine holds
+  /// its commit mutex across both accessors).
+  [[nodiscard]] std::map<std::string, std::string, std::less<>> states()
+      const {
+    return states_;
+  }
+
+  /// Replace the tracked LTS states wholesale (checkpoint import /
+  /// snapshot restore). Replace — not merge — so a restored platform is
+  /// byte-equal to the exporter, including absent entries.
+  void restore_states(std::map<std::string, std::string, std::less<>> states) {
+    states_ = std::move(states);
+  }
+
  private:
   [[nodiscard]] bool trigger_matches(const Trigger& trigger,
                                      const model::Change& change) const;

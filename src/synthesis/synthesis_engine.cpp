@@ -111,6 +111,31 @@ std::string SynthesisEngine::runtime_model_text() const {
   return model::serialize_model(runtime_model_);
 }
 
+SynthesisEngine::ExportedState SynthesisEngine::export_state() const {
+  std::lock_guard lock(mutex_);
+  ExportedState out;
+  out.runtime_model_text = model::serialize_model(runtime_model_);
+  out.lts_states = interpreter_.states();
+  return out;
+}
+
+Status SynthesisEngine::restore_state(
+    model::Model runtime_model,
+    std::map<std::string, std::string, std::less<>> lts_states) {
+  if (&runtime_model.metamodel() != dsml_.get()) {
+    return InvalidArgument("restored model conforms to metamodel '" +
+                           runtime_model.metamodel().name() +
+                           "', engine expects '" + dsml_->name() + "'");
+  }
+  Status valid = runtime_model.validate();
+  if (!valid.ok()) return valid;
+  std::lock_guard lock(mutex_);
+  runtime_model_ = std::move(runtime_model);
+  interpreter_.restore_states(std::move(lts_states));
+  if (listener_ != nullptr) listener_(runtime_model_);
+  return Status::Ok();
+}
+
 SynthesisStats SynthesisEngine::stats() const {
   SynthesisStats out;
   out.models_submitted =

@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -123,6 +124,24 @@ class SynthesisEngine final : public runtime::Component {
   /// momentarily while submissions are in flight).
   [[nodiscard]] SynthesisStats stats() const;
   [[nodiscard]] std::vector<std::string> event_log() const;
+
+  /// Atomic export of the synthesis-layer session state: the serialized
+  /// runtime model and every tracked LTS state, captured under ONE hold
+  /// of the serial mutex so the pair is mutually consistent even while
+  /// submissions are racing. This is the checkpoint payload.
+  struct ExportedState {
+    std::string runtime_model_text;
+    std::map<std::string, std::string, std::less<>> lts_states;
+  };
+  [[nodiscard]] ExportedState export_state() const;
+
+  /// Inverse of export_state(): swap in `runtime_model` as the committed
+  /// model and replace the interpreter's LTS states wholesale, then fire
+  /// the model listener so downstream mirrors (broker runtime model)
+  /// converge. The model must conform to this engine's DSML.
+  Status restore_state(
+      model::Model runtime_model,
+      std::map<std::string, std::string, std::less<>> lts_states);
 
  private:
   /// Shared pre-check + serial diff→interpret→dispatch→commit section of

@@ -242,11 +242,19 @@ bool launch_spare(ClusterDeployment& out, const std::string& endpoint) {
 
 std::unique_ptr<ClusterDeployment> make_cluster(
     std::size_t shards, cluster::ClusterConfig config = {},
-    ingress::IngressClientOptions client_options = {}) {
+    ingress::IngressClientOptions client_options = {},
+    std::string_view extra_attrs = "") {
   auto out = std::make_unique<ClusterDeployment>();
   out->dsml = model::testing::make_test_metamodel();
-  auto parsed = model::parse_model(soak::kSoakMiddlewareModel,
-                                   core::middleware_metamodel());
+  std::string text(soak::kSoakMiddlewareModel);
+  if (!extra_attrs.empty()) {
+    // Splice platform attrs (checkpoint_interval, ...) after the domain
+    // line, same trick the ingress fixtures use.
+    const std::string anchor = "domain = \"testing\"";
+    text.insert(text.find(anchor) + anchor.size(),
+                "\n  " + std::string(extra_attrs));
+  }
+  auto parsed = model::parse_model(text, core::middleware_metamodel());
   if (!parsed.ok()) return nullptr;
   out->middleware.emplace(std::move(parsed.value()));
   out->network = std::make_unique<net::Network>(out->clock, quiet_network());
@@ -1023,6 +1031,213 @@ TEST(ClusterE2E, ElasticResizeUnderLoadKeepsCallbacksExactlyOnce) {
   }
   EXPECT_EQ(executed, static_cast<std::uint64_t>(2 * submitted));
   EXPECT_EQ(cluster->frontend->stats().failovers, 0u);
+  cluster->shutdown();
+}
+
+// The PR 10 tentpole: with a model-driven checkpoint cadence
+// (checkpoint_interval = 1), every completed request captures the
+// session's runtime state from its owner and stages it on the ring
+// replica. When the owner dies, the failover ships the cached
+// checkpoint resume=true and the replica IMPORTS it before the retried
+// request forwards — so the retry is a pure continuation (one step),
+// not the cold whole-lifecycle replay (three steps, see
+// test_snapshot.cpp), and the client still hears exactly once.
+TEST(ClusterE2E, FailoverResumesSessionFromReplicatedCheckpoint) {
+  cluster::ClusterConfig config;
+  config.downstream_reply_timeout = std::chrono::milliseconds(200);
+  auto cluster =
+      make_cluster(2, config, {}, "checkpoint_interval = 1");
+  ASSERT_NE(cluster, nullptr);
+
+  // A session shard 0 owns; in a two-member ring its replica is 1.
+  std::string session;
+  for (int i = 0; session.empty(); ++i) {
+    const std::string candidate = "r" + std::to_string(i);
+    if (cluster->frontend->ring().owner(candidate) == 0) session = candidate;
+  }
+  const std::size_t owner = 0;
+  const std::size_t replica = 1;
+  ASSERT_EQ(cluster->frontend->ring().replica(session), replica);
+
+  // Open the session; the completion triggers capture (owner exports),
+  // then the stage ship to the replica, version-stamped 1.
+  Ledger ledger;
+  ASSERT_TRUE(cluster->client
+                  ->submit("testlang", session,
+                           soak::open_session_text(session),
+                           ledger.recorder())
+                  .ok());
+  ASSERT_TRUE(cluster->drive_until([&] {
+    return ledger.total() == 1 &&
+           cluster->frontend->stats().checkpoint_acks >= 1;
+  }));
+  EXPECT_EQ(cluster->frontend->checkpoint_version(session), 1);
+  ASSERT_TRUE(cluster->nodes[replica]
+                  ->staged_checkpoint_version(session)
+                  .has_value());
+  EXPECT_EQ(*cluster->nodes[replica]->staged_checkpoint_version(session), 1);
+  EXPECT_GE(cluster->nodes[owner]->replication_stats().checkpoints_exported,
+            1u);
+  EXPECT_EQ(cluster->adapters[owner]->executed(), 2u);  // create + open
+  EXPECT_EQ(cluster->adapters[replica]->executed(), 0u);
+  // Staged is not applied: the replica's own runtime stays untouched
+  // until a failover actually needs it.
+  EXPECT_EQ(cluster->nodes[replica]->replication_stats()
+                .session_states_imported,
+            0u);
+
+  // Kill the owner and close the session. The forward times out, the
+  // failover ships the cached checkpoint resume=true, the replica
+  // imports it, and ONLY THEN does the retry forward: one svc.close,
+  // not the cold three-step replay.
+  cluster->nodes[owner]->kill();
+  Ledger close_ledger;
+  ASSERT_TRUE(cluster->client
+                  ->submit("testlang", session,
+                           soak::close_session_text(session),
+                           close_ledger.recorder())
+                  .ok());
+  ASSERT_TRUE(cluster->drive_until(
+      [&] { return close_ledger.total() == 1; },
+      std::chrono::milliseconds(20)));
+  {
+    std::lock_guard lock(close_ledger.mutex);
+    EXPECT_EQ(close_ledger.refusals[""], 1);
+    for (const auto& [id, count] : close_ledger.fired) {
+      EXPECT_EQ(count, 1) << "request " << id;
+    }
+  }
+  EXPECT_EQ(cluster->adapters[replica]->executed(), 1u)
+      << "the resumed close must re-execute zero prior steps";
+
+  const cluster::ClusterFrontEnd::Stats stats = cluster->frontend->stats();
+  EXPECT_GE(stats.failovers, 1u);
+  EXPECT_GE(stats.checkpoints_taken, 1u);
+  EXPECT_GE(stats.resumes_shipped, 1u);
+  EXPECT_GE(stats.resumes_completed, 1u);
+  const cluster::ShardNode::Stats replica_stats =
+      cluster->nodes[replica]->replication_stats();
+  EXPECT_GE(replica_stats.session_states_staged, 1u);
+  EXPECT_EQ(replica_stats.session_states_imported, 1u);
+  EXPECT_EQ(replica_stats.session_states_rejected_stale, 0u);
+  cluster->shutdown();
+}
+
+// Version gating on the session-state route: a checkpoint older than
+// what the replica already staged is refused "stale-checkpoint" and
+// never overwrites the newer state; re-shipping the SAME version is an
+// idempotent retry and is accepted.
+TEST(ClusterE2E, StaleCheckpointNeverAppliesOverNewer) {
+  auto cluster = make_cluster(1);
+  ASSERT_NE(cluster, nullptr);
+
+  // Talk to the shard's replication route directly, as the front-end
+  // would. The staged payload is a REAL export so the test mirrors the
+  // production envelope byte-for-byte.
+  ingress::IngressClientOptions raw_options;
+  raw_options.endpoint = "raw-shipper";  // "client" is taken
+  auto raw = ingress::IngressClient::attach(
+      *cluster->network, cluster->nodes[0]->endpoint_name(),
+      std::move(raw_options));
+  ASSERT_TRUE(raw.ok());
+  Result<model::Value> state =
+      cluster->nodes[0]->platform().export_session_state("gate");
+  ASSERT_TRUE(state.ok()) << state.status().to_string();
+
+  auto pair = [](std::string key, model::Value value) {
+    model::ValueList entry;
+    entry.push_back(model::Value(std::move(key)));
+    entry.push_back(std::move(value));
+    return model::Value(std::move(entry));
+  };
+  auto ship = [&](std::int64_t version) {
+    model::ValueList envelope;
+    envelope.push_back(pair("session", model::Value(std::string("gate"))));
+    envelope.push_back(pair("version", model::Value(version)));
+    envelope.push_back(pair("resume", model::Value(false)));
+    envelope.push_back(pair("state", state.value()));
+    ingress::wire::Request request;
+    request.body = model::Value(std::move(envelope));
+    auto outcome = std::make_shared<std::optional<ingress::RemoteOutcome>>();
+    EXPECT_TRUE(raw.value()
+                    ->call("replicate/session-state", std::move(request),
+                           [outcome](const ingress::RemoteOutcome& got) {
+                             *outcome = got;
+                           })
+                    .ok());
+    EXPECT_TRUE(
+        cluster->drive_until([&] { return outcome->has_value(); }));
+    return **outcome;
+  };
+
+  // Version 2 stages.
+  ingress::RemoteOutcome first = ship(2);
+  EXPECT_TRUE(first.status.ok()) << first.status.to_string();
+  ASSERT_TRUE(
+      cluster->nodes[0]->staged_checkpoint_version("gate").has_value());
+  EXPECT_EQ(*cluster->nodes[0]->staged_checkpoint_version("gate"), 2);
+
+  // Version 1 arrives late (reordered ship): refused, nothing replaced.
+  ingress::RemoteOutcome stale = ship(1);
+  EXPECT_FALSE(stale.status.ok());
+  EXPECT_EQ(stale.refusal, "stale-checkpoint");
+  EXPECT_EQ(*cluster->nodes[0]->staged_checkpoint_version("gate"), 2);
+
+  // Re-shipping version 2 is an idempotent retry, not a stale ship.
+  ingress::RemoteOutcome again = ship(2);
+  EXPECT_TRUE(again.status.ok()) << again.status.to_string();
+  EXPECT_EQ(*cluster->nodes[0]->staged_checkpoint_version("gate"), 2);
+
+  const cluster::ShardNode::Stats stats =
+      cluster->nodes[0]->replication_stats();
+  EXPECT_EQ(stats.session_states_staged, 2u);
+  EXPECT_EQ(stats.session_states_rejected_stale, 1u);
+  EXPECT_EQ(stats.session_states_imported, 0u);  // stage-only ships
+  raw.value().reset();
+  cluster->shutdown();
+}
+
+// PR 10 satellite regression: the query fan-out targets only ACTIVE
+// shards. A joiner still warming up must not receive (or corrupt) a
+// fan-out — its section appears in merged replies only after the join
+// completes.
+TEST(ClusterE2E, QueryFanOutSkipsAJoiningShard) {
+  auto cluster = make_cluster(2);
+  ASSERT_NE(cluster, nullptr);
+  ASSERT_TRUE(launch_spare(*cluster, "shard-2"));
+  ASSERT_TRUE(cluster->frontend->join("shard-2").ok());
+  EXPECT_EQ(cluster->frontend->shard_state(2),
+            cluster::ClusterFrontEnd::ShardState::kJoining);
+
+  // Query while the warm-up full-sync is still in flight: the frontend
+  // snapshots its targets before the joiner's ack can be pumped, so the
+  // merge covers exactly the two founding shards.
+  auto outcome = std::make_shared<std::optional<ingress::RemoteOutcome>>();
+  ASSERT_TRUE(cluster->client
+                  ->query("metrics",
+                          [outcome](const ingress::RemoteOutcome& got) {
+                            *outcome = got;
+                          })
+                  .ok());
+  ASSERT_TRUE(cluster->drive_until([&] { return outcome->has_value(); }));
+  ASSERT_TRUE((*outcome)->status.ok()) << (*outcome)->status.to_string();
+  EXPECT_NE((*outcome)->payload.find("=== shard 0 ==="), std::string::npos);
+  EXPECT_NE((*outcome)->payload.find("=== shard 1 ==="), std::string::npos);
+  EXPECT_EQ((*outcome)->payload.find("=== shard 2 ==="), std::string::npos)
+      << "a joining shard leaked into the fan-out";
+
+  // Once the join completes the newcomer serves queries like anyone.
+  ASSERT_TRUE(cluster->drive_until(
+      [&] { return cluster->frontend->stats().joins_completed == 1; }));
+  auto second = std::make_shared<std::optional<ingress::RemoteOutcome>>();
+  ASSERT_TRUE(cluster->client
+                  ->query("metrics",
+                          [second](const ingress::RemoteOutcome& got) {
+                            *second = got;
+                          })
+                  .ok());
+  ASSERT_TRUE(cluster->drive_until([&] { return second->has_value(); }));
+  EXPECT_NE((*second)->payload.find("=== shard 2 ==="), std::string::npos);
   cluster->shutdown();
 }
 

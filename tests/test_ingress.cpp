@@ -5,7 +5,9 @@
 // the wire as typed refusal replies.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
@@ -209,10 +211,53 @@ struct SplitDeployment {
   }
 };
 
+/// A CountingAdapter that can additionally PARK executions: each
+/// execution while `holds` is positive blocks inside execute() until
+/// release(). Lets a test hold a request in flight deterministically
+/// (give the pipeline a second worker so other traffic still flows).
+class GateAdapter final : public broker::ResourceAdapter {
+ public:
+  GateAdapter() : ResourceAdapter("svc") {}
+
+  Result<model::Value> execute(const std::string& command,
+                               const broker::Args& args) override {
+    (void)args;
+    executed_.fetch_add(1, std::memory_order_relaxed);
+    if (holds_.fetch_sub(1, std::memory_order_acq_rel) > 0) {
+      std::unique_lock lock(mutex_);
+      released_cv_.wait(lock, [this] { return released_; });
+    }
+    return model::Value("done:" + command);
+  }
+
+  void hold_next(int executions) {
+    holds_.store(executions, std::memory_order_release);
+  }
+  void release() {
+    {
+      std::lock_guard lock(mutex_);
+      released_ = true;
+    }
+    released_cv_.notify_all();
+  }
+  [[nodiscard]] std::uint64_t executed() const noexcept {
+    return executed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<int> holds_{0};
+  std::mutex mutex_;
+  std::condition_variable released_cv_;
+  bool released_ = false;
+};
+
 std::unique_ptr<SplitDeployment> make_split_deployment(
     std::string_view extra_attrs = "", unsigned pipeline_threads = 2,
     net::NetworkConfig network_config = quiet_network(),
-    ingress::IngressClientOptions client_options = {}) {
+    ingress::IngressClientOptions client_options = {},
+    ingress::IngressServerOptions server_options = {},
+    std::unique_ptr<broker::ResourceAdapter> adapter = nullptr) {
   auto out = std::make_unique<SplitDeployment>();
   out->dsml = model::testing::make_test_metamodel();
 
@@ -227,13 +272,17 @@ std::unique_ptr<SplitDeployment> make_split_deployment(
   auto assembled = core::Platform::assemble_from_text(text, config);
   if (!assembled.ok()) return nullptr;
   out->platform = std::move(assembled.value());
-  auto svc = std::make_unique<soak::CountingAdapter>("svc");
-  out->svc = svc.get();
-  if (!out->platform->add_resource_adapter(std::move(svc)).ok()) return nullptr;
+  if (adapter == nullptr) {
+    auto svc = std::make_unique<soak::CountingAdapter>("svc");
+    out->svc = svc.get();
+    adapter = std::move(svc);
+  }
+  if (!out->platform->add_resource_adapter(std::move(adapter)).ok()) {
+    return nullptr;
+  }
   if (!out->platform->start().ok()) return nullptr;
 
   out->network = std::make_unique<net::Network>(out->clock, network_config);
-  ingress::IngressServerOptions server_options;
   server_options.manual_reply_loop = true;  // tests pump() deterministically
   auto server = ingress::IngressServer::attach(*out->platform, *out->network,
                                                server_options);
@@ -964,6 +1013,171 @@ TEST(IngressE2E, RetryBudgetHealsLossesWithoutDoubleExecution) {
   EXPECT_LE(deployment->svc->executed(),
             static_cast<std::uint64_t>(2 * kSubmissions));
   EXPECT_GT(deployment->server->stats().deduped, 0u);
+  deployment->shutdown();
+}
+
+// PR 10 bugfix regression: the dedup ledger's capacity bound applies to
+// COMPLETED entries only. Under the old size-based eviction, a storm of
+// fresh traffic could push an IN-FLIGHT entry out of the ledger; the
+// sender's retry then looked fresh and the request executed twice. Here
+// a parked request outlives a flood 2x the ledger's capacity, its retry
+// is absorbed (not re-executed), and after release the original
+// completes with exactly one reply.
+TEST(IngressE2E, InFlightDedupEntrySurvivesCapacityPressure) {
+  auto gate_owner = std::make_unique<GateAdapter>();
+  GateAdapter* gate = gate_owner.get();
+  ingress::IngressServerOptions server_options;
+  server_options.ledger_capacity = 2;
+  auto deployment = make_split_deployment(
+      "", /*pipeline_threads=*/3, quiet_network(), {}, server_options,
+      std::move(gate_owner));
+  ASSERT_NE(deployment, nullptr);
+
+  std::mutex mutex;
+  std::vector<ingress::wire::Reply> replies;
+  auto probe = deployment->network->create_endpoint("probe");
+  ASSERT_TRUE(probe.ok());
+  probe.value()->set_handler([&](const net::Message& message) {
+    auto reply = ingress::wire::decode_reply(message.payload);
+    if (reply.ok()) {
+      std::lock_guard lock(mutex);
+      replies.push_back(std::move(reply.value()));
+    }
+  });
+  ingress::wire::Request request;
+  request.request_id = 77;
+  request.text = soak::open_session_text("pin");
+  const model::Value payload = ingress::wire::encode_request(request);
+
+  // Park the pinned request inside its FIRST adapter execution.
+  gate->hold_next(1);
+  ASSERT_TRUE(probe.value()
+                  ->send(deployment->server->endpoint_name(),
+                         "submit/testlang/pin", payload)
+                  .ok());
+  ASSERT_TRUE(deployment->drive_until([&] { return gate->executed() >= 1; }));
+
+  // Flood twice the ledger capacity in completed traffic on the other
+  // pipeline workers.
+  Ledger ledger;
+  constexpr int kFlood = 4;
+  for (int i = 0; i < kFlood; ++i) {
+    const std::string session = "flood" + std::to_string(i);
+    ASSERT_TRUE(deployment->client
+                    ->submit("testlang", session,
+                             soak::open_session_text(session),
+                             ledger.recorder())
+                    .ok());
+  }
+  ASSERT_TRUE(deployment->drive_until([&] { return ledger.total() == kFlood; }));
+  EXPECT_EQ(gate->executed(), 1u + 2u * kFlood);  // pin still parked
+
+  // The retry of the parked request must be ABSORBED by its pinned
+  // in-flight entry — were it evicted, this send would execute the
+  // session a second time.
+  ASSERT_TRUE(probe.value()
+                  ->send(deployment->server->endpoint_name(),
+                         "submit/testlang/pin", payload)
+                  .ok());
+  ASSERT_TRUE(deployment->drive_until(
+      [&] { return deployment->server->stats().deduped >= 1; }));
+  {
+    std::lock_guard lock(mutex);
+    EXPECT_TRUE(replies.empty()) << "absorbed retry must not reply early";
+  }
+  EXPECT_EQ(gate->executed(), 1u + 2u * kFlood);
+
+  // Release: the original completes, exactly one reply reaches the
+  // probe, and a THIRD send replays from the now-completed entry.
+  gate->release();
+  ASSERT_TRUE(deployment->drive_until([&] {
+    std::lock_guard lock(mutex);
+    return replies.size() == 1;
+  }));
+  EXPECT_EQ(gate->executed(), 2u + 2u * kFlood);
+  ASSERT_TRUE(probe.value()
+                  ->send(deployment->server->endpoint_name(),
+                         "submit/testlang/pin", payload)
+                  .ok());
+  ASSERT_TRUE(deployment->drive_until([&] {
+    std::lock_guard lock(mutex);
+    return replies.size() == 2;
+  }));
+  {
+    std::lock_guard lock(mutex);
+    EXPECT_EQ(replies[0].code, ErrorCode::kOk);
+    EXPECT_EQ(replies[1].code, replies[0].code);
+    EXPECT_EQ(replies[1].commands, replies[0].commands);
+  }
+  EXPECT_EQ(gate->executed(), 2u + 2u * kFlood);  // never re-executed
+  const ingress::IngressServer::Stats stats = deployment->server->stats();
+  EXPECT_EQ(stats.accepted, 1u + kFlood);
+  EXPECT_EQ(stats.deduped, 2u);
+  deployment->shutdown();
+}
+
+// PR 10 satellite: the model-driven dedup TTL (ingress_dedup_ttl_us).
+// Within the TTL a replay is answered from the ledger; once the network
+// clock moves past it the entry is lazily dropped and the retry is
+// re-admitted as fresh — bounded memory traded against a documented
+// at-least-once window for very late retries.
+TEST(IngressE2E, DedupLedgerExpiresCompletedEntriesByTtl) {
+  auto deployment = make_split_deployment("ingress_dedup_ttl_us = 1000000");
+  ASSERT_NE(deployment, nullptr);
+
+  std::mutex mutex;
+  std::vector<ingress::wire::Reply> replies;
+  auto probe = deployment->network->create_endpoint("probe");
+  ASSERT_TRUE(probe.ok());
+  probe.value()->set_handler([&](const net::Message& message) {
+    auto reply = ingress::wire::decode_reply(message.payload);
+    if (reply.ok()) {
+      std::lock_guard lock(mutex);
+      replies.push_back(std::move(reply.value()));
+    }
+  });
+  ingress::wire::Request request;
+  request.request_id = 88;
+  request.text = soak::open_session_text("ttl1");
+  const model::Value payload = ingress::wire::encode_request(request);
+  auto resend = [&] {
+    ASSERT_TRUE(probe.value()
+                    ->send(deployment->server->endpoint_name(),
+                           "submit/testlang/ttl1", payload)
+                    .ok());
+  };
+  auto replies_seen = [&] {
+    std::lock_guard lock(mutex);
+    return replies.size();
+  };
+
+  resend();
+  ASSERT_TRUE(deployment->drive_until([&] { return replies_seen() == 1; }));
+  EXPECT_EQ(deployment->svc->executed(), 2u);
+
+  // Within the TTL: a ledger replay, not an execution.
+  resend();
+  ASSERT_TRUE(deployment->drive_until([&] { return replies_seen() == 2; }));
+  EXPECT_EQ(deployment->server->stats().deduped, 1u);
+  EXPECT_EQ(deployment->server->stats().accepted, 1u);
+  EXPECT_EQ(deployment->svc->executed(), 2u);
+
+  // Past the TTL (the dedup clock is the NETWORK's): the entry expires
+  // lazily on lookup and the retry re-enters the pipeline as fresh.
+  // (The session already exists in the runtime model, so the re-run's
+  // diff is empty — re-admission shows up in `accepted`, not in adapter
+  // executions.)
+  deployment->clock.advance(std::chrono::seconds(2));
+  resend();
+  ASSERT_TRUE(deployment->drive_until([&] { return replies_seen() == 3; }));
+  const ingress::IngressServer::Stats stats = deployment->server->stats();
+  EXPECT_EQ(stats.dedup_expired, 1u);
+  EXPECT_EQ(stats.accepted, 2u);
+  EXPECT_EQ(stats.deduped, 1u);
+  {
+    std::lock_guard lock(mutex);
+    EXPECT_EQ(replies[2].code, ErrorCode::kOk);
+  }
   deployment->shutdown();
 }
 

@@ -1,0 +1,131 @@
+// Platform::export_session_state / import_session_state and their disk
+// twins snapshot()/restore() (PR 10): the full controller/broker runtime
+// state — synthesis runtime model, interpreter LTS states, engine
+// memory, context store, broker variables — round-trips through the
+// text-format codec, and a restored platform RESUMES sequenced work
+// instead of restarting it.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/platform.hpp"
+#include "model/text_format.hpp"
+#include "soak_fixtures.hpp"
+
+namespace mdsm {
+namespace {
+
+using soak::make_soak_platform;
+
+soak::SoakPlatform fresh_platform() {
+  return make_soak_platform(broker::ChaosConfig{});  // no faults
+}
+
+TEST(Snapshot, RoundTripsByteEqual) {
+  soak::SoakPlatform source = fresh_platform();
+  ASSERT_TRUE(source.ok()) << source.status.to_string();
+
+  // Real session work plus one value in each scalar store, so every
+  // checkpoint section is non-trivial.
+  ASSERT_TRUE(
+      source.platform->submit_model_text(soak::open_session_text("s1")).ok());
+  source.platform->controller().engine().set_memory("mem.k",
+                                                    model::Value("mv"));
+  source.platform->context().set("ctx.k", model::Value(std::int64_t{7}));
+  source.platform->broker().state().set("bk.k", model::Value(true));
+
+  Result<std::string> snapshot = source.platform->snapshot();
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().to_string();
+
+  soak::SoakPlatform target = fresh_platform();
+  ASSERT_TRUE(target.ok()) << target.status.to_string();
+  ASSERT_TRUE(target.platform->restore(snapshot.value()).ok());
+
+  // Byte-equal round-trip: same runtime model text, and re-snapshotting
+  // the restored platform reproduces the snapshot exactly (deterministic
+  // serialization + sorted scalar stores).
+  EXPECT_EQ(target.platform->runtime_model_text(),
+            source.platform->runtime_model_text());
+  Result<std::string> again = target.platform->snapshot();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value(), snapshot.value());
+
+  // The scalar stores made the trip.
+  EXPECT_EQ(target.platform->controller().engine().memory("mem.k").as_string(),
+            "mv");
+  EXPECT_EQ(target.platform->context().get("ctx.k").as_int(), 7);
+  EXPECT_TRUE(target.platform->broker().state().get("bk.k").as_bool());
+}
+
+TEST(Snapshot, RestoredPlatformResumesInsteadOfRestarting) {
+  soak::SoakPlatform source = fresh_platform();
+  ASSERT_TRUE(source.ok()) << source.status.to_string();
+  ASSERT_TRUE(
+      source.platform->submit_model_text(soak::open_session_text("s1")).ok());
+  // Opening fired session.create: svc.create + svc.open.
+  EXPECT_EQ(source.inner->executed(), 2u);
+  Result<std::string> snapshot = source.platform->snapshot();
+  ASSERT_TRUE(snapshot.ok());
+
+  // Cold platform, no restore: the close submission diffs against an
+  // EMPTY runtime model, so it re-runs the whole lifecycle — add-object
+  // fires session.create (svc.create + svc.open) and the closed
+  // attribute then fires session.close on top: 3 executions. That's the
+  // restart behavior a checkpoint exists to avoid.
+  soak::SoakPlatform cold = fresh_platform();
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(
+      cold.platform->submit_model_text(soak::close_session_text("s1")).ok());
+  EXPECT_EQ(cold.inner->executed(), 3u);
+
+  // Restored platform: the interpreter holds s1 in "live", so the same
+  // close submission is a pure set-attribute → session.close → exactly
+  // ONE svc.close execution. Sequenced work resumed, not restarted.
+  soak::SoakPlatform resumed = fresh_platform();
+  ASSERT_TRUE(resumed.ok());
+  ASSERT_TRUE(resumed.platform->restore(snapshot.value()).ok());
+  ASSERT_TRUE(
+      resumed.platform->submit_model_text(soak::close_session_text("s1"))
+          .ok());
+  EXPECT_EQ(resumed.inner->executed(), 1u);
+}
+
+TEST(Snapshot, ExportIsAValueTreeTheCodecRoundTrips) {
+  soak::SoakPlatform source = fresh_platform();
+  ASSERT_TRUE(source.ok());
+  ASSERT_TRUE(
+      source.platform->submit_model_text(soak::open_session_text("s1")).ok());
+
+  Result<model::Value> exported =
+      source.platform->export_session_state("s1");
+  ASSERT_TRUE(exported.ok());
+  // parse_value(to_text()) is the identity on the exported tree.
+  Result<model::Value> reparsed =
+      model::parse_value(exported.value().to_text());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().to_string();
+  EXPECT_EQ(reparsed.value().to_text(), exported.value().to_text());
+}
+
+TEST(Snapshot, RejectsGarbageAndForeignFormats) {
+  soak::SoakPlatform target = fresh_platform();
+  ASSERT_TRUE(target.ok());
+
+  EXPECT_FALSE(target.platform->restore("not a value {").ok());
+
+  // A structurally valid pair list with the wrong format tag refuses.
+  model::ValueList tagged;
+  model::ValueList pair;
+  pair.push_back(model::Value(std::string("format")));
+  pair.push_back(model::Value(std::string("someone-elses-checkpoint")));
+  tagged.push_back(model::Value(std::move(pair)));
+  Status imported =
+      target.platform->import_session_state(model::Value(std::move(tagged)));
+  EXPECT_EQ(imported.code(), ErrorCode::kInvalidArgument);
+
+  // A scalar is not a checkpoint at all.
+  EXPECT_FALSE(
+      target.platform->import_session_state(model::Value(true)).ok());
+}
+
+}  // namespace
+}  // namespace mdsm

@@ -344,5 +344,54 @@ TEST(Staged, ParkedPipelineStillAvailableBehindFlag) {
   EXPECT_TRUE(platform.stage_stats().empty());  // no stages on this path
 }
 
+// PR 10 bugfix regression: only EXECUTED requests feed the admission
+// latency EWMA. A refusal resolves in microseconds, so a burst of them
+// (here: parse errors caught in the synthesis stage before any pipeline
+// work) used to drag the predicted latency toward zero — and the
+// controller would then re-admit doomed work it should have shed.
+TEST(Staged, RefusalBurstDoesNotFeedTheAdmissionEwma) {
+  PlatformConfig config;
+  config.pipeline_threads = 2;
+  auto fixture = make_staged_platform(
+      config, std::make_unique<FlakyAdapter>("svc", 0));
+  ASSERT_NE(fixture.platform, nullptr);
+  Platform& platform = *fixture.platform;
+
+  // Seed the prediction with genuinely completed work.
+  std::atomic<int> done{0};
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(platform
+                    .submit_async(
+                        soak::open_session_text("e" + std::to_string(i)),
+                        [&done](Result<controller::ControlScript> r) {
+                          EXPECT_TRUE(r.ok()) << r.status().to_string();
+                          ++done;
+                        })
+                    .ok());
+  }
+  while (done.load() != 4) std::this_thread::yield();
+  const Duration seeded = platform.admission().predicted_latency();
+  EXPECT_GT(seeded.count(), 0);
+
+  // The refusal burst: every submission dies at parse, executed = false.
+  std::atomic<int> refused{0};
+  constexpr int kBurst = 32;
+  for (int i = 0; i < kBurst; ++i) {
+    ASSERT_TRUE(platform
+                    .submit_async("not a model {",
+                                  [&refused](
+                                      Result<controller::ControlScript> r) {
+                                    EXPECT_FALSE(r.ok());
+                                    ++refused;
+                                  })
+                    .ok());
+  }
+  while (refused.load() != kBurst) std::this_thread::yield();
+
+  // Not one refusal touched the prediction.
+  EXPECT_EQ(platform.admission().predicted_latency(), seeded);
+  EXPECT_TRUE(platform.stop().ok());
+}
+
 }  // namespace
 }  // namespace mdsm::core
